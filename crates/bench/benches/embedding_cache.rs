@@ -1,0 +1,34 @@
+//! Criterion bench: embedding-cache models — analytic static hit rates
+//! versus the exact LRU simulator on Zipfian traces.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use recpipe_data::{EmbeddingTrace, Zipf};
+use recpipe_hwsim::{LruCache, StaticCacheModel};
+
+fn bench_caches(c: &mut Criterion) {
+    c.bench_function("static_cache_hit_rate", |b| {
+        let zipf = Zipf::new(2_600_000, 0.9);
+        b.iter(|| black_box(StaticCacheModel::new(zipf, black_box(100_000)).hit_rate()))
+    });
+
+    c.bench_function("lru_10k_accesses", |b| {
+        b.iter(|| {
+            let mut trace = EmbeddingTrace::new(100_000, 0.9, 3);
+            let mut lru = LruCache::new(5_000);
+            for _ in 0..10_000 {
+                lru.access(trace.next_access());
+            }
+            black_box(lru.hit_rate())
+        })
+    });
+
+    c.bench_function("zipf_sampling_10k", |b| {
+        b.iter(|| {
+            let mut trace = EmbeddingTrace::new(2_600_000, 0.9, 5);
+            black_box(trace.take_accesses(10_000))
+        })
+    });
+}
+
+criterion_group!(benches, bench_caches);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench: the blocked GEMM kernel at recommendation-MLP sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use recpipe_tensor::Matrix;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &(m, k, n) in &[(64usize, 13usize, 64usize), (256, 64, 64), (512, 512, 256)] {
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|i| (i % 13) as f32).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|i| (i % 7) as f32).collect());
+        group.bench_function(format!("{m}x{k}x{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul(&b).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

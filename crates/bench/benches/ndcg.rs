@@ -1,0 +1,24 @@
+//! Criterion bench: NDCG computation at the paper's serving size
+//! (top-64 of a 4096-candidate pool).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recpipe_metrics::{ideal_sorted, ndcg_at_k};
+
+fn bench_ndcg(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let gains: Vec<f64> = (0..4096).map(|_| rng.gen::<f64>() * 10.0).collect();
+    let ideal = ideal_sorted(&gains);
+    let served: Vec<f64> = gains.iter().take(64).copied().collect();
+
+    c.bench_function("ndcg_at_64_of_4096", |b| {
+        b.iter(|| black_box(ndcg_at_k(black_box(&served), black_box(&ideal), 64)))
+    });
+    c.bench_function("ideal_sort_4096", |b| {
+        b.iter(|| black_box(ideal_sorted(black_box(&gains))))
+    });
+}
+
+criterion_group!(benches, bench_ndcg);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench: the discrete-event queueing simulator — the backbone
+//! of every at-scale experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use recpipe_qsim::{PipelineSpec, ResourceSpec, StageSpec};
+
+fn bench_qsim(c: &mut Criterion) {
+    let two_stage = PipelineSpec::new(vec![
+        ResourceSpec::new("cpu", 64),
+        ResourceSpec::new("gpu", 1),
+    ])
+    .with_stage(StageSpec::new("front", 1, 1, 0.0012))
+    .unwrap()
+    .with_stage(StageSpec::new("back", 0, 2, 0.008))
+    .unwrap();
+
+    let mut group = c.benchmark_group("qsim");
+    for &queries in &[1_000usize, 10_000] {
+        group.bench_function(format!("two_stage_{queries}q"), |b| {
+            b.iter(|| black_box(two_stage.simulate(black_box(300.0), queries, 7)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qsim);
+criterion_main!(benches);

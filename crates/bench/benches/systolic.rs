@@ -1,0 +1,22 @@
+//! Criterion bench: the systolic-array cycle model (the inner loop of
+//! every accelerator experiment).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use recpipe_accel::SystolicArray;
+use recpipe_data::DatasetKind;
+use recpipe_models::{ModelConfig, ModelKind};
+
+fn bench_systolic(c: &mut Criterion) {
+    let array = SystolicArray::paper_default();
+    let mut group = c.benchmark_group("systolic_model_cycles");
+    for kind in ModelKind::ALL {
+        let model = ModelConfig::for_kind(kind, DatasetKind::CriteoKaggle);
+        group.bench_function(kind.to_string(), |bench| {
+            bench.iter(|| black_box(array.model_cycles(&model, black_box(4096))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_systolic);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: the streaming bucketed top-k filter versus a full
+//! sort — the comparison motivating the paper's hardware design.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recpipe_accel::TopKFilter;
+
+fn scores(n: u64) -> Vec<(u64, f64)> {
+    let mut rng = StdRng::seed_from_u64(9);
+    (0..n).map(|i| (i, rng.gen::<f64>())).collect()
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let data = scores(4096);
+    let filter = TopKFilter::paper_default(512);
+
+    let mut group = c.benchmark_group("topk_4096_to_512");
+    group.bench_function("bucketed_filter", |b| {
+        b.iter(|| black_box(filter.filter(black_box(&data))))
+    });
+    group.bench_function("full_sort", |b| {
+        b.iter(|| {
+            let mut sorted = data.clone();
+            sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            sorted.truncate(512);
+            black_box(sorted)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

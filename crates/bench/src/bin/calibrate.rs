@@ -1,0 +1,80 @@
+//! Calibration harness for the statistical quality model.
+//!
+//! Sweeps score-noise sigmas and prints the NDCG@64 each configuration
+//! achieves, so `AccuracyModel`'s constants can be pinned to the paper's
+//! anchors:
+//!
+//! * RMlarge @ 4096 items → NDCG 92.25 (max-quality target)
+//! * RMsmall @ 4096 items → NDCG ~91.3 (Figure 3)
+//! * RMsmall→RMlarge two-stage @ 4096→256 → NDCG 92.25 (iso-quality)
+//! * quality @ 3200 items → NDCG ~87-88 (Figure 8 bottom)
+
+use recpipe_core::{PipelineConfig, QualityEvaluator, StageConfig};
+use recpipe_models::{AccuracyModel, ModelKind};
+
+fn main() {
+    let queries = 600;
+
+    println!("== single-stage NDCG vs sigma (items=4096) ==");
+    for sigma in [0.2, 0.3, 0.4, 0.44, 0.5, 0.58, 0.6, 0.7, 0.8, 0.9, 1.0] {
+        let acc = AccuracyModel::criteo().with_sigma(ModelKind::RmLarge, sigma);
+        let p = PipelineConfig::single_stage(ModelKind::RmLarge, 4096, 64).unwrap();
+        let q = QualityEvaluator::criteo_like(64)
+            .queries(queries)
+            .accuracy_model(acc)
+            .evaluate(&p);
+        println!("sigma={sigma:.2} -> NDCG {:.2}", q.ndcg_percent());
+    }
+
+    println!("\n== items-ranked curve with calibrated sigmas ==");
+    for items in [256u64, 512, 1024, 2048, 3200, 4096] {
+        for kind in [ModelKind::RmSmall, ModelKind::RmMed, ModelKind::RmLarge] {
+            let p = PipelineConfig::single_stage(kind, items, 64).unwrap();
+            let q = QualityEvaluator::criteo_like(64)
+                .queries(queries)
+                .evaluate(&p);
+            print!("{kind}@{items}: {:.2}  ", q.ndcg_percent());
+        }
+        println!();
+    }
+
+    println!("\n== two-stage configurations (rho sweep) ==");
+    for rho in [0.8, 0.9, 0.95] {
+        for (front, mid) in [
+            (ModelKind::RmSmall, 64),
+            (ModelKind::RmSmall, 128),
+            (ModelKind::RmSmall, 256),
+            (ModelKind::RmSmall, 512),
+            (ModelKind::RmMed, 256),
+        ] {
+            let p = PipelineConfig::builder()
+                .stage(StageConfig::new(front, 4096, mid))
+                .stage(StageConfig::new(ModelKind::RmLarge, mid, 64))
+                .build()
+                .unwrap();
+            let q = QualityEvaluator::criteo_like(64)
+                .queries(queries)
+                .noise_correlation(rho)
+                .evaluate(&p);
+            println!(
+                "rho={rho:.2} {} -> NDCG {:.2}",
+                p.describe(),
+                q.ndcg_percent()
+            );
+        }
+    }
+
+    println!("\n== sub-batching effect (two-stage 4096->256) ==");
+    for n in [1usize, 2, 4, 8, 16, 64] {
+        let p = PipelineConfig::builder()
+            .stage(StageConfig::new(ModelKind::RmSmall, 4096, 256))
+            .stage(StageConfig::new(ModelKind::RmLarge, 256, 64))
+            .build()
+            .unwrap();
+        let q = QualityEvaluator::criteo_like(64)
+            .queries(queries)
+            .sub_batches(n)
+            .evaluate(&p);
+        println!("sub_batches={n} -> NDCG {:.2}", q.ndcg_percent());
+    }
+}

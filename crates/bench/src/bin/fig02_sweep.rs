@@ -1,0 +1,89 @@
+//! Regenerates **Figure 2 (bottom)**: the training hyperparameter sweep
+//! — model complexity (FLOPs) versus CTR-prediction error.
+//!
+//! Two views are printed:
+//!
+//! * the calibrated Table 1 fit over a dense FLOPs grid (the curve the
+//!   paper plots), and
+//! * real DLRM training runs on the synthetic click data across a grid
+//!   of MLP widths and embedding dimensions (the mechanism, at
+//!   laptop-trainable scale).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recpipe_core::Table;
+use recpipe_data::DatasetSpec;
+use recpipe_models::{error_percent_from_flops, ArchKind, Dlrm, ModelConfig, ModelKind, Trainer};
+
+fn main() {
+    println!("Figure 2: accuracy vs model complexity\n");
+
+    println!("(a) calibrated error curve (Table 1 fit):\n");
+    let mut fit = Table::new(vec!["MLP FLOPs", "error (%)"]);
+    for flops in [
+        250u64, 500, 1_000, 1_150, 1_900, 4_000, 16_000, 64_000, 181_000,
+    ] {
+        fit.row(vec![
+            flops.to_string(),
+            format!("{:.2}", error_percent_from_flops(flops)),
+        ]);
+    }
+    println!("{fit}");
+
+    println!("(b) trained DLRM sweep on synthetic clicks (width x latent dim):\n");
+    let spec = DatasetSpec::criteo_kaggle();
+    let vocab = 600u32;
+    let mut sweep = Table::new(vec!["bottom MLP", "emb dim", "MLP FLOPs", "holdout error"]);
+    for (widths, dim) in [
+        (vec![13usize, 16, 4], 4usize),
+        (vec![13, 64, 4], 4),
+        (vec![13, 64, 16], 16),
+        (vec![13, 128, 32], 32),
+        (vec![13, 256, 64, 32], 32),
+    ] {
+        let cfg = ModelConfig {
+            kind: ModelKind::RmMed,
+            arch: ArchKind::Dlrm,
+            embedding_dim: dim,
+            mlp_bottom: widths.clone(),
+            mlp_top: vec![64, 1],
+            num_tables: 26,
+            rows_per_table: vocab as u64,
+        };
+        // Average over seeds: single-run SGD variance at this scale is
+        // larger than the inter-config error gaps. Wider embeddings get a
+        // smaller step (their interaction gradients scale with dim).
+        let lr = 0.05 * (4.0 / dim as f32).sqrt();
+        let mut errors = Vec::new();
+        for seed in [3u64, 11, 29] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut model = Dlrm::new(&cfg, vocab as usize, &mut rng);
+            let report = Trainer::new(&spec, vocab)
+                .epochs(4)
+                .samples_per_epoch(8_000)
+                .holdout_samples(3_000)
+                .learning_rate(lr)
+                .run(&mut model, seed.wrapping_mul(7));
+            errors.push(report.holdout_error);
+        }
+        let mean_error = errors.iter().sum::<f64>() / errors.len() as f64;
+        sweep.row(vec![
+            widths
+                .iter()
+                .map(|w| w.to_string())
+                .collect::<Vec<_>>()
+                .join("-"),
+            dim.to_string(),
+            cfg.cost().mlp_flops_per_item.to_string(),
+            format!("{:.1}%", mean_error * 100.0),
+        ]);
+    }
+    println!("{sweep}");
+    println!(
+        "Paper shape: more capacity buys lower error. At laptop-trainable\n\
+         scale the largest tower separates clearly; the small tiers sit\n\
+         within SGD noise of each other — consistent with the paper's own\n\
+         tiny (0.1-0.2 point) inter-tier error gaps. The calibrated fit in\n\
+         (a) carries the full Figure 2 curve."
+    );
+}

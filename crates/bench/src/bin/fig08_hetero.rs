@@ -1,0 +1,97 @@
+//! Regenerates **Figure 8**: mapping multi-stage recommendation onto
+//! heterogeneous CPU-GPU hardware.
+//!
+//! * Top: throughput vs p99 at iso-quality for CPU two-stage, GPU-CPU
+//!   two-stage, and GPU-only single-stage.
+//! * Bottom: quality vs latency at QPS 70 — at a 25 ms SLA the GPU ranks
+//!   the full pool while the CPU cannot.
+
+use recpipe_bench::{criteo_single_stage, criteo_two_stage};
+use recpipe_core::{
+    Mapping, PerformanceEvaluator, PipelineConfig, QualityEvaluator, StageConfig, StagePlacement,
+    Table,
+};
+use recpipe_models::ModelKind;
+
+fn main() {
+    let perf = PerformanceEvaluator::table2_defaults().sim_queries(4_000);
+    let quality = QualityEvaluator::criteo_like(64).queries(300);
+
+    let cpu_two = criteo_two_stage(256);
+    let gpu_one = criteo_single_stage(4096);
+    let hetero_mapping = Mapping::new(vec![
+        StagePlacement::Gpu,
+        StagePlacement::Cpu { cores_per_query: 4 },
+    ]);
+
+    println!("Figure 8 (top): iso-quality latency vs offered load\n");
+    let mut top = Table::new(vec![
+        "QPS",
+        "CPU 2-stage p99",
+        "GPU-CPU 2-stage p99",
+        "GPU 1-stage p99",
+    ]);
+    for qps in [50.0, 100.0, 200.0, 400.0, 800.0, 1600.0] {
+        let mut row = vec![format!("{qps:.0}")];
+        let configs: Vec<(&PipelineConfig, Mapping)> = vec![
+            (&cpu_two, Mapping::cpu_only(2)),
+            (&cpu_two, hetero_mapping.clone()),
+            (&gpu_one, Mapping::gpu_only(1)),
+        ];
+        for (pipeline, mapping) in configs {
+            let spec = perf.commodity_spec(pipeline, &mapping);
+            if spec.max_qps() < qps {
+                row.push("saturated".into());
+            } else {
+                let mut sim = spec.simulate(qps, 4_000, 11);
+                row.push(format!("{:.2} ms", sim.p99_seconds() * 1e3));
+            }
+        }
+        top.row(row);
+    }
+    println!("{top}");
+    println!(
+        "Paper shape: GPU-enabled designs win latency at low load and\n\
+         collapse at high load; CPU-only sustains the highest throughput.\n"
+    );
+
+    println!("Figure 8 (bottom): quality vs latency at QPS 70 (25 ms SLA)\n");
+    let mut bottom = Table::new(vec![
+        "items ranked",
+        "CPU 2-stage p99",
+        "CPU NDCG",
+        "GPU 1-stage p99",
+        "GPU NDCG",
+    ]);
+    for items in [2048u64, 2560, 3200, 4096] {
+        let cpu_pipeline = PipelineConfig::builder()
+            .stage(StageConfig::new(ModelKind::RmSmall, items, 256))
+            .stage(StageConfig::new(ModelKind::RmLarge, 256, 64))
+            .build()
+            .unwrap();
+        let gpu_pipeline = criteo_single_stage(items);
+        let mut cpu_sim = perf.evaluate(&cpu_pipeline, &Mapping::cpu_only(2), 70.0);
+        let mut gpu_sim = perf.evaluate(&gpu_pipeline, &Mapping::gpu_only(1), 70.0);
+        let cpu_q = quality.evaluate(&cpu_pipeline);
+        let gpu_q = quality.evaluate(&gpu_pipeline);
+        let fmt_sla = |p99: f64| {
+            if p99 > 0.025 {
+                format!("{:.2} ms (>SLA)", p99 * 1e3)
+            } else {
+                format!("{:.2} ms", p99 * 1e3)
+            }
+        };
+        bottom.row(vec![
+            items.to_string(),
+            fmt_sla(cpu_sim.p99_seconds()),
+            format!("{:.2}", cpu_q.ndcg_percent()),
+            fmt_sla(gpu_sim.p99_seconds()),
+            format!("{:.2}", gpu_q.ndcg_percent()),
+        ]);
+    }
+    println!("{bottom}");
+    println!(
+        "Paper anchors: at the 25 ms SLA the CPU design stops near 3200\n\
+         items (NDCG ~87) while the GPU ranks all 4096 (NDCG 92.25)."
+    );
+}

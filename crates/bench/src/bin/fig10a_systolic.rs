@@ -1,0 +1,56 @@
+//! Regenerates **Figure 10(a)**: systolic-array size vs utilization and
+//! cycles per model, and the monolithic-vs-reconfigurable utilization
+//! comparison (~30% -> ~60%).
+
+use recpipe_accel::{Partition, SystolicArray};
+use recpipe_core::Table;
+use recpipe_data::DatasetKind;
+use recpipe_models::{ModelConfig, ModelKind};
+
+fn main() {
+    println!("Figure 10(a): array geometry vs utilization and cycles\n");
+    let mut table = Table::new(vec!["array", "model", "cycles", "utilization"]);
+    for dim in [8usize, 16, 32, 64, 128] {
+        let array = SystolicArray::new(dim, dim, 250_000_000);
+        for kind in ModelKind::ALL {
+            let model = ModelConfig::for_kind(kind, DatasetKind::CriteoKaggle);
+            let items = match kind {
+                ModelKind::RmSmall => 4096,
+                ModelKind::RmMed => 1024,
+                ModelKind::RmLarge => 512,
+            };
+            table.row(vec![
+                format!("{dim}x{dim}"),
+                format!("{kind}@{items}"),
+                array.model_cycles(&model, items).to_string(),
+                format!("{:.1}%", array.model_utilization(&model, items) * 100.0),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    // Monolithic vs fissioned utilization on the two-stage mix.
+    let small = ModelConfig::for_kind(ModelKind::RmSmall, DatasetKind::CriteoKaggle);
+    let large = ModelConfig::for_kind(ModelKind::RmLarge, DatasetKind::CriteoKaggle);
+    let mono = SystolicArray::paper_default();
+    let mono_cycles = mono.model_cycles(&small, 4096) + mono.model_cycles(&large, 512);
+    let total_macs = small.cost().flops_per_item * 4096 + large.cost().flops_per_item * 512;
+    let mono_util = total_macs as f64 / (mono_cycles as f64 * 16384.0);
+
+    let p = Partition::symmetric(8, 8);
+    let f_arr = p.frontend()[0].as_array(250_000_000);
+    let b_arr = p.backend()[0].as_array(250_000_000);
+    let f_util = (small.cost().flops_per_item * 4096) as f64
+        / (f_arr.model_cycles(&small, 4096) as f64 * f_arr.macs() as f64);
+    let b_util = (large.cost().flops_per_item * 512) as f64
+        / (b_arr.model_cycles(&large, 512) as f64 * b_arr.macs() as f64);
+
+    println!(
+        "monolithic 128x128 on the two-stage mix: {:.1}% utilization (paper ~30%)",
+        mono_util * 100.0
+    );
+    println!(
+        "reconfigured 8+8 sub-arrays:             {:.1}% utilization (paper ~60%)",
+        (f_util + b_util) / 2.0 * 100.0
+    );
+}

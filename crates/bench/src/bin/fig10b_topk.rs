@@ -1,0 +1,68 @@
+//! Regenerates **Figure 10(b)**: the streaming bucketed top-k filtering
+//! unit — bin behavior, SRAM overhead vs CTR threshold (12% -> 3%), and
+//! drain latency ("a couple hundred cycles").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recpipe_accel::TopKFilter;
+use recpipe_core::Table;
+
+const SRAM_8MB: u64 = 8 * 1024 * 1024;
+
+fn beta_ish_scores(n: u64, seed: u64) -> Vec<(u64, f64)> {
+    // CTR-like scores: mass concentrated below 0.5 with a meaningful
+    // high-score tail (mirrors a trained sigmoid output).
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let u: f64 = rng.gen();
+            (i, u.powf(0.7))
+        })
+        .collect()
+}
+
+fn main() {
+    let scores = beta_ish_scores(4096, 5);
+
+    println!("Figure 10(b): top-k filtering unit (4096 items, k=512)\n");
+    let mut table = Table::new(vec![
+        "CTR threshold",
+        "ids buffered",
+        "weight-SRAM overhead",
+        "selected",
+        "drain cycles",
+    ]);
+    for thresh in [0.0, 0.25, 0.5, 0.75] {
+        let filter = TopKFilter::new(16, 512, thresh);
+        let out = filter.filter(&scores);
+        table.row(vec![
+            format!("{thresh:.2}"),
+            out.buffered.to_string(),
+            format!(
+                "{:.1}%",
+                TopKFilter::sram_overhead(out.buffered, SRAM_8MB) * 100.0
+            ),
+            out.selected.len().to_string(),
+            out.drain_cycles.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    // Correctness spot-check: every clear winner survives.
+    let filter = TopKFilter::paper_default(512);
+    let out = filter.filter(&scores);
+    let mut sorted = scores.clone();
+    sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let selected: std::collections::HashSet<u64> = out.selected.iter().copied().collect();
+    let kept = sorted
+        .iter()
+        .take(512)
+        .filter(|(id, _)| selected.contains(id))
+        .count();
+    println!(
+        "true top-512 retained by the approximate filter: {kept}/512 ({:.1}%)",
+        kept as f64 / 512.0 * 100.0
+    );
+    println!("Paper: no quality degradation from bucketed (unordered) filtering;");
+    println!("the 0.5 threshold cuts id-buffer SRAM from ~12% to ~3%.");
+}

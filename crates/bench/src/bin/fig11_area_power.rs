@@ -1,0 +1,42 @@
+//! Regenerates **Figure 11**: area and power breakdown of RPAccel versus
+//! the baseline TPU-like accelerator (+11% area, +36% power).
+
+use recpipe_accel::AreaPowerModel;
+use recpipe_core::Table;
+
+fn main() {
+    let model = AreaPowerModel::paper_default();
+    let (base_area, base_power) = model.baseline_totals();
+    let (rp_area, rp_power) = model.rpaccel_totals();
+
+    println!("Figure 11: RPAccel area/power breakdown (12 nm-class model)\n");
+    let mut table = Table::new(vec![
+        "component",
+        "area (mm^2)",
+        "area share",
+        "power (W)",
+        "power share",
+        "RPAccel-only",
+    ]);
+    for c in model.components() {
+        table.row(vec![
+            c.name.clone(),
+            format!("{:.2}", c.area_mm2),
+            format!("{:.1}%", c.area_mm2 / rp_area * 100.0),
+            format!("{:.2}", c.power_w),
+            format!("{:.1}%", c.power_w / rp_power * 100.0),
+            if c.rpaccel_only { "yes" } else { "" }.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    let (area_ovh, power_ovh) = model.overheads();
+    println!(
+        "baseline: {base_area:.1} mm^2, {base_power:.1} W\nRPAccel:  {rp_area:.1} mm^2, {rp_power:.1} W"
+    );
+    println!(
+        "overhead: +{:.1}% area (paper: +11%), +{:.1}% power (paper: +36%)",
+        area_ovh * 100.0,
+        power_ovh * 100.0
+    );
+}

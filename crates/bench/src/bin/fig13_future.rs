@@ -1,0 +1,71 @@
+//! Regenerates **Figure 13**: scaling RPAccel to future recommendation
+//! engines whose embedding tables spill to SSD.
+//!
+//! * Top: DRAM miss rate and the fraction of SSD access time hidden by
+//!   the pipeline as the backend model scales 1-32x.
+//! * Bottom: single-stage vs multi-stage latency at QPS 500, plus the
+//!   projected quality as frontend items and backend capacity scale.
+
+use recpipe_accel::FutureScaling;
+use recpipe_core::{PipelineConfig, QualityEvaluator, Table};
+use recpipe_models::{AccuracyModel, ModelKind};
+
+fn main() {
+    let study = FutureScaling::paper_default();
+
+    println!("Figure 13 (top): embedding locality under SSD spill\n");
+    let mut top = Table::new(vec![
+        "model scale",
+        "SSD-resident",
+        "DRAM miss rate",
+        "SSD time hidden (1x items)",
+        "SSD time hidden (3x items)",
+    ]);
+    for scale in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+        top.row(vec![
+            format!("{scale:.0}x"),
+            format!("{:.0}%", study.ssd_fraction(scale) * 100.0),
+            format!("{:.1}%", study.dram_miss_rate(scale) * 100.0),
+            format!("{:.0}%", study.overlap_fraction(scale, 1.0) * 100.0),
+            format!("{:.0}%", study.overlap_fraction(scale, 3.0) * 100.0),
+        ]);
+    }
+    println!("{top}");
+    println!("Paper anchors: 32x model -> 97% on SSD; miss rate ~17% -> ~28%.\n");
+
+    println!("Figure 13 (bottom): latency & quality scaling, QPS 500\n");
+    let mut bottom = Table::new(vec![
+        "scale (mem, items)",
+        "single-stage (ms)",
+        "multi-stage (ms)",
+        "projected NDCG",
+    ]);
+    for (mem, compute) in [(1.0, 1.0), (2.0, 1.5), (4.0, 2.0), (8.0, 2.5), (32.0, 3.0)] {
+        let items = (4096.0 * compute) as u64;
+        // Projected quality: a bigger corpus coverage (more items ranked)
+        // plus a more accurate scaled backend (sigma shrinks with the
+        // logarithm of capacity growth, following the Table 1 error fit).
+        let sigma_scale = 1.0 - 0.22 * f64::log2(mem) / 5.0;
+        let acc = AccuracyModel::criteo().with_sigma(
+            ModelKind::RmLarge,
+            AccuracyModel::criteo().sigma(ModelKind::RmLarge) * sigma_scale,
+        );
+        let pipeline = PipelineConfig::single_stage(ModelKind::RmLarge, items, 64).unwrap();
+        let quality = QualityEvaluator::criteo_like(64)
+            .queries(300)
+            .accuracy_model(acc)
+            .evaluate(&pipeline);
+
+        bottom.row(vec![
+            format!("{mem:.0}x, {items} items"),
+            format!("{:.2}", study.single_stage_latency(mem, compute) * 1e3),
+            format!("{:.2}", study.multi_stage_latency(mem, compute) * 1e3),
+            format!("{:.2}", quality.ndcg_percent()),
+        ]);
+    }
+    println!("{bottom}");
+    println!(
+        "Paper anchors: quality 92.25 -> ~96 at (32x, 12K items); the\n\
+         multi-stage design scales gracefully while single-stage collapses."
+    );
+}

@@ -1,0 +1,114 @@
+//! Regenerates **Figure 14**: the cross-dataset summary — p99 tail
+//! latency at iso-quality for three datasets x three system loads x
+//! three platforms x one/two/three-stage pipelines.
+//!
+//! Cells are `saturated` when a configuration cannot meet the load
+//! (greyed out in the paper).
+
+use recpipe_accel::Partition;
+use recpipe_core::{
+    Mapping, PerformanceEvaluator, PipelineConfig, StageConfig, StagePlacement, Table,
+};
+use recpipe_data::DatasetKind;
+use recpipe_models::ModelKind;
+
+/// Canonical 1/2/3-stage pipelines per dataset, scaled to the dataset's
+/// pool size and per-stage reduction factor.
+fn pipelines(dataset: DatasetKind) -> Vec<PipelineConfig> {
+    let pool: u64 = match dataset {
+        DatasetKind::MovieLens1M => 1024,
+        _ => 4096,
+    };
+    let reduction: u64 = match dataset {
+        DatasetKind::CriteoKaggle => 5,
+        DatasetKind::MovieLens1M => 2,
+        DatasetKind::MovieLens20M => 4,
+    };
+    let mid = (pool / reduction).max(64);
+    let mid2 = (mid / reduction).max(64);
+
+    let one = PipelineConfig::builder()
+        .dataset(dataset)
+        .stage(StageConfig::new(ModelKind::RmLarge, pool, 64))
+        .build()
+        .unwrap();
+    let two = PipelineConfig::builder()
+        .dataset(dataset)
+        .stage(StageConfig::new(ModelKind::RmSmall, pool, mid))
+        .stage(StageConfig::new(ModelKind::RmLarge, mid, 64))
+        .build()
+        .unwrap();
+    let three = PipelineConfig::builder()
+        .dataset(dataset)
+        .stage(StageConfig::new(ModelKind::RmSmall, pool, mid))
+        .stage(StageConfig::new(ModelKind::RmMed, mid, mid2))
+        .stage(StageConfig::new(ModelKind::RmLarge, mid2, 64))
+        .build()
+        .unwrap();
+    vec![one, two, three]
+}
+
+fn commodity_mapping(platform: &str, stages: usize) -> Mapping {
+    match (platform, stages) {
+        ("gpu", 1) => Mapping::gpu_only(1),
+        ("gpu", n) => {
+            // GPU frontend + CPU backend(s) per the paper's Section 5.2.
+            let mut placements = vec![StagePlacement::Gpu];
+            placements.extend(vec![StagePlacement::Cpu { cores_per_query: 2 }; n - 1]);
+            Mapping::new(placements)
+        }
+        (_, n) => Mapping::cpu_only(n),
+    }
+}
+
+fn main() {
+    let perf = PerformanceEvaluator::table2_defaults().sim_queries(3_000);
+    let loads = [100.0, 500.0, 2000.0];
+
+    println!("Figure 14: iso-quality tail latency summary (p99, ms)\n");
+    for dataset in DatasetKind::ALL {
+        println!("== {dataset} ==\n");
+        let mut table = Table::new(vec!["platform", "stages", "100 QPS", "500 QPS", "2000 QPS"]);
+        for platform in ["cpu", "gpu", "accel"] {
+            for (i, pipeline) in pipelines(dataset).iter().enumerate() {
+                let stages = i + 1;
+                let mut row = vec![platform.to_string(), stages.to_string()];
+                for &qps in &loads {
+                    let result = match platform {
+                        "accel" => {
+                            let partition = if stages == 1 {
+                                Partition::monolithic()
+                            } else {
+                                Partition::symmetric(8, 8)
+                            };
+                            let mut sim = perf.evaluate_accel(pipeline, partition, qps);
+                            if sim.saturated {
+                                "saturated".into()
+                            } else {
+                                format!("{:.2}", sim.p99_seconds() * 1e3)
+                            }
+                        }
+                        _ => {
+                            let mapping = commodity_mapping(platform, stages);
+                            let spec = perf.commodity_spec(pipeline, &mapping);
+                            if spec.max_qps() < qps {
+                                "saturated".into()
+                            } else {
+                                let mut sim = spec.simulate(qps, 3_000, 21);
+                                format!("{:.2}", sim.p99_seconds() * 1e3)
+                            }
+                        }
+                    };
+                    row.push(result);
+                }
+                table.row(row);
+            }
+        }
+        println!("{table}");
+    }
+    println!(
+        "Paper shape: the optimal stage count varies with load, platform,\n\
+         and dataset; RPAccel dominates tail latency everywhere it fits;\n\
+         GPU designs grey out at high loads."
+    );
+}

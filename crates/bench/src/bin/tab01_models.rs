@@ -1,0 +1,45 @@
+//! Regenerates **Table 1**: the Pareto-optimal recommendation models —
+//! embedding dimension, MLP towers, model size, FLOPs, and error.
+//!
+//! Paper reference: RMsmall/RMmed/RMlarge at 1.1K/2.0K/180K FLOPs,
+//! 1/4/8 GB, 21.36/21.26/21.13% error.
+
+use recpipe_core::Table;
+use recpipe_data::DatasetKind;
+use recpipe_models::{error_percent_from_flops, ModelConfig, ModelKind};
+
+fn dims(chain: &[usize]) -> String {
+    chain
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+fn main() {
+    println!("Table 1: Pareto-optimal recommendation models (Criteo / DLRM)\n");
+    let mut table = Table::new(vec![
+        "model",
+        "embedding dim",
+        "MLP-bottom",
+        "MLP-top",
+        "model size (GB)",
+        "MLP FLOPs",
+        "model error (%)",
+    ]);
+    for kind in ModelKind::ALL {
+        let cfg = ModelConfig::for_kind(kind, DatasetKind::CriteoKaggle);
+        let cost = cfg.cost();
+        table.row(vec![
+            kind.to_string(),
+            cfg.embedding_dim.to_string(),
+            dims(&cfg.mlp_bottom),
+            dims(&cfg.mlp_top),
+            format!("{:.1}", cost.model_bytes as f64 / 1e9),
+            cost.mlp_flops_per_item.to_string(),
+            format!("{:.2}", error_percent_from_flops(cost.mlp_flops_per_item)),
+        ]);
+    }
+    println!("{table}");
+    println!("Paper: 1.1K/2.0K/180K FLOPs; 1/4/8 GB; 21.36/21.26/21.13% error.");
+}

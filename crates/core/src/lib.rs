@@ -1,0 +1,49 @@
+//! RecPipe core: multi-stage recommendation pipelines, joint
+//! quality/performance evaluation, and the hardware-aware inference
+//! scheduler — the paper's primary contribution.
+//!
+//! The central object is a [`PipelineConfig`]: an ordered chain of
+//! [`StageConfig`]s, each pairing a model tier with the number of items
+//! it ranks and forwards. Around it:
+//!
+//! * [`QualityEvaluator`] measures NDCG@64 of a pipeline on calibrated
+//!   synthetic workloads, reproducing the quality side of Figures 3, 7,
+//!   8, and 13 — including the per-sub-batch top-k stitching effect of
+//!   the accelerator's pipelined execution.
+//! * [`PerformanceEvaluator`] maps stages onto hardware (CPU cores, GPU,
+//!   RPAccel) and runs the at-scale queueing simulation for tail latency
+//!   and throughput.
+//! * [`Scheduler`] exhaustively explores the joint design space —
+//!   number of stages, model per stage, items per stage, hardware
+//!   mapping — and extracts Pareto frontiers and SLA-optimal designs
+//!   (the paper's Step 1 and Step 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use recpipe_core::{PipelineConfig, QualityEvaluator, StageConfig};
+//! use recpipe_models::ModelKind;
+//!
+//! let pipeline = PipelineConfig::builder()
+//!     .stage(StageConfig::new(ModelKind::RmSmall, 4096, 256))
+//!     .stage(StageConfig::new(ModelKind::RmLarge, 256, 64))
+//!     .build()
+//!     .expect("valid pipeline");
+//!
+//! let quality = QualityEvaluator::criteo_like(64).evaluate(&pipeline);
+//! assert!(quality.ndcg > 0.90);
+//! ```
+
+mod perf;
+mod pipeline;
+mod quality;
+mod report;
+mod scheduler;
+mod stage;
+
+pub use perf::{Mapping, PerformanceEvaluator, StagePlacement};
+pub use pipeline::{PipelineBuilder, PipelineConfig, PipelineError};
+pub use quality::{QualityEvaluator, QualityReport};
+pub use report::Table;
+pub use scheduler::{DesignPoint, Scheduler, SchedulerSettings};
+pub use stage::StageConfig;

@@ -1,0 +1,389 @@
+use recpipe_accel::{BaselineAccel, Partition, RpAccel, RpAccelConfig};
+use recpipe_data::DatasetSpec;
+use recpipe_hwsim::{CpuModel, Device, GpuModel, PcieModel, StageWork};
+use recpipe_qsim::{PipelineSpec, ResourceSpec, SimResult, StageSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::PipelineConfig;
+
+/// Where one pipeline stage executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StagePlacement {
+    /// On the CPU pool, dedicating `cores_per_query` cores to each query
+    /// (1 = the paper's task-parallel default; >1 = model parallelism
+    /// for heavyweight backends).
+    Cpu {
+        /// Cores held per in-flight query.
+        cores_per_query: usize,
+    },
+    /// On the (single) GPU, which parallelizes within the query.
+    Gpu,
+}
+
+impl std::fmt::Display for StagePlacement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StagePlacement::Cpu { cores_per_query } => write!(f, "cpu(x{cores_per_query})"),
+            StagePlacement::Gpu => write!(f, "gpu"),
+        }
+    }
+}
+
+/// A per-stage hardware mapping for a pipeline (the scheduler's Step 2
+/// decision).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mapping {
+    placements: Vec<StagePlacement>,
+}
+
+impl Mapping {
+    /// Creates a mapping from explicit per-stage placements.
+    pub fn new(placements: Vec<StagePlacement>) -> Self {
+        Self { placements }
+    }
+
+    /// All stages on CPU with one core per query.
+    pub fn cpu_only(num_stages: usize) -> Self {
+        Self::new(vec![StagePlacement::Cpu { cores_per_query: 1 }; num_stages])
+    }
+
+    /// Frontend on GPU, remaining stages on CPU (the paper's winning
+    /// heterogeneous configuration).
+    pub fn gpu_frontend(num_stages: usize) -> Self {
+        let mut placements = vec![StagePlacement::Gpu];
+        placements.extend(vec![
+            StagePlacement::Cpu { cores_per_query: 1 };
+            num_stages.saturating_sub(1)
+        ]);
+        Self::new(placements)
+    }
+
+    /// Every stage on the GPU (multi-tenant execution — the paper finds
+    /// this underperforms).
+    pub fn gpu_only(num_stages: usize) -> Self {
+        Self::new(vec![StagePlacement::Gpu; num_stages])
+    }
+
+    /// Per-stage placements.
+    pub fn placements(&self) -> &[StagePlacement] {
+        &self.placements
+    }
+
+    /// Whether any stage runs on the GPU.
+    pub fn uses_gpu(&self) -> bool {
+        self.placements.contains(&StagePlacement::Gpu)
+    }
+
+    /// Compact description, e.g. `gpu|cpu(x2)`.
+    pub fn describe(&self) -> String {
+        self.placements
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+}
+
+/// Maps pipelines onto hardware models and runs the at-scale queueing
+/// simulation (the paper's two-step evaluation methodology).
+///
+/// # Examples
+///
+/// ```
+/// use recpipe_core::{Mapping, PerformanceEvaluator, PipelineConfig};
+/// use recpipe_models::ModelKind;
+///
+/// let pipeline = PipelineConfig::single_stage(ModelKind::RmLarge, 4096, 64).unwrap();
+/// let perf = PerformanceEvaluator::table2_defaults().sim_queries(1_000);
+/// let mut result = perf.evaluate(&pipeline, &Mapping::cpu_only(1), 100.0);
+/// assert!(!result.saturated);
+/// assert!(result.p99_seconds() > 0.01); // ~100 ms-class single-stage
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerformanceEvaluator {
+    cpu: CpuModel,
+    gpu: GpuModel,
+    pcie: PcieModel,
+    sim_queries: usize,
+    seed: u64,
+}
+
+impl PerformanceEvaluator {
+    /// Bytes shipped per surviving item between devices (dense features,
+    /// sparse ids, score).
+    const INTERMEDIATE_BYTES_PER_ITEM: u64 = 164;
+
+    /// The paper's Table 2 platforms.
+    pub fn table2_defaults() -> Self {
+        Self {
+            cpu: CpuModel::cascade_lake(),
+            gpu: GpuModel::t4(),
+            pcie: PcieModel::measured(),
+            sim_queries: 4_000,
+            seed: 0xbeef,
+        }
+    }
+
+    /// Overrides the number of simulated queries.
+    pub fn sim_queries(mut self, n: usize) -> Self {
+        self.sim_queries = n.max(100);
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The CPU model in use.
+    pub fn cpu(&self) -> &CpuModel {
+        &self.cpu
+    }
+
+    /// The GPU model in use.
+    pub fn gpu(&self) -> &GpuModel {
+        &self.gpu
+    }
+
+    /// Builds the queueing spec for a pipeline under a mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping's stage count differs from the pipeline's.
+    pub fn commodity_spec(&self, pipeline: &PipelineConfig, mapping: &Mapping) -> PipelineSpec {
+        assert_eq!(
+            mapping.placements().len(),
+            pipeline.num_stages(),
+            "mapping/pipeline stage count mismatch"
+        );
+        let works = pipeline.stage_works();
+        let mut spec = PipelineSpec::new(vec![
+            ResourceSpec::new("cpu", self.cpu.cores),
+            ResourceSpec::new("gpu", 1),
+        ]);
+        let mut prev: Option<StagePlacement> = None;
+        for (i, (work, &placement)) in works.iter().zip(mapping.placements()).enumerate() {
+            // Crossing devices ships the surviving candidates over PCIe.
+            let crossing = prev.is_some_and(|p| p != placement);
+            let transfer = if crossing {
+                self.pcie
+                    .transfer_time(work.items * Self::INTERMEDIATE_BYTES_PER_ITEM)
+            } else {
+                0.0
+            };
+            let stage = match placement {
+                StagePlacement::Cpu { cores_per_query } => StageSpec::new(
+                    format!("s{i}:cpu"),
+                    0,
+                    cores_per_query,
+                    self.cpu.stage_latency(work, cores_per_query) + transfer,
+                ),
+                StagePlacement::Gpu => StageSpec::new(
+                    format!("s{i}:gpu"),
+                    1,
+                    1,
+                    self.gpu.stage_latency(work) + transfer,
+                ),
+            };
+            spec = spec.with_stage(stage).expect("validated stage");
+            prev = Some(placement);
+        }
+        spec
+    }
+
+    /// Simulates a pipeline on commodity hardware at the offered load.
+    pub fn evaluate(&self, pipeline: &PipelineConfig, mapping: &Mapping, qps: f64) -> SimResult {
+        self.commodity_spec(pipeline, mapping)
+            .simulate(qps, self.sim_queries, self.seed)
+    }
+
+    /// Single-query service latency on commodity hardware (no queueing).
+    pub fn service_latency(&self, pipeline: &PipelineConfig, mapping: &Mapping) -> f64 {
+        self.commodity_spec(pipeline, mapping).service_floor()
+    }
+
+    /// Simulates a pipeline on an RPAccel with the given partition.
+    pub fn evaluate_accel(
+        &self,
+        pipeline: &PipelineConfig,
+        partition: Partition,
+        qps: f64,
+    ) -> SimResult {
+        let spec = DatasetSpec::for_kind(pipeline.dataset());
+        let accel = RpAccel::new(RpAccelConfig::paper_default(partition).with_dataset(&spec));
+        let profile = accel.service_profile(&pipeline.stage_works());
+        self.accel_spec(profile)
+            .simulate(qps, self.sim_queries, self.seed)
+    }
+
+    /// Simulates the Centaur-like baseline accelerator on a single-stage
+    /// workload.
+    pub fn evaluate_baseline_accel(&self, pipeline: &PipelineConfig, qps: f64) -> SimResult {
+        let spec = DatasetSpec::for_kind(pipeline.dataset());
+        let baseline = BaselineAccel::paper_default().with_dataset(&spec);
+        let works = pipeline.stage_works();
+        let work: &StageWork = works.last().expect("non-empty pipeline");
+        let profile = baseline.service_profile(work, pipeline.items_served());
+        self.accel_spec(profile)
+            .simulate(qps, self.sim_queries, self.seed)
+    }
+
+    /// Queueing decomposition of an accelerator service profile: a
+    /// serialized memory phase followed by a lanes-parallel compute
+    /// phase.
+    fn accel_spec(&self, profile: recpipe_accel::ServiceProfile) -> PipelineSpec {
+        PipelineSpec::new(vec![
+            ResourceSpec::new("accel-mem", 1),
+            ResourceSpec::new("accel-lanes", profile.lanes),
+        ])
+        .with_stage(StageSpec::new(
+            "mem",
+            0,
+            1,
+            profile.dram_service_s.max(1e-9),
+        ))
+        .expect("validated stage")
+        .with_stage(StageSpec::new("compute", 1, 1, profile.compute_service_s))
+        .expect("validated stage")
+    }
+
+    /// Convenience: per-stage service latencies under a mapping (for
+    /// reports).
+    pub fn stage_latencies(&self, pipeline: &PipelineConfig, mapping: &Mapping) -> Vec<f64> {
+        self.commodity_spec(pipeline, mapping)
+            .stages()
+            .iter()
+            .map(|s| s.service_time)
+            .collect()
+    }
+
+    /// The GPU as a [`Device`] for reporting.
+    pub fn gpu_device(&self) -> &dyn Device {
+        &self.gpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StageConfig;
+    use recpipe_models::ModelKind;
+
+    fn perf() -> PerformanceEvaluator {
+        PerformanceEvaluator::table2_defaults().sim_queries(1500)
+    }
+
+    fn single_large() -> PipelineConfig {
+        PipelineConfig::single_stage(ModelKind::RmLarge, 4096, 64).unwrap()
+    }
+
+    fn two_stage() -> PipelineConfig {
+        PipelineConfig::builder()
+            .stage(StageConfig::new(ModelKind::RmSmall, 4096, 256))
+            .stage(StageConfig::new(ModelKind::RmLarge, 256, 64))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure7_two_stage_cuts_cpu_tail_latency_about_4x() {
+        let p = perf();
+        let mut single = p.evaluate(&single_large(), &Mapping::cpu_only(1), 500.0);
+        let mut multi = p.evaluate(&two_stage(), &Mapping::cpu_only(2), 500.0);
+        let ratio = single.p99_seconds() / multi.p99_seconds();
+        assert!(
+            (2.5..8.0).contains(&ratio),
+            "CPU single/multi p99 ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn figure8_gpu_single_stage_beats_cpu_at_low_load() {
+        let p = perf();
+        let mut cpu = p.evaluate(&single_large(), &Mapping::cpu_only(1), 50.0);
+        let mut gpu = p.evaluate(&single_large(), &Mapping::gpu_only(1), 50.0);
+        assert!(
+            gpu.p99_seconds() < cpu.p99_seconds() / 5.0,
+            "gpu {} vs cpu {}",
+            gpu.p99_seconds(),
+            cpu.p99_seconds()
+        );
+    }
+
+    #[test]
+    fn figure8_gpu_saturates_before_cpu() {
+        let p = perf();
+        let gpu_spec = p.commodity_spec(&single_large(), &Mapping::gpu_only(1));
+        let cpu_spec = p.commodity_spec(&two_stage(), &Mapping::cpu_only(2));
+        assert!(
+            gpu_spec.max_qps() < cpu_spec.max_qps() / 2.0,
+            "gpu cap {} vs cpu cap {}",
+            gpu_spec.max_qps(),
+            cpu_spec.max_qps()
+        );
+    }
+
+    #[test]
+    fn gpu_frontend_mapping_beats_cpu_only_at_low_load() {
+        // Figure 8 (top): the heterogeneous GPU-CPU two-stage design cuts
+        // latency versus CPU-only (paper: up to 3x; model parallelism on
+        // the backend contributes).
+        let p = perf();
+        let backend_parallel = Mapping::new(vec![
+            StagePlacement::Gpu,
+            StagePlacement::Cpu { cores_per_query: 4 },
+        ]);
+        let mut hetero = p.evaluate(&two_stage(), &backend_parallel, 70.0);
+        let mut cpu_only = p.evaluate(&two_stage(), &Mapping::cpu_only(2), 70.0);
+        let ratio = cpu_only.p99_seconds() / hetero.p99_seconds();
+        assert!((1.5..5.0).contains(&ratio), "hetero speedup {ratio}");
+    }
+
+    #[test]
+    fn crossing_devices_pays_pcie() {
+        let p = perf();
+        let hetero = p.stage_latencies(&two_stage(), &Mapping::gpu_frontend(2));
+        let cpu_only = p.stage_latencies(&two_stage(), &Mapping::cpu_only(2));
+        // Backend stage gains the PCIe transfer when upstream is GPU.
+        assert!(hetero[1] > cpu_only[1]);
+    }
+
+    #[test]
+    fn accel_beats_commodity_latency() {
+        let p = perf();
+        let mut accel = p.evaluate_accel(&two_stage(), Partition::symmetric(8, 2), 200.0);
+        let mut cpu = p.evaluate(&two_stage(), &Mapping::cpu_only(2), 200.0);
+        assert!(
+            accel.p99_seconds() < cpu.p99_seconds() / 4.0,
+            "accel {} vs cpu {}",
+            accel.p99_seconds(),
+            cpu.p99_seconds()
+        );
+    }
+
+    #[test]
+    fn figure12_rpaccel_beats_baseline_accelerator() {
+        let p = perf();
+        let mut rp = p.evaluate_accel(&two_stage(), Partition::symmetric(8, 2), 200.0);
+        let mut base = p.evaluate_baseline_accel(&single_large(), 200.0);
+        let latency_ratio = base.p99_seconds() / rp.p99_seconds();
+        assert!(
+            (1.8..8.0).contains(&latency_ratio),
+            "baseline/RPAccel p99 ratio {latency_ratio}"
+        );
+    }
+
+    #[test]
+    fn saturation_is_detected_on_gpu_overload() {
+        let p = perf();
+        let out = p.evaluate(&single_large(), &Mapping::gpu_only(1), 5_000.0);
+        assert!(out.saturated);
+    }
+
+    #[test]
+    #[should_panic(expected = "stage count mismatch")]
+    fn mapping_arity_mismatch_panics() {
+        perf().evaluate(&two_stage(), &Mapping::cpu_only(1), 100.0);
+    }
+}

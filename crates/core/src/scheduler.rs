@@ -1,0 +1,490 @@
+use std::collections::HashMap;
+
+use recpipe_accel::Partition;
+use recpipe_data::DatasetKind;
+use recpipe_metrics::{pareto_front, Dominance, ParetoPoint};
+use recpipe_models::ModelKind;
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    Mapping, PerformanceEvaluator, PipelineConfig, QualityEvaluator, StageConfig, StagePlacement,
+};
+
+/// Knobs bounding the scheduler's exhaustive search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerSettings {
+    /// Dataset being served.
+    pub dataset: DatasetKind,
+    /// Candidate stage-0 item counts.
+    pub items_grid: Vec<u64>,
+    /// Candidate per-stage keep ratios (items_out = items_in / ratio).
+    pub keep_ratios: Vec<u64>,
+    /// Candidate cores-per-query for CPU-mapped stages.
+    pub cores_options: Vec<usize>,
+    /// Monte-Carlo queries for quality evaluation.
+    pub quality_queries: usize,
+    /// Simulated queries per performance point.
+    pub sim_queries: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl SchedulerSettings {
+    /// The paper's Criteo sweep: items 256-4096, ratios 8/16, model
+    /// parallelism up to 4 cores.
+    pub fn paper_default() -> Self {
+        Self {
+            dataset: DatasetKind::CriteoKaggle,
+            items_grid: vec![256, 512, 1024, 2048, 3200, 4096],
+            keep_ratios: vec![8, 16],
+            cores_options: vec![1, 2, 4],
+            quality_queries: 200,
+            sim_queries: 3_000,
+            seed: 77,
+        }
+    }
+
+    /// A trimmed sweep for fast tests.
+    pub fn quick() -> Self {
+        Self {
+            dataset: DatasetKind::CriteoKaggle,
+            items_grid: vec![1024, 4096],
+            keep_ratios: vec![8],
+            cores_options: vec![1, 2],
+            quality_queries: 80,
+            sim_queries: 800,
+            seed: 77,
+        }
+    }
+}
+
+/// One evaluated point of the design space: a pipeline, its hardware
+/// mapping, and the measured quality/performance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// The pipeline configuration.
+    pub pipeline: PipelineConfig,
+    /// Human-readable mapping description (e.g. `gpu|cpu(x2)` or
+    /// `rpaccel(8,2)`).
+    pub mapping: String,
+    /// Mean NDCG in `[0, 1]`.
+    pub ndcg: f64,
+    /// p99 tail latency in seconds.
+    pub p99_s: f64,
+    /// Whether the configuration met the offered load.
+    pub saturated: bool,
+}
+
+impl DesignPoint {
+    /// NDCG in the paper's percent convention.
+    pub fn ndcg_percent(&self) -> f64 {
+        self.ndcg * 100.0
+    }
+
+    /// p99 in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.p99_s * 1e3
+    }
+}
+
+/// The RecPipe inference scheduler: exhaustively explores multi-stage
+/// parameters (Step 1) and hardware mappings (Step 2), evaluating
+/// quality with the Monte-Carlo evaluator and tail latency with the
+/// queueing simulator.
+///
+/// # Examples
+///
+/// ```
+/// use recpipe_core::{Scheduler, SchedulerSettings};
+///
+/// let scheduler = Scheduler::new(SchedulerSettings::quick());
+/// let points = scheduler.explore_cpu(200.0, 2);
+/// assert!(!points.is_empty());
+/// let frontier = Scheduler::pareto_quality_latency(points);
+/// assert!(!frontier.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    settings: SchedulerSettings,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the given search bounds.
+    pub fn new(settings: SchedulerSettings) -> Self {
+        Self { settings }
+    }
+
+    /// The settings in use.
+    pub fn settings(&self) -> &SchedulerSettings {
+        &self.settings
+    }
+
+    fn quality_evaluator(&self) -> QualityEvaluator {
+        QualityEvaluator::for_dataset(self.settings.dataset, 64)
+            .queries(self.settings.quality_queries)
+            .seed(self.settings.seed)
+    }
+
+    fn perf_evaluator(&self) -> PerformanceEvaluator {
+        PerformanceEvaluator::table2_defaults()
+            .sim_queries(self.settings.sim_queries)
+            .seed(self.settings.seed)
+    }
+
+    /// Model-tier chains per stage count: the Pareto-ordered combinations
+    /// the paper sweeps.
+    fn model_chains(num_stages: usize) -> Vec<Vec<ModelKind>> {
+        use ModelKind::*;
+        match num_stages {
+            1 => vec![vec![RmSmall], vec![RmMed], vec![RmLarge]],
+            2 => vec![
+                vec![RmSmall, RmLarge],
+                vec![RmMed, RmLarge],
+                vec![RmSmall, RmMed],
+            ],
+            3 => vec![vec![RmSmall, RmMed, RmLarge]],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Enumerates every valid pipeline with up to `max_stages` stages
+    /// (the paper's Step 1 algorithmic-scaling space). Ratio paths that
+    /// clamp to identical item counts are deduplicated.
+    pub fn enumerate_pipelines(&self, max_stages: usize) -> Vec<PipelineConfig> {
+        let mut out = Vec::new();
+        for stages in 1..=max_stages.min(3) {
+            for chain in Self::model_chains(stages) {
+                for &items0 in &self.settings.items_grid {
+                    self.extend_pipelines(&chain, items0, stages, &mut out);
+                }
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        out.retain(|p| seen.insert(p.clone()));
+        out
+    }
+
+    fn extend_pipelines(
+        &self,
+        chain: &[ModelKind],
+        items0: u64,
+        stages: usize,
+        out: &mut Vec<PipelineConfig>,
+    ) {
+        // Recursively expand keep-ratio choices per intermediate stage.
+        fn rec(
+            chain: &[ModelKind],
+            ratios: &[u64],
+            dataset: DatasetKind,
+            items: u64,
+            idx: usize,
+            acc: &mut Vec<StageConfig>,
+            out: &mut Vec<PipelineConfig>,
+        ) {
+            let last = idx + 1 == chain.len();
+            if last {
+                if items < 64 {
+                    return;
+                }
+                acc.push(StageConfig::new(chain[idx], items, 64));
+                let mut builder = PipelineConfig::builder().dataset(dataset);
+                for s in acc.iter() {
+                    builder = builder.stage(*s);
+                }
+                if let Ok(p) = builder.build() {
+                    out.push(p);
+                }
+                acc.pop();
+                return;
+            }
+            for &ratio in ratios {
+                let next = (items / ratio).max(64);
+                if next >= items {
+                    continue;
+                }
+                acc.push(StageConfig::new(chain[idx], items, next));
+                rec(chain, ratios, dataset, next, idx + 1, acc, out);
+                acc.pop();
+            }
+        }
+        let mut acc = Vec::with_capacity(stages);
+        rec(
+            chain,
+            &self.settings.keep_ratios,
+            self.settings.dataset,
+            items0,
+            0,
+            &mut acc,
+            out,
+        );
+    }
+
+    /// CPU-only mapping candidates for a stage count.
+    fn cpu_mappings(&self, num_stages: usize) -> Vec<Mapping> {
+        // Frontend stages stay task-parallel (1 core); backend stages may
+        // use model parallelism — the knob that matters in the paper.
+        let mut mappings = vec![Mapping::cpu_only(num_stages)];
+        if num_stages >= 2 {
+            for &k in &self.settings.cores_options {
+                if k == 1 {
+                    continue;
+                }
+                let mut placements =
+                    vec![StagePlacement::Cpu { cores_per_query: 1 }; num_stages - 1];
+                placements.push(StagePlacement::Cpu { cores_per_query: k });
+                mappings.push(Mapping::new(placements));
+            }
+        } else {
+            for &k in &self.settings.cores_options {
+                if k == 1 {
+                    continue;
+                }
+                mappings.push(Mapping::new(vec![StagePlacement::Cpu {
+                    cores_per_query: k,
+                }]));
+            }
+        }
+        mappings
+    }
+
+    /// Heterogeneous mapping candidates: CPU-only options plus GPU
+    /// placements (GPU-only, GPU frontend + CPU backend).
+    fn hetero_mappings(&self, num_stages: usize) -> Vec<Mapping> {
+        let mut mappings = self.cpu_mappings(num_stages);
+        mappings.push(Mapping::gpu_only(num_stages));
+        if num_stages >= 2 {
+            mappings.push(Mapping::gpu_frontend(num_stages));
+            for &k in &self.settings.cores_options {
+                if k == 1 {
+                    continue;
+                }
+                let mut placements = vec![StagePlacement::Gpu];
+                placements.extend(vec![
+                    StagePlacement::Cpu { cores_per_query: 1 };
+                    num_stages - 2
+                ]);
+                placements.push(StagePlacement::Cpu { cores_per_query: k });
+                mappings.push(Mapping::new(placements));
+            }
+        }
+        mappings
+    }
+
+    fn explore(
+        &self,
+        qps: f64,
+        max_stages: usize,
+        mappings_for: impl Fn(usize) -> Vec<Mapping>,
+    ) -> Vec<DesignPoint> {
+        let quality_eval = self.quality_evaluator();
+        let perf = self.perf_evaluator();
+        let mut quality_cache: HashMap<PipelineConfig, f64> = HashMap::new();
+        let mut points = Vec::new();
+
+        for pipeline in self.enumerate_pipelines(max_stages) {
+            let ndcg = *quality_cache
+                .entry(pipeline.clone())
+                .or_insert_with(|| quality_eval.evaluate(&pipeline).ndcg);
+            for mapping in mappings_for(pipeline.num_stages()) {
+                // Analytic stability pre-check avoids simulating hopeless
+                // overloads.
+                let spec = perf.commodity_spec(&pipeline, &mapping);
+                if spec.max_qps() < qps * 0.7 {
+                    continue;
+                }
+                let mut sim = spec.simulate(qps, self.settings.sim_queries, self.settings.seed);
+                points.push(DesignPoint {
+                    pipeline: pipeline.clone(),
+                    mapping: mapping.describe(),
+                    ndcg,
+                    p99_s: sim.p99_seconds(),
+                    saturated: sim.saturated,
+                });
+            }
+        }
+        points
+    }
+
+    /// Explores CPU-only execution (paper Section 5.1).
+    pub fn explore_cpu(&self, qps: f64, max_stages: usize) -> Vec<DesignPoint> {
+        self.explore(qps, max_stages, |n| self.cpu_mappings(n))
+    }
+
+    /// Explores heterogeneous CPU+GPU execution (paper Section 5.2).
+    pub fn explore_hetero(&self, qps: f64, max_stages: usize) -> Vec<DesignPoint> {
+        self.explore(qps, max_stages, |n| self.hetero_mappings(n))
+    }
+
+    /// Explores RPAccel execution across partitions (paper Section 7).
+    pub fn explore_accel(
+        &self,
+        qps: f64,
+        max_stages: usize,
+        partitions: &[Partition],
+    ) -> Vec<DesignPoint> {
+        let quality_eval = self.quality_evaluator().sub_batches(4);
+        let perf = self.perf_evaluator();
+        let mut quality_cache: HashMap<PipelineConfig, f64> = HashMap::new();
+        let mut points = Vec::new();
+
+        for pipeline in self.enumerate_pipelines(max_stages) {
+            let ndcg = *quality_cache
+                .entry(pipeline.clone())
+                .or_insert_with(|| quality_eval.evaluate(&pipeline).ndcg);
+            for partition in partitions {
+                if pipeline.num_stages() > 1 && partition.is_monolithic() {
+                    continue;
+                }
+                let mut sim = perf.evaluate_accel(&pipeline, partition.clone(), qps);
+                points.push(DesignPoint {
+                    pipeline: pipeline.clone(),
+                    mapping: format!(
+                        "rpaccel({},{})",
+                        partition.frontend().len(),
+                        partition.backend().len()
+                    ),
+                    ndcg,
+                    p99_s: sim.p99_seconds(),
+                    saturated: sim.saturated,
+                });
+            }
+        }
+        points
+    }
+
+    /// Quality-vs-latency Pareto frontier (maximize NDCG, minimize p99),
+    /// dropping saturated points.
+    pub fn pareto_quality_latency(points: Vec<DesignPoint>) -> Vec<DesignPoint> {
+        let candidates: Vec<ParetoPoint<DesignPoint>> = points
+            .into_iter()
+            .filter(|p| !p.saturated)
+            .map(|p| {
+                let objectives = vec![p.p99_s, p.ndcg];
+                ParetoPoint::new(p, objectives)
+            })
+            .collect();
+        pareto_front(candidates, &[Dominance::Minimize, Dominance::Maximize])
+            .into_iter()
+            .map(|p| p.payload)
+            .collect()
+    }
+
+    /// The highest-quality stable design meeting a latency SLA.
+    pub fn best_quality_under_sla(points: &[DesignPoint], sla_s: f64) -> Option<&DesignPoint> {
+        points
+            .iter()
+            .filter(|p| !p.saturated && p.p99_s <= sla_s)
+            .max_by(|a, b| a.ndcg.partial_cmp(&b.ndcg).unwrap())
+    }
+
+    /// The lowest-latency stable design achieving at least `min_ndcg`
+    /// (iso-quality selection).
+    pub fn best_latency_at_quality(points: &[DesignPoint], min_ndcg: f64) -> Option<&DesignPoint> {
+        points
+            .iter()
+            .filter(|p| !p.saturated && p.ndcg >= min_ndcg)
+            .min_by(|a, b| a.p99_s.partial_cmp(&b.p99_s).unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheduler() -> Scheduler {
+        Scheduler::new(SchedulerSettings::quick())
+    }
+
+    #[test]
+    fn enumeration_produces_valid_funnels() {
+        let pipelines = scheduler().enumerate_pipelines(3);
+        assert!(!pipelines.is_empty());
+        for p in &pipelines {
+            assert!(p.num_stages() <= 3);
+            assert_eq!(p.items_served(), 64);
+        }
+    }
+
+    #[test]
+    fn enumeration_covers_all_stage_counts() {
+        let pipelines = scheduler().enumerate_pipelines(3);
+        for n in 1..=3 {
+            assert!(
+                pipelines.iter().any(|p| p.num_stages() == n),
+                "missing {n}-stage configs"
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_exploration_returns_evaluated_points() {
+        let points = scheduler().explore_cpu(150.0, 2);
+        assert!(!points.is_empty());
+        for p in &points {
+            assert!((0.0..=1.0).contains(&p.ndcg));
+            assert!(p.p99_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn iso_quality_selection_prefers_multi_stage() {
+        // Takeaway 1: at the max-quality target, the scheduler picks a
+        // multi-stage design over single-stage on CPUs.
+        let s = scheduler();
+        let points = s.explore_cpu(300.0, 2);
+        let max_quality = points
+            .iter()
+            .filter(|p| !p.saturated)
+            .map(|p| p.ndcg)
+            .fold(0.0, f64::max);
+        let best = Scheduler::best_latency_at_quality(&points, max_quality - 0.005)
+            .expect("a stable design exists");
+        assert!(
+            best.pipeline.num_stages() >= 2,
+            "picked {} ({})",
+            best.pipeline.describe(),
+            best.mapping
+        );
+    }
+
+    #[test]
+    fn pareto_front_is_consistent() {
+        let points = scheduler().explore_cpu(150.0, 2);
+        let n = points.len();
+        let front = Scheduler::pareto_quality_latency(points);
+        assert!(!front.is_empty() && front.len() <= n);
+        for a in &front {
+            for b in &front {
+                assert!(
+                    !(a.p99_s < b.p99_s && a.ndcg > b.ndcg + 1e-12),
+                    "{} dominates {}",
+                    a.pipeline.describe(),
+                    b.pipeline.describe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sla_selection_respects_bound() {
+        let points = scheduler().explore_cpu(150.0, 2);
+        if let Some(best) = Scheduler::best_quality_under_sla(&points, 0.025) {
+            assert!(best.p99_s <= 0.025);
+        }
+    }
+
+    #[test]
+    fn accel_exploration_produces_points() {
+        let s = scheduler();
+        let partitions = vec![Partition::symmetric(8, 2), Partition::symmetric(8, 8)];
+        let points = s.explore_accel(400.0, 2, &partitions);
+        assert!(!points.is_empty());
+        assert!(points.iter().any(|p| p.mapping == "rpaccel(8,2)"));
+    }
+
+    #[test]
+    fn hetero_exploration_includes_gpu_mappings() {
+        let points = scheduler().explore_hetero(100.0, 2);
+        assert!(points.iter().any(|p| p.mapping.contains("gpu")));
+    }
+}

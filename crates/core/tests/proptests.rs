@@ -1,0 +1,90 @@
+//! Property-based tests for pipeline validation and quality invariants.
+
+use proptest::prelude::*;
+use recpipe_core::{PipelineConfig, QualityEvaluator, StageConfig};
+use recpipe_models::ModelKind;
+
+fn model_kind() -> impl Strategy<Value = ModelKind> {
+    prop_oneof![
+        Just(ModelKind::RmSmall),
+        Just(ModelKind::RmMed),
+        Just(ModelKind::RmLarge),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn builder_never_accepts_expanding_funnels(
+        kind in model_kind(),
+        items_in in 1u64..10_000,
+        expansion in 1u64..1_000,
+    ) {
+        let result = PipelineConfig::builder()
+            .stage(StageConfig::new(kind, items_in, items_in + expansion))
+            .build();
+        prop_assert!(result.is_err());
+    }
+
+    #[test]
+    fn valid_two_stage_funnels_always_build(
+        front in model_kind(),
+        items in 128u64..8_192,
+        ratio in 2u64..16,
+    ) {
+        let mid = (items / ratio).max(64);
+        prop_assume!(mid <= items && mid >= 64);
+        let result = PipelineConfig::builder()
+            .stage(StageConfig::new(front, items, mid))
+            .stage(StageConfig::new(ModelKind::RmLarge, mid, 64.min(mid)))
+            .build();
+        prop_assert!(result.is_ok(), "{:?}", result.err());
+    }
+
+    #[test]
+    fn quality_is_always_a_probability(
+        kind in model_kind(),
+        items in 64u64..4_096,
+    ) {
+        let p = PipelineConfig::single_stage(kind, items, 64.min(items)).unwrap();
+        let q = QualityEvaluator::criteo_like(64).queries(30).evaluate(&p);
+        prop_assert!((0.0..=1.0).contains(&q.ndcg), "ndcg {}", q.ndcg);
+        prop_assert!(q.ndcg_std >= 0.0);
+    }
+
+    #[test]
+    fn more_accurate_final_stage_never_hurts(
+        items in 512u64..4_096,
+    ) {
+        // Swapping RMsmall for RMlarge as the (single) stage can only
+        // help quality (same items seen, lower score noise).
+        let eval = QualityEvaluator::criteo_like(64).queries(60);
+        let small = eval
+            .evaluate(&PipelineConfig::single_stage(ModelKind::RmSmall, items, 64).unwrap());
+        let large = eval
+            .evaluate(&PipelineConfig::single_stage(ModelKind::RmLarge, items, 64).unwrap());
+        prop_assert!(
+            large.ndcg >= small.ndcg - 0.005,
+            "items {items}: RMlarge {} < RMsmall {}",
+            large.ndcg,
+            small.ndcg
+        );
+    }
+
+    #[test]
+    fn pipeline_totals_are_additive(
+        items in 256u64..4_096,
+        ratio in 4u64..16,
+    ) {
+        let mid = (items / ratio).max(64);
+        let p = PipelineConfig::builder()
+            .stage(StageConfig::new(ModelKind::RmSmall, items, mid))
+            .stage(StageConfig::new(ModelKind::RmLarge, mid, 64.min(mid)))
+            .build()
+            .unwrap();
+        let works = p.stage_works();
+        let sum: u64 = works.iter().map(|w| w.total_flops()).sum();
+        prop_assert_eq!(p.total_flops(), sum);
+    }
+}

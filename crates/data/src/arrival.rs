@@ -1,0 +1,102 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::Exponential;
+
+/// Poisson arrival process: an infinite iterator of absolute arrival times
+/// (in seconds) with exponential inter-arrival gaps.
+///
+/// The paper's load model: "Queries follow a Poisson arrival rate"
+/// (Section 4). The queueing simulator consumes this iterator to inject
+/// queries at a target QPS.
+///
+/// # Examples
+///
+/// ```
+/// use recpipe_data::PoissonProcess;
+///
+/// let arrivals: Vec<f64> = PoissonProcess::new(500.0, 7).take(1000).collect();
+/// let span = arrivals.last().unwrap() - arrivals.first().unwrap();
+/// let rate = 999.0 / span;
+/// assert!((rate - 500.0).abs() < 50.0); // ≈ 500 QPS
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    gap: Exponential,
+    rng: StdRng,
+    now: f64,
+}
+
+impl PoissonProcess {
+    /// Creates a Poisson process with the given rate (queries per second)
+    /// and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_qps` is not strictly positive and finite.
+    pub fn new(rate_qps: f64, seed: u64) -> Self {
+        Self {
+            gap: Exponential::new(rate_qps),
+            rng: StdRng::seed_from_u64(seed),
+            now: 0.0,
+        }
+    }
+
+    /// The configured arrival rate in queries per second.
+    pub fn rate(&self) -> f64 {
+        self.gap.lambda()
+    }
+}
+
+impl Iterator for PoissonProcess {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        self.now += self.gap.sample(&mut self.rng);
+        Some(self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let times: Vec<f64> = PoissonProcess::new(100.0, 1).take(500).collect();
+        for w in times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn mean_rate_approaches_target() {
+        let n = 20_000;
+        let times: Vec<f64> = PoissonProcess::new(2000.0, 2).take(n).collect();
+        let rate = (n as f64 - 1.0) / (times[n - 1] - times[0]);
+        assert!(
+            (rate - 2000.0).abs() / 2000.0 < 0.05,
+            "observed rate {rate}"
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_process() {
+        let a: Vec<f64> = PoissonProcess::new(50.0, 9).take(100).collect();
+        let b: Vec<f64> = PoissonProcess::new(50.0, 9).take(100).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<f64> = PoissonProcess::new(50.0, 9).take(10).collect();
+        let b: Vec<f64> = PoissonProcess::new(50.0, 10).take(10).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        PoissonProcess::new(0.0, 0);
+    }
+}

@@ -1,0 +1,292 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{ClickSample, DatasetSpec, Exponential, Normal, RankingQuery, Zipf};
+
+/// Generates [`RankingQuery`]s whose candidate pools follow the dataset's
+/// utility distribution.
+///
+/// Utilities are `Exp(1)` draws: most candidates are mediocre, a thin tail
+/// is excellent. Combined with the dataset's gain transform this yields the
+/// paper's central empirical fact — quality rises with the number of items
+/// ranked because ranking a larger pool is more likely to surface the rare
+/// excellent items (Figure 3).
+///
+/// # Examples
+///
+/// ```
+/// use recpipe_data::{DatasetSpec, QueryGenerator};
+///
+/// let spec = DatasetSpec::movielens_1m();
+/// let mut gen = QueryGenerator::new(&spec, 1);
+/// let q = gen.next_query();
+/// assert_eq!(q.num_candidates(), spec.candidates_per_query);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryGenerator {
+    candidates_per_query: usize,
+    utility: Exponential,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl QueryGenerator {
+    /// Creates a generator for the given dataset spec and RNG seed.
+    pub fn new(spec: &DatasetSpec, seed: u64) -> Self {
+        Self {
+            candidates_per_query: spec.candidates_per_query,
+            utility: Exponential::new(1.0),
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+        }
+    }
+
+    /// Produces the next query with a fresh candidate pool.
+    pub fn next_query(&mut self) -> RankingQuery {
+        let utilities = (0..self.candidates_per_query)
+            .map(|_| self.utility.sample(&mut self.rng))
+            .collect();
+        let id = self.next_id;
+        self.next_id += 1;
+        RankingQuery { id, utilities }
+    }
+
+    /// Produces a batch of `n` queries.
+    pub fn take_queries(&mut self, n: usize) -> Vec<RankingQuery> {
+        (0..n).map(|_| self.next_query()).collect()
+    }
+}
+
+/// Latent-factor click generator for the learned-model path.
+///
+/// Each user and item owns a latent vector; the click probability is a
+/// logistic function of their inner product. Dense features are noisy views
+/// of the latent affinity, and sparse ids index the user/item (plus Zipfian
+/// context features), so a DLRM that learns the embedding space can
+/// genuinely reduce its error with capacity — reproducing the shape of the
+/// paper's Figure 2 hyperparameter sweep.
+#[derive(Debug, Clone)]
+pub struct ClickGenerator {
+    num_dense: usize,
+    num_sparse: usize,
+    /// Cardinality of each sparse feature (bounded for trainability).
+    vocab: u32,
+    latent_dim: usize,
+    noise: Normal,
+    rng: StdRng,
+}
+
+impl ClickGenerator {
+    /// Default latent dimensionality of the generating process.
+    pub const LATENT_DIM: usize = 8;
+
+    /// Creates a click generator for the given dataset spec.
+    ///
+    /// `vocab` bounds each sparse feature's cardinality so the trained
+    /// models stay laptop-sized; the full-capacity tables are exercised by
+    /// the virtual-table cost models instead.
+    pub fn new(spec: &DatasetSpec, vocab: u32, seed: u64) -> Self {
+        assert!(vocab > 0, "vocab must be positive");
+        Self {
+            num_dense: spec.num_dense_features.max(1),
+            num_sparse: spec.num_sparse_features,
+            vocab,
+            latent_dim: Self::LATENT_DIM,
+            noise: Normal::new(0.0, 0.25),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Deterministic pseudo-latent vector for a categorical id.
+    fn latent(&self, table: usize, id: u32) -> Vec<f64> {
+        // SplitMix64-style hash of (table, id, dim) — stable, cheap, and
+        // avoids storing vocab * latent_dim floats.
+        (0..self.latent_dim)
+            .map(|d| {
+                let mut h = (table as u64) << 40 ^ (id as u64) << 8 ^ d as u64;
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+                h ^= h >> 33;
+                // Map to [-0.5, 0.5].
+                (h as f64 / u64::MAX as f64) - 0.5
+            })
+            .collect()
+    }
+
+    /// Draws one labeled sample.
+    pub fn next_sample(&mut self) -> ClickSample {
+        let sparse: Vec<u32> = (0..self.num_sparse)
+            .map(|_| self.rng.gen_range(0..self.vocab))
+            .collect();
+
+        // Affinity is the mean pairwise interaction of the first two
+        // sparse features' latents (user x item), like matrix factorization.
+        let u = self.latent(0, sparse.first().copied().unwrap_or(0));
+        let v = self.latent(1, sparse.get(1).copied().unwrap_or(0));
+        let affinity: f64 = u.iter().zip(v.iter()).map(|(a, b)| a * b).sum::<f64>() * 12.0;
+
+        let true_ctr = 1.0 / (1.0 + (-affinity).exp());
+        let clicked = self.rng.gen::<f64>() < true_ctr;
+
+        // Dense features: *nonlinear* encodings of the affinity. A linear
+        // readout cannot decode them; wider/deeper bottom MLPs
+        // approximate the inverse better — which is what gives model
+        // capacity something to buy (Figure 2's accuracy-vs-complexity
+        // tradeoff).
+        let dense: Vec<f32> = (0..self.num_dense)
+            .map(|d| {
+                let scale = 0.8 + 0.5 * d as f64;
+                let phase = d as f64 * 0.7;
+                let encoded = (affinity * scale + phase).sin();
+                (encoded + self.noise.sample(&mut self.rng)) as f32
+            })
+            .collect();
+
+        ClickSample {
+            dense,
+            sparse,
+            clicked,
+            true_ctr: true_ctr as f32,
+        }
+    }
+
+    /// Draws a batch of `n` samples.
+    pub fn take_samples(&mut self, n: usize) -> Vec<ClickSample> {
+        (0..n).map(|_| self.next_sample()).collect()
+    }
+}
+
+/// A stream of embedding-table lookups with Zipfian popularity, used by the
+/// cache simulators (Figure 10c, Figure 13).
+///
+/// Rank-space ids: id `k` is the `k`-th most popular row, so "cache the
+/// top-`C` ids" corresponds to caching ids `1..=C`.
+#[derive(Debug, Clone)]
+pub struct EmbeddingTrace {
+    zipf: Zipf,
+    rng: StdRng,
+}
+
+impl EmbeddingTrace {
+    /// Creates a trace for a table with `rows` rows and the dataset's
+    /// Zipf skew.
+    pub fn new(rows: u64, zipf_exponent: f64, seed: u64) -> Self {
+        Self {
+            zipf: Zipf::new(rows, zipf_exponent),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates a trace matching a dataset spec.
+    pub fn for_spec(spec: &DatasetSpec, seed: u64) -> Self {
+        Self::new(spec.rows_per_table, spec.zipf_exponent, seed)
+    }
+
+    /// The underlying popularity distribution.
+    pub fn popularity(&self) -> Zipf {
+        self.zipf
+    }
+
+    /// Draws the next accessed row id (1-based popularity rank).
+    pub fn next_access(&mut self) -> u64 {
+        self.zipf.sample(&mut self.rng)
+    }
+
+    /// Draws a batch of `n` accesses.
+    pub fn take_accesses(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_access()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_generator_is_deterministic() {
+        let spec = DatasetSpec::criteo_kaggle();
+        let mut a = QueryGenerator::new(&spec, 5);
+        let mut b = QueryGenerator::new(&spec, 5);
+        assert_eq!(a.next_query(), b.next_query());
+    }
+
+    #[test]
+    fn query_ids_are_monotone() {
+        let spec = DatasetSpec::movielens_1m();
+        let mut gen = QueryGenerator::new(&spec, 0);
+        let qs = gen.take_queries(5);
+        for (i, q) in qs.iter().enumerate() {
+            assert_eq!(q.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn utilities_are_nonnegative_with_tail() {
+        let spec = DatasetSpec::criteo_kaggle();
+        let mut gen = QueryGenerator::new(&spec, 1);
+        let q = gen.next_query();
+        assert!(q.utilities.iter().all(|&u| u >= 0.0));
+        let max = q.utilities.iter().cloned().fold(0.0, f64::max);
+        // Exp(1) over 4096 samples: max ≈ ln(4096) ≈ 8.3.
+        assert!(max > 4.0, "tail too light: max {max}");
+    }
+
+    #[test]
+    fn click_generator_labels_follow_ctr() {
+        let spec = DatasetSpec::criteo_kaggle();
+        let mut gen = ClickGenerator::new(&spec, 1000, 7);
+        let samples = gen.take_samples(5000);
+        let click_rate = samples.iter().filter(|s| s.clicked).count() as f64 / 5000.0;
+        let mean_ctr = samples.iter().map(|s| s.true_ctr as f64).sum::<f64>() / 5000.0;
+        assert!(
+            (click_rate - mean_ctr).abs() < 0.03,
+            "click rate {click_rate} vs mean ctr {mean_ctr}"
+        );
+    }
+
+    #[test]
+    fn click_samples_have_spec_shape() {
+        let spec = DatasetSpec::criteo_kaggle();
+        let mut gen = ClickGenerator::new(&spec, 100, 3);
+        let s = gen.next_sample();
+        assert_eq!(s.dense.len(), 13);
+        assert_eq!(s.sparse.len(), 26);
+        assert!(s.sparse.iter().all(|&id| id < 100));
+        assert!((0.0..=1.0).contains(&(s.true_ctr as f64)));
+    }
+
+    #[test]
+    fn click_ctr_varies_across_pairs() {
+        // The latent model must produce heterogeneous CTRs or nothing is
+        // learnable.
+        let spec = DatasetSpec::criteo_kaggle();
+        let mut gen = ClickGenerator::new(&spec, 1000, 11);
+        let samples = gen.take_samples(500);
+        let min = samples.iter().map(|s| s.true_ctr).fold(1.0f32, f32::min);
+        let max = samples.iter().map(|s| s.true_ctr).fold(0.0f32, f32::max);
+        assert!(max - min > 0.2, "CTR spread too small: [{min}, {max}]");
+    }
+
+    #[test]
+    fn embedding_trace_is_skewed() {
+        let mut trace = EmbeddingTrace::new(1_000_000, 0.9, 13);
+        let accesses = trace.take_accesses(10_000);
+        let hot = accesses.iter().filter(|&&id| id <= 10_000).count();
+        assert!(
+            hot as f64 / 10_000.0 > 0.4,
+            "top-1% share {}",
+            hot as f64 / 10_000.0
+        );
+    }
+
+    #[test]
+    fn embedding_trace_for_spec_uses_row_count() {
+        let spec = DatasetSpec::movielens_1m();
+        let mut trace = EmbeddingTrace::for_spec(&spec, 1);
+        for _ in 0..100 {
+            assert!(trace.next_access() <= spec.rows_per_table);
+        }
+    }
+}

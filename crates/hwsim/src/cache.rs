@@ -1,0 +1,278 @@
+use std::collections::HashMap;
+
+use recpipe_data::Zipf;
+use serde::{Deserialize, Serialize};
+
+/// Analytic hit-rate model for a *static* hot-embedding cache.
+///
+/// Production embedding lookups follow a power law, so caching the `C`
+/// most popular rows captures `Zipf::cdf(C)` of accesses. This is the
+/// cache structure of the baseline accelerator and of RPAccel's static
+/// cache partition (paper Section 6.2, Takeaway 7).
+///
+/// # Examples
+///
+/// ```
+/// use recpipe_data::Zipf;
+/// use recpipe_hwsim::StaticCacheModel;
+///
+/// let popularity = Zipf::new(2_600_000, 0.9);
+/// let cache = StaticCacheModel::new(popularity, 100_000);
+/// assert!(cache.hit_rate() > 0.5); // hot heads dominate
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaticCacheModel {
+    popularity: Zipf,
+    cached_rows: u64,
+}
+
+impl StaticCacheModel {
+    /// Creates a model for a cache holding the `cached_rows` hottest rows
+    /// of a table with the given popularity distribution.
+    pub fn new(popularity: Zipf, cached_rows: u64) -> Self {
+        Self {
+            popularity,
+            cached_rows,
+        }
+    }
+
+    /// Builds the model from a capacity in bytes and a row size.
+    pub fn with_capacity_bytes(popularity: Zipf, capacity_bytes: u64, row_bytes: u64) -> Self {
+        let rows = capacity_bytes.checked_div(row_bytes).unwrap_or(0);
+        Self::new(popularity, rows)
+    }
+
+    /// Number of rows held.
+    pub fn cached_rows(&self) -> u64 {
+        self.cached_rows
+    }
+
+    /// Fraction of accesses served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.cached_rows == 0 {
+            return 0.0;
+        }
+        let k = self.cached_rows.min(self.popularity.n());
+        self.popularity.cdf(k)
+    }
+
+    /// Whether a specific row id (popularity rank, 1-based) is resident.
+    pub fn contains(&self, id: u64) -> bool {
+        id >= 1 && id <= self.cached_rows
+    }
+}
+
+/// Exact LRU cache simulator, used to validate the analytic model and to
+/// study the dynamic look-ahead cache.
+///
+/// Keys are row ids; the simulator tracks hits/misses over an access
+/// stream.
+///
+/// # Examples
+///
+/// ```
+/// use recpipe_hwsim::LruCache;
+///
+/// let mut lru = LruCache::new(2);
+/// assert!(!lru.access(1)); // miss
+/// assert!(!lru.access(2)); // miss
+/// assert!(lru.access(1));  // hit
+/// assert!(!lru.access(3)); // miss, evicts 2
+/// assert!(!lru.access(2)); // miss
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: usize,
+    clock: u64,
+    last_use: HashMap<u64, u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// Creates an LRU cache holding up to `capacity` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            clock: 0,
+            last_use: HashMap::with_capacity(capacity + 1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Records an access; returns `true` on hit.
+    pub fn access(&mut self, id: u64) -> bool {
+        self.clock += 1;
+        let hit = self.last_use.contains_key(&id);
+        self.last_use.insert(id, self.clock);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            if self.last_use.len() > self.capacity {
+                // Evict the least-recently-used entry.
+                if let Some((&victim, _)) = self.last_use.iter().min_by_key(|(_, &t)| t) {
+                    self.last_use.remove(&victim);
+                }
+            }
+        }
+        hit
+    }
+
+    /// Number of resident rows.
+    pub fn len(&self) -> usize {
+        self.last_use.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.last_use.is_empty()
+    }
+
+    /// Hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over all accesses (0 when no accesses yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// Average memory access time given a hit rate and the two access costs.
+///
+/// # Examples
+///
+/// ```
+/// let t = recpipe_hwsim::amat(0.9, 4e-9, 400e-9);
+/// assert!((t - (0.9 * 4e-9 + 0.1 * 400e-9)).abs() < 1e-15);
+/// ```
+pub fn amat(hit_rate: f64, hit_time_s: f64, miss_time_s: f64) -> f64 {
+    let h = hit_rate.clamp(0.0, 1.0);
+    h * hit_time_s + (1.0 - h) * miss_time_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recpipe_data::EmbeddingTrace;
+
+    #[test]
+    fn static_hit_rate_grows_with_capacity() {
+        let zipf = Zipf::new(1_000_000, 0.9);
+        let mut prev = 0.0;
+        for rows in [1_000u64, 10_000, 100_000, 1_000_000] {
+            let hr = StaticCacheModel::new(zipf, rows).hit_rate();
+            assert!(hr > prev);
+            prev = hr;
+        }
+        assert!((StaticCacheModel::new(zipf, 1_000_000).hit_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_zero_capacity_never_hits() {
+        let zipf = Zipf::new(1000, 0.9);
+        assert_eq!(StaticCacheModel::new(zipf, 0).hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn capacity_bytes_conversion() {
+        let zipf = Zipf::new(1000, 0.9);
+        let c = StaticCacheModel::with_capacity_bytes(zipf, 1024, 128);
+        assert_eq!(c.cached_rows(), 8);
+    }
+
+    #[test]
+    fn static_model_matches_trace_frequency() {
+        // Hot-row share in a simulated trace should match the analytic
+        // hit rate within sampling noise.
+        let mut trace = EmbeddingTrace::new(100_000, 0.9, 7);
+        let cache = StaticCacheModel::new(trace.popularity(), 5_000);
+        let analytic = cache.hit_rate();
+        let n = 30_000;
+        let hits = (0..n)
+            .filter(|_| cache.contains(trace.next_access()))
+            .count();
+        let empirical = hits as f64 / n as f64;
+        assert!(
+            (analytic - empirical).abs() < 0.02,
+            "analytic {analytic} vs trace {empirical}"
+        );
+    }
+
+    #[test]
+    fn lru_respects_capacity() {
+        let mut lru = LruCache::new(3);
+        for id in 0..10 {
+            lru.access(id);
+        }
+        assert_eq!(lru.len(), 3);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut lru = LruCache::new(2);
+        lru.access(1);
+        lru.access(2);
+        lru.access(1); // refresh 1; 2 is now LRU
+        lru.access(3); // evicts 2
+        assert!(lru.access(1));
+        assert!(!lru.access(2));
+    }
+
+    #[test]
+    fn lru_hit_rate_on_zipf_beats_uniform_share() {
+        let mut trace = EmbeddingTrace::new(100_000, 0.9, 3);
+        let mut lru = LruCache::new(5_000);
+        for _ in 0..30_000 {
+            lru.access(trace.next_access());
+        }
+        // Capacity is 5% of rows but the skewed trace hits far more often.
+        assert!(lru.hit_rate() > 0.4, "LRU hit rate {}", lru.hit_rate());
+    }
+
+    #[test]
+    fn lru_tracks_counts() {
+        let mut lru = LruCache::new(2);
+        lru.access(1);
+        lru.access(1);
+        lru.access(2);
+        assert_eq!(lru.hits(), 1);
+        assert_eq!(lru.misses(), 2);
+    }
+
+    #[test]
+    fn amat_interpolates_linearly() {
+        assert_eq!(amat(0.0, 1.0, 10.0), 10.0);
+        assert_eq!(amat(1.0, 1.0, 10.0), 1.0);
+        assert!((amat(0.5, 1.0, 10.0) - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amat_clamps_out_of_range_hit_rates() {
+        assert_eq!(amat(1.5, 1.0, 10.0), 1.0);
+        assert_eq!(amat(-0.5, 1.0, 10.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_lru_panics() {
+        LruCache::new(0);
+    }
+}

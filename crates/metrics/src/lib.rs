@@ -1,0 +1,36 @@
+//! Quality, accuracy, and performance metrics for RecPipe.
+//!
+//! The RecPipe paper optimizes three application-level targets:
+//!
+//! * **Quality** — normalized discounted cumulative gain ([`ndcg_at_k`]) of
+//!   the ordered list of served items, not just pointwise model accuracy.
+//! * **Tail latency** — 99th-percentile query latency ([`LatencyStats`]).
+//! * **Throughput** — queries served per second ([`ThroughputMeter`]).
+//!
+//! The crate also provides binary-classification [`accuracy`](binary_error)
+//! helpers (the per-item metric the paper contrasts with quality) and a
+//! generic [`pareto_front`] used by the design-space-exploration scheduler.
+//!
+//! # Examples
+//!
+//! ```
+//! use recpipe_metrics::ndcg_at_k;
+//!
+//! // The model ranked the best item (gain 3.0) second.
+//! let ranked = [1.0, 3.0, 0.0];
+//! let ideal = [3.0, 1.0, 0.0];
+//! let q = ndcg_at_k(&ranked, &ideal, 3);
+//! assert!(q > 0.75 && q < 1.0);
+//! ```
+
+mod accuracy;
+mod ndcg;
+mod pareto;
+mod percentile;
+mod throughput;
+
+pub use accuracy::{auc, binary_error, BinaryConfusion};
+pub use ndcg::{dcg, ideal_sorted, ndcg, ndcg_at_k};
+pub use pareto::{pareto_front, Dominance, ParetoPoint};
+pub use percentile::LatencyStats;
+pub use throughput::ThroughputMeter;

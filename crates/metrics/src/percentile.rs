@@ -1,0 +1,240 @@
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Collects per-query latencies and reports tail statistics.
+///
+/// The RecPipe paper's SLA metric is the 99th-percentile (p99) latency
+/// over tens of thousands of simulated queries; this type is the sink the
+/// queueing simulator drains into.
+///
+/// Percentiles use the *nearest-rank* method on the sorted sample, which
+/// is exact (no interpolation) and monotone in the requested rank.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use recpipe_metrics::LatencyStats;
+///
+/// let mut stats = LatencyStats::new();
+/// for ms in 1..=100 {
+///     stats.record(Duration::from_millis(ms));
+/// }
+/// assert_eq!(stats.p99(), Duration::from_millis(99));
+/// assert_eq!(stats.p50(), Duration::from_millis(50));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    samples_ns: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty collector with capacity for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            samples_ns: Vec::with_capacity(n),
+            sorted: true,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples_ns.push(latency.as_nanos() as u64);
+        self.sorted = false;
+    }
+
+    /// Records a latency expressed in seconds.
+    ///
+    /// Negative or non-finite values are clamped to zero.
+    pub fn record_secs(&mut self, seconds: f64) {
+        let s = if seconds.is_finite() {
+            seconds.max(0.0)
+        } else {
+            0.0
+        };
+        self.record(Duration::from_secs_f64(s));
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    fn sort(&mut self) {
+        if !self.sorted {
+            self.samples_ns.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Latency at percentile `p` (in `[0, 100]`) by nearest rank.
+    ///
+    /// Returns [`Duration::ZERO`] when no samples are recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]` or not finite.
+    pub fn percentile(&mut self, p: f64) -> Duration {
+        assert!(
+            p.is_finite() && (0.0..=100.0).contains(&p),
+            "percentile must be in [0, 100]"
+        );
+        if self.samples_ns.is_empty() {
+            return Duration::ZERO;
+        }
+        self.sort();
+        let n = self.samples_ns.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        let idx = rank.clamp(1, n) - 1;
+        Duration::from_nanos(self.samples_ns[idx])
+    }
+
+    /// Median latency.
+    pub fn p50(&mut self) -> Duration {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&mut self) -> Duration {
+        self.percentile(95.0)
+    }
+
+    /// 99th-percentile tail latency — the paper's SLA metric.
+    pub fn p99(&mut self) -> Duration {
+        self.percentile(99.0)
+    }
+
+    /// Arithmetic mean latency, or zero if empty.
+    pub fn mean(&self) -> Duration {
+        if self.samples_ns.is_empty() {
+            return Duration::ZERO;
+        }
+        let sum: u128 = self.samples_ns.iter().map(|&x| x as u128).sum();
+        Duration::from_nanos((sum / self.samples_ns.len() as u128) as u64)
+    }
+
+    /// Maximum observed latency, or zero if empty.
+    pub fn max(&self) -> Duration {
+        self.samples_ns
+            .iter()
+            .max()
+            .map(|&ns| Duration::from_nanos(ns))
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Merges another collector's samples into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples_ns.extend_from_slice(&other.samples_ns);
+        self.sorted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: u64) -> LatencyStats {
+        let mut s = LatencyStats::new();
+        for ms in 1..=n {
+            s.record(Duration::from_millis(ms));
+        }
+        s
+    }
+
+    #[test]
+    fn empty_stats_return_zero() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.p99(), Duration::ZERO);
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.max(), Duration::ZERO);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut s = LatencyStats::new();
+        s.record(Duration::from_millis(7));
+        assert_eq!(s.percentile(0.0), Duration::from_millis(7));
+        assert_eq!(s.p50(), Duration::from_millis(7));
+        assert_eq!(s.p99(), Duration::from_millis(7));
+        assert_eq!(s.percentile(100.0), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn nearest_rank_on_uniform_grid() {
+        let mut s = filled(100);
+        assert_eq!(s.p50(), Duration::from_millis(50));
+        assert_eq!(s.p95(), Duration::from_millis(95));
+        assert_eq!(s.p99(), Duration::from_millis(99));
+        assert_eq!(s.percentile(100.0), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut s = filled(1000);
+        let p50 = s.p50();
+        let p95 = s.p95();
+        let p99 = s.p99();
+        assert!(p50 <= p95);
+        assert!(p95 <= p99);
+        assert!(p99 <= s.max());
+    }
+
+    #[test]
+    fn mean_of_uniform_grid() {
+        let s = filled(100);
+        let mean_ms = s.mean().as_secs_f64() * 1e3;
+        assert!((mean_ms - 50.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn order_of_recording_does_not_matter() {
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        for ms in [5u64, 1, 9, 3, 7] {
+            a.record(Duration::from_millis(ms));
+        }
+        for ms in [9u64, 7, 5, 3, 1] {
+            b.record(Duration::from_millis(ms));
+        }
+        assert_eq!(a.p50(), b.p50());
+        assert_eq!(a.p99(), b.p99());
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = filled(50);
+        let b = filled(100);
+        a.merge(&b);
+        assert_eq!(a.len(), 150);
+        assert!(a.p99() >= Duration::from_millis(98));
+    }
+
+    #[test]
+    fn record_secs_clamps_pathological_input() {
+        let mut s = LatencyStats::new();
+        s.record_secs(-1.0);
+        s.record_secs(f64::NAN);
+        assert_eq!(s.max(), Duration::ZERO);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn out_of_range_percentile_panics() {
+        let mut s = filled(10);
+        s.percentile(101.0);
+    }
+}

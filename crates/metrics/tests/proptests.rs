@@ -1,0 +1,95 @@
+//! Property-based tests for metric invariants.
+
+use proptest::prelude::*;
+use recpipe_metrics::{
+    auc, dcg, ideal_sorted, ndcg, ndcg_at_k, pareto_front, Dominance, LatencyStats, ParetoPoint,
+};
+use std::time::Duration;
+
+proptest! {
+    #[test]
+    fn ndcg_is_bounded(gains in proptest::collection::vec(0.0f64..100.0, 1..64)) {
+        let ideal = ideal_sorted(&gains);
+        let q = ndcg(&gains, &ideal);
+        prop_assert!((0.0..=1.0).contains(&q));
+    }
+
+    #[test]
+    fn ndcg_of_ideal_is_one(gains in proptest::collection::vec(0.0f64..100.0, 1..64)) {
+        let ideal = ideal_sorted(&gains);
+        let q = ndcg(&ideal, &ideal);
+        prop_assert!((q - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dcg_is_monotone_in_gains(
+        gains in proptest::collection::vec(0.0f64..10.0, 1..32),
+        bump in 0.0f64..5.0,
+        idx in 0usize..32,
+    ) {
+        let idx = idx % gains.len();
+        let mut bumped = gains.clone();
+        bumped[idx] += bump;
+        prop_assert!(dcg(&bumped) >= dcg(&gains) - 1e-12);
+    }
+
+    #[test]
+    fn ndcg_at_k_truncation_consistency(
+        gains in proptest::collection::vec(0.0f64..10.0, 8..40),
+        k in 1usize..8,
+    ) {
+        // NDCG@k on full lists equals NDCG over explicitly truncated lists.
+        let ideal = ideal_sorted(&gains);
+        let direct = ndcg_at_k(&gains, &ideal, k);
+        let truncated = ndcg(&gains[..k], &ideal[..k]);
+        prop_assert!((direct - truncated).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_stays_in_unit_interval(
+        scores in proptest::collection::vec(0.0f64..1.0, 2..64),
+        labels in proptest::collection::vec(any::<bool>(), 2..64),
+    ) {
+        let n = scores.len().min(labels.len());
+        let a = auc(&scores[..n], &labels[..n]);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn percentiles_never_decrease_with_rank(
+        samples in proptest::collection::vec(1u64..1_000_000, 1..256),
+        p_lo in 0.0f64..50.0,
+        p_hi in 50.0f64..100.0,
+    ) {
+        let mut stats = LatencyStats::new();
+        for &ns in &samples {
+            stats.record(Duration::from_nanos(ns));
+        }
+        prop_assert!(stats.percentile(p_lo) <= stats.percentile(p_hi));
+    }
+
+    #[test]
+    fn pareto_front_is_subset_and_nonempty(
+        objectives in proptest::collection::vec((0.0f64..10.0, 0.0f64..1.0), 1..40),
+    ) {
+        let points: Vec<ParetoPoint<usize>> = objectives
+            .iter()
+            .enumerate()
+            .map(|(i, &(lat, q))| ParetoPoint::new(i, vec![lat, q]))
+            .collect();
+        let n = points.len();
+        let front = pareto_front(points, &[Dominance::Minimize, Dominance::Maximize]);
+        prop_assert!(!front.is_empty());
+        prop_assert!(front.len() <= n);
+        // No point on the front dominates another point on the front.
+        for a in &front {
+            for b in &front {
+                let strictly_better_everywhere = a.objectives[0] < b.objectives[0]
+                    && a.objectives[1] > b.objectives[1];
+                prop_assert!(!(strictly_better_everywhere && a.payload != b.payload)
+                    || front.len() == 1,
+                    "front member {} dominated by {}", b.payload, a.payload);
+            }
+        }
+    }
+}

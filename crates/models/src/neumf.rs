@@ -1,0 +1,269 @@
+use rand::Rng;
+use recpipe_tensor::{sigmoid, Activation, Matrix};
+
+use crate::{EmbeddingTable, Mlp, ModelConfig};
+
+/// Neural matrix factorization (He et al., WWW '17) — the model the paper
+/// trains for both MovieLens datasets.
+///
+/// Two towers share nothing:
+///
+/// * **GMF** — generalized matrix factorization: the elementwise product
+///   of user and item embeddings, linearly weighted;
+/// * **MLP** — a tower over the concatenation of a *separate* pair of
+///   user/item embeddings.
+///
+/// The final score is `sigmoid(w_gmf . (p ⊙ q) + tower(concat(p', q')))`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use recpipe_data::DatasetKind;
+/// use recpipe_models::{ModelConfig, ModelKind, NeuMf};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let cfg = ModelConfig::for_kind(ModelKind::RmSmall, DatasetKind::MovieLens1M);
+/// let model = NeuMf::new(&cfg, 100, 200, &mut rng);
+/// let score = model.predict(42, 17);
+/// assert!((0.0..=1.0).contains(&score));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NeuMf {
+    gmf_user: EmbeddingTable,
+    gmf_item: EmbeddingTable,
+    mlp_user: EmbeddingTable,
+    mlp_item: EmbeddingTable,
+    gmf_weights: Vec<f32>,
+    tower: Mlp,
+    dim: usize,
+}
+
+impl NeuMf {
+    /// Builds a NeuMF model for `num_users` users and `num_items` items
+    /// from a MovieLens-profile [`ModelConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config's top MLP is shorter than two dims or its
+    /// input width differs from `2 * embedding_dim`.
+    pub fn new<R: Rng + ?Sized>(
+        config: &ModelConfig,
+        num_users: usize,
+        num_items: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(config.mlp_top.len() >= 2, "NeuMF requires a predictor MLP");
+        assert_eq!(
+            config.mlp_top[0],
+            2 * config.embedding_dim,
+            "tower input must be twice the embedding dim"
+        );
+        let dim = config.embedding_dim;
+        Self {
+            gmf_user: EmbeddingTable::new(num_users, dim, rng),
+            gmf_item: EmbeddingTable::new(num_items, dim, rng),
+            mlp_user: EmbeddingTable::new(num_users, dim, rng),
+            mlp_item: EmbeddingTable::new(num_items, dim, rng),
+            gmf_weights: vec![1.0 / dim as f32; dim],
+            tower: Mlp::new(&config.mlp_top, Activation::Relu, Activation::Linear, rng),
+            dim,
+        }
+    }
+
+    /// Embedding dimensionality of both towers.
+    pub fn embedding_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn tower_input(&self, user: usize, item: usize) -> Vec<f32> {
+        let mut x = Vec::with_capacity(2 * self.dim);
+        x.extend_from_slice(self.mlp_user.lookup(user));
+        x.extend_from_slice(self.mlp_item.lookup(item));
+        x
+    }
+
+    fn logit(&self, user: usize, item: usize) -> f32 {
+        let p = self.gmf_user.lookup(user);
+        let q = self.gmf_item.lookup(item);
+        let gmf: f32 = p
+            .iter()
+            .zip(q.iter())
+            .zip(self.gmf_weights.iter())
+            .map(|((&a, &b), &w)| w * a * b)
+            .sum();
+        let xin = self.tower_input(user, item);
+        let tower_out = self
+            .tower
+            .forward(&Matrix::from_vec(1, xin.len(), xin))
+            .get(0, 0);
+        gmf + tower_out
+    }
+
+    /// Predicted interaction probability for a user-item pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` or `item` is out of range.
+    pub fn predict(&self, user: usize, item: usize) -> f32 {
+        sigmoid(self.logit(user, item))
+    }
+
+    /// One SGD step on a labeled pair; returns the BCE loss before the
+    /// update.
+    pub fn train_step(&mut self, user: usize, item: usize, liked: bool, lr: f32) -> f32 {
+        let p = self.gmf_user.lookup(user).to_vec();
+        let q = self.gmf_item.lookup(item).to_vec();
+
+        let xin = self.tower_input(user, item);
+        let x = Matrix::from_vec(1, xin.len(), xin);
+        let tower_cache = self.tower.forward_cached(&x);
+        let tower_out = tower_cache.last().expect("non-empty").get(0, 0);
+
+        let gmf: f32 = p
+            .iter()
+            .zip(q.iter())
+            .zip(self.gmf_weights.iter())
+            .map(|((&a, &b), &w)| w * a * b)
+            .sum();
+        let prob = sigmoid(gmf + tower_out);
+        let y = if liked { 1.0 } else { 0.0 };
+        let eps = 1e-7f32;
+        let loss = -(y * (prob + eps).ln() + (1.0 - y) * (1.0 - prob + eps).ln());
+
+        let dlogit = prob - y;
+
+        // GMF path gradients.
+        let mut gp = vec![0.0f32; self.dim];
+        let mut gq = vec![0.0f32; self.dim];
+        for i in 0..self.dim {
+            gp[i] = dlogit * self.gmf_weights[i] * q[i];
+            gq[i] = dlogit * self.gmf_weights[i] * p[i];
+            self.gmf_weights[i] -= lr * dlogit * p[i] * q[i];
+        }
+        self.gmf_user.sgd_update(user, &gp, lr);
+        self.gmf_item.sgd_update(item, &gq, lr);
+
+        // Tower gradients down to the concatenated embedding input.
+        let grad_out = Matrix::from_vec(1, 1, vec![dlogit]);
+        let grad_in = self.tower.backward_sgd(&tower_cache, &grad_out, lr);
+        let gi = grad_in.as_slice();
+        self.mlp_user.sgd_update(user, &gi[..self.dim], lr);
+        self.mlp_item.sgd_update(item, &gi[self.dim..], lr);
+        loss
+    }
+
+    /// Scores every item in `items` for one user; the NeuMF serving path
+    /// used by the MovieLens examples.
+    pub fn score_items(&self, user: usize, items: &[usize]) -> Vec<f32> {
+        items.iter().map(|&i| self.predict(user, i)).collect()
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> u64 {
+        let table = |t: &EmbeddingTable| (t.rows() * t.dim()) as u64;
+        table(&self.gmf_user)
+            + table(&self.gmf_item)
+            + table(&self.mlp_user)
+            + table(&self.mlp_item)
+            + self.gmf_weights.len() as u64
+            + self.tower.num_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use recpipe_data::DatasetKind;
+
+    fn model(seed: u64) -> NeuMf {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = ModelConfig::for_kind(ModelKind::RmSmall, DatasetKind::MovieLens1M);
+        NeuMf::new(&cfg, 50, 80, &mut rng)
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let m = model(1);
+        for (u, i) in [(0, 0), (49, 79), (25, 40)] {
+            let p = m.predict(u, i);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn training_memorizes_a_pair() {
+        let mut m = model(2);
+        let before = m.predict(3, 4);
+        for _ in 0..200 {
+            m.train_step(3, 4, true, 0.1);
+        }
+        let after = m.predict(3, 4);
+        assert!(after > before);
+        assert!(after > 0.9, "after training: {after}");
+    }
+
+    #[test]
+    fn training_separates_likes_from_dislikes() {
+        let mut m = model(3);
+        for _ in 0..300 {
+            m.train_step(1, 2, true, 0.1);
+            m.train_step(1, 3, false, 0.1);
+        }
+        assert!(m.predict(1, 2) > 0.8);
+        assert!(m.predict(1, 3) < 0.2);
+    }
+
+    #[test]
+    fn score_items_ranks_trained_preference_first() {
+        let mut m = model(4);
+        for _ in 0..300 {
+            m.train_step(0, 10, true, 0.1);
+            m.train_step(0, 11, false, 0.1);
+            m.train_step(0, 12, false, 0.1);
+        }
+        let scores = m.score_items(0, &[10, 11, 12]);
+        assert!(scores[0] > scores[1] && scores[0] > scores[2]);
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let mut m = model(5);
+        let first = m.train_step(7, 8, true, 0.05);
+        let mut last = first;
+        for _ in 0..100 {
+            last = m.train_step(7, 8, true, 0.05);
+        }
+        assert!(last < first);
+    }
+
+    #[test]
+    fn larger_configs_have_more_params() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let small = NeuMf::new(
+            &ModelConfig::for_kind(ModelKind::RmSmall, DatasetKind::MovieLens1M),
+            50,
+            50,
+            &mut rng,
+        );
+        let large = NeuMf::new(
+            &ModelConfig::for_kind(ModelKind::RmLarge, DatasetKind::MovieLens1M),
+            50,
+            50,
+            &mut rng,
+        );
+        assert!(large.num_params() > small.num_params());
+    }
+
+    #[test]
+    #[should_panic(expected = "twice the embedding dim")]
+    fn mismatched_tower_input_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut cfg = ModelConfig::for_kind(ModelKind::RmSmall, DatasetKind::MovieLens1M);
+        cfg.mlp_top[0] = 7;
+        NeuMf::new(&cfg, 10, 10, &mut rng);
+    }
+}

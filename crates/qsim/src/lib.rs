@@ -1,0 +1,38 @@
+//! Discrete-event queueing simulator for at-scale recommendation serving.
+//!
+//! The paper's methodology feeds per-query stage latencies into a
+//! simulator that measures tail latency and throughput over tens of
+//! thousands of Poisson-arriving queries (Section 4, "Accelerator
+//! modeling", step 2). This crate is that simulator:
+//!
+//! * **Resources** model hardware pools with unit capacity — 64 CPU
+//!   cores, 1 GPU, `n` accelerator sub-array groups. Stages *share*
+//!   resources: a CPU-only two-stage pipeline contends for the same
+//!   cores with both stages, exactly like the real deployment.
+//! * **Stages** consume `units_per_query` resource units for a
+//!   deterministic service time (per-query model latencies are computed
+//!   upstream by the hardware models).
+//! * **Queries** flow through stages in order; per-query end-to-end
+//!   latency lands in a [`LatencyStats`](recpipe_metrics::LatencyStats).
+//!
+//! # Examples
+//!
+//! ```
+//! use recpipe_qsim::{PipelineSpec, ResourceSpec, StageSpec};
+//!
+//! // One 64-core CPU serving a single 10 ms stage at 500 QPS.
+//! let spec = PipelineSpec::new(vec![ResourceSpec::new("cpu", 64)])
+//!     .with_stage(StageSpec::new("rank", 0, 1, 0.010))
+//!     .expect("valid stage");
+//! let mut result = spec.simulate(500.0, 5_000, 42);
+//! assert!(!result.saturated);
+//! assert!(result.p99_seconds() < 0.050);
+//! ```
+
+mod result;
+mod sim;
+mod spec;
+
+pub use result::SimResult;
+pub use sim::simulate;
+pub use spec::{PipelineSpec, ResourceSpec, SpecError, StageSpec};

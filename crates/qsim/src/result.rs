@@ -1,0 +1,94 @@
+use recpipe_metrics::LatencyStats;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one at-scale simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use recpipe_qsim::{PipelineSpec, ResourceSpec, StageSpec};
+///
+/// let spec = PipelineSpec::new(vec![ResourceSpec::new("cpu", 8)])
+///     .with_stage(StageSpec::new("rank", 0, 1, 0.005))?;
+/// let mut result = spec.simulate(100.0, 2_000, 1);
+/// println!("p99 = {:.2} ms", result.p99_seconds() * 1e3);
+/// # Ok::<(), recpipe_qsim::SpecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// End-to-end per-query latency distribution (post-warmup).
+    pub latency: LatencyStats,
+    /// Achieved completion rate in queries per second.
+    pub qps: f64,
+    /// Queries that completed.
+    pub completed: usize,
+    /// Whether the run exceeded sustainable capacity.
+    pub saturated: bool,
+    /// Mean utilization of each resource (same order as the spec).
+    pub utilization: Vec<f64>,
+}
+
+impl SimResult {
+    /// Bundles simulation outputs.
+    pub fn new(
+        latency: LatencyStats,
+        qps: f64,
+        completed: usize,
+        saturated: bool,
+        utilization: Vec<f64>,
+    ) -> Self {
+        Self {
+            latency,
+            qps,
+            completed,
+            saturated,
+            utilization,
+        }
+    }
+
+    /// p99 tail latency in seconds — the paper's SLA metric.
+    pub fn p99_seconds(&mut self) -> f64 {
+        self.latency.p99().as_secs_f64()
+    }
+
+    /// Median latency in seconds.
+    pub fn p50_seconds(&mut self) -> f64 {
+        self.latency.p50().as_secs_f64()
+    }
+
+    /// Whether the run met an SLA: stable and p99 under `sla_seconds`.
+    pub fn meets_sla(&mut self, sla_seconds: f64) -> bool {
+        !self.saturated && self.p99_seconds() <= sla_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn result_with_latencies(ms: &[u64], saturated: bool) -> SimResult {
+        let mut stats = LatencyStats::new();
+        for &m in ms {
+            stats.record(Duration::from_millis(m));
+        }
+        SimResult::new(stats, 100.0, ms.len(), saturated, vec![0.5])
+    }
+
+    #[test]
+    fn sla_check_uses_p99_and_stability() {
+        let mut ok = result_with_latencies(&[10; 100], false);
+        assert!(ok.meets_sla(0.025));
+        let mut slow = result_with_latencies(&[30; 100], false);
+        assert!(!slow.meets_sla(0.025));
+        let mut unstable = result_with_latencies(&[10; 100], true);
+        assert!(!unstable.meets_sla(0.025));
+    }
+
+    #[test]
+    fn percentile_accessors_convert_units() {
+        let mut r = result_with_latencies(&[20; 10], false);
+        assert!((r.p99_seconds() - 0.020).abs() < 1e-9);
+        assert!((r.p50_seconds() - 0.020).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,355 @@
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use recpipe_data::PoissonProcess;
+use recpipe_metrics::{LatencyStats, ThroughputMeter};
+use std::time::Duration;
+
+use crate::{PipelineSpec, SimResult};
+
+/// Fraction of queries discarded from the front as warmup.
+const WARMUP_FRACTION: f64 = 0.05;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    /// Query `q` arrives at stage `stage` and joins its queue.
+    Arrive { query: usize, stage: usize },
+    /// Query `q` finishes service at `stage`, releasing its units.
+    Complete { query: usize, stage: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (time, seq): BinaryHeap is a max-heap, so reverse.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs the discrete-event simulation for a pipeline at the offered load.
+///
+/// Queries arrive by a Poisson process; each traverses the stages in
+/// order, holding `units` of the stage's resource for the stage's
+/// deterministic service time. Per-resource waiting queries are served
+/// FIFO as units free up.
+///
+/// The first 5% of queries are discarded as warmup. The result marks the
+/// run `saturated` when the offered load exceeds the pipeline's
+/// analytical capacity or a backlog persists at the end of the run.
+///
+/// # Panics
+///
+/// Panics if the pipeline has no stages, `num_queries == 0`, or `qps` is
+/// not strictly positive.
+pub fn simulate(spec: &PipelineSpec, qps: f64, num_queries: usize, seed: u64) -> SimResult {
+    assert!(!spec.stages().is_empty(), "pipeline has no stages");
+    assert!(num_queries > 0, "need at least one query");
+    assert!(qps.is_finite() && qps > 0.0, "qps must be positive");
+
+    let stages = spec.stages();
+    let resources = spec.resources();
+
+    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+
+    // Inject all arrivals up front (they are independent of service).
+    let arrivals: Vec<f64> = PoissonProcess::new(qps, seed).take(num_queries).collect();
+    for (query, &t) in arrivals.iter().enumerate() {
+        heap.push(Event {
+            time: t,
+            seq,
+            kind: EventKind::Arrive { query, stage: 0 },
+        });
+        seq += 1;
+    }
+
+    // Per-resource state: free units and a FIFO of (query, stage) waiting.
+    let mut free: Vec<usize> = resources.iter().map(|r| r.capacity).collect();
+    let mut waiting: Vec<VecDeque<(usize, usize)>> =
+        resources.iter().map(|_| VecDeque::new()).collect();
+    // Busy unit-seconds per resource for utilization accounting.
+    let mut busy_unit_seconds: Vec<f64> = vec![0.0; resources.len()];
+
+    let mut finish_time: Vec<f64> = vec![f64::NAN; num_queries];
+    let mut completed = 0usize;
+    let mut last_time = 0.0f64;
+
+    let start_service = |query: usize,
+                         stage_idx: usize,
+                         now: f64,
+                         free: &mut [usize],
+                         heap: &mut BinaryHeap<Event>,
+                         seq: &mut u64,
+                         busy: &mut [f64]| {
+        let stage = &stages[stage_idx];
+        debug_assert!(free[stage.resource] >= stage.units);
+        free[stage.resource] -= stage.units;
+        busy[stage.resource] += stage.units as f64 * stage.service_time;
+        heap.push(Event {
+            time: now + stage.service_time,
+            seq: *seq,
+            kind: EventKind::Complete {
+                query,
+                stage: stage_idx,
+            },
+        });
+        *seq += 1;
+    };
+
+    while let Some(event) = heap.pop() {
+        let now = event.time;
+        last_time = now;
+        match event.kind {
+            EventKind::Arrive { query, stage } => {
+                let s = &stages[stage];
+                if free[s.resource] >= s.units {
+                    start_service(
+                        query,
+                        stage,
+                        now,
+                        &mut free,
+                        &mut heap,
+                        &mut seq,
+                        &mut busy_unit_seconds,
+                    );
+                } else {
+                    waiting[s.resource].push_back((query, stage));
+                }
+            }
+            EventKind::Complete { query, stage } => {
+                let s = &stages[stage];
+                free[s.resource] += s.units;
+
+                // Route the query onward.
+                if stage + 1 < stages.len() {
+                    heap.push(Event {
+                        time: now,
+                        seq,
+                        kind: EventKind::Arrive {
+                            query,
+                            stage: stage + 1,
+                        },
+                    });
+                    seq += 1;
+                } else {
+                    finish_time[query] = now;
+                    completed += 1;
+                }
+
+                // Admit waiting work on this resource, FIFO, skipping
+                // entries that need more units than are free.
+                let queue = &mut waiting[s.resource];
+                let mut admitted = true;
+                while admitted {
+                    admitted = false;
+                    if let Some(&(q, st)) = queue.front() {
+                        if free[stages[st].resource] >= stages[st].units {
+                            queue.pop_front();
+                            start_service(
+                                q,
+                                st,
+                                now,
+                                &mut free,
+                                &mut heap,
+                                &mut seq,
+                                &mut busy_unit_seconds,
+                            );
+                            admitted = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Collect post-warmup latencies.
+    let warmup = ((num_queries as f64) * WARMUP_FRACTION) as usize;
+    let mut latency = LatencyStats::with_capacity(num_queries.saturating_sub(warmup));
+    let mut throughput = ThroughputMeter::new();
+    for (query, (&arrive, &finish)) in arrivals.iter().zip(finish_time.iter()).enumerate() {
+        if finish.is_nan() {
+            continue; // never completed (cannot happen with unbounded queues)
+        }
+        throughput.record_completion(Duration::from_secs_f64(finish));
+        if query >= warmup {
+            latency.record_secs(finish - arrive);
+        }
+    }
+
+    let span = last_time.max(f64::MIN_POSITIVE);
+    let utilization: Vec<f64> = busy_unit_seconds
+        .iter()
+        .zip(resources.iter())
+        .map(|(&busy, r)| (busy / (r.capacity as f64 * span)).min(1.0))
+        .collect();
+
+    // Saturation: offered load beyond analytic capacity, or the drain
+    // time greatly exceeds the arrival span.
+    let arrival_span = arrivals.last().copied().unwrap_or(0.0);
+    let saturated = qps > spec.max_qps() || last_time > arrival_span * 1.5 + spec.service_floor();
+
+    SimResult::new(latency, throughput.qps(), completed, saturated, utilization)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ResourceSpec, StageSpec};
+
+    fn single_stage(servers: usize, service: f64) -> PipelineSpec {
+        PipelineSpec::new(vec![ResourceSpec::new("r", servers)])
+            .with_stage(StageSpec::new("s", 0, 1, service))
+            .unwrap()
+    }
+
+    #[test]
+    fn all_queries_complete() {
+        let spec = single_stage(4, 0.002);
+        let out = spec.simulate(100.0, 2_000, 1);
+        assert_eq!(out.completed, 2_000);
+    }
+
+    #[test]
+    fn zero_load_latency_equals_service_floor() {
+        // At negligible load there is no queueing: every latency is the
+        // service time.
+        let spec = single_stage(8, 0.004);
+        let mut out = spec.simulate(1.0, 500, 2);
+        let p50 = out.latency.p50().as_secs_f64();
+        assert!((p50 - 0.004).abs() < 1e-6, "p50 {p50}");
+    }
+
+    #[test]
+    fn md1_mean_wait_matches_theory() {
+        // M/D/1: E[wait] = rho * s / (2 (1 - rho)).
+        let service = 0.01;
+        let rho: f64 = 0.7;
+        let qps = rho / service;
+        let spec = single_stage(1, service);
+        let out = spec.simulate(qps, 60_000, 3);
+        let mean = out.latency.mean().as_secs_f64();
+        let expected = service + rho * service / (2.0 * (1.0 - rho));
+        assert!(
+            (mean - expected).abs() / expected < 0.12,
+            "mean {mean} vs theory {expected}"
+        );
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let spec = single_stage(2, 0.01);
+        let mut lo = spec.simulate(20.0, 8_000, 4);
+        let mut hi = spec.simulate(180.0, 8_000, 4);
+        assert!(hi.latency.p99() > lo.latency.p99());
+    }
+
+    #[test]
+    fn overload_is_flagged_saturated() {
+        let spec = single_stage(1, 0.01); // capacity 100 QPS
+        let out = spec.simulate(150.0, 4_000, 5);
+        assert!(out.saturated);
+    }
+
+    #[test]
+    fn stable_load_is_not_saturated() {
+        let spec = single_stage(8, 0.01); // capacity 800 QPS
+        let out = spec.simulate(200.0, 4_000, 6);
+        assert!(!out.saturated);
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let spec = single_stage(4, 0.005);
+        let mut a = spec.simulate(300.0, 3_000, 9);
+        let mut b = spec.simulate(300.0, 3_000, 9);
+        assert_eq!(a.latency.p99(), b.latency.p99());
+        assert_eq!(a.qps, b.qps);
+    }
+
+    #[test]
+    fn multi_stage_latency_sums_floors() {
+        let spec = PipelineSpec::new(vec![
+            ResourceSpec::new("gpu", 1),
+            ResourceSpec::new("cpu", 16),
+        ])
+        .with_stage(StageSpec::new("front", 0, 1, 0.001))
+        .unwrap()
+        .with_stage(StageSpec::new("back", 1, 1, 0.006))
+        .unwrap();
+        let mut out = spec.simulate(5.0, 1_000, 10);
+        let p50 = out.latency.p50().as_secs_f64();
+        assert!((p50 - 0.007).abs() < 1e-4, "p50 {p50}");
+    }
+
+    #[test]
+    fn shared_resource_contention_raises_latency() {
+        // Two stages sharing one pool must be slower than the same stages
+        // on dedicated pools of the same per-stage size at high load.
+        let shared = PipelineSpec::new(vec![ResourceSpec::new("cpu", 8)])
+            .with_stage(StageSpec::new("a", 0, 1, 0.004))
+            .unwrap()
+            .with_stage(StageSpec::new("b", 0, 1, 0.004))
+            .unwrap();
+        let dedicated = PipelineSpec::new(vec![
+            ResourceSpec::new("cpu0", 8),
+            ResourceSpec::new("cpu1", 8),
+        ])
+        .with_stage(StageSpec::new("a", 0, 1, 0.004))
+        .unwrap()
+        .with_stage(StageSpec::new("b", 1, 1, 0.004))
+        .unwrap();
+        let mut s = shared.simulate(900.0, 20_000, 11);
+        let mut d = dedicated.simulate(900.0, 20_000, 11);
+        assert!(s.latency.p99() > d.latency.p99());
+    }
+
+    #[test]
+    fn utilization_tracks_offered_load() {
+        let service = 0.01;
+        let spec = single_stage(4, service);
+        // rho = 200 * 0.01 / 4 = 0.5.
+        let out = spec.simulate(200.0, 20_000, 12);
+        assert!(
+            (out.utilization[0] - 0.5).abs() < 0.06,
+            "utilization {}",
+            out.utilization[0]
+        );
+    }
+
+    #[test]
+    fn multi_unit_stages_consume_more_capacity() {
+        // units=2 halves the effective parallelism → saturation at half
+        // the QPS.
+        let spec = PipelineSpec::new(vec![ResourceSpec::new("cpu", 4)])
+            .with_stage(StageSpec::new("wide", 0, 2, 0.01))
+            .unwrap();
+        assert!((spec.max_qps() - 200.0).abs() < 1e-9);
+        let out = spec.simulate(300.0, 3_000, 13);
+        assert!(out.saturated);
+    }
+
+    #[test]
+    #[should_panic(expected = "no stages")]
+    fn empty_pipeline_panics() {
+        let spec = PipelineSpec::new(vec![ResourceSpec::new("r", 1)]);
+        spec.simulate(10.0, 10, 0);
+    }
+}

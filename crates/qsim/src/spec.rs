@@ -1,0 +1,327 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{simulate, SimResult};
+
+/// A hardware pool with integer unit capacity (cores, devices,
+/// sub-arrays).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceSpec {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Number of units that can be held concurrently.
+    pub capacity: usize,
+}
+
+impl ResourceSpec {
+    /// Creates a resource pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "resource capacity must be positive");
+        Self {
+            name: name.into(),
+            capacity,
+        }
+    }
+}
+
+/// One pipeline stage: holds `units` of resource `resource` for
+/// `service_time` seconds per query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSpec {
+    /// Stage name for reports.
+    pub name: String,
+    /// Index into the pipeline's resource list.
+    pub resource: usize,
+    /// Resource units one query holds while in service.
+    pub units: usize,
+    /// Deterministic service time per query, seconds.
+    pub service_time: f64,
+}
+
+impl StageSpec {
+    /// Creates a stage spec.
+    pub fn new(name: impl Into<String>, resource: usize, units: usize, service_time: f64) -> Self {
+        Self {
+            name: name.into(),
+            resource,
+            units,
+            service_time,
+        }
+    }
+}
+
+/// Error constructing a pipeline specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// A stage referenced a resource index that does not exist.
+    UnknownResource {
+        /// The offending stage name.
+        stage: String,
+        /// The out-of-range index.
+        resource: usize,
+    },
+    /// A stage demands more units than its resource has.
+    UnitsExceedCapacity {
+        /// The offending stage name.
+        stage: String,
+        /// Units requested.
+        units: usize,
+        /// Capacity available.
+        capacity: usize,
+    },
+    /// A stage has a non-positive or non-finite service time.
+    InvalidServiceTime {
+        /// The offending stage name.
+        stage: String,
+        /// The bad value.
+        service_time: f64,
+    },
+    /// A stage requested zero units.
+    ZeroUnits {
+        /// The offending stage name.
+        stage: String,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::UnknownResource { stage, resource } => {
+                write!(f, "stage {stage} references unknown resource {resource}")
+            }
+            SpecError::UnitsExceedCapacity {
+                stage,
+                units,
+                capacity,
+            } => write!(
+                f,
+                "stage {stage} requests {units} units but capacity is {capacity}"
+            ),
+            SpecError::InvalidServiceTime {
+                stage,
+                service_time,
+            } => write!(f, "stage {stage} has invalid service time {service_time}"),
+            SpecError::ZeroUnits { stage } => write!(f, "stage {stage} requests zero units"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A complete serving pipeline: resources plus an ordered stage list.
+///
+/// # Examples
+///
+/// ```
+/// use recpipe_qsim::{PipelineSpec, ResourceSpec, StageSpec};
+///
+/// // Two-stage GPU→CPU pipeline.
+/// let spec = PipelineSpec::new(vec![
+///     ResourceSpec::new("gpu", 1),
+///     ResourceSpec::new("cpu", 64),
+/// ])
+/// .with_stage(StageSpec::new("frontend", 0, 1, 0.0012))?
+/// .with_stage(StageSpec::new("backend", 1, 2, 0.008))?;
+/// let out = spec.simulate(100.0, 2_000, 7);
+/// assert!(out.qps > 90.0);
+/// # Ok::<(), recpipe_qsim::SpecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    resources: Vec<ResourceSpec>,
+    stages: Vec<StageSpec>,
+}
+
+impl PipelineSpec {
+    /// Creates a pipeline over the given resources with no stages yet.
+    pub fn new(resources: Vec<ResourceSpec>) -> Self {
+        Self {
+            resources,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Appends a stage, validating it against the resources.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the stage references a missing resource,
+    /// over-requests units, or has an invalid service time.
+    pub fn with_stage(mut self, stage: StageSpec) -> Result<Self, SpecError> {
+        let resource =
+            self.resources
+                .get(stage.resource)
+                .ok_or_else(|| SpecError::UnknownResource {
+                    stage: stage.name.clone(),
+                    resource: stage.resource,
+                })?;
+        if stage.units == 0 {
+            return Err(SpecError::ZeroUnits {
+                stage: stage.name.clone(),
+            });
+        }
+        if stage.units > resource.capacity {
+            return Err(SpecError::UnitsExceedCapacity {
+                stage: stage.name.clone(),
+                units: stage.units,
+                capacity: resource.capacity,
+            });
+        }
+        if !(stage.service_time.is_finite() && stage.service_time > 0.0) {
+            return Err(SpecError::InvalidServiceTime {
+                stage: stage.name.clone(),
+                service_time: stage.service_time,
+            });
+        }
+        self.stages.push(stage);
+        Ok(self)
+    }
+
+    /// The resource pools.
+    pub fn resources(&self) -> &[ResourceSpec] {
+        &self.resources
+    }
+
+    /// The ordered stages.
+    pub fn stages(&self) -> &[StageSpec] {
+        &self.stages
+    }
+
+    /// Offered load (busy units x seconds per query) per resource — the
+    /// stability check `load_per_resource * qps <= capacity` predicts
+    /// saturation.
+    pub fn unit_seconds_per_query(&self) -> Vec<f64> {
+        let mut load = vec![0.0; self.resources.len()];
+        for s in &self.stages {
+            load[s.resource] += s.units as f64 * s.service_time;
+        }
+        load
+    }
+
+    /// Maximum sustainable throughput in QPS (the tightest resource
+    /// bottleneck).
+    pub fn max_qps(&self) -> f64 {
+        self.resources
+            .iter()
+            .zip(self.unit_seconds_per_query())
+            .filter(|(_, load)| *load > 0.0)
+            .map(|(r, load)| r.capacity as f64 / load)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Sum of stage service times — the zero-load latency floor.
+    pub fn service_floor(&self) -> f64 {
+        self.stages.iter().map(|s| s.service_time).sum()
+    }
+
+    /// Runs the discrete-event simulation at `qps` offered load for
+    /// `num_queries` queries with the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline has no stages or `qps` is not positive.
+    pub fn simulate(&self, qps: f64, num_queries: usize, seed: u64) -> SimResult {
+        simulate(self, qps, num_queries, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> Vec<ResourceSpec> {
+        vec![ResourceSpec::new("cpu", 64)]
+    }
+
+    #[test]
+    fn valid_stage_is_accepted() {
+        let spec = PipelineSpec::new(cpu())
+            .with_stage(StageSpec::new("s0", 0, 1, 0.01))
+            .unwrap();
+        assert_eq!(spec.stages().len(), 1);
+    }
+
+    #[test]
+    fn unknown_resource_is_rejected() {
+        let err = PipelineSpec::new(cpu())
+            .with_stage(StageSpec::new("s0", 5, 1, 0.01))
+            .unwrap_err();
+        assert!(matches!(err, SpecError::UnknownResource { .. }));
+    }
+
+    #[test]
+    fn over_capacity_units_are_rejected() {
+        let err = PipelineSpec::new(cpu())
+            .with_stage(StageSpec::new("s0", 0, 100, 0.01))
+            .unwrap_err();
+        assert!(matches!(err, SpecError::UnitsExceedCapacity { .. }));
+    }
+
+    #[test]
+    fn zero_units_are_rejected() {
+        let err = PipelineSpec::new(cpu())
+            .with_stage(StageSpec::new("s0", 0, 0, 0.01))
+            .unwrap_err();
+        assert!(matches!(err, SpecError::ZeroUnits { .. }));
+    }
+
+    #[test]
+    fn invalid_service_time_is_rejected() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = PipelineSpec::new(cpu())
+                .with_stage(StageSpec::new("s0", 0, 1, bad))
+                .unwrap_err();
+            assert!(matches!(err, SpecError::InvalidServiceTime { .. }));
+        }
+    }
+
+    #[test]
+    fn max_qps_is_bottleneck_bound() {
+        // 64 cores, 10 ms per query → 6400 QPS; GPU 1 unit, 2 ms → 500.
+        let spec = PipelineSpec::new(vec![
+            ResourceSpec::new("cpu", 64),
+            ResourceSpec::new("gpu", 1),
+        ])
+        .with_stage(StageSpec::new("cpu-stage", 0, 1, 0.010))
+        .unwrap()
+        .with_stage(StageSpec::new("gpu-stage", 1, 1, 0.002))
+        .unwrap();
+        assert!((spec.max_qps() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_resource_load_accumulates() {
+        let spec = PipelineSpec::new(cpu())
+            .with_stage(StageSpec::new("front", 0, 1, 0.010))
+            .unwrap()
+            .with_stage(StageSpec::new("back", 0, 2, 0.005))
+            .unwrap();
+        let load = spec.unit_seconds_per_query();
+        assert!((load[0] - 0.020).abs() < 1e-12);
+        assert!((spec.max_qps() - 3200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn service_floor_sums_stages() {
+        let spec = PipelineSpec::new(cpu())
+            .with_stage(StageSpec::new("a", 0, 1, 0.010))
+            .unwrap()
+            .with_stage(StageSpec::new("b", 0, 1, 0.007))
+            .unwrap();
+        assert!((spec.service_floor() - 0.017).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spec_error_display_is_informative() {
+        let err = SpecError::UnitsExceedCapacity {
+            stage: "backend".into(),
+            units: 9,
+            capacity: 4,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("backend") && msg.contains('9') && msg.contains('4'));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the discrete-event queueing simulator.
+
+use proptest::prelude::*;
+use recpipe_qsim::{PipelineSpec, ResourceSpec, StageSpec};
+
+fn pipeline(servers: usize, stages: Vec<f64>) -> PipelineSpec {
+    let mut spec = PipelineSpec::new(vec![ResourceSpec::new("pool", servers)]);
+    for (i, s) in stages.into_iter().enumerate() {
+        spec = spec
+            .with_stage(StageSpec::new(format!("s{i}"), 0, 1, s))
+            .unwrap();
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_query_completes(
+        servers in 1usize..16,
+        service_ms in 1u64..20,
+        queries in 100usize..800,
+    ) {
+        let spec = pipeline(servers, vec![service_ms as f64 / 1e3]);
+        let out = spec.simulate(50.0, queries, 1);
+        prop_assert_eq!(out.completed, queries);
+    }
+
+    #[test]
+    fn latency_never_beats_service_floor(
+        servers in 1usize..8,
+        s1 in 1u64..10,
+        s2 in 1u64..10,
+        qps in 1.0f64..100.0,
+    ) {
+        let spec = pipeline(servers, vec![s1 as f64 / 1e3, s2 as f64 / 1e3]);
+        let floor = spec.service_floor();
+        let mut out = spec.simulate(qps, 500, 2);
+        // Even the fastest query pays both service times.
+        prop_assert!(out.latency.percentile(0.0).as_secs_f64() >= floor - 1e-9);
+    }
+
+    #[test]
+    fn p99_is_monotone_in_load(servers in 2usize..8, service_ms in 2u64..10) {
+        let spec = pipeline(servers, vec![service_ms as f64 / 1e3]);
+        let cap = spec.max_qps();
+        let mut lo = spec.simulate(cap * 0.2, 4_000, 3);
+        let mut hi = spec.simulate(cap * 0.85, 4_000, 3);
+        prop_assert!(hi.latency.p99() >= lo.latency.p99());
+    }
+
+    #[test]
+    fn utilization_is_bounded(
+        servers in 1usize..8,
+        service_ms in 1u64..10,
+        qps in 1.0f64..2000.0,
+    ) {
+        let spec = pipeline(servers, vec![service_ms as f64 / 1e3]);
+        let out = spec.simulate(qps, 1_000, 4);
+        for u in &out.utilization {
+            prop_assert!((0.0..=1.0).contains(u), "utilization {u}");
+        }
+    }
+
+    #[test]
+    fn offered_beyond_capacity_is_always_flagged(
+        servers in 1usize..4,
+        service_ms in 5u64..20,
+    ) {
+        let spec = pipeline(servers, vec![service_ms as f64 / 1e3]);
+        let out = spec.simulate(spec.max_qps() * 2.0, 1_500, 5);
+        prop_assert!(out.saturated);
+    }
+
+    #[test]
+    fn seeds_are_deterministic(seed in 0u64..1000) {
+        let spec = pipeline(4, vec![0.004, 0.002]);
+        let mut a = spec.simulate(200.0, 800, seed);
+        let mut b = spec.simulate(200.0, 800, seed);
+        prop_assert_eq!(a.latency.p99(), b.latency.p99());
+        prop_assert_eq!(a.qps, b.qps);
+    }
+}

@@ -1,0 +1,515 @@
+use serde::{Deserialize, Serialize};
+
+use crate::ShapeError;
+
+/// Block edge used by the cache-blocked GEMM kernel.
+const GEMM_BLOCK: usize = 64;
+
+/// A dense, row-major `f32` matrix.
+///
+/// `Matrix` is the single tensor type used throughout RecPipe: MLP weights,
+/// activations, and embedding batches are all rank-2. Storage is a flat
+/// `Vec<f32>` with `rows * cols` elements; element `(r, c)` lives at index
+/// `r * cols + c`.
+///
+/// # Examples
+///
+/// ```
+/// use recpipe_tensor::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// assert_eq!(m.get(1, 2), 6.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros with the given shape.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use recpipe_tensor::Matrix;
+    /// let m = Matrix::zeros(2, 2);
+    /// assert_eq!(m.get(0, 0), 0.0);
+    /// ```
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use recpipe_tensor::Matrix;
+    /// let i = Matrix::identity(3);
+    /// assert_eq!(i.get(1, 1), 1.0);
+    /// assert_eq!(i.get(0, 1), 0.0);
+    /// ```
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: f32) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row index out of bounds");
+        let cols = self.cols;
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Flat row-major view of the underlying storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the underlying storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the flat row-major storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns the transpose.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use recpipe_tensor::Matrix;
+    /// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+    /// assert_eq!(m.transpose().get(0, 1), 3.0);
+    /// ```
+    pub fn transpose(&self) -> Self {
+        let mut t = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs` using a cache-blocked kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.cols() != rhs.rows()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use recpipe_tensor::Matrix;
+    /// let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+    /// let b = Matrix::from_rows(&[&[3.0], &[4.0]]);
+    /// let c = a.matmul(&b)?;
+    /// assert_eq!(c.get(0, 0), 11.0);
+    /// # Ok::<(), recpipe_tensor::ShapeError>(())
+    /// ```
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.cols != rhs.rows {
+            return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        // Blocked i-k-j loop order: the innermost loop streams both the rhs
+        // row and the output row, which keeps the kernel bandwidth-friendly
+        // for the small GEMMs recommendation MLPs produce.
+        for i0 in (0..m).step_by(GEMM_BLOCK) {
+            let i1 = (i0 + GEMM_BLOCK).min(m);
+            for k0 in (0..k).step_by(GEMM_BLOCK) {
+                let k1 = (k0 + GEMM_BLOCK).min(k);
+                for i in i0..i1 {
+                    for kk in k0..k1 {
+                        let a = self.data[i * k + kk];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let rhs_row = &rhs.data[kk * n..(kk + 1) * n];
+                        let out_row = &mut out.data[i * n..(i + 1) * n];
+                        for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        if v.len() != self.cols {
+            return Err(ShapeError::new("matvec", self.shape(), (v.len(), 1)));
+        }
+        let mut out = vec![0.0; self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            *o = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+        }
+        Ok(out)
+    }
+
+    /// Elementwise sum `self + rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if shapes differ.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.shape() != rhs.shape() {
+            return Err(ShapeError::new("add", self.shape(), rhs.shape()));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Elementwise difference `self - rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if shapes differ.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.shape() != rhs.shape() {
+            return Err(ShapeError::new("sub", self.shape(), rhs.shape()));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Elementwise (Hadamard) product `self ⊙ rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if shapes differ.
+    pub fn hadamard(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.shape() != rhs.shape() {
+            return Err(ShapeError::new("hadamard", self.shape(), rhs.shape()));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a * b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Maximum absolute difference to `rhs`, useful for approximate equality
+    /// in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> f32 {
+        assert_eq!(self.shape(), rhs.shape(), "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_correct_shape_and_values() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identity_multiplication_is_neutral() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b).unwrap();
+        let expected = Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]);
+        assert!(c.max_abs_diff(&expected) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let err = a.matmul(&b).unwrap_err();
+        assert_eq!(err.op(), "matmul");
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v = vec![5.0, 6.0];
+        let got = a.matvec(&v).unwrap();
+        assert_eq!(got, vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn matvec_rejects_bad_length() {
+        let a = Matrix::zeros(2, 3);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.get(1, 2), a.get(2, 1));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[0.5, -0.5]]);
+        let sum = a.add(&b).unwrap();
+        let back = sum.sub(&b).unwrap();
+        assert!(back.max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn hadamard_elementwise() {
+        let a = Matrix::from_rows(&[&[2.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[4.0, 5.0]]);
+        let h = a.hadamard(&b).unwrap();
+        assert_eq!(h.as_slice(), &[8.0, 15.0]);
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0]]);
+        let m = a.map(|x| x * 2.0);
+        assert_eq!(m.as_slice(), &[2.0, -4.0]);
+    }
+
+    #[test]
+    fn row_access() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let a = Matrix::zeros(1, 1);
+        a.get(1, 0);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn blocked_gemm_matches_naive_on_larger_sizes() {
+        // Exercise the blocking path with dims > GEMM_BLOCK.
+        let m = 70;
+        let k = 65;
+        let n = 80;
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|i| (i % 7) as f32 - 3.0).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|i| (i % 5) as f32 - 2.0).collect());
+        let c = a.matmul(&b).unwrap();
+        // Naive reference.
+        let mut expected = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.get(i, kk) * b.get(kk, j);
+                }
+                expected.set(i, j, acc);
+            }
+        }
+        assert!(c.max_abs_diff(&expected) < 1e-3);
+    }
+}

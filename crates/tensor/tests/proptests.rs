@@ -1,0 +1,88 @@
+//! Property-based tests for the linear algebra kernels.
+
+use proptest::prelude::*;
+use recpipe_tensor::{dot, l2_norm, relu, sigmoid, Matrix};
+
+/// Strategy producing a matrix with the given shape and bounded entries.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix(4, 5),
+        b in matrix(5, 3),
+        c in matrix(5, 3),
+    ) {
+        // a * (b + c) == a*b + a*c (within float tolerance)
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in matrix(3, 4), b in matrix(4, 2)) {
+        // (a b)^T == b^T a^T
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn identity_is_neutral(a in matrix(6, 6)) {
+        let i = Matrix::identity(6);
+        prop_assert!(a.matmul(&i).unwrap().max_abs_diff(&a) < 1e-5);
+        prop_assert!(i.matmul(&a).unwrap().max_abs_diff(&a) < 1e-5);
+    }
+
+    #[test]
+    fn transpose_is_involution(a in matrix(5, 7)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn dot_is_commutative(
+        v in proptest::collection::vec(-100.0f32..100.0, 16),
+        w in proptest::collection::vec(-100.0f32..100.0, 16),
+    ) {
+        prop_assert!((dot(&v, &w) - dot(&w, &v)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn cauchy_schwarz(
+        v in proptest::collection::vec(-10.0f32..10.0, 8),
+        w in proptest::collection::vec(-10.0f32..10.0, 8),
+    ) {
+        prop_assert!(dot(&v, &w).abs() <= l2_norm(&v) * l2_norm(&w) + 1e-3);
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(x in -1e6f32..1e6) {
+        let y = relu(x);
+        prop_assert!(y >= 0.0);
+        prop_assert_eq!(relu(y), y);
+    }
+
+    #[test]
+    fn sigmoid_maps_into_unit_interval(x in -1e6f32..1e6) {
+        let y = sigmoid(x);
+        prop_assert!((0.0..=1.0).contains(&y));
+    }
+
+    #[test]
+    fn sigmoid_is_monotone(x in -50.0f32..50.0, d in 0.001f32..10.0) {
+        prop_assert!(sigmoid(x + d) >= sigmoid(x));
+    }
+
+    #[test]
+    fn matvec_agrees_with_matmul(a in matrix(4, 6), v in proptest::collection::vec(-5.0f32..5.0, 6)) {
+        let col = Matrix::from_vec(6, 1, v.clone());
+        let via_matmul = a.matmul(&col).unwrap();
+        let via_matvec = a.matvec(&v).unwrap();
+        for (i, &x) in via_matvec.iter().enumerate() {
+            prop_assert!((x - via_matmul.get(i, 0)).abs() < 1e-3);
+        }
+    }
+}

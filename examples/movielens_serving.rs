@@ -1,0 +1,114 @@
+//! End-to-end MovieLens-style serving with a *real trained model*: train
+//! a NeuMF on synthetic interactions, then serve ranked item lists and
+//! measure NDCG with the model's actual scores — the fully functional
+//! (non-statistical) path through the framework.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example movielens_serving
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recpipe::core::Table;
+use recpipe::data::DatasetKind;
+use recpipe::metrics::{ideal_sorted, ndcg_at_k};
+use recpipe::models::{ModelConfig, ModelKind, NeuMf};
+
+const USERS: usize = 120;
+const ITEMS: usize = 400;
+const LATENT: usize = 6;
+
+/// Hidden ground-truth affinity the generator and the evaluation share.
+fn true_affinity(user: usize, item: usize) -> f64 {
+    let mut acc = 0.0;
+    for d in 0..LATENT {
+        let mut h = (user as u64) << 32 ^ (item as u64) << 8 ^ d as u64;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 29;
+        let u = ((h & 0xffff) as f64 / 65535.0) - 0.5;
+        let mut g = (user as u64).wrapping_mul(31).wrapping_add(d as u64);
+        g = g.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let v = (((g >> 16) & 0xffff) as f64 / 65535.0) - 0.5;
+        acc += u * v;
+    }
+    acc * 40.0
+}
+
+fn main() {
+    let cfg = ModelConfig::for_kind(ModelKind::RmMed, DatasetKind::MovieLens1M);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut model = NeuMf::new(&cfg, USERS, ITEMS, &mut rng);
+
+    // Train on Bernoulli interactions drawn from the hidden affinity.
+    println!("Training NeuMF ({LATENT}-factor ground truth, {USERS} users x {ITEMS} items) ...");
+    let mut data_rng = StdRng::seed_from_u64(2);
+    let mut epoch_loss = Vec::new();
+    for _ in 0..6 {
+        let mut total = 0.0f64;
+        let steps = 30_000;
+        for _ in 0..steps {
+            let user = data_rng.gen_range(0..USERS);
+            let item = data_rng.gen_range(0..ITEMS);
+            let p = 1.0 / (1.0 + (-true_affinity(user, item)).exp());
+            let liked = data_rng.gen::<f64>() < p;
+            total += model.train_step(user, item, liked, 0.05) as f64;
+        }
+        epoch_loss.push(total / steps as f64);
+    }
+    println!(
+        "epoch losses: {}",
+        epoch_loss
+            .iter()
+            .map(|l| format!("{l:.3}"))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
+
+    // Serve: rank the full catalog per user with the trained model and
+    // score the list against the hidden affinities.
+    let items: Vec<usize> = (0..ITEMS).collect();
+    let mut served_ndcg = Vec::new();
+    for user in 0..USERS {
+        let scores = model.score_items(user, &items);
+        let mut ranked: Vec<(usize, f32)> = items.iter().map(|&i| (i, scores[i])).collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+        let gains: Vec<f64> = items
+            .iter()
+            .map(|&i| (1.0 / (1.0 + (-true_affinity(user, i)).exp())).powi(2))
+            .collect();
+        let ideal = ideal_sorted(&gains);
+        let served: Vec<f64> = ranked.iter().take(10).map(|&(i, _)| gains[i]).collect();
+        served_ndcg.push(ndcg_at_k(&served, &ideal, 10));
+    }
+    let mean = served_ndcg.iter().sum::<f64>() / served_ndcg.len() as f64;
+
+    // A random ranker as the floor.
+    let mut rand_rng = StdRng::seed_from_u64(3);
+    let mut random_ndcg = Vec::new();
+    for user in 0..USERS {
+        let gains: Vec<f64> = items
+            .iter()
+            .map(|&i| (1.0 / (1.0 + (-true_affinity(user, i)).exp())).powi(2))
+            .collect();
+        let ideal = ideal_sorted(&gains);
+        let served: Vec<f64> = (0..10)
+            .map(|_| gains[rand_rng.gen_range(0..ITEMS)])
+            .collect();
+        random_ndcg.push(ndcg_at_k(&served, &ideal, 10));
+    }
+    let random_mean = random_ndcg.iter().sum::<f64>() / random_ndcg.len() as f64;
+
+    let mut table = Table::new(vec!["ranker", "NDCG@10"]);
+    table.row(vec!["trained NeuMF".into(), format!("{:.3}", mean)]);
+    table.row(vec!["random".into(), format!("{:.3}", random_mean)]);
+    println!("\n{table}");
+    assert!(
+        mean > random_mean + 0.05,
+        "trained model must beat random ranking"
+    );
+    println!("The trained model recovers the latent structure it was trained on.");
+}

@@ -1,0 +1,57 @@
+//! Run the RecPipe inference scheduler's design-space exploration on
+//! commodity hardware and print the quality/latency Pareto frontier —
+//! the machinery behind the paper's Figures 7 and 8.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example scheduler_sweep
+//! ```
+
+use recpipe::core::{Scheduler, SchedulerSettings, Table};
+
+fn main() {
+    let qps = 500.0;
+    let scheduler = Scheduler::new(SchedulerSettings::paper_default());
+
+    println!("Exploring CPU-only design space at {qps} QPS ...");
+    let cpu_points = scheduler.explore_cpu(qps, 3);
+    println!(
+        "  evaluated {} (pipeline, mapping) points",
+        cpu_points.len()
+    );
+
+    let frontier = Scheduler::pareto_quality_latency(cpu_points.clone());
+    let mut table = Table::new(vec!["pipeline", "mapping", "NDCG", "p99 (ms)"]);
+    let mut sorted = frontier.clone();
+    sorted.sort_by(|a, b| a.p99_s.partial_cmp(&b.p99_s).unwrap());
+    for point in &sorted {
+        table.row(vec![
+            point.pipeline.describe(),
+            point.mapping.clone(),
+            format!("{:.2}", point.ndcg_percent()),
+            format!("{:.2}", point.p99_ms()),
+        ]);
+    }
+    println!("\nCPU Pareto frontier (quality vs tail latency):\n{table}");
+
+    // The two selections the paper highlights.
+    let max_quality = frontier.iter().map(|p| p.ndcg).fold(0.0, f64::max);
+    if let Some(best) = Scheduler::best_latency_at_quality(&cpu_points, max_quality - 0.003) {
+        println!(
+            "Iso-quality winner (NDCG >= {:.2}): {} [{}] at {:.2} ms",
+            (max_quality - 0.003) * 100.0,
+            best.pipeline.describe(),
+            best.mapping,
+            best.p99_ms()
+        );
+    }
+    if let Some(best) = Scheduler::best_quality_under_sla(&cpu_points, 0.025) {
+        println!(
+            "Best quality under a 25 ms SLA: {} [{}] -> NDCG {:.2}",
+            best.pipeline.describe(),
+            best.mapping,
+            best.ndcg_percent()
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Train a real DLRM on the synthetic latent-factor click data and watch
+//! the accuracy-vs-complexity tradeoff emerge — the functional-model
+//! path behind the paper's Figure 2 hyperparameter sweep.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example train_dlrm
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recpipe::core::Table;
+use recpipe::data::{DatasetKind, DatasetSpec};
+use recpipe::models::{Dlrm, ModelConfig, ModelKind, Trainer};
+
+fn main() {
+    let spec = DatasetSpec::criteo_kaggle();
+    let vocab = 1_000u32;
+
+    println!("Training DLRM tiers on synthetic Criteo-like clicks ...\n");
+    let mut table = Table::new(vec![
+        "model",
+        "MLP FLOPs/item",
+        "params",
+        "epoch losses",
+        "holdout error",
+    ]);
+
+    for kind in [ModelKind::RmSmall, ModelKind::RmMed, ModelKind::RmLarge] {
+        let cfg = ModelConfig::for_kind(kind, DatasetKind::CriteoKaggle);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut model = Dlrm::new(&cfg, vocab as usize, &mut rng);
+
+        // Wider embeddings get a smaller step: their interaction
+        // gradients scale with the latent dimension.
+        let lr = 0.05 * (4.0 / cfg.embedding_dim as f32).sqrt();
+        let report = Trainer::new(&spec, vocab)
+            .epochs(4)
+            .samples_per_epoch(6_000)
+            .holdout_samples(2_500)
+            .learning_rate(lr)
+            .run(&mut model, 7);
+
+        let losses = report
+            .epoch_losses
+            .iter()
+            .map(|l| format!("{l:.3}"))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        table.row(vec![
+            kind.to_string(),
+            cfg.cost().mlp_flops_per_item.to_string(),
+            model.num_params().to_string(),
+            losses,
+            format!("{:.1}%", report.holdout_error * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Every tier trains (losses fall); capacity buys accuracy only up to\n\
+         what laptop-scale SGD can extract — see fig02_sweep for the\n\
+         calibrated accuracy-vs-complexity curve the framework uses."
+    );
+}

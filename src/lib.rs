@@ -1,0 +1,48 @@
+//! # RecPipe
+//!
+//! A Rust reproduction of *RecPipe: Co-designing Models and Hardware to
+//! Jointly Optimize Recommendation Quality and Performance* (MICRO 2021).
+//!
+//! RecPipe decomposes monolithic deep-learning recommendation models into
+//! multi-stage ranking pipelines, then co-designs those pipelines with the
+//! hardware that serves them: an inference scheduler maps stages onto
+//! commodity CPUs and GPUs, and a specialized accelerator — **RPAccel** —
+//! jointly optimizes quality, tail latency, and throughput.
+//!
+//! This facade crate re-exports every subsystem:
+//!
+//! * [`tensor`] — dense linear algebra kernels.
+//! * [`metrics`] — NDCG quality, accuracy, and tail-latency statistics.
+//! * [`data`] — synthetic datasets, distributions, arrival processes.
+//! * [`models`] — DLRM / NeuMF recommendation models and cost accounting.
+//! * [`hwsim`] — CPU / GPU / memory-hierarchy cost models.
+//! * [`accel`] — the RPAccel cycle-level accelerator simulator.
+//! * [`qsim`] — the discrete-event at-scale queueing simulator.
+//! * [`core`] — multi-stage pipelines, quality evaluation, the scheduler.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use recpipe::core::{PipelineConfig, QualityEvaluator, StageConfig};
+//! use recpipe::models::ModelKind;
+//!
+//! // A two-stage pipeline: RMsmall filters 4096 items to 256,
+//! // then RMlarge re-ranks the survivors.
+//! let pipeline = PipelineConfig::builder()
+//!     .stage(StageConfig::new(ModelKind::RmSmall, 4096, 256))
+//!     .stage(StageConfig::new(ModelKind::RmLarge, 256, 64))
+//!     .build()
+//!     .expect("valid pipeline");
+//!
+//! let quality = QualityEvaluator::criteo_like(64).evaluate(&pipeline);
+//! assert!(quality.ndcg > 0.90);
+//! ```
+
+pub use recpipe_accel as accel;
+pub use recpipe_core as core;
+pub use recpipe_data as data;
+pub use recpipe_hwsim as hwsim;
+pub use recpipe_metrics as metrics;
+pub use recpipe_models as models;
+pub use recpipe_qsim as qsim;
+pub use recpipe_tensor as tensor;

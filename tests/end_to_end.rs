@@ -1,0 +1,154 @@
+//! End-to-end integration tests spanning every crate: quality and
+//! performance of full pipelines on all three hardware targets.
+
+use recpipe::accel::Partition;
+use recpipe::core::{
+    Mapping, PerformanceEvaluator, PipelineConfig, QualityEvaluator, Scheduler, SchedulerSettings,
+    StageConfig,
+};
+use recpipe::data::DatasetKind;
+use recpipe::models::ModelKind;
+
+fn single_stage(items: u64) -> PipelineConfig {
+    PipelineConfig::single_stage(ModelKind::RmLarge, items, 64).unwrap()
+}
+
+fn two_stage(mid: u64) -> PipelineConfig {
+    PipelineConfig::builder()
+        .stage(StageConfig::new(ModelKind::RmSmall, 4096, mid))
+        .stage(StageConfig::new(ModelKind::RmLarge, mid, 64))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn paper_headline_multi_stage_is_iso_quality_and_much_faster_on_cpu() {
+    // The paper's central claim (Figure 1, Section 5.1): decomposing the
+    // monolith maintains quality while cutting tail latency ~4x on CPUs.
+    let quality = QualityEvaluator::criteo_like(64).queries(200);
+    let q_single = quality.evaluate(&single_stage(4096)).ndcg;
+    let q_multi = quality.evaluate(&two_stage(256)).ndcg;
+    assert!(
+        (q_single - q_multi).abs() < 0.01,
+        "iso-quality violated: {q_single} vs {q_multi}"
+    );
+
+    let perf = PerformanceEvaluator::table2_defaults().sim_queries(2_000);
+    let mut s = perf.evaluate(&single_stage(4096), &Mapping::cpu_only(1), 500.0);
+    let mut m = perf.evaluate(&two_stage(256), &Mapping::cpu_only(2), 500.0);
+    let speedup = s.p99_seconds() / m.p99_seconds();
+    assert!(
+        (2.5..8.0).contains(&speedup),
+        "CPU multi-stage speedup {speedup}"
+    );
+}
+
+#[test]
+fn accelerator_beats_both_commodity_platforms_at_iso_quality() {
+    let perf = PerformanceEvaluator::table2_defaults().sim_queries(2_000);
+    let pipeline = two_stage(512);
+    let qps = 200.0;
+
+    let mut cpu = perf.evaluate(&pipeline, &Mapping::cpu_only(2), qps);
+    let mut gpu_front = perf.evaluate(&pipeline, &Mapping::gpu_frontend(2), qps);
+    let mut accel = perf.evaluate_accel(&pipeline, Partition::symmetric(8, 2), qps);
+
+    assert!(accel.p99_seconds() < gpu_front.p99_seconds());
+    assert!(accel.p99_seconds() < cpu.p99_seconds());
+}
+
+#[test]
+fn figure12_shape_rpaccel_vs_baseline_latency_and_throughput() {
+    let perf = PerformanceEvaluator::table2_defaults().sim_queries(2_000);
+    let multi = two_stage(512);
+    let single = single_stage(4096);
+
+    // Latency at moderate load: ~3x (paper) — accept 1.8-8x.
+    let mut rp = perf.evaluate_accel(&multi, Partition::symmetric(8, 2), 200.0);
+    let mut base = perf.evaluate_baseline_accel(&single, 200.0);
+    let latency_gain = base.p99_seconds() / rp.p99_seconds();
+    assert!(
+        (1.8..8.0).contains(&latency_gain),
+        "latency gain {latency_gain}"
+    );
+
+    // Throughput: find the max stable load of each (paper: ~6x).
+    let max_stable = |eval: &dyn Fn(f64) -> bool| -> f64 {
+        let mut qps = 100.0;
+        while qps < 20_000.0 && eval(qps) {
+            qps *= 1.5;
+        }
+        qps
+    };
+    let rp_cap = max_stable(&|q| {
+        !perf
+            .evaluate_accel(&multi, Partition::symmetric(8, 8), q)
+            .saturated
+    });
+    let base_cap = max_stable(&|q| !perf.evaluate_baseline_accel(&single, q).saturated);
+    assert!(
+        rp_cap / base_cap >= 2.0,
+        "throughput gain {} (rp {rp_cap} vs base {base_cap})",
+        rp_cap / base_cap
+    );
+}
+
+#[test]
+fn scheduler_end_to_end_finds_multi_stage_winner() {
+    let scheduler = Scheduler::new(SchedulerSettings::quick());
+    let points = scheduler.explore_cpu(400.0, 3);
+    assert!(!points.is_empty());
+
+    let max_q = points
+        .iter()
+        .filter(|p| !p.saturated)
+        .map(|p| p.ndcg)
+        .fold(0.0, f64::max);
+    let best =
+        Scheduler::best_latency_at_quality(&points, max_q - 0.005).expect("stable design exists");
+    assert!(best.pipeline.num_stages() >= 2, "picked {}", best.pipeline);
+}
+
+#[test]
+fn quality_and_performance_are_reproducible_across_runs() {
+    let pipeline = two_stage(256);
+    let q1 = QualityEvaluator::criteo_like(64)
+        .queries(100)
+        .evaluate(&pipeline);
+    let q2 = QualityEvaluator::criteo_like(64)
+        .queries(100)
+        .evaluate(&pipeline);
+    assert_eq!(q1, q2);
+
+    let perf = PerformanceEvaluator::table2_defaults().sim_queries(1_000);
+    let mut r1 = perf.evaluate(&pipeline, &Mapping::cpu_only(2), 300.0);
+    let mut r2 = perf.evaluate(&pipeline, &Mapping::cpu_only(2), 300.0);
+    assert_eq!(r1.p99_seconds(), r2.p99_seconds());
+}
+
+#[test]
+fn movielens_pipelines_run_end_to_end() {
+    for dataset in [DatasetKind::MovieLens1M, DatasetKind::MovieLens20M] {
+        let items = if dataset == DatasetKind::MovieLens1M {
+            1024
+        } else {
+            4096
+        };
+        let pipeline = PipelineConfig::builder()
+            .dataset(dataset)
+            .stage(StageConfig::new(ModelKind::RmSmall, items, items / 4))
+            .stage(StageConfig::new(ModelKind::RmLarge, items / 4, 64))
+            .build()
+            .unwrap();
+
+        let q = QualityEvaluator::for_dataset(dataset, 64)
+            .queries(100)
+            .evaluate(&pipeline);
+        assert!(q.ndcg > 0.5, "{dataset}: NDCG {}", q.ndcg);
+
+        let perf = PerformanceEvaluator::table2_defaults().sim_queries(1_000);
+        let mut sim = perf.evaluate(&pipeline, &Mapping::cpu_only(2), 100.0);
+        assert!(!sim.saturated);
+        assert!(sim.p99_seconds() > 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Smoke tests of the `recpipe` facade: every subsystem is reachable
+//! through the re-exports and composes.
+
+use recpipe::accel::{Partition, RpAccel, RpAccelConfig, SystolicArray, TopKFilter};
+use recpipe::data::{DatasetSpec, PoissonProcess, QueryGenerator, Zipf};
+use recpipe::hwsim::{CpuModel, GpuModel, LruCache, StageWork, StaticCacheModel};
+use recpipe::metrics::{ndcg_at_k, LatencyStats};
+use recpipe::models::{ModelConfig, ModelKind};
+use recpipe::qsim::{PipelineSpec, ResourceSpec, StageSpec};
+use recpipe::tensor::Matrix;
+
+#[test]
+fn tensor_through_facade() {
+    let a = Matrix::identity(4);
+    assert_eq!(a.matmul(&a).unwrap(), a);
+}
+
+#[test]
+fn metrics_through_facade() {
+    assert!((ndcg_at_k(&[2.0, 1.0], &[2.0, 1.0], 2) - 1.0).abs() < 1e-12);
+    let mut stats = LatencyStats::new();
+    stats.record_secs(0.010);
+    assert!(stats.p99().as_secs_f64() > 0.009);
+}
+
+#[test]
+fn data_through_facade() {
+    let spec = DatasetSpec::criteo_kaggle();
+    let mut queries = QueryGenerator::new(&spec, 1);
+    assert_eq!(queries.next_query().num_candidates(), 4096);
+    assert!(PoissonProcess::new(100.0, 2).take(10).count() == 10);
+    assert!(Zipf::new(1000, 0.9).cdf(1000) == 1.0);
+}
+
+#[test]
+fn models_and_hwsim_through_facade() {
+    let cfg = ModelConfig::for_kind(ModelKind::RmMed, recpipe::data::DatasetKind::CriteoKaggle);
+    let work = StageWork::new(cfg, 1024);
+    let cpu = CpuModel::cascade_lake();
+    let gpu = GpuModel::t4();
+    assert!(cpu.stage_latency(&work, 1) > 0.0);
+    assert!(recpipe::hwsim::Device::stage_latency(&gpu, &work) > 0.0);
+
+    let mut lru = LruCache::new(4);
+    lru.access(1);
+    assert!(lru.access(1));
+    let sc = StaticCacheModel::new(Zipf::new(10_000, 0.9), 100);
+    assert!(sc.hit_rate() > 0.0);
+}
+
+#[test]
+fn accel_through_facade() {
+    let accel = RpAccel::new(RpAccelConfig::paper_default(Partition::symmetric(8, 8)));
+    let stages = vec![StageWork::new(
+        ModelConfig::for_kind(ModelKind::RmLarge, recpipe::data::DatasetKind::CriteoKaggle),
+        512,
+    )];
+    assert!(accel.query_latency(&stages) > 0.0);
+    assert!(SystolicArray::paper_default().macs() == 128 * 128);
+    let filter = TopKFilter::paper_default(64);
+    assert_eq!(filter.num_bins(), 16);
+}
+
+#[test]
+fn qsim_through_facade() {
+    let spec = PipelineSpec::new(vec![ResourceSpec::new("cpu", 4)])
+        .with_stage(StageSpec::new("s", 0, 1, 0.001))
+        .unwrap();
+    let out = spec.simulate(100.0, 500, 3);
+    assert_eq!(out.completed, 500);
+}
