@@ -5,28 +5,27 @@
 //! * Right: latency vs throughput at iso-quality (NDCG 92.25-class).
 
 use recpipe_bench::{criteo_single_stage, criteo_three_stage, criteo_two_stage};
-use recpipe_core::{
-    Mapping, PerformanceEvaluator, PipelineConfig, QualityEvaluator, Scheduler, SchedulerSettings,
-    Table,
-};
+use recpipe_core::{Engine, PipelineConfig, Placement, Scheduler, SchedulerSettings, Table};
 use recpipe_models::ModelKind;
 
 fn main() {
-    let quality = QualityEvaluator::criteo_like(64).queries(300);
-    let perf = PerformanceEvaluator::table2_defaults().sim_queries(4_000);
-
     println!("Figure 7 (left): single-stage quality vs p99 on CPU, QPS 500\n");
     let mut left = Table::new(vec!["model", "items", "NDCG", "p99 (ms)"]);
     for kind in ModelKind::ALL {
         for items in [1024u64, 2048, 4096] {
-            let p = PipelineConfig::single_stage(kind, items, 64).unwrap();
-            let q = quality.evaluate(&p);
-            let mut sim = perf.evaluate(&p, &Mapping::cpu_only(1), 500.0);
+            let pipeline = PipelineConfig::single_stage(kind, items, 64).unwrap();
+            let engine = Engine::commodity(pipeline)
+                .placement(Placement::cpu_only(1))
+                .load(500.0)
+                .sim_queries(4_000)
+                .build()
+                .expect("valid single-stage engine");
+            let outcome = engine.evaluate();
             left.row(vec![
                 kind.to_string(),
                 items.to_string(),
-                format!("{:.2}", q.ndcg_percent()),
-                format!("{:.2}", sim.p99_seconds() * 1e3),
+                format!("{:.2}", outcome.ndcg_percent()),
+                format!("{:.2}", outcome.p99_ms()),
             ]);
         }
     }
@@ -42,7 +41,7 @@ fn main() {
             .filter(|p| p.pipeline.num_stages() == stages)
             .cloned()
             .collect();
-        let mut frontier = Scheduler::pareto_quality_latency(subset);
+        let mut frontier = Scheduler::pareto(subset).into_vec();
         frontier.sort_by(|a, b| b.ndcg.partial_cmp(&a.ndcg).unwrap());
         for p in frontier.iter().take(3) {
             center.row(vec![
@@ -58,19 +57,31 @@ fn main() {
 
     println!("Figure 7 (right): iso-quality latency vs offered load\n");
     let designs = [
-        ("1-stage", criteo_single_stage(4096), Mapping::cpu_only(1)),
-        ("2-stage", criteo_two_stage(256), Mapping::cpu_only(2)),
-        ("3-stage", criteo_three_stage(), Mapping::cpu_only(3)),
+        ("1-stage", criteo_single_stage(4096), Placement::cpu_only(1)),
+        ("2-stage", criteo_two_stage(256), Placement::cpu_only(2)),
+        ("3-stage", criteo_three_stage(), Placement::cpu_only(3)),
     ];
+    let engines: Vec<Engine> = designs
+        .iter()
+        .map(|(_, pipeline, placement)| {
+            Engine::commodity(pipeline.clone())
+                .placement(placement.clone())
+                .sim_queries(4_000)
+                .seed(7)
+                .build()
+                .expect("valid CPU engine")
+        })
+        .collect();
     let mut right = Table::new(vec!["QPS", "1-stage p99", "2-stage p99", "3-stage p99"]);
     for qps in [100.0, 250.0, 500.0, 1000.0, 2000.0] {
         let mut row = vec![format!("{qps:.0}")];
-        for (_, pipeline, mapping) in &designs {
-            let spec = perf.commodity_spec(pipeline, mapping);
-            if spec.max_qps() < qps {
+        for engine in &engines {
+            if engine.max_qps() < qps {
                 row.push("saturated".into());
             } else {
-                let mut sim = spec.simulate(qps, 4_000, 7);
+                // Latency-only table: serve() skips the (unused)
+                // quality evaluation.
+                let mut sim = engine.serve(qps, 4_000);
                 row.push(format!("{:.2} ms", sim.p99_seconds() * 1e3));
             }
         }

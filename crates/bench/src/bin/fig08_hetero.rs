@@ -7,24 +7,28 @@
 //!   the full pool while the CPU cannot.
 
 use recpipe_bench::{criteo_single_stage, criteo_two_stage};
-use recpipe_core::{
-    Mapping, PerformanceEvaluator, PipelineConfig, QualityEvaluator, StageConfig, StagePlacement,
-    Table,
-};
+use recpipe_core::{Engine, PipelineConfig, Placement, StageConfig, Table};
 use recpipe_models::ModelKind;
 
-fn main() {
-    let perf = PerformanceEvaluator::table2_defaults().sim_queries(4_000);
-    let quality = QualityEvaluator::criteo_like(64).queries(300);
+fn commodity(pipeline: PipelineConfig, placement: Placement, seed: u64) -> Engine {
+    Engine::commodity(pipeline)
+        .placement(placement)
+        .sim_queries(4_000)
+        .seed(seed)
+        .build()
+        .expect("valid commodity engine")
+}
 
+fn main() {
     let cpu_two = criteo_two_stage(256);
     let gpu_one = criteo_single_stage(4096);
-    let hetero_mapping = Mapping::new(vec![
-        StagePlacement::Gpu,
-        StagePlacement::Cpu { cores_per_query: 4 },
-    ]);
 
     println!("Figure 8 (top): iso-quality latency vs offered load\n");
+    let engines = [
+        commodity(cpu_two.clone(), Placement::cpu_only(2), 11),
+        commodity(cpu_two.clone(), Placement::gpu_frontend(2, 4), 11),
+        commodity(gpu_one.clone(), Placement::gpu_only(1), 11),
+    ];
     let mut top = Table::new(vec![
         "QPS",
         "CPU 2-stage p99",
@@ -33,17 +37,13 @@ fn main() {
     ]);
     for qps in [50.0, 100.0, 200.0, 400.0, 800.0, 1600.0] {
         let mut row = vec![format!("{qps:.0}")];
-        let configs: Vec<(&PipelineConfig, Mapping)> = vec![
-            (&cpu_two, Mapping::cpu_only(2)),
-            (&cpu_two, hetero_mapping.clone()),
-            (&gpu_one, Mapping::gpu_only(1)),
-        ];
-        for (pipeline, mapping) in configs {
-            let spec = perf.commodity_spec(pipeline, &mapping);
-            if spec.max_qps() < qps {
+        for engine in &engines {
+            if engine.max_qps() < qps {
                 row.push("saturated".into());
             } else {
-                let mut sim = spec.simulate(qps, 4_000, 11);
+                // Latency-only table: serve() skips the (unused)
+                // quality evaluation.
+                let mut sim = engine.serve(qps, 4_000);
                 row.push(format!("{:.2} ms", sim.p99_seconds() * 1e3));
             }
         }
@@ -63,30 +63,42 @@ fn main() {
         "GPU 1-stage p99",
         "GPU NDCG",
     ]);
+    let sla = 0.025;
     for items in [2048u64, 2560, 3200, 4096] {
         let cpu_pipeline = PipelineConfig::builder()
             .stage(StageConfig::new(ModelKind::RmSmall, items, 256))
             .stage(StageConfig::new(ModelKind::RmLarge, 256, 64))
             .build()
             .unwrap();
-        let gpu_pipeline = criteo_single_stage(items);
-        let mut cpu_sim = perf.evaluate(&cpu_pipeline, &Mapping::cpu_only(2), 70.0);
-        let mut gpu_sim = perf.evaluate(&gpu_pipeline, &Mapping::gpu_only(1), 70.0);
-        let cpu_q = quality.evaluate(&cpu_pipeline);
-        let gpu_q = quality.evaluate(&gpu_pipeline);
-        let fmt_sla = |p99: f64| {
-            if p99 > 0.025 {
-                format!("{:.2} ms (>SLA)", p99 * 1e3)
+        let cpu = Engine::commodity(cpu_pipeline)
+            .placement(Placement::cpu_only(2))
+            .load(70.0)
+            .sla(sla)
+            .sim_queries(4_000)
+            .build()
+            .expect("valid CPU engine")
+            .evaluate();
+        let gpu = Engine::commodity(criteo_single_stage(items))
+            .placement(Placement::gpu_only(1))
+            .load(70.0)
+            .sla(sla)
+            .sim_queries(4_000)
+            .build()
+            .expect("valid GPU engine")
+            .evaluate();
+        let fmt_sla = |p99_ms: f64, met: Option<bool>| {
+            if met == Some(false) {
+                format!("{p99_ms:.2} ms (>SLA)")
             } else {
-                format!("{:.2} ms", p99 * 1e3)
+                format!("{p99_ms:.2} ms")
             }
         };
         bottom.row(vec![
             items.to_string(),
-            fmt_sla(cpu_sim.p99_seconds()),
-            format!("{:.2}", cpu_q.ndcg_percent()),
-            fmt_sla(gpu_sim.p99_seconds()),
-            format!("{:.2}", gpu_q.ndcg_percent()),
+            fmt_sla(cpu.p99_ms(), cpu.meets_sla),
+            format!("{:.2}", cpu.ndcg_percent()),
+            fmt_sla(gpu.p99_ms(), gpu.meets_sla),
+            format!("{:.2}", gpu.ndcg_percent()),
         ]);
     }
     println!("{bottom}");

@@ -7,13 +7,40 @@
 
 use recpipe_accel::Partition;
 use recpipe_bench::{criteo_single_stage, criteo_three_stage, criteo_two_stage};
-use recpipe_core::{PerformanceEvaluator, PipelineConfig, Table};
+use recpipe_core::{Engine, Table};
+use recpipe_qsim::SimResult;
+
+fn accel_engine(pipeline: recpipe_core::PipelineConfig, partition: Partition) -> Engine {
+    Engine::rpaccel(pipeline, partition)
+        .sim_queries(4_000)
+        .build()
+        .expect("valid accel engine")
+}
+
+/// Latency-only cell: the tables never print quality, so the raw
+/// simulation (`Engine::serve`) suffices.
+fn cell(mut sim: SimResult) -> String {
+    if sim.saturated {
+        "saturated".into()
+    } else {
+        format!("{:.2} ms", sim.p99_seconds() * 1e3)
+    }
+}
 
 fn main() {
-    let perf = PerformanceEvaluator::table2_defaults().sim_queries(4_000);
     let single = criteo_single_stage(4096);
     let two = criteo_two_stage(512);
     let three = criteo_three_stage();
+
+    let baseline = Engine::baseline_accel(single.clone())
+        .sim_queries(4_000)
+        .build()
+        .expect("valid baseline engine");
+    let rp_engines = [
+        accel_engine(single.clone(), Partition::monolithic()),
+        accel_engine(two.clone(), Partition::symmetric(8, 2)),
+        accel_engine(three.clone(), Partition::symmetric(8, 8)),
+    ];
 
     println!("Figure 12 (top): latency vs offered load at iso-quality\n");
     let mut top = Table::new(vec![
@@ -26,26 +53,17 @@ fn main() {
     let loads = [100.0, 200.0, 400.0, 800.0, 1300.0, 2000.0];
     for &qps in &loads {
         let mut row = vec![format!("{qps:.0}")];
-        // Baseline.
-        let mut sim = perf.evaluate_baseline_accel(&single, qps);
-        row.push(cell(&mut sim));
-        // RPAccel variants.
-        let cases: Vec<(&PipelineConfig, Partition)> = vec![
-            (&single, Partition::monolithic()),
-            (&two, Partition::symmetric(8, 2)),
-            (&three, Partition::symmetric(8, 8)),
-        ];
-        for (pipeline, partition) in cases {
-            let mut sim = perf.evaluate_accel(pipeline, partition, qps);
-            row.push(cell(&mut sim));
+        row.push(cell(baseline.serve(qps, 4_000)));
+        for engine in &rp_engines {
+            row.push(cell(engine.serve(qps, 4_000)));
         }
         top.row(row);
     }
     println!("{top}");
 
     // Headline ratios at the anchor loads.
-    let mut base200 = perf.evaluate_baseline_accel(&single, 200.0);
-    let mut rp200 = perf.evaluate_accel(&two, Partition::symmetric(8, 2), 200.0);
+    let mut base200 = baseline.serve(200.0, 4_000);
+    let mut rp200 = rp_engines[1].serve(200.0, 4_000);
     println!(
         "latency gain at 200 QPS: {:.1}x (paper: ~3x)",
         base200.p99_seconds() / rp200.p99_seconds()
@@ -53,12 +71,15 @@ fn main() {
 
     println!("\nFigure 12 (bottom): asymmetric backend provisioning\n");
     let mut bottom = Table::new(vec!["QPS", "RPAccel(8,2)", "RPAccel(8,8)", "RPAccel(8,16)"]);
+    let partitions: Vec<Engine> = [2usize, 8, 16]
+        .into_iter()
+        .map(|b| accel_engine(two.clone(), Partition::symmetric(8, b)))
+        .collect();
     let loads = [100.0, 200.0, 400.0, 800.0, 1300.0, 2000.0, 2300.0, 2500.0];
     for &qps in &loads {
         let mut row = vec![format!("{qps:.0}")];
-        for b in [2usize, 8, 16] {
-            let mut sim = perf.evaluate_accel(&two, Partition::symmetric(8, b), qps);
-            row.push(cell(&mut sim));
+        for engine in &partitions {
+            row.push(cell(engine.serve(qps, 4_000)));
         }
         bottom.row(row);
     }
@@ -68,12 +89,4 @@ fn main() {
          load; the paper's high-load flip toward (8,16) sits beyond the\n\
          shared-DRAM saturation point in our model (see EXPERIMENTS.md)."
     );
-}
-
-fn cell(sim: &mut recpipe_qsim::SimResult) -> String {
-    if sim.saturated {
-        "saturated".into()
-    } else {
-        format!("{:.2} ms", sim.p99_seconds() * 1e3)
-    }
 }

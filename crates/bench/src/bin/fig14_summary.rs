@@ -6,9 +6,7 @@
 //! (greyed out in the paper).
 
 use recpipe_accel::Partition;
-use recpipe_core::{
-    Mapping, PerformanceEvaluator, PipelineConfig, StageConfig, StagePlacement, Table,
-};
+use recpipe_core::{Engine, PipelineConfig, Placement, StageConfig, Table};
 use recpipe_data::DatasetKind;
 use recpipe_models::ModelKind;
 
@@ -48,21 +46,38 @@ fn pipelines(dataset: DatasetKind) -> Vec<PipelineConfig> {
     vec![one, two, three]
 }
 
-fn commodity_mapping(platform: &str, stages: usize) -> Mapping {
-    match (platform, stages) {
-        ("gpu", 1) => Mapping::gpu_only(1),
-        ("gpu", n) => {
-            // GPU frontend + CPU backend(s) per the paper's Section 5.2.
-            let mut placements = vec![StagePlacement::Gpu];
-            placements.extend(vec![StagePlacement::Cpu { cores_per_query: 2 }; n - 1]);
-            Mapping::new(placements)
+/// The platform's engine for a pipeline: CPU-only, GPU frontend + CPU
+/// backend(s), or RPAccel.
+fn platform_engine(platform: &str, pipeline: &PipelineConfig) -> Engine {
+    let stages = pipeline.num_stages();
+    let builder = match platform {
+        "accel" => {
+            let partition = if stages == 1 {
+                Partition::monolithic()
+            } else {
+                Partition::symmetric(8, 8)
+            };
+            Engine::rpaccel(pipeline.clone(), partition)
         }
-        (_, n) => Mapping::cpu_only(n),
-    }
+        "gpu" => {
+            let placement = if stages == 1 {
+                Placement::gpu_only(1)
+            } else {
+                // GPU frontend + CPU backend(s) per the paper's Section 5.2.
+                Placement::gpu_frontend(stages, 2)
+            };
+            Engine::commodity(pipeline.clone()).placement(placement)
+        }
+        _ => Engine::commodity(pipeline.clone()).placement(Placement::cpu_only(stages)),
+    };
+    builder
+        .sim_queries(3_000)
+        .seed(21)
+        .build()
+        .expect("valid platform engine")
 }
 
 fn main() {
-    let perf = PerformanceEvaluator::table2_defaults().sim_queries(3_000);
     let loads = [100.0, 500.0, 2000.0];
 
     println!("Figure 14: iso-quality tail latency summary (p99, ms)\n");
@@ -71,35 +86,21 @@ fn main() {
         let mut table = Table::new(vec!["platform", "stages", "100 QPS", "500 QPS", "2000 QPS"]);
         for platform in ["cpu", "gpu", "accel"] {
             for (i, pipeline) in pipelines(dataset).iter().enumerate() {
-                let stages = i + 1;
-                let mut row = vec![platform.to_string(), stages.to_string()];
+                let engine = platform_engine(platform, pipeline);
+                let mut row = vec![platform.to_string(), (i + 1).to_string()];
                 for &qps in &loads {
-                    let result = match platform {
-                        "accel" => {
-                            let partition = if stages == 1 {
-                                Partition::monolithic()
-                            } else {
-                                Partition::symmetric(8, 8)
-                            };
-                            let mut sim = perf.evaluate_accel(pipeline, partition, qps);
-                            if sim.saturated {
-                                "saturated".into()
-                            } else {
-                                format!("{:.2}", sim.p99_seconds() * 1e3)
-                            }
-                        }
-                        _ => {
-                            let mapping = commodity_mapping(platform, stages);
-                            let spec = perf.commodity_spec(pipeline, &mapping);
-                            if spec.max_qps() < qps {
-                                "saturated".into()
-                            } else {
-                                let mut sim = spec.simulate(qps, 3_000, 21);
-                                format!("{:.2}", sim.p99_seconds() * 1e3)
-                            }
-                        }
-                    };
-                    row.push(result);
+                    if engine.max_qps() < qps {
+                        row.push("saturated".into());
+                        continue;
+                    }
+                    // Latency-only table: serve() skips the (unused)
+                    // quality evaluation.
+                    let mut sim = engine.serve(qps, 3_000);
+                    if sim.saturated {
+                        row.push("saturated".into());
+                    } else {
+                        row.push(format!("{:.2}", sim.p99_seconds() * 1e3));
+                    }
                 }
                 table.row(row);
             }

@@ -1,0 +1,562 @@
+//! The hardware seam: a [`Backend`] prices pipeline stages on one kind
+//! of hardware, and a [`Placement`] assigns each pipeline stage to a
+//! backend in a pool.
+//!
+//! This replaces the old hard-coded CPU/GPU/accelerator match arms: the
+//! engine, the scheduler, and the queueing simulator all consume
+//! hardware through this one trait, so adding a new device means
+//! implementing [`Backend`] once — nothing downstream changes.
+
+use std::sync::Arc;
+
+use recpipe_accel::{BaselineAccel, RpAccel};
+use recpipe_hwsim::{CpuModel, Device, GpuModel, PcieModel, StageWork};
+use recpipe_qsim::{PipelineSpec, ResourceSpec, StageSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::EngineError;
+use crate::PipelineConfig;
+
+/// Bytes shipped per surviving item between devices (dense features,
+/// sparse ids, score) — the payload a stage hands across an
+/// interconnect when consecutive stages run on different backends.
+pub const INTERMEDIATE_BYTES_PER_ITEM: u64 = 164;
+
+/// A hardware target pipeline stages can be placed on.
+///
+/// The three methods are the entire contract:
+///
+/// * [`name`](Backend::name) identifies the backend in reports and
+///   placement descriptions (`cpu`, `gpu`, `rpaccel(8,2)`, ...);
+/// * [`resources`](Backend::resources) declares the queueing-simulator
+///   resource pool this backend contributes (e.g. 64 CPU cores, 1 GPU,
+///   8 accelerator lanes);
+/// * [`stage_latency`](Backend::stage_latency) prices one query's stage,
+///   optionally split across `parallelism` resource units.
+///
+/// Backends whose at-scale behavior is *not* well modeled as
+/// independent per-stage service (RPAccel serializes all queries on its
+/// shared DRAM system) can override [`chain_spec`](Backend::chain_spec)
+/// to supply a whole-pipeline queueing decomposition; the engine uses it
+/// whenever every stage of a pipeline is placed on that backend.
+///
+/// # Examples
+///
+/// A mock backend is a handful of lines — the test suite drives one
+/// through `Engine::evaluate` end to end:
+///
+/// ```
+/// use recpipe_core::Backend;
+/// use recpipe_hwsim::StageWork;
+/// use recpipe_qsim::ResourceSpec;
+///
+/// #[derive(Debug)]
+/// struct FixedLatency(f64);
+///
+/// impl Backend for FixedLatency {
+///     fn name(&self) -> String {
+///         "fixed".into()
+///     }
+///     fn resources(&self) -> ResourceSpec {
+///         ResourceSpec::new("fixed", 4)
+///     }
+///     fn stage_latency(&self, _work: &StageWork, _parallelism: usize) -> f64 {
+///         self.0
+///     }
+/// }
+/// ```
+pub trait Backend: std::fmt::Debug {
+    /// Short human-readable identifier used in placement descriptions.
+    fn name(&self) -> String;
+
+    /// The resource pool this backend contributes to the queueing
+    /// simulation.
+    fn resources(&self) -> ResourceSpec;
+
+    /// Service time in seconds of one query's stage, using
+    /// `parallelism` resource units (backends that cannot split a query
+    /// simply ignore values above 1).
+    fn stage_latency(&self, work: &StageWork, parallelism: usize) -> f64;
+
+    /// Whether this backend models splitting one query across multiple
+    /// resource units (CPU model parallelism). When `false` (the
+    /// default), the scheduler does not generate `parallelism > 1`
+    /// placement variants for it — paying extra units for a backend
+    /// that ignores the knob would misprice the design point.
+    fn splits_queries(&self) -> bool {
+        false
+    }
+
+    /// Optional whole-pipeline queueing decomposition, consulted when
+    /// every stage of `pipeline` is placed on this backend. Return
+    /// `None` (the default) to use the generic per-stage path.
+    fn chain_spec(&self, pipeline: &PipelineConfig) -> Option<PipelineSpec> {
+        let _ = pipeline;
+        None
+    }
+}
+
+impl Backend for CpuModel {
+    fn name(&self) -> String {
+        "cpu".into()
+    }
+
+    fn resources(&self) -> ResourceSpec {
+        ResourceSpec::new("cpu", self.cores)
+    }
+
+    fn stage_latency(&self, work: &StageWork, parallelism: usize) -> f64 {
+        CpuModel::stage_latency(self, work, parallelism.clamp(1, self.cores))
+    }
+
+    fn splits_queries(&self) -> bool {
+        true
+    }
+}
+
+impl Backend for GpuModel {
+    fn name(&self) -> String {
+        "gpu".into()
+    }
+
+    fn resources(&self) -> ResourceSpec {
+        ResourceSpec::new("gpu", 1)
+    }
+
+    fn stage_latency(&self, work: &StageWork, _parallelism: usize) -> f64 {
+        Device::stage_latency(self, work)
+    }
+}
+
+impl Backend for RpAccel {
+    fn name(&self) -> String {
+        let p = &self.config().partition;
+        format!("rpaccel({},{})", p.frontend().len(), p.backend().len())
+    }
+
+    fn resources(&self) -> ResourceSpec {
+        ResourceSpec::new("rpaccel", self.config().partition.query_lanes())
+    }
+
+    fn stage_latency(&self, work: &StageWork, _parallelism: usize) -> f64 {
+        self.query_latency(std::slice::from_ref(work))
+    }
+
+    fn chain_spec(&self, pipeline: &PipelineConfig) -> Option<PipelineSpec> {
+        Some(accel_profile_spec(
+            self.service_profile(&pipeline.stage_works()),
+        ))
+    }
+}
+
+impl Backend for BaselineAccel {
+    fn name(&self) -> String {
+        "baseline-accel".into()
+    }
+
+    fn resources(&self) -> ResourceSpec {
+        ResourceSpec::new("baseline-accel", 1)
+    }
+
+    fn stage_latency(&self, work: &StageWork, _parallelism: usize) -> f64 {
+        // The baseline serves a single monolithic stage; the top-64
+        // host filter is the paper's serving configuration.
+        self.query_latency(work, 64)
+    }
+
+    fn chain_spec(&self, pipeline: &PipelineConfig) -> Option<PipelineSpec> {
+        // The baseline models a single monolithic stage; multi-stage
+        // pipelines fall back to the generic per-stage path so no
+        // frontend work is silently dropped.
+        if pipeline.num_stages() != 1 {
+            return None;
+        }
+        let works = pipeline.stage_works();
+        Some(accel_profile_spec(
+            self.service_profile(works.first()?, pipeline.items_served()),
+        ))
+    }
+}
+
+/// Queueing decomposition of an accelerator service profile: a
+/// serialized memory phase followed by a lanes-parallel compute phase.
+fn accel_profile_spec(profile: recpipe_accel::ServiceProfile) -> PipelineSpec {
+    PipelineSpec::new(vec![
+        ResourceSpec::new("accel-mem", 1),
+        ResourceSpec::new("accel-lanes", profile.lanes),
+    ])
+    .with_stage(StageSpec::new(
+        "mem",
+        0,
+        1,
+        profile.dram_service_s.max(1e-9),
+    ))
+    .expect("validated stage")
+    .with_stage(StageSpec::new("compute", 1, 1, profile.compute_service_s))
+    .expect("validated stage")
+}
+
+/// Where one pipeline stage runs: a backend (by index into the engine's
+/// pool) and how many of that backend's resource units serve one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StageSite {
+    /// Index into the backend pool.
+    pub backend: usize,
+    /// Resource units dedicated to each in-flight query (CPU model
+    /// parallelism; 1 for backends that serve a query on one unit).
+    pub parallelism: usize,
+}
+
+impl StageSite {
+    /// A site on `backend` with the given per-query parallelism.
+    pub fn new(backend: usize, parallelism: usize) -> Self {
+        Self {
+            backend,
+            parallelism: parallelism.max(1),
+        }
+    }
+}
+
+/// A per-stage assignment of pipeline stages to backends — the
+/// scheduler's Step 2 decision, generalized beyond CPU/GPU.
+///
+/// The index-based helpers ([`cpu_only`](Placement::cpu_only),
+/// [`gpu_only`](Placement::gpu_only), ...) assume the *commodity pool
+/// convention* used by `Engine::commodity`: backend 0 is the CPU,
+/// backend 1 is the GPU.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Placement {
+    sites: Vec<StageSite>,
+}
+
+impl Placement {
+    /// Creates a placement from explicit per-stage sites.
+    pub fn new(sites: Vec<StageSite>) -> Self {
+        Self { sites }
+    }
+
+    /// Every stage on `backend` with the given parallelism.
+    pub fn uniform(backend: usize, stages: usize, parallelism: usize) -> Self {
+        Self::new(vec![StageSite::new(backend, parallelism); stages])
+    }
+
+    /// Commodity convention: all stages on the CPU, one core per query.
+    pub fn cpu_only(stages: usize) -> Self {
+        Self::uniform(0, stages, 1)
+    }
+
+    /// Commodity convention: all stages on the CPU, with the final
+    /// (heavyweight) stage split across `cores` cores.
+    pub fn cpu_parallel_backend(stages: usize, cores: usize) -> Self {
+        let mut sites = vec![StageSite::new(0, 1); stages.saturating_sub(1)];
+        sites.push(StageSite::new(0, cores));
+        Self::new(sites)
+    }
+
+    /// Commodity convention: every stage on the GPU.
+    pub fn gpu_only(stages: usize) -> Self {
+        Self::uniform(1, stages, 1)
+    }
+
+    /// Commodity convention: frontend on the GPU, remaining stages on
+    /// the CPU with `backend_cores` cores per query (the paper's winning
+    /// heterogeneous configuration).
+    pub fn gpu_frontend(stages: usize, backend_cores: usize) -> Self {
+        let mut sites = vec![StageSite::new(1, 1)];
+        let rest = stages.saturating_sub(1);
+        sites.extend(vec![StageSite::new(0, 1); rest.saturating_sub(1)]);
+        if rest > 0 {
+            sites.push(StageSite::new(0, backend_cores));
+        }
+        Self::new(sites)
+    }
+
+    /// Per-stage sites.
+    pub fn sites(&self) -> &[StageSite] {
+        &self.sites
+    }
+
+    /// Number of stages this placement covers.
+    pub fn num_stages(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether all stages share one backend (returns its index).
+    pub fn sole_backend(&self) -> Option<usize> {
+        let first = self.sites.first()?.backend;
+        self.sites
+            .iter()
+            .all(|s| s.backend == first)
+            .then_some(first)
+    }
+
+    /// Compact description against a backend pool, e.g. `gpu|cpu(x2)`.
+    /// A placement that runs every stage on one backend with no model
+    /// parallelism collapses to the bare backend name (e.g.
+    /// `rpaccel(8,2)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a site references a backend outside the pool.
+    pub fn describe(&self, pool: &[Arc<dyn Backend>]) -> String {
+        if let Some(b) = self.sole_backend() {
+            if self.sites.iter().all(|s| s.parallelism == 1) {
+                return pool[b].name();
+            }
+        }
+        self.sites
+            .iter()
+            .map(|s| {
+                let name = pool[s.backend].name();
+                if s.parallelism > 1 {
+                    format!("{name}(x{})", s.parallelism)
+                } else {
+                    name
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+}
+
+/// Builds the queueing spec for `pipeline` under `placement` over a
+/// backend `pool` — the one code path every evaluation flows through.
+///
+/// If all stages land on a single backend that supplies a
+/// [`Backend::chain_spec`], that decomposition is used. Otherwise each
+/// stage becomes a queueing stage on its backend's resource, and
+/// consecutive stages on *different* backends pay `interconnect`
+/// transfer for the surviving candidates.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] if the placement arity does not match the
+/// pipeline, a site references a backend outside the pool, or a stage
+/// over-requests its backend's capacity.
+pub fn build_spec(
+    pool: &[Arc<dyn Backend>],
+    interconnect: &PcieModel,
+    pipeline: &PipelineConfig,
+    placement: &Placement,
+) -> Result<PipelineSpec, EngineError> {
+    if placement.num_stages() != pipeline.num_stages() {
+        return Err(EngineError::PlacementArity {
+            stages: pipeline.num_stages(),
+            sites: placement.num_stages(),
+        });
+    }
+    if let Some(site) = placement.sites().iter().find(|s| s.backend >= pool.len()) {
+        return Err(EngineError::UnknownBackend {
+            index: site.backend,
+            pool_size: pool.len(),
+        });
+    }
+
+    // The whole-chain decomposition models plain (parallelism-1)
+    // occupancy; placements requesting model parallelism fall through
+    // to the generic path, which both prices the parallelism and
+    // validates it against the backend's capacity.
+    if let Some(sole) = placement.sole_backend() {
+        if placement.sites().iter().all(|s| s.parallelism == 1) {
+            if let Some(spec) = pool[sole].chain_spec(pipeline) {
+                return Ok(spec);
+            }
+        }
+    }
+
+    let resources: Vec<ResourceSpec> = pool.iter().map(|b| b.resources()).collect();
+    let works = pipeline.stage_works();
+    let mut spec = PipelineSpec::new(resources);
+    let mut prev: Option<usize> = None;
+    for (i, (work, site)) in works.iter().zip(placement.sites()).enumerate() {
+        // Crossing backends ships the surviving candidates over the
+        // interconnect.
+        let crossing = prev.is_some_and(|p| p != site.backend);
+        let transfer = if crossing {
+            interconnect.transfer_time(work.items * INTERMEDIATE_BYTES_PER_ITEM)
+        } else {
+            0.0
+        };
+        let backend = &pool[site.backend];
+        let stage = StageSpec::new(
+            format!("s{i}:{}", backend.name()),
+            site.backend,
+            site.parallelism,
+            backend.stage_latency(work, site.parallelism) + transfer,
+        );
+        spec = spec.with_stage(stage)?;
+        prev = Some(site.backend);
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StageConfig;
+    use recpipe_accel::{Partition, RpAccelConfig};
+    use recpipe_models::ModelKind;
+
+    fn two_stage() -> PipelineConfig {
+        PipelineConfig::builder()
+            .stage(StageConfig::new(ModelKind::RmSmall, 4096, 256))
+            .stage(StageConfig::new(ModelKind::RmLarge, 256, 64))
+            .build()
+            .unwrap()
+    }
+
+    fn commodity_pool() -> Vec<Arc<dyn Backend>> {
+        vec![Arc::new(CpuModel::cascade_lake()), Arc::new(GpuModel::t4())]
+    }
+
+    #[test]
+    fn cpu_backend_prices_stages_like_the_model() {
+        let cpu = CpuModel::cascade_lake();
+        let work = &two_stage().stage_works()[0];
+        assert_eq!(
+            Backend::stage_latency(&cpu, work, 2),
+            CpuModel::stage_latency(&cpu, work, 2)
+        );
+        assert_eq!(cpu.resources().capacity, 64);
+    }
+
+    #[test]
+    fn placement_describe_names_backends() {
+        let pool = commodity_pool();
+        let p = Placement::new(vec![StageSite::new(1, 1), StageSite::new(0, 4)]);
+        assert_eq!(p.describe(&pool), "gpu|cpu(x4)");
+        // Uniform single-backend placements collapse to the bare name.
+        assert_eq!(Placement::cpu_only(2).describe(&pool), "cpu");
+        assert_eq!(
+            Placement::cpu_parallel_backend(2, 4).describe(&pool),
+            "cpu|cpu(x4)"
+        );
+    }
+
+    #[test]
+    fn build_spec_charges_interconnect_on_crossing() {
+        let pool = commodity_pool();
+        let pcie = PcieModel::measured();
+        let pipeline = two_stage();
+        let hetero = build_spec(&pool, &pcie, &pipeline, &Placement::gpu_frontend(2, 1)).unwrap();
+        let cpu_only = build_spec(&pool, &pcie, &pipeline, &Placement::cpu_only(2)).unwrap();
+        // The backend stage gains the PCIe transfer when upstream is GPU.
+        assert!(hetero.stages()[1].service_time > cpu_only.stages()[1].service_time);
+        // Same backend on both stages: no transfer even with different
+        // parallelism.
+        let parallel = build_spec(
+            &pool,
+            &pcie,
+            &pipeline,
+            &Placement::cpu_parallel_backend(2, 4),
+        )
+        .unwrap();
+        assert!(parallel.stages()[1].service_time < cpu_only.stages()[1].service_time);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let pool = commodity_pool();
+        let err = build_spec(
+            &pool,
+            &PcieModel::measured(),
+            &two_stage(),
+            &Placement::cpu_only(1),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::PlacementArity {
+                stages: 2,
+                sites: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn unknown_backend_is_an_error() {
+        let pool = commodity_pool();
+        let err = build_spec(
+            &pool,
+            &PcieModel::measured(),
+            &two_stage(),
+            &Placement::uniform(7, 2, 1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownBackend { index: 7, .. }));
+    }
+
+    #[test]
+    fn rpaccel_chain_spec_is_used_when_sole_backend() {
+        let pipeline = two_stage();
+        let accel = RpAccel::new(RpAccelConfig::paper_default(Partition::symmetric(8, 2)));
+        let pool: Vec<Arc<dyn Backend>> = vec![Arc::new(accel)];
+        let spec = build_spec(
+            &pool,
+            &PcieModel::measured(),
+            &pipeline,
+            &Placement::uniform(0, 2, 1),
+        )
+        .unwrap();
+        // The chain decomposition has the mem + lanes shape, not one
+        // stage per pipeline stage.
+        assert_eq!(spec.resources().len(), 2);
+        assert_eq!(spec.resources()[0].name, "accel-mem");
+        assert_eq!(spec.stages().len(), 2);
+
+        // Model-parallel placements bypass the chain decomposition and
+        // go generic — including capacity validation (lanes = 2 here).
+        let parallel = build_spec(
+            &pool,
+            &PcieModel::measured(),
+            &pipeline,
+            &Placement::uniform(0, 2, 2),
+        )
+        .unwrap();
+        assert_eq!(parallel.resources()[0].name, "rpaccel");
+        let err = build_spec(
+            &pool,
+            &PcieModel::measured(),
+            &pipeline,
+            &Placement::uniform(0, 2, 999),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Spec(_)));
+    }
+
+    #[test]
+    fn baseline_accel_multi_stage_falls_back_to_per_stage_pricing() {
+        // The baseline's chain decomposition models a single monolithic
+        // stage; a multi-stage pipeline must NOT silently drop frontend
+        // work — it takes the generic per-stage path instead.
+        let baseline = BaselineAccel::paper_default();
+        assert!(baseline.chain_spec(&two_stage()).is_none());
+        let single = PipelineConfig::single_stage(ModelKind::RmLarge, 4096, 64).unwrap();
+        assert!(baseline.chain_spec(&single).is_some());
+
+        let pool: Vec<Arc<dyn Backend>> = vec![Arc::new(BaselineAccel::paper_default())];
+        let spec = build_spec(
+            &pool,
+            &PcieModel::measured(),
+            &two_stage(),
+            &Placement::uniform(0, 2, 1),
+        )
+        .unwrap();
+        // One queueing stage per pipeline stage, every stage priced.
+        assert_eq!(spec.stages().len(), 2);
+        assert!(spec.stages().iter().all(|s| s.service_time > 0.0));
+    }
+
+    #[test]
+    fn over_capacity_parallelism_surfaces_as_spec_error() {
+        let pool = commodity_pool();
+        let err = build_spec(
+            &pool,
+            &PcieModel::measured(),
+            &two_stage(),
+            &Placement::new(vec![StageSite::new(1, 1), StageSite::new(1, 3)]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Spec(_)));
+    }
+}

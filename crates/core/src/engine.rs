@@ -1,0 +1,722 @@
+//! The unified entry point: an [`Engine`] binds a pipeline, a backend
+//! pool, a placement, an offered load, and an SLA into one object that
+//! answers the joint quality/performance question with a single call.
+//!
+//! * [`Engine::evaluate`] → an [`Outcome`] carrying quality, tail
+//!   latency, throughput, and saturation together;
+//! * [`Engine::sweep`] → a [`ParetoFront`] of outcomes over the
+//!   scheduler's design space;
+//! * [`Engine::serve`] → a raw queueing-simulation run at an arbitrary
+//!   load.
+
+use std::cell::OnceCell;
+use std::sync::Arc;
+
+use recpipe_accel::{BaselineAccel, Partition, RpAccel, RpAccelConfig};
+use recpipe_data::DatasetSpec;
+use recpipe_hwsim::{CpuModel, GpuModel, PcieModel};
+use recpipe_metrics::ParetoFront;
+use recpipe_qsim::{PipelineSpec, SimResult, SpecError};
+use serde::{Deserialize, Serialize};
+
+use crate::backend::{build_spec, Backend, Placement};
+use crate::scheduler::Scheduler;
+use crate::{PipelineConfig, QualityEvaluator, QualityReport, SchedulerSettings};
+
+/// Error constructing or driving an [`Engine`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The builder was finalized without a pipeline.
+    MissingPipeline,
+    /// The builder was finalized without any backend.
+    MissingBackend,
+    /// The placement's stage count differs from the pipeline's.
+    PlacementArity {
+        /// Stages in the pipeline.
+        stages: usize,
+        /// Sites in the placement.
+        sites: usize,
+    },
+    /// A placement site references a backend outside the pool.
+    UnknownBackend {
+        /// The out-of-range backend index.
+        index: usize,
+        /// Number of backends in the pool.
+        pool_size: usize,
+    },
+    /// The queueing spec rejected a stage (e.g. parallelism above the
+    /// backend's capacity).
+    Spec(SpecError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::MissingPipeline => write!(f, "engine requires a pipeline"),
+            EngineError::MissingBackend => write!(f, "engine requires at least one backend"),
+            EngineError::PlacementArity { stages, sites } => write!(
+                f,
+                "placement has {sites} sites but the pipeline has {stages} stages"
+            ),
+            EngineError::UnknownBackend { index, pool_size } => write!(
+                f,
+                "placement references backend {index} but the pool has {pool_size}"
+            ),
+            EngineError::Spec(e) => write!(f, "invalid queueing spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for EngineError {
+    fn from(e: SpecError) -> Self {
+        EngineError::Spec(e)
+    }
+}
+
+/// One jointly evaluated design point: a pipeline on concrete hardware,
+/// with quality, tail latency, throughput, and saturation in a single
+/// struct — what the scheduler emits and what [`Engine::evaluate`]
+/// returns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Outcome {
+    /// The pipeline configuration.
+    pub pipeline: PipelineConfig,
+    /// Human-readable placement description (e.g. `gpu|cpu(x2)` or
+    /// `rpaccel(8,2)`).
+    pub mapping: String,
+    /// Mean NDCG in `[0, 1]`.
+    pub ndcg: f64,
+    /// p99 tail latency in seconds.
+    pub p99_s: f64,
+    /// Median latency in seconds.
+    pub p50_s: f64,
+    /// Achieved completion rate in queries per second.
+    pub qps: f64,
+    /// Offered load in queries per second.
+    pub offered_qps: f64,
+    /// Whether the configuration failed to meet the offered load.
+    pub saturated: bool,
+    /// Whether the design met the engine's SLA (`None` when no SLA was
+    /// configured).
+    pub meets_sla: Option<bool>,
+}
+
+impl Outcome {
+    /// NDCG in the paper's percent convention.
+    pub fn ndcg_percent(&self) -> f64 {
+        self.ndcg * 100.0
+    }
+
+    /// p99 in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.p99_s * 1e3
+    }
+
+    /// p50 in milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.p50_s * 1e3
+    }
+}
+
+/// Builder for [`Engine`]; see [`Engine::builder`].
+#[derive(Debug, Default)]
+pub struct EngineBuilder {
+    pipeline: Option<PipelineConfig>,
+    backends: Vec<Arc<dyn Backend>>,
+    placement: Option<Placement>,
+    interconnect: Option<PcieModel>,
+    load_qps: f64,
+    sla_s: Option<f64>,
+    quality_queries: usize,
+    sub_batches: usize,
+    sim_queries: usize,
+    seed: u64,
+}
+
+impl EngineBuilder {
+    fn new() -> Self {
+        Self {
+            pipeline: None,
+            backends: Vec::new(),
+            placement: None,
+            interconnect: None,
+            load_qps: 100.0,
+            sla_s: None,
+            quality_queries: 300,
+            sub_batches: 1,
+            sim_queries: 4_000,
+            seed: 0xbeef,
+        }
+    }
+
+    /// Sets the pipeline to serve (required).
+    pub fn pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = Some(pipeline);
+        self
+    }
+
+    /// Adds a backend to the pool (at least one required). Backends are
+    /// indexed by insertion order.
+    pub fn backend(mut self, backend: impl Backend + 'static) -> Self {
+        self.backends.push(Arc::new(backend));
+        self
+    }
+
+    /// Adds an already-shared backend to the pool.
+    pub fn backend_arc(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.backends.push(backend);
+        self
+    }
+
+    /// Sets the per-stage placement (defaults to every stage on backend
+    /// 0 with parallelism 1).
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = Some(placement);
+        self
+    }
+
+    /// Sets the interconnect paid when consecutive stages cross
+    /// backends (defaults to the measured PCIe model).
+    pub fn interconnect(mut self, pcie: PcieModel) -> Self {
+        self.interconnect = Some(pcie);
+        self
+    }
+
+    /// Sets the offered load [`Engine::evaluate`] and [`Engine::sweep`]
+    /// run at (default 100 QPS).
+    pub fn load(mut self, qps: f64) -> Self {
+        self.load_qps = qps;
+        self
+    }
+
+    /// Sets a p99 SLA target in seconds; outcomes report whether they
+    /// met it.
+    pub fn sla(mut self, sla_s: f64) -> Self {
+        self.sla_s = Some(sla_s);
+        self
+    }
+
+    /// Monte-Carlo queries per quality evaluation (default 300).
+    pub fn quality_queries(mut self, n: usize) -> Self {
+        self.quality_queries = n.max(1);
+        self
+    }
+
+    /// Per-stage sub-batched top-k stitching for quality evaluation
+    /// (RPAccel's pipelined execution; default 1 = whole-batch).
+    pub fn sub_batches(mut self, n: usize) -> Self {
+        self.sub_batches = n.max(1);
+        self
+    }
+
+    /// Simulated queries per performance run (default 4000).
+    pub fn sim_queries(mut self, n: usize) -> Self {
+        self.sim_queries = n.max(100);
+        self
+    }
+
+    /// Base RNG seed for quality and performance simulation.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] if the pipeline or backends are
+    /// missing, or if the placement does not fit the pipeline and pool.
+    pub fn build(self) -> Result<Engine, EngineError> {
+        let pipeline = self.pipeline.ok_or(EngineError::MissingPipeline)?;
+        if self.backends.is_empty() {
+            return Err(EngineError::MissingBackend);
+        }
+        let placement = self
+            .placement
+            .unwrap_or_else(|| Placement::uniform(0, pipeline.num_stages(), 1));
+        let interconnect = self.interconnect.unwrap_or_else(PcieModel::measured);
+        // Building the spec here both validates the placement eagerly
+        // (misuse fails at build time, not on first evaluation) and
+        // lets every later call reuse it.
+        let spec = build_spec(&self.backends, &interconnect, &pipeline, &placement)?;
+        Ok(Engine {
+            pipeline,
+            backends: self.backends,
+            placement,
+            interconnect,
+            load_qps: self.load_qps,
+            sla_s: self.sla_s,
+            quality_queries: self.quality_queries,
+            sub_batches: self.sub_batches,
+            sim_queries: self.sim_queries,
+            seed: self.seed,
+            spec,
+            quality_cache: OnceCell::new(),
+        })
+    }
+}
+
+/// A pipeline bound to hardware: the single object that answers the
+/// joint quality/performance question.
+///
+/// # Examples
+///
+/// ```
+/// use recpipe_core::{Engine, Placement, PipelineConfig, StageConfig};
+/// use recpipe_models::ModelKind;
+///
+/// let pipeline = PipelineConfig::builder()
+///     .stage(StageConfig::new(ModelKind::RmSmall, 4096, 256))
+///     .stage(StageConfig::new(ModelKind::RmLarge, 256, 64))
+///     .build()?;
+///
+/// let engine = Engine::commodity(pipeline)
+///     .placement(Placement::cpu_only(2))
+///     .load(500.0)
+///     .sla(0.025)
+///     .sim_queries(1_000)
+///     .build()?;
+///
+/// let outcome = engine.evaluate();
+/// assert!(outcome.ndcg > 0.90);
+/// assert!(!outcome.saturated);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    pipeline: PipelineConfig,
+    backends: Vec<Arc<dyn Backend>>,
+    placement: Placement,
+    interconnect: PcieModel,
+    load_qps: f64,
+    sla_s: Option<f64>,
+    quality_queries: usize,
+    sub_batches: usize,
+    sim_queries: usize,
+    seed: u64,
+    /// Built once at `EngineBuilder::build`; the engine is immutable,
+    /// so every evaluation reuses it.
+    spec: PipelineSpec,
+    quality_cache: OnceCell<QualityReport>,
+}
+
+impl Engine {
+    /// Starts building an engine from scratch (bring your own
+    /// backends).
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// An engine over the paper's Table 2 commodity platforms: backend
+    /// 0 is the Cascade Lake CPU, backend 1 the T4 GPU (the convention
+    /// [`Placement`]'s helpers assume). Defaults to an all-CPU
+    /// placement.
+    pub fn commodity(pipeline: PipelineConfig) -> EngineBuilder {
+        EngineBuilder::new()
+            .backend(CpuModel::cascade_lake())
+            .backend(GpuModel::t4())
+            .pipeline(pipeline)
+    }
+
+    /// An engine over a single RPAccel with the given partition,
+    /// configured for the pipeline's dataset. Quality is evaluated with
+    /// the paper's 4-way sub-batched stitching.
+    pub fn rpaccel(pipeline: PipelineConfig, partition: Partition) -> EngineBuilder {
+        let spec = DatasetSpec::for_kind(pipeline.dataset());
+        let accel = RpAccel::new(RpAccelConfig::paper_default(partition).with_dataset(&spec));
+        let stages = pipeline.num_stages();
+        EngineBuilder::new()
+            .backend(accel)
+            .pipeline(pipeline)
+            .placement(Placement::uniform(0, stages, 1))
+            .sub_batches(4)
+    }
+
+    /// An engine over the Centaur-like baseline accelerator, configured
+    /// for the pipeline's dataset.
+    pub fn baseline_accel(pipeline: PipelineConfig) -> EngineBuilder {
+        let spec = DatasetSpec::for_kind(pipeline.dataset());
+        let accel = BaselineAccel::paper_default().with_dataset(&spec);
+        let stages = pipeline.num_stages();
+        EngineBuilder::new()
+            .backend(accel)
+            .pipeline(pipeline)
+            .placement(Placement::uniform(0, stages, 1))
+    }
+
+    /// The pipeline being served.
+    pub fn pipeline(&self) -> &PipelineConfig {
+        &self.pipeline
+    }
+
+    /// The backend pool.
+    pub fn backends(&self) -> &[Arc<dyn Backend>] {
+        &self.backends
+    }
+
+    /// The per-stage placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The bound offered load in QPS.
+    pub fn load(&self) -> f64 {
+        self.load_qps
+    }
+
+    /// The SLA target, if configured.
+    pub fn sla(&self) -> Option<f64> {
+        self.sla_s
+    }
+
+    /// The queueing spec for this engine's pipeline and placement — the
+    /// one seam every evaluation flows through, built and validated
+    /// once at [`EngineBuilder::build`].
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
+    /// Maximum sustainable throughput of this configuration in QPS.
+    pub fn max_qps(&self) -> f64 {
+        self.spec.max_qps()
+    }
+
+    /// Zero-load service latency floor in seconds.
+    pub fn service_floor(&self) -> f64 {
+        self.spec.service_floor()
+    }
+
+    /// The pipeline's quality, evaluated once and cached.
+    pub fn quality(&self) -> QualityReport {
+        *self.quality_cache.get_or_init(|| {
+            QualityEvaluator::for_dataset(self.pipeline.dataset(), 64)
+                .queries(self.quality_queries)
+                .sub_batches(self.sub_batches)
+                .seed(self.seed)
+                .evaluate(&self.pipeline)
+        })
+    }
+
+    /// Jointly evaluates quality and at-scale performance at the bound
+    /// load.
+    pub fn evaluate(&self) -> Outcome {
+        self.evaluate_at(self.load_qps)
+    }
+
+    /// Jointly evaluates quality and at-scale performance at an
+    /// explicit offered load.
+    pub fn evaluate_at(&self, qps: f64) -> Outcome {
+        let quality = self.quality();
+        let mut sim = self.serve(qps, self.sim_queries);
+        let p99_s = sim.p99_seconds();
+        Outcome {
+            pipeline: self.pipeline.clone(),
+            mapping: self.placement.describe(&self.backends),
+            ndcg: quality.ndcg,
+            p99_s,
+            p50_s: sim.p50_seconds(),
+            qps: sim.qps,
+            offered_qps: qps,
+            saturated: sim.saturated,
+            meets_sla: self.sla_s.map(|sla| !sim.saturated && p99_s <= sla),
+        }
+    }
+
+    /// Runs the raw queueing simulation: `queries` Poisson arrivals at
+    /// `qps` offered load.
+    pub fn serve(&self, qps: f64, queries: usize) -> SimResult {
+        self.spec.simulate(qps, queries, self.seed)
+    }
+
+    /// Explores the scheduler's design space over this engine's backend
+    /// pool at the bound load — up to `settings.max_stages` stages,
+    /// charging this engine's interconnect on backend crossings — and
+    /// returns the quality/latency Pareto frontier (saturated points
+    /// dropped). The engine's pipeline supplies the dataset being
+    /// swept (overriding `settings.dataset`); the settings supply the
+    /// search grid.
+    pub fn sweep(&self, settings: &SchedulerSettings) -> ParetoFront<Outcome> {
+        let mut settings = settings.clone();
+        settings.dataset = self.pipeline.dataset();
+        let scheduler = Scheduler::new(settings.clone());
+        let points = scheduler.explore_pool(
+            self.load_qps,
+            settings.max_stages,
+            &self.backends,
+            self.sub_batches,
+            self.sla_s,
+            &self.interconnect,
+        );
+        Scheduler::pareto(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::StageSite;
+    use crate::StageConfig;
+    use recpipe_hwsim::StageWork;
+    use recpipe_models::ModelKind;
+    use recpipe_qsim::ResourceSpec;
+
+    fn two_stage() -> PipelineConfig {
+        PipelineConfig::builder()
+            .stage(StageConfig::new(ModelKind::RmSmall, 4096, 256))
+            .stage(StageConfig::new(ModelKind::RmLarge, 256, 64))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_without_pipeline_errors() {
+        let err = Engine::builder()
+            .backend(CpuModel::cascade_lake())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, EngineError::MissingPipeline);
+        assert!(err.to_string().contains("pipeline"));
+    }
+
+    #[test]
+    fn builder_without_backend_errors() {
+        let err = Engine::builder().pipeline(two_stage()).build().unwrap_err();
+        assert_eq!(err, EngineError::MissingBackend);
+        assert!(err.to_string().contains("backend"));
+    }
+
+    #[test]
+    fn builder_rejects_misfit_placement_eagerly() {
+        let err = Engine::commodity(two_stage())
+            .placement(Placement::cpu_only(3))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::PlacementArity { .. }));
+    }
+
+    #[test]
+    fn engine_errors_compose_with_question_mark() {
+        fn try_build() -> Result<Engine, Box<dyn std::error::Error>> {
+            let engine = Engine::builder().pipeline(two_stage()).build()?;
+            Ok(engine)
+        }
+        let err = try_build().unwrap_err();
+        assert!(err.to_string().contains("backend"));
+    }
+
+    #[test]
+    fn commodity_engine_evaluates_jointly() {
+        let engine = Engine::commodity(two_stage())
+            .placement(Placement::cpu_only(2))
+            .load(500.0)
+            .sla(0.050)
+            .quality_queries(150)
+            .sim_queries(1_000)
+            .build()
+            .unwrap();
+        let outcome = engine.evaluate();
+        assert!((0.85..1.0).contains(&outcome.ndcg));
+        assert!(outcome.p99_s > 0.0 && outcome.p50_s <= outcome.p99_s);
+        assert!(!outcome.saturated);
+        assert_eq!(outcome.meets_sla, Some(true));
+        assert_eq!(outcome.mapping, "cpu");
+        assert_eq!(outcome.offered_qps, 500.0);
+    }
+
+    #[test]
+    fn default_placement_covers_all_stages_on_backend_zero() {
+        let engine = Engine::commodity(two_stage()).build().unwrap();
+        assert_eq!(engine.placement().num_stages(), 2);
+        assert_eq!(engine.placement().sole_backend(), Some(0));
+    }
+
+    #[test]
+    fn quality_is_cached_across_evaluations() {
+        let engine = Engine::commodity(two_stage())
+            .quality_queries(100)
+            .sim_queries(500)
+            .build()
+            .unwrap();
+        let a = engine.evaluate_at(100.0);
+        let b = engine.evaluate_at(200.0);
+        assert_eq!(a.ndcg, b.ndcg);
+        assert_ne!(a.offered_qps, b.offered_qps);
+    }
+
+    #[test]
+    fn rpaccel_engine_beats_cpu_latency() {
+        let pipeline = two_stage();
+        let cpu = Engine::commodity(pipeline.clone())
+            .placement(Placement::cpu_only(2))
+            .quality_queries(50)
+            .sim_queries(1_500)
+            .build()
+            .unwrap();
+        let accel = Engine::rpaccel(pipeline, Partition::symmetric(8, 2))
+            .quality_queries(50)
+            .sim_queries(1_500)
+            .build()
+            .unwrap();
+        let cpu_out = cpu.evaluate_at(200.0);
+        let accel_out = accel.evaluate_at(200.0);
+        assert!(
+            accel_out.p99_s < cpu_out.p99_s / 4.0,
+            "accel {} vs cpu {}",
+            accel_out.p99_s,
+            cpu_out.p99_s
+        );
+        assert_eq!(accel_out.mapping, "rpaccel(8,2)");
+    }
+
+    /// The "fourth backend" requirement: a brand-new backend is one
+    /// trait impl, and flows through `Engine::evaluate` untouched.
+    #[derive(Debug)]
+    struct MockBackend {
+        latency_s: f64,
+        units: usize,
+    }
+
+    impl Backend for MockBackend {
+        fn name(&self) -> String {
+            "mock".into()
+        }
+
+        fn resources(&self) -> ResourceSpec {
+            ResourceSpec::new("mock", self.units)
+        }
+
+        fn stage_latency(&self, _work: &StageWork, parallelism: usize) -> f64 {
+            self.latency_s / parallelism as f64
+        }
+    }
+
+    #[test]
+    fn mock_backend_flows_through_evaluate() {
+        let engine = Engine::builder()
+            .pipeline(two_stage())
+            .backend(MockBackend {
+                latency_s: 0.004,
+                units: 8,
+            })
+            .placement(Placement::new(vec![
+                StageSite::new(0, 1),
+                StageSite::new(0, 2),
+            ]))
+            .load(200.0)
+            .quality_queries(50)
+            .sim_queries(1_000)
+            .build()
+            .unwrap();
+        let outcome = engine.evaluate();
+        // Two stages at 4 ms and 2 ms: the floor is 6 ms and queueing
+        // keeps p99 above it.
+        assert!(engine.service_floor() > 0.0059 && engine.service_floor() < 0.0061);
+        assert!(outcome.p99_s >= 0.006);
+        assert!(!outcome.saturated);
+        assert_eq!(outcome.mapping, "mock|mock(x2)");
+        assert!((0.85..1.0).contains(&outcome.ndcg));
+    }
+
+    #[test]
+    fn mock_backend_saturates_when_overloaded() {
+        let engine = Engine::builder()
+            .pipeline(two_stage())
+            .backend(MockBackend {
+                latency_s: 0.050,
+                units: 1,
+            })
+            .load(1_000.0)
+            .quality_queries(20)
+            .sim_queries(500)
+            .build()
+            .unwrap();
+        assert!(engine.evaluate().saturated);
+    }
+
+    fn single_large() -> PipelineConfig {
+        PipelineConfig::single_stage(ModelKind::RmLarge, 4096, 64).unwrap()
+    }
+
+    fn quick(builder: crate::EngineBuilder) -> Engine {
+        builder
+            .quality_queries(20)
+            .sim_queries(1_500)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure7_two_stage_cuts_cpu_tail_latency_about_4x() {
+        let single = quick(Engine::commodity(single_large()).placement(Placement::cpu_only(1)));
+        let multi = quick(Engine::commodity(two_stage()).placement(Placement::cpu_only(2)));
+        let ratio = single.evaluate_at(500.0).p99_s / multi.evaluate_at(500.0).p99_s;
+        assert!(
+            (2.5..8.0).contains(&ratio),
+            "CPU single/multi p99 ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn figure8_gpu_single_stage_beats_cpu_at_low_load() {
+        let cpu = quick(Engine::commodity(single_large()).placement(Placement::cpu_only(1)));
+        let gpu = quick(Engine::commodity(single_large()).placement(Placement::gpu_only(1)));
+        let cpu_p99 = cpu.evaluate_at(50.0).p99_s;
+        let gpu_p99 = gpu.evaluate_at(50.0).p99_s;
+        assert!(gpu_p99 < cpu_p99 / 5.0, "gpu {gpu_p99} vs cpu {cpu_p99}");
+    }
+
+    #[test]
+    fn figure8_gpu_saturates_before_cpu() {
+        let gpu = quick(Engine::commodity(single_large()).placement(Placement::gpu_only(1)));
+        let cpu = quick(Engine::commodity(two_stage()).placement(Placement::cpu_only(2)));
+        assert!(
+            gpu.max_qps() < cpu.max_qps() / 2.0,
+            "gpu cap {} vs cpu cap {}",
+            gpu.max_qps(),
+            cpu.max_qps()
+        );
+        assert!(gpu.evaluate_at(5_000.0).saturated);
+    }
+
+    #[test]
+    fn gpu_frontend_placement_beats_cpu_only_at_low_load() {
+        // Figure 8 (top): the heterogeneous GPU-CPU two-stage design cuts
+        // latency versus CPU-only (paper: up to 3x; model parallelism on
+        // the backend contributes).
+        let hetero = quick(Engine::commodity(two_stage()).placement(Placement::gpu_frontend(2, 4)));
+        let cpu_only = quick(Engine::commodity(two_stage()).placement(Placement::cpu_only(2)));
+        let ratio = cpu_only.evaluate_at(70.0).p99_s / hetero.evaluate_at(70.0).p99_s;
+        assert!((1.5..5.0).contains(&ratio), "hetero speedup {ratio}");
+    }
+
+    #[test]
+    fn figure12_rpaccel_beats_baseline_accelerator() {
+        let rp = quick(Engine::rpaccel(two_stage(), Partition::symmetric(8, 2)));
+        let base = quick(Engine::baseline_accel(single_large()));
+        let latency_ratio = base.evaluate_at(200.0).p99_s / rp.evaluate_at(200.0).p99_s;
+        assert!(
+            (1.8..8.0).contains(&latency_ratio),
+            "baseline/RPAccel p99 ratio {latency_ratio}"
+        );
+    }
+
+    #[test]
+    fn serve_honors_explicit_query_count() {
+        let engine = Engine::commodity(two_stage())
+            .quality_queries(20)
+            .build()
+            .unwrap();
+        let out = engine.serve(100.0, 700);
+        assert_eq!(out.completed, 700);
+    }
+}

@@ -2,38 +2,54 @@
 //! quality/performance evaluation, and the hardware-aware inference
 //! scheduler — the paper's primary contribution.
 //!
-//! The central object is a [`PipelineConfig`]: an ordered chain of
-//! [`StageConfig`]s, each pairing a model tier with the number of items
-//! it ranks and forwards. Around it:
+//! The central object is the [`Engine`]: a builder binds a
+//! [`PipelineConfig`] (an ordered chain of [`StageConfig`]s), a pool of
+//! [`Backend`]s (hardware models), a [`Placement`] (which stage runs
+//! where), an offered load, and an optional SLA — and answers the joint
+//! question in one call:
 //!
-//! * [`QualityEvaluator`] measures NDCG@64 of a pipeline on calibrated
-//!   synthetic workloads, reproducing the quality side of Figures 3, 7,
-//!   8, and 13 — including the per-sub-batch top-k stitching effect of
-//!   the accelerator's pipelined execution.
-//! * [`PerformanceEvaluator`] maps stages onto hardware (CPU cores, GPU,
-//!   RPAccel) and runs the at-scale queueing simulation for tail latency
-//!   and throughput.
-//! * [`Scheduler`] exhaustively explores the joint design space —
-//!   number of stages, model per stage, items per stage, hardware
-//!   mapping — and extracts Pareto frontiers and SLA-optimal designs
-//!   (the paper's Step 1 and Step 2).
+//! * [`Engine::evaluate`] → an [`Outcome`] with quality (NDCG), tail
+//!   latency, throughput, and saturation together;
+//! * [`Engine::sweep`] → the scheduler's design-space exploration,
+//!   reduced to a [`ParetoFront`](recpipe_metrics::ParetoFront) of
+//!   outcomes;
+//! * [`Engine::serve`] → a raw at-scale queueing simulation.
+//!
+//! Hardware plugs in through one seam: the [`Backend`] trait
+//! (implemented by `CpuModel`, `GpuModel`, `RpAccel`, and
+//! `BaselineAccel`) prices stages and declares queueing resources, so
+//! adding a device is one trait impl — the engine, the scheduler, and
+//! the simulator pick it up unchanged.
+//!
+//! Lower-level pieces remain available: [`QualityEvaluator`] for
+//! Monte-Carlo NDCG measurement and [`Scheduler`] for exhaustive
+//! exploration (Figures 3, 7, 8, 12, 13 of the paper).
 //!
 //! # Examples
 //!
 //! ```
-//! use recpipe_core::{PipelineConfig, QualityEvaluator, StageConfig};
+//! use recpipe_core::{Engine, Placement, PipelineConfig, StageConfig};
 //! use recpipe_models::ModelKind;
 //!
 //! let pipeline = PipelineConfig::builder()
 //!     .stage(StageConfig::new(ModelKind::RmSmall, 4096, 256))
 //!     .stage(StageConfig::new(ModelKind::RmLarge, 256, 64))
-//!     .build()
-//!     .expect("valid pipeline");
+//!     .build()?;
 //!
-//! let quality = QualityEvaluator::criteo_like(64).evaluate(&pipeline);
-//! assert!(quality.ndcg > 0.90);
+//! let engine = Engine::commodity(pipeline)
+//!     .placement(Placement::cpu_only(2))
+//!     .load(500.0)
+//!     .sim_queries(1_000)
+//!     .build()?;
+//!
+//! let outcome = engine.evaluate();
+//! assert!(outcome.ndcg > 0.90);
+//! assert!(!outcome.saturated);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod backend;
+mod engine;
 mod perf;
 mod pipeline;
 mod quality;
@@ -41,9 +57,14 @@ mod report;
 mod scheduler;
 mod stage;
 
+pub use backend::{build_spec, Backend, Placement, StageSite, INTERMEDIATE_BYTES_PER_ITEM};
+pub use engine::{Engine, EngineBuilder, EngineError, Outcome};
+#[allow(deprecated)]
 pub use perf::{Mapping, PerformanceEvaluator, StagePlacement};
 pub use pipeline::{PipelineBuilder, PipelineConfig, PipelineError};
 pub use quality::{QualityEvaluator, QualityReport};
 pub use report::Table;
-pub use scheduler::{DesignPoint, Scheduler, SchedulerSettings};
+#[allow(deprecated)]
+pub use scheduler::DesignPoint;
+pub use scheduler::{Scheduler, SchedulerSettings};
 pub use stage::StageConfig;

@@ -1,22 +1,37 @@
-use recpipe_accel::{BaselineAccel, Partition, RpAccel, RpAccelConfig};
-use recpipe_data::DatasetSpec;
-use recpipe_hwsim::{CpuModel, Device, GpuModel, PcieModel, StageWork};
-use recpipe_qsim::{PipelineSpec, ResourceSpec, SimResult, StageSpec};
+//! Deprecated compatibility shims: the pre-`Engine` performance API.
+//!
+//! [`Mapping`]/[`StagePlacement`] hard-coded the CPU/GPU split that the
+//! [`Backend`](crate::Backend) trait now expresses generally, and
+//! [`PerformanceEvaluator`] bundled what [`Engine`](crate::Engine) does
+//! through one seam. Everything here forwards to the new machinery and
+//! will be removed once downstream callers finish migrating.
+
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use recpipe_accel::Partition;
+use recpipe_hwsim::{CpuModel, GpuModel, PcieModel};
+use recpipe_qsim::{PipelineSpec, SimResult};
 use serde::{Deserialize, Serialize};
 
-use crate::PipelineConfig;
+use crate::backend::{build_spec, Backend, Placement, StageSite};
+use crate::{Engine, PipelineConfig};
 
 /// Where one pipeline stage executes.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Placement`/`StageSite` over an `Engine` backend pool"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum StagePlacement {
-    /// On the CPU pool, dedicating `cores_per_query` cores to each query
-    /// (1 = the paper's task-parallel default; >1 = model parallelism
-    /// for heavyweight backends).
+    /// On the CPU pool, dedicating `cores_per_query` cores to each
+    /// query.
     Cpu {
         /// Cores held per in-flight query.
         cores_per_query: usize,
     },
-    /// On the (single) GPU, which parallelizes within the query.
+    /// On the (single) GPU.
     Gpu,
 }
 
@@ -29,8 +44,12 @@ impl std::fmt::Display for StagePlacement {
     }
 }
 
-/// A per-stage hardware mapping for a pipeline (the scheduler's Step 2
-/// decision).
+/// A per-stage CPU/GPU hardware mapping (the pre-`Backend` placement
+/// description).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Placement` over an `Engine` backend pool"
+)]
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Mapping {
     placements: Vec<StagePlacement>,
@@ -47,8 +66,7 @@ impl Mapping {
         Self::new(vec![StagePlacement::Cpu { cores_per_query: 1 }; num_stages])
     }
 
-    /// Frontend on GPU, remaining stages on CPU (the paper's winning
-    /// heterogeneous configuration).
+    /// Frontend on GPU, remaining stages on CPU.
     pub fn gpu_frontend(num_stages: usize) -> Self {
         let mut placements = vec![StagePlacement::Gpu];
         placements.extend(vec![
@@ -58,8 +76,7 @@ impl Mapping {
         Self::new(placements)
     }
 
-    /// Every stage on the GPU (multi-tenant execution — the paper finds
-    /// this underperforms).
+    /// Every stage on the GPU.
     pub fn gpu_only(num_stages: usize) -> Self {
         Self::new(vec![StagePlacement::Gpu; num_stages])
     }
@@ -84,21 +101,28 @@ impl Mapping {
     }
 }
 
-/// Maps pipelines onto hardware models and runs the at-scale queueing
-/// simulation (the paper's two-step evaluation methodology).
-///
-/// # Examples
-///
-/// ```
-/// use recpipe_core::{Mapping, PerformanceEvaluator, PipelineConfig};
-/// use recpipe_models::ModelKind;
-///
-/// let pipeline = PipelineConfig::single_stage(ModelKind::RmLarge, 4096, 64).unwrap();
-/// let perf = PerformanceEvaluator::table2_defaults().sim_queries(1_000);
-/// let mut result = perf.evaluate(&pipeline, &Mapping::cpu_only(1), 100.0);
-/// assert!(!result.saturated);
-/// assert!(result.p99_seconds() > 0.01); // ~100 ms-class single-stage
-/// ```
+impl From<&Mapping> for Placement {
+    /// Converts under the commodity pool convention (backend 0 = CPU,
+    /// backend 1 = GPU).
+    fn from(mapping: &Mapping) -> Self {
+        Placement::new(
+            mapping
+                .placements()
+                .iter()
+                .map(|p| match p {
+                    StagePlacement::Cpu { cores_per_query } => StageSite::new(0, *cores_per_query),
+                    StagePlacement::Gpu => StageSite::new(1, 1),
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Pre-`Engine` evaluator bundling the Table 2 commodity platforms.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Engine::commodity` / `Engine::rpaccel` / `Engine::baseline_accel`"
+)]
 #[derive(Debug, Clone)]
 pub struct PerformanceEvaluator {
     cpu: CpuModel,
@@ -109,10 +133,6 @@ pub struct PerformanceEvaluator {
 }
 
 impl PerformanceEvaluator {
-    /// Bytes shipped per surviving item between devices (dense features,
-    /// sparse ids, score).
-    const INTERMEDIATE_BYTES_PER_ITEM: u64 = 164;
-
     /// The paper's Table 2 platforms.
     pub fn table2_defaults() -> Self {
         Self {
@@ -146,6 +166,10 @@ impl PerformanceEvaluator {
         &self.gpu
     }
 
+    fn pool(&self) -> Vec<Arc<dyn Backend>> {
+        vec![Arc::new(self.cpu.clone()), Arc::new(self.gpu.clone())]
+    }
+
     /// Builds the queueing spec for a pipeline under a mapping.
     ///
     /// # Panics
@@ -157,39 +181,13 @@ impl PerformanceEvaluator {
             pipeline.num_stages(),
             "mapping/pipeline stage count mismatch"
         );
-        let works = pipeline.stage_works();
-        let mut spec = PipelineSpec::new(vec![
-            ResourceSpec::new("cpu", self.cpu.cores),
-            ResourceSpec::new("gpu", 1),
-        ]);
-        let mut prev: Option<StagePlacement> = None;
-        for (i, (work, &placement)) in works.iter().zip(mapping.placements()).enumerate() {
-            // Crossing devices ships the surviving candidates over PCIe.
-            let crossing = prev.is_some_and(|p| p != placement);
-            let transfer = if crossing {
-                self.pcie
-                    .transfer_time(work.items * Self::INTERMEDIATE_BYTES_PER_ITEM)
-            } else {
-                0.0
-            };
-            let stage = match placement {
-                StagePlacement::Cpu { cores_per_query } => StageSpec::new(
-                    format!("s{i}:cpu"),
-                    0,
-                    cores_per_query,
-                    self.cpu.stage_latency(work, cores_per_query) + transfer,
-                ),
-                StagePlacement::Gpu => StageSpec::new(
-                    format!("s{i}:gpu"),
-                    1,
-                    1,
-                    self.gpu.stage_latency(work) + transfer,
-                ),
-            };
-            spec = spec.with_stage(stage).expect("validated stage");
-            prev = Some(placement);
-        }
-        spec
+        build_spec(
+            &self.pool(),
+            &self.pcie,
+            pipeline,
+            &Placement::from(mapping),
+        )
+        .expect("commodity mapping builds a valid spec")
     }
 
     /// Simulates a pipeline on commodity hardware at the offered load.
@@ -198,7 +196,8 @@ impl PerformanceEvaluator {
             .simulate(qps, self.sim_queries, self.seed)
     }
 
-    /// Single-query service latency on commodity hardware (no queueing).
+    /// Single-query service latency on commodity hardware (no
+    /// queueing).
     pub fn service_latency(&self, pipeline: &PipelineConfig, mapping: &Mapping) -> f64 {
         self.commodity_spec(pipeline, mapping).service_floor()
     }
@@ -210,57 +209,31 @@ impl PerformanceEvaluator {
         partition: Partition,
         qps: f64,
     ) -> SimResult {
-        let spec = DatasetSpec::for_kind(pipeline.dataset());
-        let accel = RpAccel::new(RpAccelConfig::paper_default(partition).with_dataset(&spec));
-        let profile = accel.service_profile(&pipeline.stage_works());
-        self.accel_spec(profile)
-            .simulate(qps, self.sim_queries, self.seed)
+        Engine::rpaccel(pipeline.clone(), partition)
+            .sim_queries(self.sim_queries)
+            .seed(self.seed)
+            .build()
+            .expect("accel engine builds")
+            .serve(qps, self.sim_queries)
     }
 
-    /// Simulates the Centaur-like baseline accelerator on a single-stage
-    /// workload.
+    /// Simulates the Centaur-like baseline accelerator.
     pub fn evaluate_baseline_accel(&self, pipeline: &PipelineConfig, qps: f64) -> SimResult {
-        let spec = DatasetSpec::for_kind(pipeline.dataset());
-        let baseline = BaselineAccel::paper_default().with_dataset(&spec);
-        let works = pipeline.stage_works();
-        let work: &StageWork = works.last().expect("non-empty pipeline");
-        let profile = baseline.service_profile(work, pipeline.items_served());
-        self.accel_spec(profile)
-            .simulate(qps, self.sim_queries, self.seed)
+        Engine::baseline_accel(pipeline.clone())
+            .sim_queries(self.sim_queries)
+            .seed(self.seed)
+            .build()
+            .expect("baseline engine builds")
+            .serve(qps, self.sim_queries)
     }
 
-    /// Queueing decomposition of an accelerator service profile: a
-    /// serialized memory phase followed by a lanes-parallel compute
-    /// phase.
-    fn accel_spec(&self, profile: recpipe_accel::ServiceProfile) -> PipelineSpec {
-        PipelineSpec::new(vec![
-            ResourceSpec::new("accel-mem", 1),
-            ResourceSpec::new("accel-lanes", profile.lanes),
-        ])
-        .with_stage(StageSpec::new(
-            "mem",
-            0,
-            1,
-            profile.dram_service_s.max(1e-9),
-        ))
-        .expect("validated stage")
-        .with_stage(StageSpec::new("compute", 1, 1, profile.compute_service_s))
-        .expect("validated stage")
-    }
-
-    /// Convenience: per-stage service latencies under a mapping (for
-    /// reports).
+    /// Per-stage service latencies under a mapping (for reports).
     pub fn stage_latencies(&self, pipeline: &PipelineConfig, mapping: &Mapping) -> Vec<f64> {
         self.commodity_spec(pipeline, mapping)
             .stages()
             .iter()
             .map(|s| s.service_time)
             .collect()
-    }
-
-    /// The GPU as a [`Device`] for reporting.
-    pub fn gpu_device(&self) -> &dyn Device {
-        &self.gpu
     }
 }
 
@@ -269,14 +242,6 @@ mod tests {
     use super::*;
     use crate::StageConfig;
     use recpipe_models::ModelKind;
-
-    fn perf() -> PerformanceEvaluator {
-        PerformanceEvaluator::table2_defaults().sim_queries(1500)
-    }
-
-    fn single_large() -> PipelineConfig {
-        PipelineConfig::single_stage(ModelKind::RmLarge, 4096, 64).unwrap()
-    }
 
     fn two_stage() -> PipelineConfig {
         PipelineConfig::builder()
@@ -287,103 +252,33 @@ mod tests {
     }
 
     #[test]
-    fn figure7_two_stage_cuts_cpu_tail_latency_about_4x() {
-        let p = perf();
-        let mut single = p.evaluate(&single_large(), &Mapping::cpu_only(1), 500.0);
-        let mut multi = p.evaluate(&two_stage(), &Mapping::cpu_only(2), 500.0);
-        let ratio = single.p99_seconds() / multi.p99_seconds();
-        assert!(
-            (2.5..8.0).contains(&ratio),
-            "CPU single/multi p99 ratio {ratio}"
-        );
-    }
-
-    #[test]
-    fn figure8_gpu_single_stage_beats_cpu_at_low_load() {
-        let p = perf();
-        let mut cpu = p.evaluate(&single_large(), &Mapping::cpu_only(1), 50.0);
-        let mut gpu = p.evaluate(&single_large(), &Mapping::gpu_only(1), 50.0);
-        assert!(
-            gpu.p99_seconds() < cpu.p99_seconds() / 5.0,
-            "gpu {} vs cpu {}",
-            gpu.p99_seconds(),
-            cpu.p99_seconds()
-        );
-    }
-
-    #[test]
-    fn figure8_gpu_saturates_before_cpu() {
-        let p = perf();
-        let gpu_spec = p.commodity_spec(&single_large(), &Mapping::gpu_only(1));
-        let cpu_spec = p.commodity_spec(&two_stage(), &Mapping::cpu_only(2));
-        assert!(
-            gpu_spec.max_qps() < cpu_spec.max_qps() / 2.0,
-            "gpu cap {} vs cpu cap {}",
-            gpu_spec.max_qps(),
-            cpu_spec.max_qps()
-        );
-    }
-
-    #[test]
-    fn gpu_frontend_mapping_beats_cpu_only_at_low_load() {
-        // Figure 8 (top): the heterogeneous GPU-CPU two-stage design cuts
-        // latency versus CPU-only (paper: up to 3x; model parallelism on
-        // the backend contributes).
-        let p = perf();
-        let backend_parallel = Mapping::new(vec![
+    fn mapping_converts_to_placement_under_commodity_convention() {
+        let mapping = Mapping::new(vec![
             StagePlacement::Gpu,
             StagePlacement::Cpu { cores_per_query: 4 },
         ]);
-        let mut hetero = p.evaluate(&two_stage(), &backend_parallel, 70.0);
-        let mut cpu_only = p.evaluate(&two_stage(), &Mapping::cpu_only(2), 70.0);
-        let ratio = cpu_only.p99_seconds() / hetero.p99_seconds();
-        assert!((1.5..5.0).contains(&ratio), "hetero speedup {ratio}");
+        let placement = Placement::from(&mapping);
+        assert_eq!(placement.sites()[0], StageSite::new(1, 1));
+        assert_eq!(placement.sites()[1], StageSite::new(0, 4));
     }
 
     #[test]
-    fn crossing_devices_pays_pcie() {
-        let p = perf();
-        let hetero = p.stage_latencies(&two_stage(), &Mapping::gpu_frontend(2));
-        let cpu_only = p.stage_latencies(&two_stage(), &Mapping::cpu_only(2));
-        // Backend stage gains the PCIe transfer when upstream is GPU.
-        assert!(hetero[1] > cpu_only[1]);
-    }
-
-    #[test]
-    fn accel_beats_commodity_latency() {
-        let p = perf();
-        let mut accel = p.evaluate_accel(&two_stage(), Partition::symmetric(8, 2), 200.0);
-        let mut cpu = p.evaluate(&two_stage(), &Mapping::cpu_only(2), 200.0);
-        assert!(
-            accel.p99_seconds() < cpu.p99_seconds() / 4.0,
-            "accel {} vs cpu {}",
-            accel.p99_seconds(),
-            cpu.p99_seconds()
-        );
-    }
-
-    #[test]
-    fn figure12_rpaccel_beats_baseline_accelerator() {
-        let p = perf();
-        let mut rp = p.evaluate_accel(&two_stage(), Partition::symmetric(8, 2), 200.0);
-        let mut base = p.evaluate_baseline_accel(&single_large(), 200.0);
-        let latency_ratio = base.p99_seconds() / rp.p99_seconds();
-        assert!(
-            (1.8..8.0).contains(&latency_ratio),
-            "baseline/RPAccel p99 ratio {latency_ratio}"
-        );
-    }
-
-    #[test]
-    fn saturation_is_detected_on_gpu_overload() {
-        let p = perf();
-        let out = p.evaluate(&single_large(), &Mapping::gpu_only(1), 5_000.0);
-        assert!(out.saturated);
+    fn shim_spec_matches_engine_spec() {
+        let pipeline = two_stage();
+        let perf = PerformanceEvaluator::table2_defaults();
+        let via_shim = perf.commodity_spec(&pipeline, &Mapping::gpu_frontend(2));
+        let engine = Engine::commodity(pipeline)
+            .placement(Placement::gpu_frontend(2, 1))
+            .build()
+            .unwrap();
+        assert_eq!(&via_shim, engine.spec());
     }
 
     #[test]
     #[should_panic(expected = "stage count mismatch")]
     fn mapping_arity_mismatch_panics() {
-        perf().evaluate(&two_stage(), &Mapping::cpu_only(1), 100.0);
+        PerformanceEvaluator::table2_defaults()
+            .sim_queries(500)
+            .evaluate(&two_stage(), &Mapping::cpu_only(1), 100.0);
     }
 }

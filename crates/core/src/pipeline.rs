@@ -339,4 +339,17 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("256") && msg.contains("512"));
     }
+
+    #[test]
+    fn error_composes_with_question_mark() {
+        // PipelineError implements std::error::Error, so callers can use
+        // `?` into Box<dyn Error> (and anyhow-style wrappers).
+        fn build() -> Result<PipelineConfig, Box<dyn std::error::Error>> {
+            let p = PipelineConfig::builder().build()?;
+            Ok(p)
+        }
+        let err = build().unwrap_err();
+        assert!(err.to_string().contains("no stages"));
+        assert!(err.downcast_ref::<PipelineError>().is_some());
+    }
 }

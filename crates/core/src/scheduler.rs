@@ -1,14 +1,16 @@
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
-use recpipe_accel::Partition;
-use recpipe_data::DatasetKind;
-use recpipe_metrics::{pareto_front, Dominance, ParetoPoint};
+use recpipe_accel::{Partition, RpAccel, RpAccelConfig};
+use recpipe_data::{DatasetKind, DatasetSpec};
+use recpipe_hwsim::{CpuModel, GpuModel, PcieModel};
+use recpipe_metrics::{Dominance, ParetoFront};
 use recpipe_models::ModelKind;
 use serde::{Deserialize, Serialize};
 
-use crate::{
-    Mapping, PerformanceEvaluator, PipelineConfig, QualityEvaluator, StageConfig, StagePlacement,
-};
+use crate::backend::{build_spec, Backend, Placement, StageSite};
+use crate::engine::Outcome;
+use crate::{PipelineConfig, QualityEvaluator, StageConfig};
 
 /// Knobs bounding the scheduler's exhaustive search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -19,8 +21,12 @@ pub struct SchedulerSettings {
     pub items_grid: Vec<u64>,
     /// Candidate per-stage keep ratios (items_out = items_in / ratio).
     pub keep_ratios: Vec<u64>,
-    /// Candidate cores-per-query for CPU-mapped stages.
+    /// Candidate per-query parallelism for backends that can split a
+    /// query across resource units (CPU model parallelism).
     pub cores_options: Vec<usize>,
+    /// Deepest pipeline the search enumerates (`Engine::sweep` uses
+    /// this; the `explore_*` methods take it as an explicit argument).
+    pub max_stages: usize,
     /// Monte-Carlo queries for quality evaluation.
     pub quality_queries: usize,
     /// Simulated queries per performance point.
@@ -38,59 +44,41 @@ impl SchedulerSettings {
             items_grid: vec![256, 512, 1024, 2048, 3200, 4096],
             keep_ratios: vec![8, 16],
             cores_options: vec![1, 2, 4],
+            max_stages: 3,
             quality_queries: 200,
             sim_queries: 3_000,
             seed: 77,
         }
     }
 
-    /// A trimmed sweep for fast tests.
+    /// A trimmed sweep for fast tests. Quality sampling stays high
+    /// enough (400 queries) that iso-quality selections resolve beyond
+    /// Monte-Carlo noise; the pipeline/mapping grid is what shrinks.
     pub fn quick() -> Self {
         Self {
             dataset: DatasetKind::CriteoKaggle,
             items_grid: vec![1024, 4096],
             keep_ratios: vec![8],
             cores_options: vec![1, 2],
-            quality_queries: 80,
+            max_stages: 3,
+            quality_queries: 400,
             sim_queries: 800,
             seed: 77,
         }
     }
 }
 
-/// One evaluated point of the design space: a pipeline, its hardware
-/// mapping, and the measured quality/performance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct DesignPoint {
-    /// The pipeline configuration.
-    pub pipeline: PipelineConfig,
-    /// Human-readable mapping description (e.g. `gpu|cpu(x2)` or
-    /// `rpaccel(8,2)`).
-    pub mapping: String,
-    /// Mean NDCG in `[0, 1]`.
-    pub ndcg: f64,
-    /// p99 tail latency in seconds.
-    pub p99_s: f64,
-    /// Whether the configuration met the offered load.
-    pub saturated: bool,
-}
-
-impl DesignPoint {
-    /// NDCG in the paper's percent convention.
-    pub fn ndcg_percent(&self) -> f64 {
-        self.ndcg * 100.0
-    }
-
-    /// p99 in milliseconds.
-    pub fn p99_ms(&self) -> f64 {
-        self.p99_s * 1e3
-    }
-}
+/// Deprecated name for the scheduler's evaluated design point; the
+/// scheduler now emits the same [`Outcome`] the `Engine` returns.
+#[deprecated(since = "0.1.0", note = "use `Outcome`")]
+pub type DesignPoint = Outcome;
 
 /// The RecPipe inference scheduler: exhaustively explores multi-stage
-/// parameters (Step 1) and hardware mappings (Step 2), evaluating
+/// parameters (Step 1) and hardware placements (Step 2), evaluating
 /// quality with the Monte-Carlo evaluator and tail latency with the
-/// queueing simulator.
+/// queueing simulator. Every evaluated point is an [`Outcome`] — the
+/// same struct `Engine::evaluate` returns — so Pareto extraction and
+/// SLA selection share one code path with the rest of the system.
 ///
 /// # Examples
 ///
@@ -100,7 +88,7 @@ impl DesignPoint {
 /// let scheduler = Scheduler::new(SchedulerSettings::quick());
 /// let points = scheduler.explore_cpu(200.0, 2);
 /// assert!(!points.is_empty());
-/// let frontier = Scheduler::pareto_quality_latency(points);
+/// let frontier = Scheduler::pareto(points);
 /// assert!(!frontier.is_empty());
 /// ```
 #[derive(Debug, Clone)]
@@ -122,12 +110,6 @@ impl Scheduler {
     fn quality_evaluator(&self) -> QualityEvaluator {
         QualityEvaluator::for_dataset(self.settings.dataset, 64)
             .queries(self.settings.quality_queries)
-            .seed(self.settings.seed)
-    }
-
-    fn perf_evaluator(&self) -> PerformanceEvaluator {
-        PerformanceEvaluator::table2_defaults()
-            .sim_queries(self.settings.sim_queries)
             .seed(self.settings.seed)
     }
 
@@ -159,7 +141,7 @@ impl Scheduler {
                 }
             }
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = HashSet::new();
         out.retain(|p| seen.insert(p.clone()));
         out
     }
@@ -219,86 +201,144 @@ impl Scheduler {
         );
     }
 
-    /// CPU-only mapping candidates for a stage count.
-    fn cpu_mappings(&self, num_stages: usize) -> Vec<Mapping> {
-        // Frontend stages stay task-parallel (1 core); backend stages may
-        // use model parallelism — the knob that matters in the paper.
-        let mut mappings = vec![Mapping::cpu_only(num_stages)];
-        if num_stages >= 2 {
+    /// Candidate placements of an `n`-stage pipeline over a backend
+    /// pool: every backend hosts the whole pipeline; backends that
+    /// model query-splitting ([`Backend::splits_queries`]) add
+    /// model-parallel variants for the final (heavyweight) stage; and
+    /// for multi-stage pipelines every ordered backend pair hosts a
+    /// frontend/backend split.
+    pub fn placements_for(&self, pool: &[Arc<dyn Backend>], n: usize) -> Vec<Placement> {
+        let mut out = Vec::new();
+        // Parallelism k is only worth exploring on backends that model
+        // it AND have the units; elsewhere it would pay k units for no
+        // speedup (and, on chain-spec backends, drop the whole-chain
+        // decomposition).
+        let allows_parallel =
+            |b: usize, k: usize| pool[b].splits_queries() && k <= pool[b].resources().capacity;
+
+        for b in 0..pool.len() {
+            out.push(Placement::uniform(b, n, 1));
             for &k in &self.settings.cores_options {
-                if k == 1 {
+                if k <= 1 || !allows_parallel(b, k) {
                     continue;
                 }
-                let mut placements =
-                    vec![StagePlacement::Cpu { cores_per_query: 1 }; num_stages - 1];
-                placements.push(StagePlacement::Cpu { cores_per_query: k });
-                mappings.push(Mapping::new(placements));
-            }
-        } else {
-            for &k in &self.settings.cores_options {
-                if k == 1 {
-                    continue;
+                if n >= 2 {
+                    out.push(Placement::new(
+                        std::iter::repeat_n(StageSite::new(b, 1), n - 1)
+                            .chain(std::iter::once(StageSite::new(b, k)))
+                            .collect(),
+                    ));
+                } else {
+                    out.push(Placement::uniform(b, 1, k));
                 }
-                mappings.push(Mapping::new(vec![StagePlacement::Cpu {
-                    cores_per_query: k,
-                }]));
             }
         }
-        mappings
-    }
 
-    /// Heterogeneous mapping candidates: CPU-only options plus GPU
-    /// placements (GPU-only, GPU frontend + CPU backend).
-    fn hetero_mappings(&self, num_stages: usize) -> Vec<Mapping> {
-        let mut mappings = self.cpu_mappings(num_stages);
-        mappings.push(Mapping::gpu_only(num_stages));
-        if num_stages >= 2 {
-            mappings.push(Mapping::gpu_frontend(num_stages));
-            for &k in &self.settings.cores_options {
-                if k == 1 {
-                    continue;
+        if n >= 2 {
+            for f in 0..pool.len() {
+                for b in 0..pool.len() {
+                    if f == b {
+                        continue;
+                    }
+                    out.push(Placement::new(
+                        std::iter::once(StageSite::new(f, 1))
+                            .chain(std::iter::repeat_n(StageSite::new(b, 1), n - 1))
+                            .collect(),
+                    ));
+                    for &k in &self.settings.cores_options {
+                        if k <= 1 || !allows_parallel(b, k) {
+                            continue;
+                        }
+                        out.push(Placement::new(
+                            std::iter::once(StageSite::new(f, 1))
+                                .chain(std::iter::repeat_n(StageSite::new(b, 1), n - 2))
+                                .chain(std::iter::once(StageSite::new(b, k)))
+                                .collect(),
+                        ));
+                    }
                 }
-                let mut placements = vec![StagePlacement::Gpu];
-                placements.extend(vec![
-                    StagePlacement::Cpu { cores_per_query: 1 };
-                    num_stages - 2
-                ]);
-                placements.push(StagePlacement::Cpu { cores_per_query: k });
-                mappings.push(Mapping::new(placements));
             }
         }
-        mappings
+
+        let mut seen = HashSet::new();
+        out.retain(|p| seen.insert(p.clone()));
+        out
     }
 
-    fn explore(
+    /// Explores the joint design space over an arbitrary backend pool —
+    /// the generic engine behind [`explore_cpu`](Self::explore_cpu),
+    /// [`explore_hetero`](Self::explore_hetero), and
+    /// `Engine::sweep`. Quality uses `sub_batches`-way stitched top-k
+    /// selection (1 = whole-batch); `interconnect` is charged when
+    /// consecutive stages cross backends.
+    pub fn explore_pool(
         &self,
         qps: f64,
         max_stages: usize,
-        mappings_for: impl Fn(usize) -> Vec<Mapping>,
-    ) -> Vec<DesignPoint> {
-        let quality_eval = self.quality_evaluator();
-        let perf = self.perf_evaluator();
-        let mut quality_cache: HashMap<PipelineConfig, f64> = HashMap::new();
+        pool: &[Arc<dyn Backend>],
+        sub_batches: usize,
+        sla_s: Option<f64>,
+        interconnect: &PcieModel,
+    ) -> Vec<Outcome> {
+        let mut quality_cache = HashMap::new();
+        self.explore_pool_cached(
+            qps,
+            max_stages,
+            pool,
+            sub_batches,
+            sla_s,
+            interconnect,
+            &mut quality_cache,
+            |_| true,
+        )
+    }
+
+    /// [`explore_pool`](Self::explore_pool) with a caller-owned quality
+    /// cache (so multi-pool sweeps evaluate each pipeline's quality
+    /// once) and a pipeline filter applied before any evaluation.
+    #[allow(clippy::too_many_arguments)]
+    fn explore_pool_cached(
+        &self,
+        qps: f64,
+        max_stages: usize,
+        pool: &[Arc<dyn Backend>],
+        sub_batches: usize,
+        sla_s: Option<f64>,
+        interconnect: &PcieModel,
+        quality_cache: &mut HashMap<PipelineConfig, f64>,
+        keep: impl Fn(&PipelineConfig) -> bool,
+    ) -> Vec<Outcome> {
+        let quality_eval = self.quality_evaluator().sub_batches(sub_batches);
         let mut points = Vec::new();
 
         for pipeline in self.enumerate_pipelines(max_stages) {
+            if !keep(&pipeline) {
+                continue;
+            }
             let ndcg = *quality_cache
                 .entry(pipeline.clone())
                 .or_insert_with(|| quality_eval.evaluate(&pipeline).ndcg);
-            for mapping in mappings_for(pipeline.num_stages()) {
+            for placement in self.placements_for(pool, pipeline.num_stages()) {
+                let Ok(spec) = build_spec(pool, interconnect, &pipeline, &placement) else {
+                    continue;
+                };
                 // Analytic stability pre-check avoids simulating hopeless
                 // overloads.
-                let spec = perf.commodity_spec(&pipeline, &mapping);
                 if spec.max_qps() < qps * 0.7 {
                     continue;
                 }
                 let mut sim = spec.simulate(qps, self.settings.sim_queries, self.settings.seed);
-                points.push(DesignPoint {
+                let p99_s = sim.p99_seconds();
+                points.push(Outcome {
                     pipeline: pipeline.clone(),
-                    mapping: mapping.describe(),
+                    mapping: placement.describe(pool),
                     ndcg,
-                    p99_s: sim.p99_seconds(),
+                    p99_s,
+                    p50_s: sim.p50_seconds(),
+                    qps: sim.qps,
+                    offered_qps: qps,
                     saturated: sim.saturated,
+                    meets_sla: sla_s.map(|sla| !sim.saturated && p99_s <= sla),
                 });
             }
         }
@@ -306,71 +346,70 @@ impl Scheduler {
     }
 
     /// Explores CPU-only execution (paper Section 5.1).
-    pub fn explore_cpu(&self, qps: f64, max_stages: usize) -> Vec<DesignPoint> {
-        self.explore(qps, max_stages, |n| self.cpu_mappings(n))
+    pub fn explore_cpu(&self, qps: f64, max_stages: usize) -> Vec<Outcome> {
+        let pool: Vec<Arc<dyn Backend>> = vec![Arc::new(CpuModel::cascade_lake())];
+        self.explore_pool(qps, max_stages, &pool, 1, None, &PcieModel::measured())
     }
 
     /// Explores heterogeneous CPU+GPU execution (paper Section 5.2).
-    pub fn explore_hetero(&self, qps: f64, max_stages: usize) -> Vec<DesignPoint> {
-        self.explore(qps, max_stages, |n| self.hetero_mappings(n))
+    pub fn explore_hetero(&self, qps: f64, max_stages: usize) -> Vec<Outcome> {
+        let pool: Vec<Arc<dyn Backend>> =
+            vec![Arc::new(CpuModel::cascade_lake()), Arc::new(GpuModel::t4())];
+        self.explore_pool(qps, max_stages, &pool, 1, None, &PcieModel::measured())
     }
 
     /// Explores RPAccel execution across partitions (paper Section 7).
+    /// Monolithic partitions host only single-stage pipelines; quality
+    /// uses the paper's 4-way sub-batched stitching and is evaluated
+    /// once per pipeline across all partitions.
     pub fn explore_accel(
         &self,
         qps: f64,
         max_stages: usize,
         partitions: &[Partition],
-    ) -> Vec<DesignPoint> {
-        let quality_eval = self.quality_evaluator().sub_batches(4);
-        let perf = self.perf_evaluator();
-        let mut quality_cache: HashMap<PipelineConfig, f64> = HashMap::new();
+    ) -> Vec<Outcome> {
+        let spec = DatasetSpec::for_kind(self.settings.dataset);
+        let interconnect = PcieModel::measured();
+        let mut quality_cache = HashMap::new();
         let mut points = Vec::new();
-
-        for pipeline in self.enumerate_pipelines(max_stages) {
-            let ndcg = *quality_cache
-                .entry(pipeline.clone())
-                .or_insert_with(|| quality_eval.evaluate(&pipeline).ndcg);
-            for partition in partitions {
-                if pipeline.num_stages() > 1 && partition.is_monolithic() {
-                    continue;
-                }
-                let mut sim = perf.evaluate_accel(&pipeline, partition.clone(), qps);
-                points.push(DesignPoint {
-                    pipeline: pipeline.clone(),
-                    mapping: format!(
-                        "rpaccel({},{})",
-                        partition.frontend().len(),
-                        partition.backend().len()
-                    ),
-                    ndcg,
-                    p99_s: sim.p99_seconds(),
-                    saturated: sim.saturated,
-                });
-            }
+        for partition in partitions {
+            let accel =
+                RpAccel::new(RpAccelConfig::paper_default(partition.clone()).with_dataset(&spec));
+            let pool: Vec<Arc<dyn Backend>> = vec![Arc::new(accel)];
+            let monolithic = partition.is_monolithic();
+            points.extend(self.explore_pool_cached(
+                qps,
+                max_stages,
+                &pool,
+                4,
+                None,
+                &interconnect,
+                &mut quality_cache,
+                |p| !monolithic || p.num_stages() == 1,
+            ));
         }
         points
     }
 
-    /// Quality-vs-latency Pareto frontier (maximize NDCG, minimize p99),
-    /// dropping saturated points.
-    pub fn pareto_quality_latency(points: Vec<DesignPoint>) -> Vec<DesignPoint> {
-        let candidates: Vec<ParetoPoint<DesignPoint>> = points
-            .into_iter()
-            .filter(|p| !p.saturated)
-            .map(|p| {
-                let objectives = vec![p.p99_s, p.ndcg];
-                ParetoPoint::new(p, objectives)
-            })
-            .collect();
-        pareto_front(candidates, &[Dominance::Minimize, Dominance::Maximize])
-            .into_iter()
-            .map(|p| p.payload)
-            .collect()
+    /// Quality-vs-latency Pareto frontier (maximize NDCG, minimize
+    /// p99), dropping saturated points — the shared dominance path used
+    /// by `Engine::sweep` and the figure binaries.
+    pub fn pareto(points: Vec<Outcome>) -> ParetoFront<Outcome> {
+        let stable: Vec<Outcome> = points.into_iter().filter(|p| !p.saturated).collect();
+        ParetoFront::extract(stable, &[Dominance::Minimize, Dominance::Maximize], |p| {
+            vec![p.p99_s, p.ndcg]
+        })
+    }
+
+    /// Deprecated alias for [`pareto`](Self::pareto) returning a bare
+    /// `Vec`.
+    #[deprecated(since = "0.1.0", note = "use `Scheduler::pareto`")]
+    pub fn pareto_quality_latency(points: Vec<Outcome>) -> Vec<Outcome> {
+        Self::pareto(points).into_vec()
     }
 
     /// The highest-quality stable design meeting a latency SLA.
-    pub fn best_quality_under_sla(points: &[DesignPoint], sla_s: f64) -> Option<&DesignPoint> {
+    pub fn best_quality_under_sla(points: &[Outcome], sla_s: f64) -> Option<&Outcome> {
         points
             .iter()
             .filter(|p| !p.saturated && p.p99_s <= sla_s)
@@ -379,7 +418,7 @@ impl Scheduler {
 
     /// The lowest-latency stable design achieving at least `min_ndcg`
     /// (iso-quality selection).
-    pub fn best_latency_at_quality(points: &[DesignPoint], min_ndcg: f64) -> Option<&DesignPoint> {
+    pub fn best_latency_at_quality(points: &[Outcome], min_ndcg: f64) -> Option<&Outcome> {
         points
             .iter()
             .filter(|p| !p.saturated && p.ndcg >= min_ndcg)
@@ -423,7 +462,24 @@ mod tests {
         for p in &points {
             assert!((0.0..=1.0).contains(&p.ndcg));
             assert!(p.p99_s > 0.0);
+            assert_eq!(p.offered_qps, 150.0);
         }
+    }
+
+    #[test]
+    fn placements_cover_uniform_parallel_and_split() {
+        let s = scheduler();
+        let pool: Vec<Arc<dyn Backend>> =
+            vec![Arc::new(CpuModel::cascade_lake()), Arc::new(GpuModel::t4())];
+        let placements = s.placements_for(&pool, 2);
+        let described: Vec<String> = placements.iter().map(|p| p.describe(&pool)).collect();
+        assert!(described.contains(&"cpu".to_string()));
+        assert!(described.contains(&"cpu|cpu(x2)".to_string()));
+        assert!(described.contains(&"gpu".to_string()));
+        assert!(described.contains(&"gpu|cpu".to_string()));
+        assert!(described.contains(&"gpu|cpu(x2)".to_string()));
+        // GPU capacity is 1, so no gpu(x2) variants appear.
+        assert!(!described.iter().any(|d| d.contains("gpu(x")));
     }
 
     #[test]
@@ -451,10 +507,10 @@ mod tests {
     fn pareto_front_is_consistent() {
         let points = scheduler().explore_cpu(150.0, 2);
         let n = points.len();
-        let front = Scheduler::pareto_quality_latency(points);
+        let front = Scheduler::pareto(points);
         assert!(!front.is_empty() && front.len() <= n);
-        for a in &front {
-            for b in &front {
+        for a in front.iter() {
+            for b in front.iter() {
                 assert!(
                     !(a.p99_s < b.p99_s && a.ndcg > b.ndcg + 1e-12),
                     "{} dominates {}",
@@ -480,6 +536,32 @@ mod tests {
         let points = s.explore_accel(400.0, 2, &partitions);
         assert!(!points.is_empty());
         assert!(points.iter().any(|p| p.mapping == "rpaccel(8,2)"));
+    }
+
+    #[test]
+    fn parallel_variants_only_for_query_splitting_backends() {
+        // RpAccel ignores the parallelism knob (and its whole-chain
+        // decomposition would be bypassed), so the scheduler must not
+        // generate (xK) variants over an accel pool.
+        let s = scheduler();
+        let accel = RpAccel::new(RpAccelConfig::paper_default(Partition::symmetric(8, 2)));
+        let pool: Vec<Arc<dyn Backend>> = vec![Arc::new(accel)];
+        for n in 1..=3 {
+            for placement in s.placements_for(&pool, n) {
+                assert!(
+                    placement.sites().iter().all(|site| site.parallelism == 1),
+                    "unexpected parallel variant {}",
+                    placement.describe(&pool)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monolithic_partitions_host_only_single_stage() {
+        let s = scheduler();
+        let points = s.explore_accel(200.0, 2, &[Partition::monolithic()]);
+        assert!(points.iter().all(|p| p.pipeline.num_stages() == 1));
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //! * **Throughput** — queries served per second ([`ThroughputMeter`]).
 //!
 //! The crate also provides binary-classification [`accuracy`](binary_error)
-//! helpers (the per-item metric the paper contrasts with quality) and a
-//! generic [`pareto_front`] used by the design-space-exploration scheduler.
+//! helpers (the per-item metric the paper contrasts with quality) and the
+//! shared Pareto machinery — [`pareto_front`] and the typed
+//! [`ParetoFront`] — that the scheduler and the `Engine`'s `sweep` use as
+//! their one dominance path.
 //!
 //! # Examples
 //!
@@ -31,6 +33,6 @@ mod throughput;
 
 pub use accuracy::{auc, binary_error, BinaryConfusion};
 pub use ndcg::{dcg, ideal_sorted, ndcg, ndcg_at_k};
-pub use pareto::{pareto_front, Dominance, ParetoPoint};
+pub use pareto::{pareto_front, Dominance, ParetoFront, ParetoPoint};
 pub use percentile::LatencyStats;
 pub use throughput::ThroughputMeter;

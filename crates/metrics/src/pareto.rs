@@ -120,6 +120,107 @@ pub fn pareto_front<T>(points: Vec<ParetoPoint<T>>, axes: &[Dominance]) -> Vec<P
         .collect()
 }
 
+/// A Pareto-optimal subset of design points, extracted with a caller-
+/// supplied objective projection.
+///
+/// This is the one shared dominance path for every frontier the system
+/// produces — the scheduler's quality/latency sweeps, the `Engine`'s
+/// [`sweep`] results, and ad-hoc analyses — so "Pareto-optimal" means
+/// the same thing everywhere.
+///
+/// [`sweep`]: https://docs.rs/recpipe-core
+///
+/// # Examples
+///
+/// ```
+/// use recpipe_metrics::{Dominance, ParetoFront};
+///
+/// // (latency, quality) candidates; minimize the first, maximize the second.
+/// let candidates = vec![(1.0, 0.80), (9.0, 0.95), (9.5, 0.80)];
+/// let front = ParetoFront::extract(
+///     candidates,
+///     &[Dominance::Minimize, Dominance::Maximize],
+///     |&(lat, q)| vec![lat, q],
+/// );
+/// assert_eq!(front.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoFront<T> {
+    points: Vec<T>,
+}
+
+impl<T> ParetoFront<T> {
+    /// Extracts the Pareto-optimal subset of `points`, projecting each
+    /// point onto objective values with `objectives` (one value per
+    /// axis, in axis order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a projection's arity differs from `axes.len()`.
+    pub fn extract(
+        points: Vec<T>,
+        axes: &[Dominance],
+        objectives: impl Fn(&T) -> Vec<f64>,
+    ) -> Self {
+        let tagged: Vec<ParetoPoint<T>> = points
+            .into_iter()
+            .map(|p| {
+                let obj = objectives(&p);
+                ParetoPoint::new(p, obj)
+            })
+            .collect();
+        Self {
+            points: pareto_front(tagged, axes)
+                .into_iter()
+                .map(|p| p.payload)
+                .collect(),
+        }
+    }
+
+    /// The surviving points, in input order.
+    pub fn points(&self) -> &[T] {
+        &self.points
+    }
+
+    /// Consumes the front, yielding its points.
+    pub fn into_vec(self) -> Vec<T> {
+        self.points
+    }
+
+    /// Number of non-dominated points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates over the points.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.points.iter()
+    }
+}
+
+impl<T> IntoIterator for ParetoFront<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a ParetoFront<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +300,18 @@ mod tests {
     fn arity_mismatch_panics() {
         let pts = vec![ParetoPoint::new((), vec![1.0])];
         pareto_front(pts, MIN_MAX);
+    }
+
+    #[test]
+    fn front_type_extracts_and_iterates() {
+        let candidates = vec![("a", 1.0, 0.9), ("b", 2.0, 0.95), ("c", 2.5, 0.9)];
+        let front = ParetoFront::extract(candidates, MIN_MAX, |&(_, lat, q)| vec![lat, q]);
+        assert_eq!(front.len(), 2);
+        assert!(!front.is_empty());
+        let names: Vec<&str> = front.iter().map(|&(n, _, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(front.points().len(), front.clone().into_vec().len());
+        let collected: Vec<_> = front.into_iter().collect();
+        assert_eq!(collected.len(), 2);
     }
 }

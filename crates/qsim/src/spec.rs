@@ -315,6 +315,20 @@ mod tests {
     }
 
     #[test]
+    fn spec_error_composes_with_question_mark() {
+        // SpecError implements std::error::Error, so callers can use `?`
+        // into Box<dyn Error> (and anyhow-style wrappers).
+        fn build() -> Result<PipelineSpec, Box<dyn std::error::Error>> {
+            let spec = PipelineSpec::new(vec![ResourceSpec::new("cpu", 4)])
+                .with_stage(StageSpec::new("s0", 9, 1, 0.01))?;
+            Ok(spec)
+        }
+        let err = build().unwrap_err();
+        assert!(err.to_string().contains("unknown resource"));
+        assert!(err.downcast_ref::<SpecError>().is_some());
+    }
+
+    #[test]
     fn spec_error_display_is_informative() {
         let err = SpecError::UnitsExceedCapacity {
             stage: "backend".into(),

@@ -1,6 +1,6 @@
-//! Quickstart: build a two-stage recommendation pipeline, measure its
-//! quality, and compare its tail latency against the single-stage
-//! monolith on CPU, GPU, and RPAccel.
+//! Quickstart: build a two-stage recommendation pipeline, bind it to
+//! hardware with the `Engine` API, and compare it against the
+//! single-stage monolith on CPU and RPAccel.
 //!
 //! Run with:
 //!
@@ -9,60 +9,63 @@
 //! ```
 
 use recpipe::accel::Partition;
-use recpipe::core::{
-    Mapping, PerformanceEvaluator, PipelineConfig, QualityEvaluator, StageConfig, Table,
-};
+use recpipe::core::{Engine, PipelineConfig, Placement, StageConfig, Table};
 use recpipe::models::ModelKind;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's canonical Criteo designs: a monolithic RMlarge ranking
     // all 4096 candidates, and the two-stage funnel that filters with
     // RMsmall first.
-    let single = PipelineConfig::single_stage(ModelKind::RmLarge, 4096, 64)
-        .expect("valid single-stage pipeline");
+    let single = PipelineConfig::single_stage(ModelKind::RmLarge, 4096, 64)?;
     let multi = PipelineConfig::builder()
         .stage(StageConfig::new(ModelKind::RmSmall, 4096, 256))
         .stage(StageConfig::new(ModelKind::RmLarge, 256, 64))
-        .build()
-        .expect("valid two-stage pipeline");
+        .build()?;
 
-    // Quality: NDCG of the served top-64 (paper metric, x100).
-    let quality = QualityEvaluator::criteo_like(64).queries(400);
-    let q_single = quality.evaluate(&single);
-    let q_multi = quality.evaluate(&multi);
-
-    // Performance: p99 tail latency at 500 QPS on each platform.
-    let perf = PerformanceEvaluator::table2_defaults().sim_queries(4000);
+    // One engine per (pipeline, hardware) pair; each evaluate() call
+    // answers quality + tail latency + throughput together.
     let qps = 500.0;
-    let mut cpu_single = perf.evaluate(&single, &Mapping::cpu_only(1), qps);
-    let mut cpu_multi = perf.evaluate(&multi, &Mapping::cpu_only(2), qps);
-    let mut accel_multi = perf.evaluate_accel(&multi, Partition::symmetric(8, 2), qps);
+    let cpu_single = Engine::commodity(single.clone())
+        .placement(Placement::cpu_only(1))
+        .load(qps)
+        .quality_queries(400)
+        .sim_queries(4_000)
+        .build()?;
+    let cpu_multi = Engine::commodity(multi.clone())
+        .placement(Placement::cpu_only(2))
+        .load(qps)
+        .quality_queries(400)
+        .sim_queries(4_000)
+        .build()?;
+    let accel_multi = Engine::rpaccel(multi.clone(), Partition::symmetric(8, 2))
+        .load(qps)
+        .quality_queries(400)
+        .sim_queries(4_000)
+        .build()?;
 
     let mut table = Table::new(vec!["design", "platform", "NDCG", "p99 (ms)"]);
-    table.row(vec![
-        single.describe(),
-        "CPU (64 cores)".into(),
-        format!("{:.2}", q_single.ndcg_percent()),
-        format!("{:.2}", cpu_single.p99_seconds() * 1e3),
-    ]);
-    table.row(vec![
-        multi.describe(),
-        "CPU (64 cores)".into(),
-        format!("{:.2}", q_multi.ndcg_percent()),
-        format!("{:.2}", cpu_multi.p99_seconds() * 1e3),
-    ]);
-    table.row(vec![
-        multi.describe(),
-        "RPAccel(8,2)".into(),
-        format!("{:.2}", q_multi.ndcg_percent()),
-        format!("{:.2}", accel_multi.p99_seconds() * 1e3),
-    ]);
+    let mut outcomes = Vec::new();
+    for (engine, platform) in [
+        (&cpu_single, "CPU (64 cores)"),
+        (&cpu_multi, "CPU (64 cores)"),
+        (&accel_multi, "RPAccel(8,2)"),
+    ] {
+        let outcome = engine.evaluate();
+        table.row(vec![
+            outcome.pipeline.describe(),
+            platform.into(),
+            format!("{:.2}", outcome.ndcg_percent()),
+            format!("{:.2}", outcome.p99_ms()),
+        ]);
+        outcomes.push(outcome);
+    }
 
     println!("RecPipe quickstart — Criteo-like workload at {qps} QPS\n");
     println!("{table}");
     println!(
         "Two-stage cuts CPU tail latency {:.1}x at iso-quality; RPAccel adds another {:.1}x.",
-        cpu_single.p99_seconds() / cpu_multi.p99_seconds(),
-        cpu_multi.p99_seconds() / accel_multi.p99_seconds(),
+        outcomes[0].p99_s / outcomes[1].p99_s,
+        outcomes[1].p99_s / outcomes[2].p99_s,
     );
+    Ok(())
 }

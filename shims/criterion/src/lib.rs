@@ -1,0 +1,165 @@
+//! Offline shim for the `criterion` benchmarking API this workspace
+//! uses.
+//!
+//! Measures real wall-clock time: each benchmark is warmed up briefly,
+//! then timed over enough iterations to fill a short measurement window,
+//! and the mean nanoseconds per iteration is printed as
+//! `bench_name: <t> ns/iter`. Set `CRITERION_SHIM_JSON=<path>` to also
+//! append one JSON line per benchmark (used to record `BENCH_seed.json`
+//! baselines).
+
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported with criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Result of timing one benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Fully qualified benchmark name (`group/function`).
+    pub name: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    measurement: Option<Measurement>,
+    name: String,
+}
+
+impl Bencher {
+    /// Times `f`, recording mean wall-clock per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run for ~20 ms to stabilize caches and estimate cost.
+        let warmup = Duration::from_millis(20);
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Measurement: a ~200 ms window, at least 10 iterations.
+        let target = Duration::from_millis(200);
+        let iters = ((target.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(10, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.measurement = Some(Measurement {
+            name: self.name.clone(),
+            ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+            iters,
+        });
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Creates a driver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+        let name = name.into();
+        let mut bencher = Bencher {
+            measurement: None,
+            name: name.clone(),
+        };
+        f(&mut bencher);
+        if let Some(m) = bencher.measurement {
+            report(&m);
+            self.results.push(m);
+        }
+    }
+
+    /// Opens a named group; benchmarks within it are prefixed
+    /// `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+        }
+    }
+
+    /// All measurements recorded so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.prefix, name.into());
+        self.criterion.bench_function(full, f);
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(m: &Measurement) {
+    println!(
+        "{}: {:.1} ns/iter ({} iters)",
+        m.name, m.ns_per_iter, m.iters
+    );
+    if let Ok(path) = std::env::var("CRITERION_SHIM_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"name\":\"{}\",\"ns_per_iter\":{:.1},\"iters\":{}}}",
+                m.name.replace('"', "'"),
+                m.ns_per_iter,
+                m.iters
+            );
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

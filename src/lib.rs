@@ -9,21 +9,30 @@
 //! commodity CPUs and GPUs, and a specialized accelerator — **RPAccel** —
 //! jointly optimizes quality, tail latency, and throughput.
 //!
+//! The front door is [`core::Engine`]: bind a pipeline, a pool of
+//! hardware [`core::Backend`]s, a [`core::Placement`], an offered load,
+//! and an SLA — then ask for quality, tail latency, throughput, and
+//! saturation in one call. Hardware plugs in through the `Backend`
+//! trait, so CPUs, GPUs, RPAccel, and your own device models are
+//! interchangeable behind one seam.
+//!
 //! This facade crate re-exports every subsystem:
 //!
 //! * [`tensor`] — dense linear algebra kernels.
-//! * [`metrics`] — NDCG quality, accuracy, and tail-latency statistics.
+//! * [`metrics`] — NDCG quality, accuracy, tail-latency statistics, and
+//!   the shared Pareto-front machinery.
 //! * [`data`] — synthetic datasets, distributions, arrival processes.
 //! * [`models`] — DLRM / NeuMF recommendation models and cost accounting.
 //! * [`hwsim`] — CPU / GPU / memory-hierarchy cost models.
 //! * [`accel`] — the RPAccel cycle-level accelerator simulator.
 //! * [`qsim`] — the discrete-event at-scale queueing simulator.
-//! * [`core`] — multi-stage pipelines, quality evaluation, the scheduler.
+//! * [`core`] — the `Engine`, multi-stage pipelines, quality evaluation,
+//!   and the scheduler.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use recpipe::core::{PipelineConfig, QualityEvaluator, StageConfig};
+//! use recpipe::core::{Engine, Placement, PipelineConfig, StageConfig};
 //! use recpipe::models::ModelKind;
 //!
 //! // A two-stage pipeline: RMsmall filters 4096 items to 256,
@@ -31,11 +40,20 @@
 //! let pipeline = PipelineConfig::builder()
 //!     .stage(StageConfig::new(ModelKind::RmSmall, 4096, 256))
 //!     .stage(StageConfig::new(ModelKind::RmLarge, 256, 64))
-//!     .build()
-//!     .expect("valid pipeline");
+//!     .build()?;
 //!
-//! let quality = QualityEvaluator::criteo_like(64).evaluate(&pipeline);
-//! assert!(quality.ndcg > 0.90);
+//! // Bind it to the paper's commodity platforms and evaluate jointly.
+//! let engine = Engine::commodity(pipeline)
+//!     .placement(Placement::cpu_only(2))
+//!     .load(500.0)
+//!     .sla(0.025)
+//!     .sim_queries(1_000)
+//!     .build()?;
+//!
+//! let outcome = engine.evaluate();
+//! assert!(outcome.ndcg > 0.90);
+//! assert!(!outcome.saturated);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub use recpipe_accel as accel;

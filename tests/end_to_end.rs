@@ -1,11 +1,9 @@
-//! End-to-end integration tests spanning every crate: quality and
-//! performance of full pipelines on all three hardware targets.
+//! End-to-end integration tests spanning every crate: the `Engine` API
+//! driving quality and performance of full pipelines on all three
+//! hardware targets.
 
 use recpipe::accel::Partition;
-use recpipe::core::{
-    Mapping, PerformanceEvaluator, PipelineConfig, QualityEvaluator, Scheduler, SchedulerSettings,
-    StageConfig,
-};
+use recpipe::core::{Engine, PipelineConfig, Placement, Scheduler, SchedulerSettings, StageConfig};
 use recpipe::data::DatasetKind;
 use recpipe::models::ModelKind;
 
@@ -21,22 +19,31 @@ fn two_stage(mid: u64) -> PipelineConfig {
         .unwrap()
 }
 
+fn cpu_engine(pipeline: PipelineConfig, qps: f64) -> Engine {
+    let stages = pipeline.num_stages();
+    Engine::commodity(pipeline)
+        .placement(Placement::cpu_only(stages))
+        .load(qps)
+        .quality_queries(200)
+        .sim_queries(2_000)
+        .build()
+        .expect("valid CPU engine")
+}
+
 #[test]
 fn paper_headline_multi_stage_is_iso_quality_and_much_faster_on_cpu() {
     // The paper's central claim (Figure 1, Section 5.1): decomposing the
     // monolith maintains quality while cutting tail latency ~4x on CPUs.
-    let quality = QualityEvaluator::criteo_like(64).queries(200);
-    let q_single = quality.evaluate(&single_stage(4096)).ndcg;
-    let q_multi = quality.evaluate(&two_stage(256)).ndcg;
-    assert!(
-        (q_single - q_multi).abs() < 0.01,
-        "iso-quality violated: {q_single} vs {q_multi}"
-    );
+    let single = cpu_engine(single_stage(4096), 500.0).evaluate();
+    let multi = cpu_engine(two_stage(256), 500.0).evaluate();
 
-    let perf = PerformanceEvaluator::table2_defaults().sim_queries(2_000);
-    let mut s = perf.evaluate(&single_stage(4096), &Mapping::cpu_only(1), 500.0);
-    let mut m = perf.evaluate(&two_stage(256), &Mapping::cpu_only(2), 500.0);
-    let speedup = s.p99_seconds() / m.p99_seconds();
+    assert!(
+        (single.ndcg - multi.ndcg).abs() < 0.01,
+        "iso-quality violated: {} vs {}",
+        single.ndcg,
+        multi.ndcg
+    );
+    let speedup = single.p99_s / multi.p99_s;
     assert!(
         (2.5..8.0).contains(&speedup),
         "CPU multi-stage speedup {speedup}"
@@ -45,47 +52,68 @@ fn paper_headline_multi_stage_is_iso_quality_and_much_faster_on_cpu() {
 
 #[test]
 fn accelerator_beats_both_commodity_platforms_at_iso_quality() {
-    let perf = PerformanceEvaluator::table2_defaults().sim_queries(2_000);
     let pipeline = two_stage(512);
     let qps = 200.0;
 
-    let mut cpu = perf.evaluate(&pipeline, &Mapping::cpu_only(2), qps);
-    let mut gpu_front = perf.evaluate(&pipeline, &Mapping::gpu_frontend(2), qps);
-    let mut accel = perf.evaluate_accel(&pipeline, Partition::symmetric(8, 2), qps);
+    let cpu = cpu_engine(pipeline.clone(), qps).evaluate();
+    let gpu_front = Engine::commodity(pipeline.clone())
+        .placement(Placement::gpu_frontend(2, 1))
+        .load(qps)
+        .quality_queries(100)
+        .sim_queries(2_000)
+        .build()
+        .unwrap()
+        .evaluate();
+    let accel = Engine::rpaccel(pipeline, Partition::symmetric(8, 2))
+        .load(qps)
+        .quality_queries(100)
+        .sim_queries(2_000)
+        .build()
+        .unwrap()
+        .evaluate();
 
-    assert!(accel.p99_seconds() < gpu_front.p99_seconds());
-    assert!(accel.p99_seconds() < cpu.p99_seconds());
+    assert!(accel.p99_s < gpu_front.p99_s);
+    assert!(accel.p99_s < cpu.p99_s);
 }
 
 #[test]
 fn figure12_shape_rpaccel_vs_baseline_latency_and_throughput() {
-    let perf = PerformanceEvaluator::table2_defaults().sim_queries(2_000);
     let multi = two_stage(512);
     let single = single_stage(4096);
 
+    let rp = Engine::rpaccel(multi.clone(), Partition::symmetric(8, 2))
+        .quality_queries(50)
+        .sim_queries(2_000)
+        .build()
+        .unwrap();
+    let base = Engine::baseline_accel(single.clone())
+        .quality_queries(50)
+        .sim_queries(2_000)
+        .build()
+        .unwrap();
+
     // Latency at moderate load: ~3x (paper) — accept 1.8-8x.
-    let mut rp = perf.evaluate_accel(&multi, Partition::symmetric(8, 2), 200.0);
-    let mut base = perf.evaluate_baseline_accel(&single, 200.0);
-    let latency_gain = base.p99_seconds() / rp.p99_seconds();
+    let latency_gain = base.evaluate_at(200.0).p99_s / rp.evaluate_at(200.0).p99_s;
     assert!(
         (1.8..8.0).contains(&latency_gain),
         "latency gain {latency_gain}"
     );
 
     // Throughput: find the max stable load of each (paper: ~6x).
-    let max_stable = |eval: &dyn Fn(f64) -> bool| -> f64 {
+    let rp8 = Engine::rpaccel(multi, Partition::symmetric(8, 8))
+        .quality_queries(50)
+        .sim_queries(2_000)
+        .build()
+        .unwrap();
+    let max_stable = |engine: &Engine| -> f64 {
         let mut qps = 100.0;
-        while qps < 20_000.0 && eval(qps) {
+        while qps < 20_000.0 && !engine.evaluate_at(qps).saturated {
             qps *= 1.5;
         }
         qps
     };
-    let rp_cap = max_stable(&|q| {
-        !perf
-            .evaluate_accel(&multi, Partition::symmetric(8, 8), q)
-            .saturated
-    });
-    let base_cap = max_stable(&|q| !perf.evaluate_baseline_accel(&single, q).saturated);
+    let rp_cap = max_stable(&rp8);
+    let base_cap = max_stable(&base);
     assert!(
         rp_cap / base_cap >= 2.0,
         "throughput gain {} (rp {rp_cap} vs base {base_cap})",
@@ -94,36 +122,29 @@ fn figure12_shape_rpaccel_vs_baseline_latency_and_throughput() {
 }
 
 #[test]
-fn scheduler_end_to_end_finds_multi_stage_winner() {
-    let scheduler = Scheduler::new(SchedulerSettings::quick());
-    let points = scheduler.explore_cpu(400.0, 3);
-    assert!(!points.is_empty());
+fn engine_sweep_end_to_end_finds_multi_stage_winner() {
+    let engine = Engine::commodity(two_stage(512))
+        .placement(Placement::cpu_only(2))
+        .load(400.0)
+        .build()
+        .unwrap();
+    let frontier = engine.sweep(&SchedulerSettings::quick());
+    assert!(!frontier.is_empty());
 
-    let max_q = points
-        .iter()
-        .filter(|p| !p.saturated)
-        .map(|p| p.ndcg)
-        .fold(0.0, f64::max);
-    let best =
-        Scheduler::best_latency_at_quality(&points, max_q - 0.005).expect("stable design exists");
+    let max_q = frontier.iter().map(|p| p.ndcg).fold(0.0, f64::max);
+    let best = Scheduler::best_latency_at_quality(frontier.points(), max_q - 0.005)
+        .expect("stable design exists");
     assert!(best.pipeline.num_stages() >= 2, "picked {}", best.pipeline);
 }
 
 #[test]
 fn quality_and_performance_are_reproducible_across_runs() {
-    let pipeline = two_stage(256);
-    let q1 = QualityEvaluator::criteo_like(64)
-        .queries(100)
-        .evaluate(&pipeline);
-    let q2 = QualityEvaluator::criteo_like(64)
-        .queries(100)
-        .evaluate(&pipeline);
-    assert_eq!(q1, q2);
-
-    let perf = PerformanceEvaluator::table2_defaults().sim_queries(1_000);
-    let mut r1 = perf.evaluate(&pipeline, &Mapping::cpu_only(2), 300.0);
-    let mut r2 = perf.evaluate(&pipeline, &Mapping::cpu_only(2), 300.0);
-    assert_eq!(r1.p99_seconds(), r2.p99_seconds());
+    let build = || cpu_engine(two_stage(256), 300.0);
+    let a = build().evaluate();
+    let b = build().evaluate();
+    assert_eq!(a.ndcg, b.ndcg);
+    assert_eq!(a.p99_s, b.p99_s);
+    assert_eq!(a, b);
 }
 
 #[test]
@@ -141,14 +162,39 @@ fn movielens_pipelines_run_end_to_end() {
             .build()
             .unwrap();
 
-        let q = QualityEvaluator::for_dataset(dataset, 64)
-            .queries(100)
-            .evaluate(&pipeline);
-        assert!(q.ndcg > 0.5, "{dataset}: NDCG {}", q.ndcg);
+        let outcome = Engine::commodity(pipeline)
+            .placement(Placement::cpu_only(2))
+            .load(100.0)
+            .quality_queries(100)
+            .sim_queries(1_000)
+            .build()
+            .unwrap()
+            .evaluate();
+        assert!(outcome.ndcg > 0.5, "{dataset}: NDCG {}", outcome.ndcg);
+        assert!(!outcome.saturated);
+        assert!(outcome.p99_s > 0.0);
+    }
+}
 
+#[test]
+fn deprecated_mapping_shim_still_matches_new_path() {
+    // The thin compatibility shims forward into the Backend seam; their
+    // results must agree exactly with the Engine path.
+    #[allow(deprecated)]
+    {
+        use recpipe::core::{Mapping, PerformanceEvaluator};
+        let pipeline = two_stage(256);
         let perf = PerformanceEvaluator::table2_defaults().sim_queries(1_000);
-        let mut sim = perf.evaluate(&pipeline, &Mapping::cpu_only(2), 100.0);
-        assert!(!sim.saturated);
-        assert!(sim.p99_seconds() > 0.0);
+        let old = perf
+            .evaluate(&pipeline, &Mapping::cpu_only(2), 300.0)
+            .p99_seconds();
+        let new = Engine::commodity(pipeline)
+            .placement(Placement::cpu_only(2))
+            .sim_queries(1_000)
+            .build()
+            .unwrap()
+            .serve(300.0, 1_000)
+            .p99_seconds();
+        assert_eq!(old, new);
     }
 }

@@ -62,6 +62,23 @@ fn accel_through_facade() {
 }
 
 #[test]
+fn engine_through_facade() {
+    use recpipe::core::{Engine, PipelineConfig, Placement};
+
+    let pipeline = PipelineConfig::single_stage(ModelKind::RmMed, 4096, 64).unwrap();
+    let engine = Engine::commodity(pipeline)
+        .placement(Placement::cpu_only(1))
+        .load(100.0)
+        .quality_queries(50)
+        .sim_queries(500)
+        .build()
+        .unwrap();
+    let outcome = engine.evaluate();
+    assert!(outcome.ndcg > 0.5);
+    assert!(!outcome.saturated);
+}
+
+#[test]
 fn qsim_through_facade() {
     let spec = PipelineSpec::new(vec![ResourceSpec::new("cpu", 4)])
         .with_stage(StageSpec::new("s", 0, 1, 0.001))
