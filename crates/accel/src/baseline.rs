@@ -147,6 +147,32 @@ impl BaselineAccel {
             lanes: 1,
         }
     }
+
+    /// Latency of a batch of `batch` queries executed as one launch,
+    /// each still served its own top `k`: the candidate sets concatenate
+    /// (amortizing model streaming, PCIe setup, and the host round
+    /// trip), and the host sorts each query's scores.
+    ///
+    /// `batch = 1` equals [`query_latency`](Self::query_latency)
+    /// exactly.
+    pub fn batched_query_latency(&self, work: &StageWork, k: u64, batch: usize) -> f64 {
+        let batch = batch.max(1) as u64;
+        let scaled = StageWork::new(work.model.clone(), work.items * batch);
+        self.query_latency(&scaled, k * batch)
+    }
+
+    /// [`service_profile`](Self::service_profile) for batches of
+    /// `batch` queries per launch.
+    pub fn batched_service_profile(
+        &self,
+        work: &StageWork,
+        k: u64,
+        batch: usize,
+    ) -> ServiceProfile {
+        let b = batch.max(1) as u64;
+        let scaled = StageWork::new(work.model.clone(), work.items * b);
+        self.service_profile(&scaled, k * b)
+    }
 }
 
 #[cfg(test)]

@@ -260,6 +260,39 @@ impl RpAccel {
         }
     }
 
+    /// Latency of a batch of `batch` queries executed as one launch:
+    /// the candidate sets concatenate, so MLP weight streaming,
+    /// activation-spill setup, and PCIe input setup amortize across the
+    /// batch while embedding gathers scale with the items.
+    ///
+    /// `batch = 1` equals [`query_latency`](Self::query_latency)
+    /// exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn batched_query_latency(&self, stages: &[StageWork], batch: usize) -> f64 {
+        self.query_latency(&Self::scaled_stages(stages, batch))
+    }
+
+    /// [`service_profile`](Self::service_profile) for batches of
+    /// `batch` queries per launch: the whole-batch service times of the
+    /// serialized DRAM phase and the lanes-parallel compute phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn batched_service_profile(&self, stages: &[StageWork], batch: usize) -> ServiceProfile {
+        self.service_profile(&Self::scaled_stages(stages, batch))
+    }
+
+    fn scaled_stages(stages: &[StageWork], batch: usize) -> Vec<StageWork> {
+        stages
+            .iter()
+            .map(|w| StageWork::new(w.model.clone(), w.items * batch.max(1) as u64))
+            .collect()
+    }
+
     /// A simple single-resource [`Device`] view (lanes-wide, full-latency
     /// service); prefer [`service_profile`](Self::service_profile) for
     /// at-scale studies where the DRAM bottleneck matters.

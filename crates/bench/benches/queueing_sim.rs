@@ -1,27 +1,56 @@
 //! Criterion bench: the discrete-event queueing simulator — the backbone
-//! of every at-scale experiment.
+//! of every at-scale experiment — in both its legacy per-query form and
+//! the batching-aware v2 serving core.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use recpipe_qsim::{PipelineSpec, ResourceSpec, StageSpec};
+use recpipe_data::MmppArrivals;
+use recpipe_qsim::{BatchModel, BatchWindow, PipelineSpec, ResourceSpec, StageSpec};
 
-fn bench_qsim(c: &mut Criterion) {
-    let two_stage = PipelineSpec::new(vec![
+fn two_stage() -> PipelineSpec {
+    PipelineSpec::new(vec![
         ResourceSpec::new("cpu", 64),
         ResourceSpec::new("gpu", 1),
     ])
     .with_stage(StageSpec::new("front", 1, 1, 0.0012))
     .unwrap()
     .with_stage(StageSpec::new("back", 0, 2, 0.008))
-    .unwrap();
+    .unwrap()
+}
 
+fn bench_qsim(c: &mut Criterion) {
+    let spec = two_stage();
     let mut group = c.benchmark_group("qsim");
     for &queries in &[1_000usize, 10_000] {
         group.bench_function(format!("two_stage_{queries}q"), |b| {
-            b.iter(|| black_box(two_stage.simulate(black_box(300.0), queries, 7)))
+            b.iter(|| black_box(spec.simulate(black_box(300.0), queries, 7)))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_qsim);
+fn bench_qsim_v2(c: &mut Criterion) {
+    // The v2 serving core with everything turned on: batched stages,
+    // bursty MMPP arrivals, and a batch-window policy (timer events,
+    // priority queues, batch formation).
+    let spec = PipelineSpec::new(vec![
+        ResourceSpec::new("cpu", 64),
+        ResourceSpec::new("gpu", 1),
+    ])
+    .with_stage(StageSpec::new("front", 1, 1, 0.0012).with_batch(BatchModel::new(16, 0.15)))
+    .unwrap()
+    .with_stage(StageSpec::new("back", 0, 2, 0.008).with_batch(BatchModel::new(8, 0.8)))
+    .unwrap();
+    let arrivals = MmppArrivals::new(100.0, 900.0, 0.4, 0.1);
+    let policy = BatchWindow::new(0.002);
+
+    let mut group = c.benchmark_group("qsim_v2");
+    for &queries in &[1_000usize, 10_000] {
+        group.bench_function(format!("batched_mmpp_window_{queries}q"), |b| {
+            b.iter(|| black_box(spec.serve(&arrivals, &policy, queries, 7)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qsim, bench_qsim_v2);
 criterion_main!(benches);

@@ -31,8 +31,13 @@ fn main() {
     }
     println!("{left}");
 
-    println!("Figure 7 (center): Pareto frontier per stage count at QPS 500\n");
-    let scheduler = Scheduler::new(SchedulerSettings::paper_default());
+    let settings = SchedulerSettings::paper_default();
+    println!(
+        "Figure 7 (center): Pareto frontier per stage count at QPS 500 \
+         ({} sweep workers)\n",
+        recpipe_core::worker_threads(settings.workers)
+    );
+    let scheduler = Scheduler::new(settings);
     let points = scheduler.explore_cpu(500.0, 3);
     let mut center = Table::new(vec!["stages", "pipeline", "mapping", "NDCG", "p99 (ms)"]);
     for stages in 1..=3usize {

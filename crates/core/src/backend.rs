@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use recpipe_accel::{BaselineAccel, RpAccel};
 use recpipe_hwsim::{CpuModel, Device, GpuModel, PcieModel, StageWork};
-use recpipe_qsim::{PipelineSpec, ResourceSpec, StageSpec};
+use recpipe_qsim::{BatchModel, PipelineSpec, ResourceSpec, StageSpec};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::EngineError;
@@ -65,7 +65,7 @@ pub const INTERMEDIATE_BYTES_PER_ITEM: u64 = 164;
 ///     }
 /// }
 /// ```
-pub trait Backend: std::fmt::Debug {
+pub trait Backend: std::fmt::Debug + Send + Sync {
     /// Short human-readable identifier used in placement descriptions.
     fn name(&self) -> String;
 
@@ -78,6 +78,21 @@ pub trait Backend: std::fmt::Debug {
     /// simply ignore values above 1).
     fn stage_latency(&self, work: &StageWork, parallelism: usize) -> f64;
 
+    /// Largest number of queries this backend profitably serves as one
+    /// launched batch (1 = per-query serving, the default).
+    fn max_batch(&self) -> usize {
+        1
+    }
+
+    /// Service time in seconds of a batch of `batch` queries' stage on
+    /// `parallelism` resource units. The default is linear (no batching
+    /// benefit); hardware models override it with their real
+    /// batch-scaling curves. Must equal
+    /// [`stage_latency`](Backend::stage_latency) at `batch = 1`.
+    fn batch_latency(&self, work: &StageWork, parallelism: usize, batch: usize) -> f64 {
+        self.stage_latency(work, parallelism) * batch.max(1) as f64
+    }
+
     /// Whether this backend models splitting one query across multiple
     /// resource units (CPU model parallelism). When `false` (the
     /// default), the scheduler does not generate `parallelism > 1`
@@ -88,10 +103,12 @@ pub trait Backend: std::fmt::Debug {
     }
 
     /// Optional whole-pipeline queueing decomposition, consulted when
-    /// every stage of `pipeline` is placed on this backend. Return
-    /// `None` (the default) to use the generic per-stage path.
-    fn chain_spec(&self, pipeline: &PipelineConfig) -> Option<PipelineSpec> {
-        let _ = pipeline;
+    /// every stage of `pipeline` is placed on this backend. When
+    /// `batching` is true the decomposition's stages should carry the
+    /// backend's batch-scaling models. Return `None` (the default) to
+    /// use the generic per-stage path.
+    fn chain_spec(&self, pipeline: &PipelineConfig, batching: bool) -> Option<PipelineSpec> {
+        let _ = (pipeline, batching);
         None
     }
 }
@@ -107,6 +124,16 @@ impl Backend for CpuModel {
 
     fn stage_latency(&self, work: &StageWork, parallelism: usize) -> f64 {
         CpuModel::stage_latency(self, work, parallelism.clamp(1, self.cores))
+    }
+
+    fn max_batch(&self) -> usize {
+        // Beyond a handful of queries the GEMM-efficiency gain
+        // flattens while the batch's head-of-line cost keeps growing.
+        8
+    }
+
+    fn batch_latency(&self, work: &StageWork, parallelism: usize, batch: usize) -> f64 {
+        CpuModel::batch_stage_latency(self, work, parallelism.clamp(1, self.cores), batch)
     }
 
     fn splits_queries(&self) -> bool {
@@ -126,6 +153,16 @@ impl Backend for GpuModel {
     fn stage_latency(&self, work: &StageWork, _parallelism: usize) -> f64 {
         Device::stage_latency(self, work)
     }
+
+    fn max_batch(&self) -> usize {
+        // The device that lives on batching: launches, PCIe setup, and
+        // the fixed per-query overhead amortize across the batch.
+        16
+    }
+
+    fn batch_latency(&self, work: &StageWork, _parallelism: usize, batch: usize) -> f64 {
+        GpuModel::batch_stage_latency(self, work, batch)
+    }
 }
 
 impl Backend for RpAccel {
@@ -142,9 +179,27 @@ impl Backend for RpAccel {
         self.query_latency(std::slice::from_ref(work))
     }
 
-    fn chain_spec(&self, pipeline: &PipelineConfig) -> Option<PipelineSpec> {
+    fn max_batch(&self) -> usize {
+        // Matches the paper's 4-way sub-batched pipelining: enough to
+        // amortize weight streaming without starving the top-k filter.
+        4
+    }
+
+    fn batch_latency(&self, work: &StageWork, _parallelism: usize, batch: usize) -> f64 {
+        self.batched_query_latency(std::slice::from_ref(work), batch)
+    }
+
+    fn chain_spec(&self, pipeline: &PipelineConfig, batching: bool) -> Option<PipelineSpec> {
+        let works = pipeline.stage_works();
+        let batch = if batching {
+            Backend::max_batch(self)
+        } else {
+            1
+        };
         Some(accel_profile_spec(
-            self.service_profile(&pipeline.stage_works()),
+            self.service_profile(&works),
+            self.batched_service_profile(&works, batch),
+            batch,
         ))
     }
 }
@@ -164,36 +219,81 @@ impl Backend for BaselineAccel {
         self.query_latency(work, 64)
     }
 
-    fn chain_spec(&self, pipeline: &PipelineConfig) -> Option<PipelineSpec> {
+    fn max_batch(&self) -> usize {
+        // A monolithic inference engine batches conservatively: weight
+        // streaming amortizes, the host filter round trip does not.
+        4
+    }
+
+    fn batch_latency(&self, work: &StageWork, _parallelism: usize, batch: usize) -> f64 {
+        self.batched_query_latency(work, 64, batch)
+    }
+
+    fn chain_spec(&self, pipeline: &PipelineConfig, batching: bool) -> Option<PipelineSpec> {
         // The baseline models a single monolithic stage; multi-stage
         // pipelines fall back to the generic per-stage path so no
         // frontend work is silently dropped.
         if pipeline.num_stages() != 1 {
             return None;
         }
-        let works = pipeline.stage_works();
+        let work = pipeline.stage_works().into_iter().next()?;
+        let batch = if batching {
+            Backend::max_batch(self)
+        } else {
+            1
+        };
         Some(accel_profile_spec(
-            self.service_profile(works.first()?, pipeline.items_served()),
+            self.service_profile(&work, pipeline.items_served()),
+            self.batched_service_profile(&work, pipeline.items_served(), batch),
+            batch,
         ))
     }
 }
 
 /// Queueing decomposition of an accelerator service profile: a
 /// serialized memory phase followed by a lanes-parallel compute phase.
-fn accel_profile_spec(profile: recpipe_accel::ServiceProfile) -> PipelineSpec {
+///
+/// `batched` is the same profile measured at `batch` queries per
+/// launch; each phase's batch model is the line through the two
+/// measurements (`batch = 1` degenerates to per-query stages).
+fn accel_profile_spec(
+    profile: recpipe_accel::ServiceProfile,
+    batched: recpipe_accel::ServiceProfile,
+    batch: usize,
+) -> PipelineSpec {
+    let mem_base = profile.dram_service_s.max(1e-9);
+    let compute_base = profile.compute_service_s;
     PipelineSpec::new(vec![
         ResourceSpec::new("accel-mem", 1),
         ResourceSpec::new("accel-lanes", profile.lanes),
     ])
-    .with_stage(StageSpec::new(
-        "mem",
-        0,
-        1,
-        profile.dram_service_s.max(1e-9),
-    ))
+    .with_stage(
+        StageSpec::new("mem", 0, 1, mem_base).with_batch(fit_batch_model(
+            mem_base,
+            batched.dram_service_s,
+            batch,
+        )),
+    )
     .expect("validated stage")
-    .with_stage(StageSpec::new("compute", 1, 1, profile.compute_service_s))
+    .with_stage(
+        StageSpec::new("compute", 1, 1, compute_base).with_batch(fit_batch_model(
+            compute_base,
+            batched.compute_service_s,
+            batch,
+        )),
+    )
     .expect("validated stage")
+}
+
+/// Fits the two-point linear batch model through a per-query service
+/// time `base` and a whole-batch service time `full` at `batch` queries
+/// per launch.
+fn fit_batch_model(base: f64, full: f64, batch: usize) -> BatchModel {
+    if batch <= 1 || base <= 0.0 {
+        return BatchModel::per_query();
+    }
+    let slope = ((full - base) / (batch - 1) as f64).max(0.0);
+    BatchModel::new(batch, (slope / base).clamp(0.0, 1.0))
 }
 
 /// Where one pipeline stage runs: a backend (by index into the engine's
@@ -319,14 +419,9 @@ impl Placement {
     }
 }
 
-/// Builds the queueing spec for `pipeline` under `placement` over a
-/// backend `pool` — the one code path every evaluation flows through.
-///
-/// If all stages land on a single backend that supplies a
-/// [`Backend::chain_spec`], that decomposition is used. Otherwise each
-/// stage becomes a queueing stage on its backend's resource, and
-/// consecutive stages on *different* backends pay `interconnect`
-/// transfer for the surviving candidates.
+/// Builds the per-query queueing spec for `pipeline` under `placement`
+/// over a backend `pool` — see [`build_serving_spec`], which this
+/// forwards to with batching disabled.
 ///
 /// # Errors
 ///
@@ -338,6 +433,37 @@ pub fn build_spec(
     interconnect: &PcieModel,
     pipeline: &PipelineConfig,
     placement: &Placement,
+) -> Result<PipelineSpec, EngineError> {
+    build_serving_spec(pool, interconnect, pipeline, placement, false)
+}
+
+/// Builds the queueing spec for `pipeline` under `placement` over a
+/// backend `pool` — the one code path every evaluation flows through.
+///
+/// If all stages land on a single backend that supplies a
+/// [`Backend::chain_spec`], that decomposition is used. Otherwise each
+/// stage becomes a queueing stage on its backend's resource, and
+/// consecutive stages on *different* backends pay `interconnect`
+/// transfer for the surviving candidates.
+///
+/// With `batching` enabled, each stage additionally carries a
+/// [`BatchModel`] fitted to its backend's batch-scaling curve
+/// ([`Backend::batch_latency`] probed at batch 1 and
+/// [`Backend::max_batch`]), with interconnect transfer scaling linearly
+/// across the batch. With `batching` disabled every stage is per-query,
+/// preserving the pre-batching simulator's behavior exactly.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] if the placement arity does not match the
+/// pipeline, a site references a backend outside the pool, or a stage
+/// over-requests its backend's capacity.
+pub fn build_serving_spec(
+    pool: &[Arc<dyn Backend>],
+    interconnect: &PcieModel,
+    pipeline: &PipelineConfig,
+    placement: &Placement,
+    batching: bool,
 ) -> Result<PipelineSpec, EngineError> {
     if placement.num_stages() != pipeline.num_stages() {
         return Err(EngineError::PlacementArity {
@@ -358,7 +484,7 @@ pub fn build_spec(
     // validates it against the backend's capacity.
     if let Some(sole) = placement.sole_backend() {
         if placement.sites().iter().all(|s| s.parallelism == 1) {
-            if let Some(spec) = pool[sole].chain_spec(pipeline) {
+            if let Some(spec) = pool[sole].chain_spec(pipeline, batching) {
                 return Ok(spec);
             }
         }
@@ -378,12 +504,19 @@ pub fn build_spec(
             0.0
         };
         let backend = &pool[site.backend];
-        let stage = StageSpec::new(
+        let base = backend.stage_latency(work, site.parallelism) + transfer;
+        let mut stage = StageSpec::new(
             format!("s{i}:{}", backend.name()),
             site.backend,
             site.parallelism,
-            backend.stage_latency(work, site.parallelism) + transfer,
+            base,
         );
+        let max_batch = backend.max_batch();
+        if batching && max_batch > 1 {
+            let full = backend.batch_latency(work, site.parallelism, max_batch)
+                + transfer * max_batch as f64;
+            stage = stage.with_batch(fit_batch_model(base, full, max_batch));
+        }
         spec = spec.with_stage(stage)?;
         prev = Some(site.backend);
     }
@@ -530,9 +663,9 @@ mod tests {
         // stage; a multi-stage pipeline must NOT silently drop frontend
         // work — it takes the generic per-stage path instead.
         let baseline = BaselineAccel::paper_default();
-        assert!(baseline.chain_spec(&two_stage()).is_none());
+        assert!(baseline.chain_spec(&two_stage(), false).is_none());
         let single = PipelineConfig::single_stage(ModelKind::RmLarge, 4096, 64).unwrap();
-        assert!(baseline.chain_spec(&single).is_some());
+        assert!(baseline.chain_spec(&single, false).is_some());
 
         let pool: Vec<Arc<dyn Backend>> = vec![Arc::new(BaselineAccel::paper_default())];
         let spec = build_spec(

@@ -50,6 +50,8 @@
 
 mod backend;
 mod engine;
+mod parallel;
+#[cfg(feature = "legacy")]
 mod perf;
 mod pipeline;
 mod quality;
@@ -57,14 +59,19 @@ mod report;
 mod scheduler;
 mod stage;
 
-pub use backend::{build_spec, Backend, Placement, StageSite, INTERMEDIATE_BYTES_PER_ITEM};
+pub use backend::{
+    build_serving_spec, build_spec, Backend, Placement, StageSite, INTERMEDIATE_BYTES_PER_ITEM,
+};
 pub use engine::{Engine, EngineBuilder, EngineError, Outcome};
+pub use parallel::{parallel_map, worker_threads};
+#[cfg(feature = "legacy")]
 #[allow(deprecated)]
 pub use perf::{Mapping, PerformanceEvaluator, StagePlacement};
 pub use pipeline::{PipelineBuilder, PipelineConfig, PipelineError};
 pub use quality::{QualityEvaluator, QualityReport};
 pub use report::Table;
+#[cfg(feature = "legacy")]
 #[allow(deprecated)]
 pub use scheduler::DesignPoint;
-pub use scheduler::{Scheduler, SchedulerSettings};
+pub use scheduler::{candidate_seed, Scheduler, SchedulerSettings};
 pub use stage::StageConfig;

@@ -1,0 +1,120 @@
+//! A small deterministic `std::thread` worker pool for fanning design
+//! evaluations across cores.
+//!
+//! [`parallel_map`] dispatches work-stealing style (an atomic cursor
+//! over the item list) but returns results in **item order**, so
+//! callers observe exactly the output of the serial loop regardless of
+//! worker count or interleaving. Combined with seed-per-candidate
+//! simulation, the scheduler's parallel sweeps are bit-identical to
+//! their serial counterparts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a worker-count request: `None` or `Some(0)` means one
+/// worker per available core, anything else is used as given (minimum
+/// 1).
+pub fn worker_threads(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Applies `f` to every item on `workers` threads and returns the
+/// results in item order.
+///
+/// `f` receives `(index, &item)` and must be deterministic per item for
+/// result-order determinism to translate into value determinism. With
+/// `workers <= 1` (or one item) everything runs on the calling thread —
+/// the parallel path is observationally identical.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(items.len()) {
+            scope.spawn(|| {
+                // Claim items one at a time; buffer locally and write
+                // back in one short critical section per item.
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    results.lock().expect("worker panicked")[i] = Some(r);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("worker panicked")
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn results_preserve_item_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = parallel_map(&items, 8, |i, &x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = parallel_map(&items, 1, |i, &x| x.wrapping_mul(i as u64 + 7));
+        let parallel = parallel_map(&items, 6, |i, &x| x.wrapping_mul(i as u64 + 7));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        let items: Vec<usize> = (0..64).collect();
+        let seen = StdMutex::new(HashSet::new());
+        parallel_map(&items, 4, |_, _| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "expected more than one worker thread"
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_run_inline() {
+        let none: Vec<u8> = Vec::new();
+        assert!(parallel_map(&none, 8, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[41u8], 8, |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn worker_threads_resolves_requests() {
+        assert_eq!(worker_threads(Some(3)), 3);
+        assert!(worker_threads(None) >= 1);
+        assert!(worker_threads(Some(0)) >= 1);
+    }
+}

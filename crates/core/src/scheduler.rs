@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::backend::{build_spec, Backend, Placement, StageSite};
 use crate::engine::Outcome;
+use crate::parallel::{parallel_map, worker_threads};
 use crate::{PipelineConfig, QualityEvaluator, StageConfig};
 
 /// Knobs bounding the scheduler's exhaustive search.
@@ -31,8 +32,27 @@ pub struct SchedulerSettings {
     pub quality_queries: usize,
     /// Simulated queries per performance point.
     pub sim_queries: usize,
-    /// Base RNG seed.
+    /// Base RNG seed; every candidate derives its own simulation seed
+    /// from it (see [`candidate_seed`]).
     pub seed: u64,
+    /// Worker threads for candidate evaluation (`None` = one per
+    /// available core; `Some(1)` = serial). Results are deterministic
+    /// and identical across worker counts.
+    pub workers: Option<usize>,
+}
+
+/// Derives the simulation seed of candidate `index` from the settings'
+/// base seed (a splitmix64 step), so every design point runs an
+/// independent arrival stream and parallel workers never share RNG
+/// state. Both the serial and parallel paths use this, keeping them
+/// bit-identical.
+pub fn candidate_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SchedulerSettings {
@@ -48,6 +68,7 @@ impl SchedulerSettings {
             quality_queries: 200,
             sim_queries: 3_000,
             seed: 77,
+            workers: None,
         }
     }
 
@@ -64,12 +85,14 @@ impl SchedulerSettings {
             quality_queries: 400,
             sim_queries: 800,
             seed: 77,
+            workers: None,
         }
     }
 }
 
 /// Deprecated name for the scheduler's evaluated design point; the
 /// scheduler now emits the same [`Outcome`] the `Engine` returns.
+#[cfg(feature = "legacy")]
 #[deprecated(since = "0.1.0", note = "use `Outcome`")]
 pub type DesignPoint = Outcome;
 
@@ -296,6 +319,13 @@ impl Scheduler {
     /// [`explore_pool`](Self::explore_pool) with a caller-owned quality
     /// cache (so multi-pool sweeps evaluate each pipeline's quality
     /// once) and a pipeline filter applied before any evaluation.
+    ///
+    /// Candidate evaluation fans across the settings' worker pool:
+    /// quality (one task per distinct pipeline) first, then the
+    /// queueing simulations (one task per pipeline x placement, each
+    /// with its own [`candidate_seed`]). Candidates keep their serial
+    /// enumeration order, so the returned points are identical for any
+    /// worker count.
     #[allow(clippy::too_many_arguments)]
     fn explore_pool_cached(
         &self,
@@ -308,18 +338,41 @@ impl Scheduler {
         quality_cache: &mut HashMap<PipelineConfig, f64>,
         keep: impl Fn(&PipelineConfig) -> bool,
     ) -> Vec<Outcome> {
+        let workers = worker_threads(self.settings.workers);
         let quality_eval = self.quality_evaluator().sub_batches(sub_batches);
-        let mut points = Vec::new();
 
-        for pipeline in self.enumerate_pipelines(max_stages) {
-            if !keep(&pipeline) {
-                continue;
-            }
-            let ndcg = *quality_cache
-                .entry(pipeline.clone())
-                .or_insert_with(|| quality_eval.evaluate(&pipeline).ndcg);
+        let pipelines: Vec<PipelineConfig> = self
+            .enumerate_pipelines(max_stages)
+            .into_iter()
+            .filter(|p| keep(p))
+            .collect();
+
+        // Phase 1: quality per distinct pipeline, in parallel, skipping
+        // pipelines the caller already evaluated (e.g. on a previous
+        // partition of a multi-pool sweep).
+        let missing: Vec<PipelineConfig> = pipelines
+            .iter()
+            .filter(|p| !quality_cache.contains_key(*p))
+            .cloned()
+            .collect();
+        let scores = parallel_map(&missing, workers, |_, p| quality_eval.evaluate(p).ndcg);
+        for (pipeline, ndcg) in missing.into_iter().zip(scores) {
+            quality_cache.insert(pipeline, ndcg);
+        }
+
+        // Phase 2: enumerate candidates serially (cheap, deterministic
+        // order), then simulate each in parallel with its own seed.
+        struct Candidate {
+            pipeline: PipelineConfig,
+            mapping: String,
+            ndcg: f64,
+            spec: recpipe_qsim::PipelineSpec,
+        }
+        let mut candidates = Vec::new();
+        for pipeline in &pipelines {
+            let ndcg = quality_cache[pipeline];
             for placement in self.placements_for(pool, pipeline.num_stages()) {
-                let Ok(spec) = build_spec(pool, interconnect, &pipeline, &placement) else {
+                let Ok(spec) = build_spec(pool, interconnect, pipeline, &placement) else {
                     continue;
                 };
                 // Analytic stability pre-check avoids simulating hopeless
@@ -327,22 +380,40 @@ impl Scheduler {
                 if spec.max_qps() < qps * 0.7 {
                     continue;
                 }
-                let mut sim = spec.simulate(qps, self.settings.sim_queries, self.settings.seed);
-                let p99_s = sim.p99_seconds();
-                points.push(Outcome {
+                candidates.push(Candidate {
                     pipeline: pipeline.clone(),
                     mapping: placement.describe(pool),
                     ndcg,
+                    spec,
+                });
+            }
+        }
+
+        let base_seed = self.settings.seed;
+        let sim_queries = self.settings.sim_queries;
+        let sims = parallel_map(&candidates, workers, |i, c| {
+            c.spec
+                .simulate(qps, sim_queries, candidate_seed(base_seed, i as u64))
+        });
+
+        candidates
+            .into_iter()
+            .zip(sims)
+            .map(|(c, mut sim)| {
+                let p99_s = sim.p99_seconds();
+                Outcome {
+                    pipeline: c.pipeline,
+                    mapping: c.mapping,
+                    ndcg: c.ndcg,
                     p99_s,
                     p50_s: sim.p50_seconds(),
                     qps: sim.qps,
                     offered_qps: qps,
                     saturated: sim.saturated,
                     meets_sla: sla_s.map(|sla| !sim.saturated && p99_s <= sla),
-                });
-            }
-        }
-        points
+                }
+            })
+            .collect()
     }
 
     /// Explores CPU-only execution (paper Section 5.1).
@@ -403,6 +474,7 @@ impl Scheduler {
 
     /// Deprecated alias for [`pareto`](Self::pareto) returning a bare
     /// `Vec`.
+    #[cfg(feature = "legacy")]
     #[deprecated(since = "0.1.0", note = "use `Scheduler::pareto`")]
     pub fn pareto_quality_latency(points: Vec<Outcome>) -> Vec<Outcome> {
         Self::pareto(points).into_vec()

@@ -1,14 +1,348 @@
+//! Query arrival processes: the traffic side of at-scale serving.
+//!
+//! The paper evaluates under Poisson arrivals (Section 4), but
+//! production recommendation traffic is burstier: flash crowds, diurnal
+//! cycles, and closed-loop clients all move the tail. The
+//! [`ArrivalProcess`] trait makes the traffic model a pluggable seam so
+//! the queueing simulator can serve any scenario:
+//!
+//! * [`PoissonArrivals`] — the paper's memoryless baseline;
+//! * [`MmppArrivals`] — a two-state Markov-modulated Poisson process
+//!   (bursty: quiet/surge phases with exponential dwell times);
+//! * [`DiurnalArrivals`] — a sinusoidal day/night rate cycle sampled by
+//!   thinning (an inhomogeneous Poisson process);
+//! * [`ClosedLoopArrivals`] — a fixed client population where each
+//!   client issues its next query a think time after the previous one
+//!   completes (load adapts to service, as in benchmark harnesses).
+//!
+//! Every process is seeded explicitly and fully deterministic.
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::Exponential;
 
+/// A source of query arrival times for the at-scale simulator.
+///
+/// Open-loop processes ([`PoissonArrivals`], [`MmppArrivals`],
+/// [`DiurnalArrivals`]) pre-commit a schedule of absolute arrival
+/// times via [`times`](ArrivalProcess::times). Closed-loop processes
+/// additionally return a [`ClosedLoopSpec`] from
+/// [`closed_loop`](ArrivalProcess::closed_loop); the simulator then
+/// issues only the initial per-client arrivals from the schedule and
+/// derives every later arrival from completions.
+///
+/// # Examples
+///
+/// ```
+/// use recpipe_data::{ArrivalProcess, MmppArrivals, PoissonArrivals};
+///
+/// let poisson = PoissonArrivals::new(500.0);
+/// let bursty = MmppArrivals::new(100.0, 2_000.0, 0.5, 0.1);
+/// for process in [&poisson as &dyn ArrivalProcess, &bursty] {
+///     let times = process.times(1_000, 7);
+///     assert_eq!(times.len(), 1_000);
+///     assert!(times.windows(2).all(|w| w[1] >= w[0]));
+/// }
+/// ```
+pub trait ArrivalProcess: std::fmt::Debug + Send + Sync {
+    /// Short name for reports (`poisson(500)`, `mmpp(100,2000)`, ...).
+    fn name(&self) -> String;
+
+    /// Long-run mean arrival rate in queries per second. For
+    /// closed-loop processes this is the zero-service-time upper bound
+    /// `clients / think_time`.
+    fn mean_rate(&self) -> f64;
+
+    /// The first `n` absolute arrival times in seconds, strictly
+    /// non-decreasing, deterministic in `seed`.
+    fn times(&self, n: usize, seed: u64) -> Vec<f64>;
+
+    /// Closed-loop feedback, if any: when `Some`, the simulator takes
+    /// only the first `clients` entries of [`times`](Self::times) as the
+    /// initial arrivals and schedules each client's next query a think
+    /// time after its previous query completes.
+    fn closed_loop(&self) -> Option<ClosedLoopSpec> {
+        None
+    }
+}
+
+/// Parameters of a closed-loop client population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClosedLoopSpec {
+    /// Number of concurrent clients, each with one query in flight.
+    pub clients: usize,
+    /// Seconds a client waits after a completion before issuing its
+    /// next query.
+    pub think_time_s: f64,
+}
+
+/// Poisson arrival process configuration: memoryless arrivals at a
+/// fixed rate — the paper's load model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonArrivals {
+    rate_qps: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a Poisson process at `rate_qps` queries per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_qps` is not strictly positive and finite.
+    pub fn new(rate_qps: f64) -> Self {
+        assert!(
+            rate_qps.is_finite() && rate_qps > 0.0,
+            "rate must be positive"
+        );
+        Self { rate_qps }
+    }
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn name(&self) -> String {
+        format!("poisson({})", self.rate_qps)
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.rate_qps
+    }
+
+    fn times(&self, n: usize, seed: u64) -> Vec<f64> {
+        // Delegates to the iterator so `simulate()`'s historical
+        // schedules are reproduced bit-for-bit.
+        PoissonProcess::new(self.rate_qps, seed).take(n).collect()
+    }
+}
+
+/// Two-state Markov-modulated Poisson process: traffic alternates
+/// between a quiet state and a surge state, with exponentially
+/// distributed dwell times in each — the standard parsimonious model of
+/// bursty request streams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmppArrivals {
+    rate_quiet: f64,
+    rate_surge: f64,
+    dwell_quiet_s: f64,
+    dwell_surge_s: f64,
+}
+
+impl MmppArrivals {
+    /// Creates a two-state MMPP: `rate_quiet`/`rate_surge` QPS with mean
+    /// dwell times `dwell_quiet_s`/`dwell_surge_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate or dwell time is not strictly positive and
+    /// finite.
+    pub fn new(rate_quiet: f64, rate_surge: f64, dwell_quiet_s: f64, dwell_surge_s: f64) -> Self {
+        for v in [rate_quiet, rate_surge, dwell_quiet_s, dwell_surge_s] {
+            assert!(v.is_finite() && v > 0.0, "MMPP parameters must be positive");
+        }
+        Self {
+            rate_quiet,
+            rate_surge,
+            dwell_quiet_s,
+            dwell_surge_s,
+        }
+    }
+
+    /// Ratio of surge rate to quiet rate — a burstiness summary.
+    pub fn burst_ratio(&self) -> f64 {
+        self.rate_surge / self.rate_quiet
+    }
+}
+
+impl ArrivalProcess for MmppArrivals {
+    fn name(&self) -> String {
+        format!("mmpp({},{})", self.rate_quiet, self.rate_surge)
+    }
+
+    fn mean_rate(&self) -> f64 {
+        // Time-weighted average over the stationary state occupancy.
+        let total = self.dwell_quiet_s + self.dwell_surge_s;
+        (self.rate_quiet * self.dwell_quiet_s + self.rate_surge * self.dwell_surge_s) / total
+    }
+
+    fn times(&self, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(n);
+        let mut now = 0.0f64;
+        let mut surge = false;
+        // End of the current state's dwell period.
+        let mut state_end = Exponential::new(1.0 / self.dwell_quiet_s).sample(&mut rng);
+        while out.len() < n {
+            let rate = if surge {
+                self.rate_surge
+            } else {
+                self.rate_quiet
+            };
+            let gap = Exponential::new(rate).sample(&mut rng);
+            if now + gap <= state_end {
+                now += gap;
+                out.push(now);
+            } else {
+                // The gap straddles a state switch: discard it
+                // (memorylessness makes redrawing in the new state
+                // exact) and advance to the switch point.
+                now = state_end;
+                surge = !surge;
+                let dwell = if surge {
+                    self.dwell_surge_s
+                } else {
+                    self.dwell_quiet_s
+                };
+                state_end = now + Exponential::new(1.0 / dwell).sample(&mut rng);
+            }
+        }
+        out
+    }
+}
+
+/// Diurnal (inhomogeneous Poisson) arrivals: the rate follows a raised
+/// cosine between `trough_qps` and `peak_qps` over `period_s` seconds,
+/// sampled exactly by thinning against the peak rate.
+///
+/// Production recommendation traffic follows the day/night cycle;
+/// compressing a day into a few simulated seconds stresses how a
+/// configuration rides the rate swing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalArrivals {
+    trough_qps: f64,
+    peak_qps: f64,
+    period_s: f64,
+}
+
+impl DiurnalArrivals {
+    /// Creates a diurnal process cycling between `trough_qps` and
+    /// `peak_qps` with the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rates or period are not strictly positive and
+    /// finite, or if `peak_qps < trough_qps`.
+    pub fn new(trough_qps: f64, peak_qps: f64, period_s: f64) -> Self {
+        for v in [trough_qps, peak_qps, period_s] {
+            assert!(
+                v.is_finite() && v > 0.0,
+                "diurnal parameters must be positive"
+            );
+        }
+        assert!(peak_qps >= trough_qps, "peak must be at least trough");
+        Self {
+            trough_qps,
+            peak_qps,
+            period_s,
+        }
+    }
+
+    /// Instantaneous rate at time `t` seconds: trough at `t = 0`, peak
+    /// at `t = period / 2`.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let phase = (std::f64::consts::TAU * t / self.period_s).cos();
+        self.trough_qps + (self.peak_qps - self.trough_qps) * 0.5 * (1.0 - phase)
+    }
+}
+
+impl ArrivalProcess for DiurnalArrivals {
+    fn name(&self) -> String {
+        format!("diurnal({},{})", self.trough_qps, self.peak_qps)
+    }
+
+    fn mean_rate(&self) -> f64 {
+        0.5 * (self.trough_qps + self.peak_qps)
+    }
+
+    fn times(&self, n: usize, seed: u64) -> Vec<f64> {
+        // Lewis-Shedler thinning: draw candidates at the peak rate and
+        // accept each with probability rate(t) / peak.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gap = Exponential::new(self.peak_qps);
+        let mut out = Vec::with_capacity(n);
+        let mut now = 0.0f64;
+        while out.len() < n {
+            now += gap.sample(&mut rng);
+            let accept: f64 = rand::Rng::gen(&mut rng);
+            if accept * self.peak_qps <= self.rate_at(now) {
+                out.push(now);
+            }
+        }
+        out
+    }
+}
+
+/// Closed-loop arrivals: `clients` concurrent users, each re-issuing a
+/// query `think_time_s` after its previous query completes. The offered
+/// load self-regulates — a saturated system sees at most `clients`
+/// queries in flight instead of an unbounded backlog.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClosedLoopArrivals {
+    clients: usize,
+    think_time_s: f64,
+}
+
+impl ClosedLoopArrivals {
+    /// Creates a closed-loop population of `clients` users with the
+    /// given think time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients == 0` or `think_time_s` is not strictly
+    /// positive and finite.
+    pub fn new(clients: usize, think_time_s: f64) -> Self {
+        assert!(clients > 0, "need at least one client");
+        assert!(
+            think_time_s.is_finite() && think_time_s > 0.0,
+            "think time must be positive"
+        );
+        Self {
+            clients,
+            think_time_s,
+        }
+    }
+}
+
+impl ArrivalProcess for ClosedLoopArrivals {
+    fn name(&self) -> String {
+        format!("closed({},{}s)", self.clients, self.think_time_s)
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.clients as f64 / self.think_time_s
+    }
+
+    fn times(&self, n: usize, seed: u64) -> Vec<f64> {
+        // Initial ramp: clients start staggered uniformly over one think
+        // time so the population does not arrive as a single burst. Only
+        // the first `clients` entries are meaningful; later entries
+        // extend the ramp so open-loop consumers of the schedule still
+        // get a (degenerate) valid sequence. Each offset lies in
+        // [i, i+1) * step, so the schedule is monotone by construction.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let step = self.think_time_s / self.clients as f64;
+        (0..n)
+            .map(|i| {
+                let jitter: f64 = rand::Rng::gen(&mut rng);
+                (i as f64 + jitter) * step
+            })
+            .collect()
+    }
+
+    fn closed_loop(&self) -> Option<ClosedLoopSpec> {
+        Some(ClosedLoopSpec {
+            clients: self.clients,
+            think_time_s: self.think_time_s,
+        })
+    }
+}
+
 /// Poisson arrival process: an infinite iterator of absolute arrival times
 /// (in seconds) with exponential inter-arrival gaps.
 ///
 /// The paper's load model: "Queries follow a Poisson arrival rate"
-/// (Section 4). The queueing simulator consumes this iterator to inject
-/// queries at a target QPS.
+/// (Section 4). [`PoissonArrivals`] wraps this iterator behind the
+/// [`ArrivalProcess`] seam; the iterator form remains for streaming
+/// consumers.
 ///
 /// # Examples
 ///
@@ -98,5 +432,113 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_panics() {
         PoissonProcess::new(0.0, 0);
+    }
+
+    #[test]
+    fn poisson_trait_matches_iterator_schedule() {
+        // The trait impl must reproduce the iterator's schedule exactly:
+        // the old `simulate(qps, ...)` path depends on it bit-for-bit.
+        let via_trait = PoissonArrivals::new(300.0).times(500, 11);
+        let via_iter: Vec<f64> = PoissonProcess::new(300.0, 11).take(500).collect();
+        assert_eq!(via_trait, via_iter);
+    }
+
+    #[test]
+    fn mmpp_is_deterministic_and_ordered() {
+        let p = MmppArrivals::new(100.0, 1500.0, 0.4, 0.1);
+        let a = p.times(2_000, 5);
+        let b = p.times(2_000, 5);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn mmpp_mean_rate_is_dwell_weighted() {
+        let p = MmppArrivals::new(100.0, 1000.0, 0.9, 0.1);
+        assert!((p.mean_rate() - 190.0).abs() < 1e-9);
+        assert!((p.burst_ratio() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmpp_observed_rate_matches_mean() {
+        // Few dwell cycles make a single run noisy; average over seeds.
+        let p = MmppArrivals::new(200.0, 2_000.0, 0.5, 0.5);
+        let n = 40_000;
+        let mean_observed = (0..6)
+            .map(|seed| {
+                let times = p.times(n, seed);
+                (n as f64 - 1.0) / (times[n - 1] - times[0])
+            })
+            .sum::<f64>()
+            / 6.0;
+        assert!(
+            (mean_observed - p.mean_rate()).abs() / p.mean_rate() < 0.08,
+            "observed {mean_observed} vs mean {}",
+            p.mean_rate()
+        );
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        // Squared coefficient of variation of inter-arrival gaps: 1 for
+        // Poisson, > 1 for MMPP with distinct state rates.
+        fn scv(times: &[f64]) -> f64 {
+            let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        }
+        let poisson = PoissonArrivals::new(500.0).times(20_000, 8);
+        let bursty = MmppArrivals::new(100.0, 2_000.0, 0.5, 0.1).times(20_000, 8);
+        assert!(scv(&poisson) < 1.3, "poisson SCV {}", scv(&poisson));
+        assert!(scv(&bursty) > 1.5, "mmpp SCV {}", scv(&bursty));
+    }
+
+    #[test]
+    fn diurnal_rate_cycles_between_trough_and_peak() {
+        let d = DiurnalArrivals::new(100.0, 900.0, 10.0);
+        assert!((d.rate_at(0.0) - 100.0).abs() < 1e-9);
+        assert!((d.rate_at(5.0) - 900.0).abs() < 1e-9);
+        assert!((d.rate_at(10.0) - 100.0).abs() < 1e-9);
+        assert!((d.mean_rate() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_density_tracks_the_cycle() {
+        let d = DiurnalArrivals::new(50.0, 950.0, 4.0);
+        let times = d.times(30_000, 4);
+        // Count arrivals in the first trough quarter vs the first peak
+        // quarter of the first full cycle.
+        let in_range = |lo: f64, hi: f64| times.iter().filter(|&&t| t >= lo && t < hi).count();
+        let trough = in_range(0.0, 1.0);
+        let peak = in_range(1.5, 2.5);
+        assert!(
+            peak > trough * 3,
+            "peak quarter {peak} vs trough quarter {trough}"
+        );
+    }
+
+    #[test]
+    fn closed_loop_exposes_spec_and_staggered_start() {
+        let c = ClosedLoopArrivals::new(32, 0.1);
+        let spec = c.closed_loop().expect("closed loop");
+        assert_eq!(spec.clients, 32);
+        assert!((c.mean_rate() - 320.0).abs() < 1e-9);
+        let times = c.times(32, 1);
+        assert!(times.windows(2).all(|w| w[1] >= w[0]));
+        // The whole population starts within one think time.
+        assert!(times[31] <= 0.1 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn mmpp_rejects_zero_rate() {
+        MmppArrivals::new(0.0, 100.0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn closed_loop_rejects_zero_clients() {
+        ClosedLoopArrivals::new(0, 0.1);
     }
 }

@@ -10,7 +10,9 @@
 //! * **Zipfian categorical feature ids** (drives embedding-cache hit rates,
 //!   Figure 10c and 13),
 //! * latent-factor **click samples** for actually training models (Figure 2),
-//! * **Poisson query arrivals** (drives tail latency at a system load).
+//! * pluggable **arrival processes** behind the [`ArrivalProcess`] trait —
+//!   Poisson (the paper's load model), bursty MMPP, diurnal cycles, and
+//!   closed-loop client populations (drives tail latency at a system load).
 //!
 //! All samplers take explicit seeds: every experiment in the repository is
 //! reproducible bit-for-bit.
@@ -33,7 +35,10 @@ mod movielens;
 mod query;
 mod synthetic;
 
-pub use arrival::PoissonProcess;
+pub use arrival::{
+    ArrivalProcess, ClosedLoopArrivals, ClosedLoopSpec, DiurnalArrivals, MmppArrivals,
+    PoissonArrivals, PoissonProcess,
+};
 pub use dataset::{DatasetKind, DatasetSpec};
 pub use dist::{Exponential, Normal, Zipf};
 pub use movielens::{

@@ -151,6 +151,34 @@ impl CpuModel {
         single / speedup + self.dispatch_overhead_s
     }
 
+    /// Service time of a batch of `batch` queries' stages sharing
+    /// `cores_per_query` cores.
+    ///
+    /// The batch concatenates its GEMMs (raising the batch-efficiency
+    /// factor toward 1.0), embedding gathers scale linearly, and the
+    /// software dispatch overhead is paid once per batch instead of once
+    /// per query. `batch = 1` equals
+    /// [`stage_latency`](Self::stage_latency) exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores_per_query` is zero or exceeds the core count.
+    pub fn batch_stage_latency(
+        &self,
+        work: &StageWork,
+        cores_per_query: usize,
+        batch: usize,
+    ) -> f64 {
+        assert!(
+            cores_per_query >= 1 && cores_per_query <= self.cores,
+            "cores_per_query out of range"
+        );
+        let items = work.items * batch.max(1) as u64;
+        let single =
+            self.compute_time(&work.model, items) + self.embedding_time(&work.model, items);
+        single / self.parallel_speedup(cores_per_query) + self.dispatch_overhead_s
+    }
+
     /// Effective speedup from splitting one query across `k` cores.
     pub fn parallel_speedup(&self, k: usize) -> f64 {
         let k = k.max(1) as f64;

@@ -108,6 +108,25 @@ impl GpuModel {
     }
 }
 
+impl GpuModel {
+    /// Service time of a batch of `batch` queries' stages on the GPU.
+    ///
+    /// Batching is where the GPU shines for this workload: the batch's
+    /// candidate sets concatenate into one large launch, so the per-layer
+    /// kernel-launch overheads, the fixed per-query software overhead,
+    /// and PCIe setup are paid once while GEMM efficiency climbs toward
+    /// `eff_cap`. `batch = 1` equals the [`Device::stage_latency`] path
+    /// exactly.
+    pub fn batch_stage_latency(&self, work: &StageWork, batch: usize) -> f64 {
+        let batch = batch.max(1) as u64;
+        let input = self.pcie.transfer_time(work.input_bytes() * batch);
+        input
+            + self.compute_time(&work.model, work.items * batch)
+            + self.embedding_time(&work.model, work.items * batch)
+            + self.fixed_overhead_s
+    }
+}
+
 impl Device for GpuModel {
     fn name(&self) -> String {
         "gpu".to_string()

@@ -3,17 +3,31 @@
 //! The paper's methodology feeds per-query stage latencies into a
 //! simulator that measures tail latency and throughput over tens of
 //! thousands of Poisson-arriving queries (Section 4, "Accelerator
-//! modeling", step 2). This crate is that simulator:
+//! modeling", step 2). This crate is that simulator, extended into a
+//! batching-aware serving core:
 //!
 //! * **Resources** model hardware pools with unit capacity — 64 CPU
 //!   cores, 1 GPU, `n` accelerator sub-array groups. Stages *share*
 //!   resources: a CPU-only two-stage pipeline contends for the same
 //!   cores with both stages, exactly like the real deployment.
-//! * **Stages** consume `units_per_query` resource units for a
-//!   deterministic service time (per-query model latencies are computed
-//!   upstream by the hardware models).
+//! * **Stages** consume `units` resource units per launch for a
+//!   deterministic service time. Each stage carries a [`BatchModel`]:
+//!   how many queries one launch may aggregate and how the batch's
+//!   service time scales (per-query serving is the `max_batch = 1`
+//!   degenerate case).
+//! * **Arrivals** are pluggable behind
+//!   [`ArrivalProcess`](recpipe_data::ArrivalProcess): Poisson (the
+//!   paper's model), bursty MMPP, diurnal cycles, or closed-loop client
+//!   populations.
+//! * **Scheduling** is pluggable behind [`SchedulingPolicy`]: [`Fifo`]
+//!   work-conserving dispatch, [`BatchWindow`] batch-forming timeouts,
+//!   or [`EarliestDeadlineFirst`] SLA-aware ordering.
 //! * **Queries** flow through stages in order; per-query end-to-end
 //!   latency lands in a [`LatencyStats`](recpipe_metrics::LatencyStats).
+//!
+//! The legacy entry point [`simulate`] (Poisson + FIFO + per-query
+//! stages) is a thin wrapper over [`serve`] and reproduces the
+//! pre-batching simulator bit-for-bit on the same seed.
 //!
 //! # Examples
 //!
@@ -28,11 +42,30 @@
 //! assert!(!result.saturated);
 //! assert!(result.p99_seconds() < 0.050);
 //! ```
+//!
+//! Batched serving under bursty traffic with a batch-window policy:
+//!
+//! ```
+//! use recpipe_data::MmppArrivals;
+//! use recpipe_qsim::{BatchModel, BatchWindow, PipelineSpec, ResourceSpec, StageSpec};
+//!
+//! // A GPU-like stage: 4 ms per query, but a batch of 8 costs far less
+//! // than 8 single launches (marginal cost 0.2).
+//! let spec = PipelineSpec::new(vec![ResourceSpec::new("gpu", 1)])
+//!     .with_stage(StageSpec::new("rank", 0, 1, 0.004).with_batch(BatchModel::new(8, 0.2)))
+//!     .expect("valid stage");
+//! let bursty = MmppArrivals::new(100.0, 800.0, 0.2, 0.05);
+//! let result = spec.serve(&bursty, &BatchWindow::new(0.002), 4_000, 7);
+//! assert_eq!(result.completed, 4_000);
+//! assert!(result.mean_batch > 1.0);
+//! ```
 
+mod policy;
 mod result;
 mod sim;
 mod spec;
 
+pub use policy::{BatchWindow, EarliestDeadlineFirst, Fifo, QueueEntry, Release, SchedulingPolicy};
 pub use result::SimResult;
-pub use sim::simulate;
-pub use spec::{PipelineSpec, ResourceSpec, SpecError, StageSpec};
+pub use sim::{serve, simulate};
+pub use spec::{BatchModel, PipelineSpec, ResourceSpec, SpecError, StageSpec};

@@ -26,6 +26,8 @@ pub struct SimResult {
     pub saturated: bool,
     /// Mean utilization of each resource (same order as the spec).
     pub utilization: Vec<f64>,
+    /// Mean queries per launched batch (1.0 under per-query serving).
+    pub mean_batch: f64,
 }
 
 impl SimResult {
@@ -43,7 +45,14 @@ impl SimResult {
             completed,
             saturated,
             utilization,
+            mean_batch: 1.0,
         }
+    }
+
+    /// Attaches the observed mean batch size.
+    pub fn with_mean_batch(mut self, mean_batch: f64) -> Self {
+        self.mean_batch = mean_batch;
+        self
     }
 
     /// p99 tail latency in seconds — the paper's SLA metric.

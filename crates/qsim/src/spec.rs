@@ -27,29 +27,113 @@ impl ResourceSpec {
     }
 }
 
-/// One pipeline stage: holds `units` of resource `resource` for
-/// `service_time` seconds per query.
+/// How a stage's service time scales when several queries are served as
+/// one batch on the same resource units.
+///
+/// A batch of `b` queries takes
+/// `overhead_s + service_time * (1 + marginal * (b - 1))` seconds:
+///
+/// * `marginal = 1, overhead_s = 0` (the [`per_query`](Self::per_query)
+///   default) is exactly today's per-query serving — `b` queries cost
+///   `b` service times, and `max_batch = 1` never forms a batch;
+/// * `marginal < 1` models hardware that amortizes fixed work (weight
+///   streaming, kernel launches, PCIe setup) across the batch;
+/// * `overhead_s` charges per-launch cost that batching dilutes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchModel {
+    /// Largest number of queries one launch may aggregate.
+    pub max_batch: usize,
+    /// Fraction of the base service time each query after the first
+    /// adds (1.0 = no batching benefit, 0.0 = perfect batching).
+    pub marginal: f64,
+    /// Fixed per-batch overhead in seconds.
+    pub overhead_s: f64,
+}
+
+impl BatchModel {
+    /// Per-query serving: `max_batch = 1`, linear cost — the degenerate
+    /// case matching the pre-batching simulator exactly.
+    pub fn per_query() -> Self {
+        Self {
+            max_batch: 1,
+            marginal: 1.0,
+            overhead_s: 0.0,
+        }
+    }
+
+    /// A batching model with the given size cap and marginal cost and no
+    /// fixed overhead.
+    pub fn new(max_batch: usize, marginal: f64) -> Self {
+        Self {
+            max_batch: max_batch.max(1),
+            marginal,
+            overhead_s: 0.0,
+        }
+    }
+
+    /// Service time of a batch of `b` queries whose per-query base
+    /// service time is `base`.
+    pub fn service_time(&self, base: f64, b: usize) -> f64 {
+        let extra = b.saturating_sub(1) as f64;
+        self.overhead_s + base * (1.0 + self.marginal * extra)
+    }
+
+    /// Whether this model ever aggregates queries.
+    pub fn batches(&self) -> bool {
+        self.max_batch > 1
+    }
+}
+
+impl Default for BatchModel {
+    fn default() -> Self {
+        Self::per_query()
+    }
+}
+
+/// One pipeline stage: a batch of up to `batch.max_batch` queries holds
+/// `units` of resource `resource` for the batch's service time (for the
+/// default per-query [`BatchModel`], `service_time` seconds per query).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StageSpec {
     /// Stage name for reports.
     pub name: String,
     /// Index into the pipeline's resource list.
     pub resource: usize,
-    /// Resource units one query holds while in service.
+    /// Resource units one batch holds while in service.
     pub units: usize,
-    /// Deterministic service time per query, seconds.
+    /// Deterministic base service time per query, seconds.
     pub service_time: f64,
+    /// How service time scales with batch size (default: per-query).
+    pub batch: BatchModel,
 }
 
 impl StageSpec {
-    /// Creates a stage spec.
+    /// Creates a per-query (non-batching) stage spec.
     pub fn new(name: impl Into<String>, resource: usize, units: usize, service_time: f64) -> Self {
         Self {
             name: name.into(),
             resource,
             units,
             service_time,
+            batch: BatchModel::per_query(),
         }
+    }
+
+    /// Replaces the stage's batching model.
+    pub fn with_batch(mut self, batch: BatchModel) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Service time of a batch of `b` queries at this stage.
+    pub fn batch_service_time(&self, b: usize) -> f64 {
+        self.batch.service_time(self.service_time, b)
+    }
+
+    /// Per-query service time at the largest batch this stage forms —
+    /// the stage's best-case amortized cost.
+    pub fn amortized_service_time(&self) -> f64 {
+        self.batch_service_time(self.batch.max_batch) / self.batch.max_batch as f64
     }
 }
 
@@ -84,6 +168,12 @@ pub enum SpecError {
         /// The offending stage name.
         stage: String,
     },
+    /// A stage's batching model is malformed (zero batch cap, negative
+    /// or non-finite marginal cost or overhead).
+    InvalidBatchModel {
+        /// The offending stage name.
+        stage: String,
+    },
 }
 
 impl std::fmt::Display for SpecError {
@@ -105,6 +195,9 @@ impl std::fmt::Display for SpecError {
                 service_time,
             } => write!(f, "stage {stage} has invalid service time {service_time}"),
             SpecError::ZeroUnits { stage } => write!(f, "stage {stage} requests zero units"),
+            SpecError::InvalidBatchModel { stage } => {
+                write!(f, "stage {stage} has an invalid batching model")
+            }
         }
     }
 }
@@ -176,6 +269,15 @@ impl PipelineSpec {
                 service_time: stage.service_time,
             });
         }
+        let b = &stage.batch;
+        if b.max_batch == 0
+            || !(b.marginal.is_finite() && b.marginal >= 0.0)
+            || !(b.overhead_s.is_finite() && b.overhead_s >= 0.0)
+        {
+            return Err(SpecError::InvalidBatchModel {
+                stage: stage.name.clone(),
+            });
+        }
         self.stages.push(stage);
         Ok(self)
     }
@@ -202,7 +304,7 @@ impl PipelineSpec {
     }
 
     /// Maximum sustainable throughput in QPS (the tightest resource
-    /// bottleneck).
+    /// bottleneck), serving one query per launch.
     pub fn max_qps(&self) -> f64 {
         self.resources
             .iter()
@@ -210,6 +312,33 @@ impl PipelineSpec {
             .filter(|(_, load)| *load > 0.0)
             .map(|(r, load)| r.capacity as f64 / load)
             .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Busy unit-seconds per query per resource with every stage running
+    /// at its largest batch — the best-case (fully amortized) load.
+    pub fn amortized_unit_seconds_per_query(&self) -> Vec<f64> {
+        let mut load = vec![0.0; self.resources.len()];
+        for s in &self.stages {
+            load[s.resource] += s.units as f64 * s.amortized_service_time();
+        }
+        load
+    }
+
+    /// Maximum sustainable throughput in QPS when every stage serves
+    /// full batches. Equals [`max_qps`](Self::max_qps) for per-query
+    /// stages; higher when batching amortizes service time.
+    pub fn max_qps_at_full_batch(&self) -> f64 {
+        self.resources
+            .iter()
+            .zip(self.amortized_unit_seconds_per_query())
+            .filter(|(_, load)| *load > 0.0)
+            .map(|(r, load)| r.capacity as f64 / load)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether any stage aggregates queries into batches.
+    pub fn has_batching(&self) -> bool {
+        self.stages.iter().any(|s| s.batch.batches())
     }
 
     /// Sum of stage service times — the zero-load latency floor.
@@ -225,6 +354,26 @@ impl PipelineSpec {
     /// Panics if the pipeline has no stages or `qps` is not positive.
     pub fn simulate(&self, qps: f64, num_queries: usize, seed: u64) -> SimResult {
         simulate(self, qps, num_queries, seed)
+    }
+
+    /// Runs the batching-aware discrete-event simulation under an
+    /// arbitrary arrival process and scheduling policy.
+    ///
+    /// With per-query stages, the [`Fifo`](crate::Fifo) policy, and
+    /// Poisson arrivals this reproduces [`simulate`](Self::simulate)
+    /// bit-for-bit on the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline has no stages or `num_queries == 0`.
+    pub fn serve(
+        &self,
+        arrivals: &dyn recpipe_data::ArrivalProcess,
+        policy: &dyn crate::SchedulingPolicy,
+        num_queries: usize,
+        seed: u64,
+    ) -> SimResult {
+        crate::serve(self, arrivals, policy, num_queries, seed)
     }
 }
 

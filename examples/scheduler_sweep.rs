@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .load(qps)
         .build()?;
 
-    println!("Exploring CPU-only design space at {qps} QPS ...");
+    println!(
+        "Exploring CPU-only design space at {qps} QPS on {} worker threads ...",
+        recpipe::core::worker_threads(settings.workers)
+    );
     let frontier = engine.sweep(&settings);
     println!("  {} Pareto-optimal designs survive", frontier.len());
 

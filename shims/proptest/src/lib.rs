@@ -163,7 +163,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Element-count specification for [`vec`]: an exact size or a
+    /// Element-count specification for [`vec()`]: an exact size or a
     /// half-open range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
@@ -196,7 +196,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy produced by [`vec`].
+    /// Strategy produced by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

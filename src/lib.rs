@@ -16,6 +16,14 @@
 //! trait, so CPUs, GPUs, RPAccel, and your own device models are
 //! interchangeable behind one seam.
 //!
+//! The serving core is batching-aware: arrival processes (Poisson,
+//! bursty MMPP, diurnal, closed-loop) plug in behind
+//! [`data::ArrivalProcess`], scheduling policies (FIFO, batch-window,
+//! earliest-deadline-first) behind [`qsim::SchedulingPolicy`], and
+//! every backend supplies a real batch-scaling curve — drive them
+//! together through `Engine::serve_with`. Design-space sweeps fan out
+//! across a deterministic worker pool (`core::parallel_map`).
+//!
 //! This facade crate re-exports every subsystem:
 //!
 //! * [`tensor`] — dense linear algebra kernels.

@@ -198,3 +198,60 @@ fn deprecated_mapping_shim_still_matches_new_path() {
         assert_eq!(old, new);
     }
 }
+
+#[test]
+fn serving_core_matrix_end_to_end() {
+    // The batching-aware serving core across the full stack: commodity
+    // hardware with batch curves, bursty arrivals, and every policy.
+    use recpipe::data::{ArrivalProcess, MmppArrivals, PoissonArrivals};
+    use recpipe::qsim::{BatchWindow, EarliestDeadlineFirst, Fifo, SchedulingPolicy};
+
+    let engine = Engine::commodity(two_stage(256))
+        .placement(Placement::gpu_frontend(2, 2))
+        .batching(true)
+        .quality_queries(20)
+        .build()
+        .unwrap();
+
+    let arrivals: Vec<Box<dyn ArrivalProcess>> = vec![
+        Box::new(PoissonArrivals::new(300.0)),
+        Box::new(MmppArrivals::new(75.0, 1_200.0, 0.8, 0.2)),
+    ];
+    let policies: Vec<Box<dyn SchedulingPolicy>> = vec![
+        Box::new(Fifo),
+        Box::new(BatchWindow::new(0.002)),
+        Box::new(EarliestDeadlineFirst::new(0.025)),
+    ];
+    for arrival in &arrivals {
+        for policy in &policies {
+            let out = engine.serve_with(arrival.as_ref(), policy.as_ref(), 3_000);
+            assert_eq!(out.completed, 3_000, "{}/{}", arrival.name(), policy.name());
+            assert!(out.mean_batch >= 1.0);
+            for u in &out.utilization {
+                assert!((0.0..=1.0).contains(u));
+            }
+        }
+    }
+}
+
+#[test]
+fn closed_loop_serving_end_to_end_obeys_littles_law() {
+    use recpipe::data::ClosedLoopArrivals;
+    use recpipe::qsim::Fifo;
+
+    let engine = cpu_engine(two_stage(256), 300.0);
+    let floor = engine.service_floor();
+    let think = 0.05;
+    let clients = 16;
+    let out = engine.serve_with(&ClosedLoopArrivals::new(clients, think), &Fifo, 2_000);
+    assert_eq!(out.completed, 2_000);
+    // X = N / (R + Z); response time is at least the service floor, so
+    // throughput is bounded above — and with 64 idle cores the floor is
+    // nearly achieved.
+    let upper = clients as f64 / (floor + think);
+    assert!(
+        out.qps <= upper * 1.02 && out.qps > upper * 0.8,
+        "qps {} vs Little bound {upper}",
+        out.qps
+    );
+}

@@ -33,6 +33,41 @@ fn data_through_facade() {
 }
 
 #[test]
+fn arrival_processes_through_facade() {
+    use recpipe::data::{
+        ArrivalProcess, ClosedLoopArrivals, DiurnalArrivals, MmppArrivals, PoissonArrivals,
+    };
+    let processes: Vec<Box<dyn ArrivalProcess>> = vec![
+        Box::new(PoissonArrivals::new(200.0)),
+        Box::new(MmppArrivals::new(50.0, 500.0, 0.5, 0.1)),
+        Box::new(DiurnalArrivals::new(50.0, 350.0, 5.0)),
+        Box::new(ClosedLoopArrivals::new(8, 0.02)),
+    ];
+    for p in &processes {
+        assert!(p.mean_rate() > 0.0, "{}", p.name());
+        assert_eq!(p.times(50, 1).len(), 50);
+    }
+}
+
+#[test]
+fn batched_serving_through_facade() {
+    use recpipe::data::MmppArrivals;
+    use recpipe::qsim::{BatchModel, BatchWindow};
+
+    let spec = PipelineSpec::new(vec![ResourceSpec::new("gpu", 1)])
+        .with_stage(StageSpec::new("rank", 0, 1, 0.004).with_batch(BatchModel::new(8, 0.2)))
+        .unwrap();
+    let out = spec.serve(
+        &MmppArrivals::new(80.0, 600.0, 0.3, 0.1),
+        &BatchWindow::new(0.002),
+        1_000,
+        3,
+    );
+    assert_eq!(out.completed, 1_000);
+    assert!(out.mean_batch >= 1.0);
+}
+
+#[test]
 fn models_and_hwsim_through_facade() {
     let cfg = ModelConfig::for_kind(ModelKind::RmMed, recpipe::data::DatasetKind::CriteoKaggle);
     let work = StageWork::new(cfg, 1024);
