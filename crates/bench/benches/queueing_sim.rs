@@ -1,10 +1,13 @@
 //! Criterion bench: the discrete-event queueing simulator — the backbone
-//! of every at-scale experiment — in both its legacy per-query form and
-//! the batching-aware v2 serving core.
+//! of every at-scale experiment — in its legacy per-query form, the
+//! batching-aware v2 serving core, and the v3 cluster-of-replicas loop.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use recpipe_data::MmppArrivals;
-use recpipe_qsim::{BatchModel, BatchWindow, PipelineSpec, ResourceSpec, StageSpec};
+use recpipe_data::{MmppArrivals, PoissonArrivals};
+use recpipe_qsim::{
+    BatchModel, BatchWindow, Fifo, JoinShortestQueue, PipelineSpec, PowerOfTwoChoices,
+    ReplicaGroup, ResourceSpec, RoundRobin, Router, StageSpec,
+};
 
 fn two_stage() -> PipelineSpec {
     PipelineSpec::new(vec![
@@ -52,5 +55,30 @@ fn bench_qsim_v2(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_qsim, bench_qsim_v2);
+fn bench_qsim_cluster(c: &mut Criterion) {
+    // The v3 cluster loop: a 4-replica mixed-job-size fleet at rho =
+    // 0.9, one bench per router — the per-decision cost of oblivious
+    // cycling vs full queue inspection vs two-probe sampling.
+    let spec = PipelineSpec::new(vec![ReplicaGroup::replicated("worker", 1, 4)])
+        .with_stage(StageSpec::new("front", 0, 1, 0.002))
+        .unwrap()
+        .with_stage(StageSpec::new("back", 0, 1, 0.010))
+        .unwrap();
+    let arrivals = PoissonArrivals::new(0.9 * spec.max_qps());
+
+    let mut group = c.benchmark_group("qsim_cluster");
+    let routers: [(&str, &dyn Router); 3] = [
+        ("round_robin", &RoundRobin),
+        ("jsq", &JoinShortestQueue),
+        ("po2", &PowerOfTwoChoices),
+    ];
+    for (name, router) in routers {
+        group.bench_function(format!("routed_10000q/{name}"), |b| {
+            b.iter(|| black_box(spec.serve_routed(&arrivals, &Fifo, router, 10_000, 7)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qsim, bench_qsim_v2, bench_qsim_cluster);
 criterion_main!(benches);

@@ -29,8 +29,9 @@ pub const INTERMEDIATE_BYTES_PER_ITEM: u64 = 164;
 /// * [`name`](Backend::name) identifies the backend in reports and
 ///   placement descriptions (`cpu`, `gpu`, `rpaccel(8,2)`, ...);
 /// * [`resources`](Backend::resources) declares the queueing-simulator
-///   resource pool this backend contributes (e.g. 64 CPU cores, 1 GPU,
-///   8 accelerator lanes);
+///   resource pool *one instance* of this backend contributes (e.g. 64
+///   CPU cores, 1 GPU, 8 accelerator lanes) — the engine replicates it
+///   per the placement's replica counts;
 /// * [`stage_latency`](Backend::stage_latency) prices one query's stage,
 ///   optionally split across `parallelism` resource units.
 ///
@@ -297,7 +298,8 @@ fn fit_batch_model(base: f64, full: f64, batch: usize) -> BatchModel {
 }
 
 /// Where one pipeline stage runs: a backend (by index into the engine's
-/// pool) and how many of that backend's resource units serve one query.
+/// pool), how many of that backend's resource units serve one query,
+/// and how many replicas of the backend the stage may route across.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct StageSite {
     /// Index into the backend pool.
@@ -305,15 +307,46 @@ pub struct StageSite {
     /// Resource units dedicated to each in-flight query (CPU model
     /// parallelism; 1 for backends that serve a query on one unit).
     pub parallelism: usize,
+    /// Replicas of the backend available to this stage (1 = the single
+    /// pre-cluster pool). Stages sharing a backend share its replica
+    /// fleet: the emitted group carries the *largest* count any of its
+    /// stages requests. Defaults to 1 on deserialization so
+    /// pre-cluster serialized placements (which lack the field) still
+    /// round-trip.
+    #[serde(default = "default_one_replica")]
+    pub replicas: usize,
+}
+
+/// Serde default for replica counts: the single-replica pre-cluster
+/// interpretation. Unused under the offline no-op serde shim, whose
+/// derives ignore the attribute that references it.
+#[allow(dead_code)]
+fn default_one_replica() -> usize {
+    1
 }
 
 impl StageSite {
-    /// A site on `backend` with the given per-query parallelism.
+    /// A site on `backend` with the given per-query parallelism, on a
+    /// single (unreplicated) backend instance.
     pub fn new(backend: usize, parallelism: usize) -> Self {
         Self {
             backend,
             parallelism: parallelism.max(1),
+            replicas: 1,
         }
+    }
+
+    /// Sets the replica count of this stage's backend fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`, matching [`ClusterSpec::new`] and the
+    /// qsim constructors — a zero-replica fleet is a configuration bug,
+    /// not a degenerate case to normalize away.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        assert!(replicas > 0, "replica count must be positive");
+        self.replicas = replicas;
+        self
     }
 }
 
@@ -381,6 +414,45 @@ impl Placement {
         self.sites.len()
     }
 
+    /// Sets the replica count on every site of `backend` — the
+    /// placement-level form of [`EngineBuilder::replicas`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0` (see [`StageSite::with_replicas`]).
+    ///
+    /// [`EngineBuilder::replicas`]: crate::EngineBuilder::replicas
+    pub fn with_backend_replicas(mut self, backend: usize, replicas: usize) -> Self {
+        for site in &mut self.sites {
+            if site.backend == backend {
+                *site = site.with_replicas(replicas);
+            }
+        }
+        self
+    }
+
+    /// Replica count of `backend`'s emitted group: the largest count
+    /// any stage placed on it requests (1 if the backend hosts no
+    /// stage).
+    pub fn replicas_for(&self, backend: usize) -> usize {
+        self.sites
+            .iter()
+            .filter(|s| s.backend == backend)
+            .map(|s| s.replicas)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Total replica cost: the sum of replica counts across the
+    /// distinct backends this placement actually uses — the hardware
+    /// axis of replica-aware Pareto fronts.
+    pub fn replica_cost(&self) -> usize {
+        let mut used: Vec<usize> = self.sites.iter().map(|s| s.backend).collect();
+        used.sort_unstable();
+        used.dedup();
+        used.into_iter().map(|b| self.replicas_for(b)).sum()
+    }
+
     /// Whether all stages share one backend (returns its index).
     pub fn sole_backend(&self) -> Option<usize> {
         let first = self.sites.first()?.backend;
@@ -390,24 +462,31 @@ impl Placement {
             .then_some(first)
     }
 
-    /// Compact description against a backend pool, e.g. `gpu|cpu(x2)`.
-    /// A placement that runs every stage on one backend with no model
-    /// parallelism collapses to the bare backend name (e.g.
-    /// `rpaccel(8,2)`).
+    /// Compact description against a backend pool, e.g. `gpu|cpu(x2)`,
+    /// with replicated backends annotated as `cpu*3`. A placement that
+    /// runs every stage on one backend with no model parallelism
+    /// collapses to the bare (possibly replica-annotated) backend name
+    /// (e.g. `rpaccel(8,2)` or `rpaccel(8,2)*2`).
     ///
     /// # Panics
     ///
     /// Panics if a site references a backend outside the pool.
     pub fn describe(&self, pool: &[Arc<dyn Backend>]) -> String {
-        if let Some(b) = self.sole_backend() {
-            if self.sites.iter().all(|s| s.parallelism == 1) {
-                return pool[b].name();
+        let annotate = |s: &StageSite| {
+            let mut name = pool[s.backend].name();
+            let replicas = self.replicas_for(s.backend);
+            if replicas > 1 {
+                name = format!("{name}*{replicas}");
             }
+            name
+        };
+        if self.sole_backend().is_some() && self.sites.iter().all(|s| s.parallelism == 1) {
+            return annotate(&self.sites[0]);
         }
         self.sites
             .iter()
             .map(|s| {
-                let name = pool[s.backend].name();
+                let name = annotate(s);
                 if s.parallelism > 1 {
                     format!("{name}(x{})", s.parallelism)
                 } else {
@@ -416,6 +495,82 @@ impl Placement {
             })
             .collect::<Vec<_>>()
             .join("|")
+    }
+}
+
+/// Per-backend replica counts for a serving cluster — the
+/// engine-builder-facing way to replicate backends without editing
+/// every [`StageSite`] by hand.
+///
+/// Index `i` holds the replica count of backend `i` in the engine's
+/// pool. Applied to a [`Placement`] it sets the count on every site of
+/// each backend; derived *from* a placement it summarizes the counts
+/// the sites carry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    replicas: Vec<usize>,
+}
+
+impl ClusterSpec {
+    /// A cluster of explicit per-backend replica counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero.
+    pub fn new(replicas: Vec<usize>) -> Self {
+        assert!(
+            replicas.iter().all(|&r| r > 0),
+            "replica counts must be positive"
+        );
+        Self { replicas }
+    }
+
+    /// Every backend at a single replica — the pre-cluster default.
+    pub fn single(pool_size: usize) -> Self {
+        Self::uniform(pool_size, 1)
+    }
+
+    /// Every backend at `replicas` replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    pub fn uniform(pool_size: usize, replicas: usize) -> Self {
+        Self::new(vec![replicas; pool_size])
+    }
+
+    /// Replaces one backend's replica count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range or `replicas == 0`.
+    pub fn with_backend(mut self, backend: usize, replicas: usize) -> Self {
+        assert!(replicas > 0, "replica counts must be positive");
+        assert!(backend < self.replicas.len(), "unknown backend index");
+        self.replicas[backend] = replicas;
+        self
+    }
+
+    /// The per-backend replica counts, indexed by pool position.
+    pub fn replicas(&self) -> &[usize] {
+        &self.replicas
+    }
+
+    /// Summarizes the replica counts a placement's sites carry over a
+    /// pool of `pool_size` backends (1 for backends hosting no stage).
+    pub fn from_placement(placement: &Placement, pool_size: usize) -> Self {
+        Self {
+            replicas: (0..pool_size).map(|b| placement.replicas_for(b)).collect(),
+        }
+    }
+
+    /// Applies the counts to a placement, replicating every backend's
+    /// sites accordingly.
+    pub fn apply(&self, mut placement: Placement) -> Placement {
+        for (backend, &replicas) in self.replicas.iter().enumerate() {
+            placement = placement.with_backend_replicas(backend, replicas);
+        }
+        placement
     }
 }
 
@@ -441,10 +596,15 @@ pub fn build_spec(
 /// backend `pool` — the one code path every evaluation flows through.
 ///
 /// If all stages land on a single backend that supplies a
-/// [`Backend::chain_spec`], that decomposition is used. Otherwise each
-/// stage becomes a queueing stage on its backend's resource, and
+/// [`Backend::chain_spec`], that decomposition is used (scaled to the
+/// placement's replica count: replicating an accelerator clones its
+/// whole mem + lanes chain). Otherwise each stage becomes a queueing
+/// stage on its backend's resource group — emitted with as many
+/// replicas as the placement's sites request for that backend — and
 /// consecutive stages on *different* backends pay `interconnect`
-/// transfer for the surviving candidates.
+/// transfer for the surviving candidates. Replica-to-replica hops
+/// within one backend are free: the model assumes a uniform same-tier
+/// network behind the load balancer.
 ///
 /// With `batching` enabled, each stage additionally carries a
 /// [`BatchModel`] fitted to its backend's batch-scaling curve
@@ -485,12 +645,20 @@ pub fn build_serving_spec(
     if let Some(sole) = placement.sole_backend() {
         if placement.sites().iter().all(|s| s.parallelism == 1) {
             if let Some(spec) = pool[sole].chain_spec(pipeline, batching) {
-                return Ok(spec);
+                return Ok(spec.scale_replicas(placement.replicas_for(sole)));
             }
         }
     }
 
-    let resources: Vec<ResourceSpec> = pool.iter().map(|b| b.resources()).collect();
+    let resources: Vec<ResourceSpec> = pool
+        .iter()
+        .enumerate()
+        .map(|(b, backend)| {
+            let mut group = backend.resources();
+            group.replicas *= placement.replicas_for(b);
+            group
+        })
+        .collect();
     let works = pipeline.stage_works();
     let mut spec = PipelineSpec::new(resources);
     let mut prev: Option<usize> = None;
@@ -678,6 +846,73 @@ mod tests {
         // One queueing stage per pipeline stage, every stage priced.
         assert_eq!(spec.stages().len(), 2);
         assert!(spec.stages().iter().all(|s| s.service_time > 0.0));
+    }
+
+    #[test]
+    fn replicated_placement_emits_replica_groups() {
+        let pool = commodity_pool();
+        let pipeline = two_stage();
+        let placement = Placement::cpu_only(2).with_backend_replicas(0, 3);
+        let spec = build_spec(&pool, &PcieModel::measured(), &pipeline, &placement).unwrap();
+        assert_eq!(spec.resources()[0].replicas, 3);
+        assert_eq!(spec.resources()[1].replicas, 1);
+        // Replication multiplies the analytic capacity of the CPU-bound
+        // pipeline.
+        let single = build_spec(
+            &pool,
+            &PcieModel::measured(),
+            &pipeline,
+            &Placement::cpu_only(2),
+        )
+        .unwrap();
+        assert!((spec.max_qps() - 3.0 * single.max_qps()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn replicated_chain_spec_clones_the_whole_decomposition() {
+        let pipeline = two_stage();
+        let accel = RpAccel::new(RpAccelConfig::paper_default(Partition::symmetric(8, 2)));
+        let pool: Vec<Arc<dyn Backend>> = vec![Arc::new(accel)];
+        let placement = Placement::uniform(0, 2, 1).with_backend_replicas(0, 2);
+        let spec = build_spec(&pool, &PcieModel::measured(), &pipeline, &placement).unwrap();
+        // Replicating the accelerator clones its mem + lanes chain.
+        assert_eq!(spec.resources()[0].name, "accel-mem");
+        assert!(spec.resources().iter().all(|r| r.replicas == 2));
+    }
+
+    #[test]
+    fn placement_replica_accessors_and_describe() {
+        let pool = commodity_pool();
+        let p = Placement::new(vec![StageSite::new(1, 1), StageSite::new(0, 4)])
+            .with_backend_replicas(0, 3)
+            .with_backend_replicas(1, 2);
+        assert_eq!(p.replicas_for(0), 3);
+        assert_eq!(p.replicas_for(1), 2);
+        assert_eq!(p.replica_cost(), 5);
+        assert_eq!(p.describe(&pool), "gpu*2|cpu*3(x4)");
+        // Sole-backend collapse keeps the replica annotation.
+        let sole = Placement::cpu_only(2).with_backend_replicas(0, 4);
+        assert_eq!(sole.describe(&pool), "cpu*4");
+        assert_eq!(sole.replica_cost(), 4);
+        // Unreplicated placements describe exactly as before.
+        assert_eq!(Placement::cpu_only(2).replica_cost(), 1);
+        assert_eq!(Placement::gpu_frontend(2, 2).replica_cost(), 2);
+    }
+
+    #[test]
+    fn cluster_spec_applies_and_summarizes() {
+        let cluster = ClusterSpec::single(2).with_backend(1, 4);
+        let placement = cluster.apply(Placement::gpu_frontend(2, 2));
+        assert_eq!(placement.replicas_for(1), 4);
+        assert_eq!(placement.replicas_for(0), 1);
+        assert_eq!(ClusterSpec::from_placement(&placement, 2), cluster);
+        assert_eq!(ClusterSpec::uniform(3, 2).replicas(), &[2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn cluster_spec_rejects_zero_counts() {
+        ClusterSpec::new(vec![1, 0]);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use recpipe_metrics::ParetoFront;
 use recpipe_qsim::{PipelineSpec, SimResult, SpecError};
 use serde::{Deserialize, Serialize};
 
-use crate::backend::{build_serving_spec, Backend, Placement};
+use crate::backend::{build_serving_spec, Backend, ClusterSpec, Placement};
 use crate::scheduler::Scheduler;
 use crate::{PipelineConfig, QualityEvaluator, QualityReport, SchedulerSettings};
 
@@ -44,6 +44,13 @@ pub enum EngineError {
         /// Number of backends in the pool.
         pool_size: usize,
     },
+    /// A cluster spec's entry count differs from the backend pool's.
+    ClusterArity {
+        /// Backends in the pool.
+        pool_size: usize,
+        /// Entries in the cluster spec.
+        entries: usize,
+    },
     /// The queueing spec rejected a stage (e.g. parallelism above the
     /// backend's capacity).
     Spec(SpecError),
@@ -61,6 +68,10 @@ impl std::fmt::Display for EngineError {
             EngineError::UnknownBackend { index, pool_size } => write!(
                 f,
                 "placement references backend {index} but the pool has {pool_size}"
+            ),
+            EngineError::ClusterArity { pool_size, entries } => write!(
+                f,
+                "cluster spec has {entries} entries but the pool has {pool_size} backends"
             ),
             EngineError::Spec(e) => write!(f, "invalid queueing spec: {e}"),
         }
@@ -108,6 +119,9 @@ pub struct Outcome {
     /// Whether the design met the engine's SLA (`None` when no SLA was
     /// configured).
     pub meets_sla: Option<bool>,
+    /// Total replica cost: replica counts summed across the backends
+    /// the placement uses (1 per used backend when unreplicated).
+    pub replicas: usize,
 }
 
 impl Outcome {
@@ -141,6 +155,8 @@ pub struct EngineBuilder {
     sim_queries: usize,
     seed: u64,
     batching: bool,
+    cluster: Option<ClusterSpec>,
+    replica_overrides: Vec<(usize, usize)>,
 }
 
 impl EngineBuilder {
@@ -157,6 +173,8 @@ impl EngineBuilder {
             sim_queries: 4_000,
             seed: 0xbeef,
             batching: false,
+            cluster: None,
+            replica_overrides: Vec::new(),
         }
     }
 
@@ -232,6 +250,40 @@ impl EngineBuilder {
         self
     }
 
+    /// Replicates backend `backend_idx` into `n` identical instances,
+    /// each with its own queue, behind a per-stage router — the
+    /// cluster-of-replicas axis of heavy-traffic serving. Applied to
+    /// every stage placed on that backend; with `n = 1` (the default)
+    /// the serving spec is identical to the pre-cluster engine.
+    ///
+    /// Replica counts live on the placement's stages, so the call is a
+    /// no-op for a backend the placement gives no stage to (idle
+    /// hardware has nothing to replicate), and
+    /// [`Engine::cluster`] will keep reporting 1 for it.
+    ///
+    /// An out-of-pool index surfaces as
+    /// [`EngineError::UnknownBackend`] at [`build`](Self::build).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, matching [`ClusterSpec::new`] and
+    /// [`StageSite::with_replicas`](crate::StageSite::with_replicas).
+    pub fn replicas(mut self, backend_idx: usize, n: usize) -> Self {
+        assert!(n > 0, "replica count must be positive");
+        self.replica_overrides.push((backend_idx, n));
+        self
+    }
+
+    /// Sets every backend's replica count at once from a
+    /// [`ClusterSpec`] (entry `i` replicates backend `i`). Individual
+    /// [`replicas`](Self::replicas) calls override it. As with
+    /// [`replicas`](Self::replicas), entries for backends the
+    /// placement gives no stage to are ignored.
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
     /// Enables dynamic batching: every stage of the serving spec
     /// carries its backend's batch-scaling curve, and scheduling
     /// policies passed to [`Engine::serve_with`] may aggregate queries
@@ -253,9 +305,27 @@ impl EngineBuilder {
         if self.backends.is_empty() {
             return Err(EngineError::MissingBackend);
         }
-        let placement = self
+        let mut placement = self
             .placement
             .unwrap_or_else(|| Placement::uniform(0, pipeline.num_stages(), 1));
+        if let Some(cluster) = &self.cluster {
+            if cluster.replicas().len() != self.backends.len() {
+                return Err(EngineError::ClusterArity {
+                    pool_size: self.backends.len(),
+                    entries: cluster.replicas().len(),
+                });
+            }
+            placement = cluster.apply(placement);
+        }
+        for &(backend, n) in &self.replica_overrides {
+            if backend >= self.backends.len() {
+                return Err(EngineError::UnknownBackend {
+                    index: backend,
+                    pool_size: self.backends.len(),
+                });
+            }
+            placement = placement.with_backend_replicas(backend, n);
+        }
         let interconnect = self.interconnect.unwrap_or_else(PcieModel::measured);
         // Building the spec here both validates the placement eagerly
         // (misuse fails at build time, not on first evaluation) and
@@ -389,6 +459,20 @@ impl Engine {
         &self.placement
     }
 
+    /// The cluster shape: per-backend replica counts derived from the
+    /// placement (all 1 for an unreplicated engine; backends hosting
+    /// no stage always report 1, whatever the builder was asked —
+    /// replica counts live on the stages that use them).
+    pub fn cluster(&self) -> ClusterSpec {
+        ClusterSpec::from_placement(&self.placement, self.backends.len())
+    }
+
+    /// Total replica cost of this engine's cluster (see
+    /// [`Placement::replica_cost`]).
+    pub fn replica_cost(&self) -> usize {
+        self.placement.replica_cost()
+    }
+
     /// The bound offered load in QPS.
     pub fn load(&self) -> f64 {
         self.load_qps
@@ -449,6 +533,7 @@ impl Engine {
             offered_qps: qps,
             saturated: sim.saturated,
             meets_sla: self.sla_s.map(|sla| !sim.saturated && p99_s <= sla),
+            replicas: self.placement.replica_cost(),
         }
     }
 
@@ -504,6 +589,23 @@ impl Engine {
         self.spec.serve(arrivals, policy, queries, self.seed)
     }
 
+    /// Runs the cluster-aware queueing simulation with an explicit
+    /// replica [`Router`](recpipe_qsim::Router) — the seam for
+    /// comparing load-balancing strategies over a replicated engine
+    /// (build it with [`EngineBuilder::replicas`]). On an unreplicated
+    /// engine every router reproduces
+    /// [`serve_with`](Self::serve_with) exactly.
+    pub fn serve_routed(
+        &self,
+        arrivals: &dyn recpipe_data::ArrivalProcess,
+        policy: &dyn recpipe_qsim::SchedulingPolicy,
+        router: &dyn recpipe_qsim::Router,
+        queries: usize,
+    ) -> SimResult {
+        self.spec
+            .serve_routed(arrivals, policy, router, queries, self.seed)
+    }
+
     /// Explores the scheduler's design space over this engine's backend
     /// pool at the bound load — up to `settings.max_stages` stages,
     /// charging this engine's interconnect on backend crossings — and
@@ -511,6 +613,12 @@ impl Engine {
     /// dropped). The engine's pipeline supplies the dataset being
     /// swept (overriding `settings.dataset`); the settings supply the
     /// search grid.
+    ///
+    /// When the settings sweep replica counts
+    /// ([`SchedulerSettings::replica_options`] beyond `[1]`), the front
+    /// becomes three-objective — quality vs latency vs total replica
+    /// cost ([`Scheduler::pareto_with_cost`]) — so cheap clusters
+    /// survive alongside fast ones.
     pub fn sweep(&self, settings: &SchedulerSettings) -> ParetoFront<Outcome> {
         let mut settings = settings.clone();
         settings.dataset = self.pipeline.dataset();
@@ -523,7 +631,11 @@ impl Engine {
             self.sla_s,
             &self.interconnect,
         );
-        Scheduler::pareto(points)
+        if settings.replica_options.iter().any(|&r| r > 1) {
+            Scheduler::pareto_with_cost(points)
+        } else {
+            Scheduler::pareto(points)
+        }
     }
 }
 
@@ -871,6 +983,138 @@ mod tests {
             "mean batch {}",
             windowed.mean_batch
         );
+    }
+
+    #[test]
+    fn replicated_engine_multiplies_capacity_and_reports_cluster() {
+        let base = Engine::commodity(two_stage())
+            .placement(Placement::cpu_only(2))
+            .quality_queries(20)
+            .build()
+            .unwrap();
+        let fleet = Engine::commodity(two_stage())
+            .placement(Placement::cpu_only(2))
+            .replicas(0, 3)
+            .quality_queries(20)
+            .build()
+            .unwrap();
+        assert!((fleet.max_qps() - 3.0 * base.max_qps()).abs() < 1e-6);
+        assert_eq!(fleet.cluster().replicas(), &[3, 1]);
+        assert_eq!(fleet.replica_cost(), 3);
+        assert_eq!(base.replica_cost(), 1);
+        let outcome = fleet.evaluate_at(100.0);
+        assert_eq!(outcome.mapping, "cpu*3");
+        assert_eq!(outcome.replicas, 3);
+    }
+
+    #[test]
+    fn cluster_spec_builder_composes_with_overrides() {
+        use crate::backend::ClusterSpec;
+        let engine = Engine::commodity(two_stage())
+            .placement(Placement::gpu_frontend(2, 1))
+            .cluster(ClusterSpec::uniform(2, 2))
+            .replicas(1, 4)
+            .quality_queries(20)
+            .build()
+            .unwrap();
+        // The cluster set both backends to 2; the override lifted the
+        // GPU to 4.
+        assert_eq!(engine.cluster().replicas(), &[2, 4]);
+        assert_eq!(engine.replica_cost(), 6);
+    }
+
+    #[test]
+    fn cluster_arity_and_unknown_backend_are_build_errors() {
+        use crate::backend::ClusterSpec;
+        let err = Engine::commodity(two_stage())
+            .cluster(ClusterSpec::single(3))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::ClusterArity { .. }));
+        assert!(err.to_string().contains("cluster"));
+        let err = Engine::commodity(two_stage())
+            .replicas(9, 2)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownBackend { index: 9, .. }));
+    }
+
+    #[test]
+    fn serve_routed_on_unreplicated_engine_matches_serve_with() {
+        use recpipe_data::PoissonArrivals;
+        use recpipe_qsim::{Fifo, JoinShortestQueue};
+        let engine = Engine::commodity(two_stage())
+            .quality_queries(20)
+            .build()
+            .unwrap();
+        let arrivals = PoissonArrivals::new(250.0);
+        let plain = engine.serve_with(&arrivals, &Fifo, 1_500);
+        let routed = engine.serve_routed(&arrivals, &Fifo, &JoinShortestQueue, 1_500);
+        assert_eq!(plain, routed);
+    }
+
+    #[test]
+    fn replication_rescues_an_engine_past_single_pool_capacity() {
+        use recpipe_data::PoissonArrivals;
+        use recpipe_qsim::{Fifo, JoinShortestQueue};
+        let single = Engine::commodity(two_stage())
+            .placement(Placement::gpu_only(2))
+            .quality_queries(20)
+            .build()
+            .unwrap();
+        let overload = single.max_qps() * 1.6;
+        assert!(single.evaluate_at(overload).saturated);
+        let fleet = Engine::commodity(two_stage())
+            .placement(Placement::gpu_only(2))
+            .replicas(1, 4)
+            .quality_queries(20)
+            .build()
+            .unwrap();
+        let out = fleet.serve_routed(
+            &PoissonArrivals::new(overload),
+            &Fifo,
+            &JoinShortestQueue,
+            3_000,
+        );
+        assert!(!out.saturated);
+        assert_eq!(out.completed, 3_000);
+        // The router saw a real 4-replica GPU fleet.
+        assert_eq!(out.replica_utilization[1].len(), 4);
+    }
+
+    #[test]
+    fn replica_sweep_produces_deterministic_cost_aware_front() {
+        // The co-optimization acceptance: sweeping replica counts
+        // yields a reproducible Pareto front that carries replica cost,
+        // keeps cheap clusters alongside fast ones, and is identical
+        // across worker counts.
+        let mut settings = crate::SchedulerSettings::quick();
+        settings.replica_options = vec![1, 2];
+        let engine = Engine::commodity(two_stage())
+            .placement(Placement::cpu_only(2))
+            .load(400.0)
+            .build()
+            .unwrap();
+        let front = engine.sweep(&settings);
+        assert!(!front.is_empty());
+        let again = engine.sweep(&settings);
+        assert_eq!(front.points(), again.points());
+        settings.workers = Some(4);
+        let parallel = engine.sweep(&settings);
+        assert_eq!(front.points(), parallel.points());
+
+        // Cost is populated and varied; no point on the front is
+        // dominated in all three objectives.
+        assert!(front.iter().all(|p| p.replicas >= 1));
+        assert!(front.iter().any(|p| p.replicas > 1));
+        assert!(front.iter().any(|p| p.replicas == 1));
+        for a in front.iter() {
+            for b in front.iter() {
+                let dominated =
+                    a.p99_s < b.p99_s - 1e-15 && a.ndcg > b.ndcg + 1e-12 && a.replicas < b.replicas;
+                assert!(!dominated, "{} dominates {}", a.mapping, b.mapping);
+            }
+        }
     }
 
     #[test]

@@ -60,7 +60,8 @@ mod scheduler;
 mod stage;
 
 pub use backend::{
-    build_serving_spec, build_spec, Backend, Placement, StageSite, INTERMEDIATE_BYTES_PER_ITEM,
+    build_serving_spec, build_spec, Backend, ClusterSpec, Placement, StageSite,
+    INTERMEDIATE_BYTES_PER_ITEM,
 };
 pub use engine::{Engine, EngineBuilder, EngineError, Outcome};
 pub use parallel::{parallel_map, worker_threads};

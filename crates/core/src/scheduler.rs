@@ -25,6 +25,12 @@ pub struct SchedulerSettings {
     /// Candidate per-query parallelism for backends that can split a
     /// query across resource units (CPU model parallelism).
     pub cores_options: Vec<usize>,
+    /// Candidate replica counts per backend. The sweep takes the cross
+    /// product over the distinct backends each placement uses, so the
+    /// Pareto front trades quality and latency against total replica
+    /// cost. `[1]` (the default) reproduces the pre-cluster sweep
+    /// exactly.
+    pub replica_options: Vec<usize>,
     /// Deepest pipeline the search enumerates (`Engine::sweep` uses
     /// this; the `explore_*` methods take it as an explicit argument).
     pub max_stages: usize,
@@ -64,6 +70,7 @@ impl SchedulerSettings {
             items_grid: vec![256, 512, 1024, 2048, 3200, 4096],
             keep_ratios: vec![8, 16],
             cores_options: vec![1, 2, 4],
+            replica_options: vec![1],
             max_stages: 3,
             quality_queries: 200,
             sim_queries: 3_000,
@@ -81,6 +88,7 @@ impl SchedulerSettings {
             items_grid: vec![1024, 4096],
             keep_ratios: vec![8],
             cores_options: vec![1, 2],
+            replica_options: vec![1],
             max_stages: 3,
             quality_queries: 400,
             sim_queries: 800,
@@ -288,6 +296,39 @@ impl Scheduler {
         out
     }
 
+    /// Replica-count variants of one placement: the cross product of
+    /// [`SchedulerSettings::replica_options`] over the distinct
+    /// backends the placement uses. The options define the whole
+    /// search space — any replica counts the placement already carries
+    /// are overwritten by the enumeration. With options `[1]` (the
+    /// default) and an unreplicated placement (what
+    /// [`placements_for`](Self::placements_for) generates) this is the
+    /// identity, so pre-cluster sweeps are reproduced
+    /// candidate-for-candidate.
+    pub fn replica_variants(&self, placement: &Placement) -> Vec<Placement> {
+        let opts: &[usize] = if self.settings.replica_options.is_empty() {
+            &[1]
+        } else {
+            &self.settings.replica_options
+        };
+        let mut used: Vec<usize> = placement.sites().iter().map(|s| s.backend).collect();
+        used.sort_unstable();
+        used.dedup();
+        let mut out = vec![placement.clone()];
+        for &b in &used {
+            let mut next = Vec::with_capacity(out.len() * opts.len());
+            for p in &out {
+                for &r in opts {
+                    next.push(p.clone().with_backend_replicas(b, r));
+                }
+            }
+            out = next;
+        }
+        let mut seen = HashSet::new();
+        out.retain(|p| seen.insert(p.clone()));
+        out
+    }
+
     /// Explores the joint design space over an arbitrary backend pool —
     /// the generic engine behind [`explore_cpu`](Self::explore_cpu),
     /// [`explore_hetero`](Self::explore_hetero), and
@@ -366,26 +407,30 @@ impl Scheduler {
             pipeline: PipelineConfig,
             mapping: String,
             ndcg: f64,
+            replicas: usize,
             spec: recpipe_qsim::PipelineSpec,
         }
         let mut candidates = Vec::new();
         for pipeline in &pipelines {
             let ndcg = quality_cache[pipeline];
-            for placement in self.placements_for(pool, pipeline.num_stages()) {
-                let Ok(spec) = build_spec(pool, interconnect, pipeline, &placement) else {
-                    continue;
-                };
-                // Analytic stability pre-check avoids simulating hopeless
-                // overloads.
-                if spec.max_qps() < qps * 0.7 {
-                    continue;
+            for base in self.placements_for(pool, pipeline.num_stages()) {
+                for placement in self.replica_variants(&base) {
+                    let Ok(spec) = build_spec(pool, interconnect, pipeline, &placement) else {
+                        continue;
+                    };
+                    // Analytic stability pre-check avoids simulating
+                    // hopeless overloads.
+                    if spec.max_qps() < qps * 0.7 {
+                        continue;
+                    }
+                    candidates.push(Candidate {
+                        pipeline: pipeline.clone(),
+                        mapping: placement.describe(pool),
+                        ndcg,
+                        replicas: placement.replica_cost(),
+                        spec,
+                    });
                 }
-                candidates.push(Candidate {
-                    pipeline: pipeline.clone(),
-                    mapping: placement.describe(pool),
-                    ndcg,
-                    spec,
-                });
             }
         }
 
@@ -411,6 +456,7 @@ impl Scheduler {
                     offered_qps: qps,
                     saturated: sim.saturated,
                     meets_sla: sla_s.map(|sla| !sim.saturated && p99_s <= sla),
+                    replicas: c.replicas,
                 }
             })
             .collect()
@@ -470,6 +516,24 @@ impl Scheduler {
         ParetoFront::extract(stable, &[Dominance::Minimize, Dominance::Maximize], |p| {
             vec![p.p99_s, p.ndcg]
         })
+    }
+
+    /// Three-objective Pareto frontier for replica-count sweeps:
+    /// minimize p99, maximize NDCG, *minimize total replica cost* —
+    /// so a cheaper cluster survives the front even when a larger one
+    /// beats its latency. Saturated points are dropped. With every
+    /// point at equal cost this reduces to [`pareto`](Self::pareto).
+    pub fn pareto_with_cost(points: Vec<Outcome>) -> ParetoFront<Outcome> {
+        let stable: Vec<Outcome> = points.into_iter().filter(|p| !p.saturated).collect();
+        ParetoFront::extract(
+            stable,
+            &[
+                Dominance::Minimize,
+                Dominance::Maximize,
+                Dominance::Minimize,
+            ],
+            |p| vec![p.p99_s, p.ndcg, p.replicas as f64],
+        )
     }
 
     /// Deprecated alias for [`pareto`](Self::pareto) returning a bare
@@ -627,6 +691,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn replica_variants_are_identity_at_default_options() {
+        let s = scheduler();
+        let placement = Placement::gpu_frontend(2, 2);
+        assert_eq!(s.replica_variants(&placement), vec![placement.clone()]);
+    }
+
+    #[test]
+    fn replica_variants_cross_distinct_backends() {
+        let mut settings = SchedulerSettings::quick();
+        settings.replica_options = vec![1, 2];
+        let s = Scheduler::new(settings);
+        // Two distinct backends -> 2 x 2 variants; one backend -> 2.
+        assert_eq!(s.replica_variants(&Placement::gpu_frontend(2, 1)).len(), 4);
+        assert_eq!(s.replica_variants(&Placement::cpu_only(2)).len(), 2);
+        let costs: Vec<usize> = s
+            .replica_variants(&Placement::cpu_only(2))
+            .iter()
+            .map(|p| p.replica_cost())
+            .collect();
+        assert_eq!(costs, vec![1, 2]);
+    }
+
+    #[test]
+    fn cost_aware_pareto_keeps_cheap_clusters() {
+        // A strictly slower but strictly cheaper point must survive the
+        // three-objective front while being dropped from the 2D one.
+        let base = scheduler().explore_cpu(150.0, 1);
+        let mut cheap = base[0].clone();
+        cheap.ndcg = 0.9;
+        cheap.p99_s = 0.010;
+        cheap.replicas = 1;
+        cheap.saturated = false;
+        let mut fast = cheap.clone();
+        fast.p99_s = 0.005;
+        fast.replicas = 4;
+        let front2d = Scheduler::pareto(vec![cheap.clone(), fast.clone()]);
+        assert_eq!(front2d.len(), 1);
+        let front3d = Scheduler::pareto_with_cost(vec![cheap, fast]);
+        assert_eq!(front3d.len(), 2);
     }
 
     #[test]

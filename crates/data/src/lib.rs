@@ -11,8 +11,9 @@
 //!   Figure 10c and 13),
 //! * latent-factor **click samples** for actually training models (Figure 2),
 //! * pluggable **arrival processes** behind the [`ArrivalProcess`] trait —
-//!   Poisson (the paper's load model), bursty MMPP, diurnal cycles, and
-//!   closed-loop client populations (drives tail latency at a system load).
+//!   Poisson (the paper's load model), bursty MMPP, diurnal cycles,
+//!   closed-loop client populations, and recorded-trace replay with rate
+//!   rescaling (drives tail latency at a system load).
 //!
 //! All samplers take explicit seeds: every experiment in the repository is
 //! reproducible bit-for-bit.
@@ -34,6 +35,7 @@ mod dist;
 mod movielens;
 mod query;
 mod synthetic;
+mod trace;
 
 pub use arrival::{
     ArrivalProcess, ClosedLoopArrivals, ClosedLoopSpec, DiurnalArrivals, MmppArrivals,
@@ -46,3 +48,4 @@ pub use movielens::{
 };
 pub use query::{ClickSample, RankingQuery};
 pub use synthetic::{ClickGenerator, EmbeddingTrace, QueryGenerator};
+pub use trace::TraceArrivals;

@@ -6,10 +6,16 @@
 //! modeling", step 2). This crate is that simulator, extended into a
 //! batching-aware serving core:
 //!
-//! * **Resources** model hardware pools with unit capacity — 64 CPU
-//!   cores, 1 GPU, `n` accelerator sub-array groups. Stages *share*
-//!   resources: a CPU-only two-stage pipeline contends for the same
-//!   cores with both stages, exactly like the real deployment.
+//! * **Resources** are [`ReplicaGroup`]s: `replicas` identical pools of
+//!   unit capacity — 64 CPU cores, 1 GPU, `n` accelerator sub-array
+//!   groups, or a fleet of N such machines behind a load balancer. Each
+//!   replica has its own private queue; stages *share* groups: a
+//!   CPU-only two-stage pipeline contends for the same cores with both
+//!   stages, exactly like the real deployment.
+//! * **Routing** is pluggable behind [`Router`]: when a group has more
+//!   than one replica, every query is routed to one replica per stage —
+//!   oblivious [`RoundRobin`], full-information [`JoinShortestQueue`],
+//!   or sampled [`PowerOfTwoChoices`]. Batches never span replicas.
 //! * **Stages** consume `units` resource units per launch for a
 //!   deterministic service time. Each stage carries a [`BatchModel`]:
 //!   how many queries one launch may aggregate and how the batch's
@@ -62,10 +68,14 @@
 
 mod policy;
 mod result;
+mod router;
 mod sim;
 mod spec;
 
 pub use policy::{BatchWindow, EarliestDeadlineFirst, Fifo, QueueEntry, Release, SchedulingPolicy};
 pub use result::SimResult;
-pub use sim::{serve, simulate};
-pub use spec::{BatchModel, PipelineSpec, ResourceSpec, SpecError, StageSpec};
+pub use router::{
+    JoinShortestQueue, PowerOfTwoChoices, ReplicaSnapshot, RoundRobin, Router, RouterState,
+};
+pub use sim::{serve, serve_routed, simulate};
+pub use spec::{BatchModel, PipelineSpec, ReplicaGroup, ResourceSpec, SpecError, StageSpec};

@@ -24,10 +24,16 @@ pub struct SimResult {
     pub completed: usize,
     /// Whether the run exceeded sustainable capacity.
     pub saturated: bool,
-    /// Mean utilization of each resource (same order as the spec).
+    /// Mean utilization of each resource group (same order as the
+    /// spec), aggregated across the group's replicas.
     pub utilization: Vec<f64>,
     /// Mean queries per launched batch (1.0 under per-query serving).
     pub mean_batch: f64,
+    /// Per-replica utilization of each resource group (outer index:
+    /// group, inner: replica). Populated only for replicated pipelines;
+    /// empty on single-replica runs, whose results stay bit-identical
+    /// to the pre-cluster simulator.
+    pub replica_utilization: Vec<Vec<f64>>,
 }
 
 impl SimResult {
@@ -46,6 +52,7 @@ impl SimResult {
             saturated,
             utilization,
             mean_batch: 1.0,
+            replica_utilization: Vec::new(),
         }
     }
 
@@ -53,6 +60,25 @@ impl SimResult {
     pub fn with_mean_batch(mut self, mean_batch: f64) -> Self {
         self.mean_batch = mean_batch;
         self
+    }
+
+    /// Attaches the per-replica utilization breakdown.
+    pub fn with_replica_utilization(mut self, replica_utilization: Vec<Vec<f64>>) -> Self {
+        self.replica_utilization = replica_utilization;
+        self
+    }
+
+    /// Largest absolute difference between any replica's utilization
+    /// and its group's mean — a scalar imbalance summary (0.0 for
+    /// single-replica runs and perfectly balanced clusters).
+    pub fn replica_imbalance(&self) -> f64 {
+        self.replica_utilization
+            .iter()
+            .flat_map(|group| {
+                let mean = group.iter().sum::<f64>() / group.len().max(1) as f64;
+                group.iter().map(move |u| (u - mean).abs())
+            })
+            .fold(0.0, f64::max)
     }
 
     /// p99 tail latency in seconds — the paper's SLA metric.

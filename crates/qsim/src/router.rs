@@ -1,0 +1,248 @@
+//! Replica routing: which replica of a [`ReplicaGroup`] serves a query.
+//!
+//! When a stage's resource group has more than one replica, every query
+//! arriving at that stage must be sent to exactly one replica's private
+//! queue — the load-balancer decision of a scale-out serving fleet. The
+//! [`Router`] trait makes that decision pluggable, orthogonal to *when*
+//! a replica launches a batch (the
+//! [`SchedulingPolicy`](crate::SchedulingPolicy) seam):
+//!
+//! * [`RoundRobin`] — cycle through replicas, oblivious to their state:
+//!   the baseline hardware load balancer;
+//! * [`JoinShortestQueue`] — send to the replica with the fewest
+//!   queued-plus-in-flight queries: the full-information ideal, at the
+//!   cost of inspecting every replica per decision;
+//! * [`PowerOfTwoChoices`] — sample two distinct replicas uniformly and
+//!   join the less loaded (the classic d=2 result: nearly all of JSQ's
+//!   tail benefit with two probes instead of N).
+//!
+//! Routers must be deterministic given the replica snapshots and the
+//! [`RouterState`]; all randomness flows through the state's seeded
+//! generator, so simulations reproduce bit-for-bit across runs and
+//! worker threads.
+//!
+//! [`ReplicaGroup`]: crate::ReplicaGroup
+
+/// Occupancy snapshot of one replica, offered to routers at decision
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaSnapshot {
+    /// Queries waiting in the replica's queue.
+    pub queued: usize,
+    /// Queries currently in service on the replica.
+    pub in_flight: usize,
+    /// Resource units currently free on the replica.
+    pub free_units: usize,
+}
+
+impl ReplicaSnapshot {
+    /// The replica's total outstanding queries — the load metric
+    /// [`JoinShortestQueue`] and [`PowerOfTwoChoices`] compare.
+    pub fn load(&self) -> usize {
+        self.queued + self.in_flight
+    }
+}
+
+/// Per-group mutable routing state owned by the simulator: a round-robin
+/// cursor and a seeded splitmix64 stream for randomized routers.
+///
+/// One `RouterState` exists per resource group per simulation run, so
+/// routers themselves stay immutable and shareable across runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterState {
+    next: usize,
+    rng: u64,
+}
+
+impl RouterState {
+    /// Creates routing state seeded for one resource group.
+    pub fn new(seed: u64) -> Self {
+        Self { next: 0, rng: seed }
+    }
+
+    /// Advances the round-robin cursor over `n` replicas and returns
+    /// the previous position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn cycle(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot cycle over zero replicas");
+        let at = self.next % n;
+        self.next = (at + 1) % n;
+        at
+    }
+
+    /// Draws the next value of the seeded splitmix64 stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Picks which replica of a resource group serves an arriving query.
+///
+/// Implementations must be deterministic functions of the snapshots and
+/// the state — identical inputs must produce identical choices, or
+/// simulation results stop being reproducible. All randomness must come
+/// from [`RouterState::next_u64`].
+///
+/// The returned index must be `< replicas.len()`; the simulator panics
+/// otherwise. `replicas` is never empty.
+pub trait Router: std::fmt::Debug + Send + Sync {
+    /// Short name for reports.
+    fn name(&self) -> String;
+
+    /// Chooses a replica index for one arriving query.
+    fn route(&self, replicas: &[ReplicaSnapshot], state: &mut RouterState) -> usize;
+}
+
+/// Round-robin routing: cycle through replicas in order, ignoring their
+/// occupancy — the oblivious baseline every stateful router is measured
+/// against. On single-replica groups (and therefore on every
+/// pre-cluster pipeline) it is the identity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRobin;
+
+impl Router for RoundRobin {
+    fn name(&self) -> String {
+        "round-robin".into()
+    }
+
+    fn route(&self, replicas: &[ReplicaSnapshot], state: &mut RouterState) -> usize {
+        state.cycle(replicas.len())
+    }
+}
+
+/// Join-the-shortest-queue routing: inspect every replica and join the
+/// one with the fewest outstanding queries (ties break toward the
+/// lowest index). The full-information upper bound on load-aware
+/// routing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinShortestQueue;
+
+impl Router for JoinShortestQueue {
+    fn name(&self) -> String {
+        "jsq".into()
+    }
+
+    fn route(&self, replicas: &[ReplicaSnapshot], state: &mut RouterState) -> usize {
+        let _ = state;
+        let mut best = 0;
+        for (i, r) in replicas.iter().enumerate().skip(1) {
+            if r.load() < replicas[best].load() {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Power-of-two-choices routing: sample two distinct replicas uniformly
+/// at random and join the less loaded (ties break toward the lower
+/// index). Mitzenmacher's d=2 result: an exponential improvement in
+/// maximum queue length over random/oblivious routing, with only two
+/// probes per query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PowerOfTwoChoices;
+
+impl Router for PowerOfTwoChoices {
+    fn name(&self) -> String {
+        "po2".into()
+    }
+
+    fn route(&self, replicas: &[ReplicaSnapshot], state: &mut RouterState) -> usize {
+        let n = replicas.len();
+        if n == 1 {
+            return 0;
+        }
+        let i = (state.next_u64() % n as u64) as usize;
+        let mut j = (state.next_u64() % (n as u64 - 1)) as usize;
+        if j >= i {
+            j += 1;
+        }
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        if replicas[hi].load() < replicas[lo].load() {
+            hi
+        } else {
+            lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(queued: usize, in_flight: usize) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            queued,
+            in_flight,
+            free_units: 0,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_in_order() {
+        let replicas = vec![snap(9, 9); 3];
+        let mut state = RouterState::new(0);
+        let picks: Vec<usize> = (0..7)
+            .map(|_| RoundRobin.route(&replicas, &mut state))
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn jsq_picks_least_loaded_with_stable_ties() {
+        let mut state = RouterState::new(0);
+        let replicas = vec![snap(3, 1), snap(0, 2), snap(1, 0)];
+        assert_eq!(JoinShortestQueue.route(&replicas, &mut state), 2);
+        // Ties break toward the lowest index.
+        let tied = vec![snap(1, 1), snap(2, 0), snap(0, 2)];
+        assert_eq!(JoinShortestQueue.route(&tied, &mut state), 0);
+    }
+
+    #[test]
+    fn po2_probes_two_distinct_replicas_and_joins_the_lighter() {
+        let mut state = RouterState::new(42);
+        // One empty replica among loaded ones: po2 must pick the empty
+        // one whenever it is probed, and always a valid index.
+        let replicas = vec![snap(5, 1), snap(0, 0), snap(5, 1), snap(5, 1)];
+        let mut hit_empty = 0;
+        for _ in 0..200 {
+            let pick = PowerOfTwoChoices.route(&replicas, &mut state);
+            assert!(pick < replicas.len());
+            if pick == 1 {
+                hit_empty += 1;
+            }
+        }
+        // Probability the empty replica is among the two probes is
+        // 1 - (3/4)(2/3) = 1/2; 200 draws make misses astronomically
+        // unlikely to stay below 60.
+        assert!(hit_empty > 60, "empty replica picked {hit_empty}/200");
+    }
+
+    #[test]
+    fn po2_on_single_replica_is_identity() {
+        let mut state = RouterState::new(7);
+        assert_eq!(PowerOfTwoChoices.route(&[snap(4, 4)], &mut state), 0);
+    }
+
+    #[test]
+    fn router_state_is_deterministic() {
+        let mut a = RouterState::new(9);
+        let mut b = RouterState::new(9);
+        let da: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let db: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(da, db);
+        assert_ne!(da[0], RouterState::new(10).next_u64());
+    }
+
+    #[test]
+    fn snapshot_load_sums_queued_and_in_flight() {
+        assert_eq!(snap(3, 2).load(), 5);
+    }
+}

@@ -1,29 +1,82 @@
 use serde::{Deserialize, Serialize};
 
-use crate::{simulate, SimResult};
+use crate::{simulate, Router, SimResult};
 
-/// A hardware pool with integer unit capacity (cores, devices,
-/// sub-arrays).
+/// A group of `replicas` identical hardware pools (cores, devices,
+/// sub-array groups), each with its own `capacity` units **and its own
+/// waiting queue**.
+///
+/// A single-replica group is exactly the pre-cluster `ResourceSpec`: one
+/// pool, one queue. With `replicas > 1` the simulator routes every query
+/// to one replica per stage (see [`Router`]); batches never span
+/// replicas, and work queued at one replica cannot be stolen by an idle
+/// sibling — the private-queue cost that distinguishes a scale-out fleet
+/// behind a load balancer from one big shared pool.
+///
+/// # Validation policy
+///
+/// Like every constructor in this crate, [`new`](Self::new) and
+/// [`replicated`](Self::replicated) panic on structurally invalid
+/// scalar arguments (zero capacity, zero replicas); cross-references
+/// between stages and resources are validated by
+/// [`PipelineSpec::with_stage`], which returns a [`SpecError`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ResourceSpec {
+pub struct ReplicaGroup {
     /// Human-readable name for reports.
     pub name: String,
-    /// Number of units that can be held concurrently.
+    /// Number of units one replica can hold concurrently.
     pub capacity: usize,
+    /// Number of identical replicas, each with its own queue. Defaults
+    /// to 1 on deserialization so pre-cluster serialized specs (which
+    /// lack the field) still round-trip.
+    #[serde(default = "default_one")]
+    pub replicas: usize,
 }
 
-impl ResourceSpec {
-    /// Creates a resource pool.
+/// Serde default for replica counts: the single-replica pre-cluster
+/// interpretation. Unused under the offline no-op serde shim, whose
+/// derives ignore the attribute that references it.
+#[allow(dead_code)]
+fn default_one() -> usize {
+    1
+}
+
+/// Compatibility alias: the pre-cluster name for a single-replica
+/// [`ReplicaGroup`]. `ResourceSpec::new(name, capacity)` still builds
+/// the one-pool resource every earlier API produced.
+pub type ResourceSpec = ReplicaGroup;
+
+impl ReplicaGroup {
+    /// Creates a single-replica resource pool (the pre-cluster
+    /// `ResourceSpec`).
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
     pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        Self::replicated(name, capacity, 1)
+    }
+
+    /// Creates a group of `replicas` identical pools of `capacity`
+    /// units each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `replicas == 0`.
+    pub fn replicated(name: impl Into<String>, capacity: usize, replicas: usize) -> Self {
         assert!(capacity > 0, "resource capacity must be positive");
+        assert!(replicas > 0, "replica count must be positive");
         Self {
             name: name.into(),
             capacity,
+            replicas,
         }
+    }
+
+    /// Total units across all replicas — the group's aggregate capacity
+    /// for stability math (a batch still runs on *one* replica).
+    pub fn total_units(&self) -> usize {
+        self.capacity * self.replicas
     }
 }
 
@@ -63,9 +116,22 @@ impl BatchModel {
 
     /// A batching model with the given size cap and marginal cost and no
     /// fixed overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0` or `marginal` is negative or not
+    /// finite — the same constructor-panics policy every other
+    /// constructor in this crate follows (earlier versions silently
+    /// clamped `max_batch`, hiding caller bugs that
+    /// [`ReplicaGroup::new`] would have reported).
     pub fn new(max_batch: usize, marginal: f64) -> Self {
+        assert!(max_batch > 0, "batch cap must be positive");
+        assert!(
+            marginal.is_finite() && marginal >= 0.0,
+            "marginal batch cost must be non-negative"
+        );
         Self {
-            max_batch: max_batch.max(1),
+            max_batch,
             marginal,
             overhead_s: 0.0,
         }
@@ -293,7 +359,7 @@ impl PipelineSpec {
     }
 
     /// Offered load (busy units x seconds per query) per resource — the
-    /// stability check `load_per_resource * qps <= capacity` predicts
+    /// stability check `load_per_resource * qps <= total_units` predicts
     /// saturation.
     pub fn unit_seconds_per_query(&self) -> Vec<f64> {
         let mut load = vec![0.0; self.resources.len()];
@@ -304,13 +370,13 @@ impl PipelineSpec {
     }
 
     /// Maximum sustainable throughput in QPS (the tightest resource
-    /// bottleneck), serving one query per launch.
+    /// bottleneck across all replicas), serving one query per launch.
     pub fn max_qps(&self) -> f64 {
         self.resources
             .iter()
             .zip(self.unit_seconds_per_query())
             .filter(|(_, load)| *load > 0.0)
-            .map(|(r, load)| r.capacity as f64 / load)
+            .map(|(r, load)| r.total_units() as f64 / load)
             .fold(f64::INFINITY, f64::min)
     }
 
@@ -332,13 +398,53 @@ impl PipelineSpec {
             .iter()
             .zip(self.amortized_unit_seconds_per_query())
             .filter(|(_, load)| *load > 0.0)
-            .map(|(r, load)| r.capacity as f64 / load)
+            .map(|(r, load)| r.total_units() as f64 / load)
             .fold(f64::INFINITY, f64::min)
     }
 
     /// Whether any stage aggregates queries into batches.
     pub fn has_batching(&self) -> bool {
         self.stages.iter().any(|s| s.batch.batches())
+    }
+
+    /// Whether any resource group has more than one replica (and a
+    /// [`Router`] therefore has real choices to make).
+    pub fn has_replication(&self) -> bool {
+        self.resources.iter().any(|r| r.replicas > 1)
+    }
+
+    /// Total replica count across all resource groups — the cluster's
+    /// hardware cost axis for replica-aware Pareto fronts.
+    pub fn total_replicas(&self) -> usize {
+        self.resources.iter().map(|r| r.replicas).sum()
+    }
+
+    /// Replaces the replica count of resource group `resource`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range or `replicas == 0`.
+    pub fn with_replicas(mut self, resource: usize, replicas: usize) -> Self {
+        assert!(replicas > 0, "replica count must be positive");
+        assert!(resource < self.resources.len(), "unknown resource group");
+        self.resources[resource].replicas = replicas;
+        self
+    }
+
+    /// Multiplies every resource group's replica count by `factor` —
+    /// how a whole-pipeline backend decomposition (e.g. an accelerator's
+    /// mem + lanes chain spec) is cloned when the backend itself is
+    /// replicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn scale_replicas(mut self, factor: usize) -> Self {
+        assert!(factor > 0, "replica factor must be positive");
+        for r in &mut self.resources {
+            r.replicas *= factor;
+        }
+        self
     }
 
     /// Sum of stage service times — the zero-load latency floor.
@@ -357,7 +463,8 @@ impl PipelineSpec {
     }
 
     /// Runs the batching-aware discrete-event simulation under an
-    /// arbitrary arrival process and scheduling policy.
+    /// arbitrary arrival process and scheduling policy, routing across
+    /// replicas with [`RoundRobin`](crate::RoundRobin).
     ///
     /// With per-query stages, the [`Fifo`](crate::Fifo) policy, and
     /// Poisson arrivals this reproduces [`simulate`](Self::simulate)
@@ -374,6 +481,27 @@ impl PipelineSpec {
         seed: u64,
     ) -> SimResult {
         crate::serve(self, arrivals, policy, num_queries, seed)
+    }
+
+    /// Runs the cluster-aware simulation with an explicit [`Router`]
+    /// choosing a replica per query at every stage.
+    ///
+    /// On a pipeline whose groups are all single-replica the router has
+    /// no choices and every router produces identical results — the
+    /// output matches [`serve`](Self::serve) exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline has no stages or `num_queries == 0`.
+    pub fn serve_routed(
+        &self,
+        arrivals: &dyn recpipe_data::ArrivalProcess,
+        policy: &dyn crate::SchedulingPolicy,
+        router: &dyn Router,
+        num_queries: usize,
+        seed: u64,
+    ) -> SimResult {
+        crate::serve_routed(self, arrivals, policy, router, num_queries, seed)
     }
 }
 

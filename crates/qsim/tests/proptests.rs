@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use recpipe_data::{ClosedLoopArrivals, MmppArrivals, PoissonArrivals};
 use recpipe_qsim::{
-    BatchModel, BatchWindow, EarliestDeadlineFirst, Fifo, PipelineSpec, ResourceSpec,
-    SchedulingPolicy, StageSpec,
+    BatchModel, BatchWindow, EarliestDeadlineFirst, Fifo, JoinShortestQueue, PipelineSpec,
+    PowerOfTwoChoices, ReplicaGroup, ResourceSpec, RoundRobin, Router, SchedulingPolicy, StageSpec,
 };
 
 fn pipeline(servers: usize, stages: Vec<f64>) -> PipelineSpec {
@@ -38,6 +38,32 @@ fn policy_for(idx: usize) -> Box<dyn SchedulingPolicy> {
         1 => Box::new(BatchWindow::new(0.002)),
         _ => Box::new(EarliestDeadlineFirst::new(0.05)),
     }
+}
+
+fn router_for(idx: usize) -> Box<dyn Router> {
+    match idx % 3 {
+        0 => Box::new(RoundRobin),
+        1 => Box::new(JoinShortestQueue),
+        _ => Box::new(PowerOfTwoChoices),
+    }
+}
+
+fn replicated_pipeline(
+    replicas: usize,
+    capacity: usize,
+    stages: Vec<f64>,
+    max_batch: usize,
+) -> PipelineSpec {
+    let mut spec = PipelineSpec::new(vec![ReplicaGroup::replicated("fleet", capacity, replicas)]);
+    for (i, s) in stages.into_iter().enumerate() {
+        spec = spec
+            .with_stage(
+                StageSpec::new(format!("s{i}"), 0, 1, s)
+                    .with_batch(BatchModel::new(max_batch, 0.25)),
+            )
+            .unwrap();
+    }
+    spec
 }
 
 /// The pre-refactor simulator, frozen verbatim (modulo the removed
@@ -356,6 +382,89 @@ proptest! {
         for u in &out.utilization {
             prop_assert!((0.0..=1.0).contains(u), "utilization {u}");
         }
+    }
+
+    // --------------------------------------------------------------
+    // qsim v3: replica groups and routers
+    // --------------------------------------------------------------
+
+    #[test]
+    fn single_replica_routed_serving_reproduces_the_reference_for_every_router(
+        servers in 1usize..8,
+        s1 in 1u64..10,
+        s2 in 1u64..10,
+        qps in 10.0f64..900.0,
+        queries in 200usize..1000,
+        router_idx in 0usize..3,
+        seed in 0u64..300,
+    ) {
+        // The cluster redesign's compatibility contract: on pipelines
+        // whose groups are all single-replica, `serve_routed` under ANY
+        // router is bit-identical to the frozen pre-redesign simulator
+        // (the router has no choices to make and must not perturb event
+        // order, RNG state, or accounting).
+        let spec = pipeline(servers, vec![s1 as f64 / 1e3, s2 as f64 / 1e3]);
+        let old = reference::simulate(&spec, qps, queries, seed);
+        let router = router_for(router_idx);
+        let new = spec.serve_routed(
+            &PoissonArrivals::new(qps),
+            &Fifo,
+            router.as_ref(),
+            queries,
+            seed,
+        );
+        prop_assert_eq!(old, new);
+    }
+
+    #[test]
+    fn every_query_completes_on_replicated_clusters(
+        replicas in 1usize..6,
+        capacity in 1usize..4,
+        max_batch in 1usize..12,
+        policy_idx in 0usize..3,
+        router_idx in 0usize..3,
+        queries in 100usize..600,
+        seed in 0u64..100,
+    ) {
+        // Conservation across the full cluster matrix: replicas x
+        // policies x routers x batching. The simulator's debug
+        // assertions (units available before every launch, free <=
+        // per-replica capacity after every release) are active here,
+        // so any cross-replica unit leak panics the property.
+        let spec = replicated_pipeline(replicas, capacity, vec![0.004, 0.002], max_batch);
+        let policy = policy_for(policy_idx);
+        let router = router_for(router_idx);
+        let arrivals = MmppArrivals::new(100.0, 800.0, 0.2, 0.1);
+        let out = spec.serve_routed(&arrivals, policy.as_ref(), router.as_ref(), queries, seed);
+        prop_assert_eq!(out.completed, queries);
+        prop_assert!(out.mean_batch >= 1.0 - 1e-12);
+        prop_assert!(out.mean_batch <= max_batch as f64 + 1e-12);
+        for u in &out.utilization {
+            prop_assert!((0.0..=1.0).contains(u), "utilization {u}");
+        }
+        if replicas > 1 {
+            prop_assert_eq!(out.replica_utilization.len(), 1);
+            prop_assert_eq!(out.replica_utilization[0].len(), replicas);
+            for u in &out.replica_utilization[0] {
+                prop_assert!((0.0..=1.0).contains(u), "replica utilization {u}");
+            }
+        } else {
+            prop_assert!(out.replica_utilization.is_empty());
+        }
+    }
+
+    #[test]
+    fn routed_serving_is_deterministic(
+        replicas in 2usize..6,
+        router_idx in 0usize..3,
+        seed in 0u64..200,
+    ) {
+        let spec = replicated_pipeline(replicas, 1, vec![0.003, 0.006], 4);
+        let router = router_for(router_idx);
+        let arrivals = PoissonArrivals::new(150.0);
+        let a = spec.serve_routed(&arrivals, &Fifo, router.as_ref(), 500, seed);
+        let b = spec.serve_routed(&arrivals, &Fifo, router.as_ref(), 500, seed);
+        prop_assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Cluster-of-replicas serving: replicated backends behind pluggable
+//! routers, and a scheduler sweep that co-optimizes replica counts.
+//!
+//! The paper's datacenter-scale story serves millions of users across
+//! fleets of CPUs and accelerators. This example scales the two-stage
+//! Criteo pipeline out instead of up:
+//!
+//! * a 4-replica GPU fleet absorbs an offered load that saturates the
+//!   single-pool engine;
+//! * three routers split the same traffic — oblivious round-robin,
+//!   full-information join-shortest-queue, and power-of-two-choices
+//!   sampling — and the tail shows what replica-state awareness buys;
+//! * a replica-count sweep produces a three-objective Pareto front:
+//!   quality vs p99 vs total replica cost.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example cluster_serving
+//! ```
+
+use recpipe::core::{Engine, PipelineConfig, Placement, StageConfig, Table};
+use recpipe::data::PoissonArrivals;
+use recpipe::models::ModelKind;
+use recpipe::qsim::{
+    Fifo, JoinShortestQueue, PipelineSpec, PowerOfTwoChoices, ReplicaGroup, RoundRobin, Router,
+    StageSpec,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pipeline = PipelineConfig::builder()
+        .stage(StageConfig::new(ModelKind::RmSmall, 4096, 256))
+        .stage(StageConfig::new(ModelKind::RmLarge, 256, 64))
+        .build()?;
+
+    // --- Scale-out: one GPU vs a 4-replica GPU fleet -----------------
+    let single = Engine::commodity(pipeline.clone())
+        .placement(Placement::gpu_only(2))
+        .quality_queries(100)
+        .build()?;
+    let fleet = Engine::commodity(pipeline.clone())
+        .placement(Placement::gpu_only(2))
+        .replicas(1, 4)
+        .quality_queries(100)
+        .build()?;
+    let overload = single.max_qps() * 2.0;
+    println!(
+        "Single {} capacity: {:.0} QPS; fleet {} capacity: {:.0} QPS; offered: {:.0} QPS",
+        single.placement().describe(single.backends()),
+        single.max_qps(),
+        fleet.placement().describe(fleet.backends()),
+        fleet.max_qps(),
+        overload,
+    );
+    let arrivals = PoissonArrivals::new(overload);
+    let alone = single.serve_with(&arrivals, &Fifo, 8_000);
+    println!(
+        "  single pool: saturated = {}, achieved {:.0} QPS\n",
+        alone.saturated, alone.qps
+    );
+
+    // --- Router comparison on a mixed-job-size fleet -----------------
+    // Short frontend + 5x backend on one replicated worker fleet at
+    // rho = 0.9: the scenario where replica-state awareness pays.
+    let mixed = PipelineSpec::new(vec![ReplicaGroup::replicated("worker", 1, 4)])
+        .with_stage(StageSpec::new("front", 0, 1, 0.002))?
+        .with_stage(StageSpec::new("back", 0, 1, 0.010))?;
+    let qps = 0.9 * mixed.max_qps();
+    let hot = PoissonArrivals::new(qps);
+    let routers: Vec<Box<dyn Router>> = vec![
+        Box::new(RoundRobin),
+        Box::new(PowerOfTwoChoices),
+        Box::new(JoinShortestQueue),
+    ];
+    let mut table = Table::new(vec!["router", "p50 (ms)", "p99 (ms)", "QPS", "imbalance"]);
+    println!(
+        "Router comparison: 4-replica worker fleet, mixed 2 ms/10 ms stages, rho = 0.9 ({qps:.0} QPS)"
+    );
+    for router in &routers {
+        let mut out = mixed.serve_routed(&hot, &Fifo, router.as_ref(), 20_000, 7);
+        table.row(vec![
+            router.name(),
+            format!("{:.2}", out.p50_seconds() * 1e3),
+            format!("{:.2}", out.p99_seconds() * 1e3),
+            format!("{:.0}", out.qps),
+            format!("{:.3}", out.replica_imbalance()),
+        ]);
+    }
+    println!("{table}");
+
+    // --- Replica-count sweep: quality vs p99 vs cost -----------------
+    let mut settings = recpipe::core::SchedulerSettings::quick();
+    settings.replica_options = vec![1, 2, 4];
+    settings.max_stages = 2;
+    let sweeper = Engine::commodity(pipeline)
+        .placement(Placement::cpu_only(2))
+        .load(2_000.0)
+        .build()?;
+    let front = sweeper.sweep(&settings);
+    let mut pareto = Table::new(vec!["pipeline", "mapping", "cost", "NDCG %", "p99 (ms)"]);
+    for p in front.iter() {
+        pareto.row(vec![
+            p.pipeline.describe(),
+            p.mapping.clone(),
+            format!("{}", p.replicas),
+            format!("{:.2}", p.ndcg_percent()),
+            format!("{:.2}", p.p99_ms()),
+        ]);
+    }
+    println!("Replica-aware Pareto front at 2000 QPS (quality x p99 x replica cost):");
+    println!("{pareto}");
+    println!("Reading the results:");
+    println!(
+        "  - replication turns a saturating single pool into a stable fleet at the same load;"
+    );
+    println!("  - JSQ routes around replicas grinding long backend queries; round-robin keeps");
+    println!("    feeding them blindly, and d=2 sampling recovers most of JSQ's tail win with");
+    println!("    two probes per query;");
+    println!("  - the cost axis keeps small clusters on the front: a 1-replica design that meets");
+    println!("    quality at higher p99 is not dominated by a 4-replica design that halves it.");
+    Ok(())
+}

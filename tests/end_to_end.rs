@@ -235,6 +235,67 @@ fn serving_core_matrix_end_to_end() {
 }
 
 #[test]
+fn cluster_of_replicas_end_to_end() {
+    // The cluster redesign across the full stack: a replicated
+    // commodity fleet absorbs load that saturates the single-pool
+    // engine, and load-aware routing beats oblivious round-robin at
+    // high utilization.
+    use recpipe::data::PoissonArrivals;
+    use recpipe::qsim::{Fifo, JoinShortestQueue, RoundRobin};
+
+    let single = Engine::commodity(two_stage(256))
+        .placement(Placement::gpu_only(2))
+        .quality_queries(20)
+        .build()
+        .unwrap();
+    let overload = single.max_qps() * 2.0;
+    assert!(single.evaluate_at(overload).saturated);
+
+    let fleet = Engine::commodity(two_stage(256))
+        .placement(Placement::gpu_only(2))
+        .replicas(1, 4)
+        .quality_queries(20)
+        .build()
+        .unwrap();
+    assert_eq!(fleet.cluster().replicas(), &[1, 4]);
+    let arrivals = PoissonArrivals::new(overload);
+    let rr = fleet.serve_routed(&arrivals, &Fifo, &RoundRobin, 6_000);
+    let jsq = fleet.serve_routed(&arrivals, &Fifo, &JoinShortestQueue, 6_000);
+    assert!(!rr.saturated && !jsq.saturated);
+    assert_eq!(rr.completed, 6_000);
+    assert_eq!(jsq.completed, 6_000);
+    // Four GPU replicas are visible in the per-replica breakdown.
+    assert_eq!(rr.replica_utilization[1].len(), 4);
+}
+
+#[test]
+fn trace_replay_end_to_end_reproduces_recorded_poisson_traffic() {
+    // An open-loop run is fully determined by its arrival schedule:
+    // recording a Poisson schedule and replaying it through
+    // TraceArrivals must reproduce the simulation bit-for-bit. The
+    // seed is pinned through the builder because `serve_with` passes
+    // the engine seed to the arrival process — the recording must use
+    // the same one.
+    use recpipe::data::{ArrivalProcess, PoissonArrivals, TraceArrivals};
+    use recpipe::qsim::Fifo;
+
+    let seed = 42;
+    let engine = Engine::commodity(two_stage(256))
+        .placement(Placement::cpu_only(2))
+        .quality_queries(20)
+        .seed(seed)
+        .build()
+        .unwrap();
+    let poisson = PoissonArrivals::new(300.0);
+    let recorded = TraceArrivals::new(poisson.times(1_500, seed));
+    let live = engine.serve_with(&poisson, &Fifo, 1_500);
+    let replayed = engine.serve_with(&recorded, &Fifo, 1_500);
+    assert_eq!(live.latency, replayed.latency);
+    assert_eq!(live.qps, replayed.qps);
+    assert_eq!(live.completed, replayed.completed);
+}
+
+#[test]
 fn closed_loop_serving_end_to_end_obeys_littles_law() {
     use recpipe::data::ClosedLoopArrivals;
     use recpipe::qsim::Fifo;

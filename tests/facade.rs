@@ -68,6 +68,37 @@ fn batched_serving_through_facade() {
 }
 
 #[test]
+fn cluster_routing_through_facade() {
+    use recpipe::data::PoissonArrivals;
+    use recpipe::qsim::{
+        Fifo, JoinShortestQueue, PowerOfTwoChoices, ReplicaGroup, RoundRobin, Router,
+    };
+
+    let spec = PipelineSpec::new(vec![ReplicaGroup::replicated("worker", 2, 3)])
+        .with_stage(StageSpec::new("rank", 0, 1, 0.004))
+        .unwrap();
+    assert_eq!(spec.resources()[0].total_units(), 6);
+    let routers: Vec<Box<dyn Router>> = vec![
+        Box::new(RoundRobin),
+        Box::new(JoinShortestQueue),
+        Box::new(PowerOfTwoChoices),
+    ];
+    for router in &routers {
+        let out = spec.serve_routed(&PoissonArrivals::new(400.0), &Fifo, router.as_ref(), 800, 1);
+        assert_eq!(out.completed, 800, "{}", router.name());
+        assert_eq!(out.replica_utilization[0].len(), 3);
+    }
+}
+
+#[test]
+fn trace_arrivals_through_facade() {
+    use recpipe::data::{ArrivalProcess, TraceArrivals};
+    let trace = TraceArrivals::new(vec![0.0, 0.5, 1.0, 1.5]).with_rate(8.0);
+    assert!((trace.mean_rate() - 8.0).abs() < 1e-9);
+    assert_eq!(trace.times(8, 0).len(), 8);
+}
+
+#[test]
 fn models_and_hwsim_through_facade() {
     let cfg = ModelConfig::for_kind(ModelKind::RmMed, recpipe::data::DatasetKind::CriteoKaggle);
     let work = StageWork::new(cfg, 1024);
