@@ -1,12 +1,18 @@
 //! Criterion bench: the discrete-event queueing simulator — the backbone
 //! of every at-scale experiment — in its legacy per-query form, the
-//! batching-aware v2 serving core, and the v3 cluster-of-replicas loop.
+//! batching-aware v2 serving core, the v3 cluster-of-replicas loop, and
+//! the scheduler's cluster sweep under full vs successive-halving
+//! budgets.
+
+use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use recpipe_core::{Backend, Scheduler, SchedulerSettings, SweepBudget};
 use recpipe_data::{MmppArrivals, PoissonArrivals};
+use recpipe_hwsim::{CpuModel, PcieModel};
 use recpipe_qsim::{
-    BatchModel, BatchWindow, Fifo, JoinShortestQueue, PipelineSpec, PowerOfTwoChoices,
-    ReplicaGroup, ResourceSpec, RoundRobin, Router, StageSpec,
+    BatchModel, BatchWindow, Fifo, JoinShortestQueue, LeastWorkLeft, PipelineSpec,
+    PowerOfTwoChoices, ReplicaGroup, ResourceSpec, RoundRobin, Router, StageSpec,
 };
 
 fn two_stage() -> PipelineSpec {
@@ -67,10 +73,11 @@ fn bench_qsim_cluster(c: &mut Criterion) {
     let arrivals = PoissonArrivals::new(0.9 * spec.max_qps());
 
     let mut group = c.benchmark_group("qsim_cluster");
-    let routers: [(&str, &dyn Router); 3] = [
+    let routers: [(&str, &dyn Router); 4] = [
         ("round_robin", &RoundRobin),
         ("jsq", &JoinShortestQueue),
         ("po2", &PowerOfTwoChoices),
+        ("least_work", &LeastWorkLeft),
     ];
     for (name, router) in routers {
         group.bench_function(format!("routed_10000q/{name}"), |b| {
@@ -80,5 +87,55 @@ fn bench_qsim_cluster(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_qsim, bench_qsim_v2, bench_qsim_cluster);
+fn bench_cluster_sweep(c: &mut Criterion) {
+    // The scheduler's replica-grid sweep: the cross product that
+    // motivated budget pruning. One worker isolates simulation work
+    // from thread-pool scheduling; minimal quality sampling keeps the
+    // focus on the queueing simulations the budgets control.
+    let mut settings = SchedulerSettings::quick();
+    settings.quality_queries = 5;
+    settings.sim_queries = 6_000;
+    settings.replica_options = vec![1, 2, 4];
+    settings.workers = Some(1);
+    let pool: Vec<Arc<dyn Backend>> = vec![Arc::new(CpuModel::cascade_lake())];
+    let interconnect = PcieModel::measured();
+
+    let mut group = c.benchmark_group("sweep");
+    let full = Scheduler::new(settings.clone());
+    group.bench_function("replica_grid/full", |b| {
+        b.iter(|| {
+            black_box(full.explore_pool_with_stats(
+                black_box(2_000.0),
+                2,
+                &pool,
+                1,
+                None,
+                &interconnect,
+            ))
+        })
+    });
+    settings.sweep_budget = SweepBudget::halving(settings.sim_queries);
+    let halving = Scheduler::new(settings);
+    group.bench_function("replica_grid/halving", |b| {
+        b.iter(|| {
+            black_box(halving.explore_pool_with_stats(
+                black_box(2_000.0),
+                2,
+                &pool,
+                1,
+                None,
+                &interconnect,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_qsim,
+    bench_qsim_v2,
+    bench_qsim_cluster,
+    bench_cluster_sweep
+);
 criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! CI bench smoke check: re-times the two hottest queueing-simulator
+//! benches and fails (non-zero exit) if either regressed more than 2x
+//! against the checked-in `BENCH_pr4.json` baseline.
+//!
+//! Baselines were recorded on one developer machine, while CI runs on
+//! shared runners with very different single-core throughput — so
+//! comparing absolute wall-clock would gate on machine identity, not
+//! on the code. To factor the machine out, the binary first times a
+//! fixed CPU-bound *calibration* workload (pure integer mixing, no
+//! simulator code) whose baseline is recorded alongside the bench
+//! baselines; each bench's threshold is scaled by the
+//! measured/baseline calibration ratio. A runner half as fast as the
+//! recording machine is expected to take ~2x on calibration and
+//! benches alike, leaving the regression ratio near 1. The 2x
+//! threshold on top of that is deliberately generous — only a genuine
+//! hot-loop regression (an accidental re-introduction of per-event
+//! allocation, a heap blow-up) trips it. Run locally with:
+//!
+//! ```text
+//! cargo run --release -p recpipe-bench --bin bench_smoke
+//! ```
+
+use std::time::{Duration, Instant};
+
+use recpipe_data::PoissonArrivals;
+use recpipe_qsim::{Fifo, JoinShortestQueue, PipelineSpec, ReplicaGroup, ResourceSpec, StageSpec};
+
+/// Largest tolerated machine-normalized measured/baseline ratio.
+const MAX_REGRESSION: f64 = 2.0;
+
+/// Bounds on the calibration-derived machine speed factor: scaling is
+/// allowed to absorb up to a 4x-slower or 4x-faster machine, beyond
+/// which something other than CPU speed is wrong and the raw ratio
+/// should surface it.
+const MACHINE_FACTOR_RANGE: (f64, f64) = (0.25, 4.0);
+
+/// Fixed CPU-bound calibration workload: a splitmix64 mixing loop that
+/// exercises no simulator code, so its runtime tracks the machine, not
+/// the repository. Must stay byte-for-byte stable across PRs or
+/// recorded calibration baselines lose meaning.
+fn calibration_workload() -> u64 {
+    let mut z: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut acc: u64 = 0;
+    for _ in 0..2_000_000u32 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        acc ^= x ^ (x >> 31);
+    }
+    acc
+}
+
+/// Times `f` the way the criterion shim does: a short warmup to size
+/// the measurement window, then mean wall-clock over that window.
+fn measure_ns_per_iter(mut f: impl FnMut()) -> f64 {
+    let warmup = Duration::from_millis(50);
+    let start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while start.elapsed() < warmup {
+        f();
+        warm_iters += 1;
+    }
+    let per_iter = start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+    let target = Duration::from_millis(400);
+    let iters = ((target.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(10, 1_000_000);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Extracts `benches.<name>.ns_per_iter` from the baseline JSON with a
+/// dependency-free string scan (the offline serde shim cannot parse).
+fn baseline_ns_per_iter(json: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\"");
+    let at = json.find(&key)?;
+    let tail = &json[at + key.len()..];
+    let field = "\"ns_per_iter\":";
+    let at = tail.find(field)?;
+    let tail = tail[at + field.len()..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn two_stage() -> PipelineSpec {
+    // Mirrors benches/queueing_sim.rs `qsim/two_stage_10000q`.
+    PipelineSpec::new(vec![
+        ResourceSpec::new("cpu", 64),
+        ResourceSpec::new("gpu", 1),
+    ])
+    .with_stage(StageSpec::new("front", 1, 1, 0.0012))
+    .expect("valid stage")
+    .with_stage(StageSpec::new("back", 0, 2, 0.008))
+    .expect("valid stage")
+}
+
+fn jsq_fleet() -> PipelineSpec {
+    // Mirrors benches/queueing_sim.rs `qsim_cluster/routed_10000q/jsq`.
+    PipelineSpec::new(vec![ReplicaGroup::replicated("worker", 1, 4)])
+        .with_stage(StageSpec::new("front", 0, 1, 0.002))
+        .expect("valid stage")
+        .with_stage(StageSpec::new("back", 0, 1, 0.010))
+        .expect("valid stage")
+}
+
+fn main() {
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json");
+    let json = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+
+    // Machine normalization: how much slower/faster this machine runs
+    // the fixed calibration loop than the baseline recorder did.
+    let cal_name = "bench_smoke/calibration";
+    let cal_baseline = baseline_ns_per_iter(&json, cal_name)
+        .unwrap_or_else(|| panic!("baseline for {cal_name} missing from {baseline_path}"));
+    let cal_measured = measure_ns_per_iter(|| {
+        std::hint::black_box(calibration_workload());
+    });
+    let machine_factor =
+        (cal_measured / cal_baseline).clamp(MACHINE_FACTOR_RANGE.0, MACHINE_FACTOR_RANGE.1);
+    println!(
+        "{cal_name}: {cal_measured:.0} ns/iter vs baseline {cal_baseline:.0} \
+         (machine factor x{machine_factor:.2})"
+    );
+
+    let spec = two_stage();
+    let fleet = jsq_fleet();
+    let arrivals = PoissonArrivals::new(0.9 * fleet.max_qps());
+    type Check = (&'static str, Box<dyn FnMut()>);
+    let checks: Vec<Check> = vec![
+        (
+            "qsim/two_stage_10000q",
+            Box::new(move || {
+                std::hint::black_box(spec.simulate(300.0, 10_000, 7));
+            }),
+        ),
+        (
+            "qsim_cluster/routed_10000q/jsq",
+            Box::new(move || {
+                std::hint::black_box(fleet.serve_routed(
+                    &arrivals,
+                    &Fifo,
+                    &JoinShortestQueue,
+                    10_000,
+                    7,
+                ));
+            }),
+        ),
+    ];
+
+    let mut failed = false;
+    for (name, f) in checks {
+        let baseline = baseline_ns_per_iter(&json, name)
+            .unwrap_or_else(|| panic!("baseline for {name} missing from {baseline_path}"));
+        let measured = measure_ns_per_iter(f);
+        let ratio = measured / (baseline * machine_factor);
+        let verdict = if ratio > MAX_REGRESSION {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{name}: {measured:.0} ns/iter vs baseline {baseline:.0} \
+             (normalized x{ratio:.2}) {verdict}"
+        );
+    }
+    if failed {
+        eprintln!(
+            "bench smoke failed: a hot-loop bench regressed more than {MAX_REGRESSION}x \
+             after machine normalization"
+        );
+        std::process::exit(1);
+    }
+}

@@ -1118,6 +1118,27 @@ mod tests {
     }
 
     #[test]
+    fn halving_sweep_through_the_engine_is_worker_count_independent() {
+        // `Engine::sweep` honors the settings' budget; rung survivor
+        // selection depends only on candidate-seeded results, so the
+        // pruned front is identical across worker counts.
+        let mut settings = crate::SchedulerSettings::quick();
+        settings.replica_options = vec![1, 2];
+        settings.sweep_budget = crate::SweepBudget::halving(settings.sim_queries);
+        let engine = Engine::commodity(two_stage())
+            .placement(Placement::cpu_only(2))
+            .load(400.0)
+            .build()
+            .unwrap();
+        settings.workers = Some(1);
+        let serial = engine.sweep(&settings);
+        settings.workers = Some(4);
+        let parallel = engine.sweep(&settings);
+        assert!(!serial.is_empty());
+        assert_eq!(serial.points(), parallel.points());
+    }
+
+    #[test]
     fn parallel_sweep_matches_serial_pareto_front() {
         // The worker pool must not change results: same candidates, same
         // per-candidate seeds, same Pareto front — only wall-clock moves.

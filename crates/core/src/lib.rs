@@ -51,8 +51,6 @@
 mod backend;
 mod engine;
 mod parallel;
-#[cfg(feature = "legacy")]
-mod perf;
 mod pipeline;
 mod quality;
 mod report;
@@ -65,14 +63,8 @@ pub use backend::{
 };
 pub use engine::{Engine, EngineBuilder, EngineError, Outcome};
 pub use parallel::{parallel_map, worker_threads};
-#[cfg(feature = "legacy")]
-#[allow(deprecated)]
-pub use perf::{Mapping, PerformanceEvaluator, StagePlacement};
 pub use pipeline::{PipelineBuilder, PipelineConfig, PipelineError};
 pub use quality::{QualityEvaluator, QualityReport};
 pub use report::Table;
-#[cfg(feature = "legacy")]
-#[allow(deprecated)]
-pub use scheduler::DesignPoint;
-pub use scheduler::{candidate_seed, Scheduler, SchedulerSettings};
+pub use scheduler::{candidate_seed, Scheduler, SchedulerSettings, SweepBudget, SweepStats};
 pub use stage::StageConfig;

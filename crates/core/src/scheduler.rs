@@ -6,6 +6,7 @@ use recpipe_data::{DatasetKind, DatasetSpec};
 use recpipe_hwsim::{CpuModel, GpuModel, PcieModel};
 use recpipe_metrics::{Dominance, ParetoFront};
 use recpipe_models::ModelKind;
+use recpipe_qsim::SimResult;
 use serde::{Deserialize, Serialize};
 
 use crate::backend::{build_spec, Backend, Placement, StageSite};
@@ -45,6 +46,85 @@ pub struct SchedulerSettings {
     /// available core; `Some(1)` = serial). Results are deterministic
     /// and identical across worker counts.
     pub workers: Option<usize>,
+    /// How the sweep spends its simulation budget: exhaustively
+    /// ([`SweepBudget::Full`], the default — every candidate simulated
+    /// at `sim_queries`) or with successive-halving early termination
+    /// ([`SweepBudget::Halving`]).
+    pub sweep_budget: SweepBudget,
+}
+
+/// How a sweep spends its per-candidate simulation budget.
+///
+/// The replica cross product ([`SchedulerSettings::replica_options`])
+/// multiplies the placement grid, and most of that grid is nowhere near
+/// the Pareto front; halving prunes it with cheap low-budget
+/// simulations before spending the full budget on contenders.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum SweepBudget {
+    /// Simulate every candidate at the full
+    /// [`sim_queries`](SchedulerSettings::sim_queries) budget — the
+    /// exhaustive pre-halving behavior, reproduced
+    /// candidate-for-candidate.
+    #[default]
+    Full,
+    /// Successive halving: simulate every candidate at `min_queries`,
+    /// keep the rung's entire non-dominated quality/latency/cost front
+    /// plus the best of the rest up to `survivor_fraction` of the pool
+    /// (ranked by successive Pareto fronts, ties broken by enumeration
+    /// order), double the budget, and repeat until the budget reaches
+    /// `sim_queries`. Survivors' final outcomes are simulated at the
+    /// full budget with their [`candidate_seed`], so every returned
+    /// point is bit-identical to what [`SweepBudget::Full`] would have
+    /// produced for that candidate — halving can only *omit* points
+    /// (when a low-budget rung misranks an eventual front member), not
+    /// distort them.
+    Halving {
+        /// Per-candidate simulated queries on the first rung (clamped
+        /// up to at least 1 and down to `sim_queries`).
+        min_queries: usize,
+        /// Fraction of each rung's pool promoted to the next rung, in
+        /// `(0, 1]`. The rung's whole non-dominated front survives
+        /// regardless, so the front can exceed the fraction.
+        survivor_fraction: f64,
+    },
+}
+
+impl SweepBudget {
+    /// The default halving schedule for a sweep simulating
+    /// `sim_queries` per candidate: start at an eighth of the full
+    /// budget (but at least 100 queries) and promote the best 40% per
+    /// rung. The non-dominated-front floor lifts the effective survivor
+    /// count to roughly half the pool in practice, which lands the
+    /// four-rung schedule at or under half the exhaustive sweep's
+    /// simulated queries.
+    pub fn halving(sim_queries: usize) -> Self {
+        SweepBudget::Halving {
+            min_queries: (sim_queries / 8).max(100),
+            survivor_fraction: 0.4,
+        }
+    }
+}
+
+/// Cost accounting for one sweep's simulation phase (quality
+/// evaluations are budgeted separately and cached per pipeline).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// Candidates enumerated (pipeline x placement x replica variants
+    /// that passed the analytic stability pre-check).
+    pub candidates: u64,
+    /// Queueing simulations run across all rungs.
+    pub simulations: u64,
+    /// Total simulated queries across those simulations — the sweep's
+    /// dominant cost, since every simulated query costs the same
+    /// event-loop work whichever rung it runs in.
+    pub simulated_queries: u64,
+}
+
+impl SweepStats {
+    fn add_rung(&mut self, simulations: usize, queries_each: usize) {
+        self.simulations += simulations as u64;
+        self.simulated_queries += (simulations * queries_each) as u64;
+    }
 }
 
 /// Derives the simulation seed of candidate `index` from the settings'
@@ -76,6 +156,7 @@ impl SchedulerSettings {
             sim_queries: 3_000,
             seed: 77,
             workers: None,
+            sweep_budget: SweepBudget::Full,
         }
     }
 
@@ -94,15 +175,47 @@ impl SchedulerSettings {
             sim_queries: 800,
             seed: 77,
             workers: None,
+            sweep_budget: SweepBudget::Full,
         }
     }
 }
 
-/// Deprecated name for the scheduler's evaluated design point; the
-/// scheduler now emits the same [`Outcome`] the `Engine` returns.
-#[cfg(feature = "legacy")]
-#[deprecated(since = "0.1.0", note = "use `Outcome`")]
-pub type DesignPoint = Outcome;
+/// One enumerated sweep candidate awaiting simulation: a pipeline, its
+/// placement description, its (already evaluated) quality, and the
+/// queueing spec to simulate. The candidate's position in the
+/// enumeration order fixes its [`candidate_seed`] across budgets.
+struct Candidate {
+    pipeline: PipelineConfig,
+    mapping: String,
+    ndcg: f64,
+    replicas: usize,
+    spec: recpipe_qsim::PipelineSpec,
+}
+
+/// One candidate's provisional standing after a halving rung.
+struct RungPoint {
+    idx: usize,
+    p99_s: f64,
+    ndcg: f64,
+    replicas: usize,
+    saturated: bool,
+}
+
+impl RungPoint {
+    /// Whether `self` Pareto-dominates `other` on (p99 min, ndcg max,
+    /// replica cost min) — the same axes
+    /// [`Scheduler::pareto_with_cost`] ranks final outcomes on (and,
+    /// with all costs equal, exactly [`Scheduler::pareto`]'s 2D
+    /// dominance).
+    fn dominates(&self, other: &Self) -> bool {
+        self.p99_s <= other.p99_s
+            && self.ndcg >= other.ndcg
+            && self.replicas <= other.replicas
+            && (self.p99_s < other.p99_s
+                || self.ndcg > other.ndcg
+                || self.replicas < other.replicas)
+    }
+}
 
 /// The RecPipe inference scheduler: exhaustively explores multi-stage
 /// parameters (Step 1) and hardware placements (Step 2), evaluating
@@ -344,8 +457,26 @@ impl Scheduler {
         sla_s: Option<f64>,
         interconnect: &PcieModel,
     ) -> Vec<Outcome> {
+        self.explore_pool_with_stats(qps, max_stages, pool, sub_batches, sla_s, interconnect)
+            .0
+    }
+
+    /// [`explore_pool`](Self::explore_pool), also returning the sweep's
+    /// simulation-cost accounting — how budget pruning
+    /// ([`SweepBudget::Halving`]) compares against the exhaustive
+    /// sweep.
+    pub fn explore_pool_with_stats(
+        &self,
+        qps: f64,
+        max_stages: usize,
+        pool: &[Arc<dyn Backend>],
+        sub_batches: usize,
+        sla_s: Option<f64>,
+        interconnect: &PcieModel,
+    ) -> (Vec<Outcome>, SweepStats) {
         let mut quality_cache = HashMap::new();
-        self.explore_pool_cached(
+        let mut stats = SweepStats::default();
+        let points = self.explore_pool_cached(
             qps,
             max_stages,
             pool,
@@ -353,8 +484,10 @@ impl Scheduler {
             sla_s,
             interconnect,
             &mut quality_cache,
+            &mut stats,
             |_| true,
-        )
+        );
+        (points, stats)
     }
 
     /// [`explore_pool`](Self::explore_pool) with a caller-owned quality
@@ -377,6 +510,7 @@ impl Scheduler {
         sla_s: Option<f64>,
         interconnect: &PcieModel,
         quality_cache: &mut HashMap<PipelineConfig, f64>,
+        stats: &mut SweepStats,
         keep: impl Fn(&PipelineConfig) -> bool,
     ) -> Vec<Outcome> {
         let workers = worker_threads(self.settings.workers);
@@ -403,13 +537,6 @@ impl Scheduler {
 
         // Phase 2: enumerate candidates serially (cheap, deterministic
         // order), then simulate each in parallel with its own seed.
-        struct Candidate {
-            pipeline: PipelineConfig,
-            mapping: String,
-            ndcg: f64,
-            replicas: usize,
-            spec: recpipe_qsim::PipelineSpec,
-        }
         let mut candidates = Vec::new();
         for pipeline in &pipelines {
             let ndcg = quality_cache[pipeline];
@@ -434,17 +561,40 @@ impl Scheduler {
             }
         }
 
-        let base_seed = self.settings.seed;
         let sim_queries = self.settings.sim_queries;
-        let sims = parallel_map(&candidates, workers, |i, c| {
-            c.spec
-                .simulate(qps, sim_queries, candidate_seed(base_seed, i as u64))
-        });
+        stats.candidates += candidates.len() as u64;
 
-        candidates
+        // Phase 3: spend the simulation budget. `Full` is the
+        // degenerate single-rung schedule (first rung already at the
+        // full budget, so nothing is ever pruned); `Halving` climbs
+        // geometrically growing rungs first. Either way, every returned
+        // result was produced at the full budget with the candidate's
+        // own enumeration-indexed seed, so a candidate's outcome is
+        // identical under both budgets.
+        let results: Vec<(usize, SimResult)> = match self.settings.sweep_budget {
+            SweepBudget::Full => {
+                self.simulate_rungs(&candidates, qps, workers, sim_queries, 1.0, stats)
+            }
+            SweepBudget::Halving {
+                min_queries,
+                survivor_fraction,
+            } => self.simulate_rungs(
+                &candidates,
+                qps,
+                workers,
+                min_queries,
+                survivor_fraction,
+                stats,
+            ),
+        };
+
+        // Each candidate index appears at most once in `results`, so
+        // its pipeline/mapping move straight into the outcome.
+        let mut candidates: Vec<Option<Candidate>> = candidates.into_iter().map(Some).collect();
+        results
             .into_iter()
-            .zip(sims)
-            .map(|(c, mut sim)| {
+            .map(|(i, mut sim)| {
+                let c = candidates[i].take().expect("candidate consumed once");
                 let p99_s = sim.p99_seconds();
                 Outcome {
                     pipeline: c.pipeline,
@@ -460,6 +610,106 @@ impl Scheduler {
                 }
             })
             .collect()
+    }
+
+    /// Runs the rung-based simulation schedule over an enumerated
+    /// candidate list: every rung simulates the surviving pool at the
+    /// current budget, keeps the rung's non-dominated front plus the
+    /// best of the rest (successive Pareto ranks, enumeration order
+    /// breaking ties) up to `survivor_fraction`, and doubles the
+    /// budget; the final rung runs at the full `sim_queries`. A first
+    /// rung already at `sim_queries` is the [`SweepBudget::Full`]
+    /// degenerate case — one rung, nothing pruned. Returns
+    /// `(candidate index, full-budget result)` pairs in enumeration
+    /// order.
+    ///
+    /// Candidates keep their enumeration-indexed [`candidate_seed`] on
+    /// every rung, so a survivor's final simulation is bit-identical to
+    /// the one [`SweepBudget::Full`] would have run.
+    fn simulate_rungs(
+        &self,
+        candidates: &[Candidate],
+        qps: f64,
+        workers: usize,
+        min_queries: usize,
+        survivor_fraction: f64,
+        stats: &mut SweepStats,
+    ) -> Vec<(usize, SimResult)> {
+        assert!(
+            survivor_fraction > 0.0 && survivor_fraction <= 1.0,
+            "survivor fraction must be in (0, 1]"
+        );
+        let full = self.settings.sim_queries;
+        let base_seed = self.settings.seed;
+        let mut alive: Vec<usize> = (0..candidates.len()).collect();
+        let mut budget = min_queries.max(1).min(full);
+        loop {
+            let final_rung = budget >= full;
+            let rung_queries = if final_rung { full } else { budget };
+            let mut sims = parallel_map(&alive, workers, |_, &idx| {
+                candidates[idx].spec.simulate(
+                    qps,
+                    rung_queries,
+                    candidate_seed(base_seed, idx as u64),
+                )
+            });
+            stats.add_rung(alive.len(), rung_queries);
+            if final_rung {
+                return alive.into_iter().zip(sims).collect();
+            }
+            let ranked: Vec<RungPoint> = alive
+                .iter()
+                .zip(sims.iter_mut())
+                .map(|(&idx, sim)| RungPoint {
+                    idx,
+                    p99_s: sim.p99_seconds(),
+                    ndcg: candidates[idx].ndcg,
+                    replicas: candidates[idx].replicas,
+                    saturated: sim.saturated,
+                })
+                .collect();
+            alive = Self::select_survivors(&ranked, survivor_fraction);
+            budget *= 2;
+        }
+    }
+
+    /// Picks a rung's survivors: the whole non-dominated front of the
+    /// non-saturated points, then successive fronts (enumeration order
+    /// within a front) until `survivor_fraction` of the pool is kept;
+    /// saturated points fill any remainder so a borderline run
+    /// misflagged at a low budget is not lost for good. Returned
+    /// indices are sorted into enumeration order.
+    fn select_survivors(ranked: &[RungPoint], survivor_fraction: f64) -> Vec<usize> {
+        let target = ((ranked.len() as f64 * survivor_fraction).ceil() as usize).max(1);
+        let mut pool: Vec<usize> = (0..ranked.len())
+            .filter(|&i| !ranked[i].saturated)
+            .collect();
+        let mut survivors: Vec<usize> = Vec::with_capacity(target);
+        let mut first_front = true;
+        while !pool.is_empty() && (first_front || survivors.len() < target) {
+            let front: Vec<usize> = pool
+                .iter()
+                .copied()
+                .filter(|&i| !pool.iter().any(|&j| ranked[j].dominates(&ranked[i])))
+                .collect();
+            for &i in &front {
+                if first_front || survivors.len() < target {
+                    survivors.push(ranked[i].idx);
+                }
+            }
+            pool.retain(|i| !front.contains(i));
+            first_front = false;
+        }
+        let fill = target.saturating_sub(survivors.len());
+        survivors.extend(
+            ranked
+                .iter()
+                .filter(|p| p.saturated)
+                .take(fill)
+                .map(|p| p.idx),
+        );
+        survivors.sort_unstable();
+        survivors
     }
 
     /// Explores CPU-only execution (paper Section 5.1).
@@ -488,6 +738,7 @@ impl Scheduler {
         let spec = DatasetSpec::for_kind(self.settings.dataset);
         let interconnect = PcieModel::measured();
         let mut quality_cache = HashMap::new();
+        let mut stats = SweepStats::default();
         let mut points = Vec::new();
         for partition in partitions {
             let accel =
@@ -502,6 +753,7 @@ impl Scheduler {
                 None,
                 &interconnect,
                 &mut quality_cache,
+                &mut stats,
                 |p| !monolithic || p.num_stages() == 1,
             ));
         }
@@ -534,14 +786,6 @@ impl Scheduler {
             ],
             |p| vec![p.p99_s, p.ndcg, p.replicas as f64],
         )
-    }
-
-    /// Deprecated alias for [`pareto`](Self::pareto) returning a bare
-    /// `Vec`.
-    #[cfg(feature = "legacy")]
-    #[deprecated(since = "0.1.0", note = "use `Scheduler::pareto`")]
-    pub fn pareto_quality_latency(points: Vec<Outcome>) -> Vec<Outcome> {
-        Self::pareto(points).into_vec()
     }
 
     /// The highest-quality stable design meeting a latency SLA.
@@ -746,5 +990,153 @@ mod tests {
     fn hetero_exploration_includes_gpu_mappings() {
         let points = scheduler().explore_hetero(100.0, 2);
         assert!(points.iter().any(|p| p.mapping.contains("gpu")));
+    }
+
+    #[test]
+    fn halving_sweep_halves_cost_and_preserves_the_pareto_front() {
+        // The PR-4 acceptance: over a replica-options grid, successive
+        // halving spends at most half the exhaustive sweep's simulated
+        // queries yet returns the same Pareto-optimal placements — and
+        // every point it returns is bit-identical to the corresponding
+        // full-budget point (same candidate seed, same final budget).
+        let mut settings = SchedulerSettings::quick();
+        settings.replica_options = vec![1, 2, 4];
+        let pool: Vec<Arc<dyn Backend>> = vec![Arc::new(CpuModel::cascade_lake())];
+        let interconnect = PcieModel::measured();
+        let qps = 2_000.0;
+
+        let (full_points, full_stats) = Scheduler::new(settings.clone()).explore_pool_with_stats(
+            qps,
+            2,
+            &pool,
+            1,
+            None,
+            &interconnect,
+        );
+
+        settings.sweep_budget = SweepBudget::halving(settings.sim_queries);
+        let (half_points, half_stats) =
+            Scheduler::new(settings).explore_pool_with_stats(qps, 2, &pool, 1, None, &interconnect);
+
+        assert_eq!(half_stats.candidates, full_stats.candidates);
+        assert!(
+            half_stats.simulated_queries * 2 <= full_stats.simulated_queries,
+            "halving spent {} simulated queries vs full's {}",
+            half_stats.simulated_queries,
+            full_stats.simulated_queries
+        );
+        assert!(half_stats.simulations < full_stats.simulations * 3);
+
+        // Every halving point is a bit-identical member of the full
+        // sweep's point set...
+        assert!(!half_points.is_empty());
+        for p in &half_points {
+            assert!(
+                full_points.contains(p),
+                "halving point {} ({}) not in the full sweep",
+                p.pipeline.describe(),
+                p.mapping
+            );
+        }
+        // ...and the Pareto fronts coincide exactly.
+        let full_front = Scheduler::pareto_with_cost(full_points);
+        let half_front = Scheduler::pareto_with_cost(half_points);
+        assert_eq!(full_front.points(), half_front.points());
+    }
+
+    #[test]
+    fn full_budget_stats_account_every_candidate() {
+        let s = scheduler();
+        let pool: Vec<Arc<dyn Backend>> = vec![Arc::new(CpuModel::cascade_lake())];
+        let (points, stats) =
+            s.explore_pool_with_stats(150.0, 2, &pool, 1, None, &PcieModel::measured());
+        assert_eq!(stats.candidates as usize, points.len());
+        assert_eq!(stats.simulations, stats.candidates);
+        assert_eq!(
+            stats.simulated_queries,
+            stats.simulations * s.settings().sim_queries as u64
+        );
+    }
+
+    #[test]
+    fn halving_min_queries_at_full_budget_degenerates_to_full() {
+        // A first rung already at `sim_queries` is a single full rung:
+        // identical points, identical cost.
+        let mut settings = SchedulerSettings::quick();
+        settings.replica_options = vec![1, 2];
+        let pool: Vec<Arc<dyn Backend>> = vec![Arc::new(CpuModel::cascade_lake())];
+        let interconnect = PcieModel::measured();
+        let (full_points, full_stats) = Scheduler::new(settings.clone()).explore_pool_with_stats(
+            400.0,
+            1,
+            &pool,
+            1,
+            None,
+            &interconnect,
+        );
+        settings.sweep_budget = SweepBudget::Halving {
+            min_queries: settings.sim_queries,
+            survivor_fraction: 0.5,
+        };
+        let (degen_points, degen_stats) = Scheduler::new(settings).explore_pool_with_stats(
+            400.0,
+            1,
+            &pool,
+            1,
+            None,
+            &interconnect,
+        );
+        assert_eq!(full_points, degen_points);
+        assert_eq!(full_stats, degen_stats);
+    }
+
+    #[test]
+    fn survivor_selection_keeps_the_whole_front_and_fills_by_rank() {
+        let point = |idx, p99_s, ndcg, replicas, saturated| RungPoint {
+            idx,
+            p99_s,
+            ndcg,
+            replicas,
+            saturated,
+        };
+        // Front: 10 (fast/low-quality) and 12 (slow/high-quality);
+        // 11 is rank-2 (dominated only by 10); 13 is dominated twice
+        // over; 14 is saturated.
+        let ranked = vec![
+            point(10, 0.010, 0.90, 1, false),
+            point(11, 0.012, 0.89, 1, false),
+            point(12, 0.030, 0.95, 1, false),
+            point(13, 0.040, 0.88, 2, false),
+            point(14, 0.005, 0.99, 1, true),
+        ];
+        // A tiny fraction still keeps the full non-dominated front.
+        assert_eq!(Scheduler::select_survivors(&ranked, 0.2), vec![10, 12]);
+        // A larger fraction fills from the next Pareto rank.
+        assert_eq!(Scheduler::select_survivors(&ranked, 0.6), vec![10, 11, 12]);
+        // Saturated points only pad once stable ranks run out.
+        assert_eq!(
+            Scheduler::select_survivors(&ranked, 1.0),
+            vec![10, 11, 12, 13, 14]
+        );
+    }
+
+    #[test]
+    fn default_halving_schedule_is_an_eighth_with_half_survivors() {
+        assert_eq!(SweepBudget::default(), SweepBudget::Full);
+        match SweepBudget::halving(3_000) {
+            SweepBudget::Halving {
+                min_queries,
+                survivor_fraction,
+            } => {
+                assert_eq!(min_queries, 375);
+                assert!((survivor_fraction - 0.4).abs() < 1e-12);
+            }
+            SweepBudget::Full => panic!("expected a halving budget"),
+        }
+        // The 100-query floor engages for small sweeps.
+        match SweepBudget::halving(400) {
+            SweepBudget::Halving { min_queries, .. } => assert_eq!(min_queries, 100),
+            SweepBudget::Full => panic!("expected a halving budget"),
+        }
     }
 }

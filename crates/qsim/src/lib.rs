@@ -15,7 +15,8 @@
 //! * **Routing** is pluggable behind [`Router`]: when a group has more
 //!   than one replica, every query is routed to one replica per stage —
 //!   oblivious [`RoundRobin`], full-information [`JoinShortestQueue`],
-//!   or sampled [`PowerOfTwoChoices`]. Batches never span replicas.
+//!   sampled [`PowerOfTwoChoices`], or free-unit-driven
+//!   [`LeastWorkLeft`]. Batches never span replicas.
 //! * **Stages** consume `units` resource units per launch for a
 //!   deterministic service time. Each stage carries a [`BatchModel`]:
 //!   how many queries one launch may aggregate and how the batch's
@@ -75,7 +76,8 @@ mod spec;
 pub use policy::{BatchWindow, EarliestDeadlineFirst, Fifo, QueueEntry, Release, SchedulingPolicy};
 pub use result::SimResult;
 pub use router::{
-    JoinShortestQueue, PowerOfTwoChoices, ReplicaSnapshot, RoundRobin, Router, RouterState,
+    JoinShortestQueue, LeastWorkLeft, PowerOfTwoChoices, ReplicaLoads, ReplicaSnapshot, RoundRobin,
+    Router, RouterState,
 };
 pub use sim::{serve, serve_routed, simulate};
 pub use spec::{BatchModel, PipelineSpec, ReplicaGroup, ResourceSpec, SpecError, StageSpec};

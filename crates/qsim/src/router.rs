@@ -14,12 +14,26 @@
 //!   cost of inspecting every replica per decision;
 //! * [`PowerOfTwoChoices`] — sample two distinct replicas uniformly and
 //!   join the less loaded (the classic d=2 result: nearly all of JSQ's
-//!   tail benefit with two probes instead of N).
+//!   tail benefit with two probes instead of N);
+//! * [`LeastWorkLeft`] — prefer the replica with the most free resource
+//!   units (it can start new work soonest), breaking ties by fewest
+//!   outstanding queries: the queue-length signal JSQ ignores.
 //!
 //! Routers must be deterministic given the replica snapshots and the
 //! [`RouterState`]; all randomness flows through the state's seeded
 //! generator, so simulations reproduce bit-for-bit across runs and
 //! worker threads.
+//!
+//! Routing sits on the simulator's hottest path (one decision per query
+//! per stage), so the trait has two entry points: the snapshot-based
+//! [`Router::route`] (the ergonomic, implement-this-first form) and the
+//! indexed [`Router::route_indexed`] fast path, which reads the
+//! simulator's incrementally-maintained per-replica counter arrays
+//! through a [`ReplicaLoads`] view without materializing a
+//! [`ReplicaSnapshot`] per replica per decision. The default
+//! `route_indexed` builds snapshots and delegates to `route`, so custom
+//! routers only implement one method; every built-in overrides it to
+//! read two integers per probe.
 //!
 //! [`ReplicaGroup`]: crate::ReplicaGroup
 
@@ -40,6 +54,80 @@ impl ReplicaSnapshot {
     /// [`JoinShortestQueue`] and [`PowerOfTwoChoices`] compare.
     pub fn load(&self) -> usize {
         self.queued + self.in_flight
+    }
+}
+
+/// Borrowed per-replica occupancy arrays for one resource group — the
+/// allocation-free form of the `&[ReplicaSnapshot]` slice handed to
+/// [`Router::route`].
+///
+/// The simulator maintains `queued`/`in_flight`/`free_units` as plain
+/// arrays updated incrementally on every enqueue, launch, and
+/// completion; [`Router::route_indexed`] probes them directly, so a
+/// JSQ decision over `n` replicas reads `2n` integers instead of
+/// building `n` snapshots.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaLoads<'a> {
+    queued: &'a [usize],
+    in_flight: &'a [usize],
+    free_units: &'a [usize],
+}
+
+impl<'a> ReplicaLoads<'a> {
+    /// Wraps one group's per-replica counter slices (index `i` of every
+    /// slice describes replica `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are empty or their lengths differ.
+    pub fn new(queued: &'a [usize], in_flight: &'a [usize], free_units: &'a [usize]) -> Self {
+        assert!(!queued.is_empty(), "replica group has no replicas");
+        assert!(
+            queued.len() == in_flight.len() && queued.len() == free_units.len(),
+            "replica counter arrays must have equal lengths"
+        );
+        Self {
+            queued,
+            in_flight,
+            free_units,
+        }
+    }
+
+    /// Number of replicas in the group (never zero).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// Queries waiting in replica `i`'s queue.
+    pub fn queued(&self, i: usize) -> usize {
+        self.queued[i]
+    }
+
+    /// Queries currently in service on replica `i`.
+    pub fn in_flight(&self, i: usize) -> usize {
+        self.in_flight[i]
+    }
+
+    /// Resource units currently free on replica `i`.
+    pub fn free_units(&self, i: usize) -> usize {
+        self.free_units[i]
+    }
+
+    /// Replica `i`'s total outstanding queries (the
+    /// [`ReplicaSnapshot::load`] metric).
+    pub fn load(&self, i: usize) -> usize {
+        self.queued[i] + self.in_flight[i]
+    }
+
+    /// Materializes replica `i`'s [`ReplicaSnapshot`] (the slow-path
+    /// bridge used by the default [`Router::route_indexed`]).
+    pub fn snapshot(&self, i: usize) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            queued: self.queued[i],
+            in_flight: self.in_flight[i],
+            free_units: self.free_units[i],
+        }
     }
 }
 
@@ -98,6 +186,22 @@ pub trait Router: std::fmt::Debug + Send + Sync {
 
     /// Chooses a replica index for one arriving query.
     fn route(&self, replicas: &[ReplicaSnapshot], state: &mut RouterState) -> usize;
+
+    /// Fast-path form of [`route`](Self::route): chooses a replica by
+    /// probing the simulator's per-replica counter arrays directly.
+    ///
+    /// The default builds a snapshot per replica and delegates to
+    /// `route`, so implementing `route` alone is always correct; the
+    /// built-in routers override this to avoid materializing snapshots
+    /// on the per-query hot path. An override must make exactly the
+    /// decision `route` would make on the equivalent snapshots
+    /// (including tie-breaking and [`RouterState`] consumption), or
+    /// `serve` and `serve_routed` results diverge between the two
+    /// entry points.
+    fn route_indexed(&self, loads: &ReplicaLoads<'_>, state: &mut RouterState) -> usize {
+        let snapshots: Vec<ReplicaSnapshot> = (0..loads.len()).map(|i| loads.snapshot(i)).collect();
+        self.route(&snapshots, state)
+    }
 }
 
 /// Round-robin routing: cycle through replicas in order, ignoring their
@@ -114,6 +218,10 @@ impl Router for RoundRobin {
 
     fn route(&self, replicas: &[ReplicaSnapshot], state: &mut RouterState) -> usize {
         state.cycle(replicas.len())
+    }
+
+    fn route_indexed(&self, loads: &ReplicaLoads<'_>, state: &mut RouterState) -> usize {
+        state.cycle(loads.len())
     }
 }
 
@@ -135,6 +243,20 @@ impl Router for JoinShortestQueue {
         for (i, r) in replicas.iter().enumerate().skip(1) {
             if r.load() < replicas[best].load() {
                 best = i;
+            }
+        }
+        best
+    }
+
+    fn route_indexed(&self, loads: &ReplicaLoads<'_>, state: &mut RouterState) -> usize {
+        let _ = state;
+        let mut best = 0;
+        let mut best_load = loads.load(0);
+        for i in 1..loads.len() {
+            let load = loads.load(i);
+            if load < best_load {
+                best = i;
+                best_load = load;
             }
         }
         best
@@ -170,6 +292,91 @@ impl Router for PowerOfTwoChoices {
         } else {
             lo
         }
+    }
+
+    fn route_indexed(&self, loads: &ReplicaLoads<'_>, state: &mut RouterState) -> usize {
+        let n = loads.len();
+        if n == 1 {
+            return 0;
+        }
+        let i = (state.next_u64() % n as u64) as usize;
+        let mut j = (state.next_u64() % (n as u64 - 1)) as usize;
+        if j >= i {
+            j += 1;
+        }
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        if loads.load(hi) < loads.load(lo) {
+            hi
+        } else {
+            lo
+        }
+    }
+}
+
+/// Least-work-left routing: join the replica with the most free
+/// resource units — the one that can start new work soonest — breaking
+/// ties by fewest outstanding queries ([`ReplicaSnapshot::load`]), then
+/// by lowest index.
+///
+/// This is the router that finally uses
+/// [`ReplicaSnapshot::free_units`]: on batched fleets, query counts
+/// mislead — a replica with eight queries riding *one* in-service batch
+/// will free all of them at once and holds no more units than a replica
+/// grinding one long query — while free units directly measure how much
+/// of the replica's capacity is already spoken for. On per-query
+/// single-unit fleets it degenerates toward JSQ (free units and load
+/// are complementary), so the interesting comparisons are batched and
+/// multi-unit groups. Measured on those
+/// (`examples/cluster_serving.rs`): funneling arrivals toward
+/// startable replicas forms the deepest batches of any router, but
+/// [`JoinShortestQueue`]'s query count remains the better *tail
+/// latency* signal at high utilization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeastWorkLeft;
+
+impl LeastWorkLeft {
+    /// Whether replica `(free_b, load_b)` beats `(free_a, load_a)`:
+    /// more free units, or equal units and fewer outstanding queries.
+    fn better(free_a: usize, load_a: usize, free_b: usize, load_b: usize) -> bool {
+        free_b > free_a || (free_b == free_a && load_b < load_a)
+    }
+}
+
+impl Router for LeastWorkLeft {
+    fn name(&self) -> String {
+        "least-work".into()
+    }
+
+    fn route(&self, replicas: &[ReplicaSnapshot], state: &mut RouterState) -> usize {
+        let _ = state;
+        let mut best = 0;
+        for (i, r) in replicas.iter().enumerate().skip(1) {
+            if Self::better(
+                replicas[best].free_units,
+                replicas[best].load(),
+                r.free_units,
+                r.load(),
+            ) {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn route_indexed(&self, loads: &ReplicaLoads<'_>, state: &mut RouterState) -> usize {
+        let _ = state;
+        let mut best = 0;
+        for i in 1..loads.len() {
+            if Self::better(
+                loads.free_units(best),
+                loads.load(best),
+                loads.free_units(i),
+                loads.load(i),
+            ) {
+                best = i;
+            }
+        }
+        best
     }
 }
 
@@ -244,5 +451,87 @@ mod tests {
     #[test]
     fn snapshot_load_sums_queued_and_in_flight() {
         assert_eq!(snap(3, 2).load(), 5);
+    }
+
+    fn snap_free(queued: usize, in_flight: usize, free_units: usize) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            queued,
+            in_flight,
+            free_units,
+        }
+    }
+
+    #[test]
+    fn least_work_left_prefers_free_units_then_fewest_outstanding() {
+        let mut state = RouterState::new(0);
+        // Most free units wins even against a shorter queue.
+        let replicas = vec![snap_free(0, 1, 0), snap_free(3, 2, 2), snap_free(1, 1, 1)];
+        assert_eq!(LeastWorkLeft.route(&replicas, &mut state), 1);
+        // Equal free units: fewest outstanding queries breaks the tie.
+        let tied_units = vec![snap_free(4, 0, 1), snap_free(1, 1, 1), snap_free(0, 3, 1)];
+        assert_eq!(LeastWorkLeft.route(&tied_units, &mut state), 1);
+        // Full ties resolve to the lowest index.
+        let all_tied = vec![snap_free(1, 1, 1); 3];
+        assert_eq!(LeastWorkLeft.route(&all_tied, &mut state), 0);
+    }
+
+    #[test]
+    fn indexed_routing_matches_snapshot_routing_for_every_builtin() {
+        // The fast path must make the identical decision (and consume
+        // identical RouterState randomness) as the snapshot path.
+        let routers: [&dyn Router; 4] = [
+            &RoundRobin,
+            &JoinShortestQueue,
+            &PowerOfTwoChoices,
+            &LeastWorkLeft,
+        ];
+        let queued = [3usize, 0, 5, 1, 2];
+        let in_flight = [1usize, 2, 0, 1, 4];
+        let free_units = [0usize, 2, 1, 3, 1];
+        let snapshots: Vec<ReplicaSnapshot> = (0..queued.len())
+            .map(|i| snap_free(queued[i], in_flight[i], free_units[i]))
+            .collect();
+        for router in routers {
+            let mut a = RouterState::new(99);
+            let mut b = RouterState::new(99);
+            for _ in 0..64 {
+                let via_snapshots = router.route(&snapshots, &mut a);
+                let via_loads = router
+                    .route_indexed(&ReplicaLoads::new(&queued, &in_flight, &free_units), &mut b);
+                assert_eq!(via_snapshots, via_loads, "router {}", router.name());
+            }
+            assert_eq!(a, b, "router {} diverged RouterState", router.name());
+        }
+    }
+
+    #[test]
+    fn default_route_indexed_delegates_to_route() {
+        // A custom router implementing only `route` gets a correct
+        // indexed path for free.
+        #[derive(Debug)]
+        struct LastReplica;
+        impl Router for LastReplica {
+            fn name(&self) -> String {
+                "last".into()
+            }
+            fn route(&self, replicas: &[ReplicaSnapshot], _state: &mut RouterState) -> usize {
+                replicas.len() - 1
+            }
+        }
+        let queued = [0usize, 0, 0];
+        let in_flight = [0usize; 3];
+        let free_units = [1usize; 3];
+        let mut state = RouterState::new(0);
+        let pick = LastReplica.route_indexed(
+            &ReplicaLoads::new(&queued, &in_flight, &free_units),
+            &mut state,
+        );
+        assert_eq!(pick, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn replica_loads_rejects_mismatched_arrays() {
+        ReplicaLoads::new(&[1, 2], &[0], &[1, 1]);
     }
 }

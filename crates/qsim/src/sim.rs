@@ -6,7 +6,7 @@ use recpipe_data::{ArrivalProcess, PoissonArrivals};
 use recpipe_metrics::{LatencyStats, ThroughputMeter};
 
 use crate::{
-    Fifo, PipelineSpec, QueueEntry, Release, ReplicaSnapshot, RoundRobin, Router, RouterState,
+    Fifo, PipelineSpec, QueueEntry, Release, ReplicaLoads, RoundRobin, Router, RouterState,
     SchedulingPolicy, SimResult, StageSpec,
 };
 
@@ -20,7 +20,10 @@ enum EventKind {
     /// Batch `batch` finishes service, releasing its units.
     Complete { batch: usize },
     /// A scheduling policy asked to re-examine replica slot `slot`.
-    Recheck { slot: usize },
+    /// The event is live only while `gen` matches the slot's timer
+    /// generation — superseded timers are cancelled lazily (skipped at
+    /// pop) instead of scanned.
+    Recheck { slot: usize, gen: u64 },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,7 +61,10 @@ struct Batch {
     queries: BatchQueries,
 }
 
-/// Batch membership, allocation-free in the dominant per-query case.
+/// Batch membership: allocation-free in the dominant per-query case,
+/// and backed by a pooled buffer (recycled at completion) for real
+/// batches, so the steady-state event loop allocates nothing per
+/// launch.
 #[derive(Debug, Clone)]
 enum BatchQueries {
     One(usize),
@@ -161,23 +167,33 @@ struct Sim<'a> {
     slot_group: Vec<usize>,
     /// Replica count per group (cached off the spec for the hot path).
     group_replicas: Vec<usize>,
-    /// Per-slot free units.
+    /// Per-slot free units (router signal, maintained incrementally).
     free: Vec<usize>,
     /// Per-slot waiting entries, kept sorted by (policy priority,
     /// admission seq) — FIFO inserts are O(1) appends.
     waiting: Vec<VecDeque<QueueEntry>>,
+    /// Per-slot waiting-entry counts, mirrored off `waiting` so router
+    /// probes read one contiguous array (see [`ReplicaLoads`]).
+    queued: Vec<usize>,
     /// Per-slot queries currently in service (the router's load signal).
     in_flight: Vec<usize>,
     /// Per-slot earliest armed policy recheck, if any.
     armed: Vec<Option<f64>>,
+    /// Per-slot timer generation: bumped whenever a recheck is armed,
+    /// so superseded `Recheck` events cancel lazily at pop.
+    timer_gen: Vec<u64>,
     /// Busy unit-seconds per slot for utilization accounting.
     busy_unit_seconds: Vec<f64>,
     /// Per-group router state (round-robin cursors, probe RNG).
     router_states: Vec<RouterState>,
-    /// Scratch buffer for replica snapshots handed to the router.
-    snapshots: Vec<ReplicaSnapshot>,
-    /// In-flight and completed batches (indexed by `Complete` events).
+    /// In-flight batches, indexed by `Complete` events; completed slots
+    /// are recycled through `free_batches` so the table stays at the
+    /// concurrency high-water mark instead of growing per launch.
     batches: Vec<Batch>,
+    /// Recyclable `batches` indices.
+    free_batches: Vec<usize>,
+    /// Spare query buffers recycled from completed multi-query batches.
+    query_pool: Vec<Vec<usize>>,
     finish_time: Vec<f64>,
     completed: usize,
     last_time: f64,
@@ -188,6 +204,18 @@ struct Sim<'a> {
     think_time_s: Option<f64>,
     /// Cached `policy.admit_on_arrival()` (consulted on every arrival).
     work_conserving: bool,
+    /// Number of schedule-driven arrivals (the `times()` prefix; seqs
+    /// `0..schedule_len` are reserved for them).
+    schedule_len: usize,
+    /// Whether the arrival schedule is staged lazily: one stage-0 event
+    /// in the heap at a time, each pop staging its successor. Keeping
+    /// the heap at the in-flight high-water mark instead of the full
+    /// query count cuts every push/pop from `log(queries)` to
+    /// `log(concurrency)`. Requires a nondecreasing schedule; unsorted
+    /// traces fall back to eager staging, which is bit-identical
+    /// because every schedule arrival's heap seq is preassigned to its
+    /// query index either way.
+    lazy_arrivals: bool,
 }
 
 impl<'a> Sim<'a> {
@@ -226,14 +254,17 @@ impl<'a> Sim<'a> {
             group_replicas: resources.iter().map(|r| r.replicas).collect(),
             free,
             waiting: vec![VecDeque::new(); num_slots],
+            queued: vec![0; num_slots],
             in_flight: vec![0; num_slots],
             armed: vec![None; num_slots],
+            timer_gen: vec![0; num_slots],
             busy_unit_seconds: vec![0.0; num_slots],
             router_states: (0..resources.len() as u64)
                 .map(|g| RouterState::new(seed ^ g.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
                 .collect(),
-            snapshots: Vec::new(),
             batches: Vec::new(),
+            free_batches: Vec::new(),
+            query_pool: Vec::new(),
             finish_time: vec![f64::NAN; num_queries],
             completed: 0,
             last_time: 0.0,
@@ -242,11 +273,16 @@ impl<'a> Sim<'a> {
             next_inject: 0,
             think_time_s: None,
             work_conserving: policy.admit_on_arrival(),
+            schedule_len: 0,
+            lazy_arrivals: false,
         };
 
-        // Inject the open-loop schedule up front; a closed loop starts
+        // Record the open-loop schedule up front; a closed loop starts
         // only its client population and derives the rest from
-        // completions.
+        // completions. Schedule arrival `q` always carries heap seq `q`
+        // (the counter resumes at `initial`), so staging events lazily
+        // or eagerly yields the same (time, seq) total order — the heap
+        // just stays small in the lazy case.
         let initial = match arrivals.closed_loop() {
             Some(cl) => {
                 sim.think_time_s = Some(cl.think_time_s);
@@ -254,8 +290,29 @@ impl<'a> Sim<'a> {
             }
             None => num_queries,
         };
-        for (query, t) in arrivals.times(initial, seed).into_iter().enumerate() {
-            sim.inject(query, t);
+        let times = arrivals.times(initial, seed);
+        for (query, &t) in times.iter().enumerate() {
+            sim.arrival_time[query] = t;
+        }
+        sim.seq = initial as u64;
+        sim.schedule_len = initial;
+        sim.lazy_arrivals = times.windows(2).all(|w| w[0] <= w[1]);
+        if sim.lazy_arrivals {
+            if let Some(&t0) = times.first() {
+                sim.heap.push(Event {
+                    time: t0,
+                    seq: 0,
+                    kind: EventKind::Arrive { query: 0, stage: 0 },
+                });
+            }
+        } else {
+            for (query, &t) in times.iter().enumerate() {
+                sim.heap.push(Event {
+                    time: t,
+                    seq: query as u64,
+                    kind: EventKind::Arrive { query, stage: 0 },
+                });
+            }
         }
         sim.next_inject = initial;
         sim
@@ -273,6 +330,10 @@ impl<'a> Sim<'a> {
 
     /// Routes a query arriving at `stage_idx` to one replica slot of
     /// the stage's resource group.
+    ///
+    /// Replicated groups go through [`Router::route_indexed`], probing
+    /// the incrementally-maintained `queued`/`in_flight`/`free` counter
+    /// arrays directly — no snapshot materialization per decision.
     fn route(&mut self, stage_idx: usize) -> usize {
         let group = self.stages[stage_idx].resource;
         let base = self.slot_base[group];
@@ -280,17 +341,15 @@ impl<'a> Sim<'a> {
         if replicas == 1 {
             return base;
         }
-        self.snapshots.clear();
-        for slot in base..base + replicas {
-            self.snapshots.push(ReplicaSnapshot {
-                queued: self.waiting[slot].len(),
-                in_flight: self.in_flight[slot],
-                free_units: self.free[slot],
-            });
-        }
+        debug_assert!((base..base + replicas).all(|s| self.queued[s] == self.waiting[s].len()));
+        let loads = ReplicaLoads::new(
+            &self.queued[base..base + replicas],
+            &self.in_flight[base..base + replicas],
+            &self.free[base..base + replicas],
+        );
         let pick = self
             .router
-            .route(&self.snapshots, &mut self.router_states[group]);
+            .route_indexed(&loads, &mut self.router_states[group]);
         assert!(
             pick < replicas,
             "router returned replica {pick} of {replicas}"
@@ -310,12 +369,23 @@ impl<'a> Sim<'a> {
         self.busy_unit_seconds[slot] += stage.units as f64 * service;
         self.launches += 1;
         self.served += queries.len() as u64;
-        let batch = self.batches.len();
-        self.batches.push(Batch {
+        let entry = Batch {
             stage: stage_idx,
             slot,
             queries,
-        });
+        };
+        // Recycle a completed batch slot when one is free; the table
+        // stays sized to the in-flight high-water mark.
+        let batch = match self.free_batches.pop() {
+            Some(idx) => {
+                self.batches[idx] = entry;
+                idx
+            }
+            None => {
+                self.batches.push(entry);
+                self.batches.len() - 1
+            }
+        };
         self.heap.push(Event {
             time: now + service,
             seq: self.seq,
@@ -340,38 +410,53 @@ impl<'a> Sim<'a> {
             at -= 1;
         }
         queue.insert(at, entry);
+        self.queued[slot] += 1;
     }
 
     /// Gathers up to `limit` waiting same-stage entries of one slot in
-    /// queue (priority) order, removes them, and returns their query
-    /// ids.
-    fn take_same_stage(&mut self, slot: usize, stage: usize, limit: usize) -> Vec<usize> {
+    /// queue (priority) order into `out`, removing them in one
+    /// compaction pass (no per-launch allocation, no quadratic
+    /// `remove` shifting; survivors keep their order).
+    fn take_same_stage_into(
+        &mut self,
+        slot: usize,
+        stage: usize,
+        limit: usize,
+        out: &mut Vec<usize>,
+    ) {
         let queue = &mut self.waiting[slot];
-        let mut picks: Vec<usize> = Vec::with_capacity(limit.min(queue.len()));
-        for i in 0..queue.len() {
-            if queue[i].stage == stage {
-                picks.push(i);
-                if picks.len() == limit {
-                    break;
+        let mut taken = 0usize;
+        let mut write = 0usize;
+        for read in 0..queue.len() {
+            if taken < limit && queue[read].stage == stage {
+                out.push(queue[read].query);
+                taken += 1;
+            } else {
+                if write != read {
+                    queue[write] = queue[read];
                 }
+                write += 1;
             }
         }
-        let queries: Vec<usize> = picks.iter().map(|&i| queue[i].query).collect();
-        // Remove picked entries, highest index first, preserving the
-        // order of the rest.
-        for &i in picks.iter().rev() {
-            queue.remove(i);
-        }
-        queries
+        queue.truncate(write);
+        self.queued[slot] -= taken;
     }
 
     /// Removes and returns the first waiting entry of `stage` — the
-    /// allocation-free single-query form of
-    /// [`take_same_stage`](Self::take_same_stage).
+    /// single-query form of
+    /// [`take_same_stage_into`](Self::take_same_stage_into).
     fn take_one_same_stage(&mut self, slot: usize, stage: usize) -> Option<usize> {
         let queue = &mut self.waiting[slot];
         let at = queue.iter().position(|e| e.stage == stage)?;
-        queue.remove(at).map(|e| e.query)
+        let taken = queue.remove(at).map(|e| e.query);
+        self.queued[slot] -= 1;
+        taken
+    }
+
+    /// Pops a recycled batch-query buffer (or a fresh one on the cold
+    /// path before the pool warms up).
+    fn pooled_buffer(&mut self) -> Vec<usize> {
+        self.query_pool.pop().unwrap_or_default()
     }
 
     /// The waiting entry with the lowest policy priority on `slot`.
@@ -410,13 +495,19 @@ impl<'a> Sim<'a> {
                     self.launch(now, head.stage, slot, queries);
                 }
                 Release::At(t) if t > now => {
-                    // Arm at most one pending recheck per slot.
+                    // Arm at most one live recheck per slot: arming an
+                    // earlier deadline bumps the generation, lazily
+                    // cancelling the superseded event still in the heap.
                     if self.armed[slot].is_none_or(|armed| t < armed) {
                         self.armed[slot] = Some(t);
+                        self.timer_gen[slot] += 1;
                         self.heap.push(Event {
                             time: t,
                             seq: self.seq,
-                            kind: EventKind::Recheck { slot },
+                            kind: EventKind::Recheck {
+                                slot,
+                                gen: self.timer_gen[slot],
+                            },
                         });
                         self.seq += 1;
                     }
@@ -440,7 +531,9 @@ impl<'a> Sim<'a> {
                     .expect("ready entry exists"),
             )
         } else {
-            BatchQueries::Many(self.take_same_stage(slot, stage, ready))
+            let mut buf = self.pooled_buffer();
+            self.take_same_stage_into(slot, stage, ready, &mut buf);
+            BatchQueries::Many(buf)
         }
     }
 
@@ -459,16 +552,20 @@ impl<'a> Sim<'a> {
             // Work-conserving admission: the arriving query starts
             // immediately (exactly the pre-batching behavior), pulling
             // waiting same-stage work on the same replica into its
-            // batch when allowed.
-            let mut batch = Vec::new();
-            if stage.batch.max_batch > 1 {
-                batch = self.take_same_stage(slot, stage_idx, stage.batch.max_batch - 1);
-            }
-            let queries = if batch.is_empty() {
-                BatchQueries::One(query)
+            // batch when allowed. The arriving query leads the batch.
+            let queries = if stage.batch.max_batch > 1 {
+                let mut buf = self.pooled_buffer();
+                buf.push(query);
+                self.take_same_stage_into(slot, stage_idx, stage.batch.max_batch - 1, &mut buf);
+                if buf.len() == 1 {
+                    buf.clear();
+                    self.query_pool.push(buf);
+                    BatchQueries::One(query)
+                } else {
+                    BatchQueries::Many(buf)
+                }
             } else {
-                batch.insert(0, query);
-                BatchQueries::Many(batch)
+                BatchQueries::One(query)
             };
             self.launch(now, stage_idx, slot, queries);
         } else {
@@ -499,6 +596,7 @@ impl<'a> Sim<'a> {
                 queries: BatchQueries::One(0),
             },
         );
+        self.free_batches.push(batch);
         let s = &self.stages[stage];
         self.free[slot] += s.units;
         self.in_flight[slot] -= queries.len();
@@ -508,10 +606,12 @@ impl<'a> Sim<'a> {
 
         match queries {
             BatchQueries::One(query) => self.route_onward(now, query, stage),
-            BatchQueries::Many(queries) => {
-                for query in queries {
+            BatchQueries::Many(mut queries) => {
+                for &query in queries.iter() {
                     self.route_onward(now, query, stage);
                 }
+                queries.clear();
+                self.query_pool.push(queries);
             }
         }
         self.dispatch(now, slot);
@@ -551,17 +651,38 @@ impl<'a> Sim<'a> {
             match event.kind {
                 EventKind::Arrive { query, stage } => {
                     self.last_time = now;
+                    // A lazily-staged schedule arrival stages its
+                    // successor (closed-loop re-injections sit past
+                    // `schedule_len` and never match).
+                    if self.lazy_arrivals && stage == 0 && query + 1 < self.schedule_len {
+                        let next = query + 1;
+                        self.heap.push(Event {
+                            time: self.arrival_time[next],
+                            seq: next as u64,
+                            kind: EventKind::Arrive {
+                                query: next,
+                                stage: 0,
+                            },
+                        });
+                    }
                     self.on_arrive(now, query, stage);
                 }
                 EventKind::Complete { batch } => {
                     self.last_time = now;
                     self.on_complete(now, batch);
                 }
-                EventKind::Recheck { slot } => {
-                    if self.armed[slot] == Some(now) {
+                EventKind::Recheck { slot, gen } => {
+                    // Lazy cancellation: only the latest-armed timer of
+                    // a slot dispatches. A superseded timer can never
+                    // launch anything a live recheck, arrival, or
+                    // completion would not have launched first (the
+                    // armed time is always at or before the head
+                    // entry's hold deadline), so skipping it changes
+                    // nothing but the wasted queue scan.
+                    if gen == self.timer_gen[slot] {
                         self.armed[slot] = None;
+                        self.dispatch(now, slot);
                     }
-                    self.dispatch(now, slot);
                 }
             }
         }

@@ -5,8 +5,9 @@
 use proptest::prelude::*;
 use recpipe_data::{ClosedLoopArrivals, MmppArrivals, PoissonArrivals};
 use recpipe_qsim::{
-    BatchModel, BatchWindow, EarliestDeadlineFirst, Fifo, JoinShortestQueue, PipelineSpec,
-    PowerOfTwoChoices, ReplicaGroup, ResourceSpec, RoundRobin, Router, SchedulingPolicy, StageSpec,
+    BatchModel, BatchWindow, EarliestDeadlineFirst, Fifo, JoinShortestQueue, LeastWorkLeft,
+    PipelineSpec, PowerOfTwoChoices, ReplicaGroup, ResourceSpec, RoundRobin, Router,
+    SchedulingPolicy, StageSpec,
 };
 
 fn pipeline(servers: usize, stages: Vec<f64>) -> PipelineSpec {
@@ -41,10 +42,11 @@ fn policy_for(idx: usize) -> Box<dyn SchedulingPolicy> {
 }
 
 fn router_for(idx: usize) -> Box<dyn Router> {
-    match idx % 3 {
+    match idx % 4 {
         0 => Box::new(RoundRobin),
         1 => Box::new(JoinShortestQueue),
-        _ => Box::new(PowerOfTwoChoices),
+        2 => Box::new(PowerOfTwoChoices),
+        _ => Box::new(LeastWorkLeft),
     }
 }
 
@@ -250,6 +252,524 @@ mod reference {
     }
 }
 
+/// The PR-3 cluster-aware event loop, frozen verbatim before the PR-4
+/// hot-loop rewrite (per-launch `Vec` allocations, snapshot-based
+/// routing, stale timer events that still dispatch, an append-only
+/// batch table). The equivalence property below pins the optimized
+/// loop to this behavior bit-for-bit across every router x policy x
+/// replica-count x batching combination.
+mod reference_routed {
+    use std::cmp::Ordering;
+    use std::collections::{BinaryHeap, VecDeque};
+    use std::time::Duration;
+
+    use recpipe_data::ArrivalProcess;
+    use recpipe_metrics::{LatencyStats, ThroughputMeter};
+    use recpipe_qsim::{
+        PipelineSpec, QueueEntry, Release, ReplicaSnapshot, Router, RouterState, SchedulingPolicy,
+        SimResult, StageSpec,
+    };
+
+    const WARMUP_FRACTION: f64 = 0.05;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum EventKind {
+        Arrive { query: usize, stage: usize },
+        Complete { batch: usize },
+        Recheck { slot: usize },
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct Event {
+        time: f64,
+        seq: u64,
+        kind: EventKind,
+    }
+
+    impl Eq for Event {}
+
+    impl Ord for Event {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .time
+                .partial_cmp(&self.time)
+                .unwrap_or(Ordering::Equal)
+                .then(other.seq.cmp(&self.seq))
+        }
+    }
+
+    impl PartialOrd for Event {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct Batch {
+        stage: usize,
+        slot: usize,
+        queries: BatchQueries,
+    }
+
+    #[derive(Debug, Clone)]
+    enum BatchQueries {
+        One(usize),
+        Many(Vec<usize>),
+    }
+
+    impl BatchQueries {
+        fn len(&self) -> usize {
+            match self {
+                BatchQueries::One(_) => 1,
+                BatchQueries::Many(v) => v.len(),
+            }
+        }
+    }
+
+    pub fn serve_routed(
+        spec: &PipelineSpec,
+        arrivals: &dyn ArrivalProcess,
+        policy: &dyn SchedulingPolicy,
+        router: &dyn Router,
+        num_queries: usize,
+        seed: u64,
+    ) -> SimResult {
+        assert!(!spec.stages().is_empty(), "pipeline has no stages");
+        assert!(num_queries > 0, "need at least one query");
+        Sim::new(spec, arrivals, policy, router, num_queries, seed).run()
+    }
+
+    struct Sim<'a> {
+        spec: &'a PipelineSpec,
+        stages: &'a [StageSpec],
+        policy: &'a dyn SchedulingPolicy,
+        arrivals: &'a dyn ArrivalProcess,
+        router: &'a dyn Router,
+        num_queries: usize,
+        heap: BinaryHeap<Event>,
+        seq: u64,
+        arrival_time: Vec<f64>,
+        slot_base: Vec<usize>,
+        group_replicas: Vec<usize>,
+        free: Vec<usize>,
+        waiting: Vec<VecDeque<QueueEntry>>,
+        in_flight: Vec<usize>,
+        armed: Vec<Option<f64>>,
+        busy_unit_seconds: Vec<f64>,
+        router_states: Vec<RouterState>,
+        snapshots: Vec<ReplicaSnapshot>,
+        batches: Vec<Batch>,
+        finish_time: Vec<f64>,
+        completed: usize,
+        last_time: f64,
+        launches: u64,
+        served: u64,
+        next_inject: usize,
+        think_time_s: Option<f64>,
+        work_conserving: bool,
+    }
+
+    impl<'a> Sim<'a> {
+        fn new(
+            spec: &'a PipelineSpec,
+            arrivals: &'a dyn ArrivalProcess,
+            policy: &'a dyn SchedulingPolicy,
+            router: &'a dyn Router,
+            num_queries: usize,
+            seed: u64,
+        ) -> Self {
+            let resources = spec.resources();
+            let mut slot_base = Vec::with_capacity(resources.len());
+            let mut free = Vec::new();
+            for r in resources.iter() {
+                slot_base.push(free.len());
+                for _ in 0..r.replicas {
+                    free.push(r.capacity);
+                }
+            }
+            let num_slots = free.len();
+            let mut sim = Self {
+                spec,
+                stages: spec.stages(),
+                policy,
+                arrivals,
+                router,
+                num_queries,
+                heap: BinaryHeap::new(),
+                seq: 0,
+                arrival_time: vec![f64::NAN; num_queries],
+                slot_base,
+                group_replicas: resources.iter().map(|r| r.replicas).collect(),
+                free,
+                waiting: vec![VecDeque::new(); num_slots],
+                in_flight: vec![0; num_slots],
+                armed: vec![None; num_slots],
+                busy_unit_seconds: vec![0.0; num_slots],
+                router_states: (0..resources.len() as u64)
+                    .map(|g| RouterState::new(seed ^ g.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+                    .collect(),
+                snapshots: Vec::new(),
+                batches: Vec::new(),
+                finish_time: vec![f64::NAN; num_queries],
+                completed: 0,
+                last_time: 0.0,
+                launches: 0,
+                served: 0,
+                next_inject: 0,
+                think_time_s: None,
+                work_conserving: policy.admit_on_arrival(),
+            };
+
+            let initial = match arrivals.closed_loop() {
+                Some(cl) => {
+                    sim.think_time_s = Some(cl.think_time_s);
+                    cl.clients.min(num_queries)
+                }
+                None => num_queries,
+            };
+            for (query, t) in arrivals.times(initial, seed).into_iter().enumerate() {
+                sim.inject(query, t);
+            }
+            sim.next_inject = initial;
+            sim
+        }
+
+        fn inject(&mut self, query: usize, t: f64) {
+            self.arrival_time[query] = t;
+            self.heap.push(Event {
+                time: t,
+                seq: self.seq,
+                kind: EventKind::Arrive { query, stage: 0 },
+            });
+            self.seq += 1;
+        }
+
+        fn route(&mut self, stage_idx: usize) -> usize {
+            let group = self.stages[stage_idx].resource;
+            let base = self.slot_base[group];
+            let replicas = self.group_replicas[group];
+            if replicas == 1 {
+                return base;
+            }
+            self.snapshots.clear();
+            for slot in base..base + replicas {
+                self.snapshots.push(ReplicaSnapshot {
+                    queued: self.waiting[slot].len(),
+                    in_flight: self.in_flight[slot],
+                    free_units: self.free[slot],
+                });
+            }
+            let pick = self
+                .router
+                .route(&self.snapshots, &mut self.router_states[group]);
+            assert!(
+                pick < replicas,
+                "router returned replica {pick} of {replicas}"
+            );
+            base + pick
+        }
+
+        fn launch(&mut self, now: f64, stage_idx: usize, slot: usize, queries: BatchQueries) {
+            let stage = &self.stages[stage_idx];
+            self.free[slot] -= stage.units;
+            self.in_flight[slot] += queries.len();
+            let service = stage.batch_service_time(queries.len());
+            self.busy_unit_seconds[slot] += stage.units as f64 * service;
+            self.launches += 1;
+            self.served += queries.len() as u64;
+            let batch = self.batches.len();
+            self.batches.push(Batch {
+                stage: stage_idx,
+                slot,
+                queries,
+            });
+            self.heap.push(Event {
+                time: now + service,
+                seq: self.seq,
+                kind: EventKind::Complete { batch },
+            });
+            self.seq += 1;
+        }
+
+        fn enqueue(&mut self, slot: usize, entry: QueueEntry) {
+            let p = self.policy.priority(&entry);
+            let queue = &mut self.waiting[slot];
+            let mut at = queue.len();
+            while at > 0 {
+                let prev = self.policy.priority(&queue[at - 1]);
+                if prev.partial_cmp(&p) != Some(Ordering::Greater) {
+                    break;
+                }
+                at -= 1;
+            }
+            queue.insert(at, entry);
+        }
+
+        fn take_same_stage(&mut self, slot: usize, stage: usize, limit: usize) -> Vec<usize> {
+            let queue = &mut self.waiting[slot];
+            let mut picks: Vec<usize> = Vec::with_capacity(limit.min(queue.len()));
+            for i in 0..queue.len() {
+                if queue[i].stage == stage {
+                    picks.push(i);
+                    if picks.len() == limit {
+                        break;
+                    }
+                }
+            }
+            let queries: Vec<usize> = picks.iter().map(|&i| queue[i].query).collect();
+            for &i in picks.iter().rev() {
+                queue.remove(i);
+            }
+            queries
+        }
+
+        fn take_one_same_stage(&mut self, slot: usize, stage: usize) -> Option<usize> {
+            let queue = &mut self.waiting[slot];
+            let at = queue.iter().position(|e| e.stage == stage)?;
+            queue.remove(at).map(|e| e.query)
+        }
+
+        fn head_of(&self, slot: usize) -> Option<QueueEntry> {
+            self.waiting[slot].front().copied()
+        }
+
+        fn dispatch(&mut self, now: f64, slot: usize) {
+            loop {
+                let Some(head) = self.head_of(slot) else {
+                    return;
+                };
+                let stage = &self.stages[head.stage];
+                if self.free[slot] < stage.units {
+                    return;
+                }
+                let mut ready = 0usize;
+                for e in self.waiting[slot].iter() {
+                    if e.stage == head.stage {
+                        ready += 1;
+                        if ready == stage.batch.max_batch {
+                            break;
+                        }
+                    }
+                }
+                match self
+                    .policy
+                    .release(now, &head, ready, stage.batch.max_batch)
+                {
+                    Release::Now => {
+                        let queries = self.take_batch(slot, head.stage, ready);
+                        self.launch(now, head.stage, slot, queries);
+                    }
+                    Release::At(t) if t > now => {
+                        if self.armed[slot].is_none_or(|armed| t < armed) {
+                            self.armed[slot] = Some(t);
+                            self.heap.push(Event {
+                                time: t,
+                                seq: self.seq,
+                                kind: EventKind::Recheck { slot },
+                            });
+                            self.seq += 1;
+                        }
+                        return;
+                    }
+                    Release::At(_) => {
+                        let queries = self.take_batch(slot, head.stage, ready);
+                        self.launch(now, head.stage, slot, queries);
+                    }
+                }
+            }
+        }
+
+        fn take_batch(&mut self, slot: usize, stage: usize, ready: usize) -> BatchQueries {
+            if ready == 1 {
+                BatchQueries::One(
+                    self.take_one_same_stage(slot, stage)
+                        .expect("ready entry exists"),
+                )
+            } else {
+                BatchQueries::Many(self.take_same_stage(slot, stage, ready))
+            }
+        }
+
+        fn on_arrive(&mut self, now: f64, query: usize, stage_idx: usize) {
+            let slot = self.route(stage_idx);
+            let stage = &self.stages[stage_idx];
+            let entry = QueueEntry {
+                query,
+                stage: stage_idx,
+                arrived: self.arrival_time[query],
+                enqueued: now,
+                seq: self.seq,
+            };
+            self.seq += 1;
+            if self.work_conserving && self.free[slot] >= stage.units {
+                let mut batch = Vec::new();
+                if stage.batch.max_batch > 1 {
+                    batch = self.take_same_stage(slot, stage_idx, stage.batch.max_batch - 1);
+                }
+                let queries = if batch.is_empty() {
+                    BatchQueries::One(query)
+                } else {
+                    batch.insert(0, query);
+                    BatchQueries::Many(batch)
+                };
+                self.launch(now, stage_idx, slot, queries);
+            } else {
+                self.enqueue(slot, entry);
+                if !self.work_conserving {
+                    self.dispatch(now, slot);
+                }
+            }
+        }
+
+        fn on_complete(&mut self, now: f64, batch: usize) {
+            let Batch {
+                stage,
+                slot,
+                queries,
+            } = std::mem::replace(
+                &mut self.batches[batch],
+                Batch {
+                    stage: 0,
+                    slot: 0,
+                    queries: BatchQueries::One(0),
+                },
+            );
+            let s = &self.stages[stage];
+            self.free[slot] += s.units;
+            self.in_flight[slot] -= queries.len();
+
+            match queries {
+                BatchQueries::One(query) => self.route_onward(now, query, stage),
+                BatchQueries::Many(queries) => {
+                    for query in queries {
+                        self.route_onward(now, query, stage);
+                    }
+                }
+            }
+            self.dispatch(now, slot);
+        }
+
+        fn route_onward(&mut self, now: f64, query: usize, stage: usize) {
+            if stage + 1 < self.stages.len() {
+                self.heap.push(Event {
+                    time: now,
+                    seq: self.seq,
+                    kind: EventKind::Arrive {
+                        query,
+                        stage: stage + 1,
+                    },
+                });
+                self.seq += 1;
+            } else {
+                self.finish_time[query] = now;
+                self.completed += 1;
+                if let Some(think) = self.think_time_s {
+                    if self.next_inject < self.num_queries {
+                        let q = self.next_inject;
+                        self.next_inject += 1;
+                        self.inject(q, now + think);
+                    }
+                }
+            }
+        }
+
+        fn run(mut self) -> SimResult {
+            while let Some(event) = self.heap.pop() {
+                let now = event.time;
+                match event.kind {
+                    EventKind::Arrive { query, stage } => {
+                        self.last_time = now;
+                        self.on_arrive(now, query, stage);
+                    }
+                    EventKind::Complete { batch } => {
+                        self.last_time = now;
+                        self.on_complete(now, batch);
+                    }
+                    EventKind::Recheck { slot } => {
+                        if self.armed[slot] == Some(now) {
+                            self.armed[slot] = None;
+                        }
+                        self.dispatch(now, slot);
+                    }
+                }
+            }
+            self.finish()
+        }
+
+        fn finish(self) -> SimResult {
+            let warmup = ((self.num_queries as f64) * WARMUP_FRACTION) as usize;
+            let mut latency = LatencyStats::with_capacity(self.num_queries.saturating_sub(warmup));
+            let mut throughput = ThroughputMeter::new();
+            let mut arrival_span = 0.0f64;
+            for (query, (&arrive, &finish)) in self
+                .arrival_time
+                .iter()
+                .zip(self.finish_time.iter())
+                .enumerate()
+            {
+                if arrive.is_finite() {
+                    arrival_span = arrival_span.max(arrive);
+                }
+                if finish.is_nan() {
+                    continue;
+                }
+                throughput.record_completion(Duration::from_secs_f64(finish));
+                if query >= warmup {
+                    latency.record_secs(finish - arrive);
+                }
+            }
+
+            let span = self.last_time.max(f64::MIN_POSITIVE);
+            let resources = self.spec.resources();
+            let utilization: Vec<f64> = resources
+                .iter()
+                .enumerate()
+                .map(|(g, r)| {
+                    let base = self.slot_base[g];
+                    let busy: f64 = self.busy_unit_seconds[base..base + r.replicas].iter().sum();
+                    (busy / (r.total_units() as f64 * span)).min(1.0)
+                })
+                .collect();
+            let replica_utilization: Vec<Vec<f64>> = if self.spec.has_replication() {
+                resources
+                    .iter()
+                    .enumerate()
+                    .map(|(g, r)| {
+                        let base = self.slot_base[g];
+                        self.busy_unit_seconds[base..base + r.replicas]
+                            .iter()
+                            .map(|&busy| (busy / (r.capacity as f64 * span)).min(1.0))
+                            .collect()
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+
+            let offered = self.arrivals.mean_rate();
+            let rate_overload =
+                self.think_time_s.is_none() && offered > self.spec.max_qps_at_full_batch();
+            let saturated =
+                rate_overload || self.last_time > arrival_span * 1.5 + self.spec.service_floor();
+
+            let mean_batch = if self.launches > 0 {
+                self.served as f64 / self.launches as f64
+            } else {
+                1.0
+            };
+            SimResult::new(
+                latency,
+                throughput.qps(),
+                self.completed,
+                saturated,
+                utilization,
+            )
+            .with_mean_batch(mean_batch)
+            .with_replica_utilization(replica_utilization)
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -395,7 +915,7 @@ proptest! {
         s2 in 1u64..10,
         qps in 10.0f64..900.0,
         queries in 200usize..1000,
-        router_idx in 0usize..3,
+        router_idx in 0usize..4,
         seed in 0u64..300,
     ) {
         // The cluster redesign's compatibility contract: on pipelines
@@ -417,12 +937,52 @@ proptest! {
     }
 
     #[test]
+    fn optimized_event_loop_matches_the_frozen_pr3_loop_bit_for_bit(
+        replicas in 1usize..5,
+        capacity in 1usize..3,
+        s1 in 1u64..10,
+        s2 in 1u64..10,
+        max_batch in 1usize..12,
+        policy_idx in 0usize..3,
+        router_idx in 0usize..4,
+        queries in 100usize..700,
+        seed in 0u64..300,
+    ) {
+        // The PR-4 hot-loop rewrite (pooled batch buffers, batch-slot
+        // freelist, counter-array router probes via `route_indexed`,
+        // generation-counter timer cancellation) must not change a
+        // single bit of any simulation: policies that arm timers,
+        // routers that probe replica state, and batch formation all go
+        // through the rewritten paths.
+        let spec = replicated_pipeline(
+            replicas,
+            capacity,
+            vec![s1 as f64 / 1e3, s2 as f64 / 2e3],
+            max_batch,
+        );
+        let policy = policy_for(policy_idx);
+        let router = router_for(router_idx);
+        let arrivals = MmppArrivals::new(100.0, 800.0, 0.2, 0.1);
+        let frozen = reference_routed::serve_routed(
+            &spec,
+            &arrivals,
+            policy.as_ref(),
+            router.as_ref(),
+            queries,
+            seed,
+        );
+        let optimized =
+            spec.serve_routed(&arrivals, policy.as_ref(), router.as_ref(), queries, seed);
+        prop_assert_eq!(frozen, optimized);
+    }
+
+    #[test]
     fn every_query_completes_on_replicated_clusters(
         replicas in 1usize..6,
         capacity in 1usize..4,
         max_batch in 1usize..12,
         policy_idx in 0usize..3,
-        router_idx in 0usize..3,
+        router_idx in 0usize..4,
         queries in 100usize..600,
         seed in 0u64..100,
     ) {
@@ -456,7 +1016,7 @@ proptest! {
     #[test]
     fn routed_serving_is_deterministic(
         replicas in 2usize..6,
-        router_idx in 0usize..3,
+        router_idx in 0usize..4,
         seed in 0u64..200,
     ) {
         let spec = replicated_pipeline(replicas, 1, vec![0.003, 0.006], 4);

@@ -7,11 +7,18 @@
 //!
 //! * a 4-replica GPU fleet absorbs an offered load that saturates the
 //!   single-pool engine;
-//! * three routers split the same traffic — oblivious round-robin,
-//!   full-information join-shortest-queue, and power-of-two-choices
-//!   sampling — and the tail shows what replica-state awareness buys;
+//! * four routers split the same traffic — oblivious round-robin,
+//!   full-information join-shortest-queue, power-of-two-choices
+//!   sampling, and free-unit-driven least-work-left — and the tail
+//!   shows what replica-state awareness buys;
+//! * the same routers race again on a *batched* fleet, where
+//!   `LeastWorkLeft`'s free-unit signal concentrates work into the
+//!   deepest batches — and JSQ's queue-length signal still wins the
+//!   tail (ROADMAP's open question, now measured);
 //! * a replica-count sweep produces a three-objective Pareto front:
-//!   quality vs p99 vs total replica cost.
+//!   quality vs p99 vs total replica cost — priced exhaustively and
+//!   with the successive-halving budget, which returns the same front
+//!   for roughly half the simulated queries.
 //!
 //! Run with:
 //!
@@ -23,8 +30,8 @@ use recpipe::core::{Engine, PipelineConfig, Placement, StageConfig, Table};
 use recpipe::data::PoissonArrivals;
 use recpipe::models::ModelKind;
 use recpipe::qsim::{
-    Fifo, JoinShortestQueue, PipelineSpec, PowerOfTwoChoices, ReplicaGroup, RoundRobin, Router,
-    StageSpec,
+    BatchModel, BatchWindow, Fifo, JoinShortestQueue, LeastWorkLeft, PipelineSpec,
+    PowerOfTwoChoices, ReplicaGroup, RoundRobin, Router, StageSpec,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -71,6 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(RoundRobin),
         Box::new(PowerOfTwoChoices),
         Box::new(JoinShortestQueue),
+        Box::new(LeastWorkLeft),
     ];
     let mut table = Table::new(vec!["router", "p50 (ms)", "p99 (ms)", "QPS", "imbalance"]);
     println!(
@@ -88,15 +96,63 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{table}");
 
+    // --- Batched fleet: free-unit routing vs query counts -----------
+    // Four 2-unit replicas serving a batched ranking stage behind a
+    // 2 ms batch window. A replica with many queries riding one batch
+    // frees them all at once, so JSQ's outstanding-query count
+    // overrates its load; `LeastWorkLeft` reads the units actually
+    // held instead, funneling arrivals toward startable replicas (and
+    // into deeper batches).
+    let batched = PipelineSpec::new(vec![ReplicaGroup::replicated("gpu", 2, 4)])
+        .with_stage(StageSpec::new("rank", 0, 1, 0.004).with_batch(BatchModel::new(8, 0.2)))?
+        .with_stage(StageSpec::new("rerank", 0, 2, 0.006))?;
+    let qps = 0.85 * batched.max_qps();
+    let window = BatchWindow::new(0.002);
+    let busy = PoissonArrivals::new(qps);
+    let mut table = Table::new(vec!["router", "p50 (ms)", "p99 (ms)", "mean batch"]);
+    println!(
+        "Batched-fleet comparison: 4x2-unit replicas, batch-8 rank + 2-unit rerank, \
+         2 ms window, rho = 0.85 ({qps:.0} QPS)"
+    );
+    for router in &routers {
+        let mut out = batched.serve_routed(&busy, &window, router.as_ref(), 20_000, 7);
+        table.row(vec![
+            router.name(),
+            format!("{:.2}", out.p50_seconds() * 1e3),
+            format!("{:.2}", out.p99_seconds() * 1e3),
+            format!("{:.2}", out.mean_batch),
+        ]);
+    }
+    println!("{table}");
+
     // --- Replica-count sweep: quality vs p99 vs cost -----------------
-    let mut settings = recpipe::core::SchedulerSettings::quick();
+    // Priced twice: exhaustively, and with the successive-halving
+    // budget that prunes dominated placements at low simulation
+    // budgets before spending the full budget on contenders.
+    use recpipe::core::{Scheduler, SchedulerSettings, SweepBudget};
+    use recpipe::hwsim::{CpuModel, GpuModel, PcieModel};
+    use std::sync::Arc;
+
+    let mut settings = SchedulerSettings::quick();
     settings.replica_options = vec![1, 2, 4];
     settings.max_stages = 2;
-    let sweeper = Engine::commodity(pipeline)
-        .placement(Placement::cpu_only(2))
-        .load(2_000.0)
-        .build()?;
-    let front = sweeper.sweep(&settings);
+    let pool: Vec<Arc<dyn recpipe::core::Backend>> =
+        vec![Arc::new(CpuModel::cascade_lake()), Arc::new(GpuModel::t4())];
+    let interconnect = PcieModel::measured();
+    let (full_points, full_stats) = Scheduler::new(settings.clone()).explore_pool_with_stats(
+        2_000.0,
+        2,
+        &pool,
+        1,
+        None,
+        &interconnect,
+    );
+    settings.sweep_budget = SweepBudget::halving(settings.sim_queries);
+    let (halved_points, halved_stats) =
+        Scheduler::new(settings).explore_pool_with_stats(2_000.0, 2, &pool, 1, None, &interconnect);
+
+    let front = Scheduler::pareto_with_cost(full_points);
+    let halved_front = Scheduler::pareto_with_cost(halved_points);
     let mut pareto = Table::new(vec!["pipeline", "mapping", "cost", "NDCG %", "p99 (ms)"]);
     for p in front.iter() {
         pareto.row(vec![
@@ -109,14 +165,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("Replica-aware Pareto front at 2000 QPS (quality x p99 x replica cost):");
     println!("{pareto}");
+    println!(
+        "Sweep budget: full = {} simulated queries over {} candidates; successive halving = {} \
+         ({:.0}% of full) recovering {}/{} front points",
+        full_stats.simulated_queries,
+        full_stats.candidates,
+        halved_stats.simulated_queries,
+        100.0 * halved_stats.simulated_queries as f64 / full_stats.simulated_queries as f64,
+        halved_front
+            .iter()
+            .filter(|p| front.points().contains(p))
+            .count(),
+        front.len(),
+    );
     println!("Reading the results:");
     println!(
         "  - replication turns a saturating single pool into a stable fleet at the same load;"
     );
     println!("  - JSQ routes around replicas grinding long backend queries; round-robin keeps");
     println!("    feeding them blindly, and d=2 sampling recovers most of JSQ's tail win with");
-    println!("    two probes per query;");
+    println!("    two probes per query; on the batched fleet, least-work-left's free-unit");
+    println!("    signal forms the deepest batches, yet JSQ keeps the tail win — queue length");
+    println!("    stays the better latency signal even when in-flight batches inflate it;");
     println!("  - the cost axis keeps small clusters on the front: a 1-replica design that meets");
-    println!("    quality at higher p99 is not dominated by a 4-replica design that halves it.");
+    println!("    quality at higher p99 is not dominated by a 4-replica design that halves it;");
+    println!("  - the halving budget prunes the replica cross product for about half the");
+    println!("    simulation cost while keeping the full-budget Pareto placements.");
     Ok(())
 }

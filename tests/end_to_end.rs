@@ -177,29 +177,6 @@ fn movielens_pipelines_run_end_to_end() {
 }
 
 #[test]
-fn deprecated_mapping_shim_still_matches_new_path() {
-    // The thin compatibility shims forward into the Backend seam; their
-    // results must agree exactly with the Engine path.
-    #[allow(deprecated)]
-    {
-        use recpipe::core::{Mapping, PerformanceEvaluator};
-        let pipeline = two_stage(256);
-        let perf = PerformanceEvaluator::table2_defaults().sim_queries(1_000);
-        let old = perf
-            .evaluate(&pipeline, &Mapping::cpu_only(2), 300.0)
-            .p99_seconds();
-        let new = Engine::commodity(pipeline)
-            .placement(Placement::cpu_only(2))
-            .sim_queries(1_000)
-            .build()
-            .unwrap()
-            .serve(300.0, 1_000)
-            .p99_seconds();
-        assert_eq!(old, new);
-    }
-}
-
-#[test]
 fn serving_core_matrix_end_to_end() {
     // The batching-aware serving core across the full stack: commodity
     // hardware with batch curves, bursty arrivals, and every policy.
