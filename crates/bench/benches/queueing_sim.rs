@@ -11,8 +11,8 @@ use recpipe_core::{Backend, Scheduler, SchedulerSettings, SweepBudget};
 use recpipe_data::{MmppArrivals, PoissonArrivals};
 use recpipe_hwsim::{CpuModel, PcieModel};
 use recpipe_qsim::{
-    BatchModel, BatchWindow, Fifo, JoinShortestQueue, LeastWorkLeft, PipelineSpec,
-    PowerOfTwoChoices, ReplicaGroup, ResourceSpec, RoundRobin, Router, StageSpec,
+    BatchModel, BatchWindow, ExpectedWait, Fifo, JoinShortestQueue, LeastWorkLeft, PipelineSpec,
+    PowerOfTwoChoices, ReplicaGroup, ReplicaProfile, ResourceSpec, RoundRobin, Router, StageSpec,
 };
 
 fn two_stage() -> PipelineSpec {
@@ -82,6 +82,35 @@ fn bench_qsim_cluster(c: &mut Criterion) {
     for (name, router) in routers {
         group.bench_function(format!("routed_10000q/{name}"), |b| {
             b.iter(|| black_box(spec.serve_routed(&arrivals, &Fifo, router, 10_000, 7)))
+        });
+    }
+
+    // The heterogeneous-fleet loop: a two-generation fleet (2 current
+    // replicas + 2 at 40% speed) at rho = 0.9 of the weighted
+    // capacity, routed by the speed-aware expected-wait estimator vs
+    // JSQ — the per-decision cost of the remaining-work probe on top
+    // of the per-replica speed bookkeeping.
+    let two_gen = PipelineSpec::new(vec![ReplicaGroup::heterogeneous(
+        "worker",
+        vec![
+            ReplicaProfile::baseline(1),
+            ReplicaProfile::baseline(1),
+            ReplicaProfile::new(1, 0.4),
+            ReplicaProfile::new(1, 0.4),
+        ],
+    )])
+    .with_stage(StageSpec::new("front", 0, 1, 0.002))
+    .unwrap()
+    .with_stage(StageSpec::new("back", 0, 1, 0.010))
+    .unwrap();
+    let hetero_arrivals = PoissonArrivals::new(0.9 * two_gen.max_qps());
+    let hetero_routers: [(&str, &dyn Router); 2] = [
+        ("jsq", &JoinShortestQueue),
+        ("expected_wait", &ExpectedWait),
+    ];
+    for (name, router) in hetero_routers {
+        group.bench_function(format!("two_gen_10000q/{name}"), |b| {
+            b.iter(|| black_box(two_gen.serve_routed(&hetero_arrivals, &Fifo, router, 10_000, 7)))
         });
     }
     group.finish();

@@ -1,6 +1,6 @@
-//! CI bench smoke check: re-times the two hottest queueing-simulator
-//! benches and fails (non-zero exit) if either regressed more than 2x
-//! against the checked-in `BENCH_pr4.json` baseline.
+//! CI bench smoke check: re-times the three hottest queueing-simulator
+//! benches and fails (non-zero exit) if any regressed more than 2x
+//! against the checked-in `BENCH_pr5.json` baseline.
 //!
 //! Baselines were recorded on one developer machine, while CI runs on
 //! shared runners with very different single-core throughput — so
@@ -23,7 +23,10 @@
 use std::time::{Duration, Instant};
 
 use recpipe_data::PoissonArrivals;
-use recpipe_qsim::{Fifo, JoinShortestQueue, PipelineSpec, ReplicaGroup, ResourceSpec, StageSpec};
+use recpipe_qsim::{
+    ExpectedWait, Fifo, JoinShortestQueue, PipelineSpec, ReplicaGroup, ReplicaProfile,
+    ResourceSpec, StageSpec,
+};
 
 /// Largest tolerated machine-normalized measured/baseline ratio.
 const MAX_REGRESSION: f64 = 2.0;
@@ -108,8 +111,27 @@ fn jsq_fleet() -> PipelineSpec {
         .expect("valid stage")
 }
 
+fn two_gen_fleet() -> PipelineSpec {
+    // Mirrors benches/queueing_sim.rs
+    // `qsim_cluster/two_gen_10000q/expected_wait`: the heterogeneous
+    // path (per-replica speeds + the remaining-work estimator probe).
+    PipelineSpec::new(vec![ReplicaGroup::heterogeneous(
+        "worker",
+        vec![
+            ReplicaProfile::baseline(1),
+            ReplicaProfile::baseline(1),
+            ReplicaProfile::new(1, 0.4),
+            ReplicaProfile::new(1, 0.4),
+        ],
+    )])
+    .with_stage(StageSpec::new("front", 0, 1, 0.002))
+    .expect("valid stage")
+    .with_stage(StageSpec::new("back", 0, 1, 0.010))
+    .expect("valid stage")
+}
+
 fn main() {
-    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json");
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json");
     let json = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
 
@@ -131,6 +153,8 @@ fn main() {
     let spec = two_stage();
     let fleet = jsq_fleet();
     let arrivals = PoissonArrivals::new(0.9 * fleet.max_qps());
+    let two_gen = two_gen_fleet();
+    let two_gen_arrivals = PoissonArrivals::new(0.9 * two_gen.max_qps());
     type Check = (&'static str, Box<dyn FnMut()>);
     let checks: Vec<Check> = vec![
         (
@@ -146,6 +170,18 @@ fn main() {
                     &arrivals,
                     &Fifo,
                     &JoinShortestQueue,
+                    10_000,
+                    7,
+                ));
+            }),
+        ),
+        (
+            "qsim_cluster/two_gen_10000q/expected_wait",
+            Box::new(move || {
+                std::hint::black_box(two_gen.serve_routed(
+                    &two_gen_arrivals,
+                    &Fifo,
+                    &ExpectedWait,
                     10_000,
                     7,
                 ));

@@ -297,32 +297,142 @@ fn fit_batch_model(base: f64, full: f64, batch: usize) -> BatchModel {
     BatchModel::new(batch, (slope / base).clamp(0.0, 1.0))
 }
 
+/// The generation mix of one backend's replica fleet: one service-speed
+/// multiplier per replica, in replica-index order.
+///
+/// Speed 1.0 is the backend's current generation (the uniform pre-fleet
+/// behavior); `0.6` models a previous-generation machine serving at 60%
+/// of the baseline rate. Each replica inherits the backend's native
+/// unit capacity — heterogeneous *capacities* are a qsim-level concern
+/// ([`ReplicaProfile`](recpipe_qsim::ReplicaProfile)); at the placement
+/// level a fleet mixes machine generations of one backend kind.
+///
+/// Speeds are stored as IEEE-754 bit patterns so the placement types
+/// embedding fleets keep their derived `Hash`/`Eq` (the scheduler
+/// dedups placements by hashing); constructors validate speeds finite
+/// and positive, so bit equality is value equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FleetSpec {
+    speed_bits: Vec<u64>,
+}
+
+impl FleetSpec {
+    /// A uniform current-generation fleet of `replicas` machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    pub fn uniform(replicas: usize) -> Self {
+        assert!(replicas > 0, "replica count must be positive");
+        Self::new(&vec![1.0; replicas])
+    }
+
+    /// A fleet with one explicit speed per replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speeds` is empty or any speed is not strictly
+    /// positive and finite.
+    pub fn new(speeds: &[f64]) -> Self {
+        assert!(!speeds.is_empty(), "fleet has no replicas");
+        for &s in speeds {
+            assert!(
+                s.is_finite() && s > 0.0,
+                "replica speed must be positive and finite"
+            );
+        }
+        Self {
+            speed_bits: speeds.iter().map(|s| s.to_bits()).collect(),
+        }
+    }
+
+    /// A fleet from generation groups: `&[(2, 1.0), (2, 0.6)]` is two
+    /// current-generation machines plus two previous-generation ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the groups describe zero replicas or any speed is
+    /// invalid.
+    pub fn mixed(generations: &[(usize, f64)]) -> Self {
+        let speeds: Vec<f64> = generations
+            .iter()
+            .flat_map(|&(count, speed)| std::iter::repeat_n(speed, count))
+            .collect();
+        Self::new(&speeds)
+    }
+
+    /// Number of replicas in the fleet (never zero).
+    pub fn replicas(&self) -> usize {
+        self.speed_bits.len()
+    }
+
+    /// The per-replica speeds, in replica-index order.
+    pub fn speeds(&self) -> Vec<f64> {
+        self.speed_bits.iter().map(|&b| f64::from_bits(b)).collect()
+    }
+
+    /// Whether every replica runs at the current-generation baseline.
+    pub fn is_uniform_baseline(&self) -> bool {
+        self.speed_bits.iter().all(|&b| b == 1.0f64.to_bits())
+    }
+
+    /// Profile-weighted hardware cost: the sum of replica speeds, so a
+    /// previous-generation 0.6-speed machine prices at 0.6 of a
+    /// current one. Equal to [`replicas`](Self::replicas) for uniform
+    /// baseline fleets, keeping pre-fleet cost axes bit-identical.
+    pub fn cost(&self) -> f64 {
+        self.speeds().iter().sum()
+    }
+
+    /// Describe-annotation suffix: empty for one baseline replica,
+    /// `*N` for a uniform fleet, and a generation mix like
+    /// `*2@1.0+2@0.6` (count@speed per run of equal speeds) otherwise.
+    pub fn annotation(&self) -> String {
+        if self.is_uniform_baseline() {
+            return if self.replicas() > 1 {
+                format!("*{}", self.replicas())
+            } else {
+                String::new()
+            };
+        }
+        let mut runs: Vec<(usize, f64)> = Vec::new();
+        for s in self.speeds() {
+            match runs.last_mut() {
+                Some((count, speed)) if *speed == s => *count += 1,
+                _ => runs.push((1, s)),
+            }
+        }
+        let parts: Vec<String> = runs
+            .iter()
+            .map(|&(count, speed)| format!("{count}@{speed:?}"))
+            .collect();
+        format!("*{}", parts.join("+"))
+    }
+}
+
+impl Default for FleetSpec {
+    /// The single current-generation replica every pre-fleet site
+    /// carried.
+    fn default() -> Self {
+        Self::uniform(1)
+    }
+}
+
 /// Where one pipeline stage runs: a backend (by index into the engine's
 /// pool), how many of that backend's resource units serve one query,
-/// and how many replicas of the backend the stage may route across.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// and the replica fleet of the backend the stage may route across.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct StageSite {
     /// Index into the backend pool.
     pub backend: usize,
     /// Resource units dedicated to each in-flight query (CPU model
     /// parallelism; 1 for backends that serve a query on one unit).
     pub parallelism: usize,
-    /// Replicas of the backend available to this stage (1 = the single
-    /// pre-cluster pool). Stages sharing a backend share its replica
-    /// fleet: the emitted group carries the *largest* count any of its
-    /// stages requests. Defaults to 1 on deserialization so
-    /// pre-cluster serialized placements (which lack the field) still
-    /// round-trip.
-    #[serde(default = "default_one_replica")]
-    pub replicas: usize,
-}
-
-/// Serde default for replica counts: the single-replica pre-cluster
-/// interpretation. Unused under the offline no-op serde shim, whose
-/// derives ignore the attribute that references it.
-#[allow(dead_code)]
-fn default_one_replica() -> usize {
-    1
+    /// The backend's replica fleet as seen by this stage (one baseline
+    /// replica = the single pre-cluster pool). Stages sharing a backend
+    /// share its fleet: the emitted group carries the *largest* fleet
+    /// any of its stages requests.
+    fleet: FleetSpec,
 }
 
 impl StageSite {
@@ -332,21 +442,36 @@ impl StageSite {
         Self {
             backend,
             parallelism: parallelism.max(1),
-            replicas: 1,
+            fleet: FleetSpec::default(),
         }
     }
 
-    /// Sets the replica count of this stage's backend fleet.
+    /// Sets the replica count of this stage's backend fleet (uniform
+    /// current-generation machines).
     ///
     /// # Panics
     ///
     /// Panics if `replicas == 0`, matching [`ClusterSpec::new`] and the
     /// qsim constructors — a zero-replica fleet is a configuration bug,
     /// not a degenerate case to normalize away.
-    pub fn with_replicas(mut self, replicas: usize) -> Self {
-        assert!(replicas > 0, "replica count must be positive");
-        self.replicas = replicas;
+    pub fn with_replicas(self, replicas: usize) -> Self {
+        self.with_fleet(FleetSpec::uniform(replicas))
+    }
+
+    /// Sets this stage's backend fleet to an explicit generation mix.
+    pub fn with_fleet(mut self, fleet: FleetSpec) -> Self {
+        self.fleet = fleet;
         self
+    }
+
+    /// Replicas of the backend available to this stage.
+    pub fn replicas(&self) -> usize {
+        self.fleet.replicas()
+    }
+
+    /// The fleet's generation mix.
+    pub fn fleet(&self) -> &FleetSpec {
+        &self.fleet
     }
 }
 
@@ -422,35 +547,81 @@ impl Placement {
     /// Panics if `replicas == 0` (see [`StageSite::with_replicas`]).
     ///
     /// [`EngineBuilder::replicas`]: crate::EngineBuilder::replicas
-    pub fn with_backend_replicas(mut self, backend: usize, replicas: usize) -> Self {
+    pub fn with_backend_replicas(self, backend: usize, replicas: usize) -> Self {
+        self.with_fleet(backend, FleetSpec::uniform(replicas))
+    }
+
+    /// Sets the generation mix on every site of `backend` — the
+    /// heterogeneous form of
+    /// [`with_backend_replicas`](Self::with_backend_replicas).
+    pub fn with_fleet(mut self, backend: usize, fleet: FleetSpec) -> Self {
         for site in &mut self.sites {
             if site.backend == backend {
-                *site = site.with_replicas(replicas);
+                *site = site.clone().with_fleet(fleet.clone());
             }
         }
         self
+    }
+
+    /// The fleet of `backend`'s emitted group: the largest fleet any
+    /// stage placed on it requests — strictly-greater weighted
+    /// capacity ([`FleetSpec::cost`], the sum of speeds) wins, then
+    /// strictly-more replicas, then the first such site — or one
+    /// baseline replica if the backend hosts no stage. On uniform
+    /// baseline fleets cost equals the replica count, so this is
+    /// exactly the pre-fleet max-of-counts rule; comparing capacity
+    /// first keeps a fast 2-replica fleet from silently losing to a
+    /// slow 3-replica one another stage requested.
+    pub fn fleet_for(&self, backend: usize) -> FleetSpec {
+        let mut best: Option<&FleetSpec> = None;
+        for site in self.sites.iter().filter(|s| s.backend == backend) {
+            let fleet = site.fleet();
+            if best.is_none_or(|b| {
+                fleet.cost() > b.cost()
+                    || (fleet.cost() == b.cost() && fleet.replicas() > b.replicas())
+            }) {
+                best = Some(fleet);
+            }
+        }
+        best.cloned().unwrap_or_default()
     }
 
     /// Replica count of `backend`'s emitted group: the largest count
     /// any stage placed on it requests (1 if the backend hosts no
     /// stage).
     pub fn replicas_for(&self, backend: usize) -> usize {
-        self.sites
-            .iter()
-            .filter(|s| s.backend == backend)
-            .map(|s| s.replicas)
-            .max()
-            .unwrap_or(1)
+        self.fleet_for(backend).replicas()
     }
 
     /// Total replica cost: the sum of replica counts across the
     /// distinct backends this placement actually uses — the hardware
-    /// axis of replica-aware Pareto fronts.
+    /// axis of replica-aware Pareto fronts. Counts machines whatever
+    /// their generation; see [`fleet_cost`](Self::fleet_cost) for the
+    /// profile-weighted axis.
     pub fn replica_cost(&self) -> usize {
+        self.used_backends()
+            .into_iter()
+            .map(|b| self.replicas_for(b))
+            .sum()
+    }
+
+    /// Profile-weighted hardware cost: the sum of [`FleetSpec::cost`]
+    /// across the distinct backends this placement uses, so a
+    /// previous-generation 0.6-speed machine prices at 0.6 of a
+    /// current one. Equal to [`replica_cost`](Self::replica_cost) (as
+    /// a float) for uniform baseline fleets.
+    pub fn fleet_cost(&self) -> f64 {
+        self.used_backends()
+            .into_iter()
+            .map(|b| self.fleet_for(b).cost())
+            .sum()
+    }
+
+    fn used_backends(&self) -> Vec<usize> {
         let mut used: Vec<usize> = self.sites.iter().map(|s| s.backend).collect();
         used.sort_unstable();
         used.dedup();
-        used.into_iter().map(|b| self.replicas_for(b)).sum()
+        used
     }
 
     /// Whether all stages share one backend (returns its index).
@@ -463,22 +634,23 @@ impl Placement {
     }
 
     /// Compact description against a backend pool, e.g. `gpu|cpu(x2)`,
-    /// with replicated backends annotated as `cpu*3`. A placement that
-    /// runs every stage on one backend with no model parallelism
-    /// collapses to the bare (possibly replica-annotated) backend name
-    /// (e.g. `rpaccel(8,2)` or `rpaccel(8,2)*2`).
+    /// with replicated backends annotated as `cpu*3` and
+    /// mixed-generation fleets showing the mix, e.g. `cpu*2@1.0+2@0.6`
+    /// (count@speed per generation run). A placement that runs every
+    /// stage on one backend with no model parallelism collapses to the
+    /// bare (possibly fleet-annotated) backend name (e.g.
+    /// `rpaccel(8,2)` or `rpaccel(8,2)*2`).
     ///
     /// # Panics
     ///
     /// Panics if a site references a backend outside the pool.
     pub fn describe(&self, pool: &[Arc<dyn Backend>]) -> String {
         let annotate = |s: &StageSite| {
-            let mut name = pool[s.backend].name();
-            let replicas = self.replicas_for(s.backend);
-            if replicas > 1 {
-                name = format!("{name}*{replicas}");
-            }
-            name
+            format!(
+                "{}{}",
+                pool[s.backend].name(),
+                self.fleet_for(s.backend).annotation()
+            )
         };
         if self.sole_backend().is_some() && self.sites.iter().all(|s| s.parallelism == 1) {
             return annotate(&self.sites[0]);
@@ -498,31 +670,35 @@ impl Placement {
     }
 }
 
-/// Per-backend replica counts for a serving cluster — the
-/// engine-builder-facing way to replicate backends without editing
-/// every [`StageSite`] by hand.
+/// Per-backend replica fleets for a serving cluster — the
+/// engine-builder-facing way to replicate backends (and mix their
+/// machine generations) without editing every [`StageSite`] by hand.
 ///
-/// Index `i` holds the replica count of backend `i` in the engine's
-/// pool. Applied to a [`Placement`] it sets the count on every site of
-/// each backend; derived *from* a placement it summarizes the counts
-/// the sites carry.
+/// Index `i` holds the fleet of backend `i` in the engine's pool.
+/// Applied to a [`Placement`] it sets the fleet on every site of each
+/// backend; derived *from* a placement it summarizes the fleets the
+/// sites carry.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ClusterSpec {
-    replicas: Vec<usize>,
+    fleets: Vec<FleetSpec>,
 }
 
 impl ClusterSpec {
-    /// A cluster of explicit per-backend replica counts.
+    /// A cluster of explicit per-backend replica counts (uniform
+    /// current-generation fleets).
     ///
     /// # Panics
     ///
     /// Panics if any count is zero.
     pub fn new(replicas: Vec<usize>) -> Self {
-        assert!(
-            replicas.iter().all(|&r| r > 0),
-            "replica counts must be positive"
-        );
-        Self { replicas }
+        Self {
+            fleets: replicas.into_iter().map(FleetSpec::uniform).collect(),
+        }
+    }
+
+    /// A cluster of explicit per-backend generation mixes.
+    pub fn heterogeneous(fleets: Vec<FleetSpec>) -> Self {
+        Self { fleets }
     }
 
     /// Every backend at a single replica — the pre-cluster default.
@@ -544,31 +720,45 @@ impl ClusterSpec {
     /// # Panics
     ///
     /// Panics if the index is out of range or `replicas == 0`.
-    pub fn with_backend(mut self, backend: usize, replicas: usize) -> Self {
-        assert!(replicas > 0, "replica counts must be positive");
-        assert!(backend < self.replicas.len(), "unknown backend index");
-        self.replicas[backend] = replicas;
+    pub fn with_backend(self, backend: usize, replicas: usize) -> Self {
+        self.with_fleet(backend, FleetSpec::uniform(replicas))
+    }
+
+    /// Replaces one backend's generation mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn with_fleet(mut self, backend: usize, fleet: FleetSpec) -> Self {
+        assert!(backend < self.fleets.len(), "unknown backend index");
+        self.fleets[backend] = fleet;
         self
     }
 
     /// The per-backend replica counts, indexed by pool position.
-    pub fn replicas(&self) -> &[usize] {
-        &self.replicas
+    pub fn replicas(&self) -> Vec<usize> {
+        self.fleets.iter().map(FleetSpec::replicas).collect()
     }
 
-    /// Summarizes the replica counts a placement's sites carry over a
-    /// pool of `pool_size` backends (1 for backends hosting no stage).
+    /// The per-backend fleets, indexed by pool position.
+    pub fn fleets(&self) -> &[FleetSpec] {
+        &self.fleets
+    }
+
+    /// Summarizes the fleets a placement's sites carry over a pool of
+    /// `pool_size` backends (one baseline replica for backends hosting
+    /// no stage).
     pub fn from_placement(placement: &Placement, pool_size: usize) -> Self {
         Self {
-            replicas: (0..pool_size).map(|b| placement.replicas_for(b)).collect(),
+            fleets: (0..pool_size).map(|b| placement.fleet_for(b)).collect(),
         }
     }
 
-    /// Applies the counts to a placement, replicating every backend's
+    /// Applies the fleets to a placement, replicating every backend's
     /// sites accordingly.
     pub fn apply(&self, mut placement: Placement) -> Placement {
-        for (backend, &replicas) in self.replicas.iter().enumerate() {
-            placement = placement.with_backend_replicas(backend, replicas);
+        for (backend, fleet) in self.fleets.iter().enumerate() {
+            placement = placement.with_fleet(backend, fleet.clone());
         }
         placement
     }
@@ -645,7 +835,10 @@ pub fn build_serving_spec(
     if let Some(sole) = placement.sole_backend() {
         if placement.sites().iter().all(|s| s.parallelism == 1) {
             if let Some(spec) = pool[sole].chain_spec(pipeline, batching) {
-                return Ok(spec.scale_replicas(placement.replicas_for(sole)));
+                // Replicating the backend clones its whole chain
+                // decomposition, one copy per fleet member at that
+                // member's generation speed.
+                return Ok(spec.scale_fleet(&placement.fleet_for(sole).speeds()));
             }
         }
     }
@@ -654,9 +847,9 @@ pub fn build_serving_spec(
         .iter()
         .enumerate()
         .map(|(b, backend)| {
-            let mut group = backend.resources();
-            group.replicas *= placement.replicas_for(b);
-            group
+            backend
+                .resources()
+                .with_fleet_speeds(&placement.fleet_for(b).speeds())
         })
         .collect();
     let works = pipeline.stage_works();
@@ -718,7 +911,7 @@ mod tests {
             Backend::stage_latency(&cpu, work, 2),
             CpuModel::stage_latency(&cpu, work, 2)
         );
-        assert_eq!(cpu.resources().capacity, 64);
+        assert_eq!(cpu.resources().capacity(), 64);
     }
 
     #[test]
@@ -854,8 +1047,8 @@ mod tests {
         let pipeline = two_stage();
         let placement = Placement::cpu_only(2).with_backend_replicas(0, 3);
         let spec = build_spec(&pool, &PcieModel::measured(), &pipeline, &placement).unwrap();
-        assert_eq!(spec.resources()[0].replicas, 3);
-        assert_eq!(spec.resources()[1].replicas, 1);
+        assert_eq!(spec.resources()[0].replicas(), 3);
+        assert_eq!(spec.resources()[1].replicas(), 1);
         // Replication multiplies the analytic capacity of the CPU-bound
         // pipeline.
         let single = build_spec(
@@ -877,7 +1070,7 @@ mod tests {
         let spec = build_spec(&pool, &PcieModel::measured(), &pipeline, &placement).unwrap();
         // Replicating the accelerator clones its mem + lanes chain.
         assert_eq!(spec.resources()[0].name, "accel-mem");
-        assert!(spec.resources().iter().all(|r| r.replicas == 2));
+        assert!(spec.resources().iter().all(|r| r.replicas() == 2));
     }
 
     #[test]
@@ -913,6 +1106,129 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn cluster_spec_rejects_zero_counts() {
         ClusterSpec::new(vec![1, 0]);
+    }
+
+    #[test]
+    fn fleet_spec_constructors_and_cost() {
+        let mix = FleetSpec::mixed(&[(2, 1.0), (2, 0.6)]);
+        assert_eq!(mix, FleetSpec::new(&[1.0, 1.0, 0.6, 0.6]));
+        assert_eq!(mix.replicas(), 4);
+        assert!((mix.cost() - 3.2).abs() < 1e-12);
+        assert!(!mix.is_uniform_baseline());
+        assert_eq!(mix.annotation(), "*2@1.0+2@0.6");
+
+        let uniform = FleetSpec::uniform(3);
+        assert!(uniform.is_uniform_baseline());
+        assert!((uniform.cost() - 3.0).abs() < 1e-12);
+        assert_eq!(uniform.annotation(), "*3");
+        assert_eq!(FleetSpec::default().annotation(), "");
+        // Non-baseline uniform speeds still show the mix.
+        assert_eq!(FleetSpec::new(&[0.6, 0.6]).annotation(), "*2@0.6");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn fleet_spec_rejects_bad_speeds() {
+        FleetSpec::new(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn mixed_fleet_describe_shows_the_generation_mix() {
+        let pool = commodity_pool();
+        let mix = FleetSpec::mixed(&[(2, 1.0), (2, 0.6)]);
+        let sole = Placement::cpu_only(2).with_fleet(0, mix.clone());
+        assert_eq!(sole.describe(&pool), "cpu*2@1.0+2@0.6");
+        // Mixed fleet on one backend of a heterogeneous placement.
+        let hetero = Placement::gpu_frontend(2, 2).with_fleet(1, FleetSpec::new(&[1.0, 0.5]));
+        assert_eq!(hetero.describe(&pool), "gpu*1@1.0+1@0.5|cpu(x2)");
+    }
+
+    #[test]
+    fn fleet_for_prefers_weighted_capacity_over_raw_count() {
+        // Sites on one backend may disagree (hand-built placements);
+        // the emitted group must not let a slow 3-replica fleet beat a
+        // fast 2-replica one on count alone.
+        let slow3 = FleetSpec::new(&[0.1, 0.1, 0.1]);
+        let fast2 = FleetSpec::uniform(2);
+        let p = Placement::new(vec![
+            StageSite::new(0, 1).with_fleet(slow3),
+            StageSite::new(0, 1).with_fleet(fast2.clone()),
+        ]);
+        assert_eq!(p.fleet_for(0), fast2);
+        // Equal weighted capacity: more replicas still wins (the
+        // pre-fleet max-of-counts rule on uniform fleets).
+        let p = Placement::new(vec![
+            StageSite::new(0, 1).with_fleet(FleetSpec::new(&[2.0])),
+            StageSite::new(0, 1).with_fleet(FleetSpec::new(&[1.0, 1.0])),
+        ]);
+        assert_eq!(p.fleet_for(0), FleetSpec::uniform(2));
+    }
+
+    #[test]
+    fn mixed_fleet_costs_weight_by_profile() {
+        let mix = FleetSpec::mixed(&[(2, 1.0), (2, 0.6)]);
+        let sole = Placement::cpu_only(2).with_fleet(0, mix);
+        // Machine count is generation-blind; fleet cost prices the old
+        // boxes at their speed.
+        assert_eq!(sole.replica_cost(), 4);
+        assert!((sole.fleet_cost() - 3.2).abs() < 1e-12);
+
+        let hetero = Placement::gpu_frontend(2, 2).with_fleet(1, FleetSpec::new(&[1.0, 0.5]));
+        assert_eq!(hetero.replica_cost(), 3);
+        assert!((hetero.fleet_cost() - 2.5).abs() < 1e-12);
+
+        // Uniform fleets keep cost == count, the pre-fleet axis.
+        let uniform = Placement::cpu_only(2).with_backend_replicas(0, 4);
+        assert_eq!(uniform.replica_cost(), 4);
+        assert!((uniform.fleet_cost() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_fleet_emits_heterogeneous_groups() {
+        let pool = commodity_pool();
+        let pipeline = two_stage();
+        let placement = Placement::cpu_only(2).with_fleet(0, FleetSpec::new(&[1.0, 1.0, 0.6]));
+        let spec = build_spec(&pool, &PcieModel::measured(), &pipeline, &placement).unwrap();
+        let cpu_group = &spec.resources()[0];
+        assert_eq!(cpu_group.replicas(), 3);
+        let speeds: Vec<f64> = cpu_group.profiles().iter().map(|p| p.speed).collect();
+        assert_eq!(speeds, vec![1.0, 1.0, 0.6]);
+        // Speed-weighted capacity: 2.6x the single pool.
+        let single = build_spec(
+            &pool,
+            &PcieModel::measured(),
+            &pipeline,
+            &Placement::cpu_only(2),
+        )
+        .unwrap();
+        assert!((spec.max_qps() - 2.6 * single.max_qps()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_fleet_chain_spec_scales_every_group_by_generation() {
+        let pipeline = two_stage();
+        let accel = RpAccel::new(RpAccelConfig::paper_default(Partition::symmetric(8, 2)));
+        let pool: Vec<Arc<dyn Backend>> = vec![Arc::new(accel)];
+        let placement = Placement::uniform(0, 2, 1).with_fleet(0, FleetSpec::new(&[1.0, 0.5]));
+        let spec = build_spec(&pool, &PcieModel::measured(), &pipeline, &placement).unwrap();
+        // Each chain group (mem + lanes) is cloned per fleet member at
+        // that member's speed.
+        for group in spec.resources() {
+            assert_eq!(group.replicas(), 2);
+            assert_eq!(group.profiles()[0].speed, 1.0);
+            assert_eq!(group.profiles()[1].speed, 0.5);
+        }
+    }
+
+    #[test]
+    fn cluster_spec_fleet_round_trips_through_placements() {
+        let mix = FleetSpec::mixed(&[(1, 1.0), (2, 0.6)]);
+        let cluster = ClusterSpec::single(2).with_fleet(1, mix.clone());
+        let placement = cluster.apply(Placement::gpu_frontend(2, 2));
+        assert_eq!(placement.fleet_for(1), mix);
+        assert_eq!(placement.fleet_for(0), FleetSpec::uniform(1));
+        assert_eq!(ClusterSpec::from_placement(&placement, 2), cluster);
+        assert_eq!(cluster.replicas(), vec![1, 3]);
     }
 
     #[test]

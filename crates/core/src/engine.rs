@@ -19,7 +19,7 @@ use recpipe_metrics::ParetoFront;
 use recpipe_qsim::{PipelineSpec, SimResult, SpecError};
 use serde::{Deserialize, Serialize};
 
-use crate::backend::{build_serving_spec, Backend, ClusterSpec, Placement};
+use crate::backend::{build_serving_spec, Backend, ClusterSpec, FleetSpec, Placement};
 use crate::scheduler::Scheduler;
 use crate::{PipelineConfig, QualityEvaluator, QualityReport, SchedulerSettings};
 
@@ -122,6 +122,12 @@ pub struct Outcome {
     /// Total replica cost: replica counts summed across the backends
     /// the placement uses (1 per used backend when unreplicated).
     pub replicas: usize,
+    /// Profile-weighted hardware cost: the sum of replica speeds
+    /// across the backends the placement uses, so a
+    /// previous-generation 0.6-speed machine prices at 0.6 of a
+    /// current one (see [`Placement::fleet_cost`]). Equals `replicas`
+    /// for uniform current-generation fleets.
+    pub fleet_cost: f64,
 }
 
 impl Outcome {
@@ -156,7 +162,7 @@ pub struct EngineBuilder {
     seed: u64,
     batching: bool,
     cluster: Option<ClusterSpec>,
-    replica_overrides: Vec<(usize, usize)>,
+    fleet_overrides: Vec<(usize, FleetSpec)>,
 }
 
 impl EngineBuilder {
@@ -174,7 +180,7 @@ impl EngineBuilder {
             seed: 0xbeef,
             batching: false,
             cluster: None,
-            replica_overrides: Vec::new(),
+            fleet_overrides: Vec::new(),
         }
     }
 
@@ -268,9 +274,19 @@ impl EngineBuilder {
     ///
     /// Panics if `n == 0`, matching [`ClusterSpec::new`] and
     /// [`StageSite::with_replicas`](crate::StageSite::with_replicas).
-    pub fn replicas(mut self, backend_idx: usize, n: usize) -> Self {
-        assert!(n > 0, "replica count must be positive");
-        self.replica_overrides.push((backend_idx, n));
+    pub fn replicas(self, backend_idx: usize, n: usize) -> Self {
+        self.fleet(backend_idx, FleetSpec::uniform(n))
+    }
+
+    /// Replicates backend `backend_idx` into an explicit generation
+    /// mix — the heterogeneous form of [`replicas`](Self::replicas):
+    /// `FleetSpec::mixed(&[(2, 1.0), (2, 0.6)])` is two
+    /// current-generation machines plus two previous-generation ones
+    /// serving at 60% speed, each with its own queue behind the
+    /// per-stage router. The same no-op rule applies to backends the
+    /// placement gives no stage to.
+    pub fn fleet(mut self, backend_idx: usize, fleet: FleetSpec) -> Self {
+        self.fleet_overrides.push((backend_idx, fleet));
         self
     }
 
@@ -309,22 +325,22 @@ impl EngineBuilder {
             .placement
             .unwrap_or_else(|| Placement::uniform(0, pipeline.num_stages(), 1));
         if let Some(cluster) = &self.cluster {
-            if cluster.replicas().len() != self.backends.len() {
+            if cluster.fleets().len() != self.backends.len() {
                 return Err(EngineError::ClusterArity {
                     pool_size: self.backends.len(),
-                    entries: cluster.replicas().len(),
+                    entries: cluster.fleets().len(),
                 });
             }
             placement = cluster.apply(placement);
         }
-        for &(backend, n) in &self.replica_overrides {
-            if backend >= self.backends.len() {
+        for (backend, fleet) in &self.fleet_overrides {
+            if *backend >= self.backends.len() {
                 return Err(EngineError::UnknownBackend {
-                    index: backend,
+                    index: *backend,
                     pool_size: self.backends.len(),
                 });
             }
-            placement = placement.with_backend_replicas(backend, n);
+            placement = placement.with_fleet(*backend, fleet.clone());
         }
         let interconnect = self.interconnect.unwrap_or_else(PcieModel::measured);
         // Building the spec here both validates the placement eagerly
@@ -473,6 +489,13 @@ impl Engine {
         self.placement.replica_cost()
     }
 
+    /// Profile-weighted hardware cost of this engine's cluster (see
+    /// [`Placement::fleet_cost`]): previous-generation machines price
+    /// at their speed.
+    pub fn fleet_cost(&self) -> f64 {
+        self.placement.fleet_cost()
+    }
+
     /// The bound offered load in QPS.
     pub fn load(&self) -> f64 {
         self.load_qps
@@ -534,6 +557,7 @@ impl Engine {
             saturated: sim.saturated,
             meets_sla: self.sla_s.map(|sla| !sim.saturated && p99_s <= sla),
             replicas: self.placement.replica_cost(),
+            fleet_cost: self.placement.fleet_cost(),
         }
     }
 
@@ -614,11 +638,12 @@ impl Engine {
     /// swept (overriding `settings.dataset`); the settings supply the
     /// search grid.
     ///
-    /// When the settings sweep replica counts
-    /// ([`SchedulerSettings::replica_options`] beyond `[1]`), the front
-    /// becomes three-objective — quality vs latency vs total replica
-    /// cost ([`Scheduler::pareto_with_cost`]) — so cheap clusters
-    /// survive alongside fast ones.
+    /// When the settings sweep cluster shapes
+    /// ([`SchedulerSettings::replica_options`] beyond `[1]`, or any
+    /// [`SchedulerSettings::fleet_options`] mixing generations), the
+    /// front becomes three-objective — quality vs latency vs
+    /// profile-weighted fleet cost ([`Scheduler::pareto_with_cost`]) —
+    /// so cheap clusters survive alongside fast ones.
     pub fn sweep(&self, settings: &SchedulerSettings) -> ParetoFront<Outcome> {
         let mut settings = settings.clone();
         settings.dataset = self.pipeline.dataset();
@@ -631,7 +656,7 @@ impl Engine {
             self.sla_s,
             &self.interconnect,
         );
-        if settings.replica_options.iter().any(|&r| r > 1) {
+        if scheduler.sweeps_cluster_cost() {
             Scheduler::pareto_with_cost(points)
         } else {
             Scheduler::pareto(points)
@@ -1037,6 +1062,53 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, EngineError::UnknownBackend { index: 9, .. }));
+    }
+
+    #[test]
+    fn heterogeneous_fleet_engine_reports_weighted_capacity_and_cost() {
+        let base = Engine::commodity(two_stage())
+            .placement(Placement::cpu_only(2))
+            .quality_queries(20)
+            .build()
+            .unwrap();
+        let mixed = Engine::commodity(two_stage())
+            .placement(Placement::cpu_only(2))
+            .fleet(0, FleetSpec::mixed(&[(1, 1.0), (1, 0.5)]))
+            .quality_queries(20)
+            .build()
+            .unwrap();
+        // A current-gen box plus a half-speed old one drain like 1.5
+        // current ones.
+        assert!((mixed.max_qps() - 1.5 * base.max_qps()).abs() < 1e-6);
+        assert_eq!(mixed.replica_cost(), 2);
+        assert!((mixed.fleet_cost() - 1.5).abs() < 1e-12);
+        assert_eq!(mixed.cluster().fleets()[0], FleetSpec::new(&[1.0, 0.5]));
+        let outcome = mixed.evaluate_at(200.0);
+        assert_eq!(outcome.mapping, "cpu*1@1.0+1@0.5");
+        assert_eq!(outcome.replicas, 2);
+        assert!((outcome.fleet_cost - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_serves_with_speed_aware_routing() {
+        use recpipe_data::PoissonArrivals;
+        use recpipe_qsim::{ExpectedWait, Fifo};
+        let mixed = Engine::commodity(two_stage())
+            .placement(Placement::cpu_only(2))
+            .fleet(0, FleetSpec::mixed(&[(2, 1.0), (2, 0.5)]))
+            .quality_queries(20)
+            .build()
+            .unwrap();
+        let out = mixed.serve_routed(
+            &PoissonArrivals::new(0.8 * mixed.max_qps()),
+            &Fifo,
+            &ExpectedWait,
+            3_000,
+        );
+        assert_eq!(out.completed, 3_000);
+        assert!(!out.saturated);
+        // The router saw the real 4-replica mixed fleet.
+        assert_eq!(out.replica_utilization[0].len(), 4);
     }
 
     #[test]

@@ -58,7 +58,7 @@ mod scheduler;
 mod stage;
 
 pub use backend::{
-    build_serving_spec, build_spec, Backend, ClusterSpec, Placement, StageSite,
+    build_serving_spec, build_spec, Backend, ClusterSpec, FleetSpec, Placement, StageSite,
     INTERMEDIATE_BYTES_PER_ITEM,
 };
 pub use engine::{Engine, EngineBuilder, EngineError, Outcome};

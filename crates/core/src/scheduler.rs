@@ -9,7 +9,7 @@ use recpipe_models::ModelKind;
 use recpipe_qsim::SimResult;
 use serde::{Deserialize, Serialize};
 
-use crate::backend::{build_spec, Backend, Placement, StageSite};
+use crate::backend::{build_spec, Backend, FleetSpec, Placement, StageSite};
 use crate::engine::Outcome;
 use crate::parallel::{parallel_map, worker_threads};
 use crate::{PipelineConfig, QualityEvaluator, StageConfig};
@@ -30,8 +30,17 @@ pub struct SchedulerSettings {
     /// product over the distinct backends each placement uses, so the
     /// Pareto front trades quality and latency against total replica
     /// cost. `[1]` (the default) reproduces the pre-cluster sweep
-    /// exactly.
+    /// exactly. Superseded by [`fleet_options`](Self::fleet_options)
+    /// when that grid is non-empty.
     pub replica_options: Vec<usize>,
+    /// Candidate replica *fleets* per backend — the heterogeneous
+    /// generalization of [`replica_options`](Self::replica_options):
+    /// each option is a full generation mix (e.g.
+    /// `FleetSpec::mixed(&[(2, 1.0), (2, 0.6)])`), so a sweep can trade
+    /// "4 old replicas" against "2 new" on the quality x p99 x
+    /// fleet-cost front. When empty (the default) the sweep derives
+    /// uniform fleets from `replica_options`.
+    pub fleet_options: Vec<FleetSpec>,
     /// Deepest pipeline the search enumerates (`Engine::sweep` uses
     /// this; the `explore_*` methods take it as an explicit argument).
     pub max_stages: usize,
@@ -151,6 +160,7 @@ impl SchedulerSettings {
             keep_ratios: vec![8, 16],
             cores_options: vec![1, 2, 4],
             replica_options: vec![1],
+            fleet_options: Vec::new(),
             max_stages: 3,
             quality_queries: 200,
             sim_queries: 3_000,
@@ -170,6 +180,7 @@ impl SchedulerSettings {
             keep_ratios: vec![8],
             cores_options: vec![1, 2],
             replica_options: vec![1],
+            fleet_options: Vec::new(),
             max_stages: 3,
             quality_queries: 400,
             sim_queries: 800,
@@ -189,6 +200,7 @@ struct Candidate {
     mapping: String,
     ndcg: f64,
     replicas: usize,
+    fleet_cost: f64,
     spec: recpipe_qsim::PipelineSpec,
 }
 
@@ -197,23 +209,21 @@ struct RungPoint {
     idx: usize,
     p99_s: f64,
     ndcg: f64,
-    replicas: usize,
+    cost: f64,
     saturated: bool,
 }
 
 impl RungPoint {
     /// Whether `self` Pareto-dominates `other` on (p99 min, ndcg max,
-    /// replica cost min) — the same axes
+    /// fleet cost min) — the same axes
     /// [`Scheduler::pareto_with_cost`] ranks final outcomes on (and,
     /// with all costs equal, exactly [`Scheduler::pareto`]'s 2D
     /// dominance).
     fn dominates(&self, other: &Self) -> bool {
         self.p99_s <= other.p99_s
             && self.ndcg >= other.ndcg
-            && self.replicas <= other.replicas
-            && (self.p99_s < other.p99_s
-                || self.ndcg > other.ndcg
-                || self.replicas < other.replicas)
+            && self.cost <= other.cost
+            && (self.p99_s < other.p99_s || self.ndcg > other.ndcg || self.cost < other.cost)
     }
 }
 
@@ -358,7 +368,7 @@ impl Scheduler {
         // speedup (and, on chain-spec backends, drop the whole-chain
         // decomposition).
         let allows_parallel =
-            |b: usize, k: usize| pool[b].splits_queries() && k <= pool[b].resources().capacity;
+            |b: usize, k: usize| pool[b].splits_queries() && k <= pool[b].resources().capacity();
 
         for b in 0..pool.len() {
             out.push(Placement::uniform(b, n, 1));
@@ -409,21 +419,45 @@ impl Scheduler {
         out
     }
 
-    /// Replica-count variants of one placement: the cross product of
-    /// [`SchedulerSettings::replica_options`] over the distinct
-    /// backends the placement uses. The options define the whole
-    /// search space — any replica counts the placement already carries
+    /// The fleet grid a sweep crosses per backend:
+    /// [`SchedulerSettings::fleet_options`] when set, otherwise uniform
+    /// fleets derived from
+    /// [`SchedulerSettings::replica_options`] (`[1]` when both are
+    /// empty).
+    pub fn effective_fleet_options(&self) -> Vec<FleetSpec> {
+        if !self.settings.fleet_options.is_empty() {
+            return self.settings.fleet_options.clone();
+        }
+        if self.settings.replica_options.is_empty() {
+            return vec![FleetSpec::uniform(1)];
+        }
+        self.settings
+            .replica_options
+            .iter()
+            .map(|&r| FleetSpec::uniform(r))
+            .collect()
+    }
+
+    /// Whether the sweep explores more than the single-baseline-replica
+    /// cluster shape — the condition under which `Engine::sweep` adds
+    /// the fleet-cost objective.
+    pub fn sweeps_cluster_cost(&self) -> bool {
+        self.effective_fleet_options()
+            .iter()
+            .any(|f| f.replicas() > 1 || !f.is_uniform_baseline())
+    }
+
+    /// Fleet variants of one placement: the cross product of
+    /// [`effective_fleet_options`](Self::effective_fleet_options) over
+    /// the distinct backends the placement uses. The options define the
+    /// whole search space — any fleets the placement already carries
     /// are overwritten by the enumeration. With options `[1]` (the
     /// default) and an unreplicated placement (what
     /// [`placements_for`](Self::placements_for) generates) this is the
     /// identity, so pre-cluster sweeps are reproduced
     /// candidate-for-candidate.
-    pub fn replica_variants(&self, placement: &Placement) -> Vec<Placement> {
-        let opts: &[usize] = if self.settings.replica_options.is_empty() {
-            &[1]
-        } else {
-            &self.settings.replica_options
-        };
+    pub fn fleet_variants(&self, placement: &Placement) -> Vec<Placement> {
+        let opts = self.effective_fleet_options();
         let mut used: Vec<usize> = placement.sites().iter().map(|s| s.backend).collect();
         used.sort_unstable();
         used.dedup();
@@ -431,8 +465,8 @@ impl Scheduler {
         for &b in &used {
             let mut next = Vec::with_capacity(out.len() * opts.len());
             for p in &out {
-                for &r in opts {
-                    next.push(p.clone().with_backend_replicas(b, r));
+                for fleet in &opts {
+                    next.push(p.clone().with_fleet(b, fleet.clone()));
                 }
             }
             out = next;
@@ -440,6 +474,13 @@ impl Scheduler {
         let mut seen = HashSet::new();
         out.retain(|p| seen.insert(p.clone()));
         out
+    }
+
+    /// Compatibility alias for [`fleet_variants`](Self::fleet_variants)
+    /// (the pre-fleet name, when variants could only differ in uniform
+    /// replica counts).
+    pub fn replica_variants(&self, placement: &Placement) -> Vec<Placement> {
+        self.fleet_variants(placement)
     }
 
     /// Explores the joint design space over an arbitrary backend pool —
@@ -541,7 +582,7 @@ impl Scheduler {
         for pipeline in &pipelines {
             let ndcg = quality_cache[pipeline];
             for base in self.placements_for(pool, pipeline.num_stages()) {
-                for placement in self.replica_variants(&base) {
+                for placement in self.fleet_variants(&base) {
                     let Ok(spec) = build_spec(pool, interconnect, pipeline, &placement) else {
                         continue;
                     };
@@ -555,6 +596,7 @@ impl Scheduler {
                         mapping: placement.describe(pool),
                         ndcg,
                         replicas: placement.replica_cost(),
+                        fleet_cost: placement.fleet_cost(),
                         spec,
                     });
                 }
@@ -607,6 +649,7 @@ impl Scheduler {
                     saturated: sim.saturated,
                     meets_sla: sla_s.map(|sla| !sim.saturated && p99_s <= sla),
                     replicas: c.replicas,
+                    fleet_cost: c.fleet_cost,
                 }
             })
             .collect()
@@ -664,7 +707,7 @@ impl Scheduler {
                     idx,
                     p99_s: sim.p99_seconds(),
                     ndcg: candidates[idx].ndcg,
-                    replicas: candidates[idx].replicas,
+                    cost: candidates[idx].fleet_cost,
                     saturated: sim.saturated,
                 })
                 .collect();
@@ -770,11 +813,15 @@ impl Scheduler {
         })
     }
 
-    /// Three-objective Pareto frontier for replica-count sweeps:
-    /// minimize p99, maximize NDCG, *minimize total replica cost* —
-    /// so a cheaper cluster survives the front even when a larger one
-    /// beats its latency. Saturated points are dropped. With every
-    /// point at equal cost this reduces to [`pareto`](Self::pareto).
+    /// Three-objective Pareto frontier for cluster sweeps: minimize
+    /// p99, maximize NDCG, *minimize profile-weighted fleet cost*
+    /// ([`Outcome::fleet_cost`]: previous-generation machines price at
+    /// their speed) — so a cheaper cluster survives the front even
+    /// when a larger or newer one beats its latency. Saturated points
+    /// are dropped. With every point at equal cost this reduces to
+    /// [`pareto`](Self::pareto); on uniform baseline fleets the cost
+    /// equals the replica count, reproducing the pre-fleet axis
+    /// bit-identically.
     pub fn pareto_with_cost(points: Vec<Outcome>) -> ParetoFront<Outcome> {
         let stable: Vec<Outcome> = points.into_iter().filter(|p| !p.saturated).collect();
         ParetoFront::extract(
@@ -784,7 +831,7 @@ impl Scheduler {
                 Dominance::Maximize,
                 Dominance::Minimize,
             ],
-            |p| vec![p.p99_s, p.ndcg, p.replicas as f64],
+            |p| vec![p.p99_s, p.ndcg, p.fleet_cost],
         )
     }
 
@@ -969,14 +1016,66 @@ mod tests {
         cheap.ndcg = 0.9;
         cheap.p99_s = 0.010;
         cheap.replicas = 1;
+        cheap.fleet_cost = 1.0;
         cheap.saturated = false;
         let mut fast = cheap.clone();
         fast.p99_s = 0.005;
         fast.replicas = 4;
+        fast.fleet_cost = 4.0;
         let front2d = Scheduler::pareto(vec![cheap.clone(), fast.clone()]);
         assert_eq!(front2d.len(), 1);
         let front3d = Scheduler::pareto_with_cost(vec![cheap, fast]);
         assert_eq!(front3d.len(), 2);
+    }
+
+    #[test]
+    fn fleet_variants_cross_generation_mixes() {
+        let mut settings = SchedulerSettings::quick();
+        settings.fleet_options = vec![
+            FleetSpec::uniform(1),
+            FleetSpec::mixed(&[(1, 1.0), (1, 0.6)]),
+        ];
+        let s = Scheduler::new(settings);
+        assert!(s.sweeps_cluster_cost());
+        // One used backend -> 2 variants; two distinct backends -> 4.
+        let variants = s.fleet_variants(&Placement::cpu_only(2));
+        assert_eq!(variants.len(), 2);
+        assert_eq!(s.fleet_variants(&Placement::gpu_frontend(2, 1)).len(), 4);
+        let costs: Vec<f64> = variants.iter().map(|p| p.fleet_cost()).collect();
+        assert_eq!(costs, vec![1.0, 1.6]);
+        // The default grid sweeps no cluster cost axis.
+        assert!(!scheduler().sweeps_cluster_cost());
+    }
+
+    #[test]
+    fn fleet_option_sweep_keeps_a_mixed_generation_front_point() {
+        // The heterogeneity acceptance: sweeping fleet options returns
+        // a three-objective front with at least one mixed-generation
+        // cluster on it — cheaper than the uniform two-replica fleet,
+        // faster than anything a single replica can do at this load.
+        let mut settings = SchedulerSettings::quick();
+        settings.fleet_options = vec![
+            FleetSpec::uniform(1),
+            FleetSpec::uniform(2),
+            FleetSpec::mixed(&[(1, 1.0), (1, 0.6)]),
+        ];
+        let s = Scheduler::new(settings);
+        let pool: Vec<Arc<dyn Backend>> = vec![Arc::new(CpuModel::cascade_lake())];
+        // A load high enough that single replicas queue hard on the
+        // best pipelines: the mixed fleet's 1.6x drain rate buys real
+        // p99, while the uniform two-replica fleet costs 2.0.
+        let points = s.explore_pool(8_000.0, 2, &pool, 1, None, &PcieModel::measured());
+        let front = Scheduler::pareto_with_cost(points);
+        assert!(!front.is_empty());
+        assert!(
+            front.iter().any(|p| p.mapping.contains('@')),
+            "no mixed-generation point on the front: {:?}",
+            front.iter().map(|p| p.mapping.clone()).collect::<Vec<_>>()
+        );
+        // Fleet costs are profile-weighted on every point.
+        for p in front.iter() {
+            assert!(p.fleet_cost <= p.replicas as f64 + 1e-12);
+        }
     }
 
     #[test]
@@ -1092,22 +1191,22 @@ mod tests {
 
     #[test]
     fn survivor_selection_keeps_the_whole_front_and_fills_by_rank() {
-        let point = |idx, p99_s, ndcg, replicas, saturated| RungPoint {
+        let point = |idx, p99_s, ndcg, cost: f64, saturated| RungPoint {
             idx,
             p99_s,
             ndcg,
-            replicas,
+            cost,
             saturated,
         };
         // Front: 10 (fast/low-quality) and 12 (slow/high-quality);
         // 11 is rank-2 (dominated only by 10); 13 is dominated twice
         // over; 14 is saturated.
         let ranked = vec![
-            point(10, 0.010, 0.90, 1, false),
-            point(11, 0.012, 0.89, 1, false),
-            point(12, 0.030, 0.95, 1, false),
-            point(13, 0.040, 0.88, 2, false),
-            point(14, 0.005, 0.99, 1, true),
+            point(10, 0.010, 0.90, 1.0, false),
+            point(11, 0.012, 0.89, 1.0, false),
+            point(12, 0.030, 0.95, 1.0, false),
+            point(13, 0.040, 0.88, 2.0, false),
+            point(14, 0.005, 0.99, 1.0, true),
         ];
         // A tiny fraction still keeps the full non-dominated front.
         assert_eq!(Scheduler::select_survivors(&ranked, 0.2), vec![10, 12]);

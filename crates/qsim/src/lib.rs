@@ -6,17 +6,22 @@
 //! modeling", step 2). This crate is that simulator, extended into a
 //! batching-aware serving core:
 //!
-//! * **Resources** are [`ReplicaGroup`]s: `replicas` identical pools of
-//!   unit capacity — 64 CPU cores, 1 GPU, `n` accelerator sub-array
-//!   groups, or a fleet of N such machines behind a load balancer. Each
-//!   replica has its own private queue; stages *share* groups: a
-//!   CPU-only two-stage pipeline contends for the same cores with both
-//!   stages, exactly like the real deployment.
+//! * **Resources** are [`ReplicaGroup`]s: fleets of replica pools — 64
+//!   CPU cores, 1 GPU, `n` accelerator sub-array groups, or N such
+//!   machines behind a load balancer. Each replica is described by a
+//!   [`ReplicaProfile`] (unit capacity + a service-rate `speed`
+//!   multiplier), so a fleet may mix machine generations; uniform
+//!   fleets built with [`ReplicaGroup::replicated`] behave exactly as
+//!   before. Each replica has its own private queue; stages *share*
+//!   groups: a CPU-only two-stage pipeline contends for the same cores
+//!   with both stages, exactly like the real deployment.
 //! * **Routing** is pluggable behind [`Router`]: when a group has more
 //!   than one replica, every query is routed to one replica per stage —
 //!   oblivious [`RoundRobin`], full-information [`JoinShortestQueue`],
-//!   sampled [`PowerOfTwoChoices`], or free-unit-driven
-//!   [`LeastWorkLeft`]. Batches never span replicas.
+//!   sampled [`PowerOfTwoChoices`], free-unit-driven [`LeastWorkLeft`],
+//!   speed-aware [`ExpectedWait`], or affinity-preserving [`Sticky`]
+//!   (fed by a per-query [`RoutingCtx`] recording prior stages'
+//!   choices). Batches never span replicas.
 //! * **Stages** consume `units` resource units per launch for a
 //!   deterministic service time. Each stage carries a [`BatchModel`]:
 //!   how many queries one launch may aggregate and how the batch's
@@ -67,17 +72,21 @@
 //! assert!(result.mean_batch > 1.0);
 //! ```
 
+mod persist;
 mod policy;
 mod result;
 mod router;
 mod sim;
 mod spec;
 
+pub use persist::ParseError;
 pub use policy::{BatchWindow, EarliestDeadlineFirst, Fifo, QueueEntry, Release, SchedulingPolicy};
 pub use result::SimResult;
 pub use router::{
-    JoinShortestQueue, LeastWorkLeft, PowerOfTwoChoices, ReplicaLoads, ReplicaSnapshot, RoundRobin,
-    Router, RouterState,
+    ExpectedWait, JoinShortestQueue, LeastWorkLeft, PowerOfTwoChoices, ReplicaLoads,
+    ReplicaSnapshot, RoundRobin, Router, RouterState, RoutingCtx, Sticky,
 };
 pub use sim::{serve, serve_routed, simulate};
-pub use spec::{BatchModel, PipelineSpec, ReplicaGroup, ResourceSpec, SpecError, StageSpec};
+pub use spec::{
+    BatchModel, PipelineSpec, ReplicaGroup, ReplicaProfile, ResourceSpec, SpecError, StageSpec,
+};

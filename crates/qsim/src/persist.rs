@@ -1,0 +1,499 @@
+//! Serialized forms of [`ReplicaGroup`] across the API's three
+//! vintages.
+//!
+//! The workspace's offline `serde` shim derives no real
+//! (de)serialization, so the persistence contract the serde attributes
+//! used to document lives here as an explicit JSON codec. Three
+//! serialized vintages exist in the wild and all must keep loading:
+//!
+//! 1. **pre-cluster** — `{"name":"cpu","capacity":64}`: one pool, one
+//!    queue; deserializes to a single baseline replica;
+//! 2. **uniform cluster** (PR 3) —
+//!    `{"name":"cpu","capacity":64,"replicas":4}`: N identical
+//!    replicas; a missing `replicas` field defaults to 1 (the rule the
+//!    old `#[serde(default)]` attribute encoded);
+//! 3. **heterogeneous fleet** —
+//!    `{"name":"cpu","profiles":[{"capacity":64,"speed":1.0},
+//!    {"capacity":64,"speed":0.6}]}`: explicit per-replica
+//!    [`ReplicaProfile`]s; a missing `speed` defaults to the 1.0
+//!    baseline.
+//!
+//! [`ReplicaGroup::to_json`] always emits the *oldest* vintage that
+//! can represent the group (so pre-fleet consumers keep parsing
+//! uniform fleets), and [`ReplicaGroup::from_json`] accepts all three;
+//! `parse(to_json(g)) == g` holds for every group.
+
+use crate::{ReplicaGroup, ReplicaProfile};
+
+/// Error deserializing a [`ReplicaGroup`] from JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    detail: String,
+}
+
+impl ParseError {
+    fn new(detail: impl Into<String>) -> Self {
+        Self {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid replica group JSON: {}", self.detail)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Minimal JSON value — just the shapes the vintages above use.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Object(Vec<(String, Value)>),
+    Array(Vec<Value>),
+    Number(f64),
+    String(String),
+}
+
+impl Value {
+    fn field<'a>(&'a self, key: &str) -> Option<&'a Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent parser over the byte cursor; rejects trailing
+/// garbage and anything outside the object/array/number/string subset.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            at: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.at).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(ParseError::new(format!(
+                "expected '{}' at byte {}",
+                b as char, self.at
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(ParseError::new(format!(
+                "unexpected input at byte {}",
+                self.at
+            ))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(ParseError::new("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(ParseError::new("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.at) {
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let escaped = self
+                        .bytes
+                        .get(self.at + 1)
+                        .ok_or_else(|| ParseError::new("dangling escape"))?;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.at + 2..self.at + 6)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| ParseError::new("malformed \\u escape"))?;
+                            // Basic-plane code points only; surrogate
+                            // halves (which char::from_u32 rejects) are
+                            // beyond what this codec ever emits.
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| ParseError::new("invalid \\u code point"))?,
+                            );
+                            self.at += 4;
+                        }
+                        other => {
+                            return Err(ParseError::new(format!(
+                                "unsupported escape '\\{}'",
+                                *other as char
+                            )))
+                        }
+                    }
+                    self.at += 2;
+                }
+                Some(&b) => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let start = self.at;
+                    let len = match b {
+                        _ if b < 0x80 => 1,
+                        _ if b >> 5 == 0b110 => 2,
+                        _ if b >> 4 == 0b1110 => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| ParseError::new("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.at += len;
+                }
+                None => return Err(ParseError::new("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        let start = self.at;
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|&b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.at += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.at])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|n| n.is_finite())
+            .map(Value::Number)
+            .ok_or_else(|| ParseError::new(format!("malformed number at byte {start}")))
+    }
+
+    fn finish(mut self, value: Value) -> Result<Value, ParseError> {
+        if self.peek().is_some() {
+            return Err(ParseError::new("trailing input after value"));
+        }
+        Ok(value)
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            // RFC 8259 forbids raw control characters in strings; the
+            // remaining ones get the generic \u00XX form so strict
+            // external parsers accept the emitted vintage.
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn positive_count(value: &Value, what: &str) -> Result<usize, ParseError> {
+    match value {
+        Value::Number(n) if *n >= 1.0 && n.fract() == 0.0 && *n <= usize::MAX as f64 => {
+            Ok(*n as usize)
+        }
+        _ => Err(ParseError::new(format!(
+            "{what} must be a positive integer"
+        ))),
+    }
+}
+
+fn positive_speed(value: &Value) -> Result<f64, ParseError> {
+    match value {
+        Value::Number(n) if *n > 0.0 => Ok(*n),
+        _ => Err(ParseError::new("speed must be a positive number")),
+    }
+}
+
+impl ReplicaGroup {
+    /// Serializes the group as JSON, emitting the oldest vintage that
+    /// represents it exactly: pre-cluster `{name, capacity}` for a
+    /// single baseline replica, `{name, capacity, replicas}` for a
+    /// uniform fleet, and `{name, profiles: [...]}` only when
+    /// generations actually mix — so consumers of the earlier forms
+    /// keep parsing everything the earlier APIs could build.
+    pub fn to_json(&self) -> String {
+        let name = escape(&self.name);
+        if self.is_uniform() {
+            let capacity = self.profiles()[0].capacity;
+            return if self.replicas() == 1 {
+                format!("{{\"name\":\"{name}\",\"capacity\":{capacity}}}")
+            } else {
+                format!(
+                    "{{\"name\":\"{name}\",\"capacity\":{capacity},\"replicas\":{}}}",
+                    self.replicas()
+                )
+            };
+        }
+        let profiles: Vec<String> = self
+            .profiles()
+            .iter()
+            .map(|p| format!("{{\"capacity\":{},\"speed\":{:?}}}", p.capacity, p.speed))
+            .collect();
+        format!(
+            "{{\"name\":\"{name}\",\"profiles\":[{}]}}",
+            profiles.join(",")
+        )
+    }
+
+    /// Deserializes a group from any of the three serialized vintages
+    /// (see the module docs): pre-cluster specs with no `replicas` or
+    /// `profiles` field load as one uniform baseline replica, uniform
+    /// cluster specs honor `replicas`, and heterogeneous fleets list
+    /// explicit `profiles` (per-profile `speed` defaults to 1.0).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed JSON, a missing
+    /// `name`/`capacity`, a zero count, a non-positive speed, or an
+    /// empty `profiles` array.
+    pub fn from_json(text: &str) -> Result<Self, ParseError> {
+        let mut parser = Parser::new(text);
+        let value = parser.value()?;
+        let value = parser.finish(value)?;
+        let name = match value.field("name") {
+            Some(Value::String(s)) => s.clone(),
+            _ => return Err(ParseError::new("missing string field 'name'")),
+        };
+        if let Some(profiles) = value.field("profiles") {
+            let Value::Array(items) = profiles else {
+                return Err(ParseError::new("'profiles' must be an array"));
+            };
+            if items.is_empty() {
+                return Err(ParseError::new("'profiles' must not be empty"));
+            }
+            let profiles = items
+                .iter()
+                .map(|item| {
+                    let capacity = item
+                        .field("capacity")
+                        .ok_or_else(|| ParseError::new("profile missing 'capacity'"))
+                        .and_then(|v| positive_count(v, "capacity"))?;
+                    let speed = match item.field("speed") {
+                        Some(v) => positive_speed(v)?,
+                        None => 1.0,
+                    };
+                    Ok(ReplicaProfile::new(capacity, speed))
+                })
+                .collect::<Result<Vec<_>, ParseError>>()?;
+            return Ok(ReplicaGroup::heterogeneous(name, profiles));
+        }
+        let capacity = value
+            .field("capacity")
+            .ok_or_else(|| ParseError::new("missing field 'capacity'"))
+            .and_then(|v| positive_count(v, "capacity"))?;
+        let replicas = match value.field("replicas") {
+            Some(v) => positive_count(v, "replicas")?,
+            None => 1, // the pre-cluster default the serde attribute encoded
+        };
+        Ok(ReplicaGroup::replicated(name, capacity, replicas))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_vintages_deserialize() {
+        let pre_cluster = ReplicaGroup::from_json(r#"{"name":"cpu","capacity":64}"#).unwrap();
+        assert_eq!(pre_cluster, ReplicaGroup::new("cpu", 64));
+
+        let uniform =
+            ReplicaGroup::from_json(r#"{"name":"cpu","capacity":64,"replicas":4}"#).unwrap();
+        assert_eq!(uniform, ReplicaGroup::replicated("cpu", 64, 4));
+
+        let mixed = ReplicaGroup::from_json(
+            r#"{"name":"worker","profiles":[
+                {"capacity":1,"speed":1.0},{"capacity":1,"speed":0.6},{"capacity":2}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            mixed,
+            ReplicaGroup::heterogeneous(
+                "worker",
+                vec![
+                    ReplicaProfile::new(1, 1.0),
+                    ReplicaProfile::new(1, 0.6),
+                    ReplicaProfile::baseline(2),
+                ],
+            )
+        );
+    }
+
+    #[test]
+    fn every_vintage_round_trips_bit_identically() {
+        let vintages = [
+            r#"{"name":"cpu","capacity":64}"#,
+            r#"{"name":"gpu","capacity":1,"replicas":3}"#,
+            r#"{"name":"worker","profiles":[{"capacity":1,"speed":1.0},{"capacity":1,"speed":0.6}]}"#,
+        ];
+        for text in vintages {
+            let group = ReplicaGroup::from_json(text).unwrap();
+            let emitted = group.to_json();
+            let reparsed = ReplicaGroup::from_json(&emitted).unwrap();
+            assert_eq!(group, reparsed, "vintage {text}");
+            // The canonical emission is stable under a second trip.
+            assert_eq!(emitted, reparsed.to_json());
+        }
+    }
+
+    #[test]
+    fn emission_prefers_the_oldest_representable_vintage() {
+        assert_eq!(
+            ReplicaGroup::new("cpu", 64).to_json(),
+            r#"{"name":"cpu","capacity":64}"#
+        );
+        assert_eq!(
+            ReplicaGroup::replicated("cpu", 64, 4).to_json(),
+            r#"{"name":"cpu","capacity":64,"replicas":4}"#
+        );
+        let mixed = ReplicaGroup::heterogeneous(
+            "w",
+            vec![ReplicaProfile::baseline(1), ReplicaProfile::new(1, 0.6)],
+        );
+        assert_eq!(
+            mixed.to_json(),
+            r#"{"name":"w","profiles":[{"capacity":1,"speed":1.0},{"capacity":1,"speed":0.6}]}"#
+        );
+    }
+
+    #[test]
+    fn heterogeneous_speeds_survive_exactly() {
+        // Speeds emit via the shortest round-trip float form, so even
+        // awkward values reload bit-for-bit.
+        let speeds = [0.1, 0.3333333333333333, 1.0 / 3.0, 2.5, 1.25e-3];
+        let group = ReplicaGroup::heterogeneous(
+            "w",
+            speeds.iter().map(|&s| ReplicaProfile::new(3, s)).collect(),
+        );
+        let back = ReplicaGroup::from_json(&group.to_json()).unwrap();
+        for (a, b) in group.profiles().iter().zip(back.profiles()) {
+            assert_eq!(a.speed.to_bits(), b.speed.to_bits());
+        }
+    }
+
+    #[test]
+    fn names_with_escapes_round_trip() {
+        let group = ReplicaGroup::new("odd \"name\"\\with\tesc\r\napes\u{8}and\u{1f}", 2);
+        let emitted = group.to_json();
+        // RFC 8259: no raw control characters may survive into the
+        // emitted string.
+        assert!(emitted.chars().all(|c| (c as u32) >= 0x20), "{emitted:?}");
+        assert!(emitted.contains("\\u0008") && emitted.contains("\\r"));
+        let back = ReplicaGroup::from_json(&emitted).unwrap();
+        assert_eq!(group, back);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            r#"{"name":"x"}"#,                                       // no capacity
+            r#"{"capacity":4}"#,                                     // no name
+            r#"{"name":"x","capacity":0}"#,                          // zero capacity
+            r#"{"name":"x","capacity":4,"replicas":0}"#,             // zero replicas
+            r#"{"name":"x","capacity":4.5}"#,                        // fractional units
+            r#"{"name":"x","profiles":[]}"#,                         // empty fleet
+            r#"{"name":"x","profiles":[{"speed":1.0}]}"#,            // profile w/o capacity
+            r#"{"name":"x","profiles":[{"capacity":1,"speed":0}]}"#, // zero speed
+            r#"{"name":"x","capacity":4} trailing"#,                 // trailing garbage
+        ] {
+            assert!(
+                ReplicaGroup::from_json(bad).is_err(),
+                "accepted malformed input {bad:?}"
+            );
+        }
+    }
+}

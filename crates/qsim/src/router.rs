@@ -10,19 +10,55 @@
 //! * [`RoundRobin`] — cycle through replicas, oblivious to their state:
 //!   the baseline hardware load balancer;
 //! * [`JoinShortestQueue`] — send to the replica with the fewest
-//!   queued-plus-in-flight queries: the full-information ideal, at the
-//!   cost of inspecting every replica per decision;
+//!   queued-plus-in-flight queries: the full-information ideal on
+//!   *uniform* fleets, at the cost of inspecting every replica per
+//!   decision;
 //! * [`PowerOfTwoChoices`] — sample two distinct replicas uniformly and
 //!   join the less loaded (the classic d=2 result: nearly all of JSQ's
 //!   tail benefit with two probes instead of N);
 //! * [`LeastWorkLeft`] — prefer the replica with the most free resource
 //!   units (it can start new work soonest), breaking ties by fewest
-//!   outstanding queries: the queue-length signal JSQ ignores.
+//!   outstanding queries: the queue-length signal JSQ ignores;
+//! * [`ExpectedWait`] — join the replica whose *expected wait*
+//!   (outstanding expected service seconds divided by replica speed) is
+//!   smallest: the estimator that sees through both query counts and
+//!   free units on mixed-generation fleets (see below);
+//! * [`Sticky`] — replica affinity: a query's later stages return to
+//!   the replica an earlier stage on the same group chose (where its
+//!   state — cached embeddings, per-query context — already lives),
+//!   with a pluggable fallback router for the first touch.
 //!
-//! Routers must be deterministic given the replica snapshots and the
-//! [`RouterState`]; all randomness flows through the state's seeded
-//! generator, so simulations reproduce bit-for-bit across runs and
-//! worker threads.
+//! # The expected-wait estimator
+//!
+//! The simulator maintains, per replica, **remaining expected work**:
+//! the sum of
+//!
+//! * every *queued* entry's baseline per-query service time
+//!   ([`StageSpec::service_time`]), plus
+//! * every *in-flight* batch's full booked service time
+//!   ([`StageSpec::batch_service_time`] at the batch's size),
+//!
+//! all in baseline (speed-1) seconds, updated incrementally on every
+//! enqueue, launch, and completion — no per-decision scan. Exposed
+//! through [`ReplicaLoads::remaining_work`]; dividing by the replica's
+//! [`speed`](ReplicaLoads::speed) ([`ReplicaLoads::expected_wait`])
+//! converts it to wall-clock drain time on that replica.
+//!
+//! The estimator is deliberately simple — in-flight work is charged at
+//! its full booked time rather than decayed by elapsed service, and a
+//! replica's internal unit parallelism is ignored (the serial-drain
+//! approximation, exact for capacity-1 replicas) — but it is the only
+//! built-in signal that *sees replica speed*. On a fleet mixing machine
+//! generations, a 2-query backlog on an old 0.5-speed box outweighs a
+//! 3-query backlog on a new one; JSQ's query count and
+//! `LeastWorkLeft`'s free units are both blind to the difference, which
+//! is why [`ExpectedWait`] wins the tail on mixed fleets
+//! (`examples/cluster_serving.rs` measures it).
+//!
+//! Routers must be deterministic given the replica state, the
+//! [`RoutingCtx`], and the [`RouterState`]; all randomness flows
+//! through the state's seeded generator, so simulations reproduce
+//! bit-for-bit across runs and worker threads.
 //!
 //! Routing sits on the simulator's hottest path (one decision per query
 //! per stage), so the trait has two entry points: the snapshot-based
@@ -33,13 +69,15 @@
 //! [`ReplicaSnapshot`] per replica per decision. The default
 //! `route_indexed` builds snapshots and delegates to `route`, so custom
 //! routers only implement one method; every built-in overrides it to
-//! read two integers per probe.
+//! read a couple of scalars per probe.
 //!
 //! [`ReplicaGroup`]: crate::ReplicaGroup
+//! [`StageSpec::service_time`]: crate::StageSpec::service_time
+//! [`StageSpec::batch_service_time`]: crate::StageSpec::batch_service_time
 
 /// Occupancy snapshot of one replica, offered to routers at decision
 /// time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReplicaSnapshot {
     /// Queries waiting in the replica's queue.
     pub queued: usize,
@@ -47,6 +85,12 @@ pub struct ReplicaSnapshot {
     pub in_flight: usize,
     /// Resource units currently free on the replica.
     pub free_units: usize,
+    /// Remaining expected work in baseline seconds (see the module docs
+    /// for the estimator).
+    pub remaining_work: f64,
+    /// The replica's service-rate multiplier
+    /// ([`ReplicaProfile::speed`](crate::ReplicaProfile::speed)).
+    pub speed: f64,
 }
 
 impl ReplicaSnapshot {
@@ -55,27 +99,42 @@ impl ReplicaSnapshot {
     pub fn load(&self) -> usize {
         self.queued + self.in_flight
     }
+
+    /// Expected wall-clock drain time of the replica's outstanding
+    /// work: `remaining_work / speed` (the [`ExpectedWait`] signal).
+    pub fn expected_wait(&self) -> f64 {
+        self.remaining_work / self.speed
+    }
 }
 
 /// Borrowed per-replica occupancy arrays for one resource group — the
 /// allocation-free form of the `&[ReplicaSnapshot]` slice handed to
 /// [`Router::route`].
 ///
-/// The simulator maintains `queued`/`in_flight`/`free_units` as plain
-/// arrays updated incrementally on every enqueue, launch, and
-/// completion; [`Router::route_indexed`] probes them directly, so a
-/// JSQ decision over `n` replicas reads `2n` integers instead of
-/// building `n` snapshots.
+/// The simulator maintains `queued`/`in_flight`/`free_units` counters
+/// plus the `remaining_work`/`speed` estimator arrays incrementally on
+/// every enqueue, launch, and completion; [`Router::route_indexed`]
+/// probes them directly, so a JSQ decision over `n` replicas reads `2n`
+/// integers instead of building `n` snapshots.
+///
+/// The estimator arrays are optional at construction
+/// ([`with_estimates`](Self::with_estimates)) so pre-fleet callers and
+/// frozen reference simulators keep building loads from the three
+/// counter arrays alone; absent estimates read as an idle
+/// ([`remaining_work`](Self::remaining_work) = 0) baseline-speed
+/// replica. The live simulator always supplies them.
 #[derive(Debug, Clone, Copy)]
 pub struct ReplicaLoads<'a> {
     queued: &'a [usize],
     in_flight: &'a [usize],
     free_units: &'a [usize],
+    work: Option<&'a [f64]>,
+    speed: Option<&'a [f64]>,
 }
 
 impl<'a> ReplicaLoads<'a> {
     /// Wraps one group's per-replica counter slices (index `i` of every
-    /// slice describes replica `i`).
+    /// slice describes replica `i`), with no expected-work estimates.
     ///
     /// # Panics
     ///
@@ -90,7 +149,26 @@ impl<'a> ReplicaLoads<'a> {
             queued,
             in_flight,
             free_units,
+            work: None,
+            speed: None,
         }
+    }
+
+    /// Attaches the remaining-work and speed estimator arrays (see the
+    /// module docs for what `work` measures).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice's length differs from the counter
+    /// arrays'.
+    pub fn with_estimates(mut self, work: &'a [f64], speed: &'a [f64]) -> Self {
+        assert!(
+            work.len() == self.queued.len() && speed.len() == self.queued.len(),
+            "estimator arrays must match the counter arrays' length"
+        );
+        self.work = Some(work);
+        self.speed = Some(speed);
+        self
     }
 
     /// Number of replicas in the group (never zero).
@@ -120,6 +198,28 @@ impl<'a> ReplicaLoads<'a> {
         self.queued[i] + self.in_flight[i]
     }
 
+    /// Remaining expected work on replica `i` in baseline seconds: the
+    /// incrementally-maintained sum of its queued entries' per-query
+    /// service times and its in-flight batches' booked service times
+    /// (module docs spell out the estimator). Reads 0.0 when the view
+    /// was built without estimates.
+    pub fn remaining_work(&self, i: usize) -> f64 {
+        self.work.map_or(0.0, |w| w[i])
+    }
+
+    /// Replica `i`'s service-rate multiplier (1.0 when the view was
+    /// built without estimates).
+    pub fn speed(&self, i: usize) -> f64 {
+        self.speed.map_or(1.0, |s| s[i])
+    }
+
+    /// Expected wall-clock drain time of replica `i`'s outstanding
+    /// work: [`remaining_work`](Self::remaining_work) `/`
+    /// [`speed`](Self::speed) — the [`ExpectedWait`] signal.
+    pub fn expected_wait(&self, i: usize) -> f64 {
+        self.remaining_work(i) / self.speed(i)
+    }
+
     /// Materializes replica `i`'s [`ReplicaSnapshot`] (the slow-path
     /// bridge used by the default [`Router::route_indexed`]).
     pub fn snapshot(&self, i: usize) -> ReplicaSnapshot {
@@ -127,7 +227,75 @@ impl<'a> ReplicaLoads<'a> {
             queued: self.queued[i],
             in_flight: self.in_flight[i],
             free_units: self.free_units[i],
+            remaining_work: self.remaining_work(i),
+            speed: self.speed(i),
         }
+    }
+}
+
+/// Per-decision routing context: which query is being routed, at which
+/// stage, and which replica each of its *prior* stages chose — the
+/// affinity signal [`Sticky`] consumes.
+///
+/// The simulator records every routing decision as it is made and
+/// threads the query's history into each subsequent decision; routers
+/// that ignore affinity simply never touch the context.
+#[derive(Debug, Clone, Copy)]
+pub struct RoutingCtx<'a> {
+    /// The query being routed (its arrival-order id).
+    pub query: usize,
+    /// The pipeline stage it is arriving at.
+    pub stage: usize,
+    /// The resource group serving that stage.
+    pub group: usize,
+    /// Replica index (within its stage's group) chosen at each prior
+    /// stage, indexed by stage; length `<= stage`.
+    prior_replicas: &'a [u32],
+    /// Resource group of every pipeline stage (the full, static
+    /// stage → group map).
+    stage_groups: &'a [usize],
+}
+
+impl<'a> RoutingCtx<'a> {
+    /// A context carrying the query's full routing history.
+    /// `prior_replicas[s]` is the replica index stage `s` chose within
+    /// `stage_groups[s]`; both slices are indexed by stage, and
+    /// `prior_replicas` covers stages `0..stage`.
+    pub fn new(
+        query: usize,
+        stage: usize,
+        group: usize,
+        prior_replicas: &'a [u32],
+        stage_groups: &'a [usize],
+    ) -> Self {
+        Self {
+            query,
+            stage,
+            group,
+            prior_replicas,
+            stage_groups,
+        }
+    }
+
+    /// A history-free context (stage 0, or a caller without routing
+    /// records): every affinity probe reports no prior choice.
+    pub fn root(query: usize, stage: usize, group: usize) -> Self {
+        Self::new(query, stage, group, &[], &[])
+    }
+
+    /// The replica a given prior stage chose, if recorded.
+    pub fn prior_replica(&self, stage: usize) -> Option<usize> {
+        self.prior_replicas.get(stage).map(|&r| r as usize)
+    }
+
+    /// The replica chosen by the query's most recent prior stage on the
+    /// *same* resource group — where the query's state already lives.
+    /// `None` at a group's first touch.
+    pub fn prior_on_group(&self) -> Option<usize> {
+        (0..self.prior_replicas.len().min(self.stage))
+            .rev()
+            .find(|&s| self.stage_groups.get(s) == Some(&self.group))
+            .map(|s| self.prior_replicas[s] as usize)
     }
 }
 
@@ -173,10 +341,11 @@ impl RouterState {
 
 /// Picks which replica of a resource group serves an arriving query.
 ///
-/// Implementations must be deterministic functions of the snapshots and
-/// the state — identical inputs must produce identical choices, or
-/// simulation results stop being reproducible. All randomness must come
-/// from [`RouterState::next_u64`].
+/// Implementations must be deterministic functions of the replica
+/// state, the [`RoutingCtx`], and the [`RouterState`] — identical
+/// inputs must produce identical choices, or simulation results stop
+/// being reproducible. All randomness must come from
+/// [`RouterState::next_u64`].
 ///
 /// The returned index must be `< replicas.len()`; the simulator panics
 /// otherwise. `replicas` is never empty.
@@ -184,8 +353,15 @@ pub trait Router: std::fmt::Debug + Send + Sync {
     /// Short name for reports.
     fn name(&self) -> String;
 
-    /// Chooses a replica index for one arriving query.
-    fn route(&self, replicas: &[ReplicaSnapshot], state: &mut RouterState) -> usize;
+    /// Chooses a replica index for one arriving query. `ctx` carries
+    /// the query's identity and its prior stages' replica choices;
+    /// state-oblivious routers ignore it.
+    fn route(
+        &self,
+        replicas: &[ReplicaSnapshot],
+        ctx: &RoutingCtx<'_>,
+        state: &mut RouterState,
+    ) -> usize;
 
     /// Fast-path form of [`route`](Self::route): chooses a replica by
     /// probing the simulator's per-replica counter arrays directly.
@@ -198,9 +374,14 @@ pub trait Router: std::fmt::Debug + Send + Sync {
     /// (including tie-breaking and [`RouterState`] consumption), or
     /// `serve` and `serve_routed` results diverge between the two
     /// entry points.
-    fn route_indexed(&self, loads: &ReplicaLoads<'_>, state: &mut RouterState) -> usize {
+    fn route_indexed(
+        &self,
+        loads: &ReplicaLoads<'_>,
+        ctx: &RoutingCtx<'_>,
+        state: &mut RouterState,
+    ) -> usize {
         let snapshots: Vec<ReplicaSnapshot> = (0..loads.len()).map(|i| loads.snapshot(i)).collect();
-        self.route(&snapshots, state)
+        self.route(&snapshots, ctx, state)
     }
 }
 
@@ -216,19 +397,30 @@ impl Router for RoundRobin {
         "round-robin".into()
     }
 
-    fn route(&self, replicas: &[ReplicaSnapshot], state: &mut RouterState) -> usize {
+    fn route(
+        &self,
+        replicas: &[ReplicaSnapshot],
+        _ctx: &RoutingCtx<'_>,
+        state: &mut RouterState,
+    ) -> usize {
         state.cycle(replicas.len())
     }
 
-    fn route_indexed(&self, loads: &ReplicaLoads<'_>, state: &mut RouterState) -> usize {
+    fn route_indexed(
+        &self,
+        loads: &ReplicaLoads<'_>,
+        _ctx: &RoutingCtx<'_>,
+        state: &mut RouterState,
+    ) -> usize {
         state.cycle(loads.len())
     }
 }
 
 /// Join-the-shortest-queue routing: inspect every replica and join the
 /// one with the fewest outstanding queries (ties break toward the
-/// lowest index). The full-information upper bound on load-aware
-/// routing.
+/// lowest index). The full-information upper bound on *count-based*
+/// load-aware routing — on mixed-generation fleets the count is blind
+/// to replica speed, which is what [`ExpectedWait`] exploits.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct JoinShortestQueue;
 
@@ -237,7 +429,12 @@ impl Router for JoinShortestQueue {
         "jsq".into()
     }
 
-    fn route(&self, replicas: &[ReplicaSnapshot], state: &mut RouterState) -> usize {
+    fn route(
+        &self,
+        replicas: &[ReplicaSnapshot],
+        _ctx: &RoutingCtx<'_>,
+        state: &mut RouterState,
+    ) -> usize {
         let _ = state;
         let mut best = 0;
         for (i, r) in replicas.iter().enumerate().skip(1) {
@@ -248,7 +445,12 @@ impl Router for JoinShortestQueue {
         best
     }
 
-    fn route_indexed(&self, loads: &ReplicaLoads<'_>, state: &mut RouterState) -> usize {
+    fn route_indexed(
+        &self,
+        loads: &ReplicaLoads<'_>,
+        _ctx: &RoutingCtx<'_>,
+        state: &mut RouterState,
+    ) -> usize {
         let _ = state;
         let mut best = 0;
         let mut best_load = loads.load(0);
@@ -276,7 +478,12 @@ impl Router for PowerOfTwoChoices {
         "po2".into()
     }
 
-    fn route(&self, replicas: &[ReplicaSnapshot], state: &mut RouterState) -> usize {
+    fn route(
+        &self,
+        replicas: &[ReplicaSnapshot],
+        _ctx: &RoutingCtx<'_>,
+        state: &mut RouterState,
+    ) -> usize {
         let n = replicas.len();
         if n == 1 {
             return 0;
@@ -294,7 +501,12 @@ impl Router for PowerOfTwoChoices {
         }
     }
 
-    fn route_indexed(&self, loads: &ReplicaLoads<'_>, state: &mut RouterState) -> usize {
+    fn route_indexed(
+        &self,
+        loads: &ReplicaLoads<'_>,
+        _ctx: &RoutingCtx<'_>,
+        state: &mut RouterState,
+    ) -> usize {
         let n = loads.len();
         if n == 1 {
             return 0;
@@ -318,19 +530,19 @@ impl Router for PowerOfTwoChoices {
 /// ties by fewest outstanding queries ([`ReplicaSnapshot::load`]), then
 /// by lowest index.
 ///
-/// This is the router that finally uses
-/// [`ReplicaSnapshot::free_units`]: on batched fleets, query counts
-/// mislead — a replica with eight queries riding *one* in-service batch
-/// will free all of them at once and holds no more units than a replica
-/// grinding one long query — while free units directly measure how much
-/// of the replica's capacity is already spoken for. On per-query
-/// single-unit fleets it degenerates toward JSQ (free units and load
-/// are complementary), so the interesting comparisons are batched and
-/// multi-unit groups. Measured on those
-/// (`examples/cluster_serving.rs`): funneling arrivals toward
+/// This is the router that uses [`ReplicaSnapshot::free_units`]: on
+/// batched fleets, query counts mislead — a replica with eight queries
+/// riding *one* in-service batch will free all of them at once and
+/// holds no more units than a replica grinding one long query — while
+/// free units directly measure how much of the replica's capacity is
+/// already spoken for. On per-query single-unit fleets it degenerates
+/// toward JSQ (free units and load are complementary), so the
+/// interesting comparisons are batched and multi-unit groups. Measured
+/// on those (`examples/cluster_serving.rs`): funneling arrivals toward
 /// startable replicas forms the deepest batches of any router, but
 /// [`JoinShortestQueue`]'s query count remains the better *tail
-/// latency* signal at high utilization.
+/// latency* signal at high utilization — and both lose to
+/// [`ExpectedWait`] once replica generations mix.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LeastWorkLeft;
 
@@ -347,7 +559,12 @@ impl Router for LeastWorkLeft {
         "least-work".into()
     }
 
-    fn route(&self, replicas: &[ReplicaSnapshot], state: &mut RouterState) -> usize {
+    fn route(
+        &self,
+        replicas: &[ReplicaSnapshot],
+        _ctx: &RoutingCtx<'_>,
+        state: &mut RouterState,
+    ) -> usize {
         let _ = state;
         let mut best = 0;
         for (i, r) in replicas.iter().enumerate().skip(1) {
@@ -363,7 +580,12 @@ impl Router for LeastWorkLeft {
         best
     }
 
-    fn route_indexed(&self, loads: &ReplicaLoads<'_>, state: &mut RouterState) -> usize {
+    fn route_indexed(
+        &self,
+        loads: &ReplicaLoads<'_>,
+        _ctx: &RoutingCtx<'_>,
+        state: &mut RouterState,
+    ) -> usize {
         let _ = state;
         let mut best = 0;
         for i in 1..loads.len() {
@@ -380,15 +602,158 @@ impl Router for LeastWorkLeft {
     }
 }
 
+/// Expected-wait routing: join the replica whose outstanding work will
+/// drain soonest — [`ReplicaLoads::expected_wait`], i.e. remaining
+/// expected service seconds divided by the replica's speed. Ties break
+/// by fewest outstanding queries, then lowest index, so on a view with
+/// no estimator data (all waits 0.0) it degenerates to
+/// [`JoinShortestQueue`] exactly.
+///
+/// This is the ROADMAP's "expected-wait routing" item and the router
+/// heterogeneous fleets need: JSQ's query count treats a slow
+/// old-generation replica like a fast one, and [`LeastWorkLeft`]'s
+/// free units say nothing about how long the busy units stay busy.
+/// Weighing booked work by replica speed beats both on
+/// mixed-generation fleets at high utilization
+/// (`examples/cluster_serving.rs` prints the measured table), while on
+/// uniform fleets it tracks JSQ closely (same signal, finer-grained
+/// units).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpectedWait;
+
+impl ExpectedWait {
+    /// Whether `(wait_b, load_b)` beats `(wait_a, load_a)`: strictly
+    /// smaller expected wait, or an exact tie broken by fewer
+    /// outstanding queries.
+    fn better(wait_a: f64, load_a: usize, wait_b: f64, load_b: usize) -> bool {
+        wait_b < wait_a || (wait_b == wait_a && load_b < load_a)
+    }
+}
+
+impl Router for ExpectedWait {
+    fn name(&self) -> String {
+        "expected-wait".into()
+    }
+
+    fn route(
+        &self,
+        replicas: &[ReplicaSnapshot],
+        _ctx: &RoutingCtx<'_>,
+        state: &mut RouterState,
+    ) -> usize {
+        let _ = state;
+        let mut best = 0;
+        for (i, r) in replicas.iter().enumerate().skip(1) {
+            if Self::better(
+                replicas[best].expected_wait(),
+                replicas[best].load(),
+                r.expected_wait(),
+                r.load(),
+            ) {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn route_indexed(
+        &self,
+        loads: &ReplicaLoads<'_>,
+        _ctx: &RoutingCtx<'_>,
+        state: &mut RouterState,
+    ) -> usize {
+        let _ = state;
+        let mut best = 0;
+        let mut best_wait = loads.expected_wait(0);
+        for i in 1..loads.len() {
+            let wait = loads.expected_wait(i);
+            if Self::better(best_wait, loads.load(best), wait, loads.load(i)) {
+                best = i;
+                best_wait = wait;
+            }
+        }
+        best
+    }
+}
+
+/// Replica-affinity routing: a query's later stages return to the
+/// replica an earlier stage *on the same resource group* chose — where
+/// its per-query state (cached embedding rows, intermediate scores)
+/// already lives — falling back to an inner router at the group's first
+/// touch.
+///
+/// Affinity is a *constraint*, not a load signal: once a query touches
+/// a group, its later stages on that group ignore occupancy entirely.
+/// That trades load balance for locality — see ARCHITECTURE.md's
+/// heterogeneous-fleets notes for when the trade wins (multi-stage
+/// pipelines on mixed-generation fleets, where re-routing mid-query
+/// risks finishing a fast-started query on a slow replica) and when it
+/// loses (uniform fleets under bursts, where the fallback decision gets
+/// frozen at stage 0 on information that has gone stale).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sticky<R: Router = JoinShortestQueue> {
+    fallback: R,
+}
+
+impl Sticky<JoinShortestQueue> {
+    /// Sticky routing over the default [`JoinShortestQueue`] fallback.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<R: Router> Sticky<R> {
+    /// Sticky routing over an explicit first-touch fallback router.
+    pub fn with_fallback(fallback: R) -> Self {
+        Self { fallback }
+    }
+}
+
+impl<R: Router> Router for Sticky<R> {
+    fn name(&self) -> String {
+        format!("sticky({})", self.fallback.name())
+    }
+
+    fn route(
+        &self,
+        replicas: &[ReplicaSnapshot],
+        ctx: &RoutingCtx<'_>,
+        state: &mut RouterState,
+    ) -> usize {
+        match ctx.prior_on_group() {
+            Some(r) if r < replicas.len() => r,
+            _ => self.fallback.route(replicas, ctx, state),
+        }
+    }
+
+    fn route_indexed(
+        &self,
+        loads: &ReplicaLoads<'_>,
+        ctx: &RoutingCtx<'_>,
+        state: &mut RouterState,
+    ) -> usize {
+        match ctx.prior_on_group() {
+            Some(r) if r < loads.len() => r,
+            _ => self.fallback.route_indexed(loads, ctx, state),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn ctx() -> RoutingCtx<'static> {
+        RoutingCtx::root(0, 0, 0)
+    }
 
     fn snap(queued: usize, in_flight: usize) -> ReplicaSnapshot {
         ReplicaSnapshot {
             queued,
             in_flight,
             free_units: 0,
+            remaining_work: 0.0,
+            speed: 1.0,
         }
     }
 
@@ -397,7 +762,7 @@ mod tests {
         let replicas = vec![snap(9, 9); 3];
         let mut state = RouterState::new(0);
         let picks: Vec<usize> = (0..7)
-            .map(|_| RoundRobin.route(&replicas, &mut state))
+            .map(|_| RoundRobin.route(&replicas, &ctx(), &mut state))
             .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
     }
@@ -406,10 +771,10 @@ mod tests {
     fn jsq_picks_least_loaded_with_stable_ties() {
         let mut state = RouterState::new(0);
         let replicas = vec![snap(3, 1), snap(0, 2), snap(1, 0)];
-        assert_eq!(JoinShortestQueue.route(&replicas, &mut state), 2);
+        assert_eq!(JoinShortestQueue.route(&replicas, &ctx(), &mut state), 2);
         // Ties break toward the lowest index.
         let tied = vec![snap(1, 1), snap(2, 0), snap(0, 2)];
-        assert_eq!(JoinShortestQueue.route(&tied, &mut state), 0);
+        assert_eq!(JoinShortestQueue.route(&tied, &ctx(), &mut state), 0);
     }
 
     #[test]
@@ -420,7 +785,7 @@ mod tests {
         let replicas = vec![snap(5, 1), snap(0, 0), snap(5, 1), snap(5, 1)];
         let mut hit_empty = 0;
         for _ in 0..200 {
-            let pick = PowerOfTwoChoices.route(&replicas, &mut state);
+            let pick = PowerOfTwoChoices.route(&replicas, &ctx(), &mut state);
             assert!(pick < replicas.len());
             if pick == 1 {
                 hit_empty += 1;
@@ -435,7 +800,10 @@ mod tests {
     #[test]
     fn po2_on_single_replica_is_identity() {
         let mut state = RouterState::new(7);
-        assert_eq!(PowerOfTwoChoices.route(&[snap(4, 4)], &mut state), 0);
+        assert_eq!(
+            PowerOfTwoChoices.route(&[snap(4, 4)], &ctx(), &mut state),
+            0
+        );
     }
 
     #[test]
@@ -458,6 +826,18 @@ mod tests {
             queued,
             in_flight,
             free_units,
+            remaining_work: 0.0,
+            speed: 1.0,
+        }
+    }
+
+    fn snap_wait(queued: usize, in_flight: usize, work: f64, speed: f64) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            queued,
+            in_flight,
+            free_units: 0,
+            remaining_work: work,
+            speed,
         }
     }
 
@@ -466,38 +846,134 @@ mod tests {
         let mut state = RouterState::new(0);
         // Most free units wins even against a shorter queue.
         let replicas = vec![snap_free(0, 1, 0), snap_free(3, 2, 2), snap_free(1, 1, 1)];
-        assert_eq!(LeastWorkLeft.route(&replicas, &mut state), 1);
+        assert_eq!(LeastWorkLeft.route(&replicas, &ctx(), &mut state), 1);
         // Equal free units: fewest outstanding queries breaks the tie.
         let tied_units = vec![snap_free(4, 0, 1), snap_free(1, 1, 1), snap_free(0, 3, 1)];
-        assert_eq!(LeastWorkLeft.route(&tied_units, &mut state), 1);
+        assert_eq!(LeastWorkLeft.route(&tied_units, &ctx(), &mut state), 1);
         // Full ties resolve to the lowest index.
         let all_tied = vec![snap_free(1, 1, 1); 3];
-        assert_eq!(LeastWorkLeft.route(&all_tied, &mut state), 0);
+        assert_eq!(LeastWorkLeft.route(&all_tied, &ctx(), &mut state), 0);
+    }
+
+    #[test]
+    fn expected_wait_divides_work_by_speed() {
+        let mut state = RouterState::new(0);
+        // Same booked work everywhere: the fastest replica drains
+        // soonest and wins.
+        let same_work = vec![
+            snap_wait(2, 1, 0.030, 1.0),
+            snap_wait(2, 1, 0.030, 0.5),
+            snap_wait(2, 1, 0.030, 1.5),
+        ];
+        assert_eq!(ExpectedWait.route(&same_work, &ctx(), &mut state), 2);
+        // A shorter queue on a slow replica loses to a longer queue on
+        // a fast one — the signal JSQ cannot see.
+        let mixed = vec![snap_wait(2, 0, 0.020, 0.5), snap_wait(3, 0, 0.030, 1.0)];
+        assert_eq!(ExpectedWait.route(&mixed, &ctx(), &mut state), 1);
+        // Exact wait ties break by fewest outstanding, then index.
+        let tied = vec![
+            snap_wait(3, 0, 0.010, 1.0),
+            snap_wait(1, 0, 0.010, 1.0),
+            snap_wait(1, 0, 0.010, 1.0),
+        ];
+        assert_eq!(ExpectedWait.route(&tied, &ctx(), &mut state), 1);
+    }
+
+    #[test]
+    fn expected_wait_without_estimates_degenerates_to_jsq() {
+        // A loads view built from counters alone reads all waits as
+        // 0.0; the tie-break chain (load, then index) is exactly JSQ's
+        // decision on every input.
+        let queued = [3usize, 0, 5, 1, 2];
+        let in_flight = [1usize, 2, 0, 1, 4];
+        let free_units = [0usize, 2, 1, 3, 1];
+        let loads = ReplicaLoads::new(&queued, &in_flight, &free_units);
+        let mut a = RouterState::new(1);
+        let mut b = RouterState::new(1);
+        assert_eq!(
+            ExpectedWait.route_indexed(&loads, &ctx(), &mut a),
+            JoinShortestQueue.route_indexed(&loads, &ctx(), &mut b),
+        );
+    }
+
+    #[test]
+    fn sticky_reuses_the_prior_choice_on_the_same_group() {
+        let mut state = RouterState::new(0);
+        let replicas = vec![snap(9, 9), snap(0, 0), snap(9, 9)];
+        // Stage 2 routing for a query whose stage-0 choice (group 0)
+        // was replica 2 and stage-1 choice (group 1) was replica 0.
+        let prior = [2u32, 0];
+        let groups = [0usize, 1, 0];
+        let ctx = RoutingCtx::new(7, 2, 0, &prior, &groups);
+        // Affinity overrides load: replica 1 is empty but 2 holds the
+        // query's state.
+        assert_eq!(Sticky::new().route(&replicas, &ctx, &mut state), 2);
+        // A different group (1) only has the stage-1 record: replica 0.
+        let ctx_g1 = RoutingCtx::new(7, 2, 1, &prior, &groups);
+        assert_eq!(Sticky::new().route(&replicas, &ctx_g1, &mut state), 0);
+    }
+
+    #[test]
+    fn sticky_falls_back_on_first_touch() {
+        let mut state = RouterState::new(0);
+        let replicas = vec![snap(9, 9), snap(0, 0)];
+        // No prior stages: the JSQ fallback picks the empty replica.
+        let first = RoutingCtx::root(3, 0, 0);
+        assert_eq!(Sticky::new().route(&replicas, &first, &mut state), 1);
+        // An explicit fallback router is honored too.
+        let rr = Sticky::with_fallback(RoundRobin);
+        assert_eq!(rr.route(&replicas, &first, &mut state), 0);
+        assert_eq!(rr.route(&replicas, &first, &mut state), 1);
+    }
+
+    #[test]
+    fn routing_ctx_prior_lookups() {
+        let prior = [1u32, 0];
+        let groups = [0usize, 1, 1];
+        let ctx = RoutingCtx::new(5, 2, 1, &prior, &groups);
+        assert_eq!(ctx.prior_replica(0), Some(1));
+        assert_eq!(ctx.prior_replica(1), Some(0));
+        assert_eq!(ctx.prior_replica(2), None);
+        // Most recent same-group (group 1) prior is stage 1.
+        assert_eq!(ctx.prior_on_group(), Some(0));
+        // Root contexts have no history.
+        assert_eq!(RoutingCtx::root(5, 2, 1).prior_on_group(), None);
     }
 
     #[test]
     fn indexed_routing_matches_snapshot_routing_for_every_builtin() {
         // The fast path must make the identical decision (and consume
         // identical RouterState randomness) as the snapshot path.
-        let routers: [&dyn Router; 4] = [
+        let routers: [&dyn Router; 6] = [
             &RoundRobin,
             &JoinShortestQueue,
             &PowerOfTwoChoices,
             &LeastWorkLeft,
+            &ExpectedWait,
+            &Sticky::<JoinShortestQueue>::new(),
         ];
         let queued = [3usize, 0, 5, 1, 2];
         let in_flight = [1usize, 2, 0, 1, 4];
         let free_units = [0usize, 2, 1, 3, 1];
+        let work = [0.02f64, 0.0, 0.05, 0.004, 0.02];
+        let speed = [1.0f64, 0.6, 1.0, 0.6, 1.5];
         let snapshots: Vec<ReplicaSnapshot> = (0..queued.len())
-            .map(|i| snap_free(queued[i], in_flight[i], free_units[i]))
+            .map(|i| ReplicaSnapshot {
+                queued: queued[i],
+                in_flight: in_flight[i],
+                free_units: free_units[i],
+                remaining_work: work[i],
+                speed: speed[i],
+            })
             .collect();
+        let loads =
+            ReplicaLoads::new(&queued, &in_flight, &free_units).with_estimates(&work, &speed);
         for router in routers {
             let mut a = RouterState::new(99);
             let mut b = RouterState::new(99);
             for _ in 0..64 {
-                let via_snapshots = router.route(&snapshots, &mut a);
-                let via_loads = router
-                    .route_indexed(&ReplicaLoads::new(&queued, &in_flight, &free_units), &mut b);
+                let via_snapshots = router.route(&snapshots, &ctx(), &mut a);
+                let via_loads = router.route_indexed(&loads, &ctx(), &mut b);
                 assert_eq!(via_snapshots, via_loads, "router {}", router.name());
             }
             assert_eq!(a, b, "router {} diverged RouterState", router.name());
@@ -514,7 +990,12 @@ mod tests {
             fn name(&self) -> String {
                 "last".into()
             }
-            fn route(&self, replicas: &[ReplicaSnapshot], _state: &mut RouterState) -> usize {
+            fn route(
+                &self,
+                replicas: &[ReplicaSnapshot],
+                _ctx: &RoutingCtx<'_>,
+                _state: &mut RouterState,
+            ) -> usize {
                 replicas.len() - 1
             }
         }
@@ -524,6 +1005,7 @@ mod tests {
         let mut state = RouterState::new(0);
         let pick = LastReplica.route_indexed(
             &ReplicaLoads::new(&queued, &in_flight, &free_units),
+            &ctx(),
             &mut state,
         );
         assert_eq!(pick, 2);
@@ -533,5 +1015,11 @@ mod tests {
     #[should_panic(expected = "equal lengths")]
     fn replica_loads_rejects_mismatched_arrays() {
         ReplicaLoads::new(&[1, 2], &[0], &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "match the counter arrays")]
+    fn replica_loads_rejects_mismatched_estimates() {
+        let _ = ReplicaLoads::new(&[1, 2], &[0, 0], &[1, 1]).with_estimates(&[0.0], &[1.0, 1.0]);
     }
 }

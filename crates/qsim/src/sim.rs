@@ -7,7 +7,7 @@ use recpipe_metrics::{LatencyStats, ThroughputMeter};
 
 use crate::{
     Fifo, PipelineSpec, QueueEntry, Release, ReplicaLoads, RoundRobin, Router, RouterState,
-    SchedulingPolicy, SimResult, StageSpec,
+    RoutingCtx, SchedulingPolicy, SimResult, StageSpec,
 };
 
 /// Fraction of queries discarded from the front as warmup.
@@ -167,8 +167,29 @@ struct Sim<'a> {
     slot_group: Vec<usize>,
     /// Replica count per group (cached off the spec for the hot path).
     group_replicas: Vec<usize>,
+    /// Per-slot unit capacity (per-replica, heterogeneous fleets may
+    /// differ within a group).
+    slot_capacity: Vec<usize>,
+    /// Per-slot service-rate multiplier
+    /// ([`ReplicaProfile::speed`](crate::ReplicaProfile::speed)): a
+    /// batch's service time is its baseline time divided by this.
+    slot_speed: Vec<f64>,
     /// Per-slot free units (router signal, maintained incrementally).
     free: Vec<usize>,
+    /// Per-slot remaining expected work in baseline seconds: queued
+    /// entries' per-query service plus in-flight batches' booked
+    /// service, maintained incrementally (the [`ExpectedWait`]
+    /// estimator; see router.rs module docs).
+    ///
+    /// [`ExpectedWait`]: crate::ExpectedWait
+    remaining_work: Vec<f64>,
+    /// Resource group of each pipeline stage (the static map routing
+    /// contexts expose to affinity routers).
+    stage_groups: Vec<usize>,
+    /// Replica chosen (index within its group) per query per stage,
+    /// laid out `query * num_stages + stage` — the routing history
+    /// behind [`RoutingCtx`].
+    chosen: Vec<u32>,
     /// Per-slot waiting entries, kept sorted by (policy priority,
     /// admission seq) — FIFO inserts are O(1) appends.
     waiting: Vec<VecDeque<QueueEntry>>,
@@ -230,15 +251,20 @@ impl<'a> Sim<'a> {
         let resources = spec.resources();
         let mut slot_base = Vec::with_capacity(resources.len());
         let mut slot_group = Vec::new();
+        let mut slot_capacity = Vec::new();
+        let mut slot_speed = Vec::new();
         let mut free = Vec::new();
         for (g, r) in resources.iter().enumerate() {
             slot_base.push(slot_group.len());
-            for _ in 0..r.replicas {
+            for p in r.profiles() {
                 slot_group.push(g);
-                free.push(r.capacity);
+                slot_capacity.push(p.capacity);
+                slot_speed.push(p.speed);
+                free.push(p.capacity);
             }
         }
         let num_slots = slot_group.len();
+        let num_stages = spec.stages().len();
         let mut sim = Self {
             spec,
             stages: spec.stages(),
@@ -251,8 +277,13 @@ impl<'a> Sim<'a> {
             arrival_time: vec![f64::NAN; num_queries],
             slot_base,
             slot_group,
-            group_replicas: resources.iter().map(|r| r.replicas).collect(),
+            group_replicas: resources.iter().map(|r| r.replicas()).collect(),
+            slot_capacity,
+            slot_speed,
             free,
+            remaining_work: vec![0.0; num_slots],
+            stage_groups: spec.stages().iter().map(|s| s.resource).collect(),
+            chosen: vec![u32::MAX; num_queries * num_stages],
             waiting: vec![VecDeque::new(); num_slots],
             queued: vec![0; num_slots],
             in_flight: vec![0; num_slots],
@@ -328,36 +359,79 @@ impl<'a> Sim<'a> {
         self.seq += 1;
     }
 
-    /// Routes a query arriving at `stage_idx` to one replica slot of
-    /// the stage's resource group.
+    /// Routes `query` arriving at `stage_idx` to one replica slot of
+    /// the stage's resource group, recording the choice in the query's
+    /// routing history (the [`RoutingCtx`] affinity signal).
     ///
     /// Replicated groups go through [`Router::route_indexed`], probing
     /// the incrementally-maintained `queued`/`in_flight`/`free` counter
-    /// arrays directly — no snapshot materialization per decision.
-    fn route(&mut self, stage_idx: usize) -> usize {
+    /// arrays and the `remaining_work`/`slot_speed` estimator arrays
+    /// directly — no snapshot materialization per decision.
+    fn route(&mut self, query: usize, stage_idx: usize) -> usize {
         let group = self.stages[stage_idx].resource;
         let base = self.slot_base[group];
         let replicas = self.group_replicas[group];
-        if replicas == 1 {
-            return base;
-        }
-        debug_assert!((base..base + replicas).all(|s| self.queued[s] == self.waiting[s].len()));
-        let loads = ReplicaLoads::new(
-            &self.queued[base..base + replicas],
-            &self.in_flight[base..base + replicas],
-            &self.free[base..base + replicas],
-        );
-        let pick = self
-            .router
-            .route_indexed(&loads, &mut self.router_states[group]);
-        assert!(
-            pick < replicas,
-            "router returned replica {pick} of {replicas}"
-        );
+        let num_stages = self.stages.len();
+        let pick = if replicas == 1 {
+            0
+        } else {
+            debug_assert!((base..base + replicas).all(|s| self.queued[s] == self.waiting[s].len()));
+            debug_assert!((base..base + replicas)
+                .all(|s| { (self.remaining_work[s] - self.scan_remaining_work(s)).abs() < 1e-6 }));
+            let loads = ReplicaLoads::new(
+                &self.queued[base..base + replicas],
+                &self.in_flight[base..base + replicas],
+                &self.free[base..base + replicas],
+            )
+            .with_estimates(
+                &self.remaining_work[base..base + replicas],
+                &self.slot_speed[base..base + replicas],
+            );
+            let history = query * num_stages;
+            let ctx = RoutingCtx::new(
+                query,
+                stage_idx,
+                group,
+                &self.chosen[history..history + stage_idx],
+                &self.stage_groups,
+            );
+            let pick = self
+                .router
+                .route_indexed(&loads, &ctx, &mut self.router_states[group]);
+            assert!(
+                pick < replicas,
+                "router returned replica {pick} of {replicas}"
+            );
+            pick
+        };
+        self.chosen[query * num_stages + stage_idx] = pick as u32;
         base + pick
     }
 
-    /// Launches a batch of same-stage entries on `slot` at `now`.
+    /// Recomputes one slot's remaining expected work from scratch by
+    /// scanning its queue and the live batch table — the ground truth
+    /// the incrementally-maintained `remaining_work` counter is checked
+    /// against under the test profile (a drift beyond float noise means
+    /// an update path was missed). Only `debug_assert!` calls it, so
+    /// release builds compile it out with the assertion.
+    fn scan_remaining_work(&self, slot: usize) -> f64 {
+        let queued: f64 = self.waiting[slot]
+            .iter()
+            .map(|e| self.stages[e.stage].service_time)
+            .sum();
+        let in_service: f64 = self
+            .batches
+            .iter()
+            .enumerate()
+            .filter(|(idx, b)| b.slot == slot && !self.free_batches.contains(idx))
+            .map(|(_, b)| self.stages[b.stage].batch_service_time(b.queries.len()))
+            .sum();
+        queued + in_service
+    }
+
+    /// Launches a batch of same-stage entries on `slot` at `now`. The
+    /// batch's baseline service time is divided by the slot's replica
+    /// speed (1.0 on uniform fleets, leaving service times bit-exact).
     fn launch(&mut self, now: f64, stage_idx: usize, slot: usize, queries: BatchQueries) {
         let stage = &self.stages[stage_idx];
         debug_assert_eq!(self.slot_group[slot], stage.resource);
@@ -365,7 +439,9 @@ impl<'a> Sim<'a> {
         debug_assert!(queries.len() >= 1 && queries.len() <= stage.batch.max_batch);
         self.free[slot] -= stage.units;
         self.in_flight[slot] += queries.len();
-        let service = stage.batch_service_time(queries.len());
+        let base_service = stage.batch_service_time(queries.len());
+        self.remaining_work[slot] += base_service;
+        let service = base_service / self.slot_speed[slot];
         self.busy_unit_seconds[slot] += stage.units as f64 * service;
         self.launches += 1;
         self.served += queries.len() as u64;
@@ -398,6 +474,7 @@ impl<'a> Sim<'a> {
     /// position. Priorities are static per entry, so the queue stays
     /// sorted; FIFO-ordered policies always append in O(1).
     fn enqueue(&mut self, slot: usize, entry: QueueEntry) {
+        self.remaining_work[slot] += self.stages[entry.stage].service_time;
         let p = self.policy.priority(&entry);
         let queue = &mut self.waiting[slot];
         let mut at = queue.len();
@@ -440,6 +517,11 @@ impl<'a> Sim<'a> {
         }
         queue.truncate(write);
         self.queued[slot] -= taken;
+        // Mirror enqueue's per-entry additions one by one so the
+        // counter drifts no differently than the updates it reverses.
+        for _ in 0..taken {
+            self.remaining_work[slot] -= self.stages[stage].service_time;
+        }
     }
 
     /// Removes and returns the first waiting entry of `stage` — the
@@ -450,6 +532,7 @@ impl<'a> Sim<'a> {
         let at = queue.iter().position(|e| e.stage == stage)?;
         let taken = queue.remove(at).map(|e| e.query);
         self.queued[slot] -= 1;
+        self.remaining_work[slot] -= self.stages[stage].service_time;
         taken
     }
 
@@ -538,7 +621,7 @@ impl<'a> Sim<'a> {
     }
 
     fn on_arrive(&mut self, now: f64, query: usize, stage_idx: usize) {
-        let slot = self.route(stage_idx);
+        let slot = self.route(query, stage_idx);
         let stage = &self.stages[stage_idx];
         let entry = QueueEntry {
             query,
@@ -600,9 +683,10 @@ impl<'a> Sim<'a> {
         let s = &self.stages[stage];
         self.free[slot] += s.units;
         self.in_flight[slot] -= queries.len();
+        self.remaining_work[slot] -= s.batch_service_time(queries.len());
         // Conservation invariant (active under the test profile): a
         // release can never return more units than the replica owns.
-        debug_assert!(self.free[slot] <= self.spec.resources()[s.resource].capacity);
+        debug_assert!(self.free[slot] <= self.slot_capacity[slot]);
 
         match queries {
             BatchQueries::One(query) => self.route_onward(now, query, stage),
@@ -725,7 +809,9 @@ impl<'a> Sim<'a> {
             .enumerate()
             .map(|(g, r)| {
                 let base = self.slot_base[g];
-                let busy: f64 = self.busy_unit_seconds[base..base + r.replicas].iter().sum();
+                let busy: f64 = self.busy_unit_seconds[base..base + r.replicas()]
+                    .iter()
+                    .sum();
                 (busy / (r.total_units() as f64 * span)).min(1.0)
             })
             .collect();
@@ -735,9 +821,10 @@ impl<'a> Sim<'a> {
                 .enumerate()
                 .map(|(g, r)| {
                     let base = self.slot_base[g];
-                    self.busy_unit_seconds[base..base + r.replicas]
+                    self.busy_unit_seconds[base..base + r.replicas()]
                         .iter()
-                        .map(|&busy| (busy / (r.capacity as f64 * span)).min(1.0))
+                        .zip(&self.slot_capacity[base..base + r.replicas()])
+                        .map(|(&busy, &capacity)| (busy / (capacity as f64 * span)).min(1.0))
                         .collect()
                 })
                 .collect()
@@ -1300,6 +1387,188 @@ mod tests {
         assert_eq!(out.completed, 6_000);
         assert!(out.mean_batch > 1.5, "mean batch {}", out.mean_batch);
         assert!(out.mean_batch <= 8.0 + 1e-12);
+    }
+
+    // ------------------------------------------------------------------
+    // qsim v4: heterogeneous fleets, expected-wait, and affinity
+    // ------------------------------------------------------------------
+
+    use crate::{ExpectedWait, LeastWorkLeft, ReplicaProfile, Sticky};
+
+    /// A two-generation fleet: `fast` current-generation replicas at
+    /// speed 1.0 and `slow` previous-generation ones at `speed`, all
+    /// single-unit, serving the mixed 2 ms / 10 ms stage pair.
+    fn two_generation_fleet(fast: usize, slow: usize, speed: f64) -> PipelineSpec {
+        let mut profiles = vec![ReplicaProfile::baseline(1); fast];
+        profiles.extend(std::iter::repeat_n(ReplicaProfile::new(1, speed), slow));
+        PipelineSpec::new(vec![ReplicaGroup::heterogeneous("worker", profiles)])
+            .with_stage(StageSpec::new("front", 0, 1, 0.002))
+            .unwrap()
+            .with_stage(StageSpec::new("back", 0, 1, 0.010))
+            .unwrap()
+    }
+
+    #[test]
+    fn mixed_fleet_capacity_is_speed_weighted() {
+        // 2 fast + 2 half-speed replicas drain like 3 fast ones.
+        let mixed = two_generation_fleet(2, 2, 0.5);
+        let uniform = mixed_fleet(3);
+        assert!((mixed.max_qps() - uniform.max_qps()).abs() < 1e-9);
+        assert!(mixed.has_heterogeneity() && !uniform.has_heterogeneity());
+        assert_eq!(mixed.total_replicas(), 4);
+    }
+
+    #[test]
+    fn slow_replicas_serve_slower() {
+        // At negligible load every query pays service only; on a fleet
+        // of one slow replica the floor scales by 1/speed.
+        let slow = PipelineSpec::new(vec![ReplicaGroup::heterogeneous(
+            "old",
+            vec![ReplicaProfile::new(4, 0.5)],
+        )])
+        .with_stage(StageSpec::new("rank", 0, 1, 0.004))
+        .unwrap();
+        let mut out = slow.serve_routed(
+            &PoissonArrivals::new(1.0),
+            &Fifo,
+            &JoinShortestQueue,
+            500,
+            2,
+        );
+        let p50 = out.latency.p50().as_secs_f64();
+        assert!((p50 - 0.008).abs() < 1e-6, "p50 {p50}");
+    }
+
+    #[test]
+    fn expected_wait_beats_jsq_and_least_work_on_a_mixed_generation_fleet() {
+        // The heterogeneity headline (ROADMAP's expected-wait item): on
+        // a two-generation fleet at rho = 0.9, JSQ's query count and
+        // least-work's free units both treat an old 0.4-speed box like
+        // a new one; weighing booked work by replica speed routes
+        // around the slow generation's long drains and wins the tail.
+        let spec = two_generation_fleet(2, 2, 0.4);
+        let arrivals = PoissonArrivals::new(0.9 * spec.max_qps());
+        let mut jsq = spec.serve_routed(&arrivals, &Fifo, &JoinShortestQueue, 20_000, 7);
+        let mut lwl = spec.serve_routed(&arrivals, &Fifo, &LeastWorkLeft, 20_000, 7);
+        let mut ew = spec.serve_routed(&arrivals, &Fifo, &ExpectedWait, 20_000, 7);
+        assert_eq!(ew.completed, 20_000);
+        assert!(
+            ew.p99_seconds() < jsq.p99_seconds() * 0.9,
+            "expected-wait p99 {} vs jsq p99 {}",
+            ew.p99_seconds(),
+            jsq.p99_seconds()
+        );
+        assert!(
+            ew.p99_seconds() < lwl.p99_seconds() * 0.9,
+            "expected-wait p99 {} vs least-work p99 {}",
+            ew.p99_seconds(),
+            lwl.p99_seconds()
+        );
+    }
+
+    #[test]
+    fn expected_wait_tracks_jsq_on_uniform_fleets() {
+        // On a uniform fleet the speed term is constant, so expected
+        // wait and queue length are closely correlated signals: the
+        // tails land within a modest band of each other.
+        let spec = mixed_fleet(4);
+        let arrivals = PoissonArrivals::new(0.9 * spec.max_qps());
+        let mut jsq = spec.serve_routed(&arrivals, &Fifo, &JoinShortestQueue, 15_000, 7);
+        let mut ew = spec.serve_routed(&arrivals, &Fifo, &ExpectedWait, 15_000, 7);
+        let ratio = ew.p99_seconds() / jsq.p99_seconds();
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "uniform-fleet ew/jsq p99 ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn sticky_keeps_batch_mates_together_and_forms_the_deepest_batches() {
+        // A stage-0 batch completes as one event, so with sticky
+        // routing all its members re-join the same replica at stage 1
+        // and re-batch together; re-evaluating routers scatter them.
+        // Bursty arrivals on a mixed-speed batched fleet make the
+        // cohesion visible as strictly deeper mean batches.
+        use recpipe_data::TraceArrivals;
+        let spec = PipelineSpec::new(vec![ReplicaGroup::heterogeneous(
+            "gpu",
+            vec![ReplicaProfile::baseline(1), ReplicaProfile::new(1, 0.5)],
+        )])
+        .with_stage(StageSpec::new("rank", 0, 1, 0.004).with_batch(BatchModel::new(8, 0.2)))
+        .unwrap()
+        .with_stage(StageSpec::new("rerank", 0, 1, 0.003).with_batch(BatchModel::new(8, 0.2)))
+        .unwrap();
+        let window = BatchWindow::new(0.001);
+        let times: Vec<f64> = (0..100)
+            .flat_map(|b| std::iter::repeat_n(b as f64 * 0.040, 8))
+            .collect();
+        let burst = TraceArrivals::new(times);
+        let sticky = spec.serve_routed(&burst, &window, &Sticky::new(), 800, 7);
+        let jsq = spec.serve_routed(&burst, &window, &JoinShortestQueue, 800, 7);
+        assert_eq!(sticky.completed, 800);
+        assert!(
+            sticky.mean_batch > jsq.mean_batch + 0.3,
+            "sticky mean batch {} vs jsq {}",
+            sticky.mean_batch,
+            jsq.mean_batch
+        );
+    }
+
+    #[test]
+    fn heterogeneous_routing_is_deterministic_per_router() {
+        let spec = two_generation_fleet(2, 2, 0.6);
+        let arrivals = MmppArrivals::new(60.0, 400.0, 0.3, 0.1);
+        let routers: [&dyn Router; 3] = [&ExpectedWait, &Sticky::new(), &JoinShortestQueue];
+        for router in routers {
+            let a = spec.serve_routed(&arrivals, &BatchWindow::new(0.002), router, 2_000, 5);
+            let b = spec.serve_routed(&arrivals, &BatchWindow::new(0.002), router, 2_000, 5);
+            assert_eq!(a, b, "router {}", router.name());
+        }
+    }
+
+    #[test]
+    fn mixed_capacity_fleet_reports_per_replica_utilization() {
+        // Heterogeneous capacities: per-replica utilization normalizes
+        // by each replica's own capacity and stays in [0, 1].
+        let spec = PipelineSpec::new(vec![ReplicaGroup::heterogeneous(
+            "mixed",
+            vec![ReplicaProfile::baseline(2), ReplicaProfile::new(1, 0.5)],
+        )])
+        .with_stage(StageSpec::new("rank", 0, 1, 0.004))
+        .unwrap();
+        let out = spec.serve_routed(
+            &PoissonArrivals::new(0.6 * spec.max_qps()),
+            &Fifo,
+            &ExpectedWait,
+            5_000,
+            3,
+        );
+        assert_eq!(out.completed, 5_000);
+        assert_eq!(out.replica_utilization[0].len(), 2);
+        for u in &out.replica_utilization[0] {
+            assert!((0.0..=1.0).contains(u), "utilization {u}");
+        }
+    }
+
+    #[test]
+    fn single_replica_serving_ignores_the_new_routers_too() {
+        // ExpectedWait and Sticky on single-replica pipelines have no
+        // choices: results match `serve()` exactly, like every router.
+        let spec = PipelineSpec::new(vec![
+            ResourceSpec::new("gpu", 1),
+            ResourceSpec::new("cpu", 16),
+        ])
+        .with_stage(StageSpec::new("front", 0, 1, 0.001))
+        .unwrap()
+        .with_stage(StageSpec::new("back", 1, 2, 0.006))
+        .unwrap();
+        let arrivals = MmppArrivals::new(100.0, 900.0, 0.3, 0.1);
+        let baseline = spec.serve(&arrivals, &Fifo, 2_000, 13);
+        let routers: [&dyn Router; 2] = [&ExpectedWait, &Sticky::new()];
+        for router in routers {
+            let routed = spec.serve_routed(&arrivals, &Fifo, router, 2_000, 13);
+            assert_eq!(baseline, routed, "router {}", router.name());
+        }
     }
 
     // ------------------------------------------------------------------

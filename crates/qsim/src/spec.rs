@@ -2,43 +2,92 @@ use serde::{Deserialize, Serialize};
 
 use crate::{simulate, Router, SimResult};
 
-/// A group of `replicas` identical hardware pools (cores, devices,
-/// sub-array groups), each with its own `capacity` units **and its own
+/// The hardware generation of one replica: how many units it holds and
+/// how fast it serves them, relative to the group's baseline service
+/// curve.
+///
+/// `speed` is a service-*rate* multiplier: a batch whose baseline
+/// service time is `t` takes `t / speed` seconds on this replica.
+/// `speed = 1.0` is the current generation (the uniform pre-fleet
+/// behavior, reproduced bit-for-bit); `speed = 0.6` models a previous
+/// generation serving at 60% of the baseline rate; `speed > 1.0` a
+/// faster next-gen part. Capacity and speed together price a
+/// mixed-generation fleet: an old box may hold the same units but
+/// drain them more slowly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaProfile {
+    /// Number of units this replica can hold concurrently.
+    pub capacity: usize,
+    /// Service-rate multiplier relative to the stage's baseline service
+    /// time (1.0 = baseline; see the type-level docs).
+    pub speed: f64,
+}
+
+impl ReplicaProfile {
+    /// A replica profile with explicit capacity and speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `speed` is not strictly positive
+    /// and finite.
+    pub fn new(capacity: usize, speed: f64) -> Self {
+        assert!(capacity > 0, "replica capacity must be positive");
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "replica speed must be positive and finite"
+        );
+        Self { capacity, speed }
+    }
+
+    /// A current-generation replica: `capacity` units at speed 1.0.
+    pub fn baseline(capacity: usize) -> Self {
+        Self::new(capacity, 1.0)
+    }
+
+    /// Whether this replica serves at the baseline rate.
+    pub fn is_baseline(&self) -> bool {
+        self.speed == 1.0
+    }
+
+    /// Unit-weighted service rate: `capacity x speed`, the replica's
+    /// contribution to the group's aggregate drain rate.
+    pub fn weighted_units(&self) -> f64 {
+        self.capacity as f64 * self.speed
+    }
+}
+
+/// A group of replica hardware pools (cores, devices, sub-array
+/// groups), each described by a [`ReplicaProfile`] **with its own
 /// waiting queue**.
 ///
 /// A single-replica group is exactly the pre-cluster `ResourceSpec`: one
-/// pool, one queue. With `replicas > 1` the simulator routes every query
+/// pool, one queue. With more replicas the simulator routes every query
 /// to one replica per stage (see [`Router`]); batches never span
 /// replicas, and work queued at one replica cannot be stolen by an idle
 /// sibling — the private-queue cost that distinguishes a scale-out fleet
-/// behind a load balancer from one big shared pool.
+/// behind a load balancer from one big shared pool. Profiles make
+/// *heterogeneity* first-class: a fleet may mix machine generations
+/// (different `speed`) and sizes (different `capacity`), and routers
+/// see the difference through per-replica expected-wait signals.
+///
+/// [`replicated`](Self::replicated) remains the uniform constructor:
+/// every spec it builds is bit-identical in behavior to the pre-fleet
+/// `ReplicaGroup { capacity, replicas }` form, and the serialized
+/// vintages of both eras still round-trip (see
+/// [`from_json`](Self::from_json)).
 ///
 /// # Validation policy
 ///
-/// Like every constructor in this crate, [`new`](Self::new) and
-/// [`replicated`](Self::replicated) panic on structurally invalid
-/// scalar arguments (zero capacity, zero replicas); cross-references
-/// between stages and resources are validated by
-/// [`PipelineSpec::with_stage`], which returns a [`SpecError`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// Like every constructor in this crate, the constructors panic on
+/// structurally invalid scalar arguments (zero capacity, zero replicas,
+/// non-positive speed); cross-references between stages and resources
+/// are validated by [`PipelineSpec::with_stage`], which returns a
+/// [`SpecError`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReplicaGroup {
     /// Human-readable name for reports.
     pub name: String,
-    /// Number of units one replica can hold concurrently.
-    pub capacity: usize,
-    /// Number of identical replicas, each with its own queue. Defaults
-    /// to 1 on deserialization so pre-cluster serialized specs (which
-    /// lack the field) still round-trip.
-    #[serde(default = "default_one")]
-    pub replicas: usize,
-}
-
-/// Serde default for replica counts: the single-replica pre-cluster
-/// interpretation. Unused under the offline no-op serde shim, whose
-/// derives ignore the attribute that references it.
-#[allow(dead_code)]
-fn default_one() -> usize {
-    1
+    profiles: Vec<ReplicaProfile>,
 }
 
 /// Compatibility alias: the pre-cluster name for a single-replica
@@ -57,26 +106,149 @@ impl ReplicaGroup {
         Self::replicated(name, capacity, 1)
     }
 
-    /// Creates a group of `replicas` identical pools of `capacity`
-    /// units each.
+    /// Creates a group of `replicas` identical baseline-speed pools of
+    /// `capacity` units each — the uniform constructor every earlier
+    /// API produced, kept so existing specs behave bit-identically.
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0` or `replicas == 0`.
     pub fn replicated(name: impl Into<String>, capacity: usize, replicas: usize) -> Self {
-        assert!(capacity > 0, "resource capacity must be positive");
         assert!(replicas > 0, "replica count must be positive");
+        Self::heterogeneous(name, vec![ReplicaProfile::baseline(capacity); replicas])
+    }
+
+    /// Creates a mixed-generation group from explicit per-replica
+    /// profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty (profiles validate themselves at
+    /// [`ReplicaProfile::new`]).
+    pub fn heterogeneous(name: impl Into<String>, profiles: Vec<ReplicaProfile>) -> Self {
+        assert!(!profiles.is_empty(), "replica group has no replicas");
+        for p in &profiles {
+            // Re-assert even for struct-literal profiles so a group can
+            // never smuggle in a zero-capacity or non-finite-speed pool.
+            assert!(p.capacity > 0, "replica capacity must be positive");
+            assert!(
+                p.speed.is_finite() && p.speed > 0.0,
+                "replica speed must be positive and finite"
+            );
+        }
         Self {
             name: name.into(),
-            capacity,
-            replicas,
+            profiles,
         }
     }
 
-    /// Total units across all replicas — the group's aggregate capacity
-    /// for stability math (a batch still runs on *one* replica).
+    /// Appends one replica profile to the fleet.
+    pub fn with_profile(mut self, profile: ReplicaProfile) -> Self {
+        self.profiles.push(profile);
+        self
+    }
+
+    /// The per-replica profiles, in replica-index order (the order
+    /// routers and [`SimResult::replica_utilization`] report).
+    ///
+    /// [`SimResult::replica_utilization`]: crate::SimResult
+    pub fn profiles(&self) -> &[ReplicaProfile] {
+        &self.profiles
+    }
+
+    /// Number of replicas in the group (never zero).
+    pub fn replicas(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// The smallest per-replica capacity — the validation bound for
+    /// stage `units`: a stage must fit on *every* replica, or routing
+    /// could strand it on a pool that can never serve it. Equal to the
+    /// uniform capacity on groups built by
+    /// [`replicated`](Self::replicated).
+    pub fn capacity(&self) -> usize {
+        self.profiles
+            .iter()
+            .map(|p| p.capacity)
+            .min()
+            .expect("non-empty")
+    }
+
+    /// Whether every replica shares one baseline profile (the uniform
+    /// pre-fleet case).
+    pub fn is_uniform(&self) -> bool {
+        self.profiles
+            .iter()
+            .all(|p| p.is_baseline() && p.capacity == self.profiles[0].capacity)
+    }
+
+    /// Total units across all replicas — the group's aggregate unit
+    /// count (a batch still runs on *one* replica).
     pub fn total_units(&self) -> usize {
-        self.capacity * self.replicas
+        self.profiles.iter().map(|p| p.capacity).sum()
+    }
+
+    /// Speed-weighted aggregate drain rate in unit-equivalents:
+    /// `sum(capacity x speed)`. This is the capacity term of stability
+    /// math on mixed fleets — equal to [`total_units`](Self::total_units)
+    /// when every replica runs at baseline speed.
+    pub fn weighted_units(&self) -> f64 {
+        self.profiles
+            .iter()
+            .map(ReplicaProfile::weighted_units)
+            .sum()
+    }
+
+    /// Resizes the group to `replicas` copies of its *first* profile —
+    /// the uniform-resize knob behind
+    /// [`PipelineSpec::with_replicas`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    pub fn resized(mut self, replicas: usize) -> Self {
+        assert!(replicas > 0, "replica count must be positive");
+        self.profiles = vec![self.profiles[0]; replicas];
+        self
+    }
+
+    /// Tiles the fleet `factor` times — how a whole-pipeline backend
+    /// decomposition is cloned when the backend itself is replicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn scaled(mut self, factor: usize) -> Self {
+        assert!(factor > 0, "replica factor must be positive");
+        let base = self.profiles.clone();
+        self.profiles = Vec::with_capacity(base.len() * factor);
+        for _ in 0..factor {
+            self.profiles.extend_from_slice(&base);
+        }
+        self
+    }
+
+    /// Expands the group into a mixed-generation fleet: one copy of the
+    /// base profiles per entry of `speeds`, each copy's speeds
+    /// multiplied by that entry. `&[1.0; n]` reproduces
+    /// [`scaled`](Self::scaled)`(n)` exactly, so uniform fleets stay
+    /// bit-identical to plain replication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speeds` is empty or any speed is not strictly
+    /// positive and finite.
+    pub fn with_fleet_speeds(mut self, speeds: &[f64]) -> Self {
+        assert!(!speeds.is_empty(), "fleet has no replicas");
+        let base = self.profiles.clone();
+        self.profiles = Vec::with_capacity(base.len() * speeds.len());
+        for &speed in speeds {
+            for p in &base {
+                self.profiles
+                    .push(ReplicaProfile::new(p.capacity, p.speed * speed));
+            }
+        }
+        self
     }
 }
 
@@ -322,11 +494,11 @@ impl PipelineSpec {
                 stage: stage.name.clone(),
             });
         }
-        if stage.units > resource.capacity {
+        if stage.units > resource.capacity() {
             return Err(SpecError::UnitsExceedCapacity {
                 stage: stage.name.clone(),
                 units: stage.units,
-                capacity: resource.capacity,
+                capacity: resource.capacity(),
             });
         }
         if !(stage.service_time.is_finite() && stage.service_time > 0.0) {
@@ -371,12 +543,14 @@ impl PipelineSpec {
 
     /// Maximum sustainable throughput in QPS (the tightest resource
     /// bottleneck across all replicas), serving one query per launch.
+    /// Replica speeds weight the capacity: an old-generation replica at
+    /// speed 0.6 contributes 0.6 of its units to the drain rate.
     pub fn max_qps(&self) -> f64 {
         self.resources
             .iter()
             .zip(self.unit_seconds_per_query())
             .filter(|(_, load)| *load > 0.0)
-            .map(|(r, load)| r.total_units() as f64 / load)
+            .map(|(r, load)| r.weighted_units() / load)
             .fold(f64::INFINITY, f64::min)
     }
 
@@ -398,7 +572,7 @@ impl PipelineSpec {
             .iter()
             .zip(self.amortized_unit_seconds_per_query())
             .filter(|(_, load)| *load > 0.0)
-            .map(|(r, load)| r.total_units() as f64 / load)
+            .map(|(r, load)| r.weighted_units() / load)
             .fold(f64::INFINITY, f64::min)
     }
 
@@ -410,24 +584,59 @@ impl PipelineSpec {
     /// Whether any resource group has more than one replica (and a
     /// [`Router`] therefore has real choices to make).
     pub fn has_replication(&self) -> bool {
-        self.resources.iter().any(|r| r.replicas > 1)
+        self.resources.iter().any(|r| r.replicas() > 1)
+    }
+
+    /// Whether any resource group mixes replica generations (profiles
+    /// differing in capacity or speed).
+    pub fn has_heterogeneity(&self) -> bool {
+        self.resources.iter().any(|r| !r.is_uniform())
     }
 
     /// Total replica count across all resource groups — the cluster's
     /// hardware cost axis for replica-aware Pareto fronts.
     pub fn total_replicas(&self) -> usize {
-        self.resources.iter().map(|r| r.replicas).sum()
+        self.resources.iter().map(|r| r.replicas()).sum()
     }
 
-    /// Replaces the replica count of resource group `resource`.
+    /// Replaces the replica count of resource group `resource` with
+    /// `replicas` copies of its first profile.
     ///
     /// # Panics
     ///
     /// Panics if the index is out of range or `replicas == 0`.
     pub fn with_replicas(mut self, resource: usize, replicas: usize) -> Self {
-        assert!(replicas > 0, "replica count must be positive");
         assert!(resource < self.resources.len(), "unknown resource group");
-        self.resources[resource].replicas = replicas;
+        let group = self.resources[resource].clone();
+        self.resources[resource] = group.resized(replicas);
+        self
+    }
+
+    /// Replaces the fleet of resource group `resource` with explicit
+    /// per-replica profiles — the heterogeneous form of
+    /// [`with_replicas`](Self::with_replicas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range, `profiles` is empty, or any
+    /// existing stage's `units` exceed the new fleet's smallest
+    /// capacity (the bound [`with_stage`](Self::with_stage) enforces).
+    pub fn with_profiles(mut self, resource: usize, profiles: Vec<ReplicaProfile>) -> Self {
+        assert!(resource < self.resources.len(), "unknown resource group");
+        let name = self.resources[resource].name.clone();
+        let group = ReplicaGroup::heterogeneous(name, profiles);
+        for s in &self.stages {
+            if s.resource == resource {
+                assert!(
+                    s.units <= group.capacity(),
+                    "stage {} requests {} units but the new fleet's smallest replica has {}",
+                    s.name,
+                    s.units,
+                    group.capacity()
+                );
+            }
+        }
+        self.resources[resource] = group;
         self
     }
 
@@ -442,7 +651,24 @@ impl PipelineSpec {
     pub fn scale_replicas(mut self, factor: usize) -> Self {
         assert!(factor > 0, "replica factor must be positive");
         for r in &mut self.resources {
-            r.replicas *= factor;
+            *r = r.clone().scaled(factor);
+        }
+        self
+    }
+
+    /// Expands every resource group into a mixed-generation fleet: one
+    /// copy of the group per entry of `speeds`, scaled by that entry —
+    /// how a whole-pipeline chain decomposition is cloned across a
+    /// heterogeneous backend fleet. `&[1.0; n]` reproduces
+    /// [`scale_replicas`](Self::scale_replicas)`(n)` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speeds` is empty or contains a non-positive or
+    /// non-finite value.
+    pub fn scale_fleet(mut self, speeds: &[f64]) -> Self {
+        for r in &mut self.resources {
+            *r = r.clone().with_fleet_speeds(speeds);
         }
         self
     }

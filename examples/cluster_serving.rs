@@ -1,24 +1,31 @@
 //! Cluster-of-replicas serving: replicated backends behind pluggable
-//! routers, and a scheduler sweep that co-optimizes replica counts.
+//! routers, heterogeneous replica fleets, and a scheduler sweep that
+//! co-optimizes fleet generation mixes.
 //!
 //! The paper's datacenter-scale story serves millions of users across
-//! fleets of CPUs and accelerators. This example scales the two-stage
-//! Criteo pipeline out instead of up:
+//! fleets of CPUs and accelerators — and real fleets mix machine
+//! generations (MP-Rec's case for heterogeneous execution paths). This
+//! example scales the two-stage Criteo pipeline out instead of up:
 //!
 //! * a 4-replica GPU fleet absorbs an offered load that saturates the
 //!   single-pool engine;
-//! * four routers split the same traffic — oblivious round-robin,
-//!   full-information join-shortest-queue, power-of-two-choices
-//!   sampling, and free-unit-driven least-work-left — and the tail
-//!   shows what replica-state awareness buys;
-//! * the same routers race again on a *batched* fleet, where
-//!   `LeastWorkLeft`'s free-unit signal concentrates work into the
-//!   deepest batches — and JSQ's queue-length signal still wins the
-//!   tail (ROADMAP's open question, now measured);
-//! * a replica-count sweep produces a three-objective Pareto front:
-//!   quality vs p99 vs total replica cost — priced exhaustively and
-//!   with the successive-halving budget, which returns the same front
-//!   for roughly half the simulated queries.
+//! * routers split the same traffic on a uniform fleet — oblivious
+//!   round-robin, full-information join-shortest-queue,
+//!   power-of-two-choices sampling, and free-unit-driven
+//!   least-work-left — and the tail shows what replica-state awareness
+//!   buys;
+//! * a *two-generation* fleet (2 current boxes + 2 previous-generation
+//!   at 40% speed) re-races the routers plus the speed-aware
+//!   `ExpectedWait` and affinity `Sticky` entries: query counts and
+//!   free units are blind to replica speed, so expected wait (remaining
+//!   work / speed) wins the tail;
+//! * the same routers race on a *batched* fleet, where `LeastWorkLeft`
+//!   forms the deepest steady-state batches — and JSQ's queue-length
+//!   signal still wins the uniform-fleet tail;
+//! * a fleet-option sweep produces a three-objective Pareto front:
+//!   quality vs p99 vs *profile-weighted* fleet cost — old boxes price
+//!   at their speed, so mixed-generation clusters survive between the
+//!   small and large uniform ones.
 //!
 //! Run with:
 //!
@@ -30,8 +37,8 @@ use recpipe::core::{Engine, PipelineConfig, Placement, StageConfig, Table};
 use recpipe::data::PoissonArrivals;
 use recpipe::models::ModelKind;
 use recpipe::qsim::{
-    BatchModel, BatchWindow, Fifo, JoinShortestQueue, LeastWorkLeft, PipelineSpec,
-    PowerOfTwoChoices, ReplicaGroup, RoundRobin, Router, StageSpec,
+    BatchModel, BatchWindow, ExpectedWait, Fifo, JoinShortestQueue, LeastWorkLeft, PipelineSpec,
+    PowerOfTwoChoices, ReplicaGroup, ReplicaProfile, RoundRobin, Router, StageSpec, Sticky,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -66,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         alone.saturated, alone.qps
     );
 
-    // --- Router comparison on a mixed-job-size fleet -----------------
+    // --- Router comparison on a uniform mixed-job-size fleet ---------
     // Short frontend + 5x backend on one replicated worker fleet at
     // rho = 0.9: the scenario where replica-state awareness pays.
     let mixed = PipelineSpec::new(vec![ReplicaGroup::replicated("worker", 1, 4)])
@@ -96,25 +103,92 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{table}");
 
+    // --- Two-generation fleet: speed-aware routing ------------------
+    // 2 current-generation replicas plus 2 previous-generation ones at
+    // 40% speed, same stage pair, rho = 0.9 of the *weighted* capacity.
+    // JSQ's query count and least-work's free units are blind to the
+    // generation gap: a 2-query backlog on an old box outlasts a
+    // 3-query backlog on a new one. ExpectedWait (remaining work /
+    // speed) sees it; Sticky shows what pinning a query to its first
+    // replica costs when speeds differ.
+    let two_gen = PipelineSpec::new(vec![ReplicaGroup::heterogeneous(
+        "worker",
+        vec![
+            ReplicaProfile::baseline(1),
+            ReplicaProfile::baseline(1),
+            ReplicaProfile::new(1, 0.4),
+            ReplicaProfile::new(1, 0.4),
+        ],
+    )])
+    .with_stage(StageSpec::new("front", 0, 1, 0.002))?
+    .with_stage(StageSpec::new("back", 0, 1, 0.010))?;
+    let qps = 0.9 * two_gen.max_qps();
+    let hot = PoissonArrivals::new(qps);
+    let hetero_routers: Vec<Box<dyn Router>> = vec![
+        Box::new(RoundRobin),
+        Box::new(JoinShortestQueue),
+        Box::new(LeastWorkLeft),
+        Box::new(Sticky::new()),
+        Box::new(ExpectedWait),
+    ];
+    let mut table = Table::new(vec!["router", "p50 (ms)", "p99 (ms)", "QPS"]);
+    println!(
+        "Two-generation fleet: 2 replicas @1.0 + 2 @0.4 (weighted capacity {:.0} QPS), \
+         rho = 0.9 ({qps:.0} QPS)",
+        two_gen.max_qps()
+    );
+    let mut jsq_p99 = f64::NAN;
+    let mut ew_p99 = f64::NAN;
+    for router in &hetero_routers {
+        let mut out = two_gen.serve_routed(&hot, &Fifo, router.as_ref(), 20_000, 7);
+        if router.name() == "jsq" {
+            jsq_p99 = out.p99_seconds();
+        }
+        if router.name() == "expected-wait" {
+            ew_p99 = out.p99_seconds();
+        }
+        table.row(vec![
+            router.name(),
+            format!("{:.2}", out.p50_seconds() * 1e3),
+            format!("{:.2}", out.p99_seconds() * 1e3),
+            format!("{:.0}", out.qps),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "  expected-wait cuts jsq's p99 by {:.0}% on the mixed generations\n",
+        100.0 * (1.0 - ew_p99 / jsq_p99)
+    );
+
     // --- Batched fleet: free-unit routing vs query counts -----------
     // Four 2-unit replicas serving a batched ranking stage behind a
     // 2 ms batch window. A replica with many queries riding one batch
     // frees them all at once, so JSQ's outstanding-query count
     // overrates its load; `LeastWorkLeft` reads the units actually
     // held instead, funneling arrivals toward startable replicas (and
-    // into deeper batches).
+    // into deeper batches); `Sticky` tracks its JSQ fallback here (the
+    // rerank stage is unbatched — its batch-mate cohesion shows up
+    // under bursty traffic, pinned in the qsim test suite).
     let batched = PipelineSpec::new(vec![ReplicaGroup::replicated("gpu", 2, 4)])
         .with_stage(StageSpec::new("rank", 0, 1, 0.004).with_batch(BatchModel::new(8, 0.2)))?
         .with_stage(StageSpec::new("rerank", 0, 2, 0.006))?;
     let qps = 0.85 * batched.max_qps();
     let window = BatchWindow::new(0.002);
     let busy = PoissonArrivals::new(qps);
+    let batched_routers: Vec<Box<dyn Router>> = vec![
+        Box::new(RoundRobin),
+        Box::new(PowerOfTwoChoices),
+        Box::new(JoinShortestQueue),
+        Box::new(LeastWorkLeft),
+        Box::new(Sticky::new()),
+        Box::new(ExpectedWait),
+    ];
     let mut table = Table::new(vec!["router", "p50 (ms)", "p99 (ms)", "mean batch"]);
     println!(
         "Batched-fleet comparison: 4x2-unit replicas, batch-8 rank + 2-unit rerank, \
          2 ms window, rho = 0.85 ({qps:.0} QPS)"
     );
-    for router in &routers {
+    for router in &batched_routers {
         let mut out = batched.serve_routed(&busy, &window, router.as_ref(), 20_000, 7);
         table.row(vec![
             router.name(),
@@ -125,22 +199,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{table}");
 
-    // --- Replica-count sweep: quality vs p99 vs cost -----------------
-    // Priced twice: exhaustively, and with the successive-halving
-    // budget that prunes dominated placements at low simulation
-    // budgets before spending the full budget on contenders.
-    use recpipe::core::{Scheduler, SchedulerSettings, SweepBudget};
-    use recpipe::hwsim::{CpuModel, GpuModel, PcieModel};
+    // --- Fleet-option sweep: quality vs p99 vs weighted cost ---------
+    // The scheduler crosses whole generation mixes per backend: one
+    // current box, two current boxes, or one current + one
+    // previous-generation at 60% speed (cost 1.6). Priced exhaustively
+    // and with the successive-halving budget.
+    use recpipe::core::{FleetSpec, Scheduler, SchedulerSettings, SweepBudget};
+    use recpipe::hwsim::{CpuModel, PcieModel};
     use std::sync::Arc;
 
     let mut settings = SchedulerSettings::quick();
-    settings.replica_options = vec![1, 2, 4];
+    settings.fleet_options = vec![
+        FleetSpec::uniform(1),
+        FleetSpec::uniform(2),
+        FleetSpec::mixed(&[(1, 1.0), (1, 0.6)]),
+    ];
     settings.max_stages = 2;
-    let pool: Vec<Arc<dyn recpipe::core::Backend>> =
-        vec![Arc::new(CpuModel::cascade_lake()), Arc::new(GpuModel::t4())];
+    let pool: Vec<Arc<dyn recpipe::core::Backend>> = vec![Arc::new(CpuModel::cascade_lake())];
     let interconnect = PcieModel::measured();
+    let load = 8_000.0;
     let (full_points, full_stats) = Scheduler::new(settings.clone()).explore_pool_with_stats(
-        2_000.0,
+        load,
         2,
         &pool,
         1,
@@ -149,25 +228,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     settings.sweep_budget = SweepBudget::halving(settings.sim_queries);
     let (halved_points, halved_stats) =
-        Scheduler::new(settings).explore_pool_with_stats(2_000.0, 2, &pool, 1, None, &interconnect);
+        Scheduler::new(settings).explore_pool_with_stats(load, 2, &pool, 1, None, &interconnect);
 
     let front = Scheduler::pareto_with_cost(full_points);
     let halved_front = Scheduler::pareto_with_cost(halved_points);
-    let mut pareto = Table::new(vec!["pipeline", "mapping", "cost", "NDCG %", "p99 (ms)"]);
+    let mut pareto = Table::new(vec![
+        "pipeline",
+        "mapping",
+        "fleet cost",
+        "NDCG %",
+        "p99 (ms)",
+    ]);
     for p in front.iter() {
         pareto.row(vec![
             p.pipeline.describe(),
             p.mapping.clone(),
-            format!("{}", p.replicas),
+            format!("{:.1}", p.fleet_cost),
             format!("{:.2}", p.ndcg_percent()),
             format!("{:.2}", p.p99_ms()),
         ]);
     }
-    println!("Replica-aware Pareto front at 2000 QPS (quality x p99 x replica cost):");
+    println!("Fleet-aware Pareto front at {load:.0} QPS (quality x p99 x weighted fleet cost):");
     println!("{pareto}");
+    let mixed_points = front.iter().filter(|p| p.mapping.contains('@')).count();
     println!(
         "Sweep budget: full = {} simulated queries over {} candidates; successive halving = {} \
-         ({:.0}% of full) recovering {}/{} front points",
+         ({:.0}% of full) recovering {}/{} front points; {mixed_points} mixed-generation \
+         cluster(s) on the front",
         full_stats.simulated_queries,
         full_stats.candidates,
         halved_stats.simulated_queries,
@@ -182,14 +269,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  - replication turns a saturating single pool into a stable fleet at the same load;"
     );
-    println!("  - JSQ routes around replicas grinding long backend queries; round-robin keeps");
-    println!("    feeding them blindly, and d=2 sampling recovers most of JSQ's tail win with");
-    println!("    two probes per query; on the batched fleet, least-work-left's free-unit");
-    println!("    signal forms the deepest batches, yet JSQ keeps the tail win — queue length");
-    println!("    stays the better latency signal even when in-flight batches inflate it;");
-    println!("  - the cost axis keeps small clusters on the front: a 1-replica design that meets");
-    println!("    quality at higher p99 is not dominated by a 4-replica design that halves it;");
-    println!("  - the halving budget prunes the replica cross product for about half the");
+    println!("  - on the uniform fleet, JSQ routes around replicas grinding long backend");
+    println!("    queries and d=2 sampling recovers most of its tail win with two probes;");
+    println!("  - on the two-generation fleet, query counts and free units are blind to");
+    println!("    replica speed: expected-wait (remaining work / speed) routes around the");
+    println!("    old generation's long drains and beats JSQ's p99 outright;");
+    println!("  - on the batched fleet, least-work-left's free-unit signal forms the deepest");
+    println!("    steady-state batches, yet JSQ keeps the uniform-fleet tail win — queue");
+    println!("    length stays the better latency signal when every replica drains at the");
+    println!("    same rate;");
+    println!("  - the weighted cost axis keeps mixed-generation clusters on the front: a");
+    println!("    1.0+0.6 fleet (cost 1.6) lands between one and two current-generation");
+    println!("    boxes on both price and tail latency;");
+    println!("  - the halving budget prunes the fleet cross product for roughly half the");
     println!("    simulation cost while keeping the full-budget Pareto placements.");
     Ok(())
 }

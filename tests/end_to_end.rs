@@ -246,6 +246,55 @@ fn cluster_of_replicas_end_to_end() {
 }
 
 #[test]
+fn heterogeneous_fleet_end_to_end() {
+    // A two-generation commodity fleet across the full stack: the
+    // engine builds a mixed-speed GPU fleet, reports profile-weighted
+    // capacity and cost, and serves with speed-aware routing.
+    use recpipe::core::FleetSpec;
+    use recpipe::data::PoissonArrivals;
+    use recpipe::qsim::{ExpectedWait, Fifo, JoinShortestQueue};
+
+    let uniform = Engine::commodity(two_stage(256))
+        .placement(Placement::gpu_only(2))
+        .quality_queries(20)
+        .build()
+        .unwrap();
+    let mixed = Engine::commodity(two_stage(256))
+        .placement(Placement::gpu_only(2))
+        .fleet(1, FleetSpec::mixed(&[(2, 1.0), (2, 0.5)]))
+        .quality_queries(20)
+        .build()
+        .unwrap();
+    // 2 current + 2 half-speed GPUs drain like 3 current ones, but
+    // cost 3.0 in profile-weighted terms while counting 4 machines.
+    assert!((mixed.max_qps() - 3.0 * uniform.max_qps()).abs() < 1e-6);
+    assert_eq!(mixed.replica_cost(), 4);
+    assert!((mixed.fleet_cost() - 3.0).abs() < 1e-12);
+    assert_eq!(
+        mixed.cluster().fleets()[1],
+        FleetSpec::new(&[1.0, 1.0, 0.5, 0.5])
+    );
+    let outcome = mixed.evaluate_at(100.0);
+    assert!(outcome.mapping.contains("gpu*2@1.0+2@0.5"));
+    assert!((outcome.fleet_cost - 3.0).abs() < 1e-12);
+
+    // An offered load that saturates the uniform single pool is served
+    // by the mixed fleet; both load-aware routers handle it.
+    let overload = uniform.max_qps() * 1.8;
+    assert!(uniform.evaluate_at(overload).saturated);
+    let arrivals = PoissonArrivals::new(overload);
+    for router in [
+        &JoinShortestQueue as &dyn recpipe::qsim::Router,
+        &ExpectedWait,
+    ] {
+        let out = mixed.serve_routed(&arrivals, &Fifo, router, 6_000);
+        assert_eq!(out.completed, 6_000);
+        assert!(!out.saturated);
+        assert_eq!(out.replica_utilization[1].len(), 4);
+    }
+}
+
+#[test]
 fn trace_replay_end_to_end_reproduces_recorded_poisson_traffic() {
     // An open-loop run is fully determined by its arrival schedule:
     // recording a Poisson schedule and replaying it through

@@ -91,6 +91,46 @@ fn cluster_routing_through_facade() {
 }
 
 #[test]
+fn heterogeneous_fleet_through_facade() {
+    use recpipe::core::FleetSpec;
+    use recpipe::data::PoissonArrivals;
+    use recpipe::qsim::{
+        ExpectedWait, Fifo, ReplicaGroup, ReplicaProfile, Router, RoutingCtx, Sticky,
+    };
+
+    // qsim-level: a two-generation group with speed-weighted capacity
+    // and a serialized form that round-trips.
+    let group = ReplicaGroup::heterogeneous(
+        "worker",
+        vec![ReplicaProfile::baseline(2), ReplicaProfile::new(2, 0.5)],
+    );
+    assert_eq!(group.total_units(), 4);
+    assert!((group.weighted_units() - 3.0).abs() < 1e-12);
+    assert_eq!(ReplicaGroup::from_json(&group.to_json()).unwrap(), group);
+
+    let spec = PipelineSpec::new(vec![group])
+        .with_stage(StageSpec::new("rank", 0, 1, 0.004))
+        .unwrap();
+    let routers: Vec<Box<dyn Router>> = vec![Box::new(ExpectedWait), Box::new(Sticky::new())];
+    for router in &routers {
+        let out = spec.serve_routed(
+            &PoissonArrivals::new(0.7 * spec.max_qps()),
+            &Fifo,
+            router.as_ref(),
+            800,
+            1,
+        );
+        assert_eq!(out.completed, 800, "{}", router.name());
+    }
+    assert_eq!(RoutingCtx::root(0, 0, 0).prior_on_group(), None);
+
+    // core-level: fleet specs annotate and price by generation.
+    let fleet = FleetSpec::mixed(&[(1, 1.0), (1, 0.5)]);
+    assert_eq!(fleet.annotation(), "*1@1.0+1@0.5");
+    assert!((fleet.cost() - 1.5).abs() < 1e-12);
+}
+
+#[test]
 fn trace_arrivals_through_facade() {
     use recpipe::data::{ArrivalProcess, TraceArrivals};
     let trace = TraceArrivals::new(vec![0.0, 0.5, 1.0, 1.5]).with_rate(8.0);
