@@ -8,11 +8,12 @@ use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use recpipe_core::{Backend, Scheduler, SchedulerSettings, SweepBudget};
-use recpipe_data::{MmppArrivals, PoissonArrivals};
+use recpipe_data::{DiurnalArrivals, MmppArrivals, PoissonArrivals};
 use recpipe_hwsim::{CpuModel, PcieModel};
 use recpipe_qsim::{
-    BatchModel, BatchWindow, ExpectedWait, Fifo, JoinShortestQueue, LeastWorkLeft, PipelineSpec,
-    PowerOfTwoChoices, ReplicaGroup, ReplicaProfile, ResourceSpec, RoundRobin, Router, StageSpec,
+    BatchModel, BatchWindow, ExpectedWait, Fifo, JoinShortestQueue, LeastWorkLeft, LifecycleConfig,
+    LifecycleEvent, LifecycleSchedule, PipelineSpec, PowerOfTwoChoices, ReplicaGroup,
+    ReplicaProfile, ResourceSpec, RoundRobin, Router, StageSpec,
 };
 
 fn two_stage() -> PipelineSpec {
@@ -116,6 +117,33 @@ fn bench_qsim_cluster(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_qsim_lifecycle(c: &mut Criterion) {
+    // The lifecycle-aware loop: a diurnal rate swing with a fail-stop
+    // and recovery mid-climb, windowed telemetry on — the per-event
+    // cost of availability masking, the generation counters, and the
+    // window-boundary bookkeeping on top of the routed loop.
+    let failures = LifecycleSchedule::empty()
+        .with_event(LifecycleEvent::fail_stop(8.0, 0))
+        .with_event(LifecycleEvent::recover(12.0, 0));
+    let spec = PipelineSpec::new(vec![ReplicaGroup::replicated("worker", 4, 6)])
+        .with_group_lifecycle(0, failures)
+        .with_stage(StageSpec::new("rank", 0, 1, 0.02))
+        .unwrap();
+    let arrivals = DiurnalArrivals::new(100.0, 900.0, 60.0);
+    let cfg = LifecycleConfig::new().with_window(2.0);
+
+    let mut group = c.benchmark_group("qsim_lifecycle");
+    group.bench_function("diurnal_failures_10000q", |b| {
+        b.iter(|| {
+            black_box(
+                spec.serve_lifecycle(&arrivals, &Fifo, &JoinShortestQueue, 10_000, 7, &cfg)
+                    .expect("replica 0 recovers, so the run cannot strand work"),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_cluster_sweep(c: &mut Criterion) {
     // The scheduler's replica-grid sweep: the cross product that
     // motivated budget pruning. One worker isolates simulation work
@@ -165,6 +193,7 @@ criterion_group!(
     bench_qsim,
     bench_qsim_v2,
     bench_qsim_cluster,
+    bench_qsim_lifecycle,
     bench_cluster_sweep
 );
 criterion_main!(benches);

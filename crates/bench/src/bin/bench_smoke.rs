@@ -1,6 +1,6 @@
-//! CI bench smoke check: re-times the three hottest queueing-simulator
+//! CI bench smoke check: re-times the four hottest queueing-simulator
 //! benches and fails (non-zero exit) if any regressed more than 2x
-//! against the checked-in `BENCH_pr5.json` baseline.
+//! against the checked-in `BENCH_pr6.json` baseline.
 //!
 //! Baselines were recorded on one developer machine, while CI runs on
 //! shared runners with very different single-core throughput — so
@@ -22,10 +22,10 @@
 
 use std::time::{Duration, Instant};
 
-use recpipe_data::PoissonArrivals;
+use recpipe_data::{DiurnalArrivals, PoissonArrivals};
 use recpipe_qsim::{
-    ExpectedWait, Fifo, JoinShortestQueue, PipelineSpec, ReplicaGroup, ReplicaProfile,
-    ResourceSpec, StageSpec,
+    ExpectedWait, Fifo, JoinShortestQueue, LifecycleConfig, LifecycleEvent, LifecycleSchedule,
+    PipelineSpec, ReplicaGroup, ReplicaProfile, ResourceSpec, StageSpec,
 };
 
 /// Largest tolerated machine-normalized measured/baseline ratio.
@@ -130,8 +130,24 @@ fn two_gen_fleet() -> PipelineSpec {
     .expect("valid stage")
 }
 
+fn diurnal_failures_fleet() -> PipelineSpec {
+    // Mirrors benches/queueing_sim.rs
+    // `qsim_lifecycle/diurnal_failures_10000q`: the lifecycle-aware
+    // loop (availability masking, fail-stop requeue, windowed
+    // telemetry) under a diurnal rate swing.
+    PipelineSpec::new(vec![ReplicaGroup::replicated("worker", 4, 6)])
+        .with_group_lifecycle(
+            0,
+            LifecycleSchedule::empty()
+                .with_event(LifecycleEvent::fail_stop(8.0, 0))
+                .with_event(LifecycleEvent::recover(12.0, 0)),
+        )
+        .with_stage(StageSpec::new("rank", 0, 1, 0.02))
+        .expect("valid stage")
+}
+
 fn main() {
-    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json");
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json");
     let json = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
 
@@ -155,6 +171,9 @@ fn main() {
     let arrivals = PoissonArrivals::new(0.9 * fleet.max_qps());
     let two_gen = two_gen_fleet();
     let two_gen_arrivals = PoissonArrivals::new(0.9 * two_gen.max_qps());
+    let lifecycle_fleet = diurnal_failures_fleet();
+    let lifecycle_arrivals = DiurnalArrivals::new(100.0, 900.0, 60.0);
+    let lifecycle_cfg = LifecycleConfig::new().with_window(2.0);
     type Check = (&'static str, Box<dyn FnMut()>);
     let checks: Vec<Check> = vec![
         (
@@ -185,6 +204,23 @@ fn main() {
                     10_000,
                     7,
                 ));
+            }),
+        ),
+        (
+            "qsim_lifecycle/diurnal_failures_10000q",
+            Box::new(move || {
+                std::hint::black_box(
+                    lifecycle_fleet
+                        .serve_lifecycle(
+                            &lifecycle_arrivals,
+                            &Fifo,
+                            &JoinShortestQueue,
+                            10_000,
+                            7,
+                            &lifecycle_cfg,
+                        )
+                        .expect("replica 0 recovers, so the run cannot strand work"),
+                );
             }),
         ),
     ];

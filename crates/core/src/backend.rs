@@ -366,6 +366,22 @@ impl FleetSpec {
         self.speed_bits.len()
     }
 
+    /// The same fleet resized to `replicas` machines: scale-down keeps
+    /// the lowest-index replicas (mirroring the simulator's
+    /// drain-highest-index-first rule), scale-up appends
+    /// current-generation (speed 1.0) machines — what an autoscaler
+    /// provisions fresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    pub fn resized(&self, replicas: usize) -> Self {
+        assert!(replicas > 0, "replica count must be positive");
+        let mut speed_bits = self.speed_bits.clone();
+        speed_bits.resize(replicas, 1.0f64.to_bits());
+        Self { speed_bits }
+    }
+
     /// The per-replica speeds, in replica-index order.
     pub fn speeds(&self) -> Vec<f64> {
         self.speed_bits.iter().map(|&b| f64::from_bits(b)).collect()
@@ -1130,6 +1146,24 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn fleet_spec_rejects_bad_speeds() {
         FleetSpec::new(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn fleet_resize_truncates_high_indices_and_appends_baseline() {
+        let mix = FleetSpec::new(&[1.0, 0.6, 0.8]);
+        // Scale-down keeps the lowest-index replicas (the simulator
+        // drains highest-index first).
+        assert_eq!(mix.resized(2), FleetSpec::new(&[1.0, 0.6]));
+        // Scale-up appends current-generation machines.
+        assert_eq!(mix.resized(5), FleetSpec::new(&[1.0, 0.6, 0.8, 1.0, 1.0]));
+        // Same size is the identity.
+        assert_eq!(mix.resized(3), mix);
+    }
+
+    #[test]
+    #[should_panic(expected = "replica count must be positive")]
+    fn fleet_resize_rejects_zero() {
+        FleetSpec::uniform(2).resized(0);
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub enum EngineError {
     /// The queueing spec rejected a stage (e.g. parallelism above the
     /// backend's capacity).
     Spec(SpecError),
+    /// A lifecycle-aware simulation run failed (e.g. an arrival hit a
+    /// resource group with every replica down and no revival pending).
+    Sim(recpipe_qsim::SimError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -74,6 +77,7 @@ impl std::fmt::Display for EngineError {
                 "cluster spec has {entries} entries but the pool has {pool_size} backends"
             ),
             EngineError::Spec(e) => write!(f, "invalid queueing spec: {e}"),
+            EngineError::Sim(e) => write!(f, "simulation failed: {e}"),
         }
     }
 }
@@ -82,6 +86,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Spec(e) => Some(e),
+            EngineError::Sim(e) => Some(e),
             _ => None,
         }
     }
@@ -90,6 +95,12 @@ impl std::error::Error for EngineError {
 impl From<SpecError> for EngineError {
     fn from(e: SpecError) -> Self {
         EngineError::Spec(e)
+    }
+}
+
+impl From<recpipe_qsim::SimError> for EngineError {
+    fn from(e: recpipe_qsim::SimError) -> Self {
+        EngineError::Sim(e)
     }
 }
 
@@ -630,6 +641,42 @@ impl Engine {
             .serve_routed(arrivals, policy, router, queries, self.seed)
     }
 
+    /// Runs the closed-loop autoscaled simulation: a [`ScalingPolicy`]
+    /// is consulted at every telemetry window boundary and the scaled
+    /// group's fleet is resized through warm-up and drains — the
+    /// transient-behavior seam steady-state sweeps cannot reach.
+    ///
+    /// Build the engine with enough replicas on the scaled backend to
+    /// cover `cfg.max_replicas` (e.g. [`EngineBuilder::replicas`]); the
+    /// band in `cfg` then decides how much of that ceiling the policy
+    /// may actually use. Returns [`EngineError::Sim`] when the run hits
+    /// an unrecoverable availability hole (see
+    /// [`SimError`](recpipe_qsim::SimError)).
+    ///
+    /// [`ScalingPolicy`]: crate::ScalingPolicy
+    pub fn serve_scaled(
+        &self,
+        arrivals: &dyn recpipe_data::ArrivalProcess,
+        policy: &dyn recpipe_qsim::SchedulingPolicy,
+        router: &dyn recpipe_qsim::Router,
+        queries: usize,
+        cfg: &recpipe_qsim::AutoscaleConfig,
+        scaling: &mut dyn crate::ScalingPolicy,
+    ) -> Result<SimResult, EngineError> {
+        let mut controller = crate::AsController(scaling);
+        self.spec
+            .serve_autoscaled(
+                arrivals,
+                policy,
+                router,
+                queries,
+                self.seed,
+                cfg,
+                &mut controller,
+            )
+            .map_err(EngineError::from)
+    }
+
     /// Explores the scheduler's design space over this engine's backend
     /// pool at the bound load — up to `settings.max_stages` stages,
     /// charging this engine's interconnect on backend crossings — and
@@ -1152,6 +1199,37 @@ mod tests {
         assert_eq!(out.completed, 3_000);
         // The router saw a real 4-replica GPU fleet.
         assert_eq!(out.replica_utilization[1].len(), 4);
+    }
+
+    #[test]
+    fn serve_scaled_resizes_the_fleet_through_the_policy_seam() {
+        use recpipe_data::PoissonArrivals;
+        use recpipe_qsim::{AutoscaleConfig, Fifo, JoinShortestQueue};
+        let fleet = Engine::commodity(two_stage())
+            .placement(Placement::cpu_only(2))
+            .replicas(0, 4)
+            .quality_queries(20)
+            .build()
+            .unwrap();
+        let cfg = AutoscaleConfig::new(0, 1, 4, 0.5).with_initial_replicas(1);
+        let mut policy = crate::ReactiveScaling::new(0.6, 4.0);
+        let out = fleet
+            .serve_scaled(
+                &PoissonArrivals::new(0.5 * fleet.max_qps()),
+                &Fifo,
+                &JoinShortestQueue,
+                3_000,
+                &cfg,
+                &mut policy,
+            )
+            .unwrap();
+        // The closed loop completed every query, recorded telemetry,
+        // and grew the fleet past its 1-replica starting point (half
+        // the 4-replica capacity overloads a single replica).
+        assert_eq!(out.completed, 3_000);
+        assert!(!out.windows.is_empty());
+        assert!(out.windows.iter().any(|w| w.live_replicas > 1));
+        assert!(out.cost_integral > 0.0);
     }
 
     #[test]

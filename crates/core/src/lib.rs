@@ -13,7 +13,10 @@
 //! * [`Engine::sweep`] → the scheduler's design-space exploration,
 //!   reduced to a [`ParetoFront`](recpipe_metrics::ParetoFront) of
 //!   outcomes;
-//! * [`Engine::serve`] → a raw at-scale queueing simulation.
+//! * [`Engine::serve`] → a raw at-scale queueing simulation;
+//! * [`Engine::serve_scaled`] → a closed-loop autoscaled run driven by
+//!   a [`ScalingPolicy`] ([`ReactiveScaling`] or [`PredictiveScaling`])
+//!   resizing the fleet through warm-up and drains.
 //!
 //! Hardware plugs in through one seam: the [`Backend`] trait
 //! (implemented by `CpuModel`, `GpuModel`, `RpAccel`, and
@@ -48,6 +51,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod autoscale;
 mod backend;
 mod engine;
 mod parallel;
@@ -57,6 +61,7 @@ mod report;
 mod scheduler;
 mod stage;
 
+pub use autoscale::{AsController, PredictiveScaling, ReactiveScaling, ScalingPolicy};
 pub use backend::{
     build_serving_spec, build_spec, Backend, ClusterSpec, FleetSpec, Placement, StageSite,
     INTERMEDIATE_BYTES_PER_ITEM,

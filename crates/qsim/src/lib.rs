@@ -72,6 +72,7 @@
 //! assert!(result.mean_batch > 1.0);
 //! ```
 
+mod lifecycle;
 mod persist;
 mod policy;
 mod result;
@@ -79,6 +80,10 @@ mod router;
 mod sim;
 mod spec;
 
+pub use lifecycle::{
+    AutoscaleConfig, FailurePolicy, FleetController, LifecycleAction, LifecycleConfig,
+    LifecycleEvent, LifecycleSchedule, SimError, WindowStats,
+};
 pub use persist::ParseError;
 pub use policy::{BatchWindow, EarliestDeadlineFirst, Fifo, QueueEntry, Release, SchedulingPolicy};
 pub use result::SimResult;
@@ -86,7 +91,7 @@ pub use router::{
     ExpectedWait, JoinShortestQueue, LeastWorkLeft, PowerOfTwoChoices, ReplicaLoads,
     ReplicaSnapshot, RoundRobin, Router, RouterState, RoutingCtx, Sticky,
 };
-pub use sim::{serve, serve_routed, simulate};
+pub use sim::{serve, serve_autoscaled, serve_lifecycle, serve_routed, simulate};
 pub use spec::{
     BatchModel, PipelineSpec, ReplicaGroup, ReplicaProfile, ResourceSpec, SpecError, StageSpec,
 };

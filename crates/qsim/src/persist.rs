@@ -18,12 +18,27 @@
 //!    [`ReplicaProfile`]s; a missing `speed` defaults to the 1.0
 //!    baseline.
 //!
+//! 4. **lifecycle schedules** — any of the above plus
+//!    `"lifecycle":[{"time":0.5,"replica":0,"action":"fail_stop"},...]`:
+//!    the group's attached [`LifecycleSchedule`] as an ordered event
+//!    array. Provision events carry a `"warmup"` duration (defaulting
+//!    to 0 on load); the other actions are `"drain"`, `"fail_stop"`,
+//!    and `"recover"`. The fleet *shape* still emits as the oldest
+//!    representable form, so lifecycle-unaware consumers that ignore
+//!    unknown fields keep parsing the shape.
+//!
 //! [`ReplicaGroup::to_json`] always emits the *oldest* vintage that
 //! can represent the group (so pre-fleet consumers keep parsing
-//! uniform fleets), and [`ReplicaGroup::from_json`] accepts all three;
-//! `parse(to_json(g)) == g` holds for every group.
+//! uniform fleets), and [`ReplicaGroup::from_json`] accepts all four;
+//! `parse(to_json(g)) == g` holds for every group. Unlike the
+//! panic-on-construction spec API, the codec pre-validates lifecycle
+//! events (negative times or warm-ups, non-monotone schedules,
+//! out-of-range replicas) and reports them as [`ParseError`]s — a
+//! corrupt file never panics.
+//!
+//! [`LifecycleSchedule`]: crate::LifecycleSchedule
 
-use crate::{ReplicaGroup, ReplicaProfile};
+use crate::{LifecycleAction, LifecycleEvent, LifecycleSchedule, ReplicaGroup, ReplicaProfile};
 
 /// Error deserializing a [`ReplicaGroup`] from JSON.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -294,6 +309,95 @@ fn positive_speed(value: &Value) -> Result<f64, ParseError> {
     }
 }
 
+fn non_negative_seconds(value: &Value, what: &str) -> Result<f64, ParseError> {
+    match value {
+        // The parser already rejects non-finite numbers.
+        Value::Number(n) if *n >= 0.0 => Ok(*n),
+        _ => Err(ParseError::new(format!(
+            "{what} must be a non-negative number"
+        ))),
+    }
+}
+
+fn replica_index(value: &Value) -> Result<usize, ParseError> {
+    match value {
+        Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= usize::MAX as f64 => {
+            Ok(*n as usize)
+        }
+        _ => Err(ParseError::new(
+            "replica must be a non-negative integer index",
+        )),
+    }
+}
+
+/// Parses and pre-validates a `lifecycle` event array so the
+/// panic-on-construction schedule API is only ever fed inputs it
+/// accepts: times non-negative and non-decreasing, warm-ups
+/// non-negative, replicas within the group.
+fn parse_lifecycle(value: &Value, replicas: usize) -> Result<LifecycleSchedule, ParseError> {
+    let Value::Array(items) = value else {
+        return Err(ParseError::new("'lifecycle' must be an array"));
+    };
+    let mut events = Vec::with_capacity(items.len());
+    let mut prev = 0.0f64;
+    for item in items {
+        let time = item
+            .field("time")
+            .ok_or_else(|| ParseError::new("lifecycle event missing 'time'"))
+            .and_then(|v| non_negative_seconds(v, "lifecycle time"))?;
+        if time < prev {
+            return Err(ParseError::new(
+                "lifecycle times must be non-decreasing".to_string(),
+            ));
+        }
+        prev = time;
+        let replica = item
+            .field("replica")
+            .ok_or_else(|| ParseError::new("lifecycle event missing 'replica'"))
+            .and_then(replica_index)?;
+        if replica >= replicas {
+            return Err(ParseError::new(format!(
+                "lifecycle event targets replica {replica} of a {replicas}-replica group"
+            )));
+        }
+        let action = match item.field("action") {
+            Some(Value::String(s)) => s.as_str(),
+            _ => return Err(ParseError::new("lifecycle event missing string 'action'")),
+        };
+        events.push(match action {
+            "provision" => {
+                let warmup_s = match item.field("warmup") {
+                    Some(v) => non_negative_seconds(v, "warmup")?,
+                    None => 0.0,
+                };
+                LifecycleEvent::provision(time, replica, warmup_s)
+            }
+            "drain" => LifecycleEvent::drain(time, replica),
+            "fail_stop" => LifecycleEvent::fail_stop(time, replica),
+            "recover" => LifecycleEvent::recover(time, replica),
+            other => {
+                return Err(ParseError::new(format!(
+                    "unknown lifecycle action '{other}'"
+                )))
+            }
+        });
+    }
+    Ok(LifecycleSchedule::new(events))
+}
+
+/// Serializes one lifecycle event in the vintage-4 form.
+fn event_json(e: &LifecycleEvent) -> String {
+    let head = format!("{{\"time\":{:?},\"replica\":{}", e.time, e.replica);
+    match e.action {
+        LifecycleAction::Provision { warmup_s } => {
+            format!("{head},\"action\":\"provision\",\"warmup\":{warmup_s:?}}}")
+        }
+        LifecycleAction::Drain => format!("{head},\"action\":\"drain\"}}"),
+        LifecycleAction::FailStop => format!("{head},\"action\":\"fail_stop\"}}"),
+        LifecycleAction::Recover => format!("{head},\"action\":\"recover\"}}"),
+    }
+}
+
 impl ReplicaGroup {
     /// Serializes the group as JSON, emitting the oldest vintage that
     /// represents it exactly: pre-cluster `{name, capacity}` for a
@@ -303,13 +407,19 @@ impl ReplicaGroup {
     /// keep parsing everything the earlier APIs could build.
     pub fn to_json(&self) -> String {
         let name = escape(&self.name);
+        let lifecycle = if self.has_lifecycle() {
+            let events: Vec<String> = self.lifecycle().events().iter().map(event_json).collect();
+            format!(",\"lifecycle\":[{}]", events.join(","))
+        } else {
+            String::new()
+        };
         if self.is_uniform() {
             let capacity = self.profiles()[0].capacity;
             return if self.replicas() == 1 {
-                format!("{{\"name\":\"{name}\",\"capacity\":{capacity}}}")
+                format!("{{\"name\":\"{name}\",\"capacity\":{capacity}{lifecycle}}}")
             } else {
                 format!(
-                    "{{\"name\":\"{name}\",\"capacity\":{capacity},\"replicas\":{}}}",
+                    "{{\"name\":\"{name}\",\"capacity\":{capacity},\"replicas\":{}{lifecycle}}}",
                     self.replicas()
                 )
             };
@@ -320,7 +430,7 @@ impl ReplicaGroup {
             .map(|p| format!("{{\"capacity\":{},\"speed\":{:?}}}", p.capacity, p.speed))
             .collect();
         format!(
-            "{{\"name\":\"{name}\",\"profiles\":[{}]}}",
+            "{{\"name\":\"{name}\",\"profiles\":[{}]{lifecycle}}}",
             profiles.join(",")
         )
     }
@@ -334,8 +444,11 @@ impl ReplicaGroup {
     /// # Errors
     ///
     /// Returns a [`ParseError`] on malformed JSON, a missing
-    /// `name`/`capacity`, a zero count, a non-positive speed, or an
-    /// empty `profiles` array.
+    /// `name`/`capacity`, a zero count, a non-positive speed, an empty
+    /// `profiles` array, or an invalid `lifecycle` array (negative
+    /// times or warm-ups, non-decreasing order violated, unknown
+    /// actions, replicas outside the group) — corrupt persisted specs
+    /// are reported, never panicked on.
     pub fn from_json(text: &str) -> Result<Self, ParseError> {
         let mut parser = Parser::new(text);
         let value = parser.value()?;
@@ -344,7 +457,7 @@ impl ReplicaGroup {
             Some(Value::String(s)) => s.clone(),
             _ => return Err(ParseError::new("missing string field 'name'")),
         };
-        if let Some(profiles) = value.field("profiles") {
+        let group = if let Some(profiles) = value.field("profiles") {
             let Value::Array(items) = profiles else {
                 return Err(ParseError::new("'profiles' must be an array"));
             };
@@ -365,17 +478,25 @@ impl ReplicaGroup {
                     Ok(ReplicaProfile::new(capacity, speed))
                 })
                 .collect::<Result<Vec<_>, ParseError>>()?;
-            return Ok(ReplicaGroup::heterogeneous(name, profiles));
-        }
-        let capacity = value
-            .field("capacity")
-            .ok_or_else(|| ParseError::new("missing field 'capacity'"))
-            .and_then(|v| positive_count(v, "capacity"))?;
-        let replicas = match value.field("replicas") {
-            Some(v) => positive_count(v, "replicas")?,
-            None => 1, // the pre-cluster default the serde attribute encoded
+            ReplicaGroup::heterogeneous(name, profiles)
+        } else {
+            let capacity = value
+                .field("capacity")
+                .ok_or_else(|| ParseError::new("missing field 'capacity'"))
+                .and_then(|v| positive_count(v, "capacity"))?;
+            let replicas = match value.field("replicas") {
+                Some(v) => positive_count(v, "replicas")?,
+                None => 1, // the pre-cluster default the serde attribute encoded
+            };
+            ReplicaGroup::replicated(name, capacity, replicas)
         };
-        Ok(ReplicaGroup::replicated(name, capacity, replicas))
+        match value.field("lifecycle") {
+            Some(events) => {
+                let schedule = parse_lifecycle(events, group.replicas())?;
+                Ok(group.with_lifecycle(schedule))
+            }
+            None => Ok(group),
+        }
     }
 }
 
@@ -473,6 +594,74 @@ mod tests {
         assert!(emitted.contains("\\u0008") && emitted.contains("\\r"));
         let back = ReplicaGroup::from_json(&emitted).unwrap();
         assert_eq!(group, back);
+    }
+
+    #[test]
+    fn lifecycle_schedules_round_trip() {
+        let schedule = LifecycleSchedule::empty()
+            .with_event(LifecycleEvent::provision(0.25, 1, 2.5))
+            .with_event(LifecycleEvent::drain(1.0, 0))
+            .with_event(LifecycleEvent::fail_stop(1.5, 2))
+            .with_event(LifecycleEvent::recover(3.0, 2));
+        let uniform = ReplicaGroup::replicated("fleet", 4, 3).with_lifecycle(schedule.clone());
+        let emitted = uniform.to_json();
+        assert!(emitted.contains("\"lifecycle\":["), "{emitted}");
+        assert!(emitted.contains("\"action\":\"fail_stop\""), "{emitted}");
+        let back = ReplicaGroup::from_json(&emitted).unwrap();
+        assert_eq!(uniform, back);
+        assert_eq!(emitted, back.to_json());
+
+        // The lifecycle field composes with the heterogeneous vintage.
+        let mixed = ReplicaGroup::heterogeneous(
+            "w",
+            vec![ReplicaProfile::baseline(1), ReplicaProfile::new(1, 0.5)],
+        )
+        .with_lifecycle(LifecycleSchedule::empty().with_event(LifecycleEvent::drain(0.5, 1)));
+        let back = ReplicaGroup::from_json(&mixed.to_json()).unwrap();
+        assert_eq!(mixed, back);
+    }
+
+    #[test]
+    fn lifecycle_provision_warmup_defaults_to_zero() {
+        let loaded = ReplicaGroup::from_json(
+            r#"{"name":"x","capacity":2,"replicas":2,
+                "lifecycle":[{"time":1.0,"replica":0,"action":"provision"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            loaded.lifecycle().events(),
+            &[LifecycleEvent::provision(1.0, 0, 0.0)]
+        );
+    }
+
+    #[test]
+    fn corrupt_lifecycle_arrays_error_instead_of_panicking() {
+        for bad in [
+            // times running backwards
+            r#"{"name":"x","capacity":2,"replicas":2,"lifecycle":[
+                {"time":2.0,"replica":0,"action":"drain"},
+                {"time":1.0,"replica":0,"action":"recover"}]}"#,
+            // negative time
+            r#"{"name":"x","capacity":2,"lifecycle":[{"time":-1.0,"replica":0,"action":"drain"}]}"#,
+            // replica outside the group
+            r#"{"name":"x","capacity":2,"replicas":2,"lifecycle":[
+                {"time":1.0,"replica":2,"action":"drain"}]}"#,
+            // unknown action
+            r#"{"name":"x","capacity":2,"lifecycle":[{"time":1.0,"replica":0,"action":"reboot"}]}"#,
+            // negative warm-up
+            r#"{"name":"x","capacity":2,"lifecycle":[
+                {"time":1.0,"replica":0,"action":"provision","warmup":-0.5}]}"#,
+            // missing fields / wrong shapes
+            r#"{"name":"x","capacity":2,"lifecycle":[{"replica":0,"action":"drain"}]}"#,
+            r#"{"name":"x","capacity":2,"lifecycle":[{"time":1.0,"action":"drain"}]}"#,
+            r#"{"name":"x","capacity":2,"lifecycle":[{"time":1.0,"replica":0}]}"#,
+            r#"{"name":"x","capacity":2,"lifecycle":{"time":1.0}}"#,
+        ] {
+            assert!(
+                ReplicaGroup::from_json(bad).is_err(),
+                "accepted corrupt lifecycle {bad:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,8 @@
 use recpipe_metrics::LatencyStats;
 use serde::{Deserialize, Serialize};
 
+use crate::WindowStats;
+
 /// Outcome of one at-scale simulation run.
 ///
 /// # Examples
@@ -34,6 +36,24 @@ pub struct SimResult {
     /// empty on single-replica runs, whose results stay bit-identical
     /// to the pre-cluster simulator.
     pub replica_utilization: Vec<Vec<f64>>,
+    /// Queries dropped without service (routed to a dead group or
+    /// stranded in a dead replica's queue under
+    /// [`FailurePolicy::Shed`](crate::FailurePolicy::Shed)). Zero on
+    /// lifecycle-free runs.
+    pub shed: usize,
+    /// Queries killed mid-service by a fail-stop under
+    /// [`FailurePolicy::Shed`](crate::FailurePolicy::Shed). Zero on
+    /// lifecycle-free runs.
+    pub dropped: usize,
+    /// Time integral of fleet cost over the run: `sum(speed)` of
+    /// non-down replicas integrated over simulated seconds (so a
+    /// replica-second of a speed-0.5 box costs 0.5). Zero on
+    /// lifecycle-free runs — the cost axis of autoscaling comparisons.
+    pub cost_integral: f64,
+    /// Per-window telemetry series (see
+    /// [`WindowStats`](crate::WindowStats)); empty unless the run was
+    /// configured with a telemetry window.
+    pub windows: Vec<WindowStats>,
 }
 
 impl SimResult {
@@ -53,6 +73,10 @@ impl SimResult {
             utilization,
             mean_batch: 1.0,
             replica_utilization: Vec::new(),
+            shed: 0,
+            dropped: 0,
+            cost_integral: 0.0,
+            windows: Vec::new(),
         }
     }
 
@@ -66,6 +90,52 @@ impl SimResult {
     pub fn with_replica_utilization(mut self, replica_utilization: Vec<Vec<f64>>) -> Self {
         self.replica_utilization = replica_utilization;
         self
+    }
+
+    /// Attaches a lifecycle-aware run's availability outcome: shed and
+    /// dropped query counts, the fleet cost integral, and the windowed
+    /// telemetry series.
+    pub fn with_lifecycle_outcome(
+        mut self,
+        shed: usize,
+        dropped: usize,
+        cost_integral: f64,
+        windows: Vec<WindowStats>,
+    ) -> Self {
+        self.shed = shed;
+        self.dropped = dropped;
+        self.cost_integral = cost_integral;
+        self.windows = windows;
+        self
+    }
+
+    /// Simulated minutes spent violating a p99 SLO: the summed duration
+    /// of windows where tail latency exceeded `slo_p99_s`, queries were
+    /// shed or dropped, or work waited while nothing completed (see
+    /// [`WindowStats::violates`](crate::WindowStats::violates)) — the
+    /// transient-health metric steady-state sweeps cannot produce.
+    /// Requires the run to have recorded windows; 0.0 otherwise.
+    pub fn slo_violation_minutes(&self, slo_p99_s: f64) -> f64 {
+        // Folded from +0.0 (an empty `f64` sum is -0.0, which would
+        // print a violation-free run as "-0.00 minutes").
+        self.windows
+            .iter()
+            .filter(|w| w.violates(slo_p99_s))
+            .map(WindowStats::duration)
+            .fold(0.0, |acc, d| acc + d)
+            / 60.0
+    }
+
+    /// Mean fleet cost per simulated second over the run's windowed
+    /// span: [`cost_integral`](Self::cost_integral) divided by the
+    /// total window duration (0.0 without windows).
+    pub fn mean_fleet_cost(&self) -> f64 {
+        let span: f64 = self.windows.iter().map(WindowStats::duration).sum();
+        if span > 0.0 {
+            self.cost_integral / span
+        } else {
+            0.0
+        }
     }
 
     /// Largest absolute difference between any replica's utilization

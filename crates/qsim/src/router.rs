@@ -71,6 +71,23 @@
 //! routers only implement one method; every built-in overrides it to
 //! read a couple of scalars per probe.
 //!
+//! # Availability masking
+//!
+//! Under the replica lifecycle (see
+//! [`serve_lifecycle`](crate::serve_lifecycle)), routers only ever see
+//! *routable* replicas — up or warming ones. When any replica of a
+//! group is draining or down, the simulator compacts the routable
+//! subset into a dense [`ReplicaLoads`] view and remaps the query's
+//! same-group routing history onto compacted positions (choices that
+//! point at a now-unavailable replica become `u32::MAX`, which
+//! [`Sticky`] treats as "no prior choice" and falls back). A router
+//! therefore never needs availability logic of its own, and the
+//! `loads.len() == 1` and empty-group cases are handled before the
+//! router is consulted — [`ReplicaLoads`] is never constructed empty,
+//! and a fully-unavailable group surfaces as
+//! [`SimError::NoAvailableReplica`](crate::SimError::NoAvailableReplica)
+//! (or a shed query) instead of a router panic.
+//!
 //! [`ReplicaGroup`]: crate::ReplicaGroup
 //! [`StageSpec::service_time`]: crate::StageSpec::service_time
 //! [`StageSpec::batch_service_time`]: crate::StageSpec::batch_service_time

@@ -6,8 +6,9 @@ use recpipe_data::{ArrivalProcess, PoissonArrivals};
 use recpipe_metrics::{LatencyStats, ThroughputMeter};
 
 use crate::{
-    Fifo, PipelineSpec, QueueEntry, Release, ReplicaLoads, RoundRobin, Router, RouterState,
-    RoutingCtx, SchedulingPolicy, SimResult, StageSpec,
+    AutoscaleConfig, FailurePolicy, Fifo, FleetController, LifecycleAction, LifecycleConfig,
+    LifecycleEvent, PipelineSpec, QueueEntry, Release, ReplicaLoads, RoundRobin, Router,
+    RouterState, RoutingCtx, SchedulingPolicy, SimError, SimResult, StageSpec, WindowStats,
 };
 
 /// Fraction of queries discarded from the front as warmup.
@@ -17,13 +18,27 @@ const WARMUP_FRACTION: f64 = 0.05;
 enum EventKind {
     /// Query `query` arrives at stage `stage` and joins its queue.
     Arrive { query: usize, stage: usize },
-    /// Batch `batch` finishes service, releasing its units.
-    Complete { batch: usize },
+    /// Batch `batch` finishes service, releasing its units. The event
+    /// is live only while `gen` matches the batch table slot's
+    /// generation — a fail-stop that kills the batch bumps the
+    /// generation, cancelling the completion lazily at pop (always 0 on
+    /// lifecycle-free runs).
+    Complete { batch: usize, gen: u64 },
     /// A scheduling policy asked to re-examine replica slot `slot`.
     /// The event is live only while `gen` matches the slot's timer
     /// generation — superseded timers are cancelled lazily (skipped at
     /// pop) instead of scanned.
     Recheck { slot: usize, gen: u64 },
+    /// Scheduled lifecycle event `idx` (index into the flattened
+    /// per-run schedule) fires against its replica slot.
+    Lifecycle { idx: usize },
+    /// Replica slot `slot` finishes warming and reaches full speed;
+    /// live only while `gen` matches the slot's lifecycle generation
+    /// (a drain or fail-stop during warm-up cancels it).
+    WarmDone { slot: usize, gen: u64 },
+    /// A telemetry window boundary: close the current window, consult
+    /// the autoscaling controller, and re-arm the next tick.
+    WindowTick,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,12 +68,49 @@ impl PartialOrd for Event {
 }
 
 /// An in-flight batch: the stage it runs, the replica slot holding its
-/// units, and the queries it carries.
+/// units, the queries it carries, and its booked absolute completion
+/// time (`finish`, set at launch) — what a fail-stop needs to refund
+/// the unserved tail of the batch's busy time.
 #[derive(Debug, Clone)]
 struct Batch {
     stage: usize,
     slot: usize,
     queries: BatchQueries,
+    finish: f64,
+}
+
+/// Availability state of one replica slot — the lifecycle state
+/// machine `warming → up → draining → down` (fail-stop jumps from any
+/// live state straight to `Down`). Lifecycle-free runs keep every slot
+/// `Up` forever and never read the state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Provisioned but still warming: serves at reduced speed, accepts
+    /// routes.
+    Warming,
+    /// Fully available.
+    Up,
+    /// Finishing queued and in-flight work; accepts no new routes.
+    Draining,
+    /// Not serving; holds no units, no queue, accepts no routes.
+    Down,
+}
+
+impl SlotState {
+    /// Whether routers may send new work to a slot in this state.
+    fn routable(self) -> bool {
+        matches!(self, SlotState::Warming | SlotState::Up)
+    }
+}
+
+/// Autoscaling runtime bounds (a validated, flattened
+/// [`AutoscaleConfig`]).
+#[derive(Debug, Clone, Copy)]
+struct ScaleRt {
+    group: usize,
+    min: usize,
+    max: usize,
+    warmup_s: f64,
 }
 
 /// Batch membership: allocation-free in the dominant per-query case,
@@ -144,7 +196,94 @@ pub fn serve_routed(
 ) -> SimResult {
     assert!(!spec.stages().is_empty(), "pipeline has no stages");
     assert!(num_queries > 0, "need at least one query");
-    Sim::new(spec, arrivals, policy, router, num_queries, seed).run()
+    Sim::new(spec, arrivals, policy, router, num_queries, seed)
+        .run()
+        .expect("lifecycle-free simulation cannot fail")
+}
+
+/// Runs the lifecycle-aware simulation: every group's attached
+/// [`LifecycleSchedule`](crate::LifecycleSchedule) replays as timed
+/// availability events, routers see only available (up or warming)
+/// replicas, and `cfg` picks the [`FailurePolicy`] for stranded work
+/// plus an optional telemetry window. With only empty schedules and no
+/// window the run is bit-identical to [`serve_routed`].
+///
+/// # Errors
+///
+/// Returns [`SimError::NoAvailableReplica`] when a query arrives at a
+/// fully-down group under [`FailurePolicy::Requeue`] and no provision
+/// or recovery is pending.
+///
+/// # Panics
+///
+/// Panics if the pipeline has no stages or `num_queries == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_lifecycle(
+    spec: &PipelineSpec,
+    arrivals: &dyn ArrivalProcess,
+    policy: &dyn SchedulingPolicy,
+    router: &dyn Router,
+    num_queries: usize,
+    seed: u64,
+    cfg: &LifecycleConfig,
+) -> Result<SimResult, SimError> {
+    assert!(!spec.stages().is_empty(), "pipeline has no stages");
+    assert!(num_queries > 0, "need at least one query");
+    let mut sim = Sim::new(spec, arrivals, policy, router, num_queries, seed);
+    sim.enable_lifecycle(cfg);
+    sim.run()
+}
+
+/// Runs the closed-loop autoscaled simulation: a [`FleetController`]
+/// sees each closing telemetry window and resizes `cfg.group`'s fleet
+/// within `[cfg.min_replicas, cfg.max_replicas]` by provisioning down
+/// replicas (through `cfg.warmup_s` of reduced-speed warm-up) and
+/// draining live ones — drains finish queued and in-flight work, so
+/// scale-down never kills live queries. Replicas `cfg.initial_replicas
+/// ..` of the group start down; scheduled lifecycle events (failure
+/// injection, maintenance drains) replay alongside the controller's
+/// actions.
+///
+/// # Errors
+///
+/// Returns [`SimError::NoAvailableReplica`] under [`serve_lifecycle`]'s
+/// rule (arrivals at the scaled group always park rather than fail —
+/// the controller may yet provision).
+///
+/// # Panics
+///
+/// Panics if the pipeline has no stages, `num_queries == 0`,
+/// `cfg.group` is out of range, or `cfg.max_replicas` exceeds the
+/// group's replica count.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_autoscaled(
+    spec: &PipelineSpec,
+    arrivals: &dyn ArrivalProcess,
+    policy: &dyn SchedulingPolicy,
+    router: &dyn Router,
+    num_queries: usize,
+    seed: u64,
+    cfg: &AutoscaleConfig,
+    controller: &mut dyn FleetController,
+) -> Result<SimResult, SimError> {
+    assert!(!spec.stages().is_empty(), "pipeline has no stages");
+    assert!(num_queries > 0, "need at least one query");
+    assert!(
+        cfg.group < spec.resources().len(),
+        "autoscale group {} does not exist",
+        cfg.group
+    );
+    assert!(
+        cfg.max_replicas <= spec.resources()[cfg.group].replicas(),
+        "autoscale ceiling {} exceeds the group's {} replicas",
+        cfg.max_replicas,
+        spec.resources()[cfg.group].replicas()
+    );
+    let mut sim = Sim::new(spec, arrivals, policy, router, num_queries, seed);
+    let lifecycle = cfg.lifecycle.clone().with_window(cfg.window_s);
+    sim.enable_lifecycle(&lifecycle);
+    sim.enable_autoscale(cfg, controller);
+    sim.run()
 }
 
 struct Sim<'a> {
@@ -237,6 +376,101 @@ struct Sim<'a> {
     /// because every schedule arrival's heap seq is preassigned to its
     /// query index either way.
     lazy_arrivals: bool,
+
+    // --- Replica lifecycle (inert defaults; see `enable_lifecycle`) ---
+    /// Whether any lifecycle machinery is live (scheduled events or an
+    /// autoscaling controller). False keeps every guarded branch cold
+    /// and the run bit-identical to the lifecycle-free loop.
+    lifecycle_active: bool,
+    /// What happens to queries stranded by failures.
+    failure_policy: FailurePolicy,
+    /// Speed multiplier applied while a slot warms.
+    warmup_speed: f64,
+    /// Per-slot availability state.
+    state: Vec<SlotState>,
+    /// Per-slot *current* service-rate multiplier: the profile speed,
+    /// scaled down while warming. Equal to `slot_speed` on
+    /// lifecycle-free runs (bit-identical estimates and service times).
+    cur_speed: Vec<f64>,
+    /// Per-slot lifecycle generation: bumped on every provision, drain,
+    /// and fail-stop so in-flight `WarmDone` events cancel lazily.
+    slot_gen: Vec<u64>,
+    /// Per-batch-table-slot generation: bumped when a fail-stop kills
+    /// the batch, cancelling its pending `Complete` lazily.
+    batch_gen: Vec<u64>,
+    /// Routable (up or warming) replicas per group — the fast "is
+    /// masking needed at all" check.
+    group_available: Vec<usize>,
+    /// Pending revival (provision/recover) events per group in the
+    /// static schedule: while positive, unroutable queries park instead
+    /// of failing the run.
+    revivals_left: Vec<usize>,
+    /// Per-group parked queries `(query, stage)` awaiting a revival.
+    parked: Vec<Vec<(usize, usize)>>,
+    /// Queries dropped without service (dead-group arrivals and dead
+    /// queue residents under `FailurePolicy::Shed`).
+    shed: usize,
+    /// In-flight queries killed by fail-stops under
+    /// `FailurePolicy::Shed`.
+    dropped: usize,
+    /// The typed all-replicas-down error, checked after every arrival.
+    fatal: Option<SimError>,
+    /// Flattened static schedule: `(slot, event)` per scheduled
+    /// lifecycle event, indexed by `EventKind::Lifecycle`.
+    sched: Vec<(usize, LifecycleEvent)>,
+    /// Scratch arrays for availability-masked routing (original replica
+    /// index per compacted position, plus compacted counter/estimator
+    /// columns and remapped history).
+    mask_idx: Vec<usize>,
+    mask_queued: Vec<usize>,
+    mask_inflight: Vec<usize>,
+    mask_free: Vec<usize>,
+    mask_work: Vec<f64>,
+    mask_speed: Vec<f64>,
+    mask_hist: Vec<u32>,
+
+    // --- Windowed telemetry (inert unless `telemetry_active`) ---
+    /// Whether time-weighted integrals accrue (any lifecycle activity,
+    /// or an explicit telemetry window).
+    telemetry_active: bool,
+    /// Window width in seconds (0.0 = no windowed series).
+    window_s: f64,
+    /// Time the integrals were last advanced to.
+    integral_t: f64,
+    /// Waiting queries across all slots (queued plus parked) — the
+    /// queue-depth integrand.
+    total_queued_entries: usize,
+    /// Units currently in service across all slots — the utilization
+    /// integrand.
+    busy_units_now: usize,
+    /// Unit capacity of non-down slots — the utilization denominator.
+    live_capacity: usize,
+    /// Summed profile speeds of non-down slots — the cost integrand.
+    live_cost: f64,
+    /// `∫ total_queued_entries dt`, `∫ busy_units_now dt`,
+    /// `∫ live_capacity dt`, `∫ live_cost dt` since t = 0.
+    queue_integral: f64,
+    busy_integral: f64,
+    cap_integral: f64,
+    cost_integral: f64,
+    /// Current window: start time, integral bases at the start, and
+    /// event counters.
+    win_start: f64,
+    win_queue_base: f64,
+    win_busy_base: f64,
+    win_cap_base: f64,
+    win_cost_base: f64,
+    win_arrivals: usize,
+    win_completed: usize,
+    win_shed: usize,
+    win_dropped: usize,
+    win_latencies: Vec<f64>,
+    /// Closed windows, in order.
+    windows: Vec<WindowStats>,
+
+    // --- Closed-loop autoscaling (None unless `enable_autoscale`) ---
+    scale: Option<ScaleRt>,
+    controller: Option<&'a mut dyn FleetController>,
 }
 
 impl<'a> Sim<'a> {
@@ -265,6 +499,11 @@ impl<'a> Sim<'a> {
         }
         let num_slots = slot_group.len();
         let num_stages = spec.stages().len();
+        let group_replicas: Vec<usize> = resources.iter().map(|r| r.replicas()).collect();
+        let cur_speed = slot_speed.clone();
+        let live_capacity: usize = slot_capacity.iter().sum();
+        let live_cost: f64 = slot_speed.iter().sum();
+        let num_groups = resources.len();
         let mut sim = Self {
             spec,
             stages: spec.stages(),
@@ -277,7 +516,7 @@ impl<'a> Sim<'a> {
             arrival_time: vec![f64::NAN; num_queries],
             slot_base,
             slot_group,
-            group_replicas: resources.iter().map(|r| r.replicas()).collect(),
+            group_replicas: group_replicas.clone(),
             slot_capacity,
             slot_speed,
             free,
@@ -306,6 +545,51 @@ impl<'a> Sim<'a> {
             work_conserving: policy.admit_on_arrival(),
             schedule_len: 0,
             lazy_arrivals: false,
+            lifecycle_active: false,
+            failure_policy: FailurePolicy::default(),
+            warmup_speed: 0.5,
+            state: vec![SlotState::Up; num_slots],
+            cur_speed,
+            slot_gen: vec![0; num_slots],
+            batch_gen: Vec::new(),
+            group_available: group_replicas,
+            revivals_left: vec![0; num_groups],
+            parked: vec![Vec::new(); num_groups],
+            shed: 0,
+            dropped: 0,
+            fatal: None,
+            sched: Vec::new(),
+            mask_idx: Vec::new(),
+            mask_queued: Vec::new(),
+            mask_inflight: Vec::new(),
+            mask_free: Vec::new(),
+            mask_work: Vec::new(),
+            mask_speed: Vec::new(),
+            mask_hist: Vec::new(),
+            telemetry_active: false,
+            window_s: 0.0,
+            integral_t: 0.0,
+            total_queued_entries: 0,
+            busy_units_now: 0,
+            live_capacity,
+            live_cost,
+            queue_integral: 0.0,
+            busy_integral: 0.0,
+            cap_integral: 0.0,
+            cost_integral: 0.0,
+            win_start: 0.0,
+            win_queue_base: 0.0,
+            win_busy_base: 0.0,
+            win_cap_base: 0.0,
+            win_cost_base: 0.0,
+            win_arrivals: 0,
+            win_completed: 0,
+            win_shed: 0,
+            win_dropped: 0,
+            win_latencies: Vec::new(),
+            windows: Vec::new(),
+            scale: None,
+            controller: None,
         };
 
         // Record the open-loop schedule up front; a closed loop starts
@@ -349,8 +633,86 @@ impl<'a> Sim<'a> {
         sim
     }
 
+    /// Arms the replica lifecycle: flattens every group's attached
+    /// schedule into timed heap events, applies the failure policy and
+    /// warm-up speed, and (when configured) starts the telemetry
+    /// window clock.
+    ///
+    /// Determinism: lifecycle events are sequenced in group-major,
+    /// schedule order *after* all schedule arrivals (their heap seqs
+    /// start past `schedule_len`), so at equal timestamps an arrival is
+    /// processed before the lifecycle event that would have masked its
+    /// replica, and two same-time lifecycle events fire in schedule
+    /// order.
+    fn enable_lifecycle(&mut self, cfg: &LifecycleConfig) {
+        self.failure_policy = cfg.failure_policy;
+        self.warmup_speed = cfg.warmup_speed;
+        let resources = self.spec.resources();
+        for (g, r) in resources.iter().enumerate() {
+            let base = self.slot_base[g];
+            for &event in r.lifecycle().events() {
+                let slot = base + event.replica;
+                if event.revives() {
+                    self.revivals_left[g] += 1;
+                }
+                let idx = self.sched.len();
+                self.sched.push((slot, event));
+                self.heap.push(Event {
+                    time: event.time,
+                    seq: self.seq,
+                    kind: EventKind::Lifecycle { idx },
+                });
+                self.seq += 1;
+            }
+        }
+        self.lifecycle_active = !self.sched.is_empty();
+        if let Some(w) = cfg.window_s {
+            self.telemetry_active = true;
+            self.window_s = w;
+            self.heap.push(Event {
+                time: w,
+                seq: self.seq,
+                kind: EventKind::WindowTick,
+            });
+            self.seq += 1;
+        }
+        if self.lifecycle_active {
+            self.telemetry_active = true;
+        }
+    }
+
+    /// Arms closed-loop autoscaling: replicas `initial_replicas..` of
+    /// the scaled group start down, and every closing telemetry window
+    /// consults `controller` (see [`serve_autoscaled`]).
+    fn enable_autoscale(&mut self, cfg: &AutoscaleConfig, controller: &'a mut dyn FleetController) {
+        self.scale = Some(ScaleRt {
+            group: cfg.group,
+            min: cfg.min_replicas,
+            max: cfg.max_replicas,
+            warmup_s: cfg.warmup_s,
+        });
+        self.controller = Some(controller);
+        self.lifecycle_active = true;
+        self.telemetry_active = true;
+        let base = self.slot_base[cfg.group];
+        let replicas = self.group_replicas[cfg.group];
+        for slot in base + cfg.initial_replicas..base + replicas {
+            self.state[slot] = SlotState::Down;
+            self.free[slot] = 0;
+            self.live_capacity -= self.slot_capacity[slot];
+            self.live_cost -= self.slot_speed[slot];
+            self.group_available[cfg.group] -= 1;
+        }
+    }
+
     fn inject(&mut self, query: usize, t: f64) {
         self.arrival_time[query] = t;
+        // Closed-loop arrivals are attributed to the window in which the
+        // client issues them (skew vs first service at most the think
+        // time).
+        if self.telemetry_active {
+            self.win_arrivals += 1;
+        }
         self.heap.push(Event {
             time: t,
             seq: self.seq,
@@ -367,10 +729,16 @@ impl<'a> Sim<'a> {
     /// the incrementally-maintained `queued`/`in_flight`/`free` counter
     /// arrays and the `remaining_work`/`slot_speed` estimator arrays
     /// directly — no snapshot materialization per decision.
-    fn route(&mut self, query: usize, stage_idx: usize) -> usize {
+    /// Returns `None` when lifecycle masking leaves the group with no
+    /// routable (up or warming) replica — the caller sheds, parks, or
+    /// fails the run per the [`FailurePolicy`].
+    fn route(&mut self, query: usize, stage_idx: usize) -> Option<usize> {
         let group = self.stages[stage_idx].resource;
         let base = self.slot_base[group];
         let replicas = self.group_replicas[group];
+        if self.lifecycle_active && self.group_available[group] < replicas {
+            return self.route_masked(query, stage_idx, group);
+        }
         let num_stages = self.stages.len();
         let pick = if replicas == 1 {
             0
@@ -385,7 +753,7 @@ impl<'a> Sim<'a> {
             )
             .with_estimates(
                 &self.remaining_work[base..base + replicas],
-                &self.slot_speed[base..base + replicas],
+                &self.cur_speed[base..base + replicas],
             );
             let history = query * num_stages;
             let ctx = RoutingCtx::new(
@@ -405,7 +773,72 @@ impl<'a> Sim<'a> {
             pick
         };
         self.chosen[query * num_stages + stage_idx] = pick as u32;
-        base + pick
+        Some(base + pick)
+    }
+
+    /// Availability-masked routing: compacts the group's routable slots
+    /// into the scratch columns, remaps the query's same-group routing
+    /// history onto compacted positions (absent replicas become
+    /// `u32::MAX`, which affinity routers treat as "no prior" and fall
+    /// back), and routes over the compacted view. Routers never see a
+    /// draining or down replica.
+    fn route_masked(&mut self, query: usize, stage_idx: usize, group: usize) -> Option<usize> {
+        let base = self.slot_base[group];
+        let replicas = self.group_replicas[group];
+        let num_stages = self.stages.len();
+        self.mask_idx.clear();
+        self.mask_queued.clear();
+        self.mask_inflight.clear();
+        self.mask_free.clear();
+        self.mask_work.clear();
+        self.mask_speed.clear();
+        for r in 0..replicas {
+            let slot = base + r;
+            if self.state[slot].routable() {
+                self.mask_idx.push(r);
+                self.mask_queued.push(self.queued[slot]);
+                self.mask_inflight.push(self.in_flight[slot]);
+                self.mask_free.push(self.free[slot]);
+                self.mask_work.push(self.remaining_work[slot]);
+                self.mask_speed.push(self.cur_speed[slot]);
+            }
+        }
+        if self.mask_idx.is_empty() {
+            return None;
+        }
+        let pick = if self.mask_idx.len() == 1 {
+            0
+        } else {
+            let history = query * num_stages;
+            self.mask_hist.clear();
+            for s in 0..stage_idx {
+                let prior = self.chosen[history + s];
+                let remapped = if self.stage_groups[s] == group {
+                    self.mask_idx
+                        .iter()
+                        .position(|&r| r == prior as usize)
+                        .map_or(u32::MAX, |at| at as u32)
+                } else {
+                    prior
+                };
+                self.mask_hist.push(remapped);
+            }
+            let loads = ReplicaLoads::new(&self.mask_queued, &self.mask_inflight, &self.mask_free)
+                .with_estimates(&self.mask_work, &self.mask_speed);
+            let ctx = RoutingCtx::new(query, stage_idx, group, &self.mask_hist, &self.stage_groups);
+            let pick = self
+                .router
+                .route_indexed(&loads, &ctx, &mut self.router_states[group]);
+            assert!(
+                pick < self.mask_idx.len(),
+                "router returned replica {pick} of {} available",
+                self.mask_idx.len()
+            );
+            pick
+        };
+        let replica = self.mask_idx[pick];
+        self.chosen[query * num_stages + stage_idx] = replica as u32;
+        Some(base + replica)
     }
 
     /// Recomputes one slot's remaining expected work from scratch by
@@ -441,14 +874,16 @@ impl<'a> Sim<'a> {
         self.in_flight[slot] += queries.len();
         let base_service = stage.batch_service_time(queries.len());
         self.remaining_work[slot] += base_service;
-        let service = base_service / self.slot_speed[slot];
+        let service = base_service / self.cur_speed[slot];
         self.busy_unit_seconds[slot] += stage.units as f64 * service;
+        self.busy_units_now += stage.units;
         self.launches += 1;
         self.served += queries.len() as u64;
         let entry = Batch {
             stage: stage_idx,
             slot,
             queries,
+            finish: now + service,
         };
         // Recycle a completed batch slot when one is free; the table
         // stays sized to the in-flight high-water mark.
@@ -459,13 +894,17 @@ impl<'a> Sim<'a> {
             }
             None => {
                 self.batches.push(entry);
+                self.batch_gen.push(0);
                 self.batches.len() - 1
             }
         };
         self.heap.push(Event {
             time: now + service,
             seq: self.seq,
-            kind: EventKind::Complete { batch },
+            kind: EventKind::Complete {
+                batch,
+                gen: self.batch_gen[batch],
+            },
         });
         self.seq += 1;
     }
@@ -488,6 +927,7 @@ impl<'a> Sim<'a> {
         }
         queue.insert(at, entry);
         self.queued[slot] += 1;
+        self.total_queued_entries += 1;
     }
 
     /// Gathers up to `limit` waiting same-stage entries of one slot in
@@ -517,6 +957,7 @@ impl<'a> Sim<'a> {
         }
         queue.truncate(write);
         self.queued[slot] -= taken;
+        self.total_queued_entries -= taken;
         // Mirror enqueue's per-entry additions one by one so the
         // counter drifts no differently than the updates it reverses.
         for _ in 0..taken {
@@ -532,6 +973,7 @@ impl<'a> Sim<'a> {
         let at = queue.iter().position(|e| e.stage == stage)?;
         let taken = queue.remove(at).map(|e| e.query);
         self.queued[slot] -= 1;
+        self.total_queued_entries -= 1;
         self.remaining_work[slot] -= self.stages[stage].service_time;
         taken
     }
@@ -621,7 +1063,10 @@ impl<'a> Sim<'a> {
     }
 
     fn on_arrive(&mut self, now: f64, query: usize, stage_idx: usize) {
-        let slot = self.route(query, stage_idx);
+        let Some(slot) = self.route(query, stage_idx) else {
+            self.handle_unroutable(now, query, stage_idx);
+            return;
+        };
         let stage = &self.stages[stage_idx];
         let entry = QueueEntry {
             query,
@@ -666,17 +1111,347 @@ impl<'a> Sim<'a> {
         }
     }
 
+    /// A query arrived at a group with no routable replica. Under
+    /// [`FailurePolicy::Shed`] the query is shed; under
+    /// [`FailurePolicy::Requeue`] it parks awaiting a revival — but only
+    /// while one is actually coming (a pending scheduled
+    /// provision/recover, or an autoscaling controller that may yet
+    /// provision). Otherwise the run fails with the typed
+    /// [`SimError::NoAvailableReplica`] instead of waiting forever (or
+    /// panicking inside a router).
+    fn handle_unroutable(&mut self, now: f64, query: usize, stage_idx: usize) {
+        let group = self.stages[stage_idx].resource;
+        match self.failure_policy {
+            FailurePolicy::Shed => {
+                self.shed += 1;
+                self.win_shed += 1;
+            }
+            FailurePolicy::Requeue => {
+                let revival_pending = self.revivals_left[group] > 0
+                    || self.scale.as_ref().is_some_and(|s| s.group == group);
+                if revival_pending {
+                    self.parked[group].push((query, stage_idx));
+                    self.total_queued_entries += 1;
+                } else {
+                    self.fatal = Some(SimError::NoAvailableReplica { group, time: now });
+                }
+            }
+        }
+    }
+
+    /// Disposes of a query stranded by a fail-stop: re-enters it as a
+    /// fresh arrival at the same stage (Requeue — its original arrival
+    /// time is kept, so the lost work shows up as latency) or counts it
+    /// shed/dropped (Shed).
+    fn strand(&mut self, now: f64, query: usize, stage_idx: usize, was_in_flight: bool) {
+        match self.failure_policy {
+            FailurePolicy::Requeue => {
+                self.heap.push(Event {
+                    time: now,
+                    seq: self.seq,
+                    kind: EventKind::Arrive {
+                        query,
+                        stage: stage_idx,
+                    },
+                });
+                self.seq += 1;
+            }
+            FailurePolicy::Shed => {
+                if was_in_flight {
+                    self.dropped += 1;
+                    self.win_dropped += 1;
+                } else {
+                    self.shed += 1;
+                    self.win_shed += 1;
+                }
+            }
+        }
+    }
+
+    /// Re-enters every query parked on `group` as a fresh arrival at
+    /// `now` (a replica just revived), in parking order.
+    fn flush_parked(&mut self, now: f64, group: usize) {
+        let parked = std::mem::take(&mut self.parked[group]);
+        self.total_queued_entries -= parked.len();
+        for (query, stage_idx) in parked {
+            self.heap.push(Event {
+                time: now,
+                seq: self.seq,
+                kind: EventKind::Arrive {
+                    query,
+                    stage: stage_idx,
+                },
+            });
+            self.seq += 1;
+        }
+    }
+
+    /// Final transition to `Down`: the slot stops counting toward live
+    /// capacity and cost. Only valid once the slot holds no work.
+    fn slot_down(&mut self, slot: usize) {
+        debug_assert_eq!(self.in_flight[slot], 0);
+        debug_assert_eq!(self.queued[slot], 0);
+        self.state[slot] = SlotState::Down;
+        self.free[slot] = 0;
+        self.live_capacity -= self.slot_capacity[slot];
+        self.live_cost -= self.slot_speed[slot];
+    }
+
+    /// Brings a down slot up, through `warmup_s` of reduced-speed
+    /// warm-up when positive. No-op on a slot that is not down (a
+    /// schedule may provision an already-live replica). Parked queries
+    /// of the group re-enter immediately.
+    fn apply_provision(&mut self, now: f64, slot: usize, warmup_s: f64) {
+        if self.state[slot] != SlotState::Down {
+            return;
+        }
+        let group = self.slot_group[slot];
+        self.free[slot] = self.slot_capacity[slot];
+        self.remaining_work[slot] = 0.0;
+        self.slot_gen[slot] += 1;
+        self.group_available[group] += 1;
+        self.live_capacity += self.slot_capacity[slot];
+        self.live_cost += self.slot_speed[slot];
+        if warmup_s > 0.0 {
+            self.state[slot] = SlotState::Warming;
+            self.cur_speed[slot] = self.slot_speed[slot] * self.warmup_speed;
+            self.heap.push(Event {
+                time: now + warmup_s,
+                seq: self.seq,
+                kind: EventKind::WarmDone {
+                    slot,
+                    gen: self.slot_gen[slot],
+                },
+            });
+            self.seq += 1;
+        } else {
+            self.state[slot] = SlotState::Up;
+            self.cur_speed[slot] = self.slot_speed[slot];
+        }
+        self.flush_parked(now, group);
+    }
+
+    /// Takes a live slot out of rotation: no new routes, queued and
+    /// in-flight work finishes, and the slot goes down once empty. A
+    /// draining warming replica keeps its warm-up speed for the drain
+    /// (it never finished warming). No-op unless the slot is up or
+    /// warming.
+    fn apply_drain(&mut self, slot: usize) {
+        if !self.state[slot].routable() {
+            return;
+        }
+        self.state[slot] = SlotState::Draining;
+        self.slot_gen[slot] += 1; // cancels any pending WarmDone
+        self.group_available[self.slot_group[slot]] -= 1;
+        if self.in_flight[slot] == 0 && self.queued[slot] == 0 {
+            self.slot_down(slot);
+        }
+    }
+
+    /// Kills a slot instantly: in-flight batches are destroyed (their
+    /// completions cancel via the batch generation, their unserved busy
+    /// time is refunded) and both in-flight and queued queries are
+    /// stranded per the failure policy — in-flight queries first (batch
+    /// table order), then queued ones in queue order, all re-entering at
+    /// `now` with fresh heap seqs. No-op on a slot already down.
+    fn apply_fail_stop(&mut self, now: f64, slot: usize) {
+        if self.state[slot] == SlotState::Down {
+            return;
+        }
+        let was_routable = self.state[slot].routable();
+        let stage_count = self.stages.len();
+        debug_assert!(stage_count > 0);
+        for idx in 0..self.batches.len() {
+            if self.batches[idx].slot != slot || self.free_batches.contains(&idx) {
+                continue;
+            }
+            let Batch {
+                stage,
+                slot: _,
+                queries,
+                finish,
+            } = std::mem::replace(
+                &mut self.batches[idx],
+                Batch {
+                    stage: 0,
+                    slot: 0,
+                    queries: BatchQueries::One(0),
+                    finish: 0.0,
+                },
+            );
+            self.batch_gen[idx] += 1; // cancels the pending Complete
+            self.free_batches.push(idx);
+            let s = &self.stages[stage];
+            self.busy_unit_seconds[slot] -= s.units as f64 * (finish - now).max(0.0);
+            self.busy_units_now -= s.units;
+            match queries {
+                BatchQueries::One(query) => self.strand(now, query, stage, true),
+                BatchQueries::Many(mut queries) => {
+                    for &query in queries.iter() {
+                        self.strand(now, query, stage, true);
+                    }
+                    queries.clear();
+                    self.query_pool.push(queries);
+                }
+            }
+        }
+        let mut stranded = std::mem::take(&mut self.waiting[slot]);
+        self.total_queued_entries -= stranded.len();
+        for entry in stranded.drain(..) {
+            self.strand(now, entry.query, entry.stage, false);
+        }
+        self.waiting[slot] = stranded; // give the buffer back
+        self.queued[slot] = 0;
+        self.in_flight[slot] = 0;
+        self.free[slot] = 0;
+        self.remaining_work[slot] = 0.0;
+        self.armed[slot] = None;
+        self.timer_gen[slot] += 1; // cancels pending rechecks
+        self.slot_gen[slot] += 1; // cancels a pending WarmDone
+        self.state[slot] = SlotState::Down;
+        if was_routable {
+            self.group_available[self.slot_group[slot]] -= 1;
+        }
+        self.live_capacity -= self.slot_capacity[slot];
+        self.live_cost -= self.slot_speed[slot];
+    }
+
+    /// Advances the time-weighted telemetry integrals to `now`.
+    fn tele_advance(&mut self, now: f64) {
+        let dt = now - self.integral_t;
+        if dt > 0.0 {
+            self.queue_integral += self.total_queued_entries as f64 * dt;
+            self.busy_integral += self.busy_units_now as f64 * dt;
+            self.cap_integral += self.live_capacity as f64 * dt;
+            self.cost_integral += self.live_cost * dt;
+            self.integral_t = now;
+        }
+    }
+
+    /// Closes the telemetry window ending at `now` (no-op on an empty
+    /// span) and resets the per-window counters.
+    fn close_window(&mut self, now: f64) {
+        let duration = now - self.win_start;
+        if duration <= 0.0 {
+            return;
+        }
+        let mean_queue_depth = (self.queue_integral - self.win_queue_base) / duration;
+        let cap_delta = self.cap_integral - self.win_cap_base;
+        let utilization = if cap_delta > 0.0 {
+            ((self.busy_integral - self.win_busy_base) / cap_delta).min(1.0)
+        } else {
+            0.0
+        };
+        let cost = (self.cost_integral - self.win_cost_base) / duration;
+        let p99_s = if self.win_latencies.is_empty() {
+            0.0
+        } else {
+            self.win_latencies
+                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+            let n = self.win_latencies.len();
+            let idx = ((n as f64 * 0.99).ceil() as usize).clamp(1, n) - 1;
+            self.win_latencies[idx]
+        };
+        // Live replicas: the scaled group's routable count when a
+        // controller is attached (the number it steers), else the whole
+        // fleet's.
+        let live_replicas = match self.scale {
+            Some(scale) => {
+                let base = self.slot_base[scale.group];
+                let replicas = self.group_replicas[scale.group];
+                (base..base + replicas)
+                    .filter(|&s| self.state[s].routable())
+                    .count()
+            }
+            None => self.state.iter().filter(|s| s.routable()).count(),
+        };
+        self.windows.push(WindowStats {
+            start: self.win_start,
+            end: now,
+            arrivals: self.win_arrivals,
+            completed: self.win_completed,
+            shed: self.win_shed,
+            dropped: self.win_dropped,
+            p99_s,
+            mean_queue_depth,
+            utilization,
+            live_replicas,
+            cost,
+        });
+        self.win_start = now;
+        self.win_queue_base = self.queue_integral;
+        self.win_busy_base = self.busy_integral;
+        self.win_cap_base = self.cap_integral;
+        self.win_cost_base = self.cost_integral;
+        self.win_arrivals = 0;
+        self.win_completed = 0;
+        self.win_shed = 0;
+        self.win_dropped = 0;
+        self.win_latencies.clear();
+    }
+
+    /// Consults the autoscaling controller with the window that just
+    /// closed and applies its decision: provision the lowest-index down
+    /// slots to scale up, drain the highest-index routable ones to
+    /// scale down (drains never kill live work).
+    fn autoscale_tick(&mut self, now: f64) {
+        let Some(scale) = self.scale else {
+            return;
+        };
+        let Some(window) = self.windows.last().cloned() else {
+            return;
+        };
+        let base = self.slot_base[scale.group];
+        let replicas = self.group_replicas[scale.group];
+        let live = (base..base + replicas)
+            .filter(|&s| self.state[s].routable())
+            .count();
+        let controller = self.controller.as_mut().expect("controller attached");
+        let desired = controller
+            .desired_replicas(&window, live)
+            .clamp(scale.min, scale.max);
+        match desired.cmp(&live) {
+            Ordering::Greater => {
+                let mut need = desired - live;
+                for slot in base..base + replicas {
+                    if need == 0 {
+                        break;
+                    }
+                    if self.state[slot] == SlotState::Down {
+                        self.apply_provision(now, slot, scale.warmup_s);
+                        need -= 1;
+                    }
+                }
+            }
+            Ordering::Less => {
+                let mut excess = live - desired;
+                for slot in (base..base + replicas).rev() {
+                    if excess == 0 {
+                        break;
+                    }
+                    if self.state[slot].routable() {
+                        self.apply_drain(slot);
+                        excess -= 1;
+                    }
+                }
+            }
+            Ordering::Equal => {}
+        }
+    }
+
     fn on_complete(&mut self, now: f64, batch: usize) {
         let Batch {
             stage,
             slot,
             queries,
+            finish: _,
         } = std::mem::replace(
             &mut self.batches[batch],
             Batch {
                 stage: 0,
                 slot: 0,
                 queries: BatchQueries::One(0),
+                finish: 0.0,
             },
         );
         self.free_batches.push(batch);
@@ -684,6 +1459,7 @@ impl<'a> Sim<'a> {
         self.free[slot] += s.units;
         self.in_flight[slot] -= queries.len();
         self.remaining_work[slot] -= s.batch_service_time(queries.len());
+        self.busy_units_now -= s.units;
         // Conservation invariant (active under the test profile): a
         // release can never return more units than the replica owns.
         debug_assert!(self.free[slot] <= self.slot_capacity[slot]);
@@ -699,6 +1475,14 @@ impl<'a> Sim<'a> {
             }
         }
         self.dispatch(now, slot);
+        // A draining slot that just emptied goes down.
+        if self.lifecycle_active
+            && self.state[slot] == SlotState::Draining
+            && self.in_flight[slot] == 0
+            && self.queued[slot] == 0
+        {
+            self.slot_down(slot);
+        }
     }
 
     /// Sends a query that finished `stage` to the next stage, or
@@ -717,6 +1501,10 @@ impl<'a> Sim<'a> {
         } else {
             self.finish_time[query] = now;
             self.completed += 1;
+            if self.telemetry_active {
+                self.win_completed += 1;
+                self.win_latencies.push(now - self.arrival_time[query]);
+            }
             // Closed loop: this completion frees a client, which
             // thinks and then issues the next query.
             if let Some(think) = self.think_time_s {
@@ -729,16 +1517,26 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn run(mut self) -> SimResult {
+    fn run(mut self) -> Result<SimResult, SimError> {
         while let Some(event) = self.heap.pop() {
             let now = event.time;
+            if self.telemetry_active {
+                self.tele_advance(now);
+            }
             match event.kind {
                 EventKind::Arrive { query, stage } => {
                     self.last_time = now;
                     // A lazily-staged schedule arrival stages its
                     // successor (closed-loop re-injections sit past
-                    // `schedule_len` and never match).
-                    if self.lazy_arrivals && stage == 0 && query + 1 < self.schedule_len {
+                    // `schedule_len` and never match; lifecycle
+                    // requeues re-use schedule query indices but carry
+                    // later seqs, so the seq check keeps them from
+                    // staging duplicates).
+                    if self.lazy_arrivals
+                        && stage == 0
+                        && event.seq as usize == query
+                        && query + 1 < self.schedule_len
+                    {
                         let next = query + 1;
                         self.heap.push(Event {
                             time: self.arrival_time[next],
@@ -749,11 +1547,31 @@ impl<'a> Sim<'a> {
                             },
                         });
                     }
+                    // Window arrival counting: schedule-driven stage-0
+                    // arrivals only (their heap seq is their query
+                    // index); requeues and parked flushes re-use query
+                    // indices but carry later seqs, so they never
+                    // double-count. Closed-loop injections count at
+                    // `inject`.
+                    if self.telemetry_active
+                        && stage == 0
+                        && query < self.schedule_len
+                        && event.seq as usize == query
+                    {
+                        self.win_arrivals += 1;
+                    }
                     self.on_arrive(now, query, stage);
+                    if self.fatal.is_some() {
+                        break;
+                    }
                 }
-                EventKind::Complete { batch } => {
-                    self.last_time = now;
-                    self.on_complete(now, batch);
+                EventKind::Complete { batch, gen } => {
+                    // A fail-stop that killed the batch bumped its
+                    // generation; the orphaned completion is a no-op.
+                    if gen == self.batch_gen[batch] {
+                        self.last_time = now;
+                        self.on_complete(now, batch);
+                    }
                 }
                 EventKind::Recheck { slot, gen } => {
                     // Lazy cancellation: only the latest-armed timer of
@@ -768,12 +1586,65 @@ impl<'a> Sim<'a> {
                         self.dispatch(now, slot);
                     }
                 }
+                EventKind::Lifecycle { idx } => {
+                    let (slot, ev) = self.sched[idx];
+                    if ev.revives() {
+                        self.revivals_left[self.slot_group[slot]] -= 1;
+                    }
+                    match ev.action {
+                        LifecycleAction::Provision { warmup_s } => {
+                            self.apply_provision(now, slot, warmup_s)
+                        }
+                        LifecycleAction::Drain => self.apply_drain(slot),
+                        LifecycleAction::FailStop => self.apply_fail_stop(now, slot),
+                        LifecycleAction::Recover => self.apply_provision(now, slot, 0.0),
+                    }
+                }
+                EventKind::WarmDone { slot, gen } => {
+                    if gen == self.slot_gen[slot] && self.state[slot] == SlotState::Warming {
+                        self.state[slot] = SlotState::Up;
+                        self.cur_speed[slot] = self.slot_speed[slot];
+                    }
+                }
+                EventKind::WindowTick => {
+                    self.close_window(now);
+                    self.autoscale_tick(now);
+                    // Re-arm while the run is still going; the last
+                    // (partial) window closes in `finish`.
+                    let done = self.completed + self.shed + self.dropped;
+                    if done < self.num_queries && !self.heap.is_empty() {
+                        self.heap.push(Event {
+                            time: now + self.window_s,
+                            seq: self.seq,
+                            kind: EventKind::WindowTick,
+                        });
+                        self.seq += 1;
+                    }
+                }
             }
         }
-        self.finish()
+        if let Some(err) = self.fatal.take() {
+            return Err(err);
+        }
+        Ok(self.finish())
     }
 
-    fn finish(self) -> SimResult {
+    fn finish(mut self) -> SimResult {
+        // Conservation safety net: queries still parked when the event
+        // stream ran dry (a promised revival never came before the last
+        // event) count as shed, so completed + shed + dropped always
+        // accounts for every injected query.
+        for group in 0..self.parked.len() {
+            let leftover = std::mem::take(&mut self.parked[group]);
+            self.total_queued_entries -= leftover.len();
+            self.shed += leftover.len();
+            self.win_shed += leftover.len();
+        }
+        // Close the trailing partial window at the integral clock.
+        if self.telemetry_active && self.window_s > 0.0 {
+            let end = self.integral_t;
+            self.close_window(end);
+        }
         // Collect post-warmup latencies in query order.
         let warmup = ((self.num_queries as f64) * WARMUP_FRACTION) as usize;
         let mut latency = LatencyStats::with_capacity(self.num_queries.saturating_sub(warmup));
@@ -856,6 +1727,12 @@ impl<'a> Sim<'a> {
         )
         .with_mean_batch(mean_batch)
         .with_replica_utilization(replica_utilization)
+        .with_lifecycle_outcome(
+            self.shed,
+            self.dropped,
+            self.cost_integral,
+            std::mem::take(&mut self.windows),
+        )
     }
 }
 
@@ -1642,5 +2519,313 @@ mod tests {
         // A run is reproducible under the completion-driven injection.
         let again = spec.serve(&closed, &EarliestDeadlineFirst::new(0.5), 2_000, 4);
         assert_eq!(loose, again);
+    }
+
+    // ------------------------------------------------------------------
+    // qsim v6: replica lifecycle, failure injection, autoscaling
+    // ------------------------------------------------------------------
+
+    use crate::{
+        AutoscaleConfig, FailurePolicy, FleetController, LifecycleConfig, LifecycleEvent,
+        LifecycleSchedule, SimError, WindowStats,
+    };
+
+    fn replicated(replicas: usize, service: f64) -> PipelineSpec {
+        PipelineSpec::new(vec![ResourceSpec::replicated("r", 4, replicas)])
+            .with_stage(StageSpec::new("s", 0, 1, service))
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_lifecycle_run_matches_serve_routed_exactly() {
+        let spec = replicated(3, 0.005);
+        let arrivals = MmppArrivals::new(200.0, 900.0, 0.3, 0.1);
+        let routers: [&dyn Router; 3] = [&RoundRobin, &JoinShortestQueue, &Sticky::new()];
+        for router in routers {
+            let plain = spec.serve_routed(&arrivals, &Fifo, router, 3_000, 11);
+            let lifecycle = spec
+                .serve_lifecycle(&arrivals, &Fifo, router, 3_000, 11, &LifecycleConfig::new())
+                .unwrap();
+            assert_eq!(plain, lifecycle, "router {}", router.name());
+        }
+    }
+
+    #[test]
+    fn fail_stop_on_sole_replica_is_a_typed_error_under_requeue() {
+        // One replica, killed mid-run with no recovery scheduled:
+        // Requeue has nowhere to put the stranded work, so the run
+        // fails with the typed error instead of panicking in a router.
+        let spec = single_stage(2, 0.01).with_group_lifecycle(
+            0,
+            LifecycleSchedule::empty().with_event(LifecycleEvent::fail_stop(0.5, 0)),
+        );
+        let err = spec
+            .serve_lifecycle(
+                &PoissonArrivals::new(100.0),
+                &Fifo,
+                &RoundRobin,
+                1_000,
+                3,
+                &LifecycleConfig::new(),
+            )
+            .unwrap_err();
+        match err {
+            SimError::NoAvailableReplica { group, time } => {
+                assert_eq!(group, 0);
+                assert!(time >= 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn fail_stop_on_sole_replica_sheds_under_shed_policy() {
+        // Same dead-end fleet under Shed: the run completes, stranded
+        // and subsequent queries are counted, and every query is
+        // accounted for exactly once.
+        let spec = single_stage(2, 0.01).with_group_lifecycle(
+            0,
+            LifecycleSchedule::empty().with_event(LifecycleEvent::fail_stop(0.5, 0)),
+        );
+        let out = spec
+            .serve_lifecycle(
+                &PoissonArrivals::new(100.0),
+                &Fifo,
+                &RoundRobin,
+                1_000,
+                3,
+                &LifecycleConfig::new().with_failure_policy(FailurePolicy::Shed),
+            )
+            .unwrap();
+        assert!(out.completed > 0, "nothing completed before the failure");
+        assert!(out.shed > 0, "post-failure arrivals were not shed");
+        assert_eq!(out.completed + out.shed + out.dropped, 1_000);
+    }
+
+    #[test]
+    fn fail_stop_then_recover_loses_no_queries_under_requeue() {
+        // Mid-batch fail-stop with queued work, then a recovery: every
+        // stranded query re-enters and completes; nothing is lost.
+        let schedule = LifecycleSchedule::empty()
+            .with_event(LifecycleEvent::fail_stop(0.5, 0))
+            .with_event(LifecycleEvent::recover(1.0, 0));
+        let spec = single_stage(2, 0.01).with_group_lifecycle(0, schedule);
+        let out = spec
+            .serve_lifecycle(
+                &PoissonArrivals::new(150.0),
+                &Fifo,
+                &RoundRobin,
+                2_000,
+                7,
+                &LifecycleConfig::new(),
+            )
+            .unwrap();
+        assert_eq!(out.completed, 2_000);
+        assert_eq!(out.shed, 0);
+        assert_eq!(out.dropped, 0);
+    }
+
+    #[test]
+    fn arrivals_during_outage_park_until_recovery() {
+        // The whole group is dead between the fail-stop and the
+        // recovery; arrivals in that hole park and flush at recovery
+        // (their waiting time shows up as latency).
+        let schedule = LifecycleSchedule::empty()
+            .with_event(LifecycleEvent::fail_stop(0.2, 0))
+            .with_event(LifecycleEvent::recover(0.6, 0));
+        let spec = single_stage(4, 0.002).with_group_lifecycle(0, schedule);
+        let mut out = spec
+            .serve_lifecycle(
+                &PoissonArrivals::new(200.0),
+                &Fifo,
+                &RoundRobin,
+                400,
+                5,
+                &LifecycleConfig::new(),
+            )
+            .unwrap();
+        assert_eq!(out.completed, 400);
+        // Some query sat out most of the 0.4 s hole.
+        assert!(
+            out.p99_seconds() > 0.2,
+            "outage did not surface in latency: p99 {}",
+            out.p99_seconds()
+        );
+    }
+
+    #[test]
+    fn drained_replica_takes_no_new_work() {
+        // Draining replica 1 at t=0 leaves it idle for the whole run:
+        // all traffic lands on replica 0, and the drained replica's
+        // utilization is exactly zero.
+        let spec = replicated(2, 0.004).with_group_lifecycle(
+            0,
+            LifecycleSchedule::empty().with_event(LifecycleEvent::drain(0.0, 1)),
+        );
+        let out = spec
+            .serve_lifecycle(
+                &PoissonArrivals::new(300.0),
+                &Fifo,
+                &JoinShortestQueue,
+                2_000,
+                9,
+                &LifecycleConfig::new(),
+            )
+            .unwrap();
+        assert_eq!(out.completed, 2_000);
+        assert_eq!(out.replica_utilization[0][1], 0.0);
+        assert!(out.replica_utilization[0][0] > 0.0);
+    }
+
+    #[test]
+    fn warming_replica_serves_at_reduced_speed() {
+        // A sole replica provisioned with warm-up after a fail-stop
+        // serves at half speed while warming: service times double, so
+        // the p50 under negligible load exceeds the cold service time.
+        let schedule = LifecycleSchedule::empty()
+            .with_event(LifecycleEvent::fail_stop(0.0, 0))
+            .with_event(LifecycleEvent::provision(0.001, 0, 100.0));
+        let spec = single_stage(4, 0.01).with_group_lifecycle(0, schedule);
+        let mut out = spec
+            .serve_lifecycle(
+                &PoissonArrivals::new(5.0),
+                &Fifo,
+                &RoundRobin,
+                200,
+                2,
+                &LifecycleConfig::new().with_warmup_speed(0.5),
+            )
+            .unwrap();
+        let p50 = out.p50_seconds();
+        assert!(
+            (p50 - 0.02).abs() < 2e-3,
+            "warming service time should be ~0.02 s, p50 {p50}"
+        );
+    }
+
+    #[test]
+    fn windowed_telemetry_accounts_for_every_query() {
+        // With a telemetry window, the per-window series partitions the
+        // run: summed arrivals and completions match the totals, window
+        // edges chain, and the cost integral matches the per-window
+        // costs.
+        let spec = replicated(2, 0.004);
+        let out = spec
+            .serve_lifecycle(
+                &PoissonArrivals::new(300.0),
+                &Fifo,
+                &RoundRobin,
+                3_000,
+                4,
+                &LifecycleConfig::new().with_window(0.5),
+            )
+            .unwrap();
+        assert_eq!(out.completed, 3_000);
+        assert!(!out.windows.is_empty());
+        let arrivals: usize = out.windows.iter().map(|w| w.arrivals).sum();
+        let completed: usize = out.windows.iter().map(|w| w.completed).sum();
+        assert_eq!(arrivals, 3_000);
+        assert_eq!(completed, 3_000);
+        for pair in out.windows.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        let integrated: f64 = out.windows.iter().map(|w| w.cost * w.duration()).sum();
+        assert!(
+            (integrated - out.cost_integral).abs() < 1e-6,
+            "window costs {integrated} vs integral {}",
+            out.cost_integral
+        );
+        // Two always-up speed-1 replicas cost 2 per second.
+        assert!((out.mean_fleet_cost() - 2.0).abs() < 1e-9);
+    }
+
+    /// Test controller: always demands a fixed replica count.
+    #[derive(Debug)]
+    struct FixedTarget(usize);
+
+    impl FleetController for FixedTarget {
+        fn name(&self) -> String {
+            format!("fixed({})", self.0)
+        }
+
+        fn desired_replicas(&mut self, _window: &WindowStats, _live: usize) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn autoscaler_provisions_up_to_the_controller_target() {
+        // Start at 1 replica with a controller demanding 4: the fleet
+        // grows at the first window boundary and the series records the
+        // ramp.
+        let spec = replicated(4, 0.004);
+        let cfg = AutoscaleConfig::new(0, 1, 4, 0.2).with_initial_replicas(1);
+        let out = spec
+            .serve_autoscaled(
+                &PoissonArrivals::new(500.0),
+                &Fifo,
+                &JoinShortestQueue,
+                4_000,
+                6,
+                &cfg,
+                &mut FixedTarget(4),
+            )
+            .unwrap();
+        assert_eq!(out.completed, 4_000);
+        let first = out.windows.first().expect("windows recorded");
+        let last = out.windows.last().expect("windows recorded");
+        assert_eq!(first.live_replicas, 1);
+        assert_eq!(last.live_replicas, 4);
+    }
+
+    #[test]
+    fn autoscaler_drains_down_without_losing_queries() {
+        // Start at 4 replicas with a controller demanding 1: the extra
+        // replicas drain (finishing their queues) and every query still
+        // completes.
+        let spec = replicated(4, 0.004);
+        let cfg = AutoscaleConfig::new(0, 1, 4, 0.2).with_initial_replicas(4);
+        let out = spec
+            .serve_autoscaled(
+                &PoissonArrivals::new(200.0),
+                &Fifo,
+                &JoinShortestQueue,
+                3_000,
+                8,
+                &cfg,
+                &mut FixedTarget(1),
+            )
+            .unwrap();
+        assert_eq!(out.completed, 3_000);
+        assert_eq!(out.shed + out.dropped, 0);
+        assert_eq!(out.windows.last().expect("windows").live_replicas, 1);
+        // Scale-down is visible in cost: the mean fleet cost sits
+        // strictly between the 1-replica floor and the 4-replica start.
+        let cost = out.mean_fleet_cost();
+        assert!(cost > 1.0 && cost < 4.0, "mean cost {cost}");
+    }
+
+    #[test]
+    fn autoscaled_group_parks_arrivals_while_scaled_to_zero_available() {
+        // Warm-up makes the provisioned replica routable immediately
+        // (warming replicas accept work), so even a cold start with the
+        // whole group down at t=0 never fails: arrivals park until the
+        // controller's first provision.
+        let spec = replicated(2, 0.004);
+        let cfg = AutoscaleConfig::new(0, 1, 2, 0.1)
+            .with_initial_replicas(1)
+            .with_warmup(0.05);
+        let out = spec
+            .serve_autoscaled(
+                &PoissonArrivals::new(300.0),
+                &Fifo,
+                &RoundRobin,
+                2_000,
+                12,
+                &cfg,
+                &mut FixedTarget(2),
+            )
+            .unwrap();
+        assert_eq!(out.completed + out.shed + out.dropped, 2_000);
+        assert_eq!(out.dropped, 0);
     }
 }

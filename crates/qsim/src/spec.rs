@@ -1,6 +1,9 @@
 use serde::{Deserialize, Serialize};
 
-use crate::{simulate, Router, SimResult};
+use crate::{
+    simulate, AutoscaleConfig, FleetController, LifecycleConfig, LifecycleSchedule, Router,
+    SimError, SimResult,
+};
 
 /// The hardware generation of one replica: how many units it holds and
 /// how fast it serves them, relative to the group's baseline service
@@ -88,6 +91,9 @@ pub struct ReplicaGroup {
     /// Human-readable name for reports.
     pub name: String,
     profiles: Vec<ReplicaProfile>,
+    /// Timed availability events replayed by lifecycle-aware runs
+    /// (empty — and fully inert — by default).
+    lifecycle: LifecycleSchedule,
 }
 
 /// Compatibility alias: the pre-cluster name for a single-replica
@@ -139,6 +145,7 @@ impl ReplicaGroup {
         Self {
             name: name.into(),
             profiles,
+            lifecycle: LifecycleSchedule::empty(),
         }
     }
 
@@ -146,6 +153,44 @@ impl ReplicaGroup {
     pub fn with_profile(mut self, profile: ReplicaProfile) -> Self {
         self.profiles.push(profile);
         self
+    }
+
+    /// Attaches a lifecycle schedule: timed provision / drain /
+    /// fail-stop / recovery events replayed against this group's
+    /// replicas by [`PipelineSpec::serve_lifecycle`]. Ordinary serve
+    /// entry points ignore the schedule entirely.
+    ///
+    /// Fleet-shape transforms ([`resized`](Self::resized),
+    /// [`scaled`](Self::scaled),
+    /// [`with_fleet_speeds`](Self::with_fleet_speeds)) clear the
+    /// schedule: its events name replica indices, and resizing
+    /// invalidates those identities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event names a replica index outside the group.
+    pub fn with_lifecycle(mut self, schedule: LifecycleSchedule) -> Self {
+        for e in schedule.events() {
+            assert!(
+                e.replica < self.replicas(),
+                "lifecycle event targets replica {} of a {}-replica group",
+                e.replica,
+                self.replicas()
+            );
+        }
+        self.lifecycle = schedule;
+        self
+    }
+
+    /// The group's lifecycle schedule (empty unless
+    /// [`with_lifecycle`](Self::with_lifecycle) attached one).
+    pub fn lifecycle(&self) -> &LifecycleSchedule {
+        &self.lifecycle
+    }
+
+    /// Whether the group carries any lifecycle events.
+    pub fn has_lifecycle(&self) -> bool {
+        !self.lifecycle.is_empty()
     }
 
     /// The per-replica profiles, in replica-index order (the order
@@ -209,6 +254,9 @@ impl ReplicaGroup {
     pub fn resized(mut self, replicas: usize) -> Self {
         assert!(replicas > 0, "replica count must be positive");
         self.profiles = vec![self.profiles[0]; replicas];
+        // Resizing invalidates the replica identities lifecycle events
+        // name, so the schedule does not survive the transform.
+        self.lifecycle = LifecycleSchedule::empty();
         self
     }
 
@@ -225,6 +273,7 @@ impl ReplicaGroup {
         for _ in 0..factor {
             self.profiles.extend_from_slice(&base);
         }
+        self.lifecycle = LifecycleSchedule::empty();
         self
     }
 
@@ -248,6 +297,7 @@ impl ReplicaGroup {
                     .push(ReplicaProfile::new(p.capacity, p.speed * speed));
             }
         }
+        self.lifecycle = LifecycleSchedule::empty();
         self
     }
 }
@@ -593,6 +643,25 @@ impl PipelineSpec {
         self.resources.iter().any(|r| !r.is_uniform())
     }
 
+    /// Whether any resource group carries lifecycle events.
+    pub fn has_lifecycle(&self) -> bool {
+        self.resources.iter().any(ReplicaGroup::has_lifecycle)
+    }
+
+    /// Attaches a lifecycle schedule to resource group `resource` (see
+    /// [`ReplicaGroup::with_lifecycle`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range or any event names a replica
+    /// the group does not have.
+    pub fn with_group_lifecycle(mut self, resource: usize, schedule: LifecycleSchedule) -> Self {
+        assert!(resource < self.resources.len(), "unknown resource group");
+        let group = self.resources[resource].clone();
+        self.resources[resource] = group.with_lifecycle(schedule);
+        self
+    }
+
     /// Total replica count across all resource groups — the cluster's
     /// hardware cost axis for replica-aware Pareto fronts.
     pub fn total_replicas(&self) -> usize {
@@ -728,6 +797,74 @@ impl PipelineSpec {
         seed: u64,
     ) -> SimResult {
         crate::serve_routed(self, arrivals, policy, router, num_queries, seed)
+    }
+
+    /// Runs the lifecycle-aware simulation: every group's attached
+    /// [`LifecycleSchedule`] is replayed as timed availability events
+    /// (warm-up, drains, fail-stops, recoveries), routers see only
+    /// available replicas, and `cfg` decides what happens to stranded
+    /// work. With only empty schedules and no telemetry window the run
+    /// is bit-identical to [`serve_routed`](Self::serve_routed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoAvailableReplica`] when a query arrives at
+    /// a fully-down group under [`FailurePolicy::Requeue`](crate::FailurePolicy::Requeue)
+    /// with no revival pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline has no stages or `num_queries == 0`.
+    pub fn serve_lifecycle(
+        &self,
+        arrivals: &dyn recpipe_data::ArrivalProcess,
+        policy: &dyn crate::SchedulingPolicy,
+        router: &dyn Router,
+        num_queries: usize,
+        seed: u64,
+        cfg: &LifecycleConfig,
+    ) -> Result<SimResult, SimError> {
+        crate::serve_lifecycle(self, arrivals, policy, router, num_queries, seed, cfg)
+    }
+
+    /// Runs the closed-loop autoscaled simulation: at every window
+    /// boundary `controller` sees the closing window's telemetry and
+    /// resizes the fleet of `cfg.group` within
+    /// `[cfg.min_replicas, cfg.max_replicas]` via provision and drain
+    /// lifecycle events — scale-down never kills live work. Scheduled
+    /// lifecycle events (failures, maintenance drains) replay alongside
+    /// the controller's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoAvailableReplica`] under the same rule as
+    /// [`serve_lifecycle`](Self::serve_lifecycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline has no stages, `num_queries == 0`, or
+    /// `cfg` names a group or replica band the spec does not have.
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_autoscaled(
+        &self,
+        arrivals: &dyn recpipe_data::ArrivalProcess,
+        policy: &dyn crate::SchedulingPolicy,
+        router: &dyn Router,
+        num_queries: usize,
+        seed: u64,
+        cfg: &AutoscaleConfig,
+        controller: &mut dyn FleetController,
+    ) -> Result<SimResult, SimError> {
+        crate::serve_autoscaled(
+            self,
+            arrivals,
+            policy,
+            router,
+            num_queries,
+            seed,
+            cfg,
+            controller,
+        )
     }
 }
 

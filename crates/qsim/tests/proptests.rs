@@ -5,9 +5,10 @@
 use proptest::prelude::*;
 use recpipe_data::{ClosedLoopArrivals, MmppArrivals, PoissonArrivals};
 use recpipe_qsim::{
-    BatchModel, BatchWindow, EarliestDeadlineFirst, ExpectedWait, Fifo, JoinShortestQueue,
-    LeastWorkLeft, PipelineSpec, PowerOfTwoChoices, ReplicaGroup, ReplicaProfile, ResourceSpec,
-    RoundRobin, Router, SchedulingPolicy, StageSpec, Sticky,
+    BatchModel, BatchWindow, EarliestDeadlineFirst, ExpectedWait, FailurePolicy, Fifo,
+    JoinShortestQueue, LeastWorkLeft, LifecycleConfig, LifecycleEvent, LifecycleSchedule,
+    PipelineSpec, PowerOfTwoChoices, ReplicaGroup, ReplicaProfile, ResourceSpec, RoundRobin,
+    Router, SchedulingPolicy, StageSpec, Sticky,
 };
 
 fn pipeline(servers: usize, stages: Vec<f64>) -> PipelineSpec {
@@ -1527,6 +1528,833 @@ mod reference_pr4 {
     }
 }
 
+/// The PR-5 heterogeneous-fleet cluster loop, frozen verbatim before
+/// the replica-lifecycle + autoscaling subsystem landed (no slot
+/// availability states, no masked routing, no windowed telemetry, no
+/// shed/drop accounting), minus the `simulate`/`serve` convenience
+/// wrappers. The equivalence properties below pin `serve_routed` -- and
+/// `serve_lifecycle` under an empty schedule -- to this loop
+/// bit-for-bit across the full router x policy x fleet x batching
+/// matrix.
+mod reference_pr5 {
+    use std::cmp::Ordering;
+    use std::collections::{BinaryHeap, VecDeque};
+    use std::time::Duration;
+
+    use recpipe_data::ArrivalProcess;
+    use recpipe_metrics::{LatencyStats, ThroughputMeter};
+
+    use recpipe_qsim::{
+        PipelineSpec, QueueEntry, Release, ReplicaLoads, Router, RouterState, RoutingCtx,
+        SchedulingPolicy, SimResult, StageSpec,
+    };
+
+    /// Fraction of queries discarded from the front as warmup.
+    const WARMUP_FRACTION: f64 = 0.05;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum EventKind {
+        /// Query `query` arrives at stage `stage` and joins its queue.
+        Arrive { query: usize, stage: usize },
+        /// Batch `batch` finishes service, releasing its units.
+        Complete { batch: usize },
+        /// A scheduling policy asked to re-examine replica slot `slot`.
+        /// The event is live only while `gen` matches the slot's timer
+        /// generation — superseded timers are cancelled lazily (skipped at
+        /// pop) instead of scanned.
+        Recheck { slot: usize, gen: u64 },
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct Event {
+        time: f64,
+        seq: u64,
+        kind: EventKind,
+    }
+
+    impl Eq for Event {}
+
+    impl Ord for Event {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Min-heap on (time, seq): BinaryHeap is a max-heap, so reverse.
+            other
+                .time
+                .partial_cmp(&self.time)
+                .unwrap_or(Ordering::Equal)
+                .then(other.seq.cmp(&self.seq))
+        }
+    }
+
+    impl PartialOrd for Event {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    /// An in-flight batch: the stage it runs, the replica slot holding its
+    /// units, and the queries it carries.
+    #[derive(Debug, Clone)]
+    struct Batch {
+        stage: usize,
+        slot: usize,
+        queries: BatchQueries,
+    }
+
+    /// Batch membership: allocation-free in the dominant per-query case,
+    /// and backed by a pooled buffer (recycled at completion) for real
+    /// batches, so the steady-state event loop allocates nothing per
+    /// launch.
+    #[derive(Debug, Clone)]
+    enum BatchQueries {
+        One(usize),
+        Many(Vec<usize>),
+    }
+
+    impl BatchQueries {
+        fn len(&self) -> usize {
+            match self {
+                BatchQueries::One(_) => 1,
+                BatchQueries::Many(v) => v.len(),
+            }
+        }
+    }
+
+    /// Runs the cluster-aware discrete-event simulation: `router` picks a
+    /// replica per query at every stage, then `policy` schedules batches
+    /// within each replica's private queue (batches never span replicas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline has no stages or `num_queries == 0`.
+    pub fn serve_routed(
+        spec: &PipelineSpec,
+        arrivals: &dyn ArrivalProcess,
+        policy: &dyn SchedulingPolicy,
+        router: &dyn Router,
+        num_queries: usize,
+        seed: u64,
+    ) -> SimResult {
+        assert!(!spec.stages().is_empty(), "pipeline has no stages");
+        assert!(num_queries > 0, "need at least one query");
+        Sim::new(spec, arrivals, policy, router, num_queries, seed).run()
+    }
+
+    struct Sim<'a> {
+        spec: &'a PipelineSpec,
+        stages: &'a [StageSpec],
+        policy: &'a dyn SchedulingPolicy,
+        arrivals: &'a dyn ArrivalProcess,
+        router: &'a dyn Router,
+        num_queries: usize,
+        heap: BinaryHeap<Event>,
+        seq: u64,
+        /// Absolute stage-0 arrival time per query (NaN until injected).
+        arrival_time: Vec<f64>,
+        /// First flattened replica slot of each resource group: replica `r`
+        /// of group `g` lives at slot `slot_base[g] + r`. Single-replica
+        /// pipelines flatten to one slot per group, reproducing the
+        /// pre-cluster layout exactly.
+        slot_base: Vec<usize>,
+        /// Resource group owning each slot.
+        slot_group: Vec<usize>,
+        /// Replica count per group (cached off the spec for the hot path).
+        group_replicas: Vec<usize>,
+        /// Per-slot unit capacity (per-replica, heterogeneous fleets may
+        /// differ within a group).
+        slot_capacity: Vec<usize>,
+        /// Per-slot service-rate multiplier
+        /// ([`ReplicaProfile::speed`](crate::ReplicaProfile::speed)): a
+        /// batch's service time is its baseline time divided by this.
+        slot_speed: Vec<f64>,
+        /// Per-slot free units (router signal, maintained incrementally).
+        free: Vec<usize>,
+        /// Per-slot remaining expected work in baseline seconds: queued
+        /// entries' per-query service plus in-flight batches' booked
+        /// service, maintained incrementally (the [`ExpectedWait`]
+        /// estimator; see router.rs module docs).
+        ///
+        /// [`ExpectedWait`]: crate::ExpectedWait
+        remaining_work: Vec<f64>,
+        /// Resource group of each pipeline stage (the static map routing
+        /// contexts expose to affinity routers).
+        stage_groups: Vec<usize>,
+        /// Replica chosen (index within its group) per query per stage,
+        /// laid out `query * num_stages + stage` — the routing history
+        /// behind [`RoutingCtx`].
+        chosen: Vec<u32>,
+        /// Per-slot waiting entries, kept sorted by (policy priority,
+        /// admission seq) — FIFO inserts are O(1) appends.
+        waiting: Vec<VecDeque<QueueEntry>>,
+        /// Per-slot waiting-entry counts, mirrored off `waiting` so router
+        /// probes read one contiguous array (see [`ReplicaLoads`]).
+        queued: Vec<usize>,
+        /// Per-slot queries currently in service (the router's load signal).
+        in_flight: Vec<usize>,
+        /// Per-slot earliest armed policy recheck, if any.
+        armed: Vec<Option<f64>>,
+        /// Per-slot timer generation: bumped whenever a recheck is armed,
+        /// so superseded `Recheck` events cancel lazily at pop.
+        timer_gen: Vec<u64>,
+        /// Busy unit-seconds per slot for utilization accounting.
+        busy_unit_seconds: Vec<f64>,
+        /// Per-group router state (round-robin cursors, probe RNG).
+        router_states: Vec<RouterState>,
+        /// In-flight batches, indexed by `Complete` events; completed slots
+        /// are recycled through `free_batches` so the table stays at the
+        /// concurrency high-water mark instead of growing per launch.
+        batches: Vec<Batch>,
+        /// Recyclable `batches` indices.
+        free_batches: Vec<usize>,
+        /// Spare query buffers recycled from completed multi-query batches.
+        query_pool: Vec<Vec<usize>>,
+        finish_time: Vec<f64>,
+        completed: usize,
+        last_time: f64,
+        launches: u64,
+        served: u64,
+        /// Closed-loop state: next query index to inject, and think time.
+        next_inject: usize,
+        think_time_s: Option<f64>,
+        /// Cached `policy.admit_on_arrival()` (consulted on every arrival).
+        work_conserving: bool,
+        /// Number of schedule-driven arrivals (the `times()` prefix; seqs
+        /// `0..schedule_len` are reserved for them).
+        schedule_len: usize,
+        /// Whether the arrival schedule is staged lazily: one stage-0 event
+        /// in the heap at a time, each pop staging its successor. Keeping
+        /// the heap at the in-flight high-water mark instead of the full
+        /// query count cuts every push/pop from `log(queries)` to
+        /// `log(concurrency)`. Requires a nondecreasing schedule; unsorted
+        /// traces fall back to eager staging, which is bit-identical
+        /// because every schedule arrival's heap seq is preassigned to its
+        /// query index either way.
+        lazy_arrivals: bool,
+    }
+
+    impl<'a> Sim<'a> {
+        fn new(
+            spec: &'a PipelineSpec,
+            arrivals: &'a dyn ArrivalProcess,
+            policy: &'a dyn SchedulingPolicy,
+            router: &'a dyn Router,
+            num_queries: usize,
+            seed: u64,
+        ) -> Self {
+            let resources = spec.resources();
+            let mut slot_base = Vec::with_capacity(resources.len());
+            let mut slot_group = Vec::new();
+            let mut slot_capacity = Vec::new();
+            let mut slot_speed = Vec::new();
+            let mut free = Vec::new();
+            for (g, r) in resources.iter().enumerate() {
+                slot_base.push(slot_group.len());
+                for p in r.profiles() {
+                    slot_group.push(g);
+                    slot_capacity.push(p.capacity);
+                    slot_speed.push(p.speed);
+                    free.push(p.capacity);
+                }
+            }
+            let num_slots = slot_group.len();
+            let num_stages = spec.stages().len();
+            let mut sim = Self {
+                spec,
+                stages: spec.stages(),
+                policy,
+                arrivals,
+                router,
+                num_queries,
+                heap: BinaryHeap::new(),
+                seq: 0,
+                arrival_time: vec![f64::NAN; num_queries],
+                slot_base,
+                slot_group,
+                group_replicas: resources.iter().map(|r| r.replicas()).collect(),
+                slot_capacity,
+                slot_speed,
+                free,
+                remaining_work: vec![0.0; num_slots],
+                stage_groups: spec.stages().iter().map(|s| s.resource).collect(),
+                chosen: vec![u32::MAX; num_queries * num_stages],
+                waiting: vec![VecDeque::new(); num_slots],
+                queued: vec![0; num_slots],
+                in_flight: vec![0; num_slots],
+                armed: vec![None; num_slots],
+                timer_gen: vec![0; num_slots],
+                busy_unit_seconds: vec![0.0; num_slots],
+                router_states: (0..resources.len() as u64)
+                    .map(|g| RouterState::new(seed ^ g.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+                    .collect(),
+                batches: Vec::new(),
+                free_batches: Vec::new(),
+                query_pool: Vec::new(),
+                finish_time: vec![f64::NAN; num_queries],
+                completed: 0,
+                last_time: 0.0,
+                launches: 0,
+                served: 0,
+                next_inject: 0,
+                think_time_s: None,
+                work_conserving: policy.admit_on_arrival(),
+                schedule_len: 0,
+                lazy_arrivals: false,
+            };
+
+            // Record the open-loop schedule up front; a closed loop starts
+            // only its client population and derives the rest from
+            // completions. Schedule arrival `q` always carries heap seq `q`
+            // (the counter resumes at `initial`), so staging events lazily
+            // or eagerly yields the same (time, seq) total order — the heap
+            // just stays small in the lazy case.
+            let initial = match arrivals.closed_loop() {
+                Some(cl) => {
+                    sim.think_time_s = Some(cl.think_time_s);
+                    cl.clients.min(num_queries)
+                }
+                None => num_queries,
+            };
+            let times = arrivals.times(initial, seed);
+            for (query, &t) in times.iter().enumerate() {
+                sim.arrival_time[query] = t;
+            }
+            sim.seq = initial as u64;
+            sim.schedule_len = initial;
+            sim.lazy_arrivals = times.windows(2).all(|w| w[0] <= w[1]);
+            if sim.lazy_arrivals {
+                if let Some(&t0) = times.first() {
+                    sim.heap.push(Event {
+                        time: t0,
+                        seq: 0,
+                        kind: EventKind::Arrive { query: 0, stage: 0 },
+                    });
+                }
+            } else {
+                for (query, &t) in times.iter().enumerate() {
+                    sim.heap.push(Event {
+                        time: t,
+                        seq: query as u64,
+                        kind: EventKind::Arrive { query, stage: 0 },
+                    });
+                }
+            }
+            sim.next_inject = initial;
+            sim
+        }
+
+        fn inject(&mut self, query: usize, t: f64) {
+            self.arrival_time[query] = t;
+            self.heap.push(Event {
+                time: t,
+                seq: self.seq,
+                kind: EventKind::Arrive { query, stage: 0 },
+            });
+            self.seq += 1;
+        }
+
+        /// Routes `query` arriving at `stage_idx` to one replica slot of
+        /// the stage's resource group, recording the choice in the query's
+        /// routing history (the [`RoutingCtx`] affinity signal).
+        ///
+        /// Replicated groups go through [`Router::route_indexed`], probing
+        /// the incrementally-maintained `queued`/`in_flight`/`free` counter
+        /// arrays and the `remaining_work`/`slot_speed` estimator arrays
+        /// directly — no snapshot materialization per decision.
+        fn route(&mut self, query: usize, stage_idx: usize) -> usize {
+            let group = self.stages[stage_idx].resource;
+            let base = self.slot_base[group];
+            let replicas = self.group_replicas[group];
+            let num_stages = self.stages.len();
+            let pick = if replicas == 1 {
+                0
+            } else {
+                debug_assert!(
+                    (base..base + replicas).all(|s| self.queued[s] == self.waiting[s].len())
+                );
+                debug_assert!((base..base + replicas).all(|s| {
+                    (self.remaining_work[s] - self.scan_remaining_work(s)).abs() < 1e-6
+                }));
+                let loads = ReplicaLoads::new(
+                    &self.queued[base..base + replicas],
+                    &self.in_flight[base..base + replicas],
+                    &self.free[base..base + replicas],
+                )
+                .with_estimates(
+                    &self.remaining_work[base..base + replicas],
+                    &self.slot_speed[base..base + replicas],
+                );
+                let history = query * num_stages;
+                let ctx = RoutingCtx::new(
+                    query,
+                    stage_idx,
+                    group,
+                    &self.chosen[history..history + stage_idx],
+                    &self.stage_groups,
+                );
+                let pick = self
+                    .router
+                    .route_indexed(&loads, &ctx, &mut self.router_states[group]);
+                assert!(
+                    pick < replicas,
+                    "router returned replica {pick} of {replicas}"
+                );
+                pick
+            };
+            self.chosen[query * num_stages + stage_idx] = pick as u32;
+            base + pick
+        }
+
+        /// Recomputes one slot's remaining expected work from scratch by
+        /// scanning its queue and the live batch table — the ground truth
+        /// the incrementally-maintained `remaining_work` counter is checked
+        /// against under the test profile (a drift beyond float noise means
+        /// an update path was missed). Only `debug_assert!` calls it, so
+        /// release builds compile it out with the assertion.
+        fn scan_remaining_work(&self, slot: usize) -> f64 {
+            let queued: f64 = self.waiting[slot]
+                .iter()
+                .map(|e| self.stages[e.stage].service_time)
+                .sum();
+            let in_service: f64 = self
+                .batches
+                .iter()
+                .enumerate()
+                .filter(|(idx, b)| b.slot == slot && !self.free_batches.contains(idx))
+                .map(|(_, b)| self.stages[b.stage].batch_service_time(b.queries.len()))
+                .sum();
+            queued + in_service
+        }
+
+        /// Launches a batch of same-stage entries on `slot` at `now`. The
+        /// batch's baseline service time is divided by the slot's replica
+        /// speed (1.0 on uniform fleets, leaving service times bit-exact).
+        fn launch(&mut self, now: f64, stage_idx: usize, slot: usize, queries: BatchQueries) {
+            let stage = &self.stages[stage_idx];
+            debug_assert_eq!(self.slot_group[slot], stage.resource);
+            debug_assert!(self.free[slot] >= stage.units);
+            debug_assert!(queries.len() >= 1 && queries.len() <= stage.batch.max_batch);
+            self.free[slot] -= stage.units;
+            self.in_flight[slot] += queries.len();
+            let base_service = stage.batch_service_time(queries.len());
+            self.remaining_work[slot] += base_service;
+            let service = base_service / self.slot_speed[slot];
+            self.busy_unit_seconds[slot] += stage.units as f64 * service;
+            self.launches += 1;
+            self.served += queries.len() as u64;
+            let entry = Batch {
+                stage: stage_idx,
+                slot,
+                queries,
+            };
+            // Recycle a completed batch slot when one is free; the table
+            // stays sized to the in-flight high-water mark.
+            let batch = match self.free_batches.pop() {
+                Some(idx) => {
+                    self.batches[idx] = entry;
+                    idx
+                }
+                None => {
+                    self.batches.push(entry);
+                    self.batches.len() - 1
+                }
+            };
+            self.heap.push(Event {
+                time: now + service,
+                seq: self.seq,
+                kind: EventKind::Complete { batch },
+            });
+            self.seq += 1;
+        }
+
+        /// Inserts an entry into its slot queue at its (priority, seq)
+        /// position. Priorities are static per entry, so the queue stays
+        /// sorted; FIFO-ordered policies always append in O(1).
+        fn enqueue(&mut self, slot: usize, entry: QueueEntry) {
+            self.remaining_work[slot] += self.stages[entry.stage].service_time;
+            let p = self.policy.priority(&entry);
+            let queue = &mut self.waiting[slot];
+            let mut at = queue.len();
+            while at > 0 {
+                let prev = self.policy.priority(&queue[at - 1]);
+                // Equal priorities keep admission order (seq is increasing).
+                if prev.partial_cmp(&p) != Some(Ordering::Greater) {
+                    break;
+                }
+                at -= 1;
+            }
+            queue.insert(at, entry);
+            self.queued[slot] += 1;
+        }
+
+        /// Gathers up to `limit` waiting same-stage entries of one slot in
+        /// queue (priority) order into `out`, removing them in one
+        /// compaction pass (no per-launch allocation, no quadratic
+        /// `remove` shifting; survivors keep their order).
+        fn take_same_stage_into(
+            &mut self,
+            slot: usize,
+            stage: usize,
+            limit: usize,
+            out: &mut Vec<usize>,
+        ) {
+            let queue = &mut self.waiting[slot];
+            let mut taken = 0usize;
+            let mut write = 0usize;
+            for read in 0..queue.len() {
+                if taken < limit && queue[read].stage == stage {
+                    out.push(queue[read].query);
+                    taken += 1;
+                } else {
+                    if write != read {
+                        queue[write] = queue[read];
+                    }
+                    write += 1;
+                }
+            }
+            queue.truncate(write);
+            self.queued[slot] -= taken;
+            // Mirror enqueue's per-entry additions one by one so the
+            // counter drifts no differently than the updates it reverses.
+            for _ in 0..taken {
+                self.remaining_work[slot] -= self.stages[stage].service_time;
+            }
+        }
+
+        /// Removes and returns the first waiting entry of `stage` — the
+        /// single-query form of
+        /// [`take_same_stage_into`](Self::take_same_stage_into).
+        fn take_one_same_stage(&mut self, slot: usize, stage: usize) -> Option<usize> {
+            let queue = &mut self.waiting[slot];
+            let at = queue.iter().position(|e| e.stage == stage)?;
+            let taken = queue.remove(at).map(|e| e.query);
+            self.queued[slot] -= 1;
+            self.remaining_work[slot] -= self.stages[stage].service_time;
+            taken
+        }
+
+        /// Pops a recycled batch-query buffer (or a fresh one on the cold
+        /// path before the pool warms up).
+        fn pooled_buffer(&mut self) -> Vec<usize> {
+            self.query_pool.pop().unwrap_or_default()
+        }
+
+        /// The waiting entry with the lowest policy priority on `slot`.
+        fn head_of(&self, slot: usize) -> Option<QueueEntry> {
+            self.waiting[slot].front().copied()
+        }
+
+        /// Runs the scheduling loop for one replica slot: launch batches
+        /// while the policy releases them and units are free. Head-of-line
+        /// blocking matches the pre-batching simulator: only the
+        /// priority-minimal entry is considered for launch.
+        fn dispatch(&mut self, now: f64, slot: usize) {
+            loop {
+                let Some(head) = self.head_of(slot) else {
+                    return;
+                };
+                let stage = &self.stages[head.stage];
+                if self.free[slot] < stage.units {
+                    return;
+                }
+                let mut ready = 0usize;
+                for e in self.waiting[slot].iter() {
+                    if e.stage == head.stage {
+                        ready += 1;
+                        if ready == stage.batch.max_batch {
+                            break;
+                        }
+                    }
+                }
+                match self
+                    .policy
+                    .release(now, &head, ready, stage.batch.max_batch)
+                {
+                    Release::Now => {
+                        let queries = self.take_batch(slot, head.stage, ready);
+                        self.launch(now, head.stage, slot, queries);
+                    }
+                    Release::At(t) if t > now => {
+                        // Arm at most one live recheck per slot: arming an
+                        // earlier deadline bumps the generation, lazily
+                        // cancelling the superseded event still in the heap.
+                        if self.armed[slot].is_none_or(|armed| t < armed) {
+                            self.armed[slot] = Some(t);
+                            self.timer_gen[slot] += 1;
+                            self.heap.push(Event {
+                                time: t,
+                                seq: self.seq,
+                                kind: EventKind::Recheck {
+                                    slot,
+                                    gen: self.timer_gen[slot],
+                                },
+                            });
+                            self.seq += 1;
+                        }
+                        return;
+                    }
+                    Release::At(_) => {
+                        // A hold "until" a past instant is a launch.
+                        let queries = self.take_batch(slot, head.stage, ready);
+                        self.launch(now, head.stage, slot, queries);
+                    }
+                }
+            }
+        }
+
+        /// Removes `ready` same-stage entries of `slot` as a
+        /// [`BatchQueries`].
+        fn take_batch(&mut self, slot: usize, stage: usize, ready: usize) -> BatchQueries {
+            if ready == 1 {
+                BatchQueries::One(
+                    self.take_one_same_stage(slot, stage)
+                        .expect("ready entry exists"),
+                )
+            } else {
+                let mut buf = self.pooled_buffer();
+                self.take_same_stage_into(slot, stage, ready, &mut buf);
+                BatchQueries::Many(buf)
+            }
+        }
+
+        fn on_arrive(&mut self, now: f64, query: usize, stage_idx: usize) {
+            let slot = self.route(query, stage_idx);
+            let stage = &self.stages[stage_idx];
+            let entry = QueueEntry {
+                query,
+                stage: stage_idx,
+                arrived: self.arrival_time[query],
+                enqueued: now,
+                seq: self.seq,
+            };
+            self.seq += 1;
+            if self.work_conserving && self.free[slot] >= stage.units {
+                // Work-conserving admission: the arriving query starts
+                // immediately (exactly the pre-batching behavior), pulling
+                // waiting same-stage work on the same replica into its
+                // batch when allowed. The arriving query leads the batch.
+                let queries = if stage.batch.max_batch > 1 {
+                    let mut buf = self.pooled_buffer();
+                    buf.push(query);
+                    self.take_same_stage_into(slot, stage_idx, stage.batch.max_batch - 1, &mut buf);
+                    if buf.len() == 1 {
+                        buf.clear();
+                        self.query_pool.push(buf);
+                        BatchQueries::One(query)
+                    } else {
+                        BatchQueries::Many(buf)
+                    }
+                } else {
+                    BatchQueries::One(query)
+                };
+                self.launch(now, stage_idx, slot, queries);
+            } else {
+                self.enqueue(slot, entry);
+                // Work-conserving policies launch on admission or
+                // completion only: if this entry had fit it would have been
+                // admitted above, and the head cannot have started fitting
+                // since the last completion — dispatching here would scan
+                // the queue for nothing. Batch-forming policies need the
+                // dispatch to arm their window timer (or launch a batch the
+                // new entry just filled).
+                if !self.work_conserving {
+                    self.dispatch(now, slot);
+                }
+            }
+        }
+
+        fn on_complete(&mut self, now: f64, batch: usize) {
+            let Batch {
+                stage,
+                slot,
+                queries,
+            } = std::mem::replace(
+                &mut self.batches[batch],
+                Batch {
+                    stage: 0,
+                    slot: 0,
+                    queries: BatchQueries::One(0),
+                },
+            );
+            self.free_batches.push(batch);
+            let s = &self.stages[stage];
+            self.free[slot] += s.units;
+            self.in_flight[slot] -= queries.len();
+            self.remaining_work[slot] -= s.batch_service_time(queries.len());
+            // Conservation invariant (active under the test profile): a
+            // release can never return more units than the replica owns.
+            debug_assert!(self.free[slot] <= self.slot_capacity[slot]);
+
+            match queries {
+                BatchQueries::One(query) => self.route_onward(now, query, stage),
+                BatchQueries::Many(mut queries) => {
+                    for &query in queries.iter() {
+                        self.route_onward(now, query, stage);
+                    }
+                    queries.clear();
+                    self.query_pool.push(queries);
+                }
+            }
+            self.dispatch(now, slot);
+        }
+
+        /// Sends a query that finished `stage` to the next stage, or
+        /// records its completion (re-arming its closed-loop client).
+        fn route_onward(&mut self, now: f64, query: usize, stage: usize) {
+            if stage + 1 < self.stages.len() {
+                self.heap.push(Event {
+                    time: now,
+                    seq: self.seq,
+                    kind: EventKind::Arrive {
+                        query,
+                        stage: stage + 1,
+                    },
+                });
+                self.seq += 1;
+            } else {
+                self.finish_time[query] = now;
+                self.completed += 1;
+                // Closed loop: this completion frees a client, which
+                // thinks and then issues the next query.
+                if let Some(think) = self.think_time_s {
+                    if self.next_inject < self.num_queries {
+                        let q = self.next_inject;
+                        self.next_inject += 1;
+                        self.inject(q, now + think);
+                    }
+                }
+            }
+        }
+
+        fn run(mut self) -> SimResult {
+            while let Some(event) = self.heap.pop() {
+                let now = event.time;
+                match event.kind {
+                    EventKind::Arrive { query, stage } => {
+                        self.last_time = now;
+                        // A lazily-staged schedule arrival stages its
+                        // successor (closed-loop re-injections sit past
+                        // `schedule_len` and never match).
+                        if self.lazy_arrivals && stage == 0 && query + 1 < self.schedule_len {
+                            let next = query + 1;
+                            self.heap.push(Event {
+                                time: self.arrival_time[next],
+                                seq: next as u64,
+                                kind: EventKind::Arrive {
+                                    query: next,
+                                    stage: 0,
+                                },
+                            });
+                        }
+                        self.on_arrive(now, query, stage);
+                    }
+                    EventKind::Complete { batch } => {
+                        self.last_time = now;
+                        self.on_complete(now, batch);
+                    }
+                    EventKind::Recheck { slot, gen } => {
+                        // Lazy cancellation: only the latest-armed timer of
+                        // a slot dispatches. A superseded timer can never
+                        // launch anything a live recheck, arrival, or
+                        // completion would not have launched first (the
+                        // armed time is always at or before the head
+                        // entry's hold deadline), so skipping it changes
+                        // nothing but the wasted queue scan.
+                        if gen == self.timer_gen[slot] {
+                            self.armed[slot] = None;
+                            self.dispatch(now, slot);
+                        }
+                    }
+                }
+            }
+            self.finish()
+        }
+
+        fn finish(self) -> SimResult {
+            // Collect post-warmup latencies in query order.
+            let warmup = ((self.num_queries as f64) * WARMUP_FRACTION) as usize;
+            let mut latency = LatencyStats::with_capacity(self.num_queries.saturating_sub(warmup));
+            let mut throughput = ThroughputMeter::new();
+            let mut arrival_span = 0.0f64;
+            for (query, (&arrive, &finish)) in self
+                .arrival_time
+                .iter()
+                .zip(self.finish_time.iter())
+                .enumerate()
+            {
+                if arrive.is_finite() {
+                    arrival_span = arrival_span.max(arrive);
+                }
+                if finish.is_nan() {
+                    continue; // never completed (cannot happen with unbounded queues)
+                }
+                throughput.record_completion(Duration::from_secs_f64(finish));
+                if query >= warmup {
+                    latency.record_secs(finish - arrive);
+                }
+            }
+
+            let span = self.last_time.max(f64::MIN_POSITIVE);
+            // Utilization per resource group aggregates across its replicas
+            // (identical to the per-pool number when replicas = 1); the
+            // per-replica breakdown is reported only for replicated
+            // pipelines so single-replica results stay bit-identical to the
+            // pre-cluster simulator.
+            let resources = self.spec.resources();
+            let utilization: Vec<f64> = resources
+                .iter()
+                .enumerate()
+                .map(|(g, r)| {
+                    let base = self.slot_base[g];
+                    let busy: f64 = self.busy_unit_seconds[base..base + r.replicas()]
+                        .iter()
+                        .sum();
+                    (busy / (r.total_units() as f64 * span)).min(1.0)
+                })
+                .collect();
+            let replica_utilization: Vec<Vec<f64>> = if self.spec.has_replication() {
+                resources
+                    .iter()
+                    .enumerate()
+                    .map(|(g, r)| {
+                        let base = self.slot_base[g];
+                        self.busy_unit_seconds[base..base + r.replicas()]
+                            .iter()
+                            .zip(&self.slot_capacity[base..base + r.replicas()])
+                            .map(|(&busy, &capacity)| (busy / (capacity as f64 * span)).min(1.0))
+                            .collect()
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+
+            // Saturation: open-loop offered load beyond the fully-batched
+            // analytic capacity (identical to `max_qps()` for per-query
+            // stages), or the drain time greatly exceeds the arrival span.
+            // Closed loops self-regulate, so only the backlog test applies.
+            let offered = self.arrivals.mean_rate();
+            let rate_overload =
+                self.think_time_s.is_none() && offered > self.spec.max_qps_at_full_batch();
+            let saturated =
+                rate_overload || self.last_time > arrival_span * 1.5 + self.spec.service_floor();
+
+            let mean_batch = if self.launches > 0 {
+                self.served as f64 / self.launches as f64
+            } else {
+                1.0
+            };
+            SimResult::new(
+                latency,
+                throughput.qps(),
+                self.completed,
+                saturated,
+                utilization,
+            )
+            .with_mean_batch(mean_batch)
+            .with_replica_utilization(replica_utilization)
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -1929,5 +2757,129 @@ proptest! {
             "max latency {} vs bound {bound}",
             out.latency.max().as_secs_f64()
         );
+    }
+
+    // --------------------------------------------------------------
+    // qsim v6: replica lifecycle, failure injection, autoscaling
+    // --------------------------------------------------------------
+
+    #[test]
+    fn lifecycle_free_loop_matches_the_frozen_pr5_loop(
+        fast in 1usize..4,
+        slow in 0usize..3,
+        speed_pct in 20u64..100,
+        capacity in 1usize..3,
+        max_batch in 1usize..8,
+        policy_idx in 0usize..3,
+        router_idx in 0usize..6,
+        queries in 100usize..600,
+        seed in 0u64..300,
+    ) {
+        // The lifecycle subsystem (slot availability states, masked
+        // routing, windowed telemetry, shed/drop accounting) must be
+        // invisible when no lifecycle events exist: `serve_routed` and
+        // `serve_lifecycle` with an empty schedule both reproduce the
+        // frozen PR-5 loop bit-for-bit across the full router x policy
+        // x fleet x batching matrix, heterogeneous fleets included.
+        let mut profiles = vec![ReplicaProfile::baseline(capacity); fast];
+        profiles.extend(std::iter::repeat_n(
+            ReplicaProfile::new(capacity, speed_pct as f64 / 100.0),
+            slow,
+        ));
+        let mut spec = PipelineSpec::new(vec![ReplicaGroup::heterogeneous("fleet", profiles)]);
+        for (i, s) in [0.004f64, 0.002].into_iter().enumerate() {
+            spec = spec
+                .with_stage(
+                    StageSpec::new(format!("s{i}"), 0, 1, s)
+                        .with_batch(BatchModel::new(max_batch, 0.25)),
+                )
+                .unwrap();
+        }
+        let policy = policy_for(policy_idx);
+        let router = router_for_v4(router_idx);
+        let arrivals = MmppArrivals::new(100.0, 800.0, 0.2, 0.1);
+        let frozen = reference_pr5::serve_routed(
+            &spec,
+            &arrivals,
+            policy.as_ref(),
+            router.as_ref(),
+            queries,
+            seed,
+        );
+        let routed = spec.serve_routed(&arrivals, policy.as_ref(), router.as_ref(), queries, seed);
+        prop_assert_eq!(&frozen, &routed);
+        let lifecycle = spec
+            .serve_lifecycle(
+                &arrivals,
+                policy.as_ref(),
+                router.as_ref(),
+                queries,
+                seed,
+                &LifecycleConfig::new(),
+            )
+            .unwrap();
+        prop_assert_eq!(&routed, &lifecycle);
+    }
+
+    #[test]
+    fn lifecycle_failures_conserve_every_query(
+        replicas in 2usize..5,
+        capacity in 1usize..3,
+        max_batch in 1usize..6,
+        policy_idx in 0usize..3,
+        router_idx in 0usize..6,
+        fail_ms in proptest::collection::vec(50u64..1500, 1..4),
+        fail_targets in proptest::collection::vec(0usize..8, 1..4),
+        shed_policy in proptest::prelude::any::<bool>(),
+        queries in 100usize..400,
+        seed in 0u64..100,
+    ) {
+        // Random fail-stop schedules (each failed replica revived after
+        // the last failure, so Requeue always has a way forward): every
+        // injected query is accounted for exactly once -- completed,
+        // shed, or dropped -- and under Requeue nothing is ever lost.
+        // The simulator's debug assertions (unit conservation, counter
+        // drift) are live here too.
+        let mut fails: Vec<(f64, usize)> = fail_ms
+            .iter()
+            .zip(fail_targets.iter().cycle())
+            .map(|(&ms, &r)| (ms as f64 / 1e3, r % replicas))
+            .collect();
+        fails.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let last = fails.last().unwrap().0;
+        let mut schedule = LifecycleSchedule::empty();
+        for &(t, r) in &fails {
+            schedule = schedule.with_event(LifecycleEvent::fail_stop(t, r));
+        }
+        let mut revived: Vec<usize> = fails.iter().map(|&(_, r)| r).collect();
+        revived.sort_unstable();
+        revived.dedup();
+        for (i, &r) in revived.iter().enumerate() {
+            schedule =
+                schedule.with_event(LifecycleEvent::recover(last + 0.01 * (i as f64 + 1.0), r));
+        }
+        let spec = replicated_pipeline(replicas, capacity, vec![0.004, 0.002], max_batch)
+            .with_group_lifecycle(0, schedule);
+        let policy = policy_for(policy_idx);
+        let router = router_for_v4(router_idx);
+        let arrivals = MmppArrivals::new(60.0, 500.0, 0.2, 0.1);
+        let cfg = if shed_policy {
+            LifecycleConfig::new().with_failure_policy(FailurePolicy::Shed)
+        } else {
+            LifecycleConfig::new()
+        };
+        let out = spec
+            .serve_lifecycle(&arrivals, policy.as_ref(), router.as_ref(), queries, seed, &cfg)
+            .unwrap();
+        prop_assert_eq!(out.completed + out.shed + out.dropped, queries);
+        if !shed_policy {
+            prop_assert_eq!(out.completed, queries);
+            prop_assert_eq!(out.shed + out.dropped, 0);
+        }
+        // Failure replay is reproducible like everything else.
+        let again = spec
+            .serve_lifecycle(&arrivals, policy.as_ref(), router.as_ref(), queries, seed, &cfg)
+            .unwrap();
+        prop_assert_eq!(out, again);
     }
 }
