@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use recpipe_core::{Backend, Scheduler, SchedulerSettings, SweepBudget};
-use recpipe_data::{DiurnalArrivals, MmppArrivals, PoissonArrivals};
+use recpipe_data::{DiurnalArrivals, MmppArrivals, PoissonArrivals, TraceArrivals};
 use recpipe_hwsim::{CpuModel, PcieModel};
 use recpipe_qsim::{
     BatchModel, BatchWindow, ExpectedWait, Fifo, JoinShortestQueue, LeastWorkLeft, LifecycleConfig,
@@ -117,6 +117,52 @@ fn bench_qsim_cluster(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_qsim_scale(c: &mut Criterion) {
+    // The v7 scale path: a 10M-query recorded-trace replay through a
+    // two-backend pipeline, sharded one thread per stage — streamed
+    // arrivals, gated estimator bookkeeping, completion-time recording
+    // into the folded histogram. This is the headline number the
+    // sharded loop exists for; bench_smoke holds it to a single-digit
+    // machine-normalized second budget.
+    let filter = ReplicaGroup::heterogeneous(
+        "filter",
+        vec![
+            ReplicaProfile::baseline(1),
+            ReplicaProfile::baseline(1),
+            ReplicaProfile::new(1, 0.6),
+            ReplicaProfile::new(1, 0.6),
+        ],
+    );
+    let rank = ReplicaGroup::replicated("rank", 1, 4);
+    let spec = PipelineSpec::new(vec![filter, rank])
+        .with_stage(StageSpec::new("filter", 0, 1, 0.002).with_batch(BatchModel::new(8, 0.25)))
+        .unwrap()
+        .with_stage(StageSpec::new("rank", 1, 1, 0.001).with_batch(BatchModel::new(8, 0.25)))
+        .unwrap();
+    // A deterministic synthetic "recorded" day of traffic: 100k
+    // arrivals with pseudo-random gaps, tiled by the replay.
+    let mut z = 42u64;
+    let mut t = 0.0f64;
+    let times: Vec<f64> = (0..100_000)
+        .map(|_| {
+            z = z
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            t += ((z >> 33) as f64 / (1u64 << 31) as f64) * 2e-3;
+            t
+        })
+        .collect();
+    let trace = TraceArrivals::new(times).with_rate(0.7 * spec.max_qps_at_full_batch());
+
+    let mut group = c.benchmark_group("qsim_scale");
+    group.bench_function("trace_replay_10M", |b| {
+        b.iter(|| {
+            black_box(spec.serve_routed_sharded(&trace, &Fifo, &RoundRobin, 10_000_000, 7, 0))
+        })
+    });
+    group.finish();
+}
+
 fn bench_qsim_lifecycle(c: &mut Criterion) {
     // The lifecycle-aware loop: a diurnal rate swing with a fail-stop
     // and recovery mid-climb, windowed telemetry on — the per-event
@@ -193,6 +239,7 @@ criterion_group!(
     bench_qsim,
     bench_qsim_v2,
     bench_qsim_cluster,
+    bench_qsim_scale,
     bench_qsim_lifecycle,
     bench_cluster_sweep
 );

@@ -1,6 +1,8 @@
-//! CI bench smoke check: re-times the four hottest queueing-simulator
+//! CI bench smoke check: re-times the hottest queueing-simulator
 //! benches and fails (non-zero exit) if any regressed more than 2x
-//! against the checked-in `BENCH_pr6.json` baseline.
+//! against the checked-in `BENCH_pr7.json` baseline, and holds the
+//! 10M-query sharded trace replay to its single-digit-second
+//! (machine-normalized) budget.
 //!
 //! Baselines were recorded on one developer machine, while CI runs on
 //! shared runners with very different single-core throughput — so
@@ -22,14 +24,20 @@
 
 use std::time::{Duration, Instant};
 
-use recpipe_data::{DiurnalArrivals, PoissonArrivals};
+use recpipe_data::{DiurnalArrivals, PoissonArrivals, TraceArrivals};
 use recpipe_qsim::{
-    ExpectedWait, Fifo, JoinShortestQueue, LifecycleConfig, LifecycleEvent, LifecycleSchedule,
-    PipelineSpec, ReplicaGroup, ReplicaProfile, ResourceSpec, StageSpec,
+    BatchModel, ExpectedWait, Fifo, JoinShortestQueue, LifecycleConfig, LifecycleEvent,
+    LifecycleSchedule, PipelineSpec, ReplicaGroup, ReplicaProfile, ResourceSpec, RoundRobin,
+    StageSpec,
 };
 
 /// Largest tolerated machine-normalized measured/baseline ratio.
 const MAX_REGRESSION: f64 = 2.0;
+
+/// Absolute machine-normalized wall-clock budget for the one-shot
+/// 10M-query sharded trace replay: single-digit seconds on the
+/// baseline-recording machine.
+const SCALE_BUDGET_SECONDS: f64 = 10.0;
 
 /// Bounds on the calibration-derived machine speed factor: scaling is
 /// allowed to absorb up to a 4x-slower or 4x-faster machine, beyond
@@ -146,8 +154,41 @@ fn diurnal_failures_fleet() -> PipelineSpec {
         .expect("valid stage")
 }
 
+/// Mirrors benches/queueing_sim.rs `qsim_scale/trace_replay_10M`: the
+/// sharded 10M-query recorded-trace replay.
+fn scale_spec_and_trace() -> (PipelineSpec, TraceArrivals) {
+    let filter = ReplicaGroup::heterogeneous(
+        "filter",
+        vec![
+            ReplicaProfile::baseline(1),
+            ReplicaProfile::baseline(1),
+            ReplicaProfile::new(1, 0.6),
+            ReplicaProfile::new(1, 0.6),
+        ],
+    );
+    let rank = ReplicaGroup::replicated("rank", 1, 4);
+    let spec = PipelineSpec::new(vec![filter, rank])
+        .with_stage(StageSpec::new("filter", 0, 1, 0.002).with_batch(BatchModel::new(8, 0.25)))
+        .expect("valid stage")
+        .with_stage(StageSpec::new("rank", 1, 1, 0.001).with_batch(BatchModel::new(8, 0.25)))
+        .expect("valid stage");
+    let mut z = 42u64;
+    let mut t = 0.0f64;
+    let times: Vec<f64> = (0..100_000)
+        .map(|_| {
+            z = z
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            t += ((z >> 33) as f64 / (1u64 << 31) as f64) * 2e-3;
+            t
+        })
+        .collect();
+    let rate = 0.7 * spec.max_qps_at_full_batch();
+    (spec, TraceArrivals::new(times).with_rate(rate))
+}
+
 fn main() {
-    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json");
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json");
     let json = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
 
@@ -242,10 +283,37 @@ fn main() {
              (normalized x{ratio:.2}) {verdict}"
         );
     }
+    // Scale check, measured once (a full repetition loop would dwarf
+    // the rest of the smoke): the 10M-query sharded replay must stay
+    // within the regression envelope of its baseline AND inside the
+    // absolute single-digit-second budget, both machine-normalized.
+    let scale_name = "qsim_scale/trace_replay_10M";
+    let scale_baseline = baseline_ns_per_iter(&json, scale_name)
+        .unwrap_or_else(|| panic!("baseline for {scale_name} missing from {baseline_path}"));
+    let (spec, trace) = scale_spec_and_trace();
+    let start = Instant::now();
+    std::hint::black_box(spec.serve_routed_sharded(&trace, &Fifo, &RoundRobin, 10_000_000, 7, 0));
+    let measured = start.elapsed().as_nanos() as f64;
+    let ratio = measured / (scale_baseline * machine_factor);
+    let normalized_seconds = measured / machine_factor / 1e9;
+    let over_budget = normalized_seconds >= SCALE_BUDGET_SECONDS;
+    let verdict = if ratio > MAX_REGRESSION || over_budget {
+        failed = true;
+        "REGRESSED"
+    } else {
+        "ok"
+    };
+    println!(
+        "{scale_name}: {measured:.0} ns vs baseline {scale_baseline:.0} \
+         (normalized x{ratio:.2}, {normalized_seconds:.2}s of {SCALE_BUDGET_SECONDS}s budget) \
+         {verdict}"
+    );
+
     if failed {
         eprintln!(
             "bench smoke failed: a hot-loop bench regressed more than {MAX_REGRESSION}x \
-             after machine normalization"
+             after machine normalization, or the 10M replay left its \
+             {SCALE_BUDGET_SECONDS}s budget"
         );
         std::process::exit(1);
     }

@@ -641,6 +641,31 @@ impl Engine {
             .serve_routed(arrivals, policy, router, queries, self.seed)
     }
 
+    /// Runs the routed simulation sharded by pipeline stage — identical
+    /// results to [`serve_routed`](Self::serve_routed) at a fraction of
+    /// the wall clock on multi-stage specs with per-stage backends.
+    ///
+    /// `workers` follows the engine convention ([`worker_threads`]):
+    /// `None`/`Some(0)` use one thread per available core (capped at
+    /// one per stage), explicit counts are honored, and `Some(1)` runs
+    /// sequentially. Specs the per-stage decomposition cannot handle
+    /// (shared backends across stages, single-stage pipelines,
+    /// closed-loop arrivals) silently fall back to the serial loop.
+    ///
+    /// [`worker_threads`]: crate::worker_threads
+    pub fn serve_sharded(
+        &self,
+        arrivals: &(dyn recpipe_data::ArrivalProcess + Sync),
+        policy: &(dyn recpipe_qsim::SchedulingPolicy + Sync),
+        router: &(dyn recpipe_qsim::Router + Sync),
+        queries: usize,
+        workers: Option<usize>,
+    ) -> SimResult {
+        let workers = crate::worker_threads(workers);
+        self.spec
+            .serve_routed_sharded(arrivals, policy, router, queries, self.seed, workers)
+    }
+
     /// Runs the closed-loop autoscaled simulation: a [`ScalingPolicy`]
     /// is consulted at every telemetry window boundary and the scaled
     /// group's fleet is resized through warm-up and drains — the

@@ -65,6 +65,20 @@ pub trait ArrivalProcess: std::fmt::Debug + Send + Sync {
     fn closed_loop(&self) -> Option<ClosedLoopSpec> {
         None
     }
+
+    /// A lazy, unbounded stream of the schedule, or `None` when the
+    /// process has no streaming form.
+    ///
+    /// **Contract:** when `Some`, the iterator must yield *exactly* the
+    /// values `times(n, seed)` would return, in order, for every prefix
+    /// length `n` — consumers (the million-query simulator path) rely
+    /// on bit-for-bit agreement so that streaming and materialized
+    /// replays produce identical results. The default is `None`; the
+    /// simulator then falls back to materializing the schedule.
+    fn stream(&self, seed: u64) -> Option<Box<dyn Iterator<Item = f64> + Send + '_>> {
+        let _ = seed;
+        None
+    }
 }
 
 /// Parameters of a closed-loop client population.
@@ -112,6 +126,12 @@ impl ArrivalProcess for PoissonArrivals {
         // Delegates to the iterator so `simulate()`'s historical
         // schedules are reproduced bit-for-bit.
         PoissonProcess::new(self.rate_qps, seed).take(n).collect()
+    }
+
+    fn stream(&self, seed: u64) -> Option<Box<dyn Iterator<Item = f64> + Send + '_>> {
+        // The same iterator `times` collects from, so the streaming
+        // contract holds by construction.
+        Some(Box::new(PoissonProcess::new(self.rate_qps, seed)))
     }
 }
 
@@ -165,37 +185,65 @@ impl ArrivalProcess for MmppArrivals {
     }
 
     fn times(&self, n: usize, seed: u64) -> Vec<f64> {
+        // Delegates to the stream so both forms agree bit-for-bit.
+        self.stream(seed)
+            .expect("MMPP always streams")
+            .take(n)
+            .collect()
+    }
+
+    fn stream(&self, seed: u64) -> Option<Box<dyn Iterator<Item = f64> + Send + '_>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut out = Vec::with_capacity(n);
-        let mut now = 0.0f64;
-        let mut surge = false;
         // End of the current state's dwell period.
-        let mut state_end = Exponential::new(1.0 / self.dwell_quiet_s).sample(&mut rng);
-        while out.len() < n {
-            let rate = if surge {
-                self.rate_surge
+        let state_end = Exponential::new(1.0 / self.dwell_quiet_s).sample(&mut rng);
+        Some(Box::new(MmppStream {
+            process: *self,
+            rng,
+            now: 0.0,
+            surge: false,
+            state_end,
+        }))
+    }
+}
+
+/// Streaming form of [`MmppArrivals`]: the same state machine the
+/// batch schedule uses, advanced one arrival per `next()`.
+#[derive(Debug)]
+struct MmppStream {
+    process: MmppArrivals,
+    rng: StdRng,
+    now: f64,
+    surge: bool,
+    state_end: f64,
+}
+
+impl Iterator for MmppStream {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        loop {
+            let rate = if self.surge {
+                self.process.rate_surge
             } else {
-                self.rate_quiet
+                self.process.rate_quiet
             };
-            let gap = Exponential::new(rate).sample(&mut rng);
-            if now + gap <= state_end {
-                now += gap;
-                out.push(now);
-            } else {
-                // The gap straddles a state switch: discard it
-                // (memorylessness makes redrawing in the new state
-                // exact) and advance to the switch point.
-                now = state_end;
-                surge = !surge;
-                let dwell = if surge {
-                    self.dwell_surge_s
-                } else {
-                    self.dwell_quiet_s
-                };
-                state_end = now + Exponential::new(1.0 / dwell).sample(&mut rng);
+            let gap = Exponential::new(rate).sample(&mut self.rng);
+            if self.now + gap <= self.state_end {
+                self.now += gap;
+                return Some(self.now);
             }
+            // The gap straddles a state switch: discard it
+            // (memorylessness makes redrawing in the new state exact)
+            // and advance to the switch point.
+            self.now = self.state_end;
+            self.surge = !self.surge;
+            let dwell = if self.surge {
+                self.process.dwell_surge_s
+            } else {
+                self.process.dwell_quiet_s
+            };
+            self.state_end = self.now + Exponential::new(1.0 / dwell).sample(&mut self.rng);
         }
-        out
     }
 }
 
@@ -254,20 +302,45 @@ impl ArrivalProcess for DiurnalArrivals {
     }
 
     fn times(&self, n: usize, seed: u64) -> Vec<f64> {
-        // Lewis-Shedler thinning: draw candidates at the peak rate and
-        // accept each with probability rate(t) / peak.
-        let mut rng = StdRng::seed_from_u64(seed);
-        let gap = Exponential::new(self.peak_qps);
-        let mut out = Vec::with_capacity(n);
-        let mut now = 0.0f64;
-        while out.len() < n {
-            now += gap.sample(&mut rng);
-            let accept: f64 = rand::Rng::gen(&mut rng);
-            if accept * self.peak_qps <= self.rate_at(now) {
-                out.push(now);
+        // Delegates to the stream so both forms agree bit-for-bit.
+        self.stream(seed)
+            .expect("diurnal always streams")
+            .take(n)
+            .collect()
+    }
+
+    fn stream(&self, seed: u64) -> Option<Box<dyn Iterator<Item = f64> + Send + '_>> {
+        Some(Box::new(DiurnalStream {
+            process: *self,
+            gap: Exponential::new(self.peak_qps),
+            rng: StdRng::seed_from_u64(seed),
+            now: 0.0,
+        }))
+    }
+}
+
+/// Streaming form of [`DiurnalArrivals`]: Lewis-Shedler thinning — draw
+/// candidates at the peak rate and accept each with probability
+/// `rate(t) / peak` — advanced one accepted arrival per `next()`.
+#[derive(Debug)]
+struct DiurnalStream {
+    process: DiurnalArrivals,
+    gap: Exponential,
+    rng: StdRng,
+    now: f64,
+}
+
+impl Iterator for DiurnalStream {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        loop {
+            self.now += self.gap.sample(&mut self.rng);
+            let accept: f64 = rand::Rng::gen(&mut self.rng);
+            if accept * self.process.peak_qps <= self.process.rate_at(self.now) {
+                return Some(self.now);
             }
         }
-        out
     }
 }
 
@@ -528,6 +601,28 @@ mod tests {
         assert!(times.windows(2).all(|w| w[1] >= w[0]));
         // The whole population starts within one think time.
         assert!(times[31] <= 0.1 + 1e-9);
+    }
+
+    #[test]
+    fn streams_reproduce_times_bit_for_bit() {
+        // The streaming contract: every prefix of `stream` equals
+        // `times` exactly, for every process that offers a stream.
+        let processes: Vec<Box<dyn ArrivalProcess>> = vec![
+            Box::new(PoissonArrivals::new(700.0)),
+            Box::new(MmppArrivals::new(100.0, 2_000.0, 0.5, 0.1)),
+            Box::new(DiurnalArrivals::new(100.0, 900.0, 4.0)),
+        ];
+        for p in &processes {
+            for seed in [0u64, 7, 42] {
+                let streamed: Vec<f64> = p.stream(seed).expect("streams").take(3_000).collect();
+                assert_eq!(streamed, p.times(3_000, seed), "{}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_has_no_streaming_form() {
+        assert!(ClosedLoopArrivals::new(4, 0.1).stream(0).is_none());
     }
 
     #[test]

@@ -2,14 +2,74 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
+/// Sample count above which a collector folds its exact sample vector
+/// into the fixed log-spaced histogram (see [`LatencyStats`]).
+///
+/// Below this threshold every accessor is computed from the sorted
+/// sample vector exactly as in earlier revisions — bit-for-bit — so the
+/// 10k-query runs that all existing pins and baselines exercise are
+/// unaffected. Above it, memory stays bounded at the fixed bin array
+/// regardless of how many samples are recorded.
+const FOLD_THRESHOLD: usize = 1 << 17;
+
+/// Sub-bin resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` equal-width bins, bounding relative quantile error by
+/// `2^-SUB_BITS` (~1.6%).
+const SUB_BITS: u32 = 6;
+
+/// Bins per octave.
+const SUBS: usize = 1 << SUB_BITS;
+
+/// Total bin count: `SUBS` exact unit bins for values below `SUBS`,
+/// then `SUBS` bins per octave for exponents `SUB_BITS..=63`.
+const NUM_BINS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+
+/// Histogram bin index for a nanosecond value.
+///
+/// Values below `SUBS` map to their own exact bin; larger values map to
+/// the octave given by their leading bit, subdivided by the next
+/// `SUB_BITS` bits of the mantissa.
+fn bin_index(ns: u64) -> usize {
+    if ns < SUBS as u64 {
+        return ns as usize;
+    }
+    let exp = 63 - ns.leading_zeros();
+    let sub = ((ns >> (exp - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    SUBS + ((exp - SUB_BITS) as usize) * SUBS + sub
+}
+
+/// Inclusive lower bound (in nanoseconds) of histogram bin `idx`.
+fn bin_lower(idx: usize) -> u64 {
+    if idx < SUBS {
+        return idx as u64;
+    }
+    let block = (idx - SUBS) / SUBS;
+    let sub = (idx - SUBS) % SUBS;
+    ((SUBS + sub) as u64) << block
+}
+
 /// Collects per-query latencies and reports tail statistics.
 ///
 /// The RecPipe paper's SLA metric is the 99th-percentile (p99) latency
 /// over tens of thousands of simulated queries; this type is the sink the
 /// queueing simulator drains into.
 ///
-/// Percentiles use the *nearest-rank* method on the sorted sample, which
-/// is exact (no interpolation) and monotone in the requested rank.
+/// # Exact vs histogram representation
+///
+/// Up to [`LatencyStats::fold_threshold`] samples, the collector keeps
+/// the raw sample vector and percentiles use the *nearest-rank* method
+/// on the sorted sample — exact (no interpolation) and monotone in the
+/// requested rank, identical to earlier revisions of this type.
+///
+/// Beyond that threshold the samples fold permanently into a fixed
+/// log-spaced histogram (64 sub-bins per power-of-two octave), so a
+/// 10M-query run holds a constant-size bin array instead of an O(N)
+/// vector. Histogram percentiles return the lower bound of the bin
+/// containing the nearest-rank sample, clamped to the observed
+/// `[min, max]` — within one bin width (relative error ≤ 2⁻⁶ ≈ 1.6%) of
+/// the exact answer, still monotone in rank, and never above the true
+/// maximum. The folded state is a pure multiset summary: recording or
+/// merge order cannot change any reported statistic.
 ///
 /// # Examples
 ///
@@ -26,8 +86,18 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LatencyStats {
+    /// Raw samples while in exact mode; empty once folded.
     samples_ns: Vec<u64>,
     sorted: bool,
+    /// Log-spaced bin counts; empty while in exact mode.
+    bins: Vec<u64>,
+    /// Folded-sample count (exact mode keeps this at zero).
+    count: u64,
+    /// Folded-sample sum; u128 so a u64::MAX-nanosecond outlier cannot
+    /// overflow the mean of billions of samples.
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
 }
 
 impl LatencyStats {
@@ -37,17 +107,79 @@ impl LatencyStats {
     }
 
     /// Creates an empty collector with capacity for `n` samples.
+    ///
+    /// Capacity is capped at the fold threshold: a collector never
+    /// holds more raw samples than that, so pre-allocating for a
+    /// 10M-query run would waste the very memory folding bounds.
     pub fn with_capacity(n: usize) -> Self {
         Self {
-            samples_ns: Vec::with_capacity(n),
+            samples_ns: Vec::with_capacity(n.min(FOLD_THRESHOLD + 1)),
             sorted: true,
+            ..Self::default()
         }
+    }
+
+    /// Sample count at which the collector switches from the exact
+    /// sample vector to the fixed log-spaced histogram.
+    pub fn fold_threshold() -> usize {
+        FOLD_THRESHOLD
+    }
+
+    /// Whether this collector has folded into histogram form.
+    pub fn is_folded(&self) -> bool {
+        !self.bins.is_empty()
+    }
+
+    /// Width (in nanoseconds) of the histogram bin containing `ns`:
+    /// the guaranteed worst-case percentile error once folded.
+    pub fn bin_width_at(ns: u64) -> u64 {
+        if ns < SUBS as u64 {
+            1
+        } else {
+            1u64 << (63 - ns.leading_zeros() - SUB_BITS)
+        }
+    }
+
+    /// Adds one value to the folded histogram state.
+    fn fold_one(&mut self, ns: u64) {
+        self.bins[bin_index(ns)] += 1;
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.sum_ns += ns as u128;
+    }
+
+    /// Irreversibly converts the exact sample vector into histogram
+    /// form. No-op when already folded.
+    fn fold(&mut self) {
+        if self.is_folded() {
+            return;
+        }
+        self.bins = vec![0u64; NUM_BINS];
+        let samples = std::mem::take(&mut self.samples_ns);
+        for ns in samples {
+            self.fold_one(ns);
+        }
+        self.sorted = true;
     }
 
     /// Records one latency sample.
     pub fn record(&mut self, latency: Duration) {
-        self.samples_ns.push(latency.as_nanos() as u64);
+        let ns = latency.as_nanos() as u64;
+        if self.is_folded() {
+            self.fold_one(ns);
+            return;
+        }
+        self.samples_ns.push(ns);
         self.sorted = false;
+        if self.samples_ns.len() > FOLD_THRESHOLD {
+            self.fold();
+        }
     }
 
     /// Records a latency expressed in seconds.
@@ -64,12 +196,16 @@ impl LatencyStats {
 
     /// Number of samples recorded.
     pub fn len(&self) -> usize {
-        self.samples_ns.len()
+        if self.is_folded() {
+            self.count as usize
+        } else {
+            self.samples_ns.len()
+        }
     }
 
     /// Whether no samples have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples_ns.is_empty()
+        self.len() == 0
     }
 
     fn sort(&mut self) {
@@ -81,6 +217,10 @@ impl LatencyStats {
 
     /// Latency at percentile `p` (in `[0, 100]`) by nearest rank.
     ///
+    /// Exact below the fold threshold; once folded, returns the lower
+    /// bound of the bin holding the nearest-rank sample clamped to the
+    /// observed `[min, max]` (within one bin width of exact).
+    ///
     /// Returns [`Duration::ZERO`] when no samples are recorded.
     ///
     /// # Panics
@@ -91,8 +231,21 @@ impl LatencyStats {
             p.is_finite() && (0.0..=100.0).contains(&p),
             "percentile must be in [0, 100]"
         );
-        if self.samples_ns.is_empty() {
+        if self.is_empty() {
             return Duration::ZERO;
+        }
+        if self.is_folded() {
+            let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+            let rank = rank.clamp(1, self.count);
+            let mut cum = 0u64;
+            for (idx, &c) in self.bins.iter().enumerate() {
+                cum += c;
+                if cum >= rank {
+                    let ns = bin_lower(idx).clamp(self.min_ns, self.max_ns);
+                    return Duration::from_nanos(ns);
+                }
+            }
+            return Duration::from_nanos(self.max_ns);
         }
         self.sort();
         let n = self.samples_ns.len();
@@ -117,7 +270,15 @@ impl LatencyStats {
     }
 
     /// Arithmetic mean latency, or zero if empty.
+    ///
+    /// Exact in both representations: the fold keeps the true sum.
     pub fn mean(&self) -> Duration {
+        if self.is_folded() {
+            if self.count == 0 {
+                return Duration::ZERO;
+            }
+            return Duration::from_nanos((self.sum_ns / self.count as u128) as u64);
+        }
         if self.samples_ns.is_empty() {
             return Duration::ZERO;
         }
@@ -126,7 +287,15 @@ impl LatencyStats {
     }
 
     /// Maximum observed latency, or zero if empty.
+    ///
+    /// Exact in both representations: the fold keeps the true maximum.
     pub fn max(&self) -> Duration {
+        if self.is_folded() {
+            if self.count == 0 {
+                return Duration::ZERO;
+            }
+            return Duration::from_nanos(self.max_ns);
+        }
         self.samples_ns
             .iter()
             .max()
@@ -135,9 +304,41 @@ impl LatencyStats {
     }
 
     /// Merges another collector's samples into this one.
+    ///
+    /// Stays in exact mode when both sides are exact and the combined
+    /// count fits under the fold threshold; otherwise the result is
+    /// folded. Folded merges are commutative and associative, so shard
+    /// merge order cannot change any reported statistic.
     pub fn merge(&mut self, other: &LatencyStats) {
-        self.samples_ns.extend_from_slice(&other.samples_ns);
-        self.sorted = false;
+        if !self.is_folded()
+            && !other.is_folded()
+            && self.samples_ns.len() + other.samples_ns.len() <= FOLD_THRESHOLD
+        {
+            self.samples_ns.extend_from_slice(&other.samples_ns);
+            self.sorted = false;
+            return;
+        }
+        self.fold();
+        if other.is_folded() {
+            for (b, &c) in self.bins.iter_mut().zip(other.bins.iter()) {
+                *b += c;
+            }
+            if other.count > 0 {
+                if self.count == 0 {
+                    self.min_ns = other.min_ns;
+                    self.max_ns = other.max_ns;
+                } else {
+                    self.min_ns = self.min_ns.min(other.min_ns);
+                    self.max_ns = self.max_ns.max(other.max_ns);
+                }
+                self.count += other.count;
+                self.sum_ns += other.sum_ns;
+            }
+        } else {
+            for &ns in &other.samples_ns {
+                self.fold_one(ns);
+            }
+        }
     }
 }
 
@@ -236,5 +437,133 @@ mod tests {
     fn out_of_range_percentile_panics() {
         let mut s = filled(10);
         s.percentile(101.0);
+    }
+
+    #[test]
+    fn bin_index_and_lower_bound_are_consistent() {
+        // Every probed value lands in a bin whose [lower, lower+width)
+        // range contains it, and bin indices are monotone in the value.
+        let mut last_idx = 0usize;
+        for shift in 0..60 {
+            for off in [0u64, 1, 63, 64, 65] {
+                let v = (1u64 << shift).saturating_add(off);
+                let idx = bin_index(v);
+                let lo = bin_lower(idx);
+                let width = LatencyStats::bin_width_at(v);
+                assert!(lo <= v, "lower {lo} > value {v}");
+                assert!(v < lo + width, "value {v} outside bin [{lo}, {lo}+{width})");
+                assert!(idx >= last_idx || v < bin_lower(last_idx));
+                last_idx = idx.max(last_idx);
+            }
+        }
+        assert!(bin_index(u64::MAX) < NUM_BINS);
+        assert_eq!(bin_index(0), 0);
+        assert_eq!(bin_lower(0), 0);
+    }
+
+    #[test]
+    fn folding_kicks_in_above_the_threshold_and_bounds_memory() {
+        let mut s = LatencyStats::new();
+        for i in 0..=FOLD_THRESHOLD as u64 {
+            s.record(Duration::from_nanos(i * 1000 + 1));
+        }
+        assert!(s.is_folded());
+        assert_eq!(s.len(), FOLD_THRESHOLD + 1);
+        assert!(s.samples_ns.is_empty(), "raw samples dropped after fold");
+        assert_eq!(s.bins.len(), NUM_BINS);
+    }
+
+    #[test]
+    fn folded_percentiles_track_exact_within_one_bin_width() {
+        // Same stream into an exact collector (merged under threshold
+        // stays exact) and a folded one.
+        let n = FOLD_THRESHOLD as u64 + 4096;
+        let mut folded = LatencyStats::new();
+        let mut exact_samples: Vec<u64> = Vec::new();
+        let mut z = 0x1234_5678u64;
+        for _ in 0..n {
+            z = z
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let ns = 1_000 + (z >> 33) % 50_000_000; // 1us..50ms spread
+            folded.record(Duration::from_nanos(ns));
+            exact_samples.push(ns);
+        }
+        assert!(folded.is_folded());
+        exact_samples.sort_unstable();
+        for p in [50.0, 95.0, 99.0, 99.9] {
+            let rank = ((p / 100.0) * n as f64).ceil() as usize;
+            let exact = exact_samples[rank.clamp(1, n as usize) - 1];
+            let approx = folded.percentile(p).as_nanos() as u64;
+            let tol = LatencyStats::bin_width_at(exact);
+            assert!(
+                approx.abs_diff(exact) <= tol,
+                "p{p}: approx {approx} vs exact {exact} (tol {tol})"
+            );
+        }
+        let true_max = *exact_samples.last().unwrap();
+        let p100 = folded.percentile(100.0).as_nanos() as u64;
+        assert!(p100 <= true_max);
+        assert!(true_max - p100 <= LatencyStats::bin_width_at(true_max));
+        assert_eq!(folded.max().as_nanos() as u64, true_max);
+    }
+
+    #[test]
+    fn folded_mean_and_max_stay_exact() {
+        let mut s = LatencyStats::new();
+        let n = FOLD_THRESHOLD as u64 + 10;
+        for i in 1..=n {
+            s.record(Duration::from_nanos(i));
+        }
+        assert!(s.is_folded());
+        assert_eq!(s.mean(), Duration::from_nanos(n.div_ceil(2)));
+        assert_eq!(s.max(), Duration::from_nanos(n));
+    }
+
+    #[test]
+    fn merge_folds_when_combined_count_crosses_threshold() {
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        for i in 0..(FOLD_THRESHOLD as u64 / 2 + 10) {
+            a.record(Duration::from_nanos(i + 1));
+            b.record(Duration::from_nanos(i + 1));
+        }
+        assert!(!a.is_folded() && !b.is_folded());
+        a.merge(&b);
+        assert!(a.is_folded());
+        assert_eq!(a.len(), 2 * (FOLD_THRESHOLD / 2 + 10));
+    }
+
+    #[test]
+    fn folded_merge_is_order_independent() {
+        let mut mixed: Vec<u64> = (1..=8192u64).map(|i| i * 977 + 13).collect();
+        let build = |chunks: &[&[u64]]| {
+            let mut acc = LatencyStats::new();
+            acc.fold();
+            for chunk in chunks {
+                let mut part = LatencyStats::new();
+                for &v in *chunk {
+                    part.record(Duration::from_nanos(v));
+                }
+                acc.merge(&part);
+            }
+            acc
+        };
+        let (lo, hi) = mixed.split_at(4096);
+        let mut fwd = build(&[lo, hi]);
+        let mut rev = build(&[hi, lo]);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.p99(), rev.p99());
+        mixed.reverse();
+        let (lo2, hi2) = mixed.split_at(1000);
+        let mut shuffled = build(&[lo2, hi2]);
+        assert_eq!(fwd.p50(), shuffled.p50());
+        assert_eq!(fwd.mean(), shuffled.mean());
+    }
+
+    #[test]
+    fn with_capacity_never_preallocates_past_the_fold_threshold() {
+        let s = LatencyStats::with_capacity(10_000_000);
+        assert!(s.samples_ns.capacity() <= FOLD_THRESHOLD + 1);
     }
 }

@@ -69,6 +69,26 @@ proptest! {
     }
 
     #[test]
+    fn below_the_fold_threshold_percentiles_are_exact(
+        samples in proptest::collection::vec(1u64..1_000_000_000, 1..512),
+        p in 0.0f64..100.0,
+    ) {
+        // Small collectors never fold, and their percentiles equal the
+        // nearest-rank value computed from the sorted sample directly —
+        // the frozen pre-histogram behavior, bit for bit.
+        let mut stats = LatencyStats::new();
+        for &ns in &samples {
+            stats.record(Duration::from_nanos(ns));
+        }
+        prop_assert!(!stats.is_folded());
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        let exact = sorted[rank.clamp(1, sorted.len()) - 1];
+        prop_assert_eq!(stats.percentile(p).as_nanos() as u64, exact);
+    }
+
+    #[test]
     fn pareto_front_is_subset_and_nonempty(
         objectives in proptest::collection::vec((0.0f64..10.0, 0.0f64..1.0), 1..40),
     ) {
@@ -91,5 +111,51 @@ proptest! {
                     "front member {} dominated by {}", b.payload, a.payload);
             }
         }
+    }
+}
+
+proptest! {
+    // Each case records >2^17 samples, so run fewer of them.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn folded_percentiles_stay_within_one_bin_width_of_exact(
+        seed in 1u64..1_000_000,
+        spread_shift in 12u32..40,
+        extra in 0usize..4096,
+    ) {
+        // Past the fold threshold the collector answers from the
+        // log-spaced histogram. Whatever the sample magnitude range
+        // (here spanning ~4 ns to ~10^12 ns across cases), p50/p95/p99
+        // land within one bin width of the true nearest-rank value, and
+        // p100 never exceeds the true maximum.
+        let n = LatencyStats::fold_threshold() + 1 + extra;
+        let mut folded = LatencyStats::new();
+        let mut exact: Vec<u64> = Vec::with_capacity(n);
+        let mut z = seed;
+        for _ in 0..n {
+            z = z
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let ns = 1 + ((z >> 16) & ((1u64 << spread_shift) - 1));
+            folded.record(Duration::from_nanos(ns));
+            exact.push(ns);
+        }
+        prop_assert!(folded.is_folded());
+        exact.sort_unstable();
+        for p in [50.0, 95.0, 99.0] {
+            let rank = ((p / 100.0) * n as f64).ceil() as usize;
+            let truth = exact[rank.clamp(1, n) - 1];
+            let approx = folded.percentile(p).as_nanos() as u64;
+            let tol = LatencyStats::bin_width_at(truth);
+            prop_assert!(
+                approx.abs_diff(truth) <= tol,
+                "p{}: approx {} vs exact {} (tol {})", p, approx, truth, tol
+            );
+        }
+        let true_max = *exact.last().unwrap();
+        let p100 = folded.percentile(100.0).as_nanos() as u64;
+        prop_assert!(p100 <= true_max);
+        prop_assert!(true_max - p100 <= LatencyStats::bin_width_at(true_max));
     }
 }

@@ -77,6 +77,7 @@ mod persist;
 mod policy;
 mod result;
 mod router;
+mod shard;
 mod sim;
 mod spec;
 
@@ -91,6 +92,7 @@ pub use router::{
     ExpectedWait, JoinShortestQueue, LeastWorkLeft, PowerOfTwoChoices, ReplicaLoads,
     ReplicaSnapshot, RoundRobin, Router, RouterState, RoutingCtx, Sticky,
 };
+pub use shard::serve_routed_sharded;
 pub use sim::{serve, serve_autoscaled, serve_lifecycle, serve_routed, simulate};
 pub use spec::{
     BatchModel, PipelineSpec, ReplicaGroup, ReplicaProfile, ResourceSpec, SpecError, StageSpec,

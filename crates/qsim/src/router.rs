@@ -30,30 +30,44 @@
 //!
 //! # The expected-wait estimator
 //!
-//! The simulator maintains, per replica, **remaining expected work**:
-//! the sum of
+//! The simulator maintains two per-replica signals, both updated
+//! incrementally on every enqueue, launch, and completion — no
+//! per-decision scan:
 //!
-//! * every *queued* entry's baseline per-query service time
-//!   ([`StageSpec::service_time`]), plus
-//! * every *in-flight* batch's full booked service time
-//!   ([`StageSpec::batch_service_time`] at the batch's size),
+//! * **queued work** — the sum of every *queued* entry's baseline
+//!   per-query service time ([`StageSpec::service_time`]), in baseline
+//!   (speed-1) seconds. Exposed through
+//!   [`ReplicaLoads::remaining_work`]; it must be divided by the
+//!   replica's [`speed`](ReplicaLoads::speed) to become wall-clock
+//!   drain time.
+//! * **decayed in-flight wait** — the wall-clock seconds until the
+//!   replica's in-flight batches finish: the sum of their scheduled
+//!   finish times minus `now` per batch. Because each batch's finish
+//!   time already folds in the replica's live speed, this term is
+//!   *already* wall-clock and is **not** divided by speed again.
+//!   Exposed through [`ReplicaLoads::in_flight_wait`] when the
+//!   simulator attaches the decay columns
+//!   ([`with_in_flight_decay`](ReplicaLoads::with_in_flight_decay)).
 //!
-//! all in baseline (speed-1) seconds, updated incrementally on every
-//! enqueue, launch, and completion — no per-decision scan. Exposed
-//! through [`ReplicaLoads::remaining_work`]; dividing by the replica's
-//! [`speed`](ReplicaLoads::speed) ([`ReplicaLoads::expected_wait`])
-//! converts it to wall-clock drain time on that replica.
+//! [`ReplicaLoads::expected_wait`] is the sum of the two:
+//! `remaining_work / speed + in_flight_wait`. **Units matter here**:
+//! `remaining_work` is base-time and gets speed-scaled at read time;
+//! `in_flight_wait` is wall-clock and does not. (Earlier revisions
+//! booked in-flight batches at their full *baseline* service time
+//! inside `remaining_work`, which both ignored elapsed service — a
+//! batch one tick from finishing counted the same as one just launched
+//! — and mixed the two unit systems; the decayed form subtracts
+//! elapsed in-flight service exactly.)
 //!
-//! The estimator is deliberately simple — in-flight work is charged at
-//! its full booked time rather than decayed by elapsed service, and a
-//! replica's internal unit parallelism is ignored (the serial-drain
-//! approximation, exact for capacity-1 replicas) — but it is the only
-//! built-in signal that *sees replica speed*. On a fleet mixing machine
-//! generations, a 2-query backlog on an old 0.5-speed box outweighs a
-//! 3-query backlog on a new one; JSQ's query count and
-//! `LeastWorkLeft`'s free units are both blind to the difference, which
-//! is why [`ExpectedWait`] wins the tail on mixed fleets
-//! (`examples/cluster_serving.rs` measures it).
+//! The estimator still ignores a replica's internal unit parallelism
+//! for queued work (the serial-drain approximation, exact for
+//! capacity-1 replicas) — but it is the only built-in signal that
+//! *sees replica speed*. On a fleet mixing machine generations, a
+//! 2-query backlog on an old 0.5-speed box outweighs a 3-query backlog
+//! on a new one; JSQ's query count and `LeastWorkLeft`'s free units
+//! are both blind to the difference, which is why [`ExpectedWait`]
+//! wins the tail on mixed fleets (`examples/cluster_serving.rs`
+//! measures it).
 //!
 //! Routers must be deterministic given the replica state, the
 //! [`RoutingCtx`], and the [`RouterState`]; all randomness flows
@@ -102,12 +116,17 @@ pub struct ReplicaSnapshot {
     pub in_flight: usize,
     /// Resource units currently free on the replica.
     pub free_units: usize,
-    /// Remaining expected work in baseline seconds (see the module docs
-    /// for the estimator).
+    /// Queued expected work in baseline seconds (see the module docs
+    /// for the estimator). Base-time: divide by [`speed`](Self::speed)
+    /// for wall clock.
     pub remaining_work: f64,
     /// The replica's service-rate multiplier
     /// ([`ReplicaProfile::speed`](crate::ReplicaProfile::speed)).
     pub speed: f64,
+    /// Decayed wall-clock seconds until the replica's in-flight batches
+    /// finish (already speed-scaled — never divide by `speed`). Zero
+    /// when the decay estimator is not attached.
+    pub in_flight_wait: f64,
 }
 
 impl ReplicaSnapshot {
@@ -118,9 +137,11 @@ impl ReplicaSnapshot {
     }
 
     /// Expected wall-clock drain time of the replica's outstanding
-    /// work: `remaining_work / speed` (the [`ExpectedWait`] signal).
+    /// work: `remaining_work / speed + in_flight_wait` (the
+    /// [`ExpectedWait`] signal; see the module docs for why only the
+    /// first term is speed-scaled).
     pub fn expected_wait(&self) -> f64 {
-        self.remaining_work / self.speed
+        self.remaining_work / self.speed + self.in_flight_wait
     }
 }
 
@@ -145,8 +166,35 @@ pub struct ReplicaLoads<'a> {
     queued: &'a [usize],
     in_flight: &'a [usize],
     free_units: &'a [usize],
+    /// Estimator columns, attached only for routers that read them —
+    /// one `None` store on the counter-only construction path instead
+    /// of five (the loads struct is rebuilt per routing decision).
+    est: Option<Estimates<'a>>,
+}
+
+/// The expected-wait estimator columns of a [`ReplicaLoads`].
+#[derive(Debug, Clone, Copy)]
+struct Estimates<'a> {
     work: Option<&'a [f64]>,
     speed: Option<&'a [f64]>,
+    /// Sum of in-flight batches' scheduled finish times per replica
+    /// (decay estimator; `None` keeps the legacy full-booking form).
+    finish_sum: Option<&'a [f64]>,
+    /// Number of in-flight batches per replica (decay estimator).
+    batches: Option<&'a [usize]>,
+    /// Simulation clock the decayed wait is evaluated at.
+    now: f64,
+}
+
+impl Estimates<'_> {
+    /// No columns attached yet (builder starting point).
+    const NONE: Self = Estimates {
+        work: None,
+        speed: None,
+        finish_sum: None,
+        batches: None,
+        now: 0.0,
+    };
 }
 
 impl<'a> ReplicaLoads<'a> {
@@ -166,8 +214,7 @@ impl<'a> ReplicaLoads<'a> {
             queued,
             in_flight,
             free_units,
-            work: None,
-            speed: None,
+            est: None,
         }
     }
 
@@ -183,8 +230,39 @@ impl<'a> ReplicaLoads<'a> {
             work.len() == self.queued.len() && speed.len() == self.queued.len(),
             "estimator arrays must match the counter arrays' length"
         );
-        self.work = Some(work);
-        self.speed = Some(speed);
+        let est = self.est.get_or_insert(Estimates::NONE);
+        est.work = Some(work);
+        est.speed = Some(speed);
+        self
+    }
+
+    /// Attaches the decayed in-flight columns: per replica, the sum of
+    /// in-flight batches' scheduled finish times, the number of
+    /// in-flight batches, and the current simulation clock.
+    /// [`in_flight_wait`](Self::in_flight_wait) then reads
+    /// `finish_sum[i] - batches[i] * now` — the exact wall-clock
+    /// seconds of in-flight service left — instead of zero. Views
+    /// built without this call (frozen references, pre-fleet callers)
+    /// keep the legacy estimator unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice's length differs from the counter
+    /// arrays'.
+    pub fn with_in_flight_decay(
+        mut self,
+        finish_sum: &'a [f64],
+        batches: &'a [usize],
+        now: f64,
+    ) -> Self {
+        assert!(
+            finish_sum.len() == self.queued.len() && batches.len() == self.queued.len(),
+            "decay arrays must match the counter arrays' length"
+        );
+        let est = self.est.get_or_insert(Estimates::NONE);
+        est.finish_sum = Some(finish_sum);
+        est.batches = Some(batches);
+        est.now = now;
         self
     }
 
@@ -215,26 +293,48 @@ impl<'a> ReplicaLoads<'a> {
         self.queued[i] + self.in_flight[i]
     }
 
-    /// Remaining expected work on replica `i` in baseline seconds: the
-    /// incrementally-maintained sum of its queued entries' per-query
-    /// service times and its in-flight batches' booked service times
-    /// (module docs spell out the estimator). Reads 0.0 when the view
-    /// was built without estimates.
+    /// Remaining expected work on replica `i` in **baseline seconds**
+    /// (divide by [`speed`](Self::speed) for wall clock; module docs
+    /// spell out the estimator and its units). With the decay columns
+    /// attached this covers queued entries only; without them it also
+    /// carries in-flight batches at their full booked baseline time.
+    /// Reads 0.0 when the view was built without estimates.
     pub fn remaining_work(&self, i: usize) -> f64 {
-        self.work.map_or(0.0, |w| w[i])
+        self.est.and_then(|e| e.work).map_or(0.0, |w| w[i])
     }
 
     /// Replica `i`'s service-rate multiplier (1.0 when the view was
     /// built without estimates).
     pub fn speed(&self, i: usize) -> f64 {
-        self.speed.map_or(1.0, |s| s[i])
+        self.est.and_then(|e| e.speed).map_or(1.0, |s| s[i])
+    }
+
+    /// Decayed wall-clock seconds until replica `i`'s in-flight batches
+    /// finish: `finish_sum - batches * now`, already speed-scaled.
+    /// Reads 0.0 when the decay columns are not attached
+    /// ([`with_in_flight_decay`](Self::with_in_flight_decay)).
+    pub fn in_flight_wait(&self, i: usize) -> f64 {
+        match self.est {
+            // Clamp: finish times are >= now by construction, but the
+            // incremental sum can carry float dust after many updates.
+            Some(Estimates {
+                finish_sum: Some(fs),
+                batches: Some(b),
+                now,
+                ..
+            }) => (fs[i] - b[i] as f64 * now).max(0.0),
+            _ => 0.0,
+        }
     }
 
     /// Expected wall-clock drain time of replica `i`'s outstanding
     /// work: [`remaining_work`](Self::remaining_work) `/`
-    /// [`speed`](Self::speed) — the [`ExpectedWait`] signal.
+    /// [`speed`](Self::speed) `+`
+    /// [`in_flight_wait`](Self::in_flight_wait) — the [`ExpectedWait`]
+    /// signal. Only the first term is speed-scaled; the in-flight term
+    /// is already wall clock (module docs).
     pub fn expected_wait(&self, i: usize) -> f64 {
-        self.remaining_work(i) / self.speed(i)
+        self.remaining_work(i) / self.speed(i) + self.in_flight_wait(i)
     }
 
     /// Materializes replica `i`'s [`ReplicaSnapshot`] (the slow-path
@@ -246,6 +346,7 @@ impl<'a> ReplicaLoads<'a> {
             free_units: self.free_units[i],
             remaining_work: self.remaining_work(i),
             speed: self.speed(i),
+            in_flight_wait: self.in_flight_wait(i),
         }
     }
 }
@@ -400,6 +501,33 @@ pub trait Router: std::fmt::Debug + Send + Sync {
         let snapshots: Vec<ReplicaSnapshot> = (0..loads.len()).map(|i| loads.snapshot(i)).collect();
         self.route(&snapshots, ctx, state)
     }
+
+    /// Whether this router ever reads the expected-work estimator
+    /// signals ([`ReplicaSnapshot::remaining_work`],
+    /// [`ReplicaSnapshot::speed`], [`ReplicaSnapshot::in_flight_wait`]
+    /// and their [`ReplicaLoads`] accessors). When `false`, the
+    /// simulator skips maintaining the estimator arrays entirely on
+    /// the per-event hot path and offers loads without them — results
+    /// are unchanged because the router never looks.
+    ///
+    /// Defaults to `true` (custom routers are assumed to read
+    /// everything); override to `false` only if no code path touches
+    /// the estimator signals.
+    fn uses_estimates(&self) -> bool {
+        true
+    }
+
+    /// Whether this router ever reads the query's prior-stage routing
+    /// history ([`RoutingCtx::prior_replica`] /
+    /// [`RoutingCtx::prior_on_group`]). When `false`, the simulator
+    /// skips recording per-query choices and offers an empty history —
+    /// results are unchanged because the router never looks.
+    ///
+    /// Defaults to `true`; override to `false` only if no code path
+    /// touches the context's history.
+    fn uses_history(&self) -> bool {
+        true
+    }
 }
 
 /// Round-robin routing: cycle through replicas in order, ignoring their
@@ -430,6 +558,14 @@ impl Router for RoundRobin {
         state: &mut RouterState,
     ) -> usize {
         state.cycle(loads.len())
+    }
+
+    fn uses_estimates(&self) -> bool {
+        false
+    }
+
+    fn uses_history(&self) -> bool {
+        false
     }
 }
 
@@ -479,6 +615,14 @@ impl Router for JoinShortestQueue {
             }
         }
         best
+    }
+
+    fn uses_estimates(&self) -> bool {
+        false
+    }
+
+    fn uses_history(&self) -> bool {
+        false
     }
 }
 
@@ -539,6 +683,14 @@ impl Router for PowerOfTwoChoices {
         } else {
             lo
         }
+    }
+
+    fn uses_estimates(&self) -> bool {
+        false
+    }
+
+    fn uses_history(&self) -> bool {
+        false
     }
 }
 
@@ -617,6 +769,14 @@ impl Router for LeastWorkLeft {
         }
         best
     }
+
+    fn uses_estimates(&self) -> bool {
+        false
+    }
+
+    fn uses_history(&self) -> bool {
+        false
+    }
 }
 
 /// Expected-wait routing: join the replica whose outstanding work will
@@ -691,6 +851,10 @@ impl Router for ExpectedWait {
         }
         best
     }
+
+    fn uses_history(&self) -> bool {
+        false
+    }
 }
 
 /// Replica-affinity routing: a query's later stages return to the
@@ -754,6 +918,14 @@ impl<R: Router> Router for Sticky<R> {
             _ => self.fallback.route_indexed(loads, ctx, state),
         }
     }
+
+    fn uses_estimates(&self) -> bool {
+        self.fallback.uses_estimates()
+    }
+
+    fn uses_history(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]
@@ -771,6 +943,7 @@ mod tests {
             free_units: 0,
             remaining_work: 0.0,
             speed: 1.0,
+            in_flight_wait: 0.0,
         }
     }
 
@@ -845,6 +1018,7 @@ mod tests {
             free_units,
             remaining_work: 0.0,
             speed: 1.0,
+            in_flight_wait: 0.0,
         }
     }
 
@@ -855,6 +1029,7 @@ mod tests {
             free_units: 0,
             remaining_work: work,
             speed,
+            in_flight_wait: 0.0,
         }
     }
 
@@ -981,6 +1156,7 @@ mod tests {
                 free_units: free_units[i],
                 remaining_work: work[i],
                 speed: speed[i],
+                in_flight_wait: 0.0,
             })
             .collect();
         let loads =
@@ -1029,9 +1205,102 @@ mod tests {
     }
 
     #[test]
+    fn expected_wait_units_on_a_two_speed_fleet() {
+        // Units pin: `remaining_work` is base-time and is divided by
+        // speed; `in_flight_wait` is wall-clock and is NOT. Two
+        // replicas with identical booked signals but different speeds
+        // must differ only through the queued-work term.
+        let queued = [2usize, 2];
+        let in_flight = [1usize, 1];
+        let free_units = [0usize, 0];
+        let work = [0.040f64, 0.040]; // base seconds of queued work
+        let speed = [1.0f64, 0.5]; // new-gen vs old-gen replica
+        let finish_sum = [10.025f64, 10.025]; // one batch each, finishes at t=10.025
+        let batches = [1usize, 1];
+        let now = 10.0;
+        let loads = ReplicaLoads::new(&queued, &in_flight, &free_units)
+            .with_estimates(&work, &speed)
+            .with_in_flight_decay(&finish_sum, &batches, now);
+        // Replica 0: 0.040 / 1.0 + 0.025 = 0.065 s.
+        assert!((loads.expected_wait(0) - 0.065).abs() < 1e-12);
+        // Replica 1: 0.040 / 0.5 + 0.025 = 0.105 s — the wall-clock
+        // in-flight residual is identical (the batch's finish time
+        // already folded the slow speed in when it was scheduled).
+        assert!((loads.expected_wait(1) - 0.105).abs() < 1e-12);
+        // Snapshots agree with the indexed accessors.
+        let snap0 = loads.snapshot(0);
+        assert!((snap0.in_flight_wait - 0.025).abs() < 1e-12);
+        assert!((snap0.expected_wait() - loads.expected_wait(0)).abs() < 1e-15);
+        // And the router picks the fast replica.
+        let mut state = RouterState::new(0);
+        assert_eq!(ExpectedWait.route_indexed(&loads, &ctx(), &mut state), 0);
+    }
+
+    #[test]
+    fn in_flight_wait_decays_to_zero_at_batch_finish() {
+        let queued = [0usize];
+        let in_flight = [4usize];
+        let free_units = [0usize];
+        let finish_sum = [7.5f64];
+        let batches = [1usize];
+        let at = |now: f64| {
+            ReplicaLoads::new(&queued, &in_flight, &free_units)
+                .with_in_flight_decay(&finish_sum, &batches, now)
+                .in_flight_wait(0)
+        };
+        assert!((at(7.0) - 0.5).abs() < 1e-12);
+        assert!((at(7.4) - 0.1).abs() < 1e-12);
+        assert_eq!(at(7.5), 0.0);
+        // Float dust past the finish clamps to zero, never negative.
+        assert_eq!(at(7.5 + 1e-9), 0.0);
+        // Without the decay columns the wait reads zero.
+        assert_eq!(
+            ReplicaLoads::new(&queued, &in_flight, &free_units).in_flight_wait(0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn capability_flags_match_what_each_builtin_reads() {
+        assert!(!RoundRobin.uses_estimates() && !RoundRobin.uses_history());
+        assert!(!JoinShortestQueue.uses_estimates() && !JoinShortestQueue.uses_history());
+        assert!(!PowerOfTwoChoices.uses_estimates() && !PowerOfTwoChoices.uses_history());
+        assert!(!LeastWorkLeft.uses_estimates() && !LeastWorkLeft.uses_history());
+        assert!(ExpectedWait.uses_estimates() && !ExpectedWait.uses_history());
+        let sticky = Sticky::new();
+        assert!(!sticky.uses_estimates() && sticky.uses_history());
+        let sticky_ew = Sticky::with_fallback(ExpectedWait);
+        assert!(sticky_ew.uses_estimates() && sticky_ew.uses_history());
+        // Custom routers default to the conservative "reads everything".
+        #[derive(Debug)]
+        struct Custom;
+        impl Router for Custom {
+            fn name(&self) -> String {
+                "custom".into()
+            }
+            fn route(
+                &self,
+                _replicas: &[ReplicaSnapshot],
+                _ctx: &RoutingCtx<'_>,
+                _state: &mut RouterState,
+            ) -> usize {
+                0
+            }
+        }
+        assert!(Custom.uses_estimates() && Custom.uses_history());
+    }
+
+    #[test]
     #[should_panic(expected = "equal lengths")]
     fn replica_loads_rejects_mismatched_arrays() {
         ReplicaLoads::new(&[1, 2], &[0], &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay arrays must match")]
+    fn replica_loads_rejects_mismatched_decay_arrays() {
+        let _ =
+            ReplicaLoads::new(&[1, 2], &[0, 0], &[1, 1]).with_in_flight_decay(&[0.0], &[0, 0], 0.0);
     }
 
     #[test]

@@ -14,50 +14,166 @@ use crate::{
 /// Fraction of queries discarded from the front as warmup.
 const WARMUP_FRACTION: f64 = 0.05;
 
+/// Runs at or above this many queries record latency and throughput at
+/// completion time (streaming into the histogram-backed
+/// [`LatencyStats`]) instead of materializing a per-query finish-time
+/// vector and replaying it in query order at the end. Both recordings
+/// describe the same multiset of `(arrival, finish)` pairs — latency
+/// percentiles sort lazily and the nanosecond sum is integer-exact, so
+/// every accessor reports identical values — but the streaming form
+/// keeps a 10M-query replay's resident memory flat instead of holding
+/// an 80 MB finish vector plus an unbounded sample vector.
+const SCALE_RECORDING_THRESHOLD: usize = 1 << 20;
+
+/// A decoded heap event — the transient, register-allocated view the
+/// run loops match on. The heap itself stores the packed 24-byte
+/// [`Event`]; nothing persists this enum.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
     /// Query `query` arrives at stage `stage` and joins its queue.
     Arrive { query: usize, stage: usize },
     /// Batch `batch` finishes service, releasing its units. The event
     /// is live only while `gen` matches the batch table slot's
-    /// generation — a fail-stop that kills the batch bumps the
-    /// generation, cancelling the completion lazily at pop (always 0 on
-    /// lifecycle-free runs).
-    Complete { batch: usize, gen: u64 },
+    /// generation (low 32 bits) — a fail-stop that kills the batch
+    /// bumps the generation, cancelling the completion lazily at pop
+    /// (always 0 on lifecycle-free runs).
+    Complete { batch: usize, gen: u32 },
     /// A scheduling policy asked to re-examine replica slot `slot`.
     /// The event is live only while `gen` matches the slot's timer
-    /// generation — superseded timers are cancelled lazily (skipped at
-    /// pop) instead of scanned.
-    Recheck { slot: usize, gen: u64 },
+    /// generation (low 32 bits) — superseded timers are cancelled
+    /// lazily (skipped at pop) instead of scanned.
+    Recheck { slot: usize, gen: u32 },
     /// Scheduled lifecycle event `idx` (index into the flattened
     /// per-run schedule) fires against its replica slot.
     Lifecycle { idx: usize },
     /// Replica slot `slot` finishes warming and reaches full speed;
     /// live only while `gen` matches the slot's lifecycle generation
-    /// (a drain or fail-stop during warm-up cancels it).
-    WarmDone { slot: usize, gen: u64 },
+    /// (low 32 bits; a drain or fail-stop during warm-up cancels it).
+    WarmDone { slot: usize, gen: u32 },
     /// A telemetry window boundary: close the current window, consult
     /// the autoscaling controller, and re-arm the next tick.
     WindowTick,
 }
 
+const TAG_ARRIVE: u64 = 0;
+const TAG_COMPLETE: u64 = 1;
+const TAG_RECHECK: u64 = 2;
+const TAG_LIFECYCLE: u64 = 3;
+const TAG_WARM_DONE: u64 = 4;
+const TAG_WINDOW_TICK: u64 = 5;
+
+/// A packed heap event: 24 bytes instead of the 40 a
+/// `(f64, u64, EventKind)` struct would occupy, so every sift in the
+/// event heap moves 40% less memory — the heap is the hottest data
+/// structure in the simulator, and pop/push cost is dominated by these
+/// copies at 4 events per query-stage.
+///
+/// `key` packs `(seq << 3) | tag`. Heap seqs are globally unique
+/// (schedule arrivals carry their query index, everything else draws
+/// from the `Sim::seq` counter that resumes past them), so ordering by
+/// `key` is ordering by `seq` — the tag bits can never influence the
+/// total order. Payloads are two `u32`s: query/batch/slot indices are
+/// bounded well below `u32::MAX` (asserted at construction), and
+/// generation counters compare on their low 32 bits (a stale event
+/// would mis-match only after 2^32 same-slot generation bumps while it
+/// sat in the heap, which cannot happen before the heap itself
+/// exhausts memory).
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Event {
     time: f64,
-    seq: u64,
-    kind: EventKind,
+    key: u64,
+    a: u32,
+    b: u32,
+}
+
+impl Event {
+    #[inline]
+    fn new(time: f64, seq: u64, tag: u64, a: usize, b: u32) -> Self {
+        debug_assert!(a <= u32::MAX as usize);
+        Self {
+            time,
+            key: (seq << 3) | tag,
+            a: a as u32,
+            b,
+        }
+    }
+
+    #[inline]
+    fn arrive(time: f64, seq: u64, query: usize, stage: usize) -> Self {
+        Self::new(time, seq, TAG_ARRIVE, query, stage as u32)
+    }
+
+    #[inline]
+    fn complete(time: f64, seq: u64, batch: usize, gen: u64) -> Self {
+        Self::new(time, seq, TAG_COMPLETE, batch, gen as u32)
+    }
+
+    #[inline]
+    fn recheck(time: f64, seq: u64, slot: usize, gen: u64) -> Self {
+        Self::new(time, seq, TAG_RECHECK, slot, gen as u32)
+    }
+
+    #[inline]
+    fn lifecycle(time: f64, seq: u64, idx: usize) -> Self {
+        Self::new(time, seq, TAG_LIFECYCLE, idx, 0)
+    }
+
+    #[inline]
+    fn warm_done(time: f64, seq: u64, slot: usize, gen: u64) -> Self {
+        Self::new(time, seq, TAG_WARM_DONE, slot, gen as u32)
+    }
+
+    #[inline]
+    fn window_tick(time: f64, seq: u64) -> Self {
+        Self::new(time, seq, TAG_WINDOW_TICK, 0, 0)
+    }
+
+    /// The event's heap sequence number.
+    #[inline]
+    fn seq(&self) -> u64 {
+        self.key >> 3
+    }
+
+    /// Decodes the packed payload for matching.
+    #[inline]
+    fn kind(&self) -> EventKind {
+        match self.key & 0b111 {
+            TAG_ARRIVE => EventKind::Arrive {
+                query: self.a as usize,
+                stage: self.b as usize,
+            },
+            TAG_COMPLETE => EventKind::Complete {
+                batch: self.a as usize,
+                gen: self.b,
+            },
+            TAG_RECHECK => EventKind::Recheck {
+                slot: self.a as usize,
+                gen: self.b,
+            },
+            TAG_LIFECYCLE => EventKind::Lifecycle {
+                idx: self.a as usize,
+            },
+            TAG_WARM_DONE => EventKind::WarmDone {
+                slot: self.a as usize,
+                gen: self.b,
+            },
+            _ => EventKind::WindowTick,
+        }
+    }
 }
 
 impl Eq for Event {}
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on (time, seq): BinaryHeap is a max-heap, so reverse.
+        // Min-heap on (time, seq): BinaryHeap is a max-heap, so
+        // reverse. `key` orders exactly as `seq` (unique seqs; tag bits
+        // below them never break a tie).
         other
             .time
             .partial_cmp(&self.time)
             .unwrap_or(Ordering::Equal)
-            .then(other.seq.cmp(&self.seq))
+            .then(other.key.cmp(&self.key))
     }
 }
 
@@ -286,87 +402,38 @@ pub fn serve_autoscaled(
     sim.run()
 }
 
-struct Sim<'a> {
-    spec: &'a PipelineSpec,
-    stages: &'a [StageSpec],
-    policy: &'a dyn SchedulingPolicy,
-    arrivals: &'a dyn ArrivalProcess,
-    router: &'a dyn Router,
-    num_queries: usize,
-    heap: BinaryHeap<Event>,
+/// The simulator state. `#[repr(C)]` pins the declared field order in
+/// memory: the per-event scalars and flags pack into the first cache
+/// lines, the hot container headers follow, and the lifecycle /
+/// telemetry / masking machinery — untouched on lifecycle-free runs —
+/// sits at the cold tail. (repr(Rust) is free to shuffle fields, and a
+/// struct this wide scatters the hot set across its full ~1.5 KB
+/// otherwise.)
+#[repr(C)]
+pub(crate) struct Sim<'a> {
+    // --- Hot per-event scalars (first cache lines) ---
     seq: u64,
-    /// Absolute stage-0 arrival time per query (NaN until injected).
-    arrival_time: Vec<f64>,
-    /// First flattened replica slot of each resource group: replica `r`
-    /// of group `g` lives at slot `slot_base[g] + r`. Single-replica
-    /// pipelines flatten to one slot per group, reproducing the
-    /// pre-cluster layout exactly.
-    slot_base: Vec<usize>,
-    /// Resource group owning each slot.
-    slot_group: Vec<usize>,
-    /// Replica count per group (cached off the spec for the hot path).
-    group_replicas: Vec<usize>,
-    /// Per-slot unit capacity (per-replica, heterogeneous fleets may
-    /// differ within a group).
-    slot_capacity: Vec<usize>,
-    /// Per-slot service-rate multiplier
-    /// ([`ReplicaProfile::speed`](crate::ReplicaProfile::speed)): a
-    /// batch's service time is its baseline time divided by this.
-    slot_speed: Vec<f64>,
-    /// Per-slot free units (router signal, maintained incrementally).
-    free: Vec<usize>,
-    /// Per-slot remaining expected work in baseline seconds: queued
-    /// entries' per-query service plus in-flight batches' booked
-    /// service, maintained incrementally (the [`ExpectedWait`]
-    /// estimator; see router.rs module docs).
-    ///
-    /// [`ExpectedWait`]: crate::ExpectedWait
-    remaining_work: Vec<f64>,
-    /// Resource group of each pipeline stage (the static map routing
-    /// contexts expose to affinity routers).
-    stage_groups: Vec<usize>,
-    /// Replica chosen (index within its group) per query per stage,
-    /// laid out `query * num_stages + stage` — the routing history
-    /// behind [`RoutingCtx`].
-    chosen: Vec<u32>,
-    /// Per-slot waiting entries, kept sorted by (policy priority,
-    /// admission seq) — FIFO inserts are O(1) appends.
-    waiting: Vec<VecDeque<QueueEntry>>,
-    /// Per-slot waiting-entry counts, mirrored off `waiting` so router
-    /// probes read one contiguous array (see [`ReplicaLoads`]).
-    queued: Vec<usize>,
-    /// Per-slot queries currently in service (the router's load signal).
-    in_flight: Vec<usize>,
-    /// Per-slot earliest armed policy recheck, if any.
-    armed: Vec<Option<f64>>,
-    /// Per-slot timer generation: bumped whenever a recheck is armed,
-    /// so superseded `Recheck` events cancel lazily at pop.
-    timer_gen: Vec<u64>,
-    /// Busy unit-seconds per slot for utilization accounting.
-    busy_unit_seconds: Vec<f64>,
-    /// Per-group router state (round-robin cursors, probe RNG).
-    router_states: Vec<RouterState>,
-    /// In-flight batches, indexed by `Complete` events; completed slots
-    /// are recycled through `free_batches` so the table stays at the
-    /// concurrency high-water mark instead of growing per launch.
-    batches: Vec<Batch>,
-    /// Recyclable `batches` indices.
-    free_batches: Vec<usize>,
-    /// Spare query buffers recycled from completed multi-query batches.
-    query_pool: Vec<Vec<usize>>,
-    finish_time: Vec<f64>,
-    completed: usize,
     last_time: f64,
+    completed: usize,
     launches: u64,
     served: u64,
-    /// Closed-loop state: next query index to inject, and think time.
+    /// Closed-loop state: next query index to inject.
     next_inject: usize,
-    think_time_s: Option<f64>,
-    /// Cached `policy.admit_on_arrival()` (consulted on every arrival).
-    work_conserving: bool,
     /// Number of schedule-driven arrivals (the `times()` prefix; seqs
     /// `0..schedule_len` are reserved for them).
     schedule_len: usize,
+    /// `num_queries * WARMUP_FRACTION`, precomputed: completions of
+    /// queries below this index are warmup and skip latency recording.
+    warmup_len: usize,
+    num_queries: usize,
+    /// Units currently in service across all slots — the utilization
+    /// integrand.
+    busy_units_now: usize,
+    /// Waiting queries across all slots (queued plus parked) — the
+    /// queue-depth integrand.
+    total_queued_entries: usize,
+    /// Cached `policy.admit_on_arrival()` (consulted on every arrival).
+    work_conserving: bool,
     /// Whether the arrival schedule is staged lazily: one stage-0 event
     /// in the heap at a time, each pop staging its successor. Keeping
     /// the heap at the in-flight high-water mark instead of the full
@@ -376,28 +443,146 @@ struct Sim<'a> {
     /// because every schedule arrival's heap seq is preassigned to its
     /// query index either way.
     lazy_arrivals: bool,
-
-    // --- Replica lifecycle (inert defaults; see `enable_lifecycle`) ---
+    /// Whether the router reads the work/speed estimator signals
+    /// ([`Router::uses_estimates`]); false keeps `queued_work`,
+    /// `inflight_finish`, and `inflight_count` empty and their hot-path
+    /// maintenance skipped.
+    track_est: bool,
+    /// Whether the router reads per-query routing history
+    /// ([`Router::uses_history`]) on a multi-stage pipeline; false
+    /// skips `chosen` entirely and routes with an empty history slice.
+    track_hist: bool,
     /// Whether any lifecycle machinery is live (scheduled events or an
     /// autoscaling controller). False keeps every guarded branch cold
     /// and the run bit-identical to the lifecycle-free loop.
     lifecycle_active: bool,
+    /// Whether time-weighted integrals accrue (any lifecycle activity,
+    /// or an explicit telemetry window).
+    telemetry_active: bool,
+    /// Whether latency/throughput are recorded at completion time (see
+    /// [`SCALE_RECORDING_THRESHOLD`]; always true for stage shards).
+    record_at_completion: bool,
+
+    // --- Hot containers ---
+    heap: BinaryHeap<Event>,
+    stages: &'a [StageSpec],
+    /// Per-slot waiting entries, kept sorted by (policy priority,
+    /// admission seq) — FIFO inserts are O(1) appends.
+    waiting: Vec<VecDeque<QueueEntry>>,
+    /// Per-slot waiting-entry counts, mirrored off `waiting` so router
+    /// probes read one contiguous array (see [`ReplicaLoads`]).
+    queued: Vec<usize>,
+    /// Per-slot queries currently in service (the router's load signal).
+    in_flight: Vec<usize>,
+    /// Per-slot free units (router signal, maintained incrementally).
+    free: Vec<usize>,
+    /// Absolute stage-0 arrival time per query (NaN until injected).
+    arrival_time: Vec<f64>,
+    finish_time: Vec<f64>,
+    /// In-flight batches, indexed by `Complete` events; completed slots
+    /// are recycled through `free_batches` so the table stays at the
+    /// concurrency high-water mark instead of growing per launch.
+    batches: Vec<Batch>,
+    /// Recyclable `batches` indices.
+    free_batches: Vec<usize>,
+    /// Per-batch-table-slot generation: bumped when a fail-stop kills
+    /// the batch, cancelling its pending `Complete` lazily.
+    batch_gen: Vec<u64>,
+    /// Spare query buffers recycled from completed multi-query batches.
+    query_pool: Vec<Vec<usize>>,
+    /// First flattened replica slot of each resource group: replica `r`
+    /// of group `g` lives at slot `slot_base[g] + r`. Single-replica
+    /// pipelines flatten to one slot per group, reproducing the
+    /// pre-cluster layout exactly.
+    slot_base: Vec<usize>,
+    /// Resource group owning each slot.
+    slot_group: Vec<usize>,
+    /// Replica count per group (cached off the spec for the hot path).
+    group_replicas: Vec<usize>,
+    /// Resource group of each pipeline stage (the static map routing
+    /// contexts expose to affinity routers).
+    stage_groups: Vec<usize>,
+    /// Per-slot *current* service-rate multiplier: the profile speed,
+    /// scaled down while warming. Equal to `slot_speed` on
+    /// lifecycle-free runs (bit-identical estimates and service times).
+    cur_speed: Vec<f64>,
+    /// Per-slot earliest armed policy recheck, if any.
+    armed: Vec<Option<f64>>,
+    /// Per-slot timer generation: bumped whenever a recheck is armed,
+    /// so superseded `Recheck` events cancel lazily at pop.
+    timer_gen: Vec<u64>,
+    /// Busy unit-seconds per slot for utilization accounting.
+    busy_unit_seconds: Vec<f64>,
+    /// Per-group router state (round-robin cursors, probe RNG).
+    router_states: Vec<RouterState>,
+    policy: &'a dyn SchedulingPolicy,
+    router: &'a dyn Router,
+    /// Closed-loop think time, when the arrivals are a closed loop.
+    think_time_s: Option<f64>,
+
+    // --- Estimator / history columns (empty unless tracked) ---
+    /// Per-slot queued (not yet launched) work in baseline seconds —
+    /// one of the two [`ExpectedWait`] estimator signals (see router.rs
+    /// module docs). Empty (never maintained) unless the router reads
+    /// estimates (`track_est`).
+    ///
+    /// [`ExpectedWait`]: crate::ExpectedWait
+    queued_work: Vec<f64>,
+    /// Per-slot sum of live batches' absolute finish times — with
+    /// `inflight_count`, the decay-aware in-flight wait signal:
+    /// `inflight_finish[s] - inflight_count[s] * now` is exactly the
+    /// summed not-yet-elapsed service of the slot's running batches.
+    /// Empty unless `track_est`.
+    inflight_finish: Vec<f64>,
+    /// Per-slot count of live batches (the decay term's multiplier).
+    /// Empty unless `track_est`.
+    inflight_count: Vec<usize>,
+    /// Replica chosen (index within its group) per query per stage,
+    /// laid out `query * num_stages + stage` — the routing history
+    /// behind [`RoutingCtx`]. Empty (never written) unless the router
+    /// reads history (`track_hist`), sparing a 10M-query run the
+    /// `4 * queries * stages`-byte table.
+    chosen: Vec<u32>,
+
+    // --- Per-run configuration and recording ---
+    spec: &'a PipelineSpec,
+    arrivals: &'a dyn ArrivalProcess,
+    /// Per-slot unit capacity (per-replica, heterogeneous fleets may
+    /// differ within a group).
+    slot_capacity: Vec<usize>,
+    /// Per-slot service-rate multiplier
+    /// ([`ReplicaProfile::speed`](crate::ReplicaProfile::speed)): a
+    /// batch's service time is its baseline time divided by this.
+    slot_speed: Vec<f64>,
+    /// Lazily-pulled arrival schedule ([`ArrivalProcess::stream`]):
+    /// each popped schedule arrival pulls its successor's timestamp on
+    /// demand instead of materializing the whole schedule up front.
+    /// `None` falls back to the eager `times()` vector.
+    arrival_stream: Option<Box<dyn Iterator<Item = f64> + Send + 'a>>,
+    /// Largest arrival timestamp injected so far (the backlog test's
+    /// denominator), maintained at every `arrival_time` write so
+    /// `finish` never rescans the vector.
+    arrival_span: f64,
+    /// Completion-time latency sink (used only when
+    /// `record_at_completion`).
+    live_latency: LatencyStats,
+    /// Completion-time throughput sink (ditto).
+    live_throughput: ThroughputMeter,
+    /// Where a stage shard hands finished queries to the next stage's
+    /// shard; the serial loop and the final stage's shard keep `None`
+    /// and record completions locally (see shard.rs).
+    shard_out: Option<&'a mut dyn ShardSink>,
+
+    // --- Replica lifecycle (inert defaults; see `enable_lifecycle`) ---
     /// What happens to queries stranded by failures.
     failure_policy: FailurePolicy,
     /// Speed multiplier applied while a slot warms.
     warmup_speed: f64,
     /// Per-slot availability state.
     state: Vec<SlotState>,
-    /// Per-slot *current* service-rate multiplier: the profile speed,
-    /// scaled down while warming. Equal to `slot_speed` on
-    /// lifecycle-free runs (bit-identical estimates and service times).
-    cur_speed: Vec<f64>,
     /// Per-slot lifecycle generation: bumped on every provision, drain,
     /// and fail-stop so in-flight `WarmDone` events cancel lazily.
     slot_gen: Vec<u64>,
-    /// Per-batch-table-slot generation: bumped when a fail-stop kills
-    /// the batch, cancelling its pending `Complete` lazily.
-    batch_gen: Vec<u64>,
     /// Routable (up or warming) replicas per group — the fast "is
     /// masking needed at all" check.
     group_available: Vec<usize>,
@@ -427,22 +612,15 @@ struct Sim<'a> {
     mask_free: Vec<usize>,
     mask_work: Vec<f64>,
     mask_speed: Vec<f64>,
+    mask_finish: Vec<f64>,
+    mask_count: Vec<usize>,
     mask_hist: Vec<u32>,
 
     // --- Windowed telemetry (inert unless `telemetry_active`) ---
-    /// Whether time-weighted integrals accrue (any lifecycle activity,
-    /// or an explicit telemetry window).
-    telemetry_active: bool,
     /// Window width in seconds (0.0 = no windowed series).
     window_s: f64,
     /// Time the integrals were last advanced to.
     integral_t: f64,
-    /// Waiting queries across all slots (queued plus parked) — the
-    /// queue-depth integrand.
-    total_queued_entries: usize,
-    /// Units currently in service across all slots — the utilization
-    /// integrand.
-    busy_units_now: usize,
     /// Unit capacity of non-down slots — the utilization denominator.
     live_capacity: usize,
     /// Summed profile speeds of non-down slots — the cost integrand.
@@ -473,6 +651,35 @@ struct Sim<'a> {
     controller: Option<&'a mut dyn FleetController>,
 }
 
+/// Receives a stage shard's completions `(time, query, arrived)` for
+/// hand-off to the next stage's shard. Emission order is the shard's
+/// completion-processing order, which downstream must preserve — it is
+/// the serial loop's tie-break order for equal-time arrivals.
+pub(crate) trait ShardSink {
+    fn emit(&mut self, time: f64, query: usize, arrived: f64);
+}
+
+/// Feeds a stage shard its incoming arrivals `(time, query, arrived)`
+/// in upstream emission order (nondecreasing `time`). `None` means the
+/// upstream shard finished and no more arrivals will come.
+pub(crate) trait ShardSource {
+    fn next_arrival(&mut self) -> Option<(f64, usize, f64)>;
+}
+
+/// What one stage shard contributes to the merged [`SimResult`]: its
+/// group's utilization integrals plus the head's arrival span and the
+/// tail's latency/throughput/completion records.
+pub(crate) struct ShardOutcome {
+    pub(crate) busy_unit_seconds: Vec<f64>,
+    pub(crate) last_time: f64,
+    pub(crate) launches: u64,
+    pub(crate) served: u64,
+    pub(crate) completed: usize,
+    pub(crate) latency: LatencyStats,
+    pub(crate) qps: f64,
+    pub(crate) arrival_span: f64,
+}
+
 impl<'a> Sim<'a> {
     fn new(
         spec: &'a PipelineSpec,
@@ -482,6 +689,52 @@ impl<'a> Sim<'a> {
         num_queries: usize,
         seed: u64,
     ) -> Self {
+        let mut sim = Self::new_inner(spec, arrivals, policy, router, num_queries, seed, false);
+        sim.stage_schedule(seed);
+        sim
+    }
+
+    /// Builds one stage's shard of a sharded run (see shard.rs): the
+    /// full spec with globally-derived router-state seeds (so the
+    /// shard's group RNG stream matches the serial loop's), history
+    /// tracking off (shard eligibility requires pairwise-distinct
+    /// stage groups, so a same-group affinity prior can never exist),
+    /// completion-time recording, and — for the head shard only — the
+    /// arrival schedule.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new_shard(
+        spec: &'a PipelineSpec,
+        arrivals: &'a dyn ArrivalProcess,
+        policy: &'a dyn SchedulingPolicy,
+        router: &'a dyn Router,
+        num_queries: usize,
+        seed: u64,
+        stage: usize,
+        out: Option<&'a mut dyn ShardSink>,
+    ) -> Self {
+        let mut sim = Self::new_inner(spec, arrivals, policy, router, num_queries, seed, true);
+        sim.shard_out = out;
+        if stage == 0 {
+            sim.stage_schedule(seed);
+        }
+        sim
+    }
+
+    fn new_inner(
+        spec: &'a PipelineSpec,
+        arrivals: &'a dyn ArrivalProcess,
+        policy: &'a dyn SchedulingPolicy,
+        router: &'a dyn Router,
+        num_queries: usize,
+        seed: u64,
+        shard: bool,
+    ) -> Self {
+        // Packed heap events store query indices in 32 bits.
+        assert!(
+            num_queries <= u32::MAX as usize,
+            "at most {} queries per run",
+            u32::MAX
+        );
         let resources = spec.resources();
         let mut slot_base = Vec::with_capacity(resources.len());
         let mut slot_group = Vec::new();
@@ -504,7 +757,22 @@ impl<'a> Sim<'a> {
         let live_capacity: usize = slot_capacity.iter().sum();
         let live_cost: f64 = slot_speed.iter().sum();
         let num_groups = resources.len();
-        let mut sim = Self {
+        // Gate per-query bookkeeping on what the router actually reads:
+        // oblivious and counter-only routers skip the estimator arrays'
+        // maintenance entirely, and history-blind routers (every
+        // builtin but Sticky) skip the per-query choice table. Stage
+        // shards force history off — their eligibility (pairwise
+        // distinct stage groups) means no same-group prior can exist.
+        let track_est = router.uses_estimates();
+        let track_hist = !shard && router.uses_history() && num_stages > 1;
+        // Shards keep the serial recording mode so even the raw sample
+        // *order* inside the unfolded collector matches `serve_routed`:
+        // below the scale threshold the tail shard replays its
+        // query-indexed finish vector, above it both loops stream into
+        // the order-independent folded sinks.
+        let record_at_completion = num_queries >= SCALE_RECORDING_THRESHOLD;
+        let warmup_len = ((num_queries as f64) * WARMUP_FRACTION) as usize;
+        let sim = Self {
             spec,
             stages: spec.stages(),
             policy,
@@ -520,9 +788,29 @@ impl<'a> Sim<'a> {
             slot_capacity,
             slot_speed,
             free,
-            remaining_work: vec![0.0; num_slots],
+            queued_work: if track_est {
+                vec![0.0; num_slots]
+            } else {
+                Vec::new()
+            },
+            inflight_finish: if track_est {
+                vec![0.0; num_slots]
+            } else {
+                Vec::new()
+            },
+            inflight_count: if track_est {
+                vec![0; num_slots]
+            } else {
+                Vec::new()
+            },
             stage_groups: spec.stages().iter().map(|s| s.resource).collect(),
-            chosen: vec![u32::MAX; num_queries * num_stages],
+            chosen: if track_hist {
+                vec![u32::MAX; num_queries * num_stages]
+            } else {
+                Vec::new()
+            },
+            track_est,
+            track_hist,
             waiting: vec![VecDeque::new(); num_slots],
             queued: vec![0; num_slots],
             in_flight: vec![0; num_slots],
@@ -535,7 +823,11 @@ impl<'a> Sim<'a> {
             batches: Vec::new(),
             free_batches: Vec::new(),
             query_pool: Vec::new(),
-            finish_time: vec![f64::NAN; num_queries],
+            finish_time: if record_at_completion {
+                Vec::new()
+            } else {
+                vec![f64::NAN; num_queries]
+            },
             completed: 0,
             last_time: 0.0,
             launches: 0,
@@ -565,6 +857,8 @@ impl<'a> Sim<'a> {
             mask_free: Vec::new(),
             mask_work: Vec::new(),
             mask_speed: Vec::new(),
+            mask_finish: Vec::new(),
+            mask_count: Vec::new(),
             mask_hist: Vec::new(),
             telemetry_active: false,
             window_s: 0.0,
@@ -590,47 +884,75 @@ impl<'a> Sim<'a> {
             windows: Vec::new(),
             scale: None,
             controller: None,
+            arrival_stream: None,
+            arrival_span: 0.0,
+            record_at_completion,
+            warmup_len,
+            live_latency: LatencyStats::with_capacity(if record_at_completion {
+                num_queries.saturating_sub(warmup_len)
+            } else {
+                0
+            }),
+            live_throughput: ThroughputMeter::new(),
+            shard_out: None,
         };
+        sim
+    }
 
-        // Record the open-loop schedule up front; a closed loop starts
-        // only its client population and derives the rest from
-        // completions. Schedule arrival `q` always carries heap seq `q`
-        // (the counter resumes at `initial`), so staging events lazily
-        // or eagerly yields the same (time, seq) total order — the heap
-        // just stays small in the lazy case.
-        let initial = match arrivals.closed_loop() {
+    /// Stages the open-loop arrival schedule (a closed loop starts only
+    /// its client population and derives the rest from completions).
+    /// Schedule arrival `q` always carries heap seq `q` (the counter
+    /// resumes at `initial`), so staging events lazily or eagerly
+    /// yields the same (time, seq) total order — the heap just stays
+    /// small in the lazy case.
+    ///
+    /// Processes exposing [`ArrivalProcess::stream`] are consumed
+    /// lazily too: one timestamp is pulled per staged event, so a
+    /// 10M-query replay never materializes the schedule vector.
+    fn stage_schedule(&mut self, seed: u64) {
+        let num_queries = self.num_queries;
+        let initial = match self.arrivals.closed_loop() {
             Some(cl) => {
-                sim.think_time_s = Some(cl.think_time_s);
+                self.think_time_s = Some(cl.think_time_s);
                 cl.clients.min(num_queries)
             }
             None => num_queries,
         };
+        self.seq = initial as u64;
+        self.schedule_len = initial;
+        self.next_inject = initial;
+        if initial == 0 {
+            return;
+        }
+        let arrivals = self.arrivals;
+        if let Some(mut stream) = arrivals.stream(seed) {
+            // Streamed schedules are nondecreasing by the `stream`
+            // contract (every implementor replays `times()` and all
+            // built-in processes emit sorted schedules), so lazy
+            // staging always applies.
+            let t0 = stream.next().expect("arrival stream ended early");
+            self.arrival_time[0] = t0;
+            self.arrival_span = self.arrival_span.max(t0);
+            self.lazy_arrivals = true;
+            self.arrival_stream = Some(stream);
+            self.heap.push(Event::arrive(t0, 0, 0, 0));
+            return;
+        }
         let times = arrivals.times(initial, seed);
         for (query, &t) in times.iter().enumerate() {
-            sim.arrival_time[query] = t;
+            self.arrival_time[query] = t;
+            self.arrival_span = self.arrival_span.max(t);
         }
-        sim.seq = initial as u64;
-        sim.schedule_len = initial;
-        sim.lazy_arrivals = times.windows(2).all(|w| w[0] <= w[1]);
-        if sim.lazy_arrivals {
+        self.lazy_arrivals = times.windows(2).all(|w| w[0] <= w[1]);
+        if self.lazy_arrivals {
             if let Some(&t0) = times.first() {
-                sim.heap.push(Event {
-                    time: t0,
-                    seq: 0,
-                    kind: EventKind::Arrive { query: 0, stage: 0 },
-                });
+                self.heap.push(Event::arrive(t0, 0, 0, 0));
             }
         } else {
             for (query, &t) in times.iter().enumerate() {
-                sim.heap.push(Event {
-                    time: t,
-                    seq: query as u64,
-                    kind: EventKind::Arrive { query, stage: 0 },
-                });
+                self.heap.push(Event::arrive(t, query as u64, query, 0));
             }
         }
-        sim.next_inject = initial;
-        sim
     }
 
     /// Arms the replica lifecycle: flattens every group's attached
@@ -657,11 +979,7 @@ impl<'a> Sim<'a> {
                 }
                 let idx = self.sched.len();
                 self.sched.push((slot, event));
-                self.heap.push(Event {
-                    time: event.time,
-                    seq: self.seq,
-                    kind: EventKind::Lifecycle { idx },
-                });
+                self.heap.push(Event::lifecycle(event.time, self.seq, idx));
                 self.seq += 1;
             }
         }
@@ -669,11 +987,7 @@ impl<'a> Sim<'a> {
         if let Some(w) = cfg.window_s {
             self.telemetry_active = true;
             self.window_s = w;
-            self.heap.push(Event {
-                time: w,
-                seq: self.seq,
-                kind: EventKind::WindowTick,
-            });
+            self.heap.push(Event::window_tick(w, self.seq));
             self.seq += 1;
         }
         if self.lifecycle_active {
@@ -707,17 +1021,14 @@ impl<'a> Sim<'a> {
 
     fn inject(&mut self, query: usize, t: f64) {
         self.arrival_time[query] = t;
+        self.arrival_span = self.arrival_span.max(t);
         // Closed-loop arrivals are attributed to the window in which the
         // client issues them (skew vs first service at most the think
         // time).
         if self.telemetry_active {
             self.win_arrivals += 1;
         }
-        self.heap.push(Event {
-            time: t,
-            seq: self.seq,
-            kind: EventKind::Arrive { query, stage: 0 },
-        });
+        self.heap.push(Event::arrive(t, self.seq, query, 0));
         self.seq += 1;
     }
 
@@ -732,37 +1043,45 @@ impl<'a> Sim<'a> {
     /// Returns `None` when lifecycle masking leaves the group with no
     /// routable (up or warming) replica — the caller sheds, parks, or
     /// fails the run per the [`FailurePolicy`].
-    fn route(&mut self, query: usize, stage_idx: usize) -> Option<usize> {
+    fn route(&mut self, now: f64, query: usize, stage_idx: usize) -> Option<usize> {
         let group = self.stages[stage_idx].resource;
         let base = self.slot_base[group];
         let replicas = self.group_replicas[group];
         if self.lifecycle_active && self.group_available[group] < replicas {
-            return self.route_masked(query, stage_idx, group);
+            return self.route_masked(now, query, stage_idx, group);
         }
         let num_stages = self.stages.len();
         let pick = if replicas == 1 {
             0
         } else {
             debug_assert!((base..base + replicas).all(|s| self.queued[s] == self.waiting[s].len()));
-            debug_assert!((base..base + replicas)
-                .all(|s| { (self.remaining_work[s] - self.scan_remaining_work(s)).abs() < 1e-6 }));
-            let loads = ReplicaLoads::new(
+            debug_assert!(
+                !self.track_est || (base..base + replicas).all(|s| self.estimator_mirrors_scan(s))
+            );
+            let mut loads = ReplicaLoads::new(
                 &self.queued[base..base + replicas],
                 &self.in_flight[base..base + replicas],
                 &self.free[base..base + replicas],
-            )
-            .with_estimates(
-                &self.remaining_work[base..base + replicas],
-                &self.cur_speed[base..base + replicas],
             );
+            if self.track_est {
+                loads = loads
+                    .with_estimates(
+                        &self.queued_work[base..base + replicas],
+                        &self.cur_speed[base..base + replicas],
+                    )
+                    .with_in_flight_decay(
+                        &self.inflight_finish[base..base + replicas],
+                        &self.inflight_count[base..base + replicas],
+                        now,
+                    );
+            }
             let history = query * num_stages;
-            let ctx = RoutingCtx::new(
-                query,
-                stage_idx,
-                group,
-                &self.chosen[history..history + stage_idx],
-                &self.stage_groups,
-            );
+            let prior: &[u32] = if self.track_hist {
+                &self.chosen[history..history + stage_idx]
+            } else {
+                &[]
+            };
+            let ctx = RoutingCtx::new(query, stage_idx, group, prior, &self.stage_groups);
             let pick = self
                 .router
                 .route_indexed(&loads, &ctx, &mut self.router_states[group]);
@@ -772,7 +1091,9 @@ impl<'a> Sim<'a> {
             );
             pick
         };
-        self.chosen[query * num_stages + stage_idx] = pick as u32;
+        if self.track_hist {
+            self.chosen[query * num_stages + stage_idx] = pick as u32;
+        }
         Some(base + pick)
     }
 
@@ -782,7 +1103,13 @@ impl<'a> Sim<'a> {
     /// `u32::MAX`, which affinity routers treat as "no prior" and fall
     /// back), and routes over the compacted view. Routers never see a
     /// draining or down replica.
-    fn route_masked(&mut self, query: usize, stage_idx: usize, group: usize) -> Option<usize> {
+    fn route_masked(
+        &mut self,
+        now: f64,
+        query: usize,
+        stage_idx: usize,
+        group: usize,
+    ) -> Option<usize> {
         let base = self.slot_base[group];
         let replicas = self.group_replicas[group];
         let num_stages = self.stages.len();
@@ -792,6 +1119,8 @@ impl<'a> Sim<'a> {
         self.mask_free.clear();
         self.mask_work.clear();
         self.mask_speed.clear();
+        self.mask_finish.clear();
+        self.mask_count.clear();
         for r in 0..replicas {
             let slot = base + r;
             if self.state[slot].routable() {
@@ -799,8 +1128,12 @@ impl<'a> Sim<'a> {
                 self.mask_queued.push(self.queued[slot]);
                 self.mask_inflight.push(self.in_flight[slot]);
                 self.mask_free.push(self.free[slot]);
-                self.mask_work.push(self.remaining_work[slot]);
-                self.mask_speed.push(self.cur_speed[slot]);
+                if self.track_est {
+                    self.mask_work.push(self.queued_work[slot]);
+                    self.mask_speed.push(self.cur_speed[slot]);
+                    self.mask_finish.push(self.inflight_finish[slot]);
+                    self.mask_count.push(self.inflight_count[slot]);
+                }
             }
         }
         if self.mask_idx.is_empty() {
@@ -811,20 +1144,27 @@ impl<'a> Sim<'a> {
         } else {
             let history = query * num_stages;
             self.mask_hist.clear();
-            for s in 0..stage_idx {
-                let prior = self.chosen[history + s];
-                let remapped = if self.stage_groups[s] == group {
-                    self.mask_idx
-                        .iter()
-                        .position(|&r| r == prior as usize)
-                        .map_or(u32::MAX, |at| at as u32)
-                } else {
-                    prior
-                };
-                self.mask_hist.push(remapped);
+            if self.track_hist {
+                for s in 0..stage_idx {
+                    let prior = self.chosen[history + s];
+                    let remapped = if self.stage_groups[s] == group {
+                        self.mask_idx
+                            .iter()
+                            .position(|&r| r == prior as usize)
+                            .map_or(u32::MAX, |at| at as u32)
+                    } else {
+                        prior
+                    };
+                    self.mask_hist.push(remapped);
+                }
             }
-            let loads = ReplicaLoads::new(&self.mask_queued, &self.mask_inflight, &self.mask_free)
-                .with_estimates(&self.mask_work, &self.mask_speed);
+            let mut loads =
+                ReplicaLoads::new(&self.mask_queued, &self.mask_inflight, &self.mask_free);
+            if self.track_est {
+                loads = loads
+                    .with_estimates(&self.mask_work, &self.mask_speed)
+                    .with_in_flight_decay(&self.mask_finish, &self.mask_count, now);
+            }
             let ctx = RoutingCtx::new(query, stage_idx, group, &self.mask_hist, &self.stage_groups);
             let pick = self
                 .router
@@ -837,29 +1177,35 @@ impl<'a> Sim<'a> {
             pick
         };
         let replica = self.mask_idx[pick];
-        self.chosen[query * num_stages + stage_idx] = replica as u32;
+        if self.track_hist {
+            self.chosen[query * num_stages + stage_idx] = replica as u32;
+        }
         Some(base + replica)
     }
 
-    /// Recomputes one slot's remaining expected work from scratch by
-    /// scanning its queue and the live batch table — the ground truth
-    /// the incrementally-maintained `remaining_work` counter is checked
-    /// against under the test profile (a drift beyond float noise means
-    /// an update path was missed). Only `debug_assert!` calls it, so
-    /// release builds compile it out with the assertion.
-    fn scan_remaining_work(&self, slot: usize) -> f64 {
+    /// Recomputes one slot's estimator signals from scratch by scanning
+    /// its queue and the live batch table — the ground truth the
+    /// incrementally-maintained `queued_work` / `inflight_finish` /
+    /// `inflight_count` columns are checked against under the test
+    /// profile (a drift beyond float noise means an update path was
+    /// missed). Only `debug_assert!` calls it, so release builds
+    /// compile it out with the assertion.
+    fn estimator_mirrors_scan(&self, slot: usize) -> bool {
         let queued: f64 = self.waiting[slot]
             .iter()
             .map(|e| self.stages[e.stage].service_time)
             .sum();
-        let in_service: f64 = self
-            .batches
-            .iter()
-            .enumerate()
-            .filter(|(idx, b)| b.slot == slot && !self.free_batches.contains(idx))
-            .map(|(_, b)| self.stages[b.stage].batch_service_time(b.queries.len()))
-            .sum();
-        queued + in_service
+        let mut count = 0usize;
+        let mut finish_sum = 0.0f64;
+        for (idx, b) in self.batches.iter().enumerate() {
+            if b.slot == slot && !self.free_batches.contains(&idx) {
+                count += 1;
+                finish_sum += b.finish;
+            }
+        }
+        (self.queued_work[slot] - queued).abs() < 1e-6
+            && self.inflight_count[slot] == count
+            && (self.inflight_finish[slot] - finish_sum).abs() < 1e-6
     }
 
     /// Launches a batch of same-stage entries on `slot` at `now`. The
@@ -873,8 +1219,21 @@ impl<'a> Sim<'a> {
         self.free[slot] -= stage.units;
         self.in_flight[slot] += queries.len();
         let base_service = stage.batch_service_time(queries.len());
-        self.remaining_work[slot] += base_service;
-        let service = base_service / self.cur_speed[slot];
+        // Full-speed slots (every slot on a homogeneous lifecycle-free
+        // fleet) skip the divide: `x / 1.0 == x` exactly, so the branch
+        // is bit-identical and predicts perfectly when speeds are
+        // uniform.
+        let speed = self.cur_speed[slot];
+        let service = if speed == 1.0 {
+            base_service
+        } else {
+            base_service / speed
+        };
+        let finish = now + service;
+        if self.track_est {
+            self.inflight_finish[slot] += finish;
+            self.inflight_count[slot] += 1;
+        }
         self.busy_unit_seconds[slot] += stage.units as f64 * service;
         self.busy_units_now += stage.units;
         self.launches += 1;
@@ -883,7 +1242,7 @@ impl<'a> Sim<'a> {
             stage: stage_idx,
             slot,
             queries,
-            finish: now + service,
+            finish,
         };
         // Recycle a completed batch slot when one is free; the table
         // stays sized to the in-flight high-water mark.
@@ -898,14 +1257,12 @@ impl<'a> Sim<'a> {
                 self.batches.len() - 1
             }
         };
-        self.heap.push(Event {
-            time: now + service,
-            seq: self.seq,
-            kind: EventKind::Complete {
-                batch,
-                gen: self.batch_gen[batch],
-            },
-        });
+        self.heap.push(Event::complete(
+            finish,
+            self.seq,
+            batch,
+            self.batch_gen[batch],
+        ));
         self.seq += 1;
     }
 
@@ -913,7 +1270,9 @@ impl<'a> Sim<'a> {
     /// position. Priorities are static per entry, so the queue stays
     /// sorted; FIFO-ordered policies always append in O(1).
     fn enqueue(&mut self, slot: usize, entry: QueueEntry) {
-        self.remaining_work[slot] += self.stages[entry.stage].service_time;
+        if self.track_est {
+            self.queued_work[slot] += self.stages[entry.stage].service_time;
+        }
         let p = self.policy.priority(&entry);
         let queue = &mut self.waiting[slot];
         let mut at = queue.len();
@@ -960,8 +1319,10 @@ impl<'a> Sim<'a> {
         self.total_queued_entries -= taken;
         // Mirror enqueue's per-entry additions one by one so the
         // counter drifts no differently than the updates it reverses.
-        for _ in 0..taken {
-            self.remaining_work[slot] -= self.stages[stage].service_time;
+        if self.track_est {
+            for _ in 0..taken {
+                self.queued_work[slot] -= self.stages[stage].service_time;
+            }
         }
     }
 
@@ -974,7 +1335,9 @@ impl<'a> Sim<'a> {
         let taken = queue.remove(at).map(|e| e.query);
         self.queued[slot] -= 1;
         self.total_queued_entries -= 1;
-        self.remaining_work[slot] -= self.stages[stage].service_time;
+        if self.track_est {
+            self.queued_work[slot] -= self.stages[stage].service_time;
+        }
         taken
     }
 
@@ -1026,14 +1389,8 @@ impl<'a> Sim<'a> {
                     if self.armed[slot].is_none_or(|armed| t < armed) {
                         self.armed[slot] = Some(t);
                         self.timer_gen[slot] += 1;
-                        self.heap.push(Event {
-                            time: t,
-                            seq: self.seq,
-                            kind: EventKind::Recheck {
-                                slot,
-                                gen: self.timer_gen[slot],
-                            },
-                        });
+                        self.heap
+                            .push(Event::recheck(t, self.seq, slot, self.timer_gen[slot]));
                         self.seq += 1;
                     }
                     return;
@@ -1063,7 +1420,7 @@ impl<'a> Sim<'a> {
     }
 
     fn on_arrive(&mut self, now: f64, query: usize, stage_idx: usize) {
-        let Some(slot) = self.route(query, stage_idx) else {
+        let Some(slot) = self.route(now, query, stage_idx) else {
             self.handle_unroutable(now, query, stage_idx);
             return;
         };
@@ -1146,14 +1503,8 @@ impl<'a> Sim<'a> {
     fn strand(&mut self, now: f64, query: usize, stage_idx: usize, was_in_flight: bool) {
         match self.failure_policy {
             FailurePolicy::Requeue => {
-                self.heap.push(Event {
-                    time: now,
-                    seq: self.seq,
-                    kind: EventKind::Arrive {
-                        query,
-                        stage: stage_idx,
-                    },
-                });
+                self.heap
+                    .push(Event::arrive(now, self.seq, query, stage_idx));
                 self.seq += 1;
             }
             FailurePolicy::Shed => {
@@ -1174,14 +1525,8 @@ impl<'a> Sim<'a> {
         let parked = std::mem::take(&mut self.parked[group]);
         self.total_queued_entries -= parked.len();
         for (query, stage_idx) in parked {
-            self.heap.push(Event {
-                time: now,
-                seq: self.seq,
-                kind: EventKind::Arrive {
-                    query,
-                    stage: stage_idx,
-                },
-            });
+            self.heap
+                .push(Event::arrive(now, self.seq, query, stage_idx));
             self.seq += 1;
         }
     }
@@ -1207,7 +1552,11 @@ impl<'a> Sim<'a> {
         }
         let group = self.slot_group[slot];
         self.free[slot] = self.slot_capacity[slot];
-        self.remaining_work[slot] = 0.0;
+        if self.track_est {
+            self.queued_work[slot] = 0.0;
+            self.inflight_finish[slot] = 0.0;
+            self.inflight_count[slot] = 0;
+        }
         self.slot_gen[slot] += 1;
         self.group_available[group] += 1;
         self.live_capacity += self.slot_capacity[slot];
@@ -1215,14 +1564,12 @@ impl<'a> Sim<'a> {
         if warmup_s > 0.0 {
             self.state[slot] = SlotState::Warming;
             self.cur_speed[slot] = self.slot_speed[slot] * self.warmup_speed;
-            self.heap.push(Event {
-                time: now + warmup_s,
-                seq: self.seq,
-                kind: EventKind::WarmDone {
-                    slot,
-                    gen: self.slot_gen[slot],
-                },
-            });
+            self.heap.push(Event::warm_done(
+                now + warmup_s,
+                self.seq,
+                slot,
+                self.slot_gen[slot],
+            ));
             self.seq += 1;
         } else {
             self.state[slot] = SlotState::Up;
@@ -1304,7 +1651,11 @@ impl<'a> Sim<'a> {
         self.queued[slot] = 0;
         self.in_flight[slot] = 0;
         self.free[slot] = 0;
-        self.remaining_work[slot] = 0.0;
+        if self.track_est {
+            self.queued_work[slot] = 0.0;
+            self.inflight_finish[slot] = 0.0;
+            self.inflight_count[slot] = 0;
+        }
         self.armed[slot] = None;
         self.timer_gen[slot] += 1; // cancels pending rechecks
         self.slot_gen[slot] += 1; // cancels a pending WarmDone
@@ -1444,7 +1795,7 @@ impl<'a> Sim<'a> {
             stage,
             slot,
             queries,
-            finish: _,
+            finish,
         } = std::mem::replace(
             &mut self.batches[batch],
             Batch {
@@ -1458,7 +1809,10 @@ impl<'a> Sim<'a> {
         let s = &self.stages[stage];
         self.free[slot] += s.units;
         self.in_flight[slot] -= queries.len();
-        self.remaining_work[slot] -= s.batch_service_time(queries.len());
+        if self.track_est {
+            self.inflight_finish[slot] -= finish;
+            self.inflight_count[slot] -= 1;
+        }
         self.busy_units_now -= s.units;
         // Conservation invariant (active under the test profile): a
         // release can never return more units than the replica owns.
@@ -1485,22 +1839,37 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// Sends a query that finished `stage` to the next stage, or
-    /// records its completion (re-arming its closed-loop client).
+    /// Sends a query that finished `stage` to the next stage (or, on a
+    /// stage shard, to the next stage's shard), or records its
+    /// completion (re-arming its closed-loop client).
     fn route_onward(&mut self, now: f64, query: usize, stage: usize) {
+        if let Some(out) = self.shard_out.as_mut() {
+            // Stage shard with a downstream: hand the query over at its
+            // completion instant — the serial loop's same-time Arrive
+            // push, minus the shared heap.
+            out.emit(now, query, self.arrival_time[query]);
+            return;
+        }
         if stage + 1 < self.stages.len() {
-            self.heap.push(Event {
-                time: now,
-                seq: self.seq,
-                kind: EventKind::Arrive {
-                    query,
-                    stage: stage + 1,
-                },
-            });
+            self.heap
+                .push(Event::arrive(now, self.seq, query, stage + 1));
             self.seq += 1;
         } else {
-            self.finish_time[query] = now;
             self.completed += 1;
+            if self.record_at_completion {
+                // At-scale (and shard-tail) recording: stream the
+                // latency and completion straight into the sinks; both
+                // are order-independent, so this matches the
+                // query-order replay in `finish` exactly.
+                if query >= self.warmup_len {
+                    self.live_latency
+                        .record_secs(now - self.arrival_time[query]);
+                }
+                self.live_throughput
+                    .record_completion(Duration::from_secs_f64(now));
+            } else {
+                self.finish_time[query] = now;
+            }
             if self.telemetry_active {
                 self.win_completed += 1;
                 self.win_latencies.push(now - self.arrival_time[query]);
@@ -1517,13 +1886,32 @@ impl<'a> Sim<'a> {
         }
     }
 
+    /// Stages schedule arrival `query + 1` after arrival `query` popped
+    /// (lazy staging): the successor's timestamp comes off the arrival
+    /// stream when one is attached, or the pre-filled `arrival_time`
+    /// vector otherwise.
+    fn stage_next_arrival(&mut self, query: usize) {
+        let next = query + 1;
+        if let Some(stream) = self.arrival_stream.as_mut() {
+            let t = stream.next().expect("arrival stream ended early");
+            debug_assert!(
+                t >= self.arrival_time[query],
+                "streamed arrivals must be nondecreasing"
+            );
+            self.arrival_time[next] = t;
+            self.arrival_span = self.arrival_span.max(t);
+        }
+        self.heap
+            .push(Event::arrive(self.arrival_time[next], next as u64, next, 0));
+    }
+
     fn run(mut self) -> Result<SimResult, SimError> {
         while let Some(event) = self.heap.pop() {
             let now = event.time;
             if self.telemetry_active {
                 self.tele_advance(now);
             }
-            match event.kind {
+            match event.kind() {
                 EventKind::Arrive { query, stage } => {
                     self.last_time = now;
                     // A lazily-staged schedule arrival stages its
@@ -1534,18 +1922,10 @@ impl<'a> Sim<'a> {
                     // staging duplicates).
                     if self.lazy_arrivals
                         && stage == 0
-                        && event.seq as usize == query
+                        && event.seq() as usize == query
                         && query + 1 < self.schedule_len
                     {
-                        let next = query + 1;
-                        self.heap.push(Event {
-                            time: self.arrival_time[next],
-                            seq: next as u64,
-                            kind: EventKind::Arrive {
-                                query: next,
-                                stage: 0,
-                            },
-                        });
+                        self.stage_next_arrival(query);
                     }
                     // Window arrival counting: schedule-driven stage-0
                     // arrivals only (their heap seq is their query
@@ -1556,7 +1936,7 @@ impl<'a> Sim<'a> {
                     if self.telemetry_active
                         && stage == 0
                         && query < self.schedule_len
-                        && event.seq as usize == query
+                        && event.seq() as usize == query
                     {
                         self.win_arrivals += 1;
                     }
@@ -1568,7 +1948,7 @@ impl<'a> Sim<'a> {
                 EventKind::Complete { batch, gen } => {
                     // A fail-stop that killed the batch bumped its
                     // generation; the orphaned completion is a no-op.
-                    if gen == self.batch_gen[batch] {
+                    if gen == self.batch_gen[batch] as u32 {
                         self.last_time = now;
                         self.on_complete(now, batch);
                     }
@@ -1581,7 +1961,7 @@ impl<'a> Sim<'a> {
                     // armed time is always at or before the head
                     // entry's hold deadline), so skipping it changes
                     // nothing but the wasted queue scan.
-                    if gen == self.timer_gen[slot] {
+                    if gen == self.timer_gen[slot] as u32 {
                         self.armed[slot] = None;
                         self.dispatch(now, slot);
                     }
@@ -1601,7 +1981,7 @@ impl<'a> Sim<'a> {
                     }
                 }
                 EventKind::WarmDone { slot, gen } => {
-                    if gen == self.slot_gen[slot] && self.state[slot] == SlotState::Warming {
+                    if gen == self.slot_gen[slot] as u32 && self.state[slot] == SlotState::Warming {
                         self.state[slot] = SlotState::Up;
                         self.cur_speed[slot] = self.slot_speed[slot];
                     }
@@ -1613,11 +1993,8 @@ impl<'a> Sim<'a> {
                     // (partial) window closes in `finish`.
                     let done = self.completed + self.shed + self.dropped;
                     if done < self.num_queries && !self.heap.is_empty() {
-                        self.heap.push(Event {
-                            time: now + self.window_s,
-                            seq: self.seq,
-                            kind: EventKind::WindowTick,
-                        });
+                        self.heap
+                            .push(Event::window_tick(now + self.window_s, self.seq));
                         self.seq += 1;
                     }
                 }
@@ -1627,6 +2004,138 @@ impl<'a> Sim<'a> {
             return Err(err);
         }
         Ok(self.finish())
+    }
+
+    /// Runs one stage's shard of a sharded (lifecycle-free) run.
+    ///
+    /// The head shard (`input` is `None`) replays the arrival schedule
+    /// through the normal heap. Downstream shards merge their internal
+    /// event heap with the incoming arrival stream: an incoming arrival
+    /// at time `t` was *created* at `t` (the upstream completion's
+    /// instant), while every internal event at `t` was created strictly
+    /// earlier (launches precede completions because service times are
+    /// positive, and rechecks only arm strictly-future deadlines) — so
+    /// on equal timestamps internal events run first, exactly the
+    /// serial loop's global-seq tie order. Relative order *within* the
+    /// incoming stream is upstream completion order, again matching the
+    /// serial loop by induction.
+    pub(crate) fn run_shard(
+        mut self,
+        stage: usize,
+        mut input: Option<&mut dyn ShardSource>,
+    ) -> ShardOutcome {
+        match input.as_mut() {
+            None => {
+                while let Some(event) = self.heap.pop() {
+                    self.handle_shard_event(event);
+                }
+            }
+            Some(src) => {
+                let mut pending = src.next_arrival();
+                loop {
+                    let take_heap = match (self.heap.peek(), pending) {
+                        (Some(ev), Some((t, _, _))) => ev.time <= t,
+                        (Some(_), None) => true,
+                        (None, Some(_)) => false,
+                        (None, None) => break,
+                    };
+                    if take_heap {
+                        let event = self.heap.pop().expect("peeked event exists");
+                        self.handle_shard_event(event);
+                    } else {
+                        let (t, query, arrived) = pending.take().expect("checked above");
+                        pending = src.next_arrival();
+                        // The query's end-to-end clock starts at its
+                        // *original* arrival (EDF deadlines and latency
+                        // both key off it), not the hand-off instant.
+                        self.arrival_time[query] = arrived;
+                        self.arrival_span = self.arrival_span.max(arrived);
+                        self.last_time = t;
+                        self.on_arrive(t, query, stage);
+                    }
+                }
+            }
+        }
+        self.finish_shard()
+    }
+
+    /// One event of a stage shard's loop — the lifecycle-free subset of
+    /// [`run`](Self::run)'s dispatch.
+    fn handle_shard_event(&mut self, event: Event) {
+        let now = event.time;
+        match event.kind() {
+            EventKind::Arrive { query, stage } => {
+                self.last_time = now;
+                if self.lazy_arrivals
+                    && stage == 0
+                    && event.seq() as usize == query
+                    && query + 1 < self.schedule_len
+                {
+                    self.stage_next_arrival(query);
+                }
+                self.on_arrive(now, query, stage);
+            }
+            EventKind::Complete { batch, gen } => {
+                if gen == self.batch_gen[batch] as u32 {
+                    self.last_time = now;
+                    self.on_complete(now, batch);
+                }
+            }
+            EventKind::Recheck { slot, gen } => {
+                if gen == self.timer_gen[slot] as u32 {
+                    self.armed[slot] = None;
+                    self.dispatch(now, slot);
+                }
+            }
+            _ => unreachable!("lifecycle events never reach a stage shard"),
+        }
+    }
+
+    /// Extracts what this shard contributes to the merged result.
+    fn finish_shard(mut self) -> ShardOutcome {
+        let (latency, qps) = self.collect_latency();
+        ShardOutcome {
+            busy_unit_seconds: std::mem::take(&mut self.busy_unit_seconds),
+            last_time: self.last_time,
+            launches: self.launches,
+            served: self.served,
+            completed: self.completed,
+            latency,
+            qps,
+            arrival_span: self.arrival_span,
+        }
+    }
+
+    /// Collects post-warmup latency and throughput: already streamed
+    /// into the completion-order sinks at scale, replayed in query
+    /// order from the finish vector otherwise. The two modes report
+    /// identical statistics (the sinks are order-independent); below
+    /// the scale threshold even the raw sample order matches, keeping
+    /// serial-vs-sharded results comparable as whole structs.
+    fn collect_latency(&mut self) -> (LatencyStats, f64) {
+        if self.record_at_completion {
+            let latency = std::mem::replace(&mut self.live_latency, LatencyStats::with_capacity(0));
+            (latency, self.live_throughput.qps())
+        } else {
+            let warmup = self.warmup_len;
+            let mut latency = LatencyStats::with_capacity(self.num_queries.saturating_sub(warmup));
+            let mut throughput = ThroughputMeter::new();
+            for (query, (&arrive, &finish)) in self
+                .arrival_time
+                .iter()
+                .zip(self.finish_time.iter())
+                .enumerate()
+            {
+                if finish.is_nan() {
+                    continue; // never completed (shed, dropped, or stranded)
+                }
+                throughput.record_completion(Duration::from_secs_f64(finish));
+                if query >= warmup {
+                    latency.record_secs(finish - arrive);
+                }
+            }
+            (latency, throughput.qps())
+        }
     }
 
     fn finish(mut self) -> SimResult {
@@ -1645,28 +2154,12 @@ impl<'a> Sim<'a> {
             let end = self.integral_t;
             self.close_window(end);
         }
-        // Collect post-warmup latencies in query order.
-        let warmup = ((self.num_queries as f64) * WARMUP_FRACTION) as usize;
-        let mut latency = LatencyStats::with_capacity(self.num_queries.saturating_sub(warmup));
-        let mut throughput = ThroughputMeter::new();
-        let mut arrival_span = 0.0f64;
-        for (query, (&arrive, &finish)) in self
-            .arrival_time
-            .iter()
-            .zip(self.finish_time.iter())
-            .enumerate()
-        {
-            if arrive.is_finite() {
-                arrival_span = arrival_span.max(arrive);
-            }
-            if finish.is_nan() {
-                continue; // never completed (cannot happen with unbounded queues)
-            }
-            throughput.record_completion(Duration::from_secs_f64(finish));
-            if query >= warmup {
-                latency.record_secs(finish - arrive);
-            }
-        }
+        // Collect post-warmup latencies: already streamed into the
+        // completion-time sinks at scale, replayed in query order from
+        // the finish vector otherwise (identical multisets — every
+        // accessor agrees).
+        let arrival_span = self.arrival_span;
+        let (latency, qps) = self.collect_latency();
 
         let span = self.last_time.max(f64::MIN_POSITIVE);
         // Utilization per resource group aggregates across its replicas
@@ -1718,21 +2211,15 @@ impl<'a> Sim<'a> {
         } else {
             1.0
         };
-        SimResult::new(
-            latency,
-            throughput.qps(),
-            self.completed,
-            saturated,
-            utilization,
-        )
-        .with_mean_batch(mean_batch)
-        .with_replica_utilization(replica_utilization)
-        .with_lifecycle_outcome(
-            self.shed,
-            self.dropped,
-            self.cost_integral,
-            std::mem::take(&mut self.windows),
-        )
+        SimResult::new(latency, qps, self.completed, saturated, utilization)
+            .with_mean_batch(mean_batch)
+            .with_replica_utilization(replica_utilization)
+            .with_lifecycle_outcome(
+                self.shed,
+                self.dropped,
+                self.cost_integral,
+                std::mem::take(&mut self.windows),
+            )
     }
 }
 

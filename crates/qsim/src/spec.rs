@@ -799,6 +799,30 @@ impl PipelineSpec {
         crate::serve_routed(self, arrivals, policy, router, num_queries, seed)
     }
 
+    /// Runs the cluster-aware simulation sharded by pipeline stage,
+    /// producing results identical to
+    /// [`serve_routed`](Self::serve_routed) for any `workers` (`0` =
+    /// one thread per stage up to the machine's parallelism, `1` =
+    /// sequential). Specs the per-stage decomposition cannot handle
+    /// fall back to the serial loop — see
+    /// [`serve_routed_sharded`](crate::serve_routed_sharded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline has no stages or `num_queries == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_routed_sharded(
+        &self,
+        arrivals: &(dyn recpipe_data::ArrivalProcess + Sync),
+        policy: &(dyn crate::SchedulingPolicy + Sync),
+        router: &(dyn Router + Sync),
+        num_queries: usize,
+        seed: u64,
+        workers: usize,
+    ) -> SimResult {
+        crate::serve_routed_sharded(self, arrivals, policy, router, num_queries, seed, workers)
+    }
+
     /// Runs the lifecycle-aware simulation: every group's attached
     /// [`LifecycleSchedule`] is replayed as timed availability events
     /// (warm-up, drains, fail-stops, recoveries), routers see only

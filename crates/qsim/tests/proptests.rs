@@ -470,6 +470,7 @@ mod reference_routed {
                     free_units: self.free[slot],
                     remaining_work: 0.0,
                     speed: 1.0,
+                    in_flight_wait: 0.0,
                 });
             }
             // The PR-3 router set never reads the routing context; a
@@ -2798,16 +2799,23 @@ proptest! {
         let policy = policy_for(policy_idx);
         let router = router_for_v4(router_idx);
         let arrivals = MmppArrivals::new(100.0, 800.0, 0.2, 0.1);
-        let frozen = reference_pr5::serve_routed(
-            &spec,
-            &arrivals,
-            policy.as_ref(),
-            router.as_ref(),
-            queries,
-            seed,
-        );
         let routed = spec.serve_routed(&arrivals, policy.as_ref(), router.as_ref(), queries, seed);
-        prop_assert_eq!(&frozen, &routed);
+        // ExpectedWait intentionally left the frozen behavior in PR-7:
+        // its in-flight term now decays as service elapses instead of
+        // booking the full batch cost until completion, so the frozen
+        // comparison covers the other five routers (the decay estimator
+        // has its own never-worse regression test below).
+        if router_idx % 6 != 4 {
+            let frozen = reference_pr5::serve_routed(
+                &spec,
+                &arrivals,
+                policy.as_ref(),
+                router.as_ref(),
+                queries,
+                seed,
+            );
+            prop_assert_eq!(&frozen, &routed);
+        }
         let lifecycle = spec
             .serve_lifecycle(
                 &arrivals,
@@ -2882,4 +2890,182 @@ proptest! {
             .unwrap();
         prop_assert_eq!(out, again);
     }
+}
+
+// ------------------------------------------------------------------
+// qsim v7: sharded parallel loop + decay-aware ExpectedWait
+// ------------------------------------------------------------------
+
+/// Routers carrying `Sync` so they can cross shard-thread boundaries.
+fn router_sync(idx: usize) -> Box<dyn Router + Sync> {
+    match idx % 6 {
+        0 => Box::new(RoundRobin),
+        1 => Box::new(JoinShortestQueue),
+        2 => Box::new(PowerOfTwoChoices),
+        3 => Box::new(LeastWorkLeft),
+        4 => Box::new(ExpectedWait),
+        _ => Box::new(Sticky::new()),
+    }
+}
+
+fn policy_sync(idx: usize) -> Box<dyn SchedulingPolicy + Sync> {
+    match idx % 3 {
+        0 => Box::new(Fifo),
+        1 => Box::new(BatchWindow::new(0.002)),
+        _ => Box::new(EarliestDeadlineFirst::new(0.05)),
+    }
+}
+
+/// A two-stage pipeline with per-stage backends (pairwise-distinct
+/// resource groups) — the shape the per-stage shard decomposition
+/// accepts. The first group mixes generations so the speed-aware
+/// machinery is exercised too.
+fn two_backend_pipeline(
+    fast: usize,
+    slow: usize,
+    speed_pct: u64,
+    capacity: usize,
+    replicas2: usize,
+    max_batch: usize,
+) -> PipelineSpec {
+    let mut profiles = vec![ReplicaProfile::baseline(capacity); fast];
+    profiles.extend(std::iter::repeat_n(
+        ReplicaProfile::new(capacity, speed_pct as f64 / 100.0),
+        slow,
+    ));
+    let mut spec = PipelineSpec::new(vec![
+        ReplicaGroup::heterogeneous("filter", profiles),
+        ReplicaGroup::replicated("rank", capacity, replicas2),
+    ]);
+    for (i, (s, g)) in [(0.004f64, 0usize), (0.002, 1)].into_iter().enumerate() {
+        spec = spec
+            .with_stage(
+                StageSpec::new(format!("s{i}"), g, 1, s)
+                    .with_batch(BatchModel::new(max_batch, 0.25)),
+            )
+            .unwrap();
+    }
+    spec
+}
+
+proptest! {
+    #[test]
+    fn sharded_loop_matches_the_serial_loop_for_any_worker_count(
+        fast in 1usize..3,
+        slow in 0usize..3,
+        speed_pct in 20u64..100,
+        capacity in 1usize..3,
+        replicas2 in 1usize..4,
+        max_batch in 1usize..8,
+        policy_idx in 0usize..3,
+        router_idx in 0usize..6,
+        queries in 100usize..600,
+        seed in 0u64..200,
+    ) {
+        // The per-stage shard decomposition must be invisible: on a
+        // shardable spec the sequential (workers = 1) and threaded
+        // executors both reproduce `serve_routed` bit-for-bit across
+        // the router x policy x fleet x batching matrix. The worker
+        // count is a wall-clock knob, never a results knob.
+        let spec = two_backend_pipeline(fast, slow, speed_pct, capacity, replicas2, max_batch);
+        let policy = policy_sync(policy_idx);
+        let router = router_sync(router_idx);
+        let arrivals = MmppArrivals::new(100.0, 800.0, 0.2, 0.1);
+        let serial =
+            spec.serve_routed(&arrivals, policy.as_ref(), router.as_ref(), queries, seed);
+        for workers in [1usize, 2, 0] {
+            let sharded = spec.serve_routed_sharded(
+                &arrivals,
+                policy.as_ref(),
+                router.as_ref(),
+                queries,
+                seed,
+                workers,
+            );
+            prop_assert_eq!(&serial, &sharded, "workers = {}", workers);
+        }
+    }
+
+    #[test]
+    fn ineligible_specs_fall_back_to_the_serial_loop(
+        servers in 1usize..4,
+        max_batch in 1usize..6,
+        policy_idx in 0usize..3,
+        router_idx in 0usize..6,
+        closed in proptest::prelude::any::<bool>(),
+        queries in 100usize..400,
+        seed in 0u64..100,
+    ) {
+        // Both stages share one resource group, so the decomposition
+        // cannot split them; closed-loop arrivals are likewise out of
+        // reach. The sharded entry point must detect this and produce
+        // the serial result (not wrong answers, not a panic).
+        let spec = batched_pipeline(servers, vec![0.004, 0.002], max_batch);
+        let policy = policy_sync(policy_idx);
+        let router = router_sync(router_idx);
+        let (serial, sharded) = if closed {
+            let arrivals = ClosedLoopArrivals::new(8, 0.01);
+            (
+                spec.serve_routed(&arrivals, policy.as_ref(), router.as_ref(), queries, seed),
+                spec.serve_routed_sharded(
+                    &arrivals, policy.as_ref(), router.as_ref(), queries, seed, 0,
+                ),
+            )
+        } else {
+            let arrivals = MmppArrivals::new(100.0, 800.0, 0.2, 0.1);
+            (
+                spec.serve_routed(&arrivals, policy.as_ref(), router.as_ref(), queries, seed),
+                spec.serve_routed_sharded(
+                    &arrivals, policy.as_ref(), router.as_ref(), queries, seed, 0,
+                ),
+            )
+        };
+        prop_assert_eq!(serial, sharded);
+    }
+}
+
+#[test]
+fn decay_aware_expected_wait_never_worsens_the_two_generation_tail() {
+    // The PR-5 ExpectedWait estimator booked every in-flight batch at
+    // its full cost until completion, so a replica about to free up
+    // looked as busy as one that just launched. The decay-aware
+    // estimator subtracts elapsed service, which matters exactly where
+    // generations mix: a slow replica's long batches dominate its
+    // apparent backlog long after most of the work has drained. On a
+    // two-generation fleet near saturation the decayed estimator's p99
+    // must be no worse than the frozen PR-5 one's.
+    let profiles = vec![
+        ReplicaProfile::baseline(1),
+        ReplicaProfile::baseline(1),
+        ReplicaProfile::new(1, 0.4),
+        ReplicaProfile::new(1, 0.4),
+    ];
+    let mut spec = PipelineSpec::new(vec![ReplicaGroup::heterogeneous("fleet", profiles)]);
+    for (i, s) in [0.002f64, 0.010].into_iter().enumerate() {
+        spec = spec
+            .with_stage(StageSpec::new(format!("s{i}"), 0, 1, s))
+            .unwrap();
+    }
+    let arrivals = PoissonArrivals::new(0.9 * spec.max_qps_at_full_batch());
+    let mut frozen_worse = 0usize;
+    for seed in [7u64, 11, 23, 42, 101] {
+        let mut decayed = spec.serve_routed(&arrivals, &Fifo, &ExpectedWait, 4_000, seed);
+        let mut frozen =
+            reference_pr5::serve_routed(&spec, &arrivals, &Fifo, &ExpectedWait, 4_000, seed);
+        assert!(
+            decayed.p99_seconds() <= frozen.p99_seconds() + 1e-9,
+            "seed {seed}: decayed p99 {} > frozen p99 {}",
+            decayed.p99_seconds(),
+            frozen.p99_seconds(),
+        );
+        if decayed.p99_seconds() + 1e-12 < frozen.p99_seconds() {
+            frozen_worse += 1;
+        }
+    }
+    // The improvement is real, not a wash: the tail strictly improves
+    // on most seeds of this near-saturated mixed fleet.
+    assert!(
+        frozen_worse >= 3,
+        "decay made a strict difference on only {frozen_worse}/5 seeds"
+    );
 }
