@@ -11,9 +11,9 @@ use recpipe_core::{Backend, Scheduler, SchedulerSettings, SweepBudget};
 use recpipe_data::{DiurnalArrivals, MmppArrivals, PoissonArrivals, TraceArrivals};
 use recpipe_hwsim::{CpuModel, PcieModel};
 use recpipe_qsim::{
-    BatchModel, BatchWindow, ExpectedWait, Fifo, JoinShortestQueue, LeastWorkLeft, LifecycleConfig,
-    LifecycleEvent, LifecycleSchedule, PipelineSpec, PowerOfTwoChoices, ReplicaGroup,
-    ReplicaProfile, ResourceSpec, RoundRobin, Router, StageSpec,
+    serve_multipath, BatchModel, BatchWindow, ExpectedWait, Fifo, JoinShortestQueue, LeastWorkLeft,
+    LifecycleConfig, LifecycleEvent, LifecycleSchedule, LoadAdaptive, PathSet, PipelineSpec,
+    PowerOfTwoChoices, ReplicaGroup, ReplicaProfile, ResourceSpec, RoundRobin, Router, StageSpec,
 };
 
 fn two_stage() -> PipelineSpec {
@@ -190,6 +190,45 @@ fn bench_qsim_lifecycle(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_qsim_multipath(c: &mut Criterion) {
+    // The v8 multi-path admission loop under brown-out: a three-path
+    // degradation ladder over one shared fleet, offered 1.5x the
+    // primary path's capacity, with the load-adaptive policy walking
+    // the ladder — the per-arrival cost of the admission probe, the
+    // path-entry redirect, and the per-path accounting on top of the
+    // routed loop.
+    let paths = PathSet::new(vec![ReplicaGroup::replicated("worker", 8, 1)])
+        .with_path("full", 1.00, vec![StageSpec::new("rm-large", 0, 1, 0.010)])
+        .unwrap()
+        .with_path("mid", 0.92, vec![StageSpec::new("rm-med", 0, 1, 0.004)])
+        .unwrap()
+        .with_path("lite", 0.80, vec![StageSpec::new("rm-small", 0, 1, 0.0015)])
+        .unwrap();
+    let arrivals = PoissonArrivals::new(1_200.0);
+    let admission = LoadAdaptive::new(1.5, 0.75);
+    let cfg = LifecycleConfig::new();
+
+    let mut group = c.benchmark_group("qsim_multipath");
+    group.bench_function("brownout_ladder3_10000q", |b| {
+        b.iter(|| {
+            black_box(
+                serve_multipath(
+                    &paths,
+                    &arrivals,
+                    &Fifo,
+                    &JoinShortestQueue,
+                    &admission,
+                    10_000,
+                    7,
+                    &cfg,
+                )
+                .expect("no lifecycle schedule, so the run cannot strand work"),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_cluster_sweep(c: &mut Criterion) {
     // The scheduler's replica-grid sweep: the cross product that
     // motivated budget pruning. One worker isolates simulation work
@@ -241,6 +280,7 @@ criterion_group!(
     bench_qsim_cluster,
     bench_qsim_scale,
     bench_qsim_lifecycle,
+    bench_qsim_multipath,
     bench_cluster_sweep
 );
 criterion_main!(benches);

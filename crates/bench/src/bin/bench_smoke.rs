@@ -1,6 +1,6 @@
 //! CI bench smoke check: re-times the hottest queueing-simulator
 //! benches and fails (non-zero exit) if any regressed more than 2x
-//! against the checked-in `BENCH_pr7.json` baseline, and holds the
+//! against the checked-in `BENCH_pr8.json` baseline, and holds the
 //! 10M-query sharded trace replay to its single-digit-second
 //! (machine-normalized) budget.
 //!
@@ -26,9 +26,9 @@ use std::time::{Duration, Instant};
 
 use recpipe_data::{DiurnalArrivals, PoissonArrivals, TraceArrivals};
 use recpipe_qsim::{
-    BatchModel, ExpectedWait, Fifo, JoinShortestQueue, LifecycleConfig, LifecycleEvent,
-    LifecycleSchedule, PipelineSpec, ReplicaGroup, ReplicaProfile, ResourceSpec, RoundRobin,
-    StageSpec,
+    serve_multipath, BatchModel, ExpectedWait, Fifo, JoinShortestQueue, LifecycleConfig,
+    LifecycleEvent, LifecycleSchedule, LoadAdaptive, PathSet, PipelineSpec, ReplicaGroup,
+    ReplicaProfile, ResourceSpec, RoundRobin, StageSpec,
 };
 
 /// Largest tolerated machine-normalized measured/baseline ratio.
@@ -154,6 +154,20 @@ fn diurnal_failures_fleet() -> PipelineSpec {
         .expect("valid stage")
 }
 
+fn brownout_ladder() -> PathSet {
+    // Mirrors benches/queueing_sim.rs
+    // `qsim_multipath/brownout_ladder3_10000q`: the multi-path
+    // admission loop walking a three-path degradation ladder at 1.5x
+    // the primary path's capacity.
+    PathSet::new(vec![ReplicaGroup::replicated("worker", 8, 1)])
+        .with_path("full", 1.00, vec![StageSpec::new("rm-large", 0, 1, 0.010)])
+        .expect("full path fits the fleet")
+        .with_path("mid", 0.92, vec![StageSpec::new("rm-med", 0, 1, 0.004)])
+        .expect("mid path fits the fleet")
+        .with_path("lite", 0.80, vec![StageSpec::new("rm-small", 0, 1, 0.0015)])
+        .expect("lite path fits the fleet")
+}
+
 /// Mirrors benches/queueing_sim.rs `qsim_scale/trace_replay_10M`: the
 /// sharded 10M-query recorded-trace replay.
 fn scale_spec_and_trace() -> (PipelineSpec, TraceArrivals) {
@@ -188,7 +202,7 @@ fn scale_spec_and_trace() -> (PipelineSpec, TraceArrivals) {
 }
 
 fn main() {
-    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json");
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr8.json");
     let json = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
 
@@ -215,6 +229,10 @@ fn main() {
     let lifecycle_fleet = diurnal_failures_fleet();
     let lifecycle_arrivals = DiurnalArrivals::new(100.0, 900.0, 60.0);
     let lifecycle_cfg = LifecycleConfig::new().with_window(2.0);
+    let ladder = brownout_ladder();
+    let ladder_arrivals = PoissonArrivals::new(1_200.0);
+    let ladder_admission = LoadAdaptive::new(1.5, 0.75);
+    let ladder_cfg = LifecycleConfig::new();
     type Check = (&'static str, Box<dyn FnMut()>);
     let checks: Vec<Check> = vec![
         (
@@ -261,6 +279,24 @@ fn main() {
                             &lifecycle_cfg,
                         )
                         .expect("replica 0 recovers, so the run cannot strand work"),
+                );
+            }),
+        ),
+        (
+            "qsim_multipath/brownout_ladder3_10000q",
+            Box::new(move || {
+                std::hint::black_box(
+                    serve_multipath(
+                        &ladder,
+                        &ladder_arrivals,
+                        &Fifo,
+                        &JoinShortestQueue,
+                        &ladder_admission,
+                        10_000,
+                        7,
+                        &ladder_cfg,
+                    )
+                    .expect("no lifecycle schedule, so the run cannot strand work"),
                 );
             }),
         ),

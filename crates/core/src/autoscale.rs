@@ -254,6 +254,8 @@ mod tests {
             utilization,
             live_replicas: live,
             cost: live as f64,
+            path_admitted: Vec::new(),
+            path_completed: Vec::new(),
         }
     }
 

@@ -545,6 +545,26 @@ impl Engine {
         })
     }
 
+    /// The interconnect charged on backend crossings.
+    pub(crate) fn interconnect(&self) -> &PcieModel {
+        &self.interconnect
+    }
+
+    /// Measures an arbitrary pipeline's quality with this engine's
+    /// evaluator settings (the engine's own pipeline reuses the cached
+    /// report).
+    pub(crate) fn measure_quality(&self, pipeline: &PipelineConfig) -> f64 {
+        if *pipeline == self.pipeline {
+            return self.quality().ndcg;
+        }
+        QualityEvaluator::for_dataset(pipeline.dataset(), 64)
+            .queries(self.quality_queries)
+            .sub_batches(self.sub_batches)
+            .seed(self.seed)
+            .evaluate(pipeline)
+            .ndcg
+    }
+
     /// Jointly evaluates quality and at-scale performance at the bound
     /// load.
     pub fn evaluate(&self) -> Outcome {
@@ -700,6 +720,43 @@ impl Engine {
                 &mut controller,
             )
             .map_err(EngineError::from)
+    }
+
+    /// Starts building a multi-path [`PathSet`](recpipe_qsim::PathSet)
+    /// over this engine's backend pool: path 0 is the engine's own
+    /// pipeline on its placement; add degraded alternates with
+    /// [`PathSetBuilder::alternate`](crate::PathSetBuilder::alternate).
+    /// Path qualities are measured with the engine's Monte-Carlo
+    /// evaluator unless given explicitly.
+    pub fn paths(&self) -> crate::PathSetBuilder<'_> {
+        crate::PathSetBuilder::for_engine(self)
+    }
+
+    /// Runs the multi-path simulation: every arriving query is offered
+    /// to `admission`, which picks a path of `paths` (built with
+    /// [`Engine::paths`]) or sheds it — the per-query quality-elastic
+    /// seam brown-out serving needs. With a single-path set and
+    /// [`AlwaysPrimary`](recpipe_qsim::AlwaysPrimary) under the default
+    /// [`LifecycleConfig`](recpipe_qsim::LifecycleConfig) the run is
+    /// bit-identical to [`serve_routed`](Self::serve_routed).
+    ///
+    /// Returns [`EngineError::Sim`] when the run hits an unrecoverable
+    /// availability hole (see [`SimError`](recpipe_qsim::SimError)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_multipath(
+        &self,
+        paths: &recpipe_qsim::PathSet,
+        arrivals: &dyn recpipe_data::ArrivalProcess,
+        policy: &dyn recpipe_qsim::SchedulingPolicy,
+        router: &dyn recpipe_qsim::Router,
+        admission: &dyn recpipe_qsim::AdmissionPolicy,
+        queries: usize,
+        cfg: &recpipe_qsim::LifecycleConfig,
+    ) -> Result<SimResult, EngineError> {
+        recpipe_qsim::serve_multipath(
+            paths, arrivals, policy, router, admission, queries, self.seed, cfg,
+        )
+        .map_err(EngineError::from)
     }
 
     /// Explores the scheduler's design space over this engine's backend

@@ -16,7 +16,13 @@
 //! * [`Engine::serve`] → a raw at-scale queueing simulation;
 //! * [`Engine::serve_scaled`] → a closed-loop autoscaled run driven by
 //!   a [`ScalingPolicy`] ([`ReactiveScaling`] or [`PredictiveScaling`])
-//!   resizing the fleet through warm-up and drains.
+//!   resizing the fleet through warm-up and drains;
+//! * [`Engine::paths`] + [`Engine::serve_multipath`] → multi-path
+//!   quality-elastic serving: a [`PathSetBuilder`] assembles degraded
+//!   alternates over the same machines and an
+//!   [`AdmissionPolicy`](recpipe_qsim::AdmissionPolicy) picks a path
+//!   (or sheds) per query, with [`AdmissionSweep`] gridding policy
+//!   knobs into [`Scheduler::pareto_brownout`]'s three-objective front.
 //!
 //! Hardware plugs in through one seam: the [`Backend`] trait
 //! (implemented by `CpuModel`, `GpuModel`, `RpAccel`, and
@@ -54,6 +60,7 @@
 mod autoscale;
 mod backend;
 mod engine;
+mod multipath;
 mod parallel;
 mod pipeline;
 mod quality;
@@ -67,6 +74,7 @@ pub use backend::{
     INTERMEDIATE_BYTES_PER_ITEM,
 };
 pub use engine::{Engine, EngineBuilder, EngineError, Outcome};
+pub use multipath::{AdmissionSweep, BrownoutOutcome, PathSetBuilder};
 pub use parallel::{parallel_map, worker_threads};
 pub use pipeline::{PipelineBuilder, PipelineConfig, PipelineError};
 pub use quality::{QualityEvaluator, QualityReport};

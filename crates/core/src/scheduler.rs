@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::backend::{build_spec, Backend, FleetSpec, Placement, StageSite};
 use crate::engine::Outcome;
+use crate::multipath::BrownoutOutcome;
 use crate::parallel::{parallel_map, worker_threads};
 use crate::{PipelineConfig, QualityEvaluator, StageConfig};
 
@@ -832,6 +833,24 @@ impl Scheduler {
                 Dominance::Minimize,
             ],
             |p| vec![p.p99_s, p.ndcg, p.fleet_cost],
+        )
+    }
+
+    /// Three-objective Pareto frontier for brown-out sweeps
+    /// ([`AdmissionSweep::run`](crate::AdmissionSweep::run)): maximize
+    /// quality-weighted goodput, minimize p99, minimize shed rate.
+    /// Unlike the design-time fronts, saturated points are *kept* —
+    /// brown-out sweeps deliberately run past sustainable capacity,
+    /// and how a policy fails under overload is exactly the question.
+    pub fn pareto_brownout(points: Vec<BrownoutOutcome>) -> ParetoFront<BrownoutOutcome> {
+        ParetoFront::extract(
+            points,
+            &[
+                Dominance::Maximize,
+                Dominance::Minimize,
+                Dominance::Minimize,
+            ],
+            |p| vec![p.quality_goodput, p.p99_s, p.shed_rate],
         )
     }
 

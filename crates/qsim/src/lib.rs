@@ -72,6 +72,7 @@
 //! assert!(result.mean_batch > 1.0);
 //! ```
 
+mod admission;
 mod lifecycle;
 mod persist;
 mod policy;
@@ -81,19 +82,23 @@ mod shard;
 mod sim;
 mod spec;
 
+pub use admission::{
+    Admission, AdmissionCtx, AdmissionPolicy, AdmissionState, AlwaysPrimary, DeadlineAware,
+    LoadAdaptive, PathProfile, PathSet,
+};
 pub use lifecycle::{
     AutoscaleConfig, FailurePolicy, FleetController, LifecycleAction, LifecycleConfig,
-    LifecycleEvent, LifecycleSchedule, SimError, WindowStats,
+    LifecycleEvent, LifecycleSchedule, SimError, SloSpec, WindowStats,
 };
 pub use persist::ParseError;
 pub use policy::{BatchWindow, EarliestDeadlineFirst, Fifo, QueueEntry, Release, SchedulingPolicy};
-pub use result::SimResult;
+pub use result::{PathStats, SimResult};
 pub use router::{
     ExpectedWait, JoinShortestQueue, LeastWorkLeft, PowerOfTwoChoices, ReplicaLoads,
     ReplicaSnapshot, RoundRobin, Router, RouterState, RoutingCtx, Sticky,
 };
 pub use shard::serve_routed_sharded;
-pub use sim::{serve, serve_autoscaled, serve_lifecycle, serve_routed, simulate};
+pub use sim::{serve, serve_autoscaled, serve_lifecycle, serve_multipath, serve_routed, simulate};
 pub use spec::{
     BatchModel, PipelineSpec, ReplicaGroup, ReplicaProfile, ResourceSpec, SpecError, StageSpec,
 };

@@ -302,6 +302,13 @@ pub struct WindowStats {
     /// non-down replicas (a half-speed previous-generation box prices
     /// at 0.5), averaged over the window.
     pub cost: f64,
+    /// Queries admitted onto each path during the window, in path order
+    /// (see [`serve_multipath`](crate::serve_multipath)). Empty outside
+    /// multi-path runs.
+    pub path_admitted: Vec<usize>,
+    /// Queries completing each path during the window, in path order.
+    /// Empty outside multi-path runs.
+    pub path_completed: Vec<usize>,
 }
 
 impl WindowStats {
@@ -319,14 +326,75 @@ impl WindowStats {
         }
     }
 
-    /// Whether the window violated a p99 SLO: tail latency above
-    /// `slo_p99_s`, any query shed or dropped, or work waiting while
-    /// nothing completed (a stalled window has no latency sample but is
-    /// certainly not meeting its SLO).
+    /// Fraction of the window's resolved queries that were shed or
+    /// dropped: `(shed + dropped) / (completed + shed + dropped)` (0.0
+    /// when the window resolved nothing). The loss signal brown-out
+    /// SLOs bound — a run that protects p99 by shedding heavily still
+    /// shows its damage here.
+    pub fn shed_rate(&self) -> f64 {
+        let lost = self.shed + self.dropped;
+        let resolved = self.completed + lost;
+        if resolved == 0 {
+            0.0
+        } else {
+            lost as f64 / resolved as f64
+        }
+    }
+
+    /// Whether the window violated a p99 SLO with zero shed tolerance —
+    /// shorthand for [`violates_slo`](Self::violates_slo) with
+    /// [`SloSpec::p99`].
     pub fn violates(&self, slo_p99_s: f64) -> bool {
-        self.shed + self.dropped > 0
-            || self.p99_s > slo_p99_s
+        self.violates_slo(&SloSpec::p99(slo_p99_s))
+    }
+
+    /// Whether the window violated an [`SloSpec`]: shed rate above the
+    /// SLO's tolerance, tail latency above its p99 bound, or work
+    /// waiting while nothing completed (a stalled window has no latency
+    /// sample but is certainly not meeting its SLO).
+    pub fn violates_slo(&self, slo: &SloSpec) -> bool {
+        self.shed_rate() > slo.max_shed_rate
+            || self.p99_s > slo.p99_s
             || (self.completed == 0 && self.mean_queue_depth >= 1.0)
+    }
+}
+
+/// A windowed service-level objective: a p99 latency bound plus a shed
+/// tolerance. The default tolerance is zero — any shed or dropped query
+/// violates — matching [`WindowStats::violates`]; brown-out runs that
+/// deliberately shed under overload raise the tolerance with
+/// [`with_shed_tolerance`](Self::with_shed_tolerance) so only
+/// *excessive* loss flags.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// Largest acceptable window p99 latency in seconds.
+    pub p99_s: f64,
+    /// Largest acceptable window [`shed_rate`](WindowStats::shed_rate)
+    /// (default 0.0: any loss violates).
+    pub max_shed_rate: f64,
+}
+
+impl SloSpec {
+    /// A p99-only SLO with zero shed tolerance.
+    pub fn p99(p99_s: f64) -> Self {
+        Self {
+            p99_s,
+            max_shed_rate: 0.0,
+        }
+    }
+
+    /// Sets the shed-rate tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is in `[0, 1]`.
+    pub fn with_shed_tolerance(mut self, rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && (0.0..=1.0).contains(&rate),
+            "shed tolerance must be in [0, 1]"
+        );
+        self.max_shed_rate = rate;
+        self
     }
 }
 
@@ -598,6 +666,8 @@ mod tests {
             utilization: 0.4,
             live_replicas: 2,
             cost: 2.0,
+            path_admitted: Vec::new(),
+            path_completed: Vec::new(),
         };
         assert!(!base.violates(0.025));
         assert!(base.violates(0.005)); // tail above SLO
@@ -622,6 +692,72 @@ mod tests {
         };
         assert!(!idle.violates(0.025));
         assert!((idle.arrival_rate() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shed_rate_divides_loss_by_resolved_queries() {
+        let mut w = WindowStats {
+            start: 0.0,
+            end: 1.0,
+            arrivals: 100,
+            completed: 90,
+            shed: 8,
+            dropped: 2,
+            p99_s: 0.010,
+            mean_queue_depth: 0.5,
+            utilization: 0.4,
+            live_replicas: 2,
+            cost: 2.0,
+            path_admitted: Vec::new(),
+            path_completed: Vec::new(),
+        };
+        assert!((w.shed_rate() - 0.1).abs() < 1e-12);
+        w.completed = 0;
+        w.shed = 0;
+        w.dropped = 0;
+        assert_eq!(w.shed_rate(), 0.0); // idle window resolves nothing
+    }
+
+    #[test]
+    fn slo_spec_bounds_shed_rate_as_well_as_tail() {
+        let heavy_shed = WindowStats {
+            start: 0.0,
+            end: 1.0,
+            arrivals: 100,
+            completed: 60,
+            shed: 40,
+            dropped: 0,
+            p99_s: 0.005, // p99 looks great — protected by shedding
+            mean_queue_depth: 0.5,
+            utilization: 0.4,
+            live_replicas: 2,
+            cost: 2.0,
+            path_admitted: Vec::new(),
+            path_completed: Vec::new(),
+        };
+        // Default tolerance (zero): any shed violates — the old rule.
+        assert!(heavy_shed.violates(0.025));
+        // A brown-out SLO tolerating 50% loss passes this window...
+        let lenient = SloSpec::p99(0.025).with_shed_tolerance(0.5);
+        assert!(!heavy_shed.violates_slo(&lenient));
+        // ...but a 25% tolerance flags the 40% shed rate even though
+        // the p99 bound holds.
+        let strict = SloSpec::p99(0.025).with_shed_tolerance(0.25);
+        assert!(heavy_shed.violates_slo(&strict));
+        // The p99 clause still applies independently of shed tolerance.
+        let slow = WindowStats {
+            shed: 0,
+            completed: 100,
+            p99_s: 0.050,
+            ..heavy_shed
+        };
+        assert!(slow.violates_slo(&lenient));
+    }
+
+    #[test]
+    #[should_panic(expected = "shed tolerance")]
+    fn shed_tolerance_above_one_is_rejected() {
+        let _ = SloSpec::p99(0.025).with_shed_tolerance(1.5);
     }
 
     #[test]

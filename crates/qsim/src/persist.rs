@@ -1,9 +1,9 @@
-//! Serialized forms of [`ReplicaGroup`] across the API's three
-//! vintages.
+//! Serialized forms of [`ReplicaGroup`] and [`PathSet`] across the
+//! API's five vintages.
 //!
 //! The workspace's offline `serde` shim derives no real
 //! (de)serialization, so the persistence contract the serde attributes
-//! used to document lives here as an explicit JSON codec. Three
+//! used to document lives here as an explicit JSON codec. Five
 //! serialized vintages exist in the wild and all must keep loading:
 //!
 //! 1. **pre-cluster** — `{"name":"cpu","capacity":64}`: one pool, one
@@ -27,20 +27,39 @@
 //!    representable form, so lifecycle-unaware consumers that ignore
 //!    unknown fields keep parsing the shape.
 //!
+//! 5. **multi-path sets** (multi-path serving) —
+//!    `{"v":5,"groups":[...],"paths":[{"name":"full","quality":1.0,
+//!    "stages":[{"name":"rank","resource":0,"units":1,
+//!    "service_time":0.004}]}]}`: a whole [`PathSet`] — the shared
+//!    fleet as an array of group encodings (each element any of the
+//!    four group vintages above) plus each path's ordered stage list.
+//!    Stages carry a `"batch"` object
+//!    (`{"max_batch","marginal","overhead"}`) only when they actually
+//!    batch; a missing `"overhead"` defaults to 0. The explicit
+//!    `"v":5` tag keeps a path-set document from ever being confused
+//!    with a bare group.
+//!
 //! [`ReplicaGroup::to_json`] always emits the *oldest* vintage that
 //! can represent the group (so pre-fleet consumers keep parsing
-//! uniform fleets), and [`ReplicaGroup::from_json`] accepts all four;
-//! `parse(to_json(g)) == g` holds for every group. Unlike the
-//! panic-on-construction spec API, the codec pre-validates lifecycle
-//! events (negative times or warm-ups, non-monotone schedules,
-//! out-of-range replicas) and reports them as [`ParseError`]s — a
-//! corrupt file never panics.
+//! uniform fleets), and [`ReplicaGroup::from_json`] accepts the four
+//! group vintages; `parse(to_json(g)) == g` holds for every group.
+//! [`PathSet::to_json`]/[`PathSet::from_json`] do the same for the
+//! vintage-5 form, reusing the group codec per fleet element. Unlike
+//! the panic-on-construction spec API, the codec pre-validates
+//! lifecycle events (negative times or warm-ups, non-monotone
+//! schedules, out-of-range replicas) and path shapes (empty stage
+//! lists, bad qualities, unknown resources) and reports them as
+//! [`ParseError`]s — a corrupt file never panics.
 //!
 //! [`LifecycleSchedule`]: crate::LifecycleSchedule
 
-use crate::{LifecycleAction, LifecycleEvent, LifecycleSchedule, ReplicaGroup, ReplicaProfile};
+use crate::{
+    BatchModel, LifecycleAction, LifecycleEvent, LifecycleSchedule, PathSet, ReplicaGroup,
+    ReplicaProfile, StageSpec,
+};
 
-/// Error deserializing a [`ReplicaGroup`] from JSON.
+/// Error deserializing a persisted [`ReplicaGroup`] or [`PathSet`]
+/// from JSON.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     detail: String,
@@ -453,50 +472,231 @@ impl ReplicaGroup {
         let mut parser = Parser::new(text);
         let value = parser.value()?;
         let value = parser.finish(value)?;
-        let name = match value.field("name") {
-            Some(Value::String(s)) => s.clone(),
-            _ => return Err(ParseError::new("missing string field 'name'")),
+        group_from_value(&value)
+    }
+}
+
+/// Deserializes one group from an already-parsed [`Value`] — the body
+/// of [`ReplicaGroup::from_json`], factored out so the vintage-5 path
+/// set codec can reuse it per element of its `"groups"` array.
+fn group_from_value(value: &Value) -> Result<ReplicaGroup, ParseError> {
+    let name = match value.field("name") {
+        Some(Value::String(s)) => s.clone(),
+        _ => return Err(ParseError::new("missing string field 'name'")),
+    };
+    let group = if let Some(profiles) = value.field("profiles") {
+        let Value::Array(items) = profiles else {
+            return Err(ParseError::new("'profiles' must be an array"));
         };
-        let group = if let Some(profiles) = value.field("profiles") {
-            let Value::Array(items) = profiles else {
-                return Err(ParseError::new("'profiles' must be an array"));
-            };
-            if items.is_empty() {
-                return Err(ParseError::new("'profiles' must not be empty"));
-            }
-            let profiles = items
-                .iter()
-                .map(|item| {
-                    let capacity = item
-                        .field("capacity")
-                        .ok_or_else(|| ParseError::new("profile missing 'capacity'"))
-                        .and_then(|v| positive_count(v, "capacity"))?;
-                    let speed = match item.field("speed") {
-                        Some(v) => positive_speed(v)?,
-                        None => 1.0,
-                    };
-                    Ok(ReplicaProfile::new(capacity, speed))
-                })
-                .collect::<Result<Vec<_>, ParseError>>()?;
-            ReplicaGroup::heterogeneous(name, profiles)
-        } else {
-            let capacity = value
-                .field("capacity")
-                .ok_or_else(|| ParseError::new("missing field 'capacity'"))
-                .and_then(|v| positive_count(v, "capacity"))?;
-            let replicas = match value.field("replicas") {
-                Some(v) => positive_count(v, "replicas")?,
-                None => 1, // the pre-cluster default the serde attribute encoded
-            };
-            ReplicaGroup::replicated(name, capacity, replicas)
-        };
-        match value.field("lifecycle") {
-            Some(events) => {
-                let schedule = parse_lifecycle(events, group.replicas())?;
-                Ok(group.with_lifecycle(schedule))
-            }
-            None => Ok(group),
+        if items.is_empty() {
+            return Err(ParseError::new("'profiles' must not be empty"));
         }
+        let profiles = items
+            .iter()
+            .map(|item| {
+                let capacity = item
+                    .field("capacity")
+                    .ok_or_else(|| ParseError::new("profile missing 'capacity'"))
+                    .and_then(|v| positive_count(v, "capacity"))?;
+                let speed = match item.field("speed") {
+                    Some(v) => positive_speed(v)?,
+                    None => 1.0,
+                };
+                Ok(ReplicaProfile::new(capacity, speed))
+            })
+            .collect::<Result<Vec<_>, ParseError>>()?;
+        ReplicaGroup::heterogeneous(name, profiles)
+    } else {
+        let capacity = value
+            .field("capacity")
+            .ok_or_else(|| ParseError::new("missing field 'capacity'"))
+            .and_then(|v| positive_count(v, "capacity"))?;
+        let replicas = match value.field("replicas") {
+            Some(v) => positive_count(v, "replicas")?,
+            None => 1, // the pre-cluster default the serde attribute encoded
+        };
+        ReplicaGroup::replicated(name, capacity, replicas)
+    };
+    match value.field("lifecycle") {
+        Some(events) => {
+            let schedule = parse_lifecycle(events, group.replicas())?;
+            Ok(group.with_lifecycle(schedule))
+        }
+        None => Ok(group),
+    }
+}
+
+impl PathSet {
+    /// Serializes the path set in the vintage-5 form: an explicit
+    /// `"v":5` tag, the shared fleet as an array of group encodings
+    /// (each in its own oldest representable vintage — see
+    /// [`ReplicaGroup::to_json`]), and each path's name, quality, and
+    /// ordered stage list. Per-query stages omit the `"batch"` object.
+    pub fn to_json(&self) -> String {
+        let groups: Vec<String> = self
+            .spec()
+            .resources()
+            .iter()
+            .map(ReplicaGroup::to_json)
+            .collect();
+        let paths: Vec<String> = (0..self.num_paths())
+            .map(|p| {
+                let stages: Vec<String> = self.path_stages(p).iter().map(stage_json).collect();
+                format!(
+                    "{{\"name\":\"{}\",\"quality\":{:?},\"stages\":[{}]}}",
+                    escape(self.name(p)),
+                    self.quality(p),
+                    stages.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"v\":5,\"groups\":[{}],\"paths\":[{}]}}",
+            groups.join(","),
+            paths.join(",")
+        )
+    }
+
+    /// Deserializes a path set from the vintage-5 form;
+    /// `PathSet::from_json(set.to_json()) == set` holds for every set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed JSON, a missing or wrong
+    /// `"v"` tag, an empty or invalid `groups` array (each element is
+    /// validated by the group codec), an empty `paths` array, more
+    /// paths than one run can track, a path with no stages or a
+    /// negative quality, or a stage that fails pipeline validation
+    /// (unknown resource index, units exceeding capacity) — corrupt
+    /// persisted path sets are reported, never panicked on.
+    pub fn from_json(text: &str) -> Result<Self, ParseError> {
+        let mut parser = Parser::new(text);
+        let value = parser.value()?;
+        let value = parser.finish(value)?;
+        match value.field("v") {
+            Some(Value::Number(n)) if *n == 5.0 => {}
+            _ => return Err(ParseError::new("path sets require the vintage tag 'v':5")),
+        }
+        let Some(Value::Array(groups)) = value.field("groups") else {
+            return Err(ParseError::new("missing array field 'groups'"));
+        };
+        if groups.is_empty() {
+            return Err(ParseError::new("'groups' must not be empty"));
+        }
+        let fleet = groups
+            .iter()
+            .map(group_from_value)
+            .collect::<Result<Vec<_>, ParseError>>()?;
+        let Some(Value::Array(paths)) = value.field("paths") else {
+            return Err(ParseError::new("missing array field 'paths'"));
+        };
+        if paths.is_empty() {
+            return Err(ParseError::new("'paths' must not be empty"));
+        }
+        if paths.len() > crate::admission::MAX_PATHS {
+            return Err(ParseError::new(format!(
+                "a path set holds at most {} paths",
+                crate::admission::MAX_PATHS
+            )));
+        }
+        let mut set = PathSet::new(fleet);
+        for path in paths {
+            let name = match path.field("name") {
+                Some(Value::String(s)) => s.clone(),
+                _ => return Err(ParseError::new("path missing string field 'name'")),
+            };
+            let quality = path
+                .field("quality")
+                .ok_or_else(|| ParseError::new("path missing field 'quality'"))
+                .and_then(|v| non_negative_seconds(v, "quality"))?;
+            let Some(Value::Array(stages)) = path.field("stages") else {
+                return Err(ParseError::new("path missing array field 'stages'"));
+            };
+            if stages.is_empty() {
+                return Err(ParseError::new("path 'stages' must not be empty"));
+            }
+            let stages = stages
+                .iter()
+                .map(stage_from_value)
+                .collect::<Result<Vec<_>, ParseError>>()?;
+            // Qualities and stage lists were pre-validated above, so
+            // the only failures left are the spec's own (unknown
+            // resource, units over capacity) — surfaced as errors, not
+            // the construction-API panics.
+            set = set
+                .with_path(name, quality, stages)
+                .map_err(|e| ParseError::new(e.to_string()))?;
+        }
+        Ok(set)
+    }
+}
+
+/// Serializes one stage in the vintage-5 form, omitting `"batch"` for
+/// per-query stages.
+fn stage_json(s: &StageSpec) -> String {
+    let batch = if s.batch == BatchModel::per_query() {
+        String::new()
+    } else {
+        format!(
+            ",\"batch\":{{\"max_batch\":{},\"marginal\":{:?},\"overhead\":{:?}}}",
+            s.batch.max_batch, s.batch.marginal, s.batch.overhead_s
+        )
+    };
+    format!(
+        "{{\"name\":\"{}\",\"resource\":{},\"units\":{},\"service_time\":{:?}{batch}}}",
+        escape(&s.name),
+        s.resource,
+        s.units,
+        s.service_time
+    )
+}
+
+/// Deserializes one vintage-5 stage object.
+fn stage_from_value(value: &Value) -> Result<StageSpec, ParseError> {
+    let name = match value.field("name") {
+        Some(Value::String(s)) => s.clone(),
+        _ => return Err(ParseError::new("stage missing string field 'name'")),
+    };
+    let resource = value
+        .field("resource")
+        .ok_or_else(|| ParseError::new("stage missing field 'resource'"))
+        .and_then(resource_index)?;
+    let units = value
+        .field("units")
+        .ok_or_else(|| ParseError::new("stage missing field 'units'"))
+        .and_then(|v| positive_count(v, "units"))?;
+    let service_time = value
+        .field("service_time")
+        .ok_or_else(|| ParseError::new("stage missing field 'service_time'"))
+        .and_then(|v| non_negative_seconds(v, "service_time"))?;
+    let batch = match value.field("batch") {
+        Some(model) => BatchModel {
+            max_batch: model
+                .field("max_batch")
+                .ok_or_else(|| ParseError::new("batch model missing 'max_batch'"))
+                .and_then(|v| positive_count(v, "max_batch"))?,
+            marginal: model
+                .field("marginal")
+                .ok_or_else(|| ParseError::new("batch model missing 'marginal'"))
+                .and_then(|v| non_negative_seconds(v, "marginal"))?,
+            overhead_s: match model.field("overhead") {
+                Some(v) => non_negative_seconds(v, "overhead")?,
+                None => 0.0,
+            },
+        },
+        None => BatchModel::per_query(),
+    };
+    Ok(StageSpec::new(name, resource, units, service_time).with_batch(batch))
+}
+
+fn resource_index(value: &Value) -> Result<usize, ParseError> {
+    match value {
+        Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= usize::MAX as f64 => {
+            Ok(*n as usize)
+        }
+        _ => Err(ParseError::new(
+            "resource must be a non-negative integer index",
+        )),
     }
 }
 
@@ -682,6 +882,135 @@ mod tests {
             assert!(
                 ReplicaGroup::from_json(bad).is_err(),
                 "accepted malformed input {bad:?}"
+            );
+        }
+    }
+
+    fn ladder() -> PathSet {
+        PathSet::new(vec![
+            ReplicaGroup::replicated("gpu", 4, 2),
+            ReplicaGroup::new("cpu", 64),
+        ])
+        .with_path(
+            "full \"quoted\"",
+            1.0,
+            vec![
+                StageSpec::new("embed", 1, 2, 0.001),
+                StageSpec::new("rank", 0, 1, 0.004).with_batch(BatchModel {
+                    max_batch: 8,
+                    marginal: 0.2,
+                    overhead_s: 0.0005,
+                }),
+            ],
+        )
+        .unwrap()
+        .with_path("lite", 0.8, vec![StageSpec::new("rank-lite", 0, 1, 0.001)])
+        .unwrap()
+    }
+
+    #[test]
+    fn path_sets_round_trip_through_vintage_five() {
+        let set = ladder();
+        let emitted = set.to_json();
+        let back = PathSet::from_json(&emitted).unwrap();
+        assert_eq!(set, back);
+        assert_eq!(emitted, back.to_json());
+        // A vintage-5 document is not a group and must not load as one.
+        assert!(ReplicaGroup::from_json(&emitted).is_err());
+    }
+
+    #[test]
+    fn vintage_five_spells_out_the_documented_shape() {
+        let set = PathSet::new(vec![ReplicaGroup::new("cpu", 8)])
+            .with_path("full", 1.0, vec![StageSpec::new("rank", 0, 1, 0.004)])
+            .unwrap();
+        assert_eq!(
+            set.to_json(),
+            concat!(
+                r#"{"v":5,"groups":[{"name":"cpu","capacity":8}],"#,
+                r#""paths":[{"name":"full","quality":1.0,"stages":"#,
+                r#"[{"name":"rank","resource":0,"units":1,"service_time":0.004}]}]}"#
+            )
+        );
+    }
+
+    #[test]
+    fn every_group_vintage_loads_inside_the_fleet_array() {
+        let json = concat!(
+            r#"{"v":5,"groups":[{"name":"cpu","capacity":64,"replicas":4},"#,
+            r#"{"name":"acc","profiles":[{"capacity":2},{"capacity":2,"speed":0.5}]},"#,
+            r#"{"name":"io","capacity":8,"lifecycle":[{"time":0.5,"replica":0,"action":"drain"}]}],"#,
+            r#""paths":[{"name":"p","quality":0.5,"stages":"#,
+            r#"[{"name":"s","resource":1,"units":1,"service_time":0.002,"#,
+            r#""batch":{"max_batch":4,"marginal":0.25}}]}]}"#
+        );
+        let set = PathSet::from_json(json).unwrap();
+        let fleet = set.spec().resources();
+        assert_eq!(fleet[0], ReplicaGroup::replicated("cpu", 64, 4));
+        assert_eq!(
+            fleet[1],
+            ReplicaGroup::heterogeneous(
+                "acc",
+                vec![ReplicaProfile::baseline(2), ReplicaProfile::new(2, 0.5)]
+            )
+        );
+        assert!(fleet[2].has_lifecycle());
+        // A missing batch "overhead" defaults to 0, like vintage-4's
+        // missing provision "warmup".
+        let stage = &set.path_stages(0)[0];
+        assert_eq!(stage.batch.max_batch, 4);
+        assert_eq!(stage.batch.overhead_s, 0.0);
+    }
+
+    #[test]
+    fn corrupt_path_sets_error_instead_of_panicking() {
+        let stage = r#"{"name":"s","resource":0,"units":1,"service_time":0.002}"#;
+        let groups = r#"[{"name":"cpu","capacity":8}]"#;
+        for bad in [
+            // missing / wrong vintage tag
+            format!(
+                r#"{{"groups":{groups},"paths":[{{"name":"p","quality":1.0,"stages":[{stage}]}}]}}"#
+            ),
+            format!(
+                r#"{{"v":4,"groups":{groups},"paths":[{{"name":"p","quality":1.0,"stages":[{stage}]}}]}}"#
+            ),
+            // empty or missing fleet / path arrays
+            format!(
+                r#"{{"v":5,"groups":[],"paths":[{{"name":"p","quality":1.0,"stages":[{stage}]}}]}}"#
+            ),
+            format!(r#"{{"v":5,"groups":{groups},"paths":[]}}"#),
+            format!(r#"{{"v":5,"groups":{groups}}}"#),
+            // a corrupt group inside the fleet array
+            format!(
+                r#"{{"v":5,"groups":[{{"name":"cpu","capacity":0}}],"paths":[{{"name":"p","quality":1.0,"stages":[{stage}]}}]}}"#
+            ),
+            // path shapes the construction API would panic on
+            format!(
+                r#"{{"v":5,"groups":{groups},"paths":[{{"name":"p","quality":1.0,"stages":[]}}]}}"#
+            ),
+            format!(
+                r#"{{"v":5,"groups":{groups},"paths":[{{"name":"p","quality":-1.0,"stages":[{stage}]}}]}}"#
+            ),
+            format!(
+                r#"{{"v":5,"groups":{groups},"paths":[{{"quality":1.0,"stages":[{stage}]}}]}}"#
+            ),
+            // stage validation failures surface as errors, not panics
+            format!(
+                r#"{{"v":5,"groups":{groups},"paths":[{{"name":"p","quality":1.0,"stages":[{{"name":"s","resource":7,"units":1,"service_time":0.002}}]}}]}}"#
+            ),
+            format!(
+                r#"{{"v":5,"groups":{groups},"paths":[{{"name":"p","quality":1.0,"stages":[{{"name":"s","resource":0,"units":99,"service_time":0.002}}]}}]}}"#
+            ),
+            format!(
+                r#"{{"v":5,"groups":{groups},"paths":[{{"name":"p","quality":1.0,"stages":[{{"name":"s","resource":0,"units":1}}]}}]}}"#
+            ),
+            format!(
+                r#"{{"v":5,"groups":{groups},"paths":[{{"name":"p","quality":1.0,"stages":[{{"name":"s","resource":0,"units":1,"service_time":0.002,"batch":{{"max_batch":0,"marginal":0.2}}}}]}}]}}"#
+            ),
+        ] {
+            assert!(
+                PathSet::from_json(&bad).is_err(),
+                "accepted corrupt path set {bad}"
             );
         }
     }

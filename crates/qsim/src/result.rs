@@ -54,6 +54,14 @@ pub struct SimResult {
     /// [`WindowStats`](crate::WindowStats)); empty unless the run was
     /// configured with a telemetry window.
     pub windows: Vec<WindowStats>,
+    /// Per-path accounting of a multi-path run (see
+    /// [`serve_multipath`](crate::serve_multipath)), in path order.
+    /// Empty on single-pipeline runs.
+    pub paths: Vec<PathStats>,
+    /// Queries rejected by the admission policy before entering any
+    /// path (a subset of [`shed`](Self::shed), which also counts
+    /// lifecycle sheds). Zero outside multi-path runs.
+    pub admission_shed: usize,
 }
 
 impl SimResult {
@@ -77,6 +85,8 @@ impl SimResult {
             dropped: 0,
             cost_integral: 0.0,
             windows: Vec::new(),
+            paths: Vec::new(),
+            admission_shed: 0,
         }
     }
 
@@ -107,6 +117,33 @@ impl SimResult {
         self.cost_integral = cost_integral;
         self.windows = windows;
         self
+    }
+
+    /// Attaches a multi-path run's per-path accounting and the
+    /// admission-shed count.
+    pub fn with_multipath_outcome(mut self, paths: Vec<PathStats>, admission_shed: usize) -> Self {
+        self.paths = paths;
+        self.admission_shed = admission_shed;
+        self
+    }
+
+    /// Quality-weighted goodput in quality-units per second: achieved
+    /// QPS scaled by the completion-weighted mean path quality — the
+    /// scalar brown-out comparisons rank on (degrading to a cheaper
+    /// path keeps most of the quality; shedding keeps none). 0.0
+    /// outside multi-path runs or when nothing completed.
+    pub fn quality_goodput(&self) -> f64 {
+        let completed: usize = self.paths.iter().map(|p| p.completed).sum();
+        if completed == 0 {
+            return 0.0;
+        }
+        let mean_quality = self
+            .paths
+            .iter()
+            .map(|p| p.quality * p.completed as f64)
+            .sum::<f64>()
+            / completed as f64;
+        self.qps * mean_quality
     }
 
     /// Simulated minutes spent violating a p99 SLO: the summed duration
@@ -167,6 +204,33 @@ impl SimResult {
     }
 }
 
+/// Per-path accounting of one multi-path run: how many queries the
+/// admission policy sent down the path, how they fared, and the path's
+/// post-warmup latency summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathStats {
+    /// The path's name (from the [`PathSet`](crate::PathSet)).
+    pub name: String,
+    /// The path's quality tag.
+    pub quality: f64,
+    /// Queries admitted onto the path.
+    pub admitted: usize,
+    /// Admitted queries that completed the path's final stage.
+    pub completed: usize,
+    /// Admitted queries shed after admission (dead-group arrivals and
+    /// stranded queue entries under [`FailurePolicy::Shed`](crate::FailurePolicy::Shed),
+    /// plus end-of-run parked leftovers).
+    pub shed: usize,
+    /// Admitted queries killed mid-service by fail-stops.
+    pub dropped: usize,
+    /// Mean post-warmup latency of the path's completions in seconds
+    /// (0.0 when none recorded).
+    pub mean_latency_s: f64,
+    /// p99 post-warmup latency of the path's completions in seconds
+    /// (0.0 when none recorded).
+    pub p99_s: f64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,5 +259,36 @@ mod tests {
         let mut r = result_with_latencies(&[20; 10], false);
         assert!((r.p99_seconds() - 0.020).abs() < 1e-9);
         assert!((r.p50_seconds() - 0.020).abs() < 1e-9);
+    }
+
+    fn path(name: &str, quality: f64, completed: usize) -> PathStats {
+        PathStats {
+            name: name.to_string(),
+            quality,
+            admitted: completed,
+            completed,
+            shed: 0,
+            dropped: 0,
+            mean_latency_s: 0.01,
+            p99_s: 0.02,
+        }
+    }
+
+    #[test]
+    fn quality_goodput_weights_qps_by_completion_mix() {
+        let r = result_with_latencies(&[10; 100], false)
+            .with_multipath_outcome(vec![path("full", 1.0, 75), path("lite", 0.8, 25)], 10);
+        // Mean quality = (1.0*75 + 0.8*25) / 100 = 0.95; qps = 100.
+        assert!((r.quality_goodput() - 95.0).abs() < 1e-9);
+        assert_eq!(r.admission_shed, 10);
+    }
+
+    #[test]
+    fn quality_goodput_is_zero_without_paths_or_completions() {
+        let plain = result_with_latencies(&[10; 4], false);
+        assert_eq!(plain.quality_goodput(), 0.0);
+        let starved = result_with_latencies(&[], false)
+            .with_multipath_outcome(vec![path("full", 1.0, 0)], 50);
+        assert_eq!(starved.quality_goodput(), 0.0);
     }
 }

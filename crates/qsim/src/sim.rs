@@ -6,10 +6,16 @@ use recpipe_data::{ArrivalProcess, PoissonArrivals};
 use recpipe_metrics::{LatencyStats, ThroughputMeter};
 
 use crate::{
-    AutoscaleConfig, FailurePolicy, Fifo, FleetController, LifecycleAction, LifecycleConfig,
-    LifecycleEvent, PipelineSpec, QueueEntry, Release, ReplicaLoads, RoundRobin, Router,
-    RouterState, RoutingCtx, SchedulingPolicy, SimError, SimResult, StageSpec, WindowStats,
+    Admission, AdmissionCtx, AdmissionPolicy, AdmissionState, AutoscaleConfig, FailurePolicy, Fifo,
+    FleetController, LifecycleAction, LifecycleConfig, LifecycleEvent, PathProfile, PathSet,
+    PathStats, PipelineSpec, QueueEntry, Release, ReplicaLoads, RoundRobin, Router, RouterState,
+    RoutingCtx, SchedulingPolicy, SimError, SimResult, StageSpec, WindowStats,
 };
+
+/// Per-query path marker: not yet admitted (no admission decision seen).
+const MP_UNASSIGNED: u8 = 0xFF;
+/// Per-query path marker: rejected at admission.
+const MP_SHED: u8 = 0xFE;
 
 /// Fraction of queries discarded from the front as warmup.
 const WARMUP_FRACTION: f64 = 0.05;
@@ -402,6 +408,52 @@ pub fn serve_autoscaled(
     sim.run()
 }
 
+/// Runs the multi-path simulation: `admission` is consulted once per
+/// arriving query — with the instantaneous load snapshot, the per-path
+/// analytic profiles, and the last closed telemetry window — and either
+/// admits the query onto one of `paths`' pipelines (all sharing one
+/// replica fleet) or sheds it. Admitted queries traverse their path's
+/// stages under the usual router/policy machinery; per-path admissions,
+/// completions, losses, and latency land in
+/// [`SimResult::paths`](crate::SimResult::paths) (and per-window in
+/// [`WindowStats::path_admitted`](crate::WindowStats::path_admitted)
+/// when telemetry is on).
+///
+/// Lifecycle schedules on the shared fleet replay as in
+/// [`serve_lifecycle`]; with the default [`LifecycleConfig`] and a
+/// single-path set under [`AlwaysPrimary`](crate::AlwaysPrimary) the
+/// run is bit-identical to [`serve_routed`] (pinned by proptest).
+/// Multi-path runs always use the serial loop — sharding's
+/// stage-independence does not hold once arrival-time decisions pick
+/// among stage chains.
+///
+/// # Errors
+///
+/// Returns [`SimError::NoAvailableReplica`] under [`serve_lifecycle`]'s
+/// rule.
+///
+/// # Panics
+///
+/// Panics if the path set has no paths or `num_queries == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_multipath(
+    paths: &PathSet,
+    arrivals: &dyn ArrivalProcess,
+    policy: &dyn SchedulingPolicy,
+    router: &dyn Router,
+    admission: &dyn AdmissionPolicy,
+    num_queries: usize,
+    seed: u64,
+    cfg: &LifecycleConfig,
+) -> Result<SimResult, SimError> {
+    assert!(paths.num_paths() > 0, "path set has no paths");
+    assert!(num_queries > 0, "need at least one query");
+    let mut sim = Sim::new(paths.spec(), arrivals, policy, router, num_queries, seed);
+    sim.enable_lifecycle(cfg);
+    sim.enable_multipath(paths, admission, seed);
+    sim.run()
+}
+
 /// The simulator state. `#[repr(C)]` pins the declared field order in
 /// memory: the per-event scalars and flags pack into the first cache
 /// lines, the hot container headers follow, and the lifecycle /
@@ -649,6 +701,53 @@ pub(crate) struct Sim<'a> {
     // --- Closed-loop autoscaling (None unless `enable_autoscale`) ---
     scale: Option<ScaleRt>,
     controller: Option<&'a mut dyn FleetController>,
+
+    // --- Multi-path serving (None unless `enable_multipath`) ---
+    mp: Option<MultipathRt<'a>>,
+}
+
+/// Multi-path runtime state (see [`serve_multipath`]): the admission
+/// seam plus per-path accounting. Boxed behind an `Option` at the
+/// simulator's cold tail — single-pipeline runs never touch it.
+struct MultipathRt<'a> {
+    admission: &'a dyn AdmissionPolicy,
+    /// Per-path analytic profiles handed to the policy on every arrival.
+    profiles: Vec<PathProfile>,
+    /// First flat stage of each path.
+    entry: Vec<usize>,
+    /// Per flat stage: whether it is its path's final stage.
+    last_of_path: Vec<bool>,
+    /// Path names, carried through to [`PathStats`].
+    names: Vec<String>,
+    /// Per-query path assignment ([`MP_UNASSIGNED`] until the admission
+    /// decision, [`MP_SHED`] when rejected).
+    qpath: Vec<u8>,
+    /// The policy's mutable state (degradation level, RNG stream).
+    state: AdmissionState,
+    /// Per-path admissions over the whole run.
+    admitted: Vec<usize>,
+    /// Per-path completions.
+    completed: Vec<usize>,
+    /// Per-path post-admission sheds (lifecycle losses, not admission
+    /// rejections).
+    shed: Vec<usize>,
+    /// Per-path mid-service drops (fail-stops under `Shed`).
+    dropped: Vec<usize>,
+    /// Per-path post-warmup latency collectors.
+    latency: Vec<LatencyStats>,
+    /// Queries rejected at admission (before any path).
+    admission_shed: usize,
+    /// Admitted-but-unresolved queries — the concurrency signal
+    /// admission policies threshold on.
+    in_system: usize,
+    /// Largest single-path fully-batched capacity — the saturation
+    /// test's rate bound (the concatenated spec's own figure sums every
+    /// path's load as if all were always taken, which is meaningless).
+    max_full_batch_qps: f64,
+    /// Per-path admissions in the current telemetry window.
+    win_admitted: Vec<usize>,
+    /// Per-path completions in the current telemetry window.
+    win_completed: Vec<usize>,
 }
 
 /// Receives a stage shard's completions `(time, query, arrived)` for
@@ -884,6 +983,7 @@ impl<'a> Sim<'a> {
             windows: Vec::new(),
             scale: None,
             controller: None,
+            mp: None,
             arrival_stream: None,
             arrival_span: 0.0,
             record_at_completion,
@@ -1016,6 +1116,123 @@ impl<'a> Sim<'a> {
             self.live_capacity -= self.slot_capacity[slot];
             self.live_cost -= self.slot_speed[slot];
             self.group_available[cfg.group] -= 1;
+        }
+    }
+
+    /// Arms multi-path serving: every stage-0 arrival first passes the
+    /// admission policy, which assigns it a path (its stages sit at a
+    /// fixed offset in the concatenated spec) or sheds it. Consumes no
+    /// heap seqs and pushes no events, so an [`AlwaysPrimary`] run's
+    /// event stream is identical to the plain routed loop.
+    ///
+    /// [`AlwaysPrimary`]: crate::AlwaysPrimary
+    fn enable_multipath(&mut self, paths: &PathSet, admission: &'a dyn AdmissionPolicy, seed: u64) {
+        debug_assert_eq!(paths.spec().stages().len(), self.stages.len());
+        let n = paths.num_paths();
+        let profiles = paths.profiles();
+        let max_full_batch_qps = profiles
+            .iter()
+            .map(|p| p.max_qps_full_batch)
+            .fold(0.0, f64::max);
+        self.mp = Some(MultipathRt {
+            admission,
+            profiles,
+            entry: (0..n).map(|p| paths.entry(p)).collect(),
+            last_of_path: paths.last_of_path(),
+            names: paths.names().to_vec(),
+            qpath: vec![MP_UNASSIGNED; self.num_queries],
+            // A distinct splitmix lane per run seed: decorrelated from
+            // every router's per-group stream (those mix the group
+            // index) while staying a pure function of the seed.
+            state: AdmissionState::new(seed ^ 0xa076_1d64_78bd_642f),
+            admitted: vec![0; n],
+            completed: vec![0; n],
+            shed: vec![0; n],
+            dropped: vec![0; n],
+            latency: (0..n).map(|_| LatencyStats::new()).collect(),
+            admission_shed: 0,
+            in_system: 0,
+            max_full_batch_qps,
+            win_admitted: vec![0; n],
+            win_completed: vec![0; n],
+        });
+    }
+
+    /// Runs the admission decision for a stage-0 arrival: returns the
+    /// admitted path's entry stage, or `None` when the query was shed.
+    /// Re-arrivals of an already-admitted query (lifecycle requeues and
+    /// parked flushes re-enter at their original stage — which is 0
+    /// only on path 0) keep their path without a second decision.
+    fn admit(&mut self, now: f64, query: usize) -> Option<usize> {
+        let capacity = self.live_capacity;
+        let queue_depth = self.total_queued_entries;
+        let window = self.windows.last();
+        let telemetry = self.telemetry_active;
+        let mp = self.mp.as_mut().expect("multipath runtime attached");
+        let prior = mp.qpath[query];
+        if prior != MP_UNASSIGNED {
+            debug_assert_eq!(prior, 0, "only path 0 starts at flat stage 0");
+            return Some(0);
+        }
+        let decision = {
+            let ctx = AdmissionCtx {
+                now,
+                query,
+                in_system: mp.in_system,
+                capacity,
+                queue_depth,
+                paths: &mp.profiles,
+                window,
+            };
+            mp.admission.admit(&ctx, &mut mp.state)
+        };
+        match decision {
+            Admission::Admit(p) => {
+                assert!(
+                    p < mp.entry.len(),
+                    "admission chose path {p} of {}",
+                    mp.entry.len()
+                );
+                mp.qpath[query] = p as u8;
+                mp.admitted[p] += 1;
+                mp.in_system += 1;
+                if telemetry {
+                    mp.win_admitted[p] += 1;
+                }
+                Some(mp.entry[p])
+            }
+            Admission::Shed => {
+                mp.qpath[query] = MP_SHED;
+                mp.admission_shed += 1;
+                self.shed += 1;
+                self.win_shed += 1;
+                // Closed loop: the shed query's client re-arms just as
+                // a completion would free it.
+                if let Some(think) = self.think_time_s {
+                    if self.next_inject < self.num_queries {
+                        let q = self.next_inject;
+                        self.next_inject += 1;
+                        self.inject(q, now + think);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Attributes a post-admission loss (lifecycle shed or mid-service
+    /// drop) to the query's path. No-op outside multi-path runs and for
+    /// queries the admission policy already shed.
+    fn mp_account_lost(&mut self, query: usize, was_in_flight: bool) {
+        if let Some(mp) = self.mp.as_mut() {
+            let p = mp.qpath[query] as usize;
+            debug_assert!(p < mp.entry.len(), "lost query was never admitted");
+            if was_in_flight {
+                mp.dropped[p] += 1;
+            } else {
+                mp.shed[p] += 1;
+            }
+            mp.in_system -= 1;
         }
     }
 
@@ -1420,6 +1637,18 @@ impl<'a> Sim<'a> {
     }
 
     fn on_arrive(&mut self, now: f64, query: usize, stage_idx: usize) {
+        // Multi-path: a stage-0 arrival is an admission decision — the
+        // query enters at its admitted path's entry stage, or not at
+        // all. (Paths other than 0 never re-enter at flat stage 0, so
+        // the remap fires exactly once per fresh query.)
+        let stage_idx = if stage_idx == 0 && self.mp.is_some() {
+            match self.admit(now, query) {
+                Some(entry_stage) => entry_stage,
+                None => return,
+            }
+        } else {
+            stage_idx
+        };
         let Some(slot) = self.route(now, query, stage_idx) else {
             self.handle_unroutable(now, query, stage_idx);
             return;
@@ -1482,6 +1711,7 @@ impl<'a> Sim<'a> {
             FailurePolicy::Shed => {
                 self.shed += 1;
                 self.win_shed += 1;
+                self.mp_account_lost(query, false);
             }
             FailurePolicy::Requeue => {
                 let revival_pending = self.revivals_left[group] > 0
@@ -1515,6 +1745,7 @@ impl<'a> Sim<'a> {
                     self.shed += 1;
                     self.win_shed += 1;
                 }
+                self.mp_account_lost(query, was_in_flight);
             }
         }
     }
@@ -1716,6 +1947,16 @@ impl<'a> Sim<'a> {
             }
             None => self.state.iter().filter(|s| s.routable()).count(),
         };
+        let (path_admitted, path_completed) = match self.mp.as_mut() {
+            Some(mp) => {
+                let n = mp.win_admitted.len();
+                (
+                    std::mem::replace(&mut mp.win_admitted, vec![0; n]),
+                    std::mem::replace(&mut mp.win_completed, vec![0; n]),
+                )
+            }
+            None => (Vec::new(), Vec::new()),
+        };
         self.windows.push(WindowStats {
             start: self.win_start,
             end: now,
@@ -1728,6 +1969,8 @@ impl<'a> Sim<'a> {
             utilization,
             live_replicas,
             cost,
+            path_admitted,
+            path_completed,
         });
         self.win_start = now;
         self.win_queue_base = self.queue_integral;
@@ -1850,7 +2093,15 @@ impl<'a> Sim<'a> {
             out.emit(now, query, self.arrival_time[query]);
             return;
         }
-        if stage + 1 < self.stages.len() {
+        // A path's stages are contiguous in the concatenated spec, so
+        // "advance to stage + 1" is correct within a path; the path's
+        // final stage completes the query instead of entering the next
+        // path's first stage.
+        let last_stage = match self.mp.as_ref() {
+            Some(mp) => mp.last_of_path[stage],
+            None => stage + 1 == self.stages.len(),
+        };
+        if !last_stage {
             self.heap
                 .push(Event::arrive(now, self.seq, query, stage + 1));
             self.seq += 1;
@@ -1873,6 +2124,21 @@ impl<'a> Sim<'a> {
             if self.telemetry_active {
                 self.win_completed += 1;
                 self.win_latencies.push(now - self.arrival_time[query]);
+            }
+            let latency_s = now - self.arrival_time[query];
+            let warm = query >= self.warmup_len;
+            let telemetry = self.telemetry_active;
+            if let Some(mp) = self.mp.as_mut() {
+                let p = mp.qpath[query] as usize;
+                debug_assert!(p < mp.entry.len(), "completion of an unadmitted query");
+                mp.completed[p] += 1;
+                mp.in_system -= 1;
+                if telemetry {
+                    mp.win_completed[p] += 1;
+                }
+                if warm {
+                    mp.latency[p].record_secs(latency_s);
+                }
             }
             // Closed loop: this completion frees a client, which
             // thinks and then issues the next query.
@@ -2148,6 +2414,11 @@ impl<'a> Sim<'a> {
             self.total_queued_entries -= leftover.len();
             self.shed += leftover.len();
             self.win_shed += leftover.len();
+            if self.mp.is_some() {
+                for &(query, _) in &leftover {
+                    self.mp_account_lost(query, false);
+                }
+            }
         }
         // Close the trailing partial window at the integral clock.
         if self.telemetry_active && self.window_s > 0.0 {
@@ -2201,8 +2472,15 @@ impl<'a> Sim<'a> {
         // stages), or the drain time greatly exceeds the arrival span.
         // Closed loops self-regulate, so only the backlog test applies.
         let offered = self.arrivals.mean_rate();
-        let rate_overload =
-            self.think_time_s.is_none() && offered > self.spec.max_qps_at_full_batch();
+        // Multi-path runs compare the offered rate against the *best
+        // single path's* capacity (the concatenated spec's own bound
+        // sums every path's load as if each query took all of them);
+        // for a single-path set the figure is bit-equal to the spec's.
+        let full_batch_qps = match self.mp.as_ref() {
+            Some(mp) => mp.max_full_batch_qps,
+            None => self.spec.max_qps_at_full_batch(),
+        };
+        let rate_overload = self.think_time_s.is_none() && offered > full_batch_qps;
         let saturated =
             rate_overload || self.last_time > arrival_span * 1.5 + self.spec.service_floor();
 
@@ -2210,6 +2488,37 @@ impl<'a> Sim<'a> {
             self.served as f64 / self.launches as f64
         } else {
             1.0
+        };
+        let (path_stats, admission_shed) = match self.mp.take() {
+            Some(mp) => {
+                let MultipathRt {
+                    names,
+                    profiles,
+                    admitted,
+                    completed,
+                    shed,
+                    dropped,
+                    mut latency,
+                    admission_shed,
+                    ..
+                } = mp;
+                let stats = names
+                    .into_iter()
+                    .enumerate()
+                    .map(|(p, name)| PathStats {
+                        name,
+                        quality: profiles[p].quality,
+                        admitted: admitted[p],
+                        completed: completed[p],
+                        shed: shed[p],
+                        dropped: dropped[p],
+                        mean_latency_s: latency[p].mean().as_secs_f64(),
+                        p99_s: latency[p].p99().as_secs_f64(),
+                    })
+                    .collect();
+                (stats, admission_shed)
+            }
+            None => (Vec::new(), 0),
         };
         SimResult::new(latency, qps, self.completed, saturated, utilization)
             .with_mean_batch(mean_batch)
@@ -2220,6 +2529,7 @@ impl<'a> Sim<'a> {
                 self.cost_integral,
                 std::mem::take(&mut self.windows),
             )
+            .with_multipath_outcome(path_stats, admission_shed)
     }
 }
 

@@ -462,6 +462,13 @@ pub enum SpecError {
         /// The offending stage name.
         stage: String,
     },
+    /// A multi-path set member declares a different resource fleet than
+    /// the set's (all paths must contend for one shared fleet — see
+    /// [`PathSet::from_pipelines`](crate::PathSet::from_pipelines)).
+    PathFleetMismatch {
+        /// The offending path's name.
+        path: String,
+    },
 }
 
 impl std::fmt::Display for SpecError {
@@ -485,6 +492,9 @@ impl std::fmt::Display for SpecError {
             SpecError::ZeroUnits { stage } => write!(f, "stage {stage} requests zero units"),
             SpecError::InvalidBatchModel { stage } => {
                 write!(f, "stage {stage} has an invalid batching model")
+            }
+            SpecError::PathFleetMismatch { path } => {
+                write!(f, "path {path} does not share the path set's replica fleet")
             }
         }
     }

@@ -5,10 +5,11 @@
 use proptest::prelude::*;
 use recpipe_data::{ClosedLoopArrivals, MmppArrivals, PoissonArrivals};
 use recpipe_qsim::{
-    BatchModel, BatchWindow, EarliestDeadlineFirst, ExpectedWait, FailurePolicy, Fifo,
-    JoinShortestQueue, LeastWorkLeft, LifecycleConfig, LifecycleEvent, LifecycleSchedule,
-    PipelineSpec, PowerOfTwoChoices, ReplicaGroup, ReplicaProfile, ResourceSpec, RoundRobin,
-    Router, SchedulingPolicy, StageSpec, Sticky,
+    serve_multipath, AdmissionPolicy, AlwaysPrimary, BatchModel, BatchWindow, DeadlineAware,
+    EarliestDeadlineFirst, ExpectedWait, FailurePolicy, Fifo, JoinShortestQueue, LeastWorkLeft,
+    LifecycleConfig, LifecycleEvent, LifecycleSchedule, LoadAdaptive, PathSet, PipelineSpec,
+    PowerOfTwoChoices, ReplicaGroup, ReplicaProfile, ResourceSpec, RoundRobin, Router,
+    SchedulingPolicy, StageSpec, Sticky,
 };
 
 fn pipeline(servers: usize, stages: Vec<f64>) -> PipelineSpec {
@@ -3068,4 +3069,208 @@ fn decay_aware_expected_wait_never_worsens_the_two_generation_tail() {
         frozen_worse >= 3,
         "decay made a strict difference on only {frozen_worse}/5 seeds"
     );
+}
+
+// ------------------------------------------------------------------
+// qsim v8: multi-path admission
+// ------------------------------------------------------------------
+
+/// The admission-policy rotation: the admit-everything baseline, a
+/// deadline policy, and the load-adaptive pair (degrading and
+/// shed-only ablation).
+fn admission_for(idx: usize) -> Box<dyn AdmissionPolicy> {
+    match idx % 4 {
+        0 => Box::new(AlwaysPrimary),
+        1 => Box::new(DeadlineAware::new(0.05)),
+        2 => Box::new(LoadAdaptive::new(1.5, 0.75)),
+        _ => Box::new(LoadAdaptive::new(0.8, 0.5).without_degradation()),
+    }
+}
+
+/// A two-path ladder over one shared replicated fleet: the primary's
+/// batched two-stage funnel plus a cheap single-stage alternate.
+fn two_path_ladder(
+    replicas: usize,
+    capacity: usize,
+    max_batch: usize,
+    lite_quality: f64,
+) -> PathSet {
+    PathSet::new(vec![ReplicaGroup::replicated("fleet", capacity, replicas)])
+        .with_path(
+            "full",
+            1.0,
+            vec![
+                StageSpec::new("filter", 0, 1, 0.004).with_batch(BatchModel::new(max_batch, 0.25)),
+                StageSpec::new("rank", 0, 1, 0.002).with_batch(BatchModel::new(max_batch, 0.25)),
+            ],
+        )
+        .unwrap()
+        .with_path(
+            "lite",
+            lite_quality,
+            vec![StageSpec::new("lite", 0, 1, 0.001)],
+        )
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn single_path_always_primary_pins_the_routed_loop_bit_for_bit(
+        replicas in 1usize..4,
+        capacity in 1usize..3,
+        max_batch in 1usize..8,
+        policy_idx in 0usize..3,
+        router_idx in 0usize..6,
+        quality in 0.0f64..1.0,
+        queries in 100usize..600,
+        seed in 0u64..200,
+    ) {
+        // The multi-path machinery must be invisible when unused: a
+        // single-path set under the admit-everything policy and a
+        // default lifecycle produces the PR-7 routed loop's result
+        // bit-for-bit across the router x policy x fleet x batching
+        // matrix -- AlwaysPrimary draws no randomness and schedules no
+        // events, so the event streams are identical, not just the
+        // summaries.
+        let spec = replicated_pipeline(replicas, capacity, vec![0.004, 0.002], max_batch);
+        let policy = policy_for(policy_idx);
+        let router = router_for_v4(router_idx);
+        let arrivals = MmppArrivals::new(100.0, 800.0, 0.2, 0.1);
+        let routed = spec.serve_routed(&arrivals, policy.as_ref(), router.as_ref(), queries, seed);
+        let paths = PathSet::single(spec, quality);
+        let mut multi = serve_multipath(
+            &paths,
+            &arrivals,
+            policy.as_ref(),
+            router.as_ref(),
+            &AlwaysPrimary,
+            queries,
+            seed,
+            &LifecycleConfig::new(),
+        )
+        .unwrap();
+        prop_assert_eq!(multi.paths.len(), 1);
+        prop_assert_eq!(multi.paths[0].admitted, queries);
+        prop_assert_eq!(multi.paths[0].completed, queries);
+        prop_assert_eq!(multi.admission_shed, 0);
+        // Strip the multipath-only accounting; everything else matches
+        // the PR-7 loop exactly.
+        multi.paths.clear();
+        multi.admission_shed = 0;
+        prop_assert_eq!(routed, multi);
+    }
+
+    #[test]
+    fn admission_conserves_every_query_across_policies(
+        replicas in 1usize..4,
+        capacity in 1usize..3,
+        max_batch in 1usize..6,
+        admission_idx in 0usize..4,
+        policy_idx in 0usize..3,
+        router_idx in 0usize..6,
+        lite_quality_pct in 10u64..100,
+        queries in 100usize..500,
+        seed in 0u64..100,
+    ) {
+        // Whatever the admission policy decides, every injected query
+        // is accounted for exactly once: admitted to some path or shed
+        // at the door, and every admitted query completes, is shed by
+        // lifecycle, or is dropped -- per path and in aggregate.
+        let paths = two_path_ladder(
+            replicas,
+            capacity,
+            max_batch,
+            lite_quality_pct as f64 / 100.0,
+        );
+        let admission = admission_for(admission_idx);
+        let policy = policy_for(policy_idx);
+        let router = router_for_v4(router_idx);
+        let arrivals = MmppArrivals::new(100.0, 800.0, 0.2, 0.1);
+        let out = serve_multipath(
+            &paths,
+            &arrivals,
+            policy.as_ref(),
+            router.as_ref(),
+            admission.as_ref(),
+            queries,
+            seed,
+            &LifecycleConfig::new(),
+        )
+        .unwrap();
+        let admitted: usize = out.paths.iter().map(|p| p.admitted).sum();
+        let completed: usize = out.paths.iter().map(|p| p.completed).sum();
+        let path_shed: usize = out.paths.iter().map(|p| p.shed).sum();
+        let path_dropped: usize = out.paths.iter().map(|p| p.dropped).sum();
+        prop_assert_eq!(admitted + out.admission_shed, queries);
+        prop_assert_eq!(completed, out.completed);
+        prop_assert_eq!(out.shed, out.admission_shed + path_shed);
+        prop_assert_eq!(out.dropped, path_dropped);
+        for p in &out.paths {
+            prop_assert_eq!(p.admitted, p.completed + p.shed + p.dropped);
+        }
+        prop_assert_eq!(out.completed + out.shed + out.dropped, queries);
+        // Quality-weighted goodput is bounded by raw throughput times
+        // the best path quality.
+        prop_assert!(out.quality_goodput() <= out.qps * 1.0 + 1e-9);
+        // Admission decisions replay deterministically.
+        let again = serve_multipath(
+            &paths,
+            &arrivals,
+            policy.as_ref(),
+            router.as_ref(),
+            admission.as_ref(),
+            queries,
+            seed,
+            &LifecycleConfig::new(),
+        )
+        .unwrap();
+        prop_assert_eq!(out, again);
+    }
+
+    #[test]
+    fn path_sets_round_trip_through_vintage_five_json(
+        replicas in 1usize..5,
+        capacity in 1usize..4,
+        max_batch in 1usize..8,
+        lite_quality_pct in 0u64..100,
+        lite_ms in 1u64..10,
+        heterogeneous in proptest::prelude::any::<bool>(),
+    ) {
+        // Serde satellite, multi-path edition: every path set the API
+        // can build survives a to_json -> from_json trip exactly --
+        // names, qualities, stage shapes, batch models, and whichever
+        // group vintage the fleet encoding picks.
+        let fleet = if heterogeneous {
+            let profiles = (0..replicas)
+                .map(|i| ReplicaProfile::new(capacity, 1.0 / (i + 1) as f64))
+                .collect();
+            vec![ReplicaGroup::heterogeneous("fleet", profiles)]
+        } else {
+            vec![ReplicaGroup::replicated("fleet", capacity, replicas)]
+        };
+        let paths = PathSet::new(fleet)
+            .with_path(
+                "full",
+                1.0,
+                vec![
+                    StageSpec::new("filter", 0, 1, 0.004)
+                        .with_batch(BatchModel::new(max_batch, 0.25)),
+                    StageSpec::new("rank", 0, 1, 0.002),
+                ],
+            )
+            .unwrap()
+            .with_path(
+                "lite",
+                lite_quality_pct as f64 / 100.0,
+                vec![StageSpec::new("lite", 0, 1, lite_ms as f64 / 1e3)],
+            )
+            .unwrap();
+        let json = paths.to_json();
+        let back = PathSet::from_json(&json).unwrap();
+        prop_assert_eq!(&paths, &back);
+        // Emission is canonical: re-serializing reproduces the bytes.
+        prop_assert_eq!(json, back.to_json());
+    }
 }
