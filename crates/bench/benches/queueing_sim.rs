@@ -11,9 +11,10 @@ use recpipe_core::{Backend, Scheduler, SchedulerSettings, SweepBudget};
 use recpipe_data::{DiurnalArrivals, MmppArrivals, PoissonArrivals, TraceArrivals};
 use recpipe_hwsim::{CpuModel, PcieModel};
 use recpipe_qsim::{
-    serve_multipath, BatchModel, BatchWindow, ExpectedWait, Fifo, JoinShortestQueue, LeastWorkLeft,
-    LifecycleConfig, LifecycleEvent, LifecycleSchedule, LoadAdaptive, PathSet, PipelineSpec,
-    PowerOfTwoChoices, ReplicaGroup, ReplicaProfile, ResourceSpec, RoundRobin, Router, StageSpec,
+    serve_multipath, BatchModel, BatchWindow, ExpectedWait, Fifo, HedgePolicy, JoinShortestQueue,
+    LeastWorkLeft, LifecycleConfig, LifecycleEvent, LifecycleSchedule, LoadAdaptive, PathSet,
+    PipelineSpec, PowerOfTwoChoices, ReplicaGroup, ReplicaProfile, ResilienceConfig, ResourceSpec,
+    RetryBudget, RetryPolicy, RoundRobin, Router, StageSpec,
 };
 
 fn two_stage() -> PipelineSpec {
@@ -229,6 +230,39 @@ fn bench_qsim_multipath(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_qsim_resilience(c: &mut Criterion) {
+    // The v9 resilience loop on a gray-failing fleet: one of four
+    // replicas limps at 25% speed from t = 0 while round-robin keeps
+    // feeding it, with the full client-side defense stack armed — a
+    // 250 ms timeout, budgeted 2-retry backoff, and a 30 ms hedge —
+    // the per-event cost of timeout arming, lane bookkeeping, carcass
+    // discard, and hedge dispatch on top of the routed loop.
+    let spec = PipelineSpec::new(vec![ReplicaGroup::replicated("worker", 1, 4)])
+        .with_group_lifecycle(
+            0,
+            LifecycleSchedule::empty().with_event(LifecycleEvent::degrade(0.0, 0, 0.25)),
+        )
+        .with_stage(StageSpec::new("rank", 0, 1, 0.010))
+        .unwrap();
+    let arrivals = PoissonArrivals::new(150.0);
+    let cfg = LifecycleConfig::new();
+    let resilience = ResilienceConfig::new()
+        .with_timeout(0.250)
+        .with_retry(RetryPolicy::new(3, 0.020, 2.0).with_budget(RetryBudget::new(50.0, 0.1)))
+        .with_hedge(HedgePolicy::after(0.030));
+
+    let mut group = c.benchmark_group("qsim_resilience");
+    group.bench_function("hedged_limp_10000q", |b| {
+        b.iter(|| {
+            black_box(
+                spec.serve_resilient(&arrivals, &Fifo, &RoundRobin, 10_000, 7, &cfg, &resilience)
+                    .expect("degrades never strand work"),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_cluster_sweep(c: &mut Criterion) {
     // The scheduler's replica-grid sweep: the cross product that
     // motivated budget pruning. One worker isolates simulation work
@@ -281,6 +315,7 @@ criterion_group!(
     bench_qsim_scale,
     bench_qsim_lifecycle,
     bench_qsim_multipath,
+    bench_qsim_resilience,
     bench_cluster_sweep
 );
 criterion_main!(benches);

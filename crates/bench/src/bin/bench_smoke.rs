@@ -1,6 +1,6 @@
 //! CI bench smoke check: re-times the hottest queueing-simulator
 //! benches and fails (non-zero exit) if any regressed more than 2x
-//! against the checked-in `BENCH_pr8.json` baseline, and holds the
+//! against the checked-in `BENCH_pr9.json` baseline, and holds the
 //! 10M-query sharded trace replay to its single-digit-second
 //! (machine-normalized) budget.
 //!
@@ -26,9 +26,10 @@ use std::time::{Duration, Instant};
 
 use recpipe_data::{DiurnalArrivals, PoissonArrivals, TraceArrivals};
 use recpipe_qsim::{
-    serve_multipath, BatchModel, ExpectedWait, Fifo, JoinShortestQueue, LifecycleConfig,
-    LifecycleEvent, LifecycleSchedule, LoadAdaptive, PathSet, PipelineSpec, ReplicaGroup,
-    ReplicaProfile, ResourceSpec, RoundRobin, StageSpec,
+    serve_multipath, BatchModel, ExpectedWait, Fifo, HedgePolicy, JoinShortestQueue,
+    LifecycleConfig, LifecycleEvent, LifecycleSchedule, LoadAdaptive, PathSet, PipelineSpec,
+    ReplicaGroup, ReplicaProfile, ResilienceConfig, ResourceSpec, RetryBudget, RetryPolicy,
+    RoundRobin, StageSpec,
 };
 
 /// Largest tolerated machine-normalized measured/baseline ratio.
@@ -168,6 +169,20 @@ fn brownout_ladder() -> PathSet {
         .expect("lite path fits the fleet")
 }
 
+fn hedged_limp_fleet() -> PipelineSpec {
+    // Mirrors benches/queueing_sim.rs
+    // `qsim_resilience/hedged_limp_10000q`: the resilience loop on a
+    // gray-failing fleet (one of four replicas limping at 25% speed)
+    // with timeout, budgeted retry, and hedging all armed.
+    PipelineSpec::new(vec![ReplicaGroup::replicated("worker", 1, 4)])
+        .with_group_lifecycle(
+            0,
+            LifecycleSchedule::empty().with_event(LifecycleEvent::degrade(0.0, 0, 0.25)),
+        )
+        .with_stage(StageSpec::new("rank", 0, 1, 0.010))
+        .expect("valid stage")
+}
+
 /// Mirrors benches/queueing_sim.rs `qsim_scale/trace_replay_10M`: the
 /// sharded 10M-query recorded-trace replay.
 fn scale_spec_and_trace() -> (PipelineSpec, TraceArrivals) {
@@ -202,7 +217,7 @@ fn scale_spec_and_trace() -> (PipelineSpec, TraceArrivals) {
 }
 
 fn main() {
-    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr8.json");
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr9.json");
     let json = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
 
@@ -233,6 +248,13 @@ fn main() {
     let ladder_arrivals = PoissonArrivals::new(1_200.0);
     let ladder_admission = LoadAdaptive::new(1.5, 0.75);
     let ladder_cfg = LifecycleConfig::new();
+    let limp_fleet = hedged_limp_fleet();
+    let limp_arrivals = PoissonArrivals::new(150.0);
+    let limp_cfg = LifecycleConfig::new();
+    let limp_resilience = ResilienceConfig::new()
+        .with_timeout(0.250)
+        .with_retry(RetryPolicy::new(3, 0.020, 2.0).with_budget(RetryBudget::new(50.0, 0.1)))
+        .with_hedge(HedgePolicy::after(0.030));
     type Check = (&'static str, Box<dyn FnMut()>);
     let checks: Vec<Check> = vec![
         (
@@ -297,6 +319,24 @@ fn main() {
                         &ladder_cfg,
                     )
                     .expect("no lifecycle schedule, so the run cannot strand work"),
+                );
+            }),
+        ),
+        (
+            "qsim_resilience/hedged_limp_10000q",
+            Box::new(move || {
+                std::hint::black_box(
+                    limp_fleet
+                        .serve_resilient(
+                            &limp_arrivals,
+                            &Fifo,
+                            &RoundRobin,
+                            10_000,
+                            7,
+                            &limp_cfg,
+                            &limp_resilience,
+                        )
+                        .expect("degrades never strand work"),
                 );
             }),
         ),

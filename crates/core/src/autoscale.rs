@@ -249,6 +249,7 @@ mod tests {
             completed: arrivals,
             shed: 0,
             dropped: 0,
+            timed_out: 0,
             p99_s: 0.01,
             mean_queue_depth: queue,
             utilization,

@@ -524,6 +524,11 @@ impl Engine {
         &self.spec
     }
 
+    /// The seed every simulation run of this engine draws from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Maximum sustainable throughput of this configuration in QPS.
     pub fn max_qps(&self) -> f64 {
         self.spec.max_qps()
@@ -757,6 +762,35 @@ impl Engine {
             paths, arrivals, policy, router, admission, queries, self.seed, cfg,
         )
         .map_err(EngineError::from)
+    }
+
+    /// Runs the resilience-aware simulation: lifecycle schedules on the
+    /// engine's spec (including limpware
+    /// [`Degrade`](recpipe_qsim::LifecycleAction::Degrade) events,
+    /// typically injected with a
+    /// [`FaultPlan`](recpipe_qsim::FaultPlan)) replay while `resilience`
+    /// arms per-query timeouts, retries, and hedged requests. With an
+    /// inert [`ResilienceConfig`](recpipe_qsim::ResilienceConfig) and a
+    /// default lifecycle the run is bit-identical to
+    /// [`serve_routed`](Self::serve_routed).
+    ///
+    /// Returns [`EngineError::Sim`] when the run hits an unrecoverable
+    /// availability hole (see [`SimError`](recpipe_qsim::SimError)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_resilient(
+        &self,
+        arrivals: &dyn recpipe_data::ArrivalProcess,
+        policy: &dyn recpipe_qsim::SchedulingPolicy,
+        router: &dyn recpipe_qsim::Router,
+        queries: usize,
+        cfg: &recpipe_qsim::LifecycleConfig,
+        resilience: &recpipe_qsim::ResilienceConfig,
+    ) -> Result<SimResult, EngineError> {
+        self.spec
+            .serve_resilient(
+                arrivals, policy, router, queries, self.seed, cfg, resilience,
+            )
+            .map_err(EngineError::from)
     }
 
     /// Explores the scheduler's design space over this engine's backend

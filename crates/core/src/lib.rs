@@ -65,6 +65,7 @@ mod parallel;
 mod pipeline;
 mod quality;
 mod report;
+mod resilience;
 mod scheduler;
 mod stage;
 
@@ -79,5 +80,6 @@ pub use parallel::{parallel_map, worker_threads};
 pub use pipeline::{PipelineBuilder, PipelineConfig, PipelineError};
 pub use quality::{QualityEvaluator, QualityReport};
 pub use report::Table;
+pub use resilience::{ResilienceOutcome, ResilienceSweep};
 pub use scheduler::{candidate_seed, Scheduler, SchedulerSettings, SweepBudget, SweepStats};
 pub use stage::StageConfig;

@@ -714,6 +714,48 @@ mod tests {
     }
 
     #[test]
+    fn deadline_aware_zero_slack_sheds_instead_of_panicking() {
+        // A deadline tighter than every path's zero-load floor leaves
+        // no slack at all: the policy must shed every arrival — never
+        // panic, never admit a path that cannot make the deadline even
+        // on an idle fleet.
+        let set = two_paths();
+        let profiles = set.profiles();
+        // Cheapest floor is the lite path's 2 ms; 1 ms is unservable.
+        let policy = DeadlineAware::new(0.001);
+        let mut state = AdmissionState::new(1);
+        for in_system in [0usize, 8, 10_000] {
+            assert_eq!(
+                policy.admit(&ctx_at(in_system, 8, &profiles), &mut state),
+                Admission::Shed
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_exactly_at_the_analytic_floor_admits_at_zero_load() {
+        // At zero load the estimate is exactly the path's analytic
+        // service floor (pressure 0 stretches by 1.0, which is exact in
+        // IEEE), so a deadline equal to the floor admits on the <=
+        // boundary — and one ulp less sheds the path.
+        let set = two_paths();
+        let profiles = set.profiles();
+        let floor = profiles[1].service_floor_s; // lite path: 2 ms
+        let idle = ctx_at(0, 8, &profiles);
+        assert_eq!(idle.estimated_latency_s(1).to_bits(), floor.to_bits());
+        let mut state = AdmissionState::new(1);
+        let exact = DeadlineAware::new(floor);
+        assert_eq!(exact.admit(&idle, &mut state), Admission::Admit(1));
+        let shy = DeadlineAware::new(f64::from_bits(floor.to_bits() - 1));
+        assert_eq!(shy.admit(&idle, &mut state), Admission::Shed);
+        // Any backlog at all pushes the estimate past the exact floor.
+        assert_eq!(
+            exact.admit(&ctx_at(1, 8, &profiles), &mut state),
+            Admission::Shed
+        );
+    }
+
+    #[test]
     fn load_adaptive_ratchets_with_hysteresis() {
         let set = two_paths();
         let profiles = set.profiles();

@@ -76,6 +76,7 @@ mod admission;
 mod lifecycle;
 mod persist;
 mod policy;
+mod resilience;
 mod result;
 mod router;
 mod shard;
@@ -92,13 +93,20 @@ pub use lifecycle::{
 };
 pub use persist::ParseError;
 pub use policy::{BatchWindow, EarliestDeadlineFirst, Fifo, QueueEntry, Release, SchedulingPolicy};
+pub use resilience::{
+    FaultBurst, FaultKind, FaultPlan, HedgeDelay, HedgePolicy, ResilienceConfig, ResilienceStats,
+    RetryBudget, RetryPolicy,
+};
 pub use result::{PathStats, SimResult};
 pub use router::{
     ExpectedWait, JoinShortestQueue, LeastWorkLeft, PowerOfTwoChoices, ReplicaLoads,
     ReplicaSnapshot, RoundRobin, Router, RouterState, RoutingCtx, Sticky,
 };
 pub use shard::serve_routed_sharded;
-pub use sim::{serve, serve_autoscaled, serve_lifecycle, serve_multipath, serve_routed, simulate};
+pub use sim::{
+    serve, serve_autoscaled, serve_lifecycle, serve_multipath, serve_resilient, serve_routed,
+    simulate,
+};
 pub use spec::{
     BatchModel, PipelineSpec, ReplicaGroup, ReplicaProfile, ResourceSpec, SpecError, StageSpec,
 };

@@ -50,10 +50,23 @@ pub enum LifecycleAction {
     /// [`FailurePolicy`], and the replica goes down immediately.
     FailStop,
     /// Instant bring-up of a down replica (a [`Provision`] with zero
-    /// warm-up) — the recovery edge after a fail-stop.
+    /// warm-up) — the recovery edge after a fail-stop. Applied to a
+    /// *degraded* live replica it restores profile speed instead (the
+    /// limpware repair edge).
     ///
     /// [`Provision`]: LifecycleAction::Provision
     Recover,
+    /// Gray failure (limpware): the replica keeps accepting work but
+    /// serves at `speed` times its profile speed. Unlike a fail-stop or
+    /// drain it stays routable, so availability masking cannot see it —
+    /// only latency-sensitive mechanisms (hedging, timeouts, the
+    /// expected-wait estimator) can route around it. A later
+    /// [`Recover`](LifecycleAction::Recover) restores profile speed.
+    Degrade {
+        /// Fraction of profile speed the limping replica serves at,
+        /// in `(0, 1]`.
+        speed: f64,
+    },
 }
 
 /// One timed lifecycle action against one replica of a group.
@@ -77,6 +90,12 @@ impl LifecycleEvent {
             assert!(
                 warmup_s.is_finite() && warmup_s >= 0.0,
                 "warm-up duration must be non-negative and finite"
+            );
+        }
+        if let LifecycleAction::Degrade { speed } = action {
+            assert!(
+                speed.is_finite() && speed > 0.0 && speed <= 1.0,
+                "degraded speed must be in (0, 1]"
             );
         }
         Self {
@@ -121,6 +140,18 @@ impl LifecycleEvent {
     /// Panics if `time` is negative or non-finite.
     pub fn recover(time: f64, replica: usize) -> Self {
         Self::validated(time, replica, LifecycleAction::Recover)
+    }
+
+    /// A gray-failure (limpware) event: the replica keeps serving at
+    /// `speed` times its profile speed until recovered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is negative or non-finite, or `speed` is
+    /// outside `(0, 1]` (a limping replica cannot outrun its profile;
+    /// a stopped one is a [`fail_stop`](Self::fail_stop)).
+    pub fn degrade(time: f64, replica: usize, speed: f64) -> Self {
+        Self::validated(time, replica, LifecycleAction::Degrade { speed })
     }
 
     /// Whether this event can bring a down replica back
@@ -287,6 +318,10 @@ pub struct WindowStats {
     pub shed: usize,
     /// In-flight queries dropped by fail-stops during the window.
     pub dropped: usize,
+    /// Queries that exhausted their timeout (and any retry allowance)
+    /// during the window. Always zero outside resilience-aware runs
+    /// (see [`serve_resilient`](crate::serve_resilient)).
+    pub timed_out: usize,
     /// p99 latency of the window's completions in seconds (0.0 when the
     /// window completed nothing).
     pub p99_s: f64,
@@ -333,11 +368,26 @@ impl WindowStats {
     /// shows its damage here.
     pub fn shed_rate(&self) -> f64 {
         let lost = self.shed + self.dropped;
-        let resolved = self.completed + lost;
+        let resolved = self.completed + lost + self.timed_out;
         if resolved == 0 {
             0.0
         } else {
             lost as f64 / resolved as f64
+        }
+    }
+
+    /// Fraction of the window's resolved queries that timed out for
+    /// good: `timed_out / (completed + shed + dropped + timed_out)`
+    /// (0.0 when the window resolved nothing). Mirrors
+    /// [`shed_rate`](Self::shed_rate) for the resilience loss channel —
+    /// a run that protects its tail statistics by abandoning slow
+    /// queries still shows its damage here.
+    pub fn timeout_rate(&self) -> f64 {
+        let resolved = self.completed + self.shed + self.dropped + self.timed_out;
+        if resolved == 0 {
+            0.0
+        } else {
+            self.timed_out as f64 / resolved as f64
         }
     }
 
@@ -349,11 +399,13 @@ impl WindowStats {
     }
 
     /// Whether the window violated an [`SloSpec`]: shed rate above the
-    /// SLO's tolerance, tail latency above its p99 bound, or work
-    /// waiting while nothing completed (a stalled window has no latency
-    /// sample but is certainly not meeting its SLO).
+    /// SLO's tolerance, timeout rate above its timeout tolerance, tail
+    /// latency above its p99 bound, or work waiting while nothing
+    /// completed (a stalled window has no latency sample but is
+    /// certainly not meeting its SLO).
     pub fn violates_slo(&self, slo: &SloSpec) -> bool {
         self.shed_rate() > slo.max_shed_rate
+            || self.timeout_rate() > slo.max_timeout_rate
             || self.p99_s > slo.p99_s
             || (self.completed == 0 && self.mean_queue_depth >= 1.0)
     }
@@ -372,14 +424,19 @@ pub struct SloSpec {
     /// Largest acceptable window [`shed_rate`](WindowStats::shed_rate)
     /// (default 0.0: any loss violates).
     pub max_shed_rate: f64,
+    /// Largest acceptable window
+    /// [`timeout_rate`](WindowStats::timeout_rate) (default 0.0: any
+    /// final timeout violates).
+    pub max_timeout_rate: f64,
 }
 
 impl SloSpec {
-    /// A p99-only SLO with zero shed tolerance.
+    /// A p99-only SLO with zero shed and timeout tolerance.
     pub fn p99(p99_s: f64) -> Self {
         Self {
             p99_s,
             max_shed_rate: 0.0,
+            max_timeout_rate: 0.0,
         }
     }
 
@@ -394,6 +451,20 @@ impl SloSpec {
             "shed tolerance must be in [0, 1]"
         );
         self.max_shed_rate = rate;
+        self
+    }
+
+    /// Sets the timeout-rate tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is in `[0, 1]`.
+    pub fn with_timeout_tolerance(mut self, rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && (0.0..=1.0).contains(&rate),
+            "timeout tolerance must be in [0, 1]"
+        );
+        self.max_timeout_rate = rate;
         self
     }
 }
@@ -661,6 +732,7 @@ mod tests {
             completed: 100,
             shed: 0,
             dropped: 0,
+            timed_out: 0,
             p99_s: 0.010,
             mean_queue_depth: 0.5,
             utilization: 0.4,
@@ -703,6 +775,7 @@ mod tests {
             completed: 90,
             shed: 8,
             dropped: 2,
+            timed_out: 0,
             p99_s: 0.010,
             mean_queue_depth: 0.5,
             utilization: 0.4,
@@ -727,6 +800,7 @@ mod tests {
             completed: 60,
             shed: 40,
             dropped: 0,
+            timed_out: 0,
             p99_s: 0.005, // p99 looks great — protected by shedding
             mean_queue_depth: 0.5,
             utilization: 0.4,
@@ -758,6 +832,89 @@ mod tests {
     #[should_panic(expected = "shed tolerance")]
     fn shed_tolerance_above_one_is_rejected() {
         let _ = SloSpec::p99(0.025).with_shed_tolerance(1.5);
+    }
+
+    #[test]
+    fn degrade_is_not_a_revival_and_validates_speed() {
+        let e = LifecycleEvent::degrade(1.0, 0, 0.25);
+        assert!(!e.revives());
+        assert_eq!(e.action, LifecycleAction::Degrade { speed: 0.25 });
+        // Full-profile "degradation" is allowed (a no-op limp).
+        let _ = LifecycleEvent::degrade(0.0, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degraded speed")]
+    fn degrade_to_zero_speed_is_rejected() {
+        // speed == 0 would be a stopped replica masquerading as live;
+        // that's a fail-stop, not a limp.
+        LifecycleEvent::degrade(1.0, 0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degraded speed")]
+    fn degrade_above_profile_speed_is_rejected() {
+        LifecycleEvent::degrade(1.0, 0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "degraded speed")]
+    fn schedule_revalidates_struct_literal_degrades() {
+        LifecycleSchedule::new(vec![LifecycleEvent {
+            time: 0.0,
+            replica: 0,
+            action: LifecycleAction::Degrade { speed: f64::NAN },
+        }]);
+    }
+
+    #[test]
+    fn timeout_rate_bounds_the_resilience_loss_channel() {
+        let timing_out = WindowStats {
+            start: 0.0,
+            end: 1.0,
+            arrivals: 100,
+            completed: 90,
+            shed: 0,
+            dropped: 0,
+            timed_out: 10,
+            p99_s: 0.005, // tail looks great — protected by abandoning
+            mean_queue_depth: 0.5,
+            utilization: 0.4,
+            live_replicas: 2,
+            cost: 2.0,
+            path_admitted: Vec::new(),
+            path_completed: Vec::new(),
+        };
+        assert!((timing_out.timeout_rate() - 0.1).abs() < 1e-12);
+        // Timeouts do not inflate the shed channel...
+        assert!((timing_out.shed_rate() - 0.0).abs() < 1e-12);
+        // ...but the default zero tolerance flags any final timeout,
+        // mirroring the shed-rate rule.
+        assert!(timing_out.violates(0.025));
+        // A resilience SLO tolerating 15% timeouts passes the window...
+        let lenient = SloSpec::p99(0.025).with_timeout_tolerance(0.15);
+        assert!(!timing_out.violates_slo(&lenient));
+        // ...while a 5% tolerance flags the 10% rate even though both
+        // the p99 and shed bounds hold.
+        let strict = SloSpec::p99(0.025).with_timeout_tolerance(0.05);
+        assert!(timing_out.violates_slo(&strict));
+        // An idle window resolves nothing and cannot violate on rate.
+        let idle = WindowStats {
+            arrivals: 0,
+            completed: 0,
+            timed_out: 0,
+            p99_s: 0.0,
+            mean_queue_depth: 0.0,
+            ..timing_out
+        };
+        assert!((idle.timeout_rate() - 0.0).abs() < 1e-12);
+        assert!(!idle.violates(0.025));
+    }
+
+    #[test]
+    #[should_panic(expected = "timeout tolerance")]
+    fn timeout_tolerance_above_one_is_rejected() {
+        let _ = SloSpec::p99(0.025).with_timeout_tolerance(1.01);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Serialized forms of [`ReplicaGroup`] and [`PathSet`] across the
-//! API's five vintages.
+//! API's six vintages.
 //!
 //! The workspace's offline `serde` shim derives no real
 //! (de)serialization, so the persistence contract the serde attributes
-//! used to document lives here as an explicit JSON codec. Five
+//! used to document lives here as an explicit JSON codec. Six
 //! serialized vintages exist in the wild and all must keep loading:
 //!
 //! 1. **pre-cluster** — `{"name":"cpu","capacity":64}`: one pool, one
@@ -38,6 +38,17 @@
 //!    batch; a missing `"overhead"` defaults to 0. The explicit
 //!    `"v":5` tag keeps a path-set document from ever being confused
 //!    with a bare group.
+//!
+//! 6. **gray failures** (query-level resilience) — lifecycle arrays may
+//!    additionally carry
+//!    `{"time":2.0,"replica":1,"action":"degrade","speed":0.25}`: the
+//!    replica keeps accepting work at the given fraction of its profile
+//!    speed (limpware — see
+//!    [`LifecycleAction::Degrade`](crate::LifecycleAction::Degrade)).
+//!    `"speed"` is required and must lie in `(0, 1]`; schedules without
+//!    degrade events still emit the vintage-4 lifecycle form byte for
+//!    byte, so older consumers only reject documents that actually use
+//!    the new action.
 //!
 //! [`ReplicaGroup::to_json`] always emits the *oldest* vintage that
 //! can represent the group (so pre-fleet consumers keep parsing
@@ -394,6 +405,18 @@ fn parse_lifecycle(value: &Value, replicas: usize) -> Result<LifecycleSchedule, 
             "drain" => LifecycleEvent::drain(time, replica),
             "fail_stop" => LifecycleEvent::fail_stop(time, replica),
             "recover" => LifecycleEvent::recover(time, replica),
+            "degrade" => {
+                let speed = match item.field("speed") {
+                    Some(Value::Number(s)) if s.is_finite() && *s > 0.0 && *s <= 1.0 => *s,
+                    Some(_) => {
+                        return Err(ParseError::new(
+                            "degrade 'speed' must be a number in (0, 1]",
+                        ))
+                    }
+                    None => return Err(ParseError::new("degrade event missing 'speed'")),
+                };
+                LifecycleEvent::degrade(time, replica, speed)
+            }
             other => {
                 return Err(ParseError::new(format!(
                     "unknown lifecycle action '{other}'"
@@ -404,7 +427,8 @@ fn parse_lifecycle(value: &Value, replicas: usize) -> Result<LifecycleSchedule, 
     Ok(LifecycleSchedule::new(events))
 }
 
-/// Serializes one lifecycle event in the vintage-4 form.
+/// Serializes one lifecycle event in the vintage-4 form (vintage-6 for
+/// the degrade action, which vintage-4 cannot represent).
 fn event_json(e: &LifecycleEvent) -> String {
     let head = format!("{{\"time\":{:?},\"replica\":{}", e.time, e.replica);
     match e.action {
@@ -414,6 +438,9 @@ fn event_json(e: &LifecycleEvent) -> String {
         LifecycleAction::Drain => format!("{head},\"action\":\"drain\"}}"),
         LifecycleAction::FailStop => format!("{head},\"action\":\"fail_stop\"}}"),
         LifecycleAction::Recover => format!("{head},\"action\":\"recover\"}}"),
+        LifecycleAction::Degrade { speed } => {
+            format!("{head},\"action\":\"degrade\",\"speed\":{speed:?}}}")
+        }
     }
 }
 
@@ -832,6 +859,44 @@ mod tests {
             loaded.lifecycle().events(),
             &[LifecycleEvent::provision(1.0, 0, 0.0)]
         );
+    }
+
+    #[test]
+    fn vintage_six_degrade_events_round_trip() {
+        let limping = ReplicaGroup::replicated("cpu", 4, 3).with_lifecycle(
+            LifecycleSchedule::empty()
+                .with_event(LifecycleEvent::degrade(1.0, 1, 0.25))
+                .with_event(LifecycleEvent::recover(5.0, 1)),
+        );
+        let text = limping.to_json();
+        assert!(
+            text.contains(r#""action":"degrade","speed":0.25"#),
+            "degrade emission drifted: {text}"
+        );
+        assert_eq!(ReplicaGroup::from_json(&text).unwrap(), limping);
+    }
+
+    #[test]
+    fn corrupt_degrade_events_error_instead_of_panicking() {
+        for bad in [
+            // missing speed
+            r#"{"name":"x","capacity":2,"replicas":2,"lifecycle":[
+                {"time":1.0,"replica":0,"action":"degrade"}]}"#,
+            // zero speed (a stopped replica is a fail_stop)
+            r#"{"name":"x","capacity":2,"lifecycle":[
+                {"time":1.0,"replica":0,"action":"degrade","speed":0.0}]}"#,
+            // faster than the profile
+            r#"{"name":"x","capacity":2,"lifecycle":[
+                {"time":1.0,"replica":0,"action":"degrade","speed":1.5}]}"#,
+            // wrong type
+            r#"{"name":"x","capacity":2,"lifecycle":[
+                {"time":1.0,"replica":0,"action":"degrade","speed":"slow"}]}"#,
+        ] {
+            assert!(
+                ReplicaGroup::from_json(bad).is_err(),
+                "accepted corrupt degrade event {bad:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 use recpipe_metrics::LatencyStats;
 use serde::{Deserialize, Serialize};
 
-use crate::WindowStats;
+use crate::{ResilienceStats, WindowStats};
 
 /// Outcome of one at-scale simulation run.
 ///
@@ -62,6 +62,11 @@ pub struct SimResult {
     /// path (a subset of [`shed`](Self::shed), which also counts
     /// lifecycle sheds). Zero outside multi-path runs.
     pub admission_shed: usize,
+    /// Query-level resilience telemetry of a
+    /// [`serve_resilient`](crate::serve_resilient) run: timeouts,
+    /// retries by attempt, hedges issued/won, and wasted service
+    /// seconds. `None` outside resilient runs.
+    pub resilience: Option<ResilienceStats>,
 }
 
 impl SimResult {
@@ -87,6 +92,7 @@ impl SimResult {
             windows: Vec::new(),
             paths: Vec::new(),
             admission_shed: 0,
+            resilience: None,
         }
     }
 
@@ -127,6 +133,20 @@ impl SimResult {
         self
     }
 
+    /// Attaches a resilient run's query-level telemetry.
+    pub fn with_resilience_outcome(mut self, resilience: ResilienceStats) -> Self {
+        self.resilience = Some(resilience);
+        self
+    }
+
+    /// Queries resolved as timed-out-final (0 outside
+    /// [`serve_resilient`](crate::serve_resilient) runs) — the fourth
+    /// term of the conservation ledger `completed + shed + dropped +
+    /// timed_out`.
+    pub fn timed_out(&self) -> usize {
+        self.resilience.as_ref().map_or(0, |r| r.timed_out)
+    }
+
     /// Quality-weighted goodput in quality-units per second: achieved
     /// QPS scaled by the completion-weighted mean path quality — the
     /// scalar brown-out comparisons rank on (degrading to a cheaper
@@ -143,7 +163,15 @@ impl SimResult {
             .map(|p| p.quality * p.completed as f64)
             .sum::<f64>()
             / completed as f64;
-        self.qps * mean_quality
+        let goodput = self.qps * mean_quality;
+        // A zero-duration run reports a non-finite qps (completions
+        // over an empty span); clamp to 0.0 so sweep tables and Pareto
+        // sorts never see NaN/inf.
+        if goodput.is_finite() {
+            goodput
+        } else {
+            0.0
+        }
     }
 
     /// Simulated minutes spent violating a p99 SLO: the summed duration
@@ -169,7 +197,14 @@ impl SimResult {
     pub fn mean_fleet_cost(&self) -> f64 {
         let span: f64 = self.windows.iter().map(WindowStats::duration).sum();
         if span > 0.0 {
-            self.cost_integral / span
+            let cost = self.cost_integral / span;
+            // Degenerate window spans (subnormal durations against a
+            // finite integral) must not leak inf/NaN into cost tables.
+            if cost.is_finite() {
+                cost
+            } else {
+                0.0
+            }
         } else {
             0.0
         }
@@ -290,5 +325,61 @@ mod tests {
         let starved = result_with_latencies(&[], false)
             .with_multipath_outcome(vec![path("full", 1.0, 0)], 50);
         assert_eq!(starved.quality_goodput(), 0.0);
+    }
+
+    #[test]
+    fn quality_goodput_guards_zero_duration_runs() {
+        // A degenerate run (all completions at t = 0) can report an
+        // infinite or NaN qps; the quality weighting must not leak it.
+        let mut r = result_with_latencies(&[10; 4], false)
+            .with_multipath_outcome(vec![path("full", 1.0, 4)], 0);
+        r.qps = f64::INFINITY;
+        assert_eq!(r.quality_goodput(), 0.0);
+        r.qps = f64::NAN;
+        assert_eq!(r.quality_goodput(), 0.0);
+        r.qps = 100.0;
+        assert!((r.quality_goodput() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_fleet_cost_guards_zero_duration_runs() {
+        let no_windows = result_with_latencies(&[10; 4], false);
+        assert_eq!(no_windows.mean_fleet_cost(), 0.0);
+        // A subnormal window span against a finite integral overflows
+        // the division; the accessor clamps instead of reporting inf.
+        let mut r = result_with_latencies(&[10; 4], false);
+        r.cost_integral = 1e308;
+        r.windows.push(WindowStats {
+            start: 0.0,
+            end: 1e-320,
+            arrivals: 0,
+            completed: 0,
+            shed: 0,
+            dropped: 0,
+            timed_out: 0,
+            p99_s: 0.0,
+            mean_queue_depth: 0.0,
+            utilization: 0.0,
+            live_replicas: 1,
+            cost: 0.0,
+            path_admitted: Vec::new(),
+            path_completed: Vec::new(),
+        });
+        let cost = r.mean_fleet_cost();
+        assert!(cost.is_finite());
+        assert_eq!(cost, 0.0);
+    }
+
+    #[test]
+    fn timed_out_reads_through_the_resilience_outcome() {
+        let plain = result_with_latencies(&[10; 4], false);
+        assert_eq!(plain.timed_out(), 0);
+        let resilient =
+            result_with_latencies(&[10; 4], false).with_resilience_outcome(ResilienceStats {
+                timed_out: 7,
+                ..ResilienceStats::default()
+            });
+        assert_eq!(resilient.timed_out(), 7);
+        assert_eq!(resilient.resilience.as_ref().unwrap().timed_out, 7);
     }
 }

@@ -7,9 +7,10 @@ use recpipe_metrics::{LatencyStats, ThroughputMeter};
 
 use crate::{
     Admission, AdmissionCtx, AdmissionPolicy, AdmissionState, AutoscaleConfig, FailurePolicy, Fifo,
-    FleetController, LifecycleAction, LifecycleConfig, LifecycleEvent, PathProfile, PathSet,
-    PathStats, PipelineSpec, QueueEntry, Release, ReplicaLoads, RoundRobin, Router, RouterState,
-    RoutingCtx, SchedulingPolicy, SimError, SimResult, StageSpec, WindowStats,
+    FleetController, HedgeDelay, HedgePolicy, LifecycleAction, LifecycleConfig, LifecycleEvent,
+    PathProfile, PathSet, PathStats, PipelineSpec, QueueEntry, Release, ReplicaLoads,
+    ResilienceConfig, ResilienceStats, RetryPolicy, RoundRobin, Router, RouterState, RoutingCtx,
+    SchedulingPolicy, SimError, SimResult, StageSpec, WindowStats,
 };
 
 /// Per-query path marker: not yet admitted (no admission decision seen).
@@ -59,6 +60,15 @@ enum EventKind {
     /// A telemetry window boundary: close the current window, consult
     /// the autoscaling controller, and re-arm the next tick.
     WindowTick,
+    /// Query `query`'s per-attempt timeout fires; live only while `gen`
+    /// matches the query's lane generation (a completion or an earlier
+    /// timeout bumped it otherwise — the same lazy-cancellation
+    /// discipline as `Complete`).
+    Timeout { query: usize, gen: u32 },
+    /// Query `query`'s hedge delay elapsed; if the attempt (`gen`) is
+    /// still live and unhedged, a duplicate lane dispatches to a
+    /// different replica.
+    Hedge { query: usize, gen: u32 },
 }
 
 const TAG_ARRIVE: u64 = 0;
@@ -67,6 +77,27 @@ const TAG_RECHECK: u64 = 2;
 const TAG_LIFECYCLE: u64 = 3;
 const TAG_WARM_DONE: u64 = 4;
 const TAG_WINDOW_TICK: u64 = 5;
+const TAG_TIMEOUT: u64 = 6;
+const TAG_HEDGE: u64 = 7;
+
+/// Stage bits in a resilience-packed arrive payload (`b`): the low 12
+/// bits carry the stage, the next 19 the lane generation, the top bit
+/// the lane (0 primary, 1 hedge). Gen 0 / lane 0 leave the payload
+/// byte-identical to the plain `b = stage` encoding, which is what
+/// keeps resilience-free runs bit-exact.
+const RES_STAGE_BITS: u32 = 12;
+/// Mask extracting the stage from a packed arrive payload.
+const RES_STAGE_MASK: u32 = (1 << RES_STAGE_BITS) - 1;
+/// Mask for the 19 generation bits carried in packed arrive payloads.
+/// Full 32-bit generations live in `ResilienceRt::gen`; payload
+/// comparisons mask both sides (a mis-match would need 2^19 same-query
+/// bumps while one event sat in the heap — attempts are capped at 255
+/// and each contributes at most two bumps).
+const RES_GEN_MASK: u32 = 0x7_FFFF;
+/// Low-32 mask extracting the bare query index from a packed lane id
+/// (`query | gen << 32 | lane << 63`) as flows through queues and
+/// batches on resilient runs.
+const RES_Q_MASK: usize = 0xFFFF_FFFF;
 
 /// A packed heap event: 24 bytes instead of the 40 a
 /// `(f64, u64, EventKind)` struct would occupy, so every sift in the
@@ -134,6 +165,16 @@ impl Event {
         Self::new(time, seq, TAG_WINDOW_TICK, 0, 0)
     }
 
+    #[inline]
+    fn timeout(time: f64, seq: u64, query: usize, gen: u32) -> Self {
+        Self::new(time, seq, TAG_TIMEOUT, query, gen)
+    }
+
+    #[inline]
+    fn hedge(time: f64, seq: u64, query: usize, gen: u32) -> Self {
+        Self::new(time, seq, TAG_HEDGE, query, gen)
+    }
+
     /// The event's heap sequence number.
     #[inline]
     fn seq(&self) -> u64 {
@@ -163,7 +204,15 @@ impl Event {
                 slot: self.a as usize,
                 gen: self.b,
             },
-            _ => EventKind::WindowTick,
+            TAG_WINDOW_TICK => EventKind::WindowTick,
+            TAG_TIMEOUT => EventKind::Timeout {
+                query: self.a as usize,
+                gen: self.b,
+            },
+            _ => EventKind::Hedge {
+                query: self.a as usize,
+                gen: self.b,
+            },
         }
     }
 }
@@ -454,6 +503,63 @@ pub fn serve_multipath(
     sim.run()
 }
 
+/// Runs the query-level-resilient simulation: lifecycle schedules
+/// replay as in [`serve_lifecycle`] (including gray-failure
+/// [`Degrade`](crate::LifecycleAction::Degrade) events — limping
+/// replicas keep accepting routes at a fraction of profile speed), and
+/// `resilience` arms client-side machinery around every query:
+///
+/// * a per-attempt **timeout** — a fired timeout abandons the attempt
+///   (its queued or in-flight lanes cancel lazily and count as wasted
+///   work) and consults the [`RetryPolicy`]: re-dispatch from stage 0
+///   after exponential, jittered backoff while attempts and the
+///   [`RetryBudget`](crate::RetryBudget) allow, else resolve the query
+///   timed-out-final;
+/// * an optional **hedge** — after a fixed or quantile-derived delay, a
+///   duplicate lane dispatches to a different replica of the entry
+///   group; the first lane to finish wins and the loser is cancelled
+///   lazily.
+///
+/// Per-run [`ResilienceStats`] land in
+/// [`SimResult::resilience`](crate::SimResult::resilience); timed-out
+/// queries count per-window in
+/// [`WindowStats::timed_out`](crate::WindowStats::timed_out).
+/// Conservation holds as `completed + shed + dropped + timed_out ==
+/// num_queries` on open-loop runs. With an inert config (no timeout, no
+/// hedge) the run is bit-identical to [`serve_routed`] plus the
+/// lifecycle machinery (pinned by proptest). Resilient runs always use
+/// the serial loop — lane duplication breaks sharding's
+/// stage-independence.
+///
+/// # Errors
+///
+/// Returns [`SimError::NoAvailableReplica`] under [`serve_lifecycle`]'s
+/// rule.
+///
+/// # Panics
+///
+/// Panics if the pipeline has no stages, `num_queries == 0`, the
+/// pipeline has more than 4095 stages, or the retry policy allows more
+/// than 255 attempts (packed-event layout bounds).
+#[allow(clippy::too_many_arguments)]
+pub fn serve_resilient(
+    spec: &PipelineSpec,
+    arrivals: &dyn ArrivalProcess,
+    policy: &dyn SchedulingPolicy,
+    router: &dyn Router,
+    num_queries: usize,
+    seed: u64,
+    cfg: &LifecycleConfig,
+    resilience: &ResilienceConfig,
+) -> Result<SimResult, SimError> {
+    assert!(!spec.stages().is_empty(), "pipeline has no stages");
+    assert!(num_queries > 0, "need at least one query");
+    let mut sim = Sim::new(spec, arrivals, policy, router, num_queries, seed);
+    sim.enable_lifecycle(cfg);
+    sim.enable_resilience(resilience, seed);
+    sim.run()
+}
+
 /// The simulator state. `#[repr(C)]` pins the declared field order in
 /// memory: the per-event scalars and flags pack into the first cache
 /// lines, the hot container headers follow, and the lifecycle /
@@ -514,6 +620,16 @@ pub(crate) struct Sim<'a> {
     /// Whether latency/throughput are recorded at completion time (see
     /// [`SCALE_RECORDING_THRESHOLD`]; always true for stage shards).
     record_at_completion: bool,
+    /// Whether query-level resilience machinery (timeouts, retries,
+    /// hedges) is live. An inert [`ResilienceConfig`] keeps this false
+    /// and every guarded branch cold, so the run stays bit-identical to
+    /// the resilience-free loop.
+    resil_active: bool,
+    /// One-shot routing exclusion for a hedge dispatch: the primary
+    /// lane's slot, skipped by the masked router while the group has
+    /// another routable replica. Always `None` outside a hedge
+    /// dispatch.
+    avoid_slot: Option<usize>,
 
     // --- Hot containers ---
     heap: BinaryHeap<Event>,
@@ -632,6 +748,12 @@ pub(crate) struct Sim<'a> {
     warmup_speed: f64,
     /// Per-slot availability state.
     state: Vec<SlotState>,
+    /// Per-slot gray-failure (limpware) speed fraction: 1.0 when
+    /// healthy, `(0, 1)` while degraded. Multiplies into `cur_speed`
+    /// alongside warm-up; a [`LifecycleAction::Recover`] on a live
+    /// degraded slot restores it (and a provision of a down slot resets
+    /// it — a fresh machine).
+    degrade_frac: Vec<f64>,
     /// Per-slot lifecycle generation: bumped on every provision, drain,
     /// and fail-stop so in-flight `WarmDone` events cancel lazily.
     slot_gen: Vec<u64>,
@@ -694,6 +816,7 @@ pub(crate) struct Sim<'a> {
     win_completed: usize,
     win_shed: usize,
     win_dropped: usize,
+    win_timed_out: usize,
     win_latencies: Vec<f64>,
     /// Closed windows, in order.
     windows: Vec<WindowStats>,
@@ -704,6 +827,123 @@ pub(crate) struct Sim<'a> {
 
     // --- Multi-path serving (None unless `enable_multipath`) ---
     mp: Option<MultipathRt<'a>>,
+
+    // --- Query-level resilience (None unless `enable_resilience`) ---
+    resil: Option<Box<ResilienceRt>>,
+}
+
+/// A query's resolution state on a resilient run.
+const RQ_FRESH: u8 = 0;
+/// The query has at least one live lane in flight.
+const RQ_LIVE: u8 = 1;
+/// The query resolved (completed, shed, or timed-out-final); any
+/// surviving lanes are carcasses.
+const RQ_DONE: u8 = 2;
+
+/// Query-level resilience runtime (see [`serve_resilient`]): per-query
+/// lane generations and attempt counts, the retry token bucket, the
+/// completed-latency reservoir behind quantile hedge delays, and the
+/// run's [`ResilienceStats`]. Boxed behind an `Option` at the
+/// simulator's cold tail — resilience-free runs never touch it.
+struct ResilienceRt {
+    /// Per-attempt timeout, if configured.
+    timeout_s: Option<f64>,
+    retry: RetryPolicy,
+    hedge: Option<HedgePolicy>,
+    /// Flattened retry-budget bucket (`has_budget` false leaves retries
+    /// unmetered).
+    has_budget: bool,
+    tokens: f64,
+    bucket_cap: f64,
+    refill: f64,
+    /// Per-query resolution state (`RQ_*`).
+    state: Vec<u8>,
+    /// Per-query lane generation: bumped when the query resolves or an
+    /// attempt times out, lazily cancelling every event and queue/batch
+    /// resident of the superseded lanes.
+    gen: Vec<u32>,
+    /// Attempts started per query (1 on first dispatch).
+    attempts: Vec<u8>,
+    /// Whether the current attempt already dispatched its hedge.
+    hedged: Vec<bool>,
+    /// Slot the query's latest entry-stage lane was placed on — what a
+    /// hedge dispatch routes away from (`u32::MAX` = none recorded).
+    last_slot: Vec<u32>,
+    /// Dedicated splitmix lane for backoff jitter (decorrelated from
+    /// router and admission streams).
+    rng: u64,
+    /// Completed-latency reservoir feeding quantile hedge delays: a
+    /// fixed ring overwritten round-robin past capacity, re-sorted into
+    /// `sorted` at most every [`RESERVOIR_RESORT`] inserts.
+    samples: Vec<f64>,
+    sorted: Vec<f64>,
+    sample_writes: usize,
+    sample_dirty: usize,
+    stats: ResilienceStats,
+}
+
+/// Completed-latency reservoir capacity for quantile hedge delays.
+const RESERVOIR_CAP: usize = 512;
+/// Inserts tolerated before the reservoir's sorted view refreshes.
+const RESERVOIR_RESORT: usize = 64;
+
+impl ResilienceRt {
+    /// Next uniform draw in `[0, 1)` from the jitter lane.
+    fn next_u01(&mut self) -> f64 {
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Records a completed query's latency into the hedge reservoir
+    /// (no-op unless a quantile delay needs it).
+    fn push_sample(&mut self, latency_s: f64) {
+        if !matches!(
+            self.hedge,
+            Some(HedgePolicy {
+                delay: HedgeDelay::Quantile(_)
+            })
+        ) {
+            return;
+        }
+        if self.samples.len() < RESERVOIR_CAP {
+            self.samples.push(latency_s);
+        } else {
+            self.samples[self.sample_writes % RESERVOIR_CAP] = latency_s;
+        }
+        self.sample_writes += 1;
+        self.sample_dirty += 1;
+    }
+
+    /// The hedge delay for an attempt starting now: the fixed delay, or
+    /// the reservoir's current quantile (None until
+    /// [`HedgePolicy::MIN_QUANTILE_SAMPLES`] completions have been
+    /// observed — early hedging off a handful of samples would be
+    /// noise).
+    fn hedge_delay(&mut self) -> Option<f64> {
+        match self.hedge?.delay {
+            HedgeDelay::Fixed(d) => Some(d),
+            HedgeDelay::Quantile(q) => {
+                if self.sample_writes < HedgePolicy::MIN_QUANTILE_SAMPLES {
+                    return None;
+                }
+                if self.sample_dirty >= RESERVOIR_RESORT || self.sorted.len() != self.samples.len()
+                {
+                    self.sorted.clear();
+                    self.sorted.extend_from_slice(&self.samples);
+                    self.sorted
+                        .sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+                    self.sample_dirty = 0;
+                }
+                let n = self.sorted.len();
+                let idx = ((n as f64 * q).ceil() as usize).clamp(1, n) - 1;
+                Some(self.sorted[idx])
+            }
+        }
+    }
 }
 
 /// Multi-path runtime state (see [`serve_multipath`]): the admission
@@ -940,6 +1180,7 @@ impl<'a> Sim<'a> {
             failure_policy: FailurePolicy::default(),
             warmup_speed: 0.5,
             state: vec![SlotState::Up; num_slots],
+            degrade_frac: vec![1.0; num_slots],
             cur_speed,
             slot_gen: vec![0; num_slots],
             batch_gen: Vec::new(),
@@ -979,11 +1220,15 @@ impl<'a> Sim<'a> {
             win_completed: 0,
             win_shed: 0,
             win_dropped: 0,
+            win_timed_out: 0,
             win_latencies: Vec::new(),
             windows: Vec::new(),
             scale: None,
             controller: None,
             mp: None,
+            resil: None,
+            resil_active: false,
+            avoid_slot: None,
             arrival_stream: None,
             arrival_span: 0.0,
             record_at_completion,
@@ -1158,6 +1403,193 @@ impl<'a> Sim<'a> {
         });
     }
 
+    /// Arms query-level resilience: per-attempt timeouts, the retry
+    /// policy, and hedged requests per `cfg`. Consumes no heap seqs and
+    /// pushes no events; an inert config additionally leaves
+    /// `resil_active` false, so the event stream — and therefore the
+    /// whole run — is bit-identical to the plain routed loop (pinned by
+    /// proptest).
+    fn enable_resilience(&mut self, cfg: &ResilienceConfig, seed: u64) {
+        assert!(
+            self.stages.len() <= RES_STAGE_MASK as usize,
+            "resilient runs support at most {} stages",
+            RES_STAGE_MASK
+        );
+        assert!(
+            cfg.retry.max_attempts <= u8::MAX as usize,
+            "at most {} attempts per query",
+            u8::MAX
+        );
+        let active = !cfg.is_inert();
+        let n = if active { self.num_queries } else { 0 };
+        let (has_budget, bucket_cap, refill) = match cfg.retry.budget {
+            Some(b) => (true, b.capacity, b.refill_per_success),
+            None => (false, 0.0, 0.0),
+        };
+        self.resil = Some(Box::new(ResilienceRt {
+            timeout_s: cfg.timeout_s,
+            retry: cfg.retry.clone(),
+            hedge: cfg.hedge,
+            has_budget,
+            tokens: bucket_cap,
+            bucket_cap,
+            refill,
+            state: vec![RQ_FRESH; n],
+            gen: vec![0; n],
+            attempts: vec![0; n],
+            hedged: vec![false; n],
+            last_slot: vec![u32::MAX; n],
+            // A distinct splitmix lane per run seed, decorrelated from
+            // the router/admission streams by a different xor constant.
+            rng: seed ^ 0xd6e8_feb8_6659_fd93,
+            samples: Vec::new(),
+            sorted: Vec::new(),
+            sample_writes: 0,
+            sample_dirty: 0,
+            stats: ResilienceStats {
+                retries: vec![0; cfg.retry.max_attempts.saturating_sub(1)],
+                ..ResilienceStats::default()
+            },
+        }));
+        self.resil_active = active;
+    }
+
+    /// The bare query index of a (possibly lane-packed) queue/batch id.
+    #[inline]
+    fn unq(&self, packed: usize) -> usize {
+        if self.resil_active {
+            packed & RES_Q_MASK
+        } else {
+            packed
+        }
+    }
+
+    /// Pushes an arrive event carrying `packed`'s lane identity in its
+    /// payload (`b = stage | gen << 12 | lane << 31`); on
+    /// resilience-free runs `packed` is the bare query and the payload
+    /// collapses to the plain `b = stage` encoding byte-for-byte.
+    fn push_arrive(&mut self, t: f64, packed: usize, stage: usize) {
+        let b = if self.resil_active {
+            stage as u32
+                | ((((packed >> 32) as u32) & RES_GEN_MASK) << RES_STAGE_BITS)
+                | (((packed >> 63) as u32) << 31)
+        } else {
+            stage as u32
+        };
+        self.heap
+            .push(Event::new(t, self.seq, TAG_ARRIVE, packed & RES_Q_MASK, b));
+        self.seq += 1;
+    }
+
+    /// Whether a packed lane id still names a live lane of its query
+    /// (generation matches and the query is unresolved); false means
+    /// the lane is a carcass — cancelled lazily, to be discarded
+    /// wherever it next surfaces.
+    #[inline]
+    fn lane_live(&self, packed: usize) -> bool {
+        let rt = self.resil.as_ref().expect("resilience runtime attached");
+        let q = packed & RES_Q_MASK;
+        let gen = ((packed >> 32) as u32) & RES_GEN_MASK;
+        gen == (rt.gen[q] & RES_GEN_MASK) && rt.state[q] == RQ_LIVE
+    }
+
+    /// Arms the timeout and hedge events for an attempt of `q` starting
+    /// at `start` under the query's current generation.
+    fn res_arm_attempt(&mut self, start: f64, q: usize) {
+        let rt = self.resil.as_mut().expect("resilience runtime attached");
+        let gen = rt.gen[q];
+        let timeout_s = rt.timeout_s;
+        let hedge_delay = rt.hedge_delay();
+        if let Some(t) = timeout_s {
+            self.heap.push(Event::timeout(start + t, self.seq, q, gen));
+            self.seq += 1;
+        }
+        if let Some(d) = hedge_delay {
+            self.heap.push(Event::hedge(start + d, self.seq, q, gen));
+            self.seq += 1;
+        }
+    }
+
+    /// A live attempt's timeout fired: the attempt is abandoned (the
+    /// generation bump lazily cancels both of its lanes wherever they
+    /// sit — heap, queue, or in-flight batch) and the retry policy
+    /// picks between a backed-off re-dispatch and resolving the query
+    /// timed-out-final.
+    fn on_timeout(&mut self, now: f64, q: usize) {
+        self.last_time = now;
+        let telemetry = self.telemetry_active;
+        let mut retry_start = None;
+        {
+            let rt = self.resil.as_mut().expect("resilience runtime attached");
+            rt.stats.timeouts += 1;
+            rt.gen[q] = rt.gen[q].wrapping_add(1);
+            let attempts = rt.attempts[q] as usize;
+            let can_retry = attempts < rt.retry.max_attempts;
+            let budget_ok = !rt.has_budget || rt.tokens >= 1.0;
+            if can_retry && budget_ok {
+                if rt.has_budget {
+                    rt.tokens -= 1.0;
+                }
+                rt.attempts[q] += 1;
+                rt.hedged[q] = false;
+                let retry_index = attempts; // 1-based retry number
+                rt.stats.retries[retry_index - 1] += 1;
+                let mut delay = rt.retry.backoff_s(retry_index);
+                if rt.retry.jitter_frac > 0.0 {
+                    delay *= 1.0 + rt.retry.jitter_frac * rt.next_u01();
+                }
+                retry_start = Some(now + delay);
+            } else {
+                if can_retry {
+                    rt.stats.retries_denied += 1;
+                }
+                rt.state[q] = RQ_DONE;
+                rt.stats.timed_out += 1;
+                if telemetry {
+                    self.win_timed_out += 1;
+                }
+            }
+        }
+        match retry_start {
+            Some(start) => {
+                let gen = self.resil.as_ref().expect("attached").gen[q];
+                let packed = q | ((gen & RES_GEN_MASK) as usize) << 32;
+                self.push_arrive(start, packed, 0);
+                self.res_arm_attempt(start, q);
+            }
+            None => {
+                // Closed loop: the timed-out query's client re-arms
+                // just as a completion would free it.
+                if let Some(think) = self.think_time_s {
+                    if self.next_inject < self.num_queries {
+                        let next = self.next_inject;
+                        self.next_inject += 1;
+                        self.inject(next, now + think);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dispatches the hedge lane: a duplicate of the current attempt
+    /// (same generation, lane bit set), routed away from the primary's
+    /// entry slot whenever the group has another routable replica.
+    /// Whichever lane completes first resolves the query; the loser is
+    /// cancelled lazily and its service accounted wasted.
+    fn on_hedge(&mut self, now: f64, q: usize, gen: u32) {
+        self.last_time = now;
+        let avoid = {
+            let rt = self.resil.as_mut().expect("resilience runtime attached");
+            rt.hedged[q] = true;
+            rt.stats.hedges_issued += 1;
+            rt.last_slot[q]
+        };
+        let packed = q | ((gen & RES_GEN_MASK) as usize) << 32 | 1usize << 63;
+        self.avoid_slot = (avoid != u32::MAX).then_some(avoid as usize);
+        self.on_arrive(now, packed, 0);
+        self.avoid_slot = None;
+    }
+
     /// Runs the admission decision for a stage-0 arrival: returns the
     /// admitted path's entry stage, or `None` when the query was shed.
     /// Re-arrivals of an already-admitted query (lifecycle requeues and
@@ -1264,8 +1696,22 @@ impl<'a> Sim<'a> {
         let group = self.stages[stage_idx].resource;
         let base = self.slot_base[group];
         let replicas = self.group_replicas[group];
-        if self.lifecycle_active && self.group_available[group] < replicas {
-            return self.route_masked(now, query, stage_idx, group);
+        // A hedge dispatch routes through the masked path to exclude
+        // its primary's slot — but only while the group actually has
+        // another replica to offer.
+        let avoiding = self
+            .avoid_slot
+            .is_some_and(|s| (base..base + replicas).contains(&s) && replicas > 1);
+        if (self.lifecycle_active && self.group_available[group] < replicas) || avoiding {
+            if let Some(slot) = self.route_masked(now, query, stage_idx, group) {
+                return Some(slot);
+            }
+            if self.avoid_slot.take().is_some() {
+                // The avoided slot is the group's only routable replica:
+                // hedge onto it rather than not at all.
+                return self.route(now, query, stage_idx);
+            }
+            return None;
         }
         let num_stages = self.stages.len();
         let pick = if replicas == 1 {
@@ -1340,7 +1786,7 @@ impl<'a> Sim<'a> {
         self.mask_count.clear();
         for r in 0..replicas {
             let slot = base + r;
-            if self.state[slot].routable() {
+            if self.state[slot].routable() && Some(slot) != self.avoid_slot {
                 self.mask_idx.push(r);
                 self.mask_queued.push(self.queued[slot]);
                 self.mask_inflight.push(self.in_flight[slot]);
@@ -1649,15 +2095,28 @@ impl<'a> Sim<'a> {
         } else {
             stage_idx
         };
-        let Some(slot) = self.route(now, query, stage_idx) else {
+        // Under resilience `query` is a packed lane id; routing,
+        // history, and the arrival clock key off the bare index while
+        // queue entries and batch members carry the packed form.
+        let q = self.unq(query);
+        let Some(slot) = self.route(now, q, stage_idx) else {
             self.handle_unroutable(now, query, stage_idx);
             return;
         };
+        if self.resil_active && stage_idx == 0 {
+            // What a later hedge dispatch of this query routes away
+            // from (either lane may record; the last write wins and the
+            // next reader is the next attempt, which rewrites it).
+            self.resil
+                .as_mut()
+                .expect("resilience runtime attached")
+                .last_slot[q] = slot as u32;
+        }
         let stage = &self.stages[stage_idx];
         let entry = QueueEntry {
             query,
             stage: stage_idx,
-            arrived: self.arrival_time[query],
+            arrived: self.arrival_time[q],
             enqueued: now,
             seq: self.seq,
         };
@@ -1709,6 +2168,13 @@ impl<'a> Sim<'a> {
         let group = self.stages[stage_idx].resource;
         match self.failure_policy {
             FailurePolicy::Shed => {
+                if self.resil_active {
+                    // Only the lane evaporates; the *query* resolves
+                    // through its timeout (or the end-of-run sweep), so
+                    // a surviving hedge twin can still win — counting
+                    // here would double-resolve.
+                    return;
+                }
                 self.shed += 1;
                 self.win_shed += 1;
                 self.mp_account_lost(query, false);
@@ -1731,11 +2197,23 @@ impl<'a> Sim<'a> {
     /// time is kept, so the lost work shows up as latency) or counts it
     /// shed/dropped (Shed).
     fn strand(&mut self, now: f64, query: usize, stage_idx: usize, was_in_flight: bool) {
+        if self.resil_active {
+            // A stranded carcass simply evaporates (its query already
+            // resolved); a live lane re-enters under Requeue, and under
+            // Shed the *lane* is lost but the query stays live — its
+            // timeout (or the end-of-run sweep) resolves it, and a
+            // hedge twin may still complete it.
+            if !self.lane_live(query) {
+                return;
+            }
+            if self.failure_policy == FailurePolicy::Requeue {
+                self.push_arrive(now, query, stage_idx);
+            }
+            return;
+        }
         match self.failure_policy {
             FailurePolicy::Requeue => {
-                self.heap
-                    .push(Event::arrive(now, self.seq, query, stage_idx));
-                self.seq += 1;
+                self.push_arrive(now, query, stage_idx);
             }
             FailurePolicy::Shed => {
                 if was_in_flight {
@@ -1753,13 +2231,12 @@ impl<'a> Sim<'a> {
     /// Re-enters every query parked on `group` as a fresh arrival at
     /// `now` (a replica just revived), in parking order.
     fn flush_parked(&mut self, now: f64, group: usize) {
-        let parked = std::mem::take(&mut self.parked[group]);
+        let mut parked = std::mem::take(&mut self.parked[group]);
         self.total_queued_entries -= parked.len();
-        for (query, stage_idx) in parked {
-            self.heap
-                .push(Event::arrive(now, self.seq, query, stage_idx));
-            self.seq += 1;
+        for (query, stage_idx) in parked.drain(..) {
+            self.push_arrive(now, query, stage_idx);
         }
+        self.parked[group] = parked; // give the buffer back
     }
 
     /// Final transition to `Down`: the slot stops counting toward live
@@ -1782,6 +2259,7 @@ impl<'a> Sim<'a> {
             return;
         }
         let group = self.slot_group[slot];
+        self.degrade_frac[slot] = 1.0; // a provision is a fresh machine
         self.free[slot] = self.slot_capacity[slot];
         if self.track_est {
             self.queued_work[slot] = 0.0;
@@ -1807,6 +2285,36 @@ impl<'a> Sim<'a> {
             self.cur_speed[slot] = self.slot_speed[slot];
         }
         self.flush_parked(now, group);
+    }
+
+    /// Gray failure (limpware): the slot keeps serving — and keeps
+    /// accepting routes, invisibly to availability masking — at
+    /// `speed` of its profile rate. Applies to batches launched from
+    /// now on (in-flight batches keep their booked finish; queued work,
+    /// the bulk under load, is slowed). Estimator-reading routers see
+    /// the limp through `cur_speed`. No-op on a down slot.
+    fn apply_degrade(&mut self, slot: usize, speed: f64) {
+        if self.state[slot] == SlotState::Down {
+            return;
+        }
+        self.degrade_frac[slot] = speed;
+        let base = if self.state[slot] == SlotState::Warming {
+            self.slot_speed[slot] * self.warmup_speed
+        } else {
+            self.slot_speed[slot]
+        };
+        self.cur_speed[slot] = base * speed;
+    }
+
+    /// A scheduled recovery: provisions a down slot instantly, or —
+    /// the limpware repair edge — restores a live degraded slot to its
+    /// profile speed in place.
+    fn apply_recover(&mut self, now: f64, slot: usize) {
+        if self.state[slot] == SlotState::Down {
+            self.apply_provision(now, slot, 0.0);
+        } else if self.degrade_frac[slot] != 1.0 {
+            self.apply_degrade(slot, 1.0);
+        }
     }
 
     /// Takes a live slot out of rotation: no new routes, queued and
@@ -1964,6 +2472,7 @@ impl<'a> Sim<'a> {
             completed: self.win_completed,
             shed: self.win_shed,
             dropped: self.win_dropped,
+            timed_out: self.win_timed_out,
             p99_s,
             mean_queue_depth,
             utilization,
@@ -1981,6 +2490,7 @@ impl<'a> Sim<'a> {
         self.win_completed = 0;
         self.win_shed = 0;
         self.win_dropped = 0;
+        self.win_timed_out = 0;
         self.win_latencies.clear();
     }
 
@@ -2101,11 +2611,40 @@ impl<'a> Sim<'a> {
             Some(mp) => mp.last_of_path[stage],
             None => stage + 1 == self.stages.len(),
         };
-        if !last_stage {
-            self.heap
-                .push(Event::arrive(now, self.seq, query, stage + 1));
-            self.seq += 1;
+        // Resilience: a carcass (its query resolved or its attempt
+        // timed out while it sat in service) is discarded here, its
+        // baseline service charged to wasted work. A live lane
+        // finishing its last stage resolves the query — the generation
+        // bump cancels the twin lane wherever it is.
+        let q = if self.resil_active {
+            let bare = query & RES_Q_MASK;
+            if !self.lane_live(query) {
+                let service = self.stages[stage].service_time;
+                let rt = self.resil.as_mut().expect("resilience runtime attached");
+                rt.stats.wasted_service_s += service;
+                return;
+            }
+            if last_stage {
+                let latency_s = now - self.arrival_time[bare];
+                let rt = self.resil.as_mut().expect("resilience runtime attached");
+                rt.gen[bare] = rt.gen[bare].wrapping_add(1);
+                rt.state[bare] = RQ_DONE;
+                if query >> 63 == 1 {
+                    rt.stats.hedges_won += 1;
+                }
+                if rt.has_budget {
+                    rt.tokens = (rt.tokens + rt.refill).min(rt.bucket_cap);
+                }
+                rt.push_sample(latency_s);
+            }
+            bare
         } else {
+            query
+        };
+        if !last_stage {
+            self.push_arrive(now, query, stage + 1);
+        } else {
+            let query = q;
             self.completed += 1;
             if self.record_at_completion {
                 // At-scale (and shard-tail) recording: stream the
@@ -2179,6 +2718,20 @@ impl<'a> Sim<'a> {
             }
             match event.kind() {
                 EventKind::Arrive { query, stage } => {
+                    // Under resilience the payload packs the lane
+                    // identity around the stage; decode it and rebuild
+                    // the packed id that flows through queues/batches.
+                    let (stage, packed) = if self.resil_active {
+                        let raw = stage as u32;
+                        let gen = (raw >> RES_STAGE_BITS) & RES_GEN_MASK;
+                        let lane = (raw >> 31) as usize;
+                        (
+                            (raw & RES_STAGE_MASK) as usize,
+                            query | (gen as usize) << 32 | lane << 63,
+                        )
+                    } else {
+                        (stage, query)
+                    };
                     self.last_time = now;
                     // A lazily-staged schedule arrival stages its
                     // successor (closed-loop re-injections sit past
@@ -2206,7 +2759,22 @@ impl<'a> Sim<'a> {
                     {
                         self.win_arrivals += 1;
                     }
-                    self.on_arrive(now, query, stage);
+                    if self.resil_active {
+                        let rt = self.resil.as_mut().expect("resilience runtime attached");
+                        if rt.state[query] == RQ_FRESH && stage == 0 {
+                            // First dispatch of the query: attempt 1
+                            // starts now, with its timeout and hedge.
+                            rt.state[query] = RQ_LIVE;
+                            rt.attempts[query] = 1;
+                            self.res_arm_attempt(now, query);
+                        } else if !self.lane_live(packed) {
+                            // A cancelled lane's leftover arrival
+                            // (requeue or parked flush of an attempt
+                            // that has since resolved or timed out).
+                            continue;
+                        }
+                    }
+                    self.on_arrive(now, packed, stage);
                     if self.fatal.is_some() {
                         break;
                     }
@@ -2243,13 +2811,16 @@ impl<'a> Sim<'a> {
                         }
                         LifecycleAction::Drain => self.apply_drain(slot),
                         LifecycleAction::FailStop => self.apply_fail_stop(now, slot),
-                        LifecycleAction::Recover => self.apply_provision(now, slot, 0.0),
+                        LifecycleAction::Recover => self.apply_recover(now, slot),
+                        LifecycleAction::Degrade { speed } => self.apply_degrade(slot, speed),
                     }
                 }
                 EventKind::WarmDone { slot, gen } => {
                     if gen == self.slot_gen[slot] as u32 && self.state[slot] == SlotState::Warming {
                         self.state[slot] = SlotState::Up;
-                        self.cur_speed[slot] = self.slot_speed[slot];
+                        // `* 1.0` is exact, so healthy slots stay
+                        // bit-identical to the degrade-free loop.
+                        self.cur_speed[slot] = self.slot_speed[slot] * self.degrade_frac[slot];
                     }
                 }
                 EventKind::WindowTick => {
@@ -2257,11 +2828,24 @@ impl<'a> Sim<'a> {
                     self.autoscale_tick(now);
                     // Re-arm while the run is still going; the last
                     // (partial) window closes in `finish`.
-                    let done = self.completed + self.shed + self.dropped;
+                    let timed_out = self.resil.as_ref().map_or(0, |r| r.stats.timed_out);
+                    let done = self.completed + self.shed + self.dropped + timed_out;
                     if done < self.num_queries && !self.heap.is_empty() {
                         self.heap
                             .push(Event::window_tick(now + self.window_s, self.seq));
                         self.seq += 1;
+                    }
+                }
+                EventKind::Timeout { query, gen } => {
+                    let rt = self.resil.as_mut().expect("resilience runtime attached");
+                    if gen == rt.gen[query] && rt.state[query] == RQ_LIVE {
+                        self.on_timeout(now, query);
+                    }
+                }
+                EventKind::Hedge { query, gen } => {
+                    let rt = self.resil.as_mut().expect("resilience runtime attached");
+                    if gen == rt.gen[query] && rt.state[query] == RQ_LIVE && !rt.hedged[query] {
+                        self.on_hedge(now, query, gen);
                     }
                 }
             }
@@ -2409,14 +2993,35 @@ impl<'a> Sim<'a> {
         // stream ran dry (a promised revival never came before the last
         // event) count as shed, so completed + shed + dropped always
         // accounts for every injected query.
-        for group in 0..self.parked.len() {
-            let leftover = std::mem::take(&mut self.parked[group]);
-            self.total_queued_entries -= leftover.len();
-            self.shed += leftover.len();
-            self.win_shed += leftover.len();
-            if self.mp.is_some() {
-                for &(query, _) in &leftover {
-                    self.mp_account_lost(query, false);
+        if self.resil_active {
+            // Parked entries are lanes, not queries — drop them and
+            // sweep the per-query states instead, so a query with a
+            // parked lane *and* a live twin (or a silently-lost lane
+            // under Shed) resolves exactly once.
+            for group in 0..self.parked.len() {
+                let leftover = std::mem::take(&mut self.parked[group]);
+                self.total_queued_entries -= leftover.len();
+            }
+            let rt = self.resil.as_mut().expect("resilience runtime attached");
+            let mut unresolved = 0usize;
+            for state in rt.state.iter_mut() {
+                if *state == RQ_LIVE {
+                    *state = RQ_DONE;
+                    unresolved += 1;
+                }
+            }
+            self.shed += unresolved;
+            self.win_shed += unresolved;
+        } else {
+            for group in 0..self.parked.len() {
+                let leftover = std::mem::take(&mut self.parked[group]);
+                self.total_queued_entries -= leftover.len();
+                self.shed += leftover.len();
+                self.win_shed += leftover.len();
+                if self.mp.is_some() {
+                    for &(query, _) in &leftover {
+                        self.mp_account_lost(query, false);
+                    }
                 }
             }
         }
@@ -2520,7 +3125,7 @@ impl<'a> Sim<'a> {
             }
             None => (Vec::new(), 0),
         };
-        SimResult::new(latency, qps, self.completed, saturated, utilization)
+        let result = SimResult::new(latency, qps, self.completed, saturated, utilization)
             .with_mean_batch(mean_batch)
             .with_replica_utilization(replica_utilization)
             .with_lifecycle_outcome(
@@ -2529,7 +3134,11 @@ impl<'a> Sim<'a> {
                 self.cost_integral,
                 std::mem::take(&mut self.windows),
             )
-            .with_multipath_outcome(path_stats, admission_shed)
+            .with_multipath_outcome(path_stats, admission_shed);
+        match self.resil.take() {
+            Some(rt) => result.with_resilience_outcome(rt.stats),
+            None => result,
+        }
     }
 }
 

@@ -900,6 +900,46 @@ impl PipelineSpec {
             controller,
         )
     }
+
+    /// Runs the resilience-aware simulation: lifecycle events replay as
+    /// in [`serve_lifecycle`](Self::serve_lifecycle) (now including
+    /// limpware [`Degrade`](crate::LifecycleAction::Degrade) events),
+    /// and `resilience` arms per-query timeouts, retry policies, and
+    /// hedged requests through the same event loop. With an inert
+    /// [`ResilienceConfig`](crate::ResilienceConfig) the run is
+    /// bit-identical to [`serve_lifecycle`](Self::serve_lifecycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoAvailableReplica`] under the same rule as
+    /// [`serve_lifecycle`](Self::serve_lifecycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline has no stages, `num_queries == 0`, or the
+    /// pipeline exceeds the resilience packing limits (4096 stages).
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_resilient(
+        &self,
+        arrivals: &dyn recpipe_data::ArrivalProcess,
+        policy: &dyn crate::SchedulingPolicy,
+        router: &dyn Router,
+        num_queries: usize,
+        seed: u64,
+        cfg: &LifecycleConfig,
+        resilience: &crate::ResilienceConfig,
+    ) -> Result<SimResult, SimError> {
+        crate::serve_resilient(
+            self,
+            arrivals,
+            policy,
+            router,
+            num_queries,
+            seed,
+            cfg,
+            resilience,
+        )
+    }
 }
 
 #[cfg(test)]

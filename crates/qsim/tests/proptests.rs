@@ -6,10 +6,11 @@ use proptest::prelude::*;
 use recpipe_data::{ClosedLoopArrivals, MmppArrivals, PoissonArrivals};
 use recpipe_qsim::{
     serve_multipath, AdmissionPolicy, AlwaysPrimary, BatchModel, BatchWindow, DeadlineAware,
-    EarliestDeadlineFirst, ExpectedWait, FailurePolicy, Fifo, JoinShortestQueue, LeastWorkLeft,
-    LifecycleConfig, LifecycleEvent, LifecycleSchedule, LoadAdaptive, PathSet, PipelineSpec,
-    PowerOfTwoChoices, ReplicaGroup, ReplicaProfile, ResourceSpec, RoundRobin, Router,
-    SchedulingPolicy, StageSpec, Sticky,
+    EarliestDeadlineFirst, ExpectedWait, FailurePolicy, FaultPlan, Fifo, HedgePolicy,
+    JoinShortestQueue, LeastWorkLeft, LifecycleConfig, LifecycleEvent, LifecycleSchedule,
+    LoadAdaptive, PathSet, PipelineSpec, PowerOfTwoChoices, ReplicaGroup, ReplicaProfile,
+    ResilienceConfig, ResourceSpec, RetryBudget, RetryPolicy, RoundRobin, Router, SchedulingPolicy,
+    StageSpec, Sticky,
 };
 
 fn pipeline(servers: usize, stages: Vec<f64>) -> PipelineSpec {
@@ -3272,5 +3273,194 @@ proptest! {
         prop_assert_eq!(&paths, &back);
         // Emission is canonical: re-serializing reproduces the bytes.
         prop_assert_eq!(json, back.to_json());
+    }
+}
+
+/// A replicated batched fleet with a lifecycle schedule attached — the
+/// shape the resilience properties run against.
+fn faulted_pipeline(
+    replicas: usize,
+    capacity: usize,
+    stages: Vec<f64>,
+    max_batch: usize,
+    schedule: LifecycleSchedule,
+) -> PipelineSpec {
+    let group = ReplicaGroup::replicated("fleet", capacity, replicas).with_lifecycle(schedule);
+    let mut spec = PipelineSpec::new(vec![group]);
+    for (i, s) in stages.into_iter().enumerate() {
+        spec = spec
+            .with_stage(
+                StageSpec::new(format!("s{i}"), 0, 1, s)
+                    .with_batch(BatchModel::new(max_batch, 0.25)),
+            )
+            .unwrap();
+    }
+    spec
+}
+
+/// The retry rotation the conservation property walks: no retries,
+/// plain exponential backoff, jittered backoff, and a budgeted policy.
+fn retry_for(idx: usize) -> RetryPolicy {
+    match idx % 4 {
+        0 => RetryPolicy::none(),
+        1 => RetryPolicy::new(3, 0.002, 2.0).with_backoff_cap(0.010),
+        2 => RetryPolicy::new(4, 0.001, 2.0).with_jitter(0.5),
+        _ => RetryPolicy::new(3, 0.002, 2.0).with_budget(RetryBudget::new(5.0, 0.1)),
+    }
+}
+
+/// The hedge rotation: no hedging, fixed-delay, quantile-derived.
+fn hedge_for(idx: usize) -> Option<HedgePolicy> {
+    match idx % 3 {
+        0 => None,
+        1 => Some(HedgePolicy::after(0.004)),
+        _ => Some(HedgePolicy::at_quantile(0.95)),
+    }
+}
+
+/// The fault rotation: a healthy fleet, a correlated degrade burst, a
+/// fail-stop burst that recovers (so Requeue stays legal even on a
+/// single-replica fleet), and both at once.
+fn faults_for(idx: usize, replicas: usize, seed: u64) -> LifecycleSchedule {
+    let plan = FaultPlan::new(seed);
+    let hit = replicas.div_ceil(2);
+    let plan = match idx % 4 {
+        0 => plan,
+        1 => plan.degrade_burst(0.05, hit, 0.25),
+        2 => plan.burst(recpipe_qsim::FaultBurst {
+            time: 0.05,
+            kind: recpipe_qsim::FaultKind::FailStop,
+            count: hit,
+            recover_after_s: Some(0.3),
+        }),
+        _ => plan
+            .degrade_burst(0.05, hit, 0.4)
+            .burst(recpipe_qsim::FaultBurst {
+                time: 0.2,
+                kind: recpipe_qsim::FaultKind::FailStop,
+                count: 1,
+                recover_after_s: Some(0.2),
+            }),
+    };
+    plan.expand(replicas)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn inert_resilience_pins_the_routed_loop_bit_for_bit(
+        replicas in 1usize..4,
+        capacity in 1usize..3,
+        max_batch in 1usize..8,
+        policy_idx in 0usize..3,
+        router_idx in 0usize..6,
+        queries in 100usize..600,
+        seed in 0u64..200,
+    ) {
+        // The resilience machinery must be invisible when unused: an
+        // inert ResilienceConfig (no timeout, no hedge) under a default
+        // lifecycle produces the PR-8 routed loop's result bit-for-bit
+        // across the router x policy x fleet x batching matrix. The
+        // packed query ids stay in the gen-0/lane-0 encoding, which is
+        // byte-identical to the plain encoding, so the event streams
+        // match exactly — not just the summaries.
+        let spec = replicated_pipeline(replicas, capacity, vec![0.004, 0.002], max_batch);
+        let policy = policy_for(policy_idx);
+        let router = router_for_v4(router_idx);
+        let arrivals = MmppArrivals::new(100.0, 800.0, 0.2, 0.1);
+        let routed = spec.serve_routed(&arrivals, policy.as_ref(), router.as_ref(), queries, seed);
+        let mut resilient = spec
+            .serve_resilient(
+                &arrivals,
+                policy.as_ref(),
+                router.as_ref(),
+                queries,
+                seed,
+                &LifecycleConfig::new(),
+                &ResilienceConfig::new(),
+            )
+            .unwrap();
+        let stats = resilient.resilience.take().expect("resilient runs report stats");
+        prop_assert_eq!(stats.timeouts, 0);
+        prop_assert_eq!(stats.timed_out, 0);
+        prop_assert_eq!(stats.total_retries(), 0);
+        prop_assert_eq!(stats.hedges_issued, 0);
+        prop_assert_eq!(routed, resilient);
+    }
+
+    #[test]
+    fn resilience_conserves_every_query_under_fault_retry_hedge_rotation(
+        replicas in 1usize..4,
+        capacity in 1usize..3,
+        max_batch in 1usize..6,
+        policy_idx in 0usize..3,
+        router_idx in 0usize..6,
+        retry_idx in 0usize..4,
+        hedge_idx in 0usize..3,
+        fault_idx in 0usize..4,
+        shed_on_failure in proptest::prelude::any::<bool>(),
+        timeout_ms in 4u64..40,
+        queries in 100usize..400,
+        seed in 0u64..100,
+    ) {
+        // Whatever the fault x retry x hedge combination does to
+        // individual attempts, every injected query resolves exactly
+        // once: completed, shed (by lifecycle stranding or the
+        // end-of-run sweep), dropped, or timed-out-final.
+        let schedule = faults_for(fault_idx, replicas, seed ^ 0xfa157);
+        let spec = faulted_pipeline(replicas, capacity, vec![0.004, 0.002], max_batch, schedule);
+        let policy = policy_for(policy_idx);
+        let router = router_for_v4(router_idx);
+        let arrivals = MmppArrivals::new(100.0, 800.0, 0.2, 0.1);
+        let mut resilience = ResilienceConfig::new()
+            .with_timeout(timeout_ms as f64 / 1e3)
+            .with_retry(retry_for(retry_idx));
+        if let Some(h) = hedge_for(hedge_idx) {
+            resilience = resilience.with_hedge(h);
+        }
+        let cfg = LifecycleConfig::new().with_failure_policy(if shed_on_failure {
+            FailurePolicy::Shed
+        } else {
+            FailurePolicy::Requeue
+        });
+        let out = spec
+            .serve_resilient(
+                &arrivals,
+                policy.as_ref(),
+                router.as_ref(),
+                queries,
+                seed,
+                &cfg,
+                &resilience,
+            )
+            .unwrap();
+        let stats = out.resilience.as_ref().expect("resilient runs report stats");
+        prop_assert_eq!(
+            out.completed + out.shed + out.dropped + stats.timed_out,
+            queries
+        );
+        // Attempt-level sanity: hedges never outnumber issues, retries
+        // respect the policy's attempt cap, and every fired timeout is
+        // either retried or resolves its query.
+        prop_assert!(stats.hedges_won <= stats.hedges_issued);
+        let max_retries = retry_for(retry_idx).max_attempts - 1;
+        prop_assert!(stats.total_retries() <= queries * max_retries);
+        prop_assert_eq!(stats.timeouts, stats.total_retries() + stats.timed_out);
+        prop_assert!(stats.retries_denied <= stats.timed_out);
+        prop_assert!(stats.wasted_service_s >= 0.0);
+        // The whole run replays deterministically from the same seed.
+        let again = spec
+            .serve_resilient(
+                &arrivals,
+                policy.as_ref(),
+                router.as_ref(),
+                queries,
+                seed,
+                &cfg,
+                &resilience,
+            )
+            .unwrap();
+        prop_assert_eq!(out, again);
     }
 }
