@@ -1,0 +1,120 @@
+//! `recpipe-analysis`: the `simlint` static-analysis pass.
+//!
+//! The simulator's correctness claims rest on bit-for-bit determinism:
+//! frozen-reference proptests pin each serving loop against its
+//! predecessor, and sharded == serial merges hold only because nothing
+//! in the hot path depends on hash order, wall-clock time, or unseeded
+//! RNG. `simlint` turns that contract from prose into a mechanical
+//! gate: a pure-std, hand-rolled scanner ([`mod@scan`]) feeds a rule
+//! engine ([`rules`]) that denies hash-order iteration, ambient clocks
+//! and entropy, unregistered event tags, unjustified packing casts,
+//! non-validating public constructors, and untested `serve_*` entry
+//! points — with an inline allowlist
+//! (`// simlint: allow(<rule>) -- <justification>`) for the audited
+//! exceptions.
+//!
+//! Run it with `cargo run -p recpipe-analysis --bin simlint`; it exits
+//! nonzero on any deny-severity finding, so CI fails when the
+//! discipline rots. See ARCHITECTURE.md "Determinism discipline,
+//! mechanically enforced" for the rule table.
+
+pub mod rules;
+pub mod scan;
+
+use rules::{check_file, check_workspace, Config, Finding, Severity};
+use scan::{scan, ScannedFile};
+
+/// The outcome of an analysis run.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files: usize,
+    /// Total source lines scanned.
+    pub lines: usize,
+}
+
+impl Report {
+    /// Whether any finding carries deny severity (CI failure).
+    pub fn has_denies(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Deny)
+    }
+}
+
+/// Analyzes a set of already-loaded `(path, text)` pairs. Paths are
+/// workspace-relative with `/` separators; rule scoping matches on
+/// them, so fixtures can exercise any rule by choosing the path.
+pub fn analyze_files(sources: &[(String, String)], cfg: &Config) -> Report {
+    let mut scanned: Vec<ScannedFile> = sources
+        .iter()
+        .map(|(path, text)| scan(path, text))
+        .collect();
+    scanned.sort_by(|a, b| a.path.cmp(&b.path));
+    let mut findings = Vec::new();
+    for file in &scanned {
+        check_file(file, cfg, &mut findings);
+    }
+    check_workspace(&scanned, cfg, &mut findings);
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Report {
+        findings,
+        files: scanned.len(),
+        lines: scanned.iter().map(|f| f.lines.len()).sum(),
+    }
+}
+
+/// Collects the workspace's own Rust sources under `root`: every
+/// `.rs` file below `crates/`, plus top-level `src/`, `examples/`, and
+/// `tests/` if present. Skips `target/` and `fixtures/` directories
+/// (fixtures violate rules on purpose) and the offline dependency
+/// shims (vendored API surface, not simulator code). The listing is
+/// sorted so reports are stable across filesystems.
+pub fn collect_files(root: &std::path::Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut paths: Vec<std::path::PathBuf> = Vec::new();
+    for top in ["crates", "src", "examples", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut paths)?;
+        }
+    }
+    let mut out: Vec<(String, String)> = Vec::new();
+    for p in paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(&p)?;
+        out.push((rel, text));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// Recursive walker feeding [`collect_files`].
+fn walk(dir: &std::path::Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name == ".git" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans the workspace rooted at `root` and runs every rule.
+pub fn analyze_workspace(root: &std::path::Path, cfg: &Config) -> std::io::Result<Report> {
+    let sources = collect_files(root)?;
+    Ok(analyze_files(&sources, cfg))
+}

@@ -1,0 +1,883 @@
+//! The `simlint` rule engine: rule registry, per-rule severities, and
+//! the rule implementations over [`ScannedFile`]s.
+//!
+//! Rules fall into the four families the determinism contract needs
+//! (see ARCHITECTURE.md "Determinism discipline, mechanically
+//! enforced"): determinism (`hash-iter`, `wall-clock`, `unseeded-rng`,
+//! `shard-nondet`), event-loop discipline (`tag-registry`), packing
+//! safety (`packing-cast`), and API discipline (`ctor-validate`,
+//! `serve-coverage`). A ninth rule, `bad-allow`, keeps the allowlist
+//! itself honest: malformed directives and unknown rule ids are
+//! findings, not silent no-ops.
+
+use crate::scan::{find_word, ScannedFile};
+
+/// How a finding affects the exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the run (CI gate).
+    Deny,
+    /// Reported but does not fail the run.
+    Warn,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Deny => write!(f, "deny"),
+            Severity::Warn => write!(f, "warn"),
+        }
+    }
+}
+
+/// Registry metadata for one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleMeta {
+    /// Stable id, used in allow directives and severity overrides.
+    pub id: &'static str,
+    /// Default severity (overridable via [`Config::severity_overrides`]).
+    pub severity: Severity,
+    /// One-line description for `simlint --list-rules` and docs.
+    pub summary: &'static str,
+}
+
+/// Every rule `simlint` knows, in reporting order.
+pub const RULES: &[RuleMeta] = &[
+    RuleMeta {
+        id: "hash-iter",
+        severity: Severity::Deny,
+        summary: "no HashMap/HashSet iteration (incl. min/max over entries) in sim paths",
+    },
+    RuleMeta {
+        id: "wall-clock",
+        severity: Severity::Deny,
+        summary: "no Instant::now/SystemTime outside bench/test code",
+    },
+    RuleMeta {
+        id: "unseeded-rng",
+        severity: Severity::Deny,
+        summary: "no thread_rng/from_entropy/OsRng outside bench/test code",
+    },
+    RuleMeta {
+        id: "shard-nondet",
+        severity: Severity::Deny,
+        summary: "no thread-id or worker-count-dependent branches in shard executors",
+    },
+    RuleMeta {
+        id: "tag-registry",
+        severity: Severity::Deny,
+        summary: "every TAG_* event constant is in the tie-order table once and decodes",
+    },
+    RuleMeta {
+        id: "packing-cast",
+        severity: Severity::Deny,
+        summary: "as u32/u64 in packed-event/lane-payload code needs a range justification",
+    },
+    RuleMeta {
+        id: "ctor-validate",
+        severity: Severity::Deny,
+        summary: "public qsim constructors taking sizes/rates validate-or-panic",
+    },
+    RuleMeta {
+        id: "serve-coverage",
+        severity: Severity::Deny,
+        summary: "every public qsim serve_* entry point is named by a qsim/tests/ property",
+    },
+    RuleMeta {
+        id: "bad-allow",
+        severity: Severity::Deny,
+        summary: "allow directives parse, name known rules, and carry a justification",
+    },
+];
+
+/// Looks up a rule id in the registry.
+pub fn rule_meta(id: &str) -> Option<&'static RuleMeta> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Scope and carve-out configuration. [`Config::default`] encodes this
+/// workspace's layout — including the bench/test carve-out for the
+/// wall-clock and RNG rules, which is deliberately config (product
+/// crates get no inline escape hatch for those rules; see ISSUE 10).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Path prefixes whose non-test code is a simulator hot path
+    /// (scope of `hash-iter`).
+    pub sim_paths: Vec<String>,
+    /// Path fragments exempt from `wall-clock`/`unseeded-rng`: bench
+    /// crates, integration tests, criterion benches. `#[cfg(test)]`
+    /// regions are exempt everywhere regardless of path.
+    pub bench_test_paths: Vec<String>,
+    /// Files holding shard executors (scope of `shard-nondet`).
+    pub shard_files: Vec<String>,
+    /// The event-loop file holding the `TAG_*` constants, the
+    /// tie-order table, and the packed-event code.
+    pub event_file: String,
+    /// Name of the tie-order registry const in `event_file`.
+    pub tie_order_table: String,
+    /// `impl` blocks in `event_file` whose casts are packing casts.
+    pub packing_impls: Vec<String>,
+    /// Substrings of `fn` names in `event_file` whose casts are
+    /// packing casts (lane-payload pack/unpack helpers).
+    pub packing_fns: Vec<String>,
+    /// Path prefixes whose `pub fn new` constructors must
+    /// validate-or-panic (scope of `ctor-validate`).
+    pub ctor_paths: Vec<String>,
+    /// Path prefix holding the serving entry points.
+    pub serve_src: String,
+    /// Path prefix holding the frozen-reference/conservation tests
+    /// that must name every public `serve_*` entry point.
+    pub serve_tests: String,
+    /// Per-rule severity overrides, checked before [`RULES`] defaults.
+    pub severity_overrides: Vec<(String, Severity)>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sim_paths: vec![
+                "crates/qsim/src/".into(),
+                "crates/core/src/".into(),
+                "crates/hwsim/src/".into(),
+            ],
+            bench_test_paths: vec![
+                "crates/bench/".into(),
+                "/tests/".into(),
+                "/benches/".into(),
+                "tests/".into(),
+            ],
+            shard_files: vec!["crates/qsim/src/shard.rs".into()],
+            event_file: "crates/qsim/src/sim.rs".into(),
+            tie_order_table: "TAG_TIE_ORDER".into(),
+            packing_impls: vec!["Event".into()],
+            packing_fns: vec![
+                "pack".into(),
+                "lane".into(),
+                "payload".into(),
+                "push_arrive".into(),
+            ],
+            ctor_paths: vec!["crates/qsim/src/".into()],
+            serve_src: "crates/qsim/src/".into(),
+            serve_tests: "crates/qsim/tests/".into(),
+            severity_overrides: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Resolved severity for a rule id.
+    pub fn severity(&self, id: &str) -> Severity {
+        self.severity_overrides
+            .iter()
+            .find(|(r, _)| r == id)
+            .map(|(_, s)| *s)
+            .or_else(|| rule_meta(id).map(|m| m.severity))
+            .unwrap_or(Severity::Deny)
+    }
+
+    /// Whether `path` falls under the bench/test carve-out.
+    fn is_bench_test(&self, path: &str) -> bool {
+        self.bench_test_paths.iter().any(|frag| {
+            if let Some(prefix) = frag.strip_suffix('/') {
+                if frag.contains('/') && !frag.starts_with('/') {
+                    // A prefix fragment like `crates/bench/` or `tests/`.
+                    if path.starts_with(frag) || path == prefix {
+                        return true;
+                    }
+                }
+            }
+            frag.starts_with('/') && path.contains(frag)
+        })
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id.
+    pub rule: &'static str,
+    /// Resolved severity.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-indexed source line.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}: {}",
+            self.path, self.line, self.severity, self.rule, self.message
+        )
+    }
+}
+
+/// Context shared by the per-file rules: the file, the config, and the
+/// findings sink.
+struct Ctx<'a> {
+    file: &'a ScannedFile,
+    cfg: &'a Config,
+    out: &'a mut Vec<Finding>,
+}
+
+impl Ctx<'_> {
+    /// Emits a finding for `rule` at 0-indexed line `idx` unless an
+    /// inline allow suppresses it.
+    fn emit(&mut self, rule: &'static str, idx: usize, message: String) {
+        if self.file.allowed(idx, rule) {
+            return;
+        }
+        self.out.push(Finding {
+            rule,
+            severity: self.cfg.severity(rule),
+            path: self.file.path.clone(),
+            line: idx + 1,
+            message,
+        });
+    }
+}
+
+/// Runs every per-file rule over `file`.
+pub fn check_file(file: &ScannedFile, cfg: &Config, out: &mut Vec<Finding>) {
+    let mut ctx = Ctx { file, cfg, out };
+    bad_allow(&mut ctx);
+    hash_iter(&mut ctx);
+    wall_clock(&mut ctx);
+    unseeded_rng(&mut ctx);
+    shard_nondet(&mut ctx);
+    tag_registry(&mut ctx);
+    packing_cast(&mut ctx);
+    ctor_validate(&mut ctx);
+}
+
+/// Runs the cross-file rules over the whole scanned set.
+pub fn check_workspace(files: &[ScannedFile], cfg: &Config, out: &mut Vec<Finding>) {
+    serve_coverage(files, cfg, out);
+}
+
+// ---------------------------------------------------------------------------
+// bad-allow
+// ---------------------------------------------------------------------------
+
+/// Malformed directives and allows naming unknown rules.
+fn bad_allow(ctx: &mut Ctx<'_>) {
+    for (idx, msg) in ctx.file.malformed.clone() {
+        ctx.emit("bad-allow", idx, msg);
+    }
+    for (idx, allows) in ctx.file.allows.clone().into_iter().enumerate() {
+        for allow in allows {
+            for rule in &allow.rules {
+                if rule_meta(rule).is_none() {
+                    ctx.emit("bad-allow", idx, format!("unknown rule `{rule}` in allow"));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// hash-iter
+// ---------------------------------------------------------------------------
+
+/// Methods whose call on a hash collection observes iteration order.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Denies iteration (and min/max over entries, which goes through
+/// `iter`/`keys`/`values`) of `HashMap`/`HashSet` bindings in the
+/// configured sim paths. Keyed access — `get`, `insert`,
+/// `contains_key`, `entry`, indexing — is fine: it never observes hash
+/// order. Detection is name-based: pass one collects identifiers bound
+/// to a hash-typed field, param, or `let`; pass two flags
+/// order-observing method calls and `for … in` loops over them.
+fn hash_iter(ctx: &mut Ctx<'_>) {
+    if !ctx
+        .cfg
+        .sim_paths
+        .iter()
+        .any(|p| ctx.file.path.starts_with(p.as_str()))
+    {
+        return;
+    }
+    let mut bound: Vec<String> = Vec::new();
+    for line in &ctx.file.lines {
+        if line.in_test {
+            continue;
+        }
+        collect_hash_bindings(&line.code, &mut bound);
+    }
+    if bound.is_empty() {
+        return;
+    }
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for name in bound.clone() {
+            if let Some(m) = iterates(&line.code, &name) {
+                ctx.emit(
+                    "hash-iter",
+                    idx,
+                    format!(
+                        "`{name}` is a hash collection; `{m}` observes hash iteration \
+                         order, which is nondeterministic across processes"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Collects identifiers bound to a `HashMap`/`HashSet` on this line.
+fn collect_hash_bindings(code: &str, out: &mut Vec<String>) {
+    for ty in ["HashMap", "HashSet"] {
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(ty) {
+            let at = from + rel;
+            from = at + ty.len();
+            // Word boundary on both sides (`HashMapLike` is not a hit).
+            let before = code[..at].chars().next_back();
+            if before.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                continue;
+            }
+            if code[from..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric())
+            {
+                continue;
+            }
+            let head = code[..at].trim_end();
+            // `name: HashMap<…>` / `name: &mut HashMap<…>` (field or param).
+            let head = head.strip_suffix("mut").unwrap_or(head).trim_end();
+            let head = head.strip_suffix('&').unwrap_or(head).trim_end();
+            if let Some(head) = head.strip_suffix(':') {
+                if let Some(name) = trailing_ident(head) {
+                    push_unique(out, name);
+                    continue;
+                }
+            }
+            // `let [mut] name = HashMap::new()` and friends.
+            if let Some(let_at) = code[..at].rfind("let ") {
+                let binding = &code[let_at + 4..at];
+                let binding = binding.trim_start().trim_start_matches("mut ").trim();
+                if let Some(end) = binding.find(|c: char| !(c.is_alphanumeric() || c == '_')) {
+                    if end > 0 && binding[end..].trim_start().starts_with(['=', ':']) {
+                        push_unique(out, binding[..end].to_string());
+                    }
+                } else if !binding.is_empty() {
+                    push_unique(out, binding.to_string());
+                }
+            }
+        }
+    }
+}
+
+/// The trailing identifier of `head`, if any.
+fn trailing_ident(head: &str) -> Option<String> {
+    let head = head.trim_end();
+    let end = head.len();
+    let start = head
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .map_or(0, |p| p + 1);
+    if start < end {
+        Some(head[start..end].to_string())
+    } else {
+        None
+    }
+}
+
+fn push_unique(out: &mut Vec<String>, name: String) {
+    if !out.contains(&name) {
+        out.push(name);
+    }
+}
+
+/// Whether `code` iterates the hash binding `name`; returns the
+/// offending expression fragment.
+fn iterates(code: &str, name: &str) -> Option<String> {
+    let mut from = 0;
+    while let Some(at) = find_word(&code[from..], name).map(|p| p + from) {
+        let after = code[at + name.len()..].trim_start();
+        if let Some(rest) = after.strip_prefix('.') {
+            for m in HASH_ITER_METHODS {
+                if rest.starts_with(m) && rest[m.len()..].starts_with('(') {
+                    return Some(format!("{name}.{m}()"));
+                }
+            }
+        }
+        // `for x in name` / `for x in &name` / `for x in &mut name`.
+        let before = code[..at].trim_end();
+        let before = before.strip_suffix("mut").unwrap_or(before).trim_end();
+        let before = before.strip_suffix('&').unwrap_or(before).trim_end();
+        if before.ends_with(" in") || before == "in" {
+            let loops = before.strip_suffix("in").unwrap_or("");
+            if loops.contains("for ") && !after.starts_with('.') {
+                return Some(format!("for … in {name}"));
+            }
+        }
+        from = at + name.len();
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock / unseeded-rng
+// ---------------------------------------------------------------------------
+
+/// Denies wall-clock reads outside the bench/test carve-out: the
+/// simulator's only clock is its own event time, derived from seeds.
+fn wall_clock(ctx: &mut Ctx<'_>) {
+    token_rule(ctx, "wall-clock", &["Instant::now", "SystemTime"], |t| {
+        format!("`{t}` reads the wall clock; sim paths must derive time from the event loop")
+    });
+}
+
+/// Denies ambient-entropy RNG construction outside the carve-out:
+/// every stream must derive from an explicit seed.
+fn unseeded_rng(ctx: &mut Ctx<'_>) {
+    token_rule(
+        ctx,
+        "unseeded-rng",
+        &["thread_rng", "from_entropy", "ThreadRng", "OsRng"],
+        |t| format!("`{t}` draws ambient entropy; derive every stream from an explicit seed"),
+    );
+}
+
+/// Shared token matcher for the carve-out-scoped determinism rules.
+fn token_rule(
+    ctx: &mut Ctx<'_>,
+    rule: &'static str,
+    tokens: &[&str],
+    message: impl Fn(&str) -> String,
+) {
+    if ctx.cfg.is_bench_test(&ctx.file.path) {
+        return;
+    }
+    for (idx, line) in ctx.file.lines.clone().iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for t in tokens {
+            if line.code.contains(t) {
+                ctx.emit(rule, idx, message(t));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shard-nondet
+// ---------------------------------------------------------------------------
+
+/// Flags thread-identity probes and worker-count-dependent branches in
+/// shard executor files: sharded results must be invariant to the
+/// worker count, so any branch on it needs a written invariance
+/// argument (inline allow).
+fn shard_nondet(ctx: &mut Ctx<'_>) {
+    if !ctx
+        .cfg
+        .shard_files
+        .iter()
+        .any(|f| ctx.file.path == f.as_str())
+    {
+        return;
+    }
+    for (idx, line) in ctx.file.lines.clone().iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for t in ["thread::current", "ThreadId", "available_parallelism"] {
+            if code.contains(t) {
+                ctx.emit(
+                    "shard-nondet",
+                    idx,
+                    format!("`{t}` in a shard executor: results must not depend on it"),
+                );
+            }
+        }
+        let branchy = find_word(code, "if").is_some()
+            || find_word(code, "match").is_some()
+            || find_word(code, "while").is_some();
+        if branchy && code.contains("worker") {
+            ctx.emit(
+                "shard-nondet",
+                idx,
+                "branch on the worker count in a shard executor: justify result-invariance \
+                 with an allow"
+                    .into(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tag-registry
+// ---------------------------------------------------------------------------
+
+/// Enforces the event-tag registry in the event-loop file: every
+/// `const TAG_*: u64` must appear exactly once in the tie-order table
+/// and have an explicit decode arm, so a new event kind cannot land
+/// with an unconsidered same-timestamp ordering or a wildcard decode.
+fn tag_registry(ctx: &mut Ctx<'_>) {
+    if ctx.file.path != ctx.cfg.event_file {
+        return;
+    }
+    let table_name = ctx.cfg.tie_order_table.clone();
+    // Declared scalar tags: `const TAG_X: u64 = …`.
+    let mut tags: Vec<(String, usize)> = Vec::new();
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
+        let code = line.code.trim();
+        if let Some(rest) = code.strip_prefix("const TAG_") {
+            if let Some(colon) = rest.find(':') {
+                let name = format!("TAG_{}", &rest[..colon].trim());
+                if name != table_name && rest[colon..].contains("u64") && !rest.contains('[') {
+                    tags.push((name, idx));
+                }
+            }
+        }
+    }
+    if tags.is_empty() {
+        return;
+    }
+    // The tie-order table: TAG_* tokens inside the initializer of the
+    // `const TAG_TIE_ORDER` declaration. Bracket depth is tracked from
+    // the `=` so the `]` in the array *type* doesn't end collection.
+    let mut table: Vec<String> = Vec::new();
+    let mut table_at = None;
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
+        let code = line.code.trim();
+        if (code.starts_with("const ") || code.starts_with("pub const "))
+            && find_word(code, &table_name).is_some()
+        {
+            table_at = Some(idx);
+            break;
+        }
+    }
+    if let Some(start) = table_at {
+        let mut text = String::new();
+        let mut started = false;
+        let mut depth = 0i32;
+        'collect: for line in ctx.file.lines.iter().skip(start) {
+            for c in line.code.chars() {
+                if !started {
+                    started = c == '=';
+                    continue;
+                }
+                match c {
+                    '[' => depth += 1,
+                    ']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break 'collect;
+                        }
+                    }
+                    _ => {
+                        if depth > 0 {
+                            text.push(c);
+                        }
+                    }
+                }
+            }
+            text.push('\n');
+        }
+        collect_tag_tokens(&text, &table_name, &mut table);
+    }
+    let Some(table_at) = table_at else {
+        let (_, first) = &tags[0];
+        ctx.emit(
+            "tag-registry",
+            *first,
+            format!(
+                "event tags declared but no `{table_name}` tie-order table found; \
+                 register every tag's same-timestamp ordering"
+            ),
+        );
+        return;
+    };
+    for (tag, decl_at) in &tags {
+        let registered = table.iter().filter(|t| *t == tag).count();
+        if registered != 1 {
+            ctx.emit(
+                "tag-registry",
+                *decl_at,
+                format!(
+                    "`{tag}` appears {registered} times in `{table_name}` (must be exactly 1): \
+                     a tag outside the table sorts arbitrarily against its peers"
+                ),
+            );
+        }
+        let decodes = ctx.file.lines.iter().any(|l| {
+            find_word(&l.code, tag)
+                .map(|at| l.code[at + tag.len()..].trim_start().starts_with("=>"))
+                .unwrap_or(false)
+        });
+        if !decodes {
+            ctx.emit(
+                "tag-registry",
+                *decl_at,
+                format!(
+                    "`{tag}` has no explicit decode arm (`{tag} =>`); wildcard decode hides it"
+                ),
+            );
+        }
+    }
+    for t in &table {
+        if !tags.iter().any(|(tag, _)| tag == t) {
+            ctx.emit(
+                "tag-registry",
+                table_at,
+                format!("`{t}` is registered in `{table_name}` but never declared"),
+            );
+        }
+    }
+}
+
+/// Collects `TAG_*` word tokens in `code`, excluding the table name.
+fn collect_tag_tokens(code: &str, table_name: &str, out: &mut Vec<String>) {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && {
+                let d = bytes[i] as char;
+                d.is_ascii_alphanumeric() || d == '_'
+            } {
+                i += 1;
+            }
+            let word = &code[start..i];
+            if word.starts_with("TAG_") && word != table_name {
+                out.push(word.to_string());
+            }
+            continue;
+        }
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// packing-cast
+// ---------------------------------------------------------------------------
+
+/// Flags `as u32`/`as u64` in packed-event and lane-payload code
+/// unless the line carries an allow with a range justification: a
+/// silent truncation in the packing layer corrupts event identity.
+fn packing_cast(ctx: &mut Ctx<'_>) {
+    if ctx.file.path != ctx.cfg.event_file {
+        return;
+    }
+    let impls = ctx.cfg.packing_impls.clone();
+    let fns = ctx.cfg.packing_fns.clone();
+    for (idx, line) in ctx.file.lines.clone().iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let in_scope = impls.contains(&line.impl_name)
+            || fns.iter().any(|f| line.fn_name.contains(f.as_str()));
+        if !in_scope {
+            continue;
+        }
+        for ty in ["u32", "u64"] {
+            let mut from = 0;
+            while let Some(at) = find_word(&line.code[from..], "as").map(|p| p + from) {
+                let after = line.code[at + 2..].trim_start();
+                if after.starts_with(ty)
+                    && !after[ty.len()..]
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    ctx.emit(
+                        "packing-cast",
+                        idx,
+                        format!(
+                            "`as {ty}` in packed-event/lane-payload code: truncation here \
+                             corrupts event identity; allowlist with a range justification"
+                        ),
+                    );
+                    break;
+                }
+                from = at + 2;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ctor-validate
+// ---------------------------------------------------------------------------
+
+/// Enforces the documented validate-or-panic constructor policy
+/// (ARCHITECTURE.md "Validation policy"): a `pub fn new` taking sizes
+/// or rates (`usize`/`f64` parameters) must either assert/panic in its
+/// body or document `# Panics` (delegating constructors).
+fn ctor_validate(ctx: &mut Ctx<'_>) {
+    if !ctx
+        .cfg
+        .ctor_paths
+        .iter()
+        .any(|p| ctx.file.path.starts_with(p.as_str()))
+    {
+        return;
+    }
+    let lines = ctx.file.lines.clone();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.trim();
+        let is_ctor = code.starts_with("pub fn new(")
+            || code.starts_with("pub fn new<")
+            || code == "pub fn new";
+        if !is_ctor {
+            continue;
+        }
+        // Gather the signature (to the body `{` or a `;`) and the
+        // parameter list within the outermost parens.
+        let mut sig = String::new();
+        let mut body_start = None;
+        for (j, l) in lines.iter().enumerate().skip(idx) {
+            sig.push_str(&l.code);
+            sig.push(' ');
+            if let Some(brace) = sig.find('{') {
+                sig.truncate(brace);
+                body_start = Some(j);
+                break;
+            }
+            if sig.contains(';') {
+                break;
+            }
+        }
+        let params = match (sig.find('('), sig.rfind(')')) {
+            (Some(open), Some(close)) if close > open => &sig[open + 1..close],
+            _ => continue,
+        };
+        let sensitive = find_word(params, "usize").is_some() || find_word(params, "f64").is_some();
+        if !sensitive {
+            continue;
+        }
+        // Does the doc comment above declare `# Panics`?
+        let mut documented = false;
+        for l in lines[..idx].iter().rev() {
+            let is_doc = l.comment.starts_with('/') || l.code.trim().starts_with("#[");
+            let blank = l.code.trim().is_empty() && l.comment.is_empty();
+            if !is_doc && !blank {
+                break;
+            }
+            if l.comment.contains("# Panics") {
+                documented = true;
+                break;
+            }
+        }
+        // Does the body validate (assert/panic/expect)?
+        let mut validates = false;
+        if let Some(start) = body_start {
+            let mut depth = 0i32;
+            for l in lines.iter().skip(start) {
+                for c in l.code.chars() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if l.code.contains("assert")
+                    || l.code.contains("panic!")
+                    || l.code.contains(".expect(")
+                {
+                    validates = true;
+                }
+                if depth <= 0 && l.code.contains('}') {
+                    break;
+                }
+            }
+        }
+        if !documented && !validates {
+            ctx.emit(
+                "ctor-validate",
+                idx,
+                "`pub fn new` takes usize/f64 arguments but neither validates (assert/panic) \
+                 nor documents `# Panics`; the qsim constructor policy is validate-or-panic"
+                    .into(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// serve-coverage
+// ---------------------------------------------------------------------------
+
+/// Cross-file rule: every `pub fn serve*` in the serving crate must be
+/// named by at least one test under the configured tests tree — the
+/// repo's frozen-reference/conservation discipline, enforced
+/// mechanically. Adding a `serve_*` entry point without pinning it
+/// fails the build.
+fn serve_coverage(files: &[ScannedFile], cfg: &Config, out: &mut Vec<Finding>) {
+    let mut entry_points: Vec<(String, usize, usize)> = Vec::new(); // name, file idx, line idx
+    for (fi, f) in files.iter().enumerate() {
+        if !f.path.starts_with(&cfg.serve_src) {
+            continue;
+        }
+        for (idx, line) in f.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let code = line.code.trim();
+            if let Some(rest) = code.strip_prefix("pub fn ") {
+                let name_end = rest
+                    .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+                    .unwrap_or(rest.len());
+                let name = &rest[..name_end];
+                if name.starts_with("serve") && !entry_points.iter().any(|(n, _, _)| n == name) {
+                    entry_points.push((name.to_string(), fi, idx));
+                }
+            }
+        }
+    }
+    if entry_points.is_empty() {
+        return;
+    }
+    let has_tests = files.iter().any(|f| f.path.starts_with(&cfg.serve_tests));
+    for (name, fi, idx) in entry_points {
+        let file = &files[fi];
+        if file.allowed(idx, "serve-coverage") {
+            continue;
+        }
+        let covered = has_tests
+            && files.iter().any(|f| {
+                f.path.starts_with(&cfg.serve_tests)
+                    && f.lines.iter().any(|l| find_word(&l.code, &name).is_some())
+            });
+        if !covered {
+            out.push(Finding {
+                rule: "serve-coverage",
+                severity: cfg.severity("serve-coverage"),
+                path: file.path.clone(),
+                line: idx + 1,
+                message: format!(
+                    "public entry point `{name}` is not named by any test under \
+                     `{}`; add a frozen-reference or conservation property pinning it",
+                    cfg.serve_tests
+                ),
+            });
+        }
+    }
+}

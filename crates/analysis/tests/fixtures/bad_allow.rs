@@ -1,0 +1,26 @@
+// Fixture: bad-allow cases.
+
+fn no_justification() -> u64 {
+    // POSITIVE: allow without a `--` justification is malformed.
+    // simlint: allow(wall-clock)
+    7
+}
+
+fn unknown_rule() -> u64 {
+    // POSITIVE: the named rule does not exist.
+    // simlint: allow(warp-core) -- misremembered rule id
+    9
+}
+
+fn not_an_allow() -> u64 {
+    // POSITIVE: a directive that is not allow(...) at all.
+    // simlint: suppress everything please
+    11
+}
+
+fn well_formed(x: usize) -> u32 {
+    // NEGATIVE: known rule, justification present (even if the rule
+    // would not fire here, the directive itself is fine).
+    // simlint: allow(packing-cast) -- x is bounded by the caller
+    x as u32
+}

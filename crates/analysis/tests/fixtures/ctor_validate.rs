@@ -1,0 +1,65 @@
+// Fixture: ctor-validate cases, scanned under crates/qsim/src/.
+
+pub struct Unchecked {
+    capacity: usize,
+}
+
+impl Unchecked {
+    // POSITIVE: usize parameter, no assert/panic, no `# Panics` doc.
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity }
+    }
+}
+
+pub struct Checked {
+    rate: f64,
+}
+
+impl Checked {
+    /// NEGATIVE: validates in the body.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        Self { rate }
+    }
+}
+
+pub struct Documented {
+    inner: Checked,
+}
+
+impl Documented {
+    /// NEGATIVE: delegates validation and documents it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive (see [`Checked::new`]).
+    pub fn new(rate: f64) -> Self {
+        Self {
+            inner: Checked::new(rate),
+        }
+    }
+}
+
+pub struct Exempted {
+    label: String,
+}
+
+impl Exempted {
+    /// NEGATIVE: no size/rate parameters, nothing to validate.
+    pub fn new(label: String) -> Self {
+        Self { label }
+    }
+}
+
+pub struct Waved {
+    seed: u64,
+    shards: usize,
+}
+
+impl Waved {
+    /// ALLOWLISTED: any shard count is meaningful (0 = auto).
+    // simlint: allow(ctor-validate) -- every usize value is valid; 0 selects auto
+    pub fn new(seed: u64, shards: usize) -> Self {
+        Self { seed, shards }
+    }
+}

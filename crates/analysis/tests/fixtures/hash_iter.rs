@@ -1,0 +1,38 @@
+// Fixture: hash-iter positive, negative, and allowlisted cases.
+use std::collections::{HashMap, HashSet};
+
+struct Cache {
+    last_use: HashMap<u64, u64>,
+}
+
+fn violating(last_use: &HashMap<u64, u64>, seen: HashSet<u64>) -> u64 {
+    // POSITIVE: min over entries observes hash order.
+    let victim = last_use.iter().min_by_key(|(_, &t)| t);
+    // POSITIVE: bare iteration of a hash set.
+    for id in &seen {
+        let _ = id;
+    }
+    victim.map(|(&k, _)| k).unwrap_or(0)
+}
+
+fn keyed_access_is_fine(cache: &mut HashMap<u64, u64>) -> bool {
+    // NEGATIVE: contains_key/insert/index never observe hash order.
+    if cache.contains_key(&7) {
+        cache.insert(7, 1);
+    }
+    cache[&7] == 1
+}
+
+fn audited(stats: &HashMap<u64, u64>) -> u64 {
+    // simlint: allow(hash-iter) -- summed: addition is order-independent
+    stats.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_code_is_exempt(m: &HashMap<u64, u64>) -> usize {
+        m.iter().count()
+    }
+}

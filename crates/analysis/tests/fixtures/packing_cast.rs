@@ -1,0 +1,35 @@
+// Fixture: packing-cast cases, scanned as crates/qsim/src/sim.rs
+// (rule scope: `impl Event` blocks and pack/lane helper fns).
+
+struct Event {
+    key: u64,
+    a: u32,
+}
+
+impl Event {
+    fn new(seq: u64, tag: u64, a: usize) -> Self {
+        Self {
+            key: (seq << 3) | tag,
+            // POSITIVE: unjustified truncating cast in packing code.
+            a: a as u32,
+        }
+    }
+
+    fn widened(&self) -> u64 {
+        // NEGATIVE: u32 -> u64 widens; only `as u32`/`as u64` of wider
+        // values can truncate, and this cast is justified below.
+        // simlint: allow(packing-cast) -- widening u32 -> u64 is lossless
+        self.a as u64
+    }
+}
+
+fn lane_payload(packed: usize) -> u32 {
+    // simlint: allow(packing-cast) -- masked to 19 bits at the cast
+    (packed >> 32) as u32 & 0x7_FFFF
+}
+
+fn unrelated_math(x: usize) -> u32 {
+    // NEGATIVE: outside packing scope (not an Event impl or pack/lane
+    // helper), the cast is ordinary arithmetic.
+    x as u32
+}

@@ -1,0 +1,16 @@
+// Fixture: serve-coverage sources, scanned under crates/qsim/src/.
+// `serve_pinned` is named by the test fixture; `serve_orphan` is not
+// (the rule's positive case); `serve_waved` carries an allow.
+
+pub fn serve_pinned(queries: usize, seed: u64) -> usize {
+    queries.wrapping_add(seed as usize)
+}
+
+pub fn serve_orphan(queries: usize, seed: u64) -> usize {
+    queries.wrapping_mul(seed as usize)
+}
+
+// simlint: allow(serve-coverage) -- thin wrapper over serve_pinned; pinned transitively
+pub fn serve_waved(queries: usize, seed: u64) -> usize {
+    serve_pinned(queries, seed)
+}

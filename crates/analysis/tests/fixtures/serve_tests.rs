@@ -1,0 +1,7 @@
+// Fixture: serve-coverage test file, scanned under crates/qsim/tests/.
+// Names serve_pinned but not serve_orphan.
+
+#[test]
+fn serve_pinned_conserves_queries() {
+    assert_eq!(serve_pinned(10, 0), 10);
+}

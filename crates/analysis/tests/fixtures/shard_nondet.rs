@@ -1,0 +1,25 @@
+// Fixture: shard-nondet cases, scanned as crates/qsim/src/shard.rs.
+
+fn pick_strategy(workers: usize) -> usize {
+    // POSITIVE: worker-count-dependent branch without a justification.
+    if workers <= 1 {
+        1
+    } else {
+        // POSITIVE: thread-pool sizing probe.
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    }
+}
+
+fn justified(workers: usize) -> usize {
+    // simlint: allow(shard-nondet) -- strategy only; merged output is worker-invariant
+    if workers <= 1 {
+        1
+    } else {
+        workers
+    }
+}
+
+fn merge_in_shard_order(shards: &[Vec<u64>]) -> Vec<u64> {
+    // NEGATIVE: no branch on worker identity or count.
+    shards.iter().flatten().copied().collect()
+}

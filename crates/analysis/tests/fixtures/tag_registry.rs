@@ -1,0 +1,22 @@
+// Fixture: tag-registry violations, scanned as crates/qsim/src/sim.rs.
+// TAG_ORPHAN is declared but unregistered and lacks a decode arm;
+// TAG_GHOST is registered but never declared; TAG_ARRIVE is fine.
+
+const TAG_ARRIVE: u64 = 0;
+const TAG_COMPLETE: u64 = 1;
+const TAG_ORPHAN: u64 = 2;
+
+const TAG_TIE_ORDER: [u64; 3] = [TAG_ARRIVE, TAG_COMPLETE, TAG_GHOST];
+
+enum Kind {
+    Arrive,
+    Complete,
+}
+
+fn decode(key: u64) -> Kind {
+    match key & 0b11 {
+        TAG_ARRIVE => Kind::Arrive,
+        TAG_COMPLETE => Kind::Complete,
+        _ => Kind::Arrive,
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: a clean tag registry, scanned as crates/qsim/src/sim.rs.
+// Every declared tag appears exactly once in the table and has an
+// explicit decode arm; nothing fires.
+
+const TAG_ARRIVE: u64 = 0;
+const TAG_COMPLETE: u64 = 1;
+
+const TAG_TIE_ORDER: [u64; 2] = [TAG_ARRIVE, TAG_COMPLETE];
+
+enum Kind {
+    Arrive,
+    Complete,
+}
+
+fn decode(key: u64) -> Kind {
+    match key & 0b1 {
+        TAG_ARRIVE => Kind::Arrive,
+        TAG_COMPLETE => Kind::Complete,
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,28 @@
+// Fixture: wall-clock and unseeded-rng cases. Scanned once under a
+// sim path (positives fire) and once under a bench path (the
+// config-level carve-out silences all of them).
+use std::time::Instant;
+
+fn timed() -> f64 {
+    // POSITIVE under a product path: the wall clock is not sim time.
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+fn entropy() -> u64 {
+    // POSITIVE under a product path: ambient entropy breaks replays.
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+fn seeded(seed: u64) -> u64 {
+    // NEGATIVE: explicit seeds are the only sanctioned randomness.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    rng.next_u64()
+}
+
+fn in_strings_and_comments() {
+    // NEGATIVE: Instant::now in a comment or "Instant::now" string
+    // never fires -- the scanner blanks both.
+    let _label = "Instant::now";
+}

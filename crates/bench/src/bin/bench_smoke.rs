@@ -46,6 +46,11 @@ const SCALE_BUDGET_SECONDS: f64 = 10.0;
 /// should surface it.
 const MACHINE_FACTOR_RANGE: (f64, f64) = (0.25, 4.0);
 
+/// Absolute machine-normalized wall-clock budget for a full `simlint`
+/// workspace scan: the analysis pass gates every CI run, so it must
+/// stay sub-second (it is ~tens of milliseconds today).
+const SIMLINT_BUDGET_SECONDS: f64 = 1.0;
+
 /// Fixed CPU-bound calibration workload: a splitmix64 mixing loop that
 /// exercises no simulator code, so its runtime tracks the machine, not
 /// the repository. Must stay byte-for-byte stable across PRs or
@@ -383,6 +388,34 @@ fn main() {
         "{scale_name}: {measured:.0} ns vs baseline {scale_baseline:.0} \
          (normalized x{ratio:.2}, {normalized_seconds:.2}s of {SCALE_BUDGET_SECONDS}s budget) \
          {verdict}"
+    );
+
+    // simlint wall-clock: the static-analysis gate runs on every CI
+    // build, so its full-workspace scan is held to an absolute
+    // (machine-normalized) sub-second budget. No baseline ratio — the
+    // scan grows with the tree, and the budget is the contract.
+    let workspace_root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let start = Instant::now();
+    let report = recpipe_analysis::analyze_workspace(
+        workspace_root,
+        &recpipe_analysis::rules::Config::default(),
+    )
+    .expect("workspace sources readable");
+    let simlint_seconds = start.elapsed().as_secs_f64();
+    let simlint_normalized = simlint_seconds / machine_factor;
+    let simlint_verdict = if simlint_normalized >= SIMLINT_BUDGET_SECONDS {
+        failed = true;
+        "REGRESSED"
+    } else {
+        "ok"
+    };
+    println!(
+        "simlint/workspace_scan: {:.0} ms over {} files ({:.3}s normalized of \
+         {SIMLINT_BUDGET_SECONDS}s budget, {} findings) {simlint_verdict}",
+        simlint_seconds * 1e3,
+        report.files,
+        simlint_normalized,
+        report.findings.len()
     );
 
     if failed {

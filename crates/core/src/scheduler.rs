@@ -516,6 +516,9 @@ impl Scheduler {
         sla_s: Option<f64>,
         interconnect: &PcieModel,
     ) -> (Vec<Outcome>, SweepStats) {
+        // Keyed access only (contains_key/insert/index) — results never
+        // depend on hash iteration order, which keeps the sweep
+        // deterministic (audited; simlint denies hash *iteration* here).
         let mut quality_cache = HashMap::new();
         let mut stats = SweepStats::default();
         let points = self.explore_pool_cached(
@@ -781,6 +784,8 @@ impl Scheduler {
     ) -> Vec<Outcome> {
         let spec = DatasetSpec::for_kind(self.settings.dataset);
         let interconnect = PcieModel::measured();
+        // Keyed access only across partitions — see explore_pool_cached;
+        // sharing the cache never exposes hash iteration order.
         let mut quality_cache = HashMap::new();
         let mut stats = SweepStats::default();
         let mut points = Vec::new();

@@ -71,6 +71,8 @@ pub struct SimResult {
 
 impl SimResult {
     /// Bundles simulation outputs.
+    // simlint: allow(ctor-validate) -- output bundle: every field is
+    // simulator-produced, so there is no invalid input to reject.
     pub fn new(
         latency: LatencyStats,
         qps: f64,

@@ -386,6 +386,10 @@ impl<'a> RoutingCtx<'a> {
         prior_replicas: &'a [u32],
         stage_groups: &'a [usize],
     ) -> Self {
+        // Built once per query-stage dispatch, so the documented slice
+        // invariants are debug-checked rather than paid for in release.
+        debug_assert!(prior_replicas.len() <= stage, "history exceeds stage");
+        debug_assert!(stage < stage_groups.len() || stage_groups.is_empty());
         Self {
             query,
             stage,

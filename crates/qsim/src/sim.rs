@@ -80,6 +80,43 @@ const TAG_WINDOW_TICK: u64 = 5;
 const TAG_TIMEOUT: u64 = 6;
 const TAG_HEDGE: u64 = 7;
 
+/// The same-timestamp tie-order registry. Events that share a
+/// timestamp fire in ascending `seq`, and seqs are assigned in this
+/// grouping order: schedule arrivals first (seq = query index, fixed
+/// before the loop starts), then lifecycle transitions (group-major,
+/// preassigned past the schedule by `enable_lifecycle`), then the
+/// telemetry window tick, then every dynamically created event —
+/// completions, rechecks, warm-ups, timeouts, hedges — in creation
+/// order from the running `Sim::seq` counter. `simlint`'s
+/// `tag-registry` rule requires each `TAG_*` constant to appear here
+/// exactly once and to have an explicit decode arm, so a new event
+/// kind cannot land without a considered position in this order (see
+/// ARCHITECTURE.md "Determinism discipline, mechanically enforced").
+const TAG_TIE_ORDER: [u64; 8] = [
+    TAG_ARRIVE,
+    TAG_LIFECYCLE,
+    TAG_WINDOW_TICK,
+    TAG_COMPLETE,
+    TAG_RECHECK,
+    TAG_WARM_DONE,
+    TAG_TIMEOUT,
+    TAG_HEDGE,
+];
+
+// Compile-time proof that the tie-order table is a permutation of all
+// eight tags: each value in 0..8, none repeated, none missing.
+const _: () = {
+    let mut seen = [false; 8];
+    let mut i = 0;
+    while i < TAG_TIE_ORDER.len() {
+        let t = TAG_TIE_ORDER[i] as usize;
+        assert!(t < 8, "tag out of range");
+        assert!(!seen[t], "tag registered twice");
+        seen[t] = true;
+        i += 1;
+    }
+};
+
 /// Stage bits in a resilience-packed arrive payload (`b`): the low 12
 /// bits carry the stage, the next 19 the lane generation, the top bit
 /// the lane (0 primary, 1 hedge). Gen 0 / lane 0 leave the payload
@@ -130,6 +167,9 @@ impl Event {
         Self {
             time,
             key: (seq << 3) | tag,
+            // simlint: allow(packing-cast) -- a is a query/batch/slot
+            // index bounded far below u32::MAX at construction
+            // (debug_assert above; scale asserts at spec build).
             a: a as u32,
             b,
         }
@@ -137,16 +177,22 @@ impl Event {
 
     #[inline]
     fn arrive(time: f64, seq: u64, query: usize, stage: usize) -> Self {
+        // simlint: allow(packing-cast) -- stage indexes a pipeline of
+        // at most a handful of stages (< 2^12, asserted at build).
         Self::new(time, seq, TAG_ARRIVE, query, stage as u32)
     }
 
     #[inline]
     fn complete(time: f64, seq: u64, batch: usize, gen: u64) -> Self {
+        // simlint: allow(packing-cast) -- generations compare on their
+        // low 32 bits by design (see Event docs on wraparound).
         Self::new(time, seq, TAG_COMPLETE, batch, gen as u32)
     }
 
     #[inline]
     fn recheck(time: f64, seq: u64, slot: usize, gen: u64) -> Self {
+        // simlint: allow(packing-cast) -- generations compare on their
+        // low 32 bits by design (see Event docs on wraparound).
         Self::new(time, seq, TAG_RECHECK, slot, gen as u32)
     }
 
@@ -157,6 +203,8 @@ impl Event {
 
     #[inline]
     fn warm_done(time: f64, seq: u64, slot: usize, gen: u64) -> Self {
+        // simlint: allow(packing-cast) -- generations compare on their
+        // low 32 bits by design (see Event docs on wraparound).
         Self::new(time, seq, TAG_WARM_DONE, slot, gen as u32)
     }
 
@@ -209,10 +257,11 @@ impl Event {
                 query: self.a as usize,
                 gen: self.b,
             },
-            _ => EventKind::Hedge {
+            TAG_HEDGE => EventKind::Hedge {
                 query: self.a as usize,
                 gen: self.b,
             },
+            _ => unreachable!("tag masked to 3 bits; all eight values have arms"),
         }
     }
 }
@@ -1470,10 +1519,14 @@ impl<'a> Sim<'a> {
     /// collapses to the plain `b = stage` encoding byte-for-byte.
     fn push_arrive(&mut self, t: f64, packed: usize, stage: usize) {
         let b = if self.resil_active {
-            stage as u32
-                | ((((packed >> 32) as u32) & RES_GEN_MASK) << RES_STAGE_BITS)
-                | (((packed >> 63) as u32) << 31)
+            // simlint: allow(packing-cast) -- masked to the 19 payload bits at the cast
+            let gen = (packed >> 32) as u32 & RES_GEN_MASK;
+            // simlint: allow(packing-cast) -- a single bit survives the >> 63
+            let lane = (packed >> 63) as u32;
+            // simlint: allow(packing-cast) -- stage < 2^12 (pipeline depth, asserted at build)
+            stage as u32 | (gen << RES_STAGE_BITS) | (lane << 31)
         } else {
+            // simlint: allow(packing-cast) -- stage < 2^12 (pipeline depth, asserted at build)
             stage as u32
         };
         self.heap
@@ -1489,6 +1542,7 @@ impl<'a> Sim<'a> {
     fn lane_live(&self, packed: usize) -> bool {
         let rt = self.resil.as_ref().expect("resilience runtime attached");
         let q = packed & RES_Q_MASK;
+        // simlint: allow(packing-cast) -- masked to the 19 payload bits at the cast
         let gen = ((packed >> 32) as u32) & RES_GEN_MASK;
         gen == (rt.gen[q] & RES_GEN_MASK) && rt.state[q] == RQ_LIVE
     }

@@ -397,6 +397,10 @@ pub struct StageSpec {
 
 impl StageSpec {
     /// Creates a per-query (non-batching) stage spec.
+    // simlint: allow(ctor-validate) -- specs validate at attachment:
+    // `PipelineSpec::with_stage` rejects zero units and non-positive or
+    // non-finite service times with a typed `SpecError` (Result-based
+    // by design, so sweeps can skip bad candidates without panicking).
     pub fn new(name: impl Into<String>, resource: usize, units: usize, service_time: f64) -> Self {
         Self {
             name: name.into(),

@@ -5,12 +5,12 @@
 use proptest::prelude::*;
 use recpipe_data::{ClosedLoopArrivals, MmppArrivals, PoissonArrivals};
 use recpipe_qsim::{
-    serve_multipath, AdmissionPolicy, AlwaysPrimary, BatchModel, BatchWindow, DeadlineAware,
-    EarliestDeadlineFirst, ExpectedWait, FailurePolicy, FaultPlan, Fifo, HedgePolicy,
-    JoinShortestQueue, LeastWorkLeft, LifecycleConfig, LifecycleEvent, LifecycleSchedule,
-    LoadAdaptive, PathSet, PipelineSpec, PowerOfTwoChoices, ReplicaGroup, ReplicaProfile,
-    ResilienceConfig, ResourceSpec, RetryBudget, RetryPolicy, RoundRobin, Router, SchedulingPolicy,
-    StageSpec, Sticky,
+    serve_multipath, AdmissionPolicy, AlwaysPrimary, AutoscaleConfig, BatchModel, BatchWindow,
+    DeadlineAware, EarliestDeadlineFirst, ExpectedWait, FailurePolicy, FaultPlan, Fifo,
+    FleetController, HedgePolicy, JoinShortestQueue, LeastWorkLeft, LifecycleConfig,
+    LifecycleEvent, LifecycleSchedule, LoadAdaptive, PathSet, PipelineSpec, PowerOfTwoChoices,
+    ReplicaGroup, ReplicaProfile, ResilienceConfig, ResourceSpec, RetryBudget, RetryPolicy,
+    RoundRobin, Router, SchedulingPolicy, StageSpec, Sticky, WindowStats,
 };
 
 fn pipeline(servers: usize, stages: Vec<f64>) -> PipelineSpec {
@@ -3461,6 +3461,82 @@ proptest! {
                 &resilience,
             )
             .unwrap();
+        prop_assert_eq!(out, again);
+    }
+}
+
+/// Test controller for the autoscale conservation property: demands
+/// `hi` replicas while a window leaves queries waiting, `lo` once the
+/// backlog clears — a deterministic closed loop driven only by the
+/// windowed telemetry, so replays are bit-exact.
+struct PressureController {
+    lo: usize,
+    hi: usize,
+}
+
+impl FleetController for PressureController {
+    fn name(&self) -> String {
+        format!("pressure({},{})", self.lo, self.hi)
+    }
+
+    fn desired_replicas(&mut self, window: &WindowStats, _live: usize) -> usize {
+        if window.mean_queue_depth > 0.5 {
+            self.hi
+        } else {
+            self.lo
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn serve_autoscaled_conserves_queries_and_replays(
+        replicas in 2usize..5,
+        capacity in 1usize..3,
+        max_batch in 1usize..4,
+        policy_idx in 0usize..3,
+        router_idx in 0usize..4,
+        initial_pct in 0u64..=100,
+        window_cs in 5u64..30,
+        queries in 100usize..400,
+        seed in 0u64..100,
+    ) {
+        // Closed-loop resizing may grow, drain, and re-grow the fleet
+        // mid-run, but the accounting is conserved: every injected
+        // query completes, is shed, or is dropped; the live fleet never
+        // leaves the configured band; and the whole run -- controller
+        // decisions included -- replays bit-for-bit from the seed.
+        let spec = replicated_pipeline(replicas, capacity, vec![0.004, 0.002], max_batch);
+        let policy = policy_for(policy_idx);
+        let router = router_for(router_idx);
+        let arrivals = MmppArrivals::new(100.0, 800.0, 0.2, 0.1);
+        let initial = (1 + initial_pct as usize * (replicas - 1) / 100).clamp(1, replicas);
+        let cfg = AutoscaleConfig::new(0, 1, replicas, window_cs as f64 / 100.0)
+            .with_initial_replicas(initial);
+        let run = || {
+            spec.serve_autoscaled(
+                &arrivals,
+                policy.as_ref(),
+                router.as_ref(),
+                queries,
+                seed,
+                &cfg,
+                &mut PressureController { lo: 1, hi: replicas },
+            )
+            .unwrap()
+        };
+        let out = run();
+        prop_assert_eq!(out.completed + out.shed + out.dropped, queries);
+        prop_assert!(!out.windows.is_empty());
+        for w in &out.windows {
+            prop_assert!(
+                w.live_replicas >= 1 && w.live_replicas <= replicas,
+                "live fleet {} outside the [1, {}] band",
+                w.live_replicas,
+                replicas
+            );
+        }
+        let again = run();
         prop_assert_eq!(out, again);
     }
 }
